@@ -1,0 +1,71 @@
+//! The MPI+OpenCL-style baseline of distributed GESUMMV: the same
+//! functional decomposition as [`crate::gesummv::functional`], but over the
+//! host-memory MPI world — bulk buffers and an `MPI_Send`, the way the
+//! paper's comparison systems move data. Used to cross-check results and to
+//! contrast the programming models (bulk transfer vs streaming push/pop).
+
+use smi_baseline::functional::MpiWorld;
+
+use super::reference::dot;
+use super::GesummvProblem;
+
+/// Run the 2-rank baseline: rank 0 computes the full `q1 = A·x` buffer and
+/// sends it in one bulk message; rank 1 computes `q2 = B·x` and the AXPY.
+pub fn run_distributed_mpi(p: &GesummvProblem) -> Vec<f32> {
+    let worlds = MpiWorld::create(2);
+    let rows = p.rows;
+    let cols = p.cols;
+    let (alpha, beta) = (p.alpha, p.beta);
+    let a = p.a.clone();
+    let b = p.b.clone();
+    let x = p.x.clone();
+
+    let mut handles = Vec::new();
+    for w in worlds {
+        let (a, b, x) = (a.clone(), b.clone(), x.clone());
+        handles.push(std::thread::spawn(move || -> Vec<f32> {
+            if w.rank() == 0 {
+                // Bulk-compute the whole partial result, then one MPI_Send —
+                // "the model relies on bulk transfers" (§2.1.1).
+                let q1: Vec<f32> =
+                    (0..rows).map(|i| dot(&a[i * cols..(i + 1) * cols], &x)).collect();
+                w.send(&q1, 1, 0);
+                Vec::new()
+            } else {
+                let q1 = w.recv::<f32>(rows, 0, 0);
+                (0..rows)
+                    .map(|i| {
+                        let q2 = dot(&b[i * cols..(i + 1) * cols], &x);
+                        alpha * q1[i] + beta * q2
+                    })
+                    .collect()
+            }
+        }));
+    }
+    let mut results: Vec<Vec<f32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    results.swap_remove(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gesummv::{functional, reference};
+    use smi::prelude::RuntimeParams;
+
+    #[test]
+    fn mpi_baseline_matches_reference() {
+        let p = GesummvProblem::random(64, 48, 21);
+        assert_eq!(run_distributed_mpi(&p), reference::gesummv(&p));
+    }
+
+    #[test]
+    fn mpi_baseline_and_smi_agree() {
+        // The two distributed implementations (bulk MPI vs streaming SMI)
+        // compute identical results — the paper's point is that SMI gets
+        // there without the bulk buffers and host round-trips.
+        let p = GesummvProblem::random(96, 96, 22);
+        let mpi = run_distributed_mpi(&p);
+        let smi = functional::run_distributed(&p, RuntimeParams::default()).unwrap();
+        assert_eq!(mpi, smi);
+    }
+}

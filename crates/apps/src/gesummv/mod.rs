@@ -1,0 +1,71 @@
+//! GESUMMV: `y = αAx + βBx` (Extended BLAS), §5.4.1.
+
+pub mod baseline;
+pub mod functional;
+pub mod reference;
+pub mod timed;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Problem definition: `A`, `B` are `rows × cols`, `x` has `cols` elements,
+/// `y` has `rows`.
+#[derive(Debug, Clone)]
+pub struct GesummvProblem {
+    /// Output dimension (matrix rows).
+    pub rows: usize,
+    /// Input dimension (matrix cols).
+    pub cols: usize,
+    /// Scalar α.
+    pub alpha: f32,
+    /// Scalar β.
+    pub beta: f32,
+    /// Matrix A, row-major.
+    pub a: Vec<f32>,
+    /// Matrix B, row-major.
+    pub b: Vec<f32>,
+    /// Input vector.
+    pub x: Vec<f32>,
+}
+
+impl GesummvProblem {
+    /// Deterministic random problem (values in ±1 so dot products stay
+    /// well-conditioned).
+    pub fn random(rows: usize, cols: usize, seed: u64) -> GesummvProblem {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut gen = |n: usize| -> Vec<f32> {
+            (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+        };
+        GesummvProblem {
+            rows,
+            cols,
+            alpha: 1.5,
+            beta: -0.5,
+            a: gen(rows * cols),
+            b: gen(rows * cols),
+            x: gen(cols),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic() {
+        let p1 = GesummvProblem::random(8, 8, 42);
+        let p2 = GesummvProblem::random(8, 8, 42);
+        assert_eq!(p1.a, p2.a);
+        assert_eq!(p1.x, p2.x);
+        let p3 = GesummvProblem::random(8, 8, 43);
+        assert_ne!(p1.a, p3.a);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let p = GesummvProblem::random(4, 10, 1);
+        assert_eq!(p.a.len(), 40);
+        assert_eq!(p.x.len(), 10);
+    }
+}

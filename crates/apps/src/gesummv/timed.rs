@@ -1,0 +1,347 @@
+//! Cycle-timed GESUMMV on the fabric (regenerates Fig. 13).
+//!
+//! "As these routines are memory-bound, the computation is bottlenecked by
+//! memory bandwidth" — the GEMV engines stream their matrices from a
+//! [`smi_fabric::memory::DramPool`]; single-chip, both engines share one
+//! device's pool, while the distributed version gives each engine a full
+//! device ("the full
+//! application thus gains access to twice the memory bandwidth across the
+//! two FPGAs").
+
+use smi_codegen::{ClusterDesign, OpSpec, ProgramMeta};
+use smi_fabric::apps::stream::{new_probe, ProbeHandle};
+use smi_fabric::builder::FabricBuilder;
+use smi_fabric::engine::{Component, SimError, Status};
+use smi_fabric::fifo::{FifoId, FifoPool};
+use smi_fabric::memory::{ConsumerId, DramPoolHandle};
+use smi_fabric::params::FabricParams;
+use smi_topology::{RoutingPlan, Topology};
+use smi_wire::{Datatype, Framer, NetworkPacket, PacketOp};
+
+/// Timing parameters for GESUMMV.
+#[derive(Debug, Clone)]
+pub struct GesummvTimedParams {
+    /// Platform constants.
+    pub fabric: FabricParams,
+    /// Streaming bandwidth one GEMV engine can draw when alone on a device,
+    /// in f32 elements/cycle. Calibrated to Fig. 13's absolute times
+    /// (≈2.8 ms for N=4096 distributed → ≈24 GB/s at 300 MHz, the paper's
+    /// FBLAS GEMV achieved bandwidth).
+    pub gemv_mem_elems_per_cycle: f64,
+}
+
+impl Default for GesummvTimedParams {
+    fn default() -> Self {
+        GesummvTimedParams { fabric: FabricParams::default(), gemv_mem_elems_per_cycle: 20.0 }
+    }
+}
+
+/// Result of one timed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GesummvTimedResult {
+    /// Total cycles until the AXPY produced the last output element.
+    pub cycles: u64,
+    /// Milliseconds at the configured kernel clock.
+    pub time_ms: f64,
+}
+
+/// A streaming GEMV engine: fetches its `rows × cols` matrix through the
+/// memory pool and emits one partial-result element per completed row into
+/// an output FIFO (framed as SMI packets — the identical code path feeds a
+/// local FIFO or a network channel, which is the point of the paper's
+/// Fig. 12).
+struct GemvEngine {
+    name: String,
+    pool: DramPoolHandle,
+    consumer: ConsumerId,
+    rows: u64,
+    cols: u64,
+    fetched: f64,
+    rows_done: u64,
+    framer: Framer,
+    out: FifoId,
+    pending: Option<NetworkPacket>,
+}
+
+impl GemvEngine {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        name: impl Into<String>,
+        pool: DramPoolHandle,
+        rows: u64,
+        cols: u64,
+        out: FifoId,
+        src: u8,
+        dst: u8,
+        port: u8,
+    ) -> Self {
+        let consumer = pool.borrow_mut().register();
+        GemvEngine {
+            name: name.into(),
+            pool,
+            consumer,
+            rows,
+            cols,
+            fetched: 0.0,
+            rows_done: 0,
+            framer: Framer::new(Datatype::Float, src, dst, port, PacketOp::Send),
+            out,
+            pending: None,
+        }
+    }
+}
+
+impl Component for GemvEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _cycle: u64, fifos: &mut FifoPool) -> Status {
+        if let Some(pkt) = self.pending.take() {
+            if fifos.can_push(self.out) {
+                fifos.push(self.out, pkt);
+                return Status::Active;
+            }
+            self.pending = Some(pkt);
+            return Status::Idle;
+        }
+        if self.rows_done == self.rows {
+            return Status::Done;
+        }
+        // Stream matrix elements.
+        let total = (self.rows * self.cols) as f64;
+        let want = (total - self.fetched).max(0.0);
+        if want > 0.0 {
+            let rate = self.pool.borrow().rate();
+            let granted = self.pool.borrow_mut().try_consume(self.consumer, want.min(rate));
+            self.fetched += granted;
+        }
+        // Emit result elements for completed rows (≤ one packet per cycle).
+        let mut emitted_any = false;
+        while self.rows_done < self.rows
+            && self.fetched >= ((self.rows_done + 1) * self.cols) as f64
+            && self.pending.is_none()
+        {
+            let value = self.rows_done as f32; // timing plane: value is a tag
+            if let Some(pkt) = self.framer.push(&value) {
+                self.pending = Some(pkt);
+            }
+            self.rows_done += 1;
+            emitted_any = true;
+        }
+        if self.rows_done == self.rows && self.pending.is_none() {
+            self.pending = self.framer.flush();
+        }
+        if let Some(pkt) = self.pending.take() {
+            if fifos.can_push(self.out) {
+                fifos.push(self.out, pkt);
+            } else {
+                self.pending = Some(pkt);
+            }
+        }
+        if self.rows_done == self.rows && self.pending.is_none() {
+            Status::Done
+        } else if emitted_any || want > 0.0 {
+            Status::Active
+        } else {
+            Status::Idle
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        true
+    }
+}
+
+/// The AXPY stage: pairs q1 (possibly remote) and q2 (local) element
+/// streams and counts produced outputs.
+struct AxpyEngine {
+    name: String,
+    q1: FifoId,
+    q2: FifoId,
+    q1_avail: u64,
+    q2_avail: u64,
+    produced: u64,
+    rows: u64,
+    probe: ProbeHandle,
+}
+
+impl Component for AxpyEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, cycle: u64, fifos: &mut FifoPool) -> Status {
+        if self.produced == self.rows {
+            return Status::Done;
+        }
+        let mut acted = false;
+        if self.q1_avail == 0 && fifos.can_pop(self.q1) {
+            self.q1_avail += fifos.pop(self.q1).header.count as u64;
+            acted = true;
+        }
+        if self.q2_avail == 0 && fifos.can_pop(self.q2) {
+            self.q2_avail += fifos.pop(self.q2).header.count as u64;
+            acted = true;
+        }
+        let k = self.q1_avail.min(self.q2_avail);
+        if k > 0 {
+            self.q1_avail -= k;
+            self.q2_avail -= k;
+            self.produced += k;
+            let mut p = self.probe.borrow_mut();
+            if p.first_cycle.is_none() {
+                p.first_cycle = Some(cycle);
+            }
+            p.last_cycle = Some(cycle);
+            p.elements += k;
+            acted = true;
+        }
+        if self.produced == self.rows {
+            Status::Done
+        } else if acted {
+            Status::Active
+        } else {
+            Status::Idle
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        true
+    }
+}
+
+/// Single-FPGA GESUMMV: both GEMVs share one memory pool; everything local.
+pub fn run_single_timed(
+    rows: u64,
+    cols: u64,
+    params: &GesummvTimedParams,
+) -> Result<GesummvTimedResult, SimError> {
+    let topo = Topology::bus(1);
+    let plan = RoutingPlan::compute(&topo).expect("trivial plan");
+    let design = ClusterDesign::spmd(&ProgramMeta::new(), &topo).expect("empty design");
+    let mut b = FabricBuilder::new(topo, plan, design, params.fabric.clone());
+    let pool = b.add_dram_pool("fpga0.mem", params.gemv_mem_elems_per_cycle);
+    let q1 = b.add_local_fifo("gemvA->axpy", 16);
+    let q2 = b.add_local_fifo("gemvB->axpy", 16);
+    b.add_component(GemvEngine::new("gemvA", pool.clone(), rows, cols, q1, 0, 0, 0));
+    b.add_component(GemvEngine::new("gemvB", pool, rows, cols, q2, 0, 0, 0));
+    let probe = new_probe();
+    b.add_component(AxpyEngine {
+        name: "axpy".into(),
+        q1,
+        q2,
+        q1_avail: 0,
+        q2_avail: 0,
+        produced: 0,
+        rows,
+        probe,
+    });
+    let mut fabric = b.finalize();
+    let budget = (2.0 * rows as f64 * cols as f64 / params.gemv_mem_elems_per_cycle * 4.0) as u64
+        + 1_000_000;
+    let report = fabric.run(budget)?;
+    Ok(GesummvTimedResult {
+        cycles: report.cycles,
+        time_ms: params.fabric.cycles_to_us(report.cycles) / 1e3,
+    })
+}
+
+/// Distributed 2-rank GESUMMV: rank 0's GEMV streams partials over SMI.
+pub fn run_distributed_timed(
+    rows: u64,
+    cols: u64,
+    params: &GesummvTimedParams,
+) -> Result<GesummvTimedResult, SimError> {
+    let topo = Topology::bus(2);
+    let plan = RoutingPlan::compute(&topo).expect("plan");
+    let metas = vec![
+        ProgramMeta::new().with(OpSpec::send(0, Datatype::Float)),
+        ProgramMeta::new().with(OpSpec::recv(0, Datatype::Float)),
+    ];
+    let design = ClusterDesign::mpmd(&metas, &topo).expect("design");
+    let mut b = FabricBuilder::new(topo, plan, design, params.fabric.clone());
+    let pool0 = b.add_dram_pool("fpga0.mem", params.gemv_mem_elems_per_cycle);
+    let pool1 = b.add_dram_pool("fpga1.mem", params.gemv_mem_elems_per_cycle);
+    let to_net = b.register_send(0, 0);
+    let from_net = b.register_recv(1, 0);
+    let q2 = b.add_local_fifo("gemvB->axpy", 16);
+    b.add_component(GemvEngine::new("gemvA@r0", pool0, rows, cols, to_net, 0, 1, 0));
+    b.add_component(GemvEngine::new("gemvB@r1", pool1, rows, cols, q2, 1, 1, 0));
+    let probe = new_probe();
+    b.add_component(AxpyEngine {
+        name: "axpy@r1".into(),
+        q1: from_net,
+        q2,
+        q1_avail: 0,
+        q2_avail: 0,
+        produced: 0,
+        rows,
+        probe,
+    });
+    let mut fabric = b.finalize();
+    let budget = (rows as f64 * cols as f64 / params.gemv_mem_elems_per_cycle * 4.0) as u64
+        + 1_000_000;
+    let report = fabric.run(budget)?;
+    Ok(GesummvTimedResult {
+        cycles: report.cycles,
+        time_ms: params.fabric.cycles_to_us(report.cycles) / 1e3,
+    })
+}
+
+/// One Fig. 13 data point: `(single, distributed, speedup)`.
+pub fn fig13_point(
+    rows: u64,
+    cols: u64,
+    params: &GesummvTimedParams,
+) -> Result<(GesummvTimedResult, GesummvTimedResult, f64), SimError> {
+    let single = run_single_timed(rows, cols, params)?;
+    let dist = run_distributed_timed(rows, cols, params)?;
+    let speedup = single.cycles as f64 / dist.cycles as f64;
+    Ok((single, dist, speedup))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributed_is_about_twice_as_fast() {
+        let params = GesummvTimedParams::default();
+        let (single, dist, speedup) = fig13_point(256, 256, &params).unwrap();
+        assert!(single.cycles > dist.cycles);
+        assert!((1.8..2.1).contains(&speedup), "speedup {speedup}");
+    }
+
+    #[test]
+    fn time_scales_quadratically() {
+        // Sizes large enough that the fixed pipeline/latency cost (a few
+        // hundred cycles) is negligible against the N²/20-cycle stream.
+        let params = GesummvTimedParams::default();
+        let small = run_distributed_timed(256, 256, &params).unwrap();
+        let large = run_distributed_timed(512, 512, &params).unwrap();
+        let ratio = large.cycles as f64 / small.cycles as f64;
+        assert!((3.5..4.5).contains(&ratio), "quadratic growth, got {ratio}");
+    }
+
+    #[test]
+    fn rectangular_shapes_run() {
+        let params = GesummvTimedParams::default();
+        let (s, d, sp) = fig13_point(128, 512, &params).unwrap();
+        assert!(s.cycles > 0 && d.cycles > 0);
+        assert!(sp > 1.5);
+    }
+
+    #[test]
+    fn absolute_time_calibration() {
+        // Fig. 13 reports ≈2.8 ms for the distributed 4096² run; the model
+        // must land in the same ballpark (±30 %).
+        let params = GesummvTimedParams::default();
+        let dist = run_distributed_timed(4096, 4096, &params).unwrap();
+        assert!(
+            (2.0..3.7).contains(&dist.time_ms),
+            "distributed 4096²: {} ms (paper: 2.8 ms)",
+            dist.time_ms
+        );
+    }
+}

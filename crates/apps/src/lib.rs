@@ -1,0 +1,25 @@
+//! # smi-apps — the paper's distributed applications
+//!
+//! The two §5.4 applications, each in two executions:
+//!
+//! * **GESUMMV** (`y = αAx + βBx`, Extended BLAS): a single-FPGA version
+//!   (two GEMV kernels sharing one device's memory bandwidth, feeding an
+//!   AXPY) and the distributed MPMD version (rank 0's GEMV streams its
+//!   partial results to rank 1 over an SMI channel — the paper's Fig. 12,
+//!   an 8-line change).
+//! * **2D 4-point stencil** with SPMD halo exchange (Fig. 14 / Lst. 3):
+//!   2D domain decomposition, per-iteration transient channels to the four
+//!   neighbours, spatial reuse within each rank.
+//!
+//! Each application has:
+//!
+//! * a serial **reference** implementation,
+//! * a **functional** distributed implementation on the thread-based `smi`
+//!   runtime (results verified against the reference bit-for-bit), and
+//! * a **timed** implementation on the cycle-level `smi-fabric` (DRAM
+//!   bandwidth pools + SMI transport) that regenerates Figs. 13, 15, 16.
+
+#![warn(missing_docs)]
+
+pub mod gesummv;
+pub mod stencil;

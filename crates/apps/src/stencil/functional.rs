@@ -1,0 +1,211 @@
+//! SPMD distributed stencil on the SMI runtime (functional plane).
+//!
+//! Implements the paper's Lst. 3: per timestep, each rank opens transient
+//! channels to its grid neighbours (distinct port per direction) and
+//! exchanges halos while sweeping its local block. The domain is
+//! decomposed in two dimensions; results are verified bit-for-bit against
+//! the serial reference.
+//!
+//! Deadlock discipline: ranks alternate send/receive order by checkerboard
+//! parity, so the exchange is correct "even if the system provides no
+//! buffering" (§3.3).
+
+use smi::env::SmiCtx;
+use smi::prelude::*;
+
+use super::{ports, RankGrid, StencilProblem};
+
+/// Distributed stencil outcome: the reassembled global grid.
+pub fn run_distributed(
+    p: &StencilProblem,
+    grid: RankGrid,
+    topo: &Topology,
+    params: RuntimeParams,
+) -> Result<Vec<f32>, Box<dyn std::error::Error>> {
+    assert_eq!(grid.num_ranks(), topo.num_ranks(), "one rank per FPGA");
+    assert_eq!(p.nx % grid.rx, 0, "nx must divide over the rank grid");
+    assert_eq!(p.ny % grid.ry, 0, "ny must divide over the rank grid");
+    let bnx = p.nx / grid.rx;
+    let bny = p.ny / grid.ry;
+
+    // The op metadata of one rank — the union over all positions is used
+    // SPMD-style ("all ranks will be configured with the same bitstream"):
+    // every rank declares all four halo ports; unused ones stay idle.
+    let mut meta = ProgramMeta::new();
+    for dir in 0..4 {
+        meta = meta
+            .with(OpSpec::recv(ports::recv_port(dir), Datatype::Float))
+            .with(OpSpec::send(ports::recv_port(dir), Datatype::Float));
+    }
+
+    let p = p.clone();
+    let iters = p.iters;
+    let global = std::sync::Arc::new(p.grid.clone());
+    let ny = p.ny;
+
+    let report = run_spmd(
+        topo,
+        meta,
+        move |ctx: SmiCtx| -> Vec<f32> {
+            let rank = ctx.rank();
+            let (rx_, ry_) = grid.coords(rank);
+            let neighbors = grid.neighbors(rank);
+            // Local block with a one-cell ghost ring.
+            let (gnx, gny) = (bnx + 2, bny + 2);
+            let mut cur = vec![0.0f32; gnx * gny];
+            let mut next = vec![0.0f32; gnx * gny];
+            for i in 0..bnx {
+                for j in 0..bny {
+                    cur[(i + 1) * gny + (j + 1)] =
+                        global[(rx_ * bnx + i) * ny + (ry_ * bny + j)];
+                }
+            }
+            let parity = (rx_ + ry_) % 2 == 0;
+            for _t in 0..iters {
+                // Halo exchange: counts per direction (west/east: a column of
+                // bnx elements; north/south: a row of bny).
+                let counts = [bnx as u64, bnx as u64, bny as u64, bny as u64];
+                let send_halo = |cur: &Vec<f32>, ctx: &SmiCtx, dir: usize| {
+                    // Send my edge toward `dir`; it arrives on the peer's
+                    // "from opposite(dir)" port.
+                    if let Some(peer) = neighbors[dir] {
+                        let port = ports::recv_port(ports::opposite(dir));
+                        let mut ch = ctx
+                            .open_send_channel::<f32>(counts[dir], peer, port)
+                            .expect("halo send channel");
+                        match dir {
+                            0 => (0..bnx).for_each(|i| {
+                                ch.push(&cur[(i + 1) * gny + 1]).expect("push")
+                            }),
+                            1 => (0..bnx).for_each(|i| {
+                                ch.push(&cur[(i + 1) * gny + bny]).expect("push")
+                            }),
+                            2 => (0..bny).for_each(|j| {
+                                ch.push(&cur[gny + (j + 1)]).expect("push")
+                            }),
+                            _ => (0..bny).for_each(|j| {
+                                ch.push(&cur[bnx * gny + (j + 1)]).expect("push")
+                            }),
+                        }
+                    }
+                };
+                let recv_halo = |cur: &mut Vec<f32>, ctx: &SmiCtx, dir: usize| {
+                    // Receive the halo arriving from `dir` into my ghosts.
+                    if let Some(peer) = neighbors[dir] {
+                        let port = ports::recv_port(dir);
+                        let mut ch = ctx
+                            .open_recv_channel::<f32>(counts[dir], peer, port)
+                            .expect("halo recv channel");
+                        match dir {
+                            0 => (0..bnx).for_each(|i| {
+                                cur[(i + 1) * gny] = ch.pop().expect("pop")
+                            }),
+                            1 => (0..bnx).for_each(|i| {
+                                cur[(i + 1) * gny + bny + 1] = ch.pop().expect("pop")
+                            }),
+                            2 => (0..bny).for_each(|j| {
+                                cur[j + 1] = ch.pop().expect("pop")
+                            }),
+                            _ => (0..bny).for_each(|j| {
+                                cur[(bnx + 1) * gny + (j + 1)] = ch.pop().expect("pop")
+                            }),
+                        }
+                    }
+                };
+                if parity {
+                    (0..4).for_each(|d| send_halo(&cur, &ctx, d));
+                    (0..4).for_each(|d| recv_halo(&mut cur, &ctx, d));
+                } else {
+                    (0..4).for_each(|d| recv_halo(&mut cur, &ctx, d));
+                    (0..4).for_each(|d| send_halo(&cur, &ctx, d));
+                }
+                // Sweep the local block (ghosts at the global boundary stay
+                // zero — the Dirichlet condition).
+                for i in 1..=bnx {
+                    for j in 1..=bny {
+                        next[i * gny + j] = 0.25
+                            * (cur[i * gny + j - 1]
+                                + cur[i * gny + j + 1]
+                                + cur[(i - 1) * gny + j]
+                                + cur[(i + 1) * gny + j]);
+                    }
+                }
+                std::mem::swap(&mut cur, &mut next);
+            }
+            // Return the local block (without ghosts).
+            let mut out = Vec::with_capacity(bnx * bny);
+            for i in 0..bnx {
+                for j in 0..bny {
+                    out.push(cur[(i + 1) * gny + (j + 1)]);
+                }
+            }
+            out
+        },
+        params,
+    )?;
+
+    // Reassemble the global grid.
+    let mut out = vec![0.0f32; p.nx * p.ny];
+    for (rank, block) in report.results.iter().enumerate() {
+        let (rx_, ry_) = grid.coords(rank);
+        for i in 0..bnx {
+            for j in 0..bny {
+                out[(rx_ * bnx + i) * ny + (ry_ * bny + j)] = block[i * bny + j];
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stencil::reference;
+
+    #[test]
+    fn matches_reference_2x2() {
+        let p = StencilProblem::random(16, 16, 4, 11);
+        let grid = RankGrid { rx: 2, ry: 2 };
+        let topo = Topology::torus2d(2, 2);
+        let got = run_distributed(&p, grid, &topo, RuntimeParams::default()).unwrap();
+        let want = reference::run(&p);
+        assert_eq!(got, want, "bitwise identical sweep");
+    }
+
+    #[test]
+    fn matches_reference_2x4_like_paper() {
+        // The paper's 8-FPGA layout (Fig. 14).
+        let p = StencilProblem::random(16, 32, 3, 12);
+        let grid = RankGrid { rx: 2, ry: 4 };
+        let topo = Topology::torus2d(2, 4);
+        let got = run_distributed(&p, grid, &topo, RuntimeParams::default()).unwrap();
+        assert_eq!(got, reference::run(&p));
+    }
+
+    #[test]
+    fn matches_reference_1d_decomposition() {
+        let p = StencilProblem::random(24, 12, 5, 13);
+        let grid = RankGrid { rx: 4, ry: 1 };
+        let topo = Topology::bus(4);
+        let got = run_distributed(&p, grid, &topo, RuntimeParams::default()).unwrap();
+        assert_eq!(got, reference::run(&p));
+    }
+
+    #[test]
+    fn single_rank_degenerate() {
+        let p = StencilProblem::random(8, 8, 3, 14);
+        let grid = RankGrid { rx: 1, ry: 1 };
+        let topo = Topology::bus(1);
+        let got = run_distributed(&p, grid, &topo, RuntimeParams::default()).unwrap();
+        assert_eq!(got, reference::run(&p));
+    }
+
+    #[test]
+    fn tight_buffers_checkerboard_safe() {
+        let p = StencilProblem::random(12, 12, 3, 15);
+        let grid = RankGrid { rx: 2, ry: 2 };
+        let topo = Topology::torus2d(2, 2);
+        let got = run_distributed(&p, grid, &topo, RuntimeParams::tight()).unwrap();
+        assert_eq!(got, reference::run(&p));
+    }
+}

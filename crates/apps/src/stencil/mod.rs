@@ -1,0 +1,142 @@
+//! 2D 4-point stencil with halo exchange (§5.4.2, Fig. 14, Lst. 3).
+
+pub mod baseline;
+pub mod functional;
+pub mod reference;
+pub mod timed;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The stencil problem: an `nx × ny` grid iterated `iters` times with the
+/// 4-point kernel `u'[i][j] = 0.25·(u[i−1][j] + u[i+1][j] + u[i][j−1] +
+/// u[i][j+1])` and zero Dirichlet boundaries.
+#[derive(Debug, Clone)]
+pub struct StencilProblem {
+    /// Grid rows.
+    pub nx: usize,
+    /// Grid columns.
+    pub ny: usize,
+    /// Timesteps.
+    pub iters: usize,
+    /// Initial grid, row-major.
+    pub grid: Vec<f32>,
+}
+
+impl StencilProblem {
+    /// Deterministic random initial condition.
+    pub fn random(nx: usize, ny: usize, iters: usize, seed: u64) -> StencilProblem {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        StencilProblem {
+            nx,
+            ny,
+            iters,
+            grid: (0..nx * ny).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        }
+    }
+}
+
+/// The 2D rank grid of the SPMD decomposition. Rank numbering follows the
+/// paper's Lst. 3: `rank = r_x * RY + r_y`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankGrid {
+    /// Ranks along x.
+    pub rx: usize,
+    /// Ranks along y.
+    pub ry: usize,
+}
+
+impl RankGrid {
+    /// Total ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.rx * self.ry
+    }
+
+    /// `(r_x, r_y)` of a rank.
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        (rank / self.ry, rank % self.ry)
+    }
+
+    /// Rank at `(r_x, r_y)`.
+    pub fn rank_at(&self, x: usize, y: usize) -> usize {
+        x * self.ry + y
+    }
+
+    /// The four neighbours of a rank (west, east, north, south); `None` at
+    /// the domain boundary ("If no neighbor exists […] the given channel
+    /// simply remains unused").
+    pub fn neighbors(&self, rank: usize) -> [Option<usize>; 4] {
+        let (x, y) = self.coords(rank);
+        [
+            (y > 0).then(|| self.rank_at(x, y - 1)),           // west
+            (y + 1 < self.ry).then(|| self.rank_at(x, y + 1)), // east
+            (x > 0).then(|| self.rank_at(x - 1, y)),           // north
+            (x + 1 < self.rx).then(|| self.rank_at(x + 1, y)), // south
+        ]
+    }
+}
+
+/// SMI port assignment of the halo channels (Lst. 3 uses one distinct port
+/// per neighbour): port *p* carries the halo arriving from direction *p*:
+/// 1 = west, 2 = east, 3 = north, 4 = south. A rank therefore declares
+/// `recv(p)` when it has a neighbour in direction *p*, and `send(p)` when it
+/// has a neighbour in the *opposite* direction (the message lands on the
+/// peer's port *p*).
+pub mod ports {
+    /// Halo arriving from the west / sent toward the east.
+    pub const WEST: usize = 1;
+    /// Halo arriving from the east / sent toward the west.
+    pub const EAST: usize = 2;
+    /// Halo arriving from the north / sent toward the south.
+    pub const NORTH: usize = 3;
+    /// Halo arriving from the south / sent toward the north.
+    pub const SOUTH: usize = 4;
+    /// Opposite direction index (west↔east, north↔south) in the
+    /// `[west, east, north, south]` arrays used throughout.
+    pub const fn opposite(dir: usize) -> usize {
+        match dir {
+            0 => 1,
+            1 => 0,
+            2 => 3,
+            _ => 2,
+        }
+    }
+    /// Port for the halo arriving from direction index `dir`.
+    pub const fn recv_port(dir: usize) -> usize {
+        dir + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_grid_matches_paper_numbering() {
+        // Fig. 14: 2 x 4 grid, FPGA0..FPGA7; rank = r_x * RY + r_y.
+        let g = RankGrid { rx: 2, ry: 4 };
+        assert_eq!(g.num_ranks(), 8);
+        assert_eq!(g.coords(0), (0, 0));
+        assert_eq!(g.coords(5), (1, 1));
+        assert_eq!(g.rank_at(1, 3), 7);
+        // FPGA0 has no west/north neighbour.
+        assert_eq!(g.neighbors(0), [None, Some(1), None, Some(4)]);
+        // FPGA5 has all four.
+        assert_eq!(g.neighbors(5), [Some(4), Some(6), Some(1), None]);
+    }
+
+    #[test]
+    fn opposite_direction() {
+        assert_eq!(ports::opposite(0), 1);
+        assert_eq!(ports::opposite(1), 0);
+        assert_eq!(ports::opposite(2), 3);
+        assert_eq!(ports::opposite(3), 2);
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let a = StencilProblem::random(8, 8, 2, 5);
+        let b = StencilProblem::random(8, 8, 2, 5);
+        assert_eq!(a.grid, b.grid);
+    }
+}

@@ -1,0 +1,66 @@
+//! Serial reference stencil.
+
+use super::StencilProblem;
+
+/// One 4-point Jacobi sweep with zero Dirichlet boundaries. The summation
+/// order (west + east + north + south) matches the distributed kernel so
+/// results compare bit-for-bit.
+pub fn step(nx: usize, ny: usize, src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), nx * ny);
+    assert_eq!(dst.len(), nx * ny);
+    let at = |i: isize, j: isize| -> f32 {
+        if i < 0 || j < 0 || i >= nx as isize || j >= ny as isize {
+            0.0
+        } else {
+            src[i as usize * ny + j as usize]
+        }
+    };
+    for i in 0..nx {
+        for j in 0..ny {
+            let (i, j) = (i as isize, j as isize);
+            dst[i as usize * ny + j as usize] =
+                0.25 * (at(i, j - 1) + at(i, j + 1) + at(i - 1, j) + at(i + 1, j));
+        }
+    }
+}
+
+/// Run the full problem serially; returns the final grid.
+pub fn run(p: &StencilProblem) -> Vec<f32> {
+    let mut cur = p.grid.clone();
+    let mut next = vec![0.0f32; p.nx * p.ny];
+    for _ in 0..p.iters {
+        step(p.nx, p.ny, &cur, &mut next);
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_interior_decays_at_boundary() {
+        // All-ones grid: interior cells stay 1, boundary cells lose the
+        // out-of-domain contributions.
+        let p = StencilProblem { nx: 5, ny: 5, iters: 1, grid: vec![1.0; 25] };
+        let out = run(&p);
+        assert_eq!(out[2 * 5 + 2], 1.0, "interior");
+        assert_eq!(out[0], 0.5, "corner keeps 2 of 4 neighbours");
+        assert_eq!(out[2], 0.75, "edge keeps 3 of 4");
+    }
+
+    #[test]
+    fn zero_iterations_is_identity() {
+        let p = StencilProblem::random(6, 7, 0, 1);
+        assert_eq!(run(&p), p.grid);
+    }
+
+    #[test]
+    fn energy_decays() {
+        let p = StencilProblem::random(16, 16, 10, 2);
+        let out = run(&p);
+        let norm = |v: &[f32]| v.iter().map(|x| (x * x) as f64).sum::<f64>();
+        assert!(norm(&out) < norm(&p.grid), "Jacobi smoothing dissipates");
+    }
+}

@@ -1,0 +1,392 @@
+//! Cycle-timed SPMD stencil on the fabric (regenerates Figs. 15 and 16).
+//!
+//! Each rank is a pipelined kernel that sweeps its local block at the rate
+//! its DRAM banks can stream (`16` f32/cycle per bank, ×0.875 when striping
+//! all four banks — the calibrated bank model of `FabricParams`), while its
+//! halo edges travel as SMI messages through the full simulated transport.
+//! A timestep completes when the local sweep *and* all four halo exchanges
+//! of that step are done; communication overlaps computation exactly as in
+//! the paper's design, so the Fig. 15 scaling emerges from the simulation
+//! rather than from a formula.
+
+use smi_codegen::{ClusterDesign, OpSpec, ProgramMeta};
+use smi_fabric::builder::FabricBuilder;
+use smi_fabric::engine::{Component, SimError, Status};
+use smi_fabric::fifo::{FifoId, FifoPool};
+use smi_fabric::memory::{ConsumerId, DramPoolHandle};
+use smi_fabric::params::FabricParams;
+use smi_topology::{RoutingPlan, Topology};
+use smi_wire::{Datatype, Framer, NetworkPacket, PacketOp};
+
+use super::{ports, RankGrid};
+
+/// Configuration of one timed stencil run.
+#[derive(Debug, Clone)]
+pub struct StencilTimedConfig {
+    /// Platform constants.
+    pub fabric: FabricParams,
+    /// Global grid rows.
+    pub nx: u64,
+    /// Global grid columns.
+    pub ny: u64,
+    /// Timesteps.
+    pub iters: u32,
+    /// Rank decomposition.
+    pub grid: RankGrid,
+    /// Memory banks used per FPGA (1 → 16 f32/cycle, 4 → 56 f32/cycle).
+    pub banks: usize,
+    /// Fixed per-timestep cost in cycles (pipeline restart + host-side
+    /// timestep coordination). Calibrated to the paper's absolute times:
+    /// Fig. 15's measured per-iteration times exceed the pure
+    /// bandwidth bound by ≈30 k cycles (≈100 µs) across all configurations.
+    pub iter_overhead_cycles: u64,
+}
+
+impl StencilTimedConfig {
+    /// Default overhead used by the figure reproductions.
+    pub const DEFAULT_ITER_OVERHEAD: u64 = 30_000;
+}
+
+/// Result of a timed stencil run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilTimedResult {
+    /// Total cycles for all timesteps.
+    pub cycles: u64,
+    /// Milliseconds at the configured kernel clock.
+    pub time_ms: f64,
+    /// Nanoseconds per grid point per full run (the Fig. 16 metric).
+    pub ns_per_point: f64,
+}
+
+/// Per-direction halo send state.
+struct EdgeSend {
+    count: u64,
+    sent: u64,
+    framer: Framer,
+    out: FifoId,
+    pending: Option<NetworkPacket>,
+}
+
+/// Per-direction halo receive state.
+struct EdgeRecv {
+    count: u64,
+    received: u64,
+    input: FifoId,
+}
+
+/// One rank's stencil kernel.
+struct StencilRankKernel {
+    name: String,
+    pool: DramPoolHandle,
+    consumer: ConsumerId,
+    /// Memory elements per timestep: the sweep reads and writes every local
+    /// cell once (2 × cells) — the paper's measured times match this 2×
+    /// traffic, not a read-only bound.
+    mem_elems_per_iter: f64,
+    compute_remaining: f64,
+    iters: u32,
+    iter: u32,
+    iter_overhead_cycles: u64,
+    overhead_remaining: u64,
+    sends: Vec<EdgeSend>,
+    recvs: Vec<EdgeRecv>,
+}
+
+impl StencilRankKernel {
+    fn reset_iteration(&mut self) {
+        self.compute_remaining = self.mem_elems_per_iter;
+        for s in &mut self.sends {
+            s.sent = 0;
+        }
+        for r in &mut self.recvs {
+            r.received = 0;
+        }
+    }
+
+    fn iteration_done(&self) -> bool {
+        self.compute_remaining <= 0.0
+            && self.sends.iter().all(|s| s.sent == s.count && s.pending.is_none())
+            && self.recvs.iter().all(|r| r.received >= r.count)
+    }
+}
+
+impl Component for StencilRankKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _cycle: u64, fifos: &mut FifoPool) -> Status {
+        if self.iter == self.iters {
+            return Status::Done;
+        }
+        // Per-timestep fixed cost (pipeline restart / host coordination).
+        if self.overhead_remaining > 0 {
+            self.overhead_remaining -= 1;
+            return Status::Active;
+        }
+        let mut acted = false;
+        // 1. Absorb arriving halos (one packet per direction per cycle —
+        //    each direction has its own port and CK pair).
+        for r in &mut self.recvs {
+            if r.received < r.count && fifos.can_pop(r.input) {
+                let pkt = fifos.pop(r.input);
+                r.received += pkt.header.count as u64;
+                acted = true;
+            }
+        }
+        // 2. Stream halo edges out (one packet per direction per cycle).
+        for s in &mut self.sends {
+            if let Some(pkt) = s.pending.take() {
+                if fifos.can_push(s.out) {
+                    fifos.push(s.out, pkt);
+                    acted = true;
+                } else {
+                    s.pending = Some(pkt);
+                    continue;
+                }
+            }
+            while s.sent < s.count && s.pending.is_none() {
+                let v = s.sent as f32;
+                if let Some(pkt) = s.framer.push(&v) {
+                    s.pending = Some(pkt);
+                }
+                s.sent += 1;
+            }
+            if s.sent == s.count && s.pending.is_none() {
+                s.pending = s.framer.flush();
+            }
+            if let Some(pkt) = s.pending.take() {
+                if fifos.can_push(s.out) {
+                    fifos.push(s.out, pkt);
+                    acted = true;
+                } else {
+                    s.pending = Some(pkt);
+                }
+            }
+        }
+        // 3. Sweep: consume memory bandwidth for the local cells.
+        if self.compute_remaining > 0.0 {
+            let rate = self.pool.borrow().rate();
+            let granted = self
+                .pool
+                .borrow_mut()
+                .try_consume(self.consumer, self.compute_remaining.min(rate));
+            if granted > 0.0 {
+                self.compute_remaining -= granted;
+                acted = true;
+            }
+        }
+        // 4. Timestep barrier.
+        if self.iteration_done() {
+            self.iter += 1;
+            if self.iter == self.iters {
+                return Status::Done;
+            }
+            self.reset_iteration();
+            self.overhead_remaining = self.iter_overhead_cycles;
+            return Status::Active;
+        }
+        if acted {
+            Status::Active
+        } else {
+            Status::Idle
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        true
+    }
+}
+
+/// Run one timed configuration.
+pub fn run_timed(cfg: &StencilTimedConfig) -> Result<StencilTimedResult, SimError> {
+    let n_ranks = cfg.grid.num_ranks();
+    assert!(cfg.nx.is_multiple_of(cfg.grid.rx as u64) && cfg.ny.is_multiple_of(cfg.grid.ry as u64));
+    let bnx = cfg.nx / cfg.grid.rx as u64;
+    let bny = cfg.ny / cfg.grid.ry as u64;
+
+    // Physical topology: single rank → trivial; otherwise the paper's torus
+    // of matching size (the run is insensitive to torus vs bus — §5.4.2
+    // "observed this to not affect the execution time" — which holds here
+    // because halo traffic is far below link capacity).
+    let topo = if n_ranks == 1 {
+        Topology::bus(1)
+    } else {
+        Topology::torus2d(cfg.grid.rx, cfg.grid.ry)
+    };
+    let plan = RoutingPlan::compute(&topo).expect("plan");
+    let metas: Vec<ProgramMeta> = (0..n_ranks)
+        .map(|rank| {
+            let mut m = ProgramMeta::new();
+            let neighbors = cfg.grid.neighbors(rank);
+            for dir in 0..4 {
+                if neighbors[dir].is_some() {
+                    m = m.with(OpSpec::recv(ports::recv_port(dir), Datatype::Float));
+                }
+                if neighbors[ports::opposite(dir)].is_some() {
+                    m = m.with(OpSpec::send(ports::recv_port(dir), Datatype::Float));
+                }
+            }
+            m
+        })
+        .collect();
+    let design = ClusterDesign::mpmd(&metas, &topo).expect("design");
+    let mut b = FabricBuilder::new(topo, plan, design, cfg.fabric.clone());
+    let rate = cfg.fabric.banks_elems_per_cycle(cfg.banks);
+
+    for rank in 0..n_ranks {
+        let pool = b.add_dram_pool(format!("r{rank}.mem"), rate);
+        let consumer = pool.borrow_mut().register();
+        let neighbors = cfg.grid.neighbors(rank);
+        let counts = [bnx, bnx, bny, bny];
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        for dir in 0..4 {
+            if neighbors[dir].is_some() {
+                let port = ports::recv_port(dir);
+                let input = b.register_recv(rank, port);
+                recvs.push(EdgeRecv { count: counts[dir], received: 0, input });
+            }
+            // Send toward `dir` lands on the peer's opposite-direction port.
+            if let Some(peer) = neighbors[dir] {
+                let port = ports::recv_port(ports::opposite(dir));
+                let out = b.register_send(rank, port);
+                sends.push(EdgeSend {
+                    count: counts[dir],
+                    sent: 0,
+                    framer: Framer::new(
+                        Datatype::Float,
+                        rank as u8,
+                        peer as u8,
+                        port as u8,
+                        PacketOp::Send,
+                    ),
+                    out,
+                    pending: None,
+                });
+            }
+        }
+        // Read + write per cell (see StencilRankKernel::mem_elems_per_iter).
+        let mem_elems = 2.0 * (bnx * bny) as f64;
+        b.add_component(StencilRankKernel {
+            name: format!("stencil.r{rank}"),
+            pool,
+            consumer,
+            mem_elems_per_iter: mem_elems,
+            compute_remaining: mem_elems,
+            iters: cfg.iters,
+            iter: 0,
+            iter_overhead_cycles: cfg.iter_overhead_cycles,
+            overhead_remaining: 0,
+            sends,
+            recvs,
+        });
+    }
+    let mut fabric = b.finalize();
+    let per_iter = 2.0 * (bnx * bny) as f64 / rate + cfg.iter_overhead_cycles as f64;
+    let budget = ((per_iter + 20_000.0) * cfg.iters as f64 * 4.0) as u64 + 2_000_000;
+    let report = fabric.run(budget)?;
+    let time_us = cfg.fabric.cycles_to_us(report.cycles);
+    let points = (cfg.nx * cfg.ny) as f64;
+    Ok(StencilTimedResult {
+        cycles: report.cycles,
+        time_ms: time_us / 1e3,
+        ns_per_point: time_us * 1e3 / points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(nx: u64, ny: u64, grid: RankGrid, banks: usize, iters: u32) -> StencilTimedConfig {
+        StencilTimedConfig {
+            fabric: FabricParams::default(),
+            nx,
+            ny,
+            iters,
+            grid,
+            banks,
+            iter_overhead_cycles: StencilTimedConfig::DEFAULT_ITER_OVERHEAD,
+        }
+    }
+
+    /// Config without the per-iteration overhead, for isolating the
+    /// bandwidth/overlap mechanics.
+    fn cfg_no_overhead(
+        nx: u64,
+        ny: u64,
+        grid: RankGrid,
+        banks: usize,
+        iters: u32,
+    ) -> StencilTimedConfig {
+        StencilTimedConfig {
+            fabric: FabricParams::default(),
+            nx,
+            ny,
+            iters,
+            grid,
+            banks,
+            iter_overhead_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn four_banks_single_fpga_is_3_5x() {
+        let one = run_timed(&cfg_no_overhead(512, 512, RankGrid { rx: 1, ry: 1 }, 1, 4)).unwrap();
+        let four = run_timed(&cfg_no_overhead(512, 512, RankGrid { rx: 1, ry: 1 }, 4, 4)).unwrap();
+        let speedup = one.cycles as f64 / four.cycles as f64;
+        assert!((3.3..3.7).contains(&speedup), "bank speedup {speedup} (paper: 3.5)");
+    }
+
+    #[test]
+    fn four_fpgas_one_bank_scale_close_to_linear() {
+        let one = run_timed(&cfg_no_overhead(512, 512, RankGrid { rx: 1, ry: 1 }, 1, 4)).unwrap();
+        let four = run_timed(&cfg_no_overhead(512, 512, RankGrid { rx: 2, ry: 2 }, 1, 4)).unwrap();
+        let speedup = one.cycles as f64 / four.cycles as f64;
+        assert!((3.2..4.1).contains(&speedup), "rank speedup {speedup} (paper: 3.5)");
+    }
+
+    #[test]
+    fn full_fig15_composition() {
+        // Fig. 15's actual workload shape at reduced size: with the
+        // calibrated per-iteration overhead the 8-FPGA speedup lands near
+        // the paper's 23.1 (not the ideal 28).
+        let base = run_timed(&cfg(4096, 4096, RankGrid { rx: 1, ry: 1 }, 1, 2)).unwrap();
+        let eight = run_timed(&cfg(4096, 4096, RankGrid { rx: 2, ry: 4 }, 4, 2)).unwrap();
+        let speedup = base.cycles as f64 / eight.cycles as f64;
+        assert!(
+            (17.0..27.0).contains(&speedup),
+            "8-FPGA 4-bank speedup {speedup} (paper: 23.1)"
+        );
+    }
+
+    #[test]
+    fn communication_fully_overlapped_at_large_sizes() {
+        // Large local blocks: halo time ≪ compute; runtime must equal the
+        // memory-bound sweep (2 elements/cell) within a few percent.
+        let c = cfg_no_overhead(1024, 1024, RankGrid { rx: 2, ry: 2 }, 4, 3);
+        let r = run_timed(&c).unwrap();
+        let compute_cycles =
+            (2.0 * 512.0 * 512.0 / FabricParams::default().banks_elems_per_cycle(4)) * 3.0;
+        let ratio = r.cycles as f64 / compute_cycles;
+        assert!((1.0..1.15).contains(&ratio), "overlap ratio {ratio}");
+    }
+
+    #[test]
+    fn weak_scaling_shape() {
+        // Small grids: per-point time dominated by the per-iteration
+        // overhead; large grids: 8 ranks ≈ 2× the throughput of 4 (Fig. 16).
+        let small4 = run_timed(&cfg(512, 512, RankGrid { rx: 2, ry: 2 }, 4, 2)).unwrap();
+        let large4 = run_timed(&cfg(4096, 4096, RankGrid { rx: 2, ry: 2 }, 4, 2)).unwrap();
+        assert!(
+            small4.ns_per_point > large4.ns_per_point * 2.0,
+            "small {} vs large {}",
+            small4.ns_per_point,
+            large4.ns_per_point
+        );
+        let large8 = run_timed(&cfg(4096, 4096, RankGrid { rx: 2, ry: 4 }, 4, 2)).unwrap();
+        let ratio = large4.ns_per_point / large8.ns_per_point;
+        assert!((1.5..2.1).contains(&ratio), "8 vs 4 ranks at large size: {ratio}");
+    }
+}

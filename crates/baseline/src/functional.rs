@@ -1,0 +1,291 @@
+//! A functional, thread-based MPI world over host memory.
+//!
+//! This is the *working* baseline implementation (not just a cost model):
+//! rank threads exchange typed buffers through host-side channels, so the
+//! baseline versions of the applications can run and their results can be
+//! cross-checked against the SMI runtime. Timing of the host path is
+//! provided by [`crate::hostpath`]/[`crate::mpi`], not by wall-clock.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// A typed message on the host network.
+type Payload = Vec<u8>;
+
+/// Shared mailbox fabric: one channel per (src, dst, tag).
+struct Mailboxes {
+    txs: Mutex<HashMap<(usize, usize, u64), Sender<Payload>>>,
+    rxs: Mutex<HashMap<(usize, usize, u64), Receiver<Payload>>>,
+}
+
+impl Mailboxes {
+    fn channel(&self, key: (usize, usize, u64)) -> (Sender<Payload>, Receiver<Payload>) {
+        let mut txs = self.txs.lock();
+        let mut rxs = self.rxs.lock();
+        txs.entry(key).or_insert_with(|| {
+            let (tx, rx) = unbounded();
+            rxs.insert(key, rx);
+            tx
+        });
+        (txs[&key].clone(), rxs[&key].clone())
+    }
+}
+
+/// A per-rank handle to the functional MPI world.
+#[derive(Clone)]
+pub struct MpiWorld {
+    rank: usize,
+    size: usize,
+    boxes: Arc<Mailboxes>,
+}
+
+impl MpiWorld {
+    /// Create handles for all ranks of a world of `size`.
+    pub fn create(size: usize) -> Vec<MpiWorld> {
+        let boxes = Arc::new(Mailboxes {
+            txs: Mutex::new(HashMap::new()),
+            rxs: Mutex::new(HashMap::new()),
+        });
+        (0..size).map(|rank| MpiWorld { rank, size, boxes: boxes.clone() }).collect()
+    }
+
+    /// This rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Blocking typed send (MPI_Send).
+    pub fn send<T: Copy>(&self, data: &[T], dst: usize, tag: u64) {
+        let bytes = unsafe {
+            std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), std::mem::size_of_val(data))
+        }
+        .to_vec();
+        let (tx, _) = self.boxes.channel((self.rank, dst, tag));
+        tx.send(bytes).expect("mpi world channel open");
+    }
+
+    /// Blocking typed receive (MPI_Recv).
+    pub fn recv<T: Copy + Default>(&self, count: usize, src: usize, tag: u64) -> Vec<T> {
+        let (_, rx) = self.boxes.channel((src, self.rank, tag));
+        let bytes = rx
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .expect("mpi recv timed out: mismatched program");
+        assert_eq!(bytes.len(), count * std::mem::size_of::<T>(), "message size mismatch");
+        let mut out = vec![T::default(); count];
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                out.as_mut_ptr().cast::<u8>(),
+                bytes.len(),
+            );
+        }
+        out
+    }
+
+    /// Binomial-tree broadcast (MPI_Bcast).
+    pub fn bcast<T: Copy + Default>(&self, data: &mut Vec<T>, count: usize, root: usize, tag: u64) {
+        let vrank = (self.rank + self.size - root) % self.size;
+        // Receive from parent (if any), then forward to children.
+        if vrank != 0 {
+            let hb = usize::BITS - 1 - vrank.leading_zeros();
+            let parent_v = vrank & !(1usize << hb);
+            let parent = (parent_v + root) % self.size;
+            *data = self.recv::<T>(count, parent, tag);
+        }
+        let start = if vrank == 0 {
+            0
+        } else {
+            usize::BITS - vrank.leading_zeros()
+        } as usize;
+        let mut j = start;
+        loop {
+            let child_v = vrank + (1usize << j);
+            if child_v >= self.size {
+                break;
+            }
+            let child = (child_v + root) % self.size;
+            self.send(&data[..count], child, tag);
+            j += 1;
+        }
+    }
+
+    /// Binomial-tree reduce (MPI_Reduce) with a fold closure.
+    pub fn reduce<T: Copy + Default>(
+        &self,
+        contribution: &[T],
+        root: usize,
+        tag: u64,
+        fold: impl Fn(T, T) -> T,
+    ) -> Option<Vec<T>> {
+        let count = contribution.len();
+        let vrank = (self.rank + self.size - root) % self.size;
+        let mut acc: Vec<T> = contribution.to_vec();
+        // Gather from children (reverse binomial order), folding in place.
+        let start = if vrank == 0 {
+            0
+        } else {
+            usize::BITS - vrank.leading_zeros()
+        } as usize;
+        let mut children = Vec::new();
+        let mut j = start;
+        loop {
+            let child_v = vrank + (1usize << j);
+            if child_v >= self.size {
+                break;
+            }
+            children.push((child_v + root) % self.size);
+            j += 1;
+        }
+        // Children must be folded deepest-first (they complete their own
+        // subtree before sending).
+        for &child in children.iter().rev() {
+            let theirs = self.recv::<T>(count, child, tag);
+            for (a, b) in acc.iter_mut().zip(theirs) {
+                *a = fold(*a, b);
+            }
+        }
+        if vrank == 0 {
+            Some(acc)
+        } else {
+            let hb = usize::BITS - 1 - vrank.leading_zeros();
+            let parent_v = vrank & !(1usize << hb);
+            let parent = (parent_v + root) % self.size;
+            self.send(&acc, parent, tag);
+            None
+        }
+    }
+
+    /// Linear scatter (MPI_Scatter); `data` is `count × size` at the root.
+    pub fn scatter<T: Copy + Default>(
+        &self,
+        data: Option<&[T]>,
+        count: usize,
+        root: usize,
+        tag: u64,
+    ) -> Vec<T> {
+        if self.rank == root {
+            let data = data.expect("root provides the scatter source");
+            assert_eq!(data.len(), count * self.size);
+            for r in 0..self.size {
+                if r != root {
+                    self.send(&data[r * count..(r + 1) * count], r, tag);
+                }
+            }
+            data[root * count..(root + 1) * count].to_vec()
+        } else {
+            self.recv::<T>(count, root, tag)
+        }
+    }
+
+    /// Linear gather (MPI_Gather); returns `count × size` at the root.
+    pub fn gather<T: Copy + Default>(
+        &self,
+        contribution: &[T],
+        root: usize,
+        tag: u64,
+    ) -> Option<Vec<T>> {
+        let count = contribution.len();
+        if self.rank == root {
+            let mut out = vec![T::default(); count * self.size];
+            out[root * count..(root + 1) * count].copy_from_slice(contribution);
+            for r in 0..self.size {
+                if r != root {
+                    let theirs = self.recv::<T>(count, r, tag);
+                    out[r * count..(r + 1) * count].copy_from_slice(&theirs);
+                }
+            }
+            Some(out)
+        } else {
+            self.send(contribution, root, tag);
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_world<T: Send + 'static>(
+        size: usize,
+        f: impl Fn(MpiWorld) -> T + Send + Sync + Clone + 'static,
+    ) -> Vec<T> {
+        let worlds = MpiWorld::create(size);
+        let handles: Vec<_> = worlds
+            .into_iter()
+            .map(|w| {
+                let f = f.clone();
+                std::thread::spawn(move || f(w))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn send_recv() {
+        let results = run_world(2, |w| {
+            if w.rank() == 0 {
+                w.send(&[1i32, 2, 3], 1, 0);
+                Vec::new()
+            } else {
+                w.recv::<i32>(3, 0, 0)
+            }
+        });
+        assert_eq!(results[1], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn bcast_all_roots() {
+        for root in 0..5 {
+            let results = run_world(5, move |w| {
+                let mut data = if w.rank() == root {
+                    (0..7i64).map(|i| i * 11).collect()
+                } else {
+                    Vec::new()
+                };
+                w.bcast(&mut data, 7, root, 1);
+                data
+            });
+            for r in results {
+                assert_eq!(r, (0..7i64).map(|i| i * 11).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sum() {
+        let results = run_world(8, |w| {
+            let contrib: Vec<f64> = (0..10).map(|i| (w.rank() * 10 + i) as f64).collect();
+            w.reduce(&contrib, 3, 2, |a, b| a + b)
+        });
+        for (rank, res) in results.into_iter().enumerate() {
+            if rank == 3 {
+                let want: Vec<f64> =
+                    (0..10).map(|i| (0..8).map(|r| (r * 10 + i) as f64).sum()).collect();
+                assert_eq!(res.unwrap(), want);
+            } else {
+                assert!(res.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip() {
+        let results = run_world(4, |w| {
+            let source: Option<Vec<i32>> =
+                (w.rank() == 1).then(|| (0..4 * 6).map(|i| i * 2).collect());
+            let slice = w.scatter(source.as_deref(), 6, 1, 3);
+            w.gather(&slice, 1, 4)
+        });
+        let gathered = results[1].clone().unwrap();
+        assert_eq!(gathered, (0..24).map(|i| i * 2).collect::<Vec<i32>>());
+    }
+}

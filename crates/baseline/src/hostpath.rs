@@ -1,0 +1,123 @@
+//! The staged-copy cost model for host-path point-to-point transfers.
+
+use crate::params::HostPathParams;
+
+/// Point-to-point host-path model (Fig. 9 / Table 3 baseline).
+#[derive(Debug, Clone)]
+pub struct HostPathModel {
+    params: HostPathParams,
+}
+
+impl HostPathModel {
+    /// Model with explicit constants.
+    pub fn new(params: HostPathParams) -> Self {
+        HostPathModel { params }
+    }
+
+    /// The constants in use.
+    pub fn params(&self) -> &HostPathParams {
+        &self.params
+    }
+
+    #[inline]
+    fn gbit(bytes: usize) -> f64 {
+        bytes as f64 * 8.0 / 1e9
+    }
+
+    /// Time to move `bytes` through a stage of the given rate, µs.
+    #[inline]
+    fn stage_us(bytes: usize, rate_gbit_s: f64) -> f64 {
+        Self::gbit(bytes) / rate_gbit_s * 1e6
+    }
+
+    /// One OpenCL device↔host transfer, µs.
+    pub fn opencl_transfer_us(&self, bytes: usize) -> f64 {
+        self.params.opencl_transfer_overhead_us + Self::stage_us(bytes, self.params.pcie_gbit_s)
+    }
+
+    /// Device-memory write or read of the message by the kernel, µs.
+    pub fn device_dram_us(&self, bytes: usize) -> f64 {
+        Self::stage_us(bytes, self.params.device_dram_gbit_s)
+    }
+
+    /// MPI host-to-host send (one hop on the host network), µs.
+    pub fn mpi_p2p_us(&self, bytes: usize) -> f64 {
+        let p = &self.params;
+        let mut t = p.mpi_latency_us + Self::stage_us(bytes, p.network_gbit_s);
+        // Staging copies (send and receive side).
+        t += 2.0 * Self::stage_us(bytes, p.host_memcpy_gbit_s);
+        if bytes > p.mpi_eager_limit_bytes {
+            t += p.rendezvous_overhead_us;
+        }
+        t
+    }
+
+    /// Full one-way end-to-end transfer FPGA→FPGA through the hosts, µs
+    /// (the paper's latency benchmark measures exactly this path).
+    pub fn e2e_p2p_us(&self, bytes: usize) -> f64 {
+        let p = &self.params;
+        self.device_dram_us(bytes)
+            + p.opencl_transfer_overhead_us
+            + Self::stage_us(bytes, p.pcie_gbit_s)
+            + p.host_dispatch_us
+            + self.mpi_p2p_us(bytes)
+            + p.opencl_transfer_overhead_us
+            + Self::stage_us(bytes, p.pcie_gbit_s)
+            + self.device_dram_us(bytes)
+    }
+
+    /// Effective payload bandwidth of the end-to-end path, Gbit/s.
+    pub fn e2e_bandwidth_gbit_s(&self, bytes: usize) -> f64 {
+        Self::gbit(bytes) / (self.e2e_p2p_us(bytes) / 1e6)
+    }
+}
+
+impl Default for HostPathModel {
+    fn default() -> Self {
+        HostPathModel::new(HostPathParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_matches_paper_table3() {
+        // Paper: MPI+OpenCL one-way latency 36.61 µs for a small message.
+        let m = HostPathModel::default();
+        let t = m.e2e_p2p_us(4);
+        assert!(
+            (34.0..39.0).contains(&t),
+            "one-way small-message latency {t} µs should be ≈36.6"
+        );
+    }
+
+    #[test]
+    fn large_message_bandwidth_is_about_a_third_of_smi() {
+        // Paper Fig. 9: host path ≈ 11-12 Gbit/s vs SMI's 35 Gbit/s.
+        let m = HostPathModel::default();
+        let bw = m.e2e_bandwidth_gbit_s(64 * 1024 * 1024);
+        assert!((10.0..13.5).contains(&bw), "large-message bandwidth {bw} Gbit/s");
+    }
+
+    #[test]
+    fn bandwidth_monotone_in_size() {
+        let m = HostPathModel::default();
+        let mut last = 0.0;
+        for kb in [1usize, 16, 256, 4096, 65536] {
+            let bw = m.e2e_bandwidth_gbit_s(kb * 1024);
+            assert!(bw > last, "bandwidth must grow with message size");
+            last = bw;
+        }
+    }
+
+    #[test]
+    fn eager_vs_rendezvous_step() {
+        let m = HostPathModel::default();
+        let p = m.params().clone();
+        let below = m.mpi_p2p_us(p.mpi_eager_limit_bytes);
+        let above = m.mpi_p2p_us(p.mpi_eager_limit_bytes + 1);
+        assert!(above > below + p.rendezvous_overhead_us * 0.9);
+    }
+}

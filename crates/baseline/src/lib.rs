@@ -1,0 +1,34 @@
+//! # smi-baseline — the MPI+OpenCL host-path comparator
+//!
+//! The paper's baseline moves data "through the host stack, where data is
+//! usually transported via PCI Express (PCIe) to the main memory, and then
+//! through a different PCIe channel to the network interface" (§1, §5.3.1):
+//!
+//! ```text
+//! FPGA kernel → device DRAM → PCIe D2H → host DRAM → MPI (Omni-Path)
+//!            → remote host DRAM → PCIe H2D → remote device DRAM → kernel
+//! ```
+//!
+//! This crate provides:
+//!
+//! * [`params::HostPathParams`] — the per-stage cost constants, calibrated
+//!   against the paper's measurements (36.61 µs one-way latency, ≈⅓ of the
+//!   SMI bandwidth at large sizes).
+//! * [`hostpath`] — the staged-copy cost model for point-to-point transfers.
+//! * [`mpi`] — MPI collective-algorithm cost models (binomial-tree Bcast —
+//!   what OpenMPI 3.1 runs across this sweep's sizes — and binomial /
+//!   Rabenseifner Reduce, switching by message size).
+//! * [`functional`] — a small, thread-based *functional* MPI world
+//!   (send/recv/bcast/reduce/scatter/gather over host memory) used to run
+//!   the baseline versions of the applications and cross-check results
+//!   against the SMI runtime.
+
+#![warn(missing_docs)]
+
+pub mod functional;
+pub mod hostpath;
+pub mod mpi;
+pub mod params;
+
+pub use hostpath::HostPathModel;
+pub use params::HostPathParams;

@@ -1,0 +1,62 @@
+//! Cost constants of the host path, with calibration notes.
+
+/// Per-stage costs of the MPI+OpenCL baseline on the paper's platform
+/// (Noctua: PCIe-attached Nallatech 520N, two Xeon Gold 6148F hosts per
+/// node, Omni-Path 100 Gbit/s, OpenMPI 3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostPathParams {
+    /// Fixed overhead of one OpenCL buffer transfer (enqueue, driver, DMA
+    /// setup), µs. Calibrated so the one-way host-path latency lands on the
+    /// paper's Table 3 value of 36.61 µs: two transfers dominate it.
+    pub opencl_transfer_overhead_us: f64,
+    /// PCIe 3.0 x8 effective throughput, Gbit/s (the "PCIe Peak Bandwidth"
+    /// dashed line of Fig. 9 sits at ≈63 Gbit/s).
+    pub pcie_gbit_s: f64,
+    /// Host-side staging copy throughput, Gbit/s (single-threaded memcpy
+    /// ≈ 6.25 GB/s; MPI stages once per side for large unpinned buffers).
+    pub host_memcpy_gbit_s: f64,
+    /// MPI small-message half-round-trip latency on Omni-Path, µs.
+    pub mpi_latency_us: f64,
+    /// Host network line rate, Gbit/s (Omni-Path 100).
+    pub network_gbit_s: f64,
+    /// MPI eager→rendezvous switch point, bytes.
+    pub mpi_eager_limit_bytes: usize,
+    /// Extra handshake cost of the rendezvous protocol, µs.
+    pub rendezvous_overhead_us: f64,
+    /// Device DRAM streaming rate seen by the kernel, Gbit/s (the message
+    /// must be written to and read from device memory around the PCIe hops).
+    pub device_dram_gbit_s: f64,
+    /// Host-side reduction fold rate, Gbit/s (vectorized sum on one core).
+    pub host_compute_gbit_s: f64,
+    /// Fixed host-stack dispatch per message (progress engine, syscalls), µs.
+    pub host_dispatch_us: f64,
+}
+
+impl Default for HostPathParams {
+    fn default() -> Self {
+        HostPathParams {
+            opencl_transfer_overhead_us: 16.5,
+            pcie_gbit_s: 63.0,
+            host_memcpy_gbit_s: 50.0,
+            mpi_latency_us: 1.8,
+            network_gbit_s: 100.0,
+            mpi_eager_limit_bytes: 8192,
+            rendezvous_overhead_us: 2.0,
+            device_dram_gbit_s: 614.4, // 4 × DDR4-2400 banks
+            host_compute_gbit_s: 64.0,
+            host_dispatch_us: 1.6,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_positive() {
+        let p = HostPathParams::default();
+        assert!(p.pcie_gbit_s > 0.0 && p.network_gbit_s > 0.0);
+        assert!(p.mpi_eager_limit_bytes > 0);
+    }
+}

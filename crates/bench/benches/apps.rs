@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the application reproductions (simulation cost,
+//! small problem sizes).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use smi_apps::gesummv::timed::{run_distributed_timed, GesummvTimedParams};
+use smi_apps::gesummv::{functional, GesummvProblem};
+use smi_apps::stencil::timed::{run_timed, StencilTimedConfig};
+use smi_apps::stencil::RankGrid;
+use smi::prelude::RuntimeParams;
+use smi_fabric::params::FabricParams;
+
+fn bench_gesummv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gesummv");
+    g.sample_size(10);
+    g.bench_function("timed_dist_512", |b| {
+        let params = GesummvTimedParams::default();
+        b.iter(|| black_box(run_distributed_timed(512, 512, &params).unwrap()))
+    });
+    g.bench_function("functional_dist_96", |b| {
+        let p = GesummvProblem::random(96, 96, 1);
+        b.iter(|| black_box(functional::run_distributed(&p, RuntimeParams::default()).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_stencil(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stencil");
+    g.sample_size(10);
+    g.bench_function("timed_512_4ranks_2iters", |b| {
+        let cfg = StencilTimedConfig {
+            fabric: FabricParams::default(),
+            nx: 512,
+            ny: 512,
+            iters: 2,
+            grid: RankGrid { rx: 2, ry: 2 },
+            banks: 4,
+            iter_overhead_cycles: 0,
+        };
+        b.iter(|| black_box(run_timed(&cfg).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gesummv, bench_stencil);
+criterion_main!(benches);

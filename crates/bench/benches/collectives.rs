@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the fabric collective support kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use smi_fabric::bench_api::{collective, CollectiveKind, CollectiveScheme};
+use smi_fabric::params::FabricParams;
+use smi_topology::Topology;
+use smi_wire::{Datatype, ReduceOp};
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric_collectives");
+    g.sample_size(10);
+    let params = FabricParams::default();
+    let topo = Topology::torus2d(2, 4);
+    for (name, kind) in [
+        ("bcast", CollectiveKind::Bcast),
+        ("scatter", CollectiveKind::Scatter),
+        ("gather", CollectiveKind::Gather),
+        ("reduce", CollectiveKind::Reduce),
+    ] {
+        g.bench_function(format!("{name}_4k_f32_8ranks"), |b| {
+            b.iter(|| {
+                let r = collective(
+                    black_box(&topo),
+                    kind,
+                    CollectiveScheme::Linear,
+                    0,
+                    4096,
+                    Datatype::Float,
+                    ReduceOp::Add,
+                    &params,
+                )
+                .unwrap();
+                assert_eq!(r.errors, 0);
+                black_box(r.cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

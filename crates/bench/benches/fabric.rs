@@ -1,0 +1,41 @@
+//! Criterion benchmarks of the cycle-level simulator itself: how many
+//! simulated kernel cycles per wall-clock second the engine sustains on the
+//! bandwidth microbenchmark (the cost of every figure reproduction).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use smi_fabric::bench_api::{p2p_stream, pingpong};
+use smi_fabric::params::FabricParams;
+use smi_topology::Topology;
+use smi_wire::Datatype;
+
+fn bench_p2p_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric_sim");
+    g.sample_size(10);
+    let params = FabricParams::default();
+    let topo = Topology::bus(8);
+    // 10k floats ≈ 2.8k simulated cycles of streaming.
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("p2p_stream_10k_f32_1hop", |b| {
+        b.iter(|| {
+            let r = p2p_stream(black_box(&topo), 0, 1, 10_000, Datatype::Float, &params).unwrap();
+            assert_eq!(r.errors, 0);
+            black_box(r.cycles)
+        })
+    });
+    g.bench_function("p2p_stream_10k_f32_7hops", |b| {
+        b.iter(|| {
+            let r = p2p_stream(black_box(&topo), 0, 7, 10_000, Datatype::Float, &params).unwrap();
+            black_box(r.cycles)
+        })
+    });
+    g.bench_function("pingpong_20iters_7hops", |b| {
+        b.iter(|| {
+            let r = pingpong(black_box(&topo), 0, 7, 20, &params).unwrap();
+            black_box(r.cycles)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_p2p_sim);
+criterion_main!(benches);

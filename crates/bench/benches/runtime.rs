@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the thread-based SMI runtime: end-to-end message
+//! throughput including transport threads, routing and framing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use smi::env::SmiCtx;
+use smi::prelude::*;
+
+fn p2p_run(topo: &Topology, n: u64, protocol: Protocol) -> u64 {
+    let metas = vec![
+        ProgramMeta::new().with(OpSpec::send(0, Datatype::Int)),
+        ProgramMeta::new().with(OpSpec::recv(0, Datatype::Int)),
+    ];
+    type Prog = Box<dyn FnOnce(SmiCtx) -> u64 + Send>;
+    let programs: Vec<Prog> = vec![
+        Box::new(move |ctx| {
+            let mut ch = ctx.open_send_channel_with::<i32>(n, 1, 0, protocol).unwrap();
+            for i in 0..n as i32 {
+                ch.push(&i).unwrap();
+            }
+            0
+        }),
+        Box::new(move |ctx| {
+            let mut ch = ctx.open_recv_channel_with::<i32>(n, 0, 0, protocol).unwrap();
+            let mut acc = 0u64;
+            for _ in 0..n {
+                acc = acc.wrapping_add(ch.pop().unwrap() as u64);
+            }
+            acc
+        }),
+    ];
+    run_mpmd(topo, metas, programs, RuntimeParams::default())
+        .unwrap()
+        .results[1]
+}
+
+fn bench_runtime_p2p(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_p2p");
+    g.sample_size(10);
+    let topo = Topology::bus(2);
+    const N: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("eager_100k_i32", |b| {
+        b.iter(|| black_box(p2p_run(&topo, N, Protocol::Eager)))
+    });
+    g.bench_function("credit_100k_i32_w256", |b| {
+        b.iter(|| black_box(p2p_run(&topo, N, Protocol::Credit { window: 256 })))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_runtime_p2p);
+criterion_main!(benches);

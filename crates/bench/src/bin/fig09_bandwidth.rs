@@ -1,0 +1,49 @@
+//! Reproduction of **Fig. 9** — point-to-point bandwidth vs message size,
+//! for SMI at 1/4/7 network hops (bus topology) and the MPI+OpenCL host
+//! path. "SMI approaches 91% of the peak bandwidth offered by the QSFP
+//! connection"; distance does not affect bandwidth; the host path reaches
+//! roughly a third.
+
+use smi_baseline::HostPathModel;
+use smi_bench::{banner, fmt_bytes, sweep, Effort};
+use smi_fabric::bench_api::p2p_stream;
+use smi_fabric::params::FabricParams;
+use smi_topology::Topology;
+use smi_wire::Datatype;
+
+fn main() {
+    banner("Fig. 9: bandwidth vs message size (Gbit/s)", "§5.3.1, Fig. 9");
+    let effort = Effort::from_args();
+    let params = FabricParams::default();
+    let topo = Topology::bus(8);
+    let host = HostPathModel::default();
+    let max_bytes = match effort {
+        Effort::Quick => 1 << 20,
+        Effort::Normal => 64 << 20,
+        Effort::Full => 256 << 20,
+    };
+    let sizes = sweep(1 << 10, max_bytes, 4);
+
+    println!(
+        "{:>10}{:>14}{:>14}{:>14}{:>14}",
+        "bytes", "SMI-1hop", "SMI-4hops", "SMI-7hops", "MPI+OpenCL"
+    );
+    for bytes in sizes {
+        let elems = bytes / 4;
+        let mut row = format!("{:>10}", fmt_bytes(bytes));
+        for dst in [1usize, 4, 7] {
+            let r = p2p_stream(&topo, 0, dst, elems, Datatype::Float, &params)
+                .expect("p2p stream run");
+            assert_eq!(r.errors, 0, "data corruption at {bytes} bytes");
+            row.push_str(&format!("{:>14.2}", r.payload_gbit_s));
+        }
+        row.push_str(&format!("{:>14.2}", host.e2e_bandwidth_gbit_s(bytes as usize)));
+        println!("{row}");
+    }
+    println!();
+    println!(
+        "peak payload bandwidth: {:.1} Gbit/s (40 Gbit/s line rate × 28/32 header overhead)",
+        params.peak_payload_gbit_s()
+    );
+    println!("paper: SMI plateaus ≈35 Gbit/s independent of hops; MPI+OpenCL ≈11-12 Gbit/s.");
+}

@@ -1,0 +1,60 @@
+//! Reproduction of **Fig. 11** — reduce (FP32 SUM) time vs message size.
+//! "For small to medium-sized messages, SMI's Reduce outperforms going over
+//! the host […] but loses its benefit at high message sizes" — the
+//! credit-based flow control is latency-sensitive, so the bus topology
+//! (larger diameter) is slower than the torus.
+
+use smi_baseline::hostpath::HostPathModel;
+use smi_baseline::mpi::MpiCollectives;
+use smi_bench::{banner, fmt_elems, sweep, Effort};
+use smi_fabric::bench_api::{collective, CollectiveKind, CollectiveScheme};
+use smi_fabric::params::FabricParams;
+use smi_topology::Topology;
+use smi_wire::{Datatype, ReduceOp};
+
+fn main() {
+    banner("Fig. 11: Reduce time vs size (µs, FP32 SUM)", "§5.3.4, Fig. 11");
+    let effort = Effort::from_args();
+    let params = FabricParams::default();
+    let mpi = MpiCollectives::new(HostPathModel::default());
+    let max_elems = match effort {
+        Effort::Quick => 1 << 12,
+        Effort::Normal => 1 << 18,
+        Effort::Full => 1 << 20,
+    };
+    let sizes = sweep(1, max_elems, 4);
+    let configs: [(&str, Topology); 4] = [
+        ("SMI Torus-8", Topology::torus2d(2, 4)),
+        ("SMI Torus-4", Topology::torus2d(2, 2)),
+        ("SMI Bus-8", Topology::bus(8)),
+        ("SMI Bus-4", Topology::bus(4)),
+    ];
+    println!(
+        "{:>8}{:>14}{:>14}{:>14}{:>14}{:>16}{:>16}",
+        "elems", "Torus-8", "Torus-4", "Bus-8", "Bus-4", "MPI+OpenCL-8", "MPI+OpenCL-4"
+    );
+    for &n in &sizes {
+        let mut row = format!("{:>8}", fmt_elems(n));
+        for (_, topo) in &configs {
+            let r = collective(
+                topo,
+                CollectiveKind::Reduce,
+                CollectiveScheme::Linear,
+                0,
+                n,
+                Datatype::Float,
+                ReduceOp::Add,
+                &params,
+            )
+            .expect("reduce run");
+            assert_eq!(r.errors, 0);
+            row.push_str(&format!("{:>14.1}", r.time_us));
+        }
+        row.push_str(&format!("{:>16.1}", mpi.reduce_us(n as usize * 4, 8)));
+        row.push_str(&format!("{:>16.1}", mpi.reduce_us(n as usize * 4, 4)));
+        println!("{row}");
+    }
+    println!();
+    println!("paper: SMI wins at small/medium sizes; MPI+OpenCL overtakes at");
+    println!("large sizes (tree algorithms vs the linear, root-congested scheme).");
+}

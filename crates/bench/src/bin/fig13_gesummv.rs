@@ -1,0 +1,54 @@
+//! Reproduction of **Fig. 13** — GESUMMV distributed (2 FPGAs) vs
+//! single-FPGA, for square and rectangular matrices. Expected: ≈2× speedup
+//! (the distributed version owns twice the memory bandwidth).
+
+use smi_apps::gesummv::timed::{fig13_point, GesummvTimedParams};
+use smi_bench::{banner, Effort};
+
+fn main() {
+    banner("Fig. 13: GESUMMV single-FPGA vs distributed", "§5.4.1, Fig. 13");
+    let effort = Effort::from_args();
+    let params = GesummvTimedParams::default();
+    let square_max: u64 = match effort {
+        Effort::Quick => 2048,
+        Effort::Normal => 8192,
+        Effort::Full => 16384,
+    };
+    // Paper's annotated distributed times for the square sizes.
+    let paper_ms = [(2048u64, 0.7f64), (4096, 2.8), (8192, 10.8), (16384, 51.1)];
+
+    println!("-- square N x N --");
+    println!(
+        "{:>8}{:>14}{:>14}{:>10}{:>16}",
+        "N", "single(ms)", "dist(ms)", "speedup", "paper dist(ms)"
+    );
+    let mut n = 2048u64;
+    while n <= square_max {
+        let (single, dist, speedup) = fig13_point(n, n, &params).expect("gesummv run");
+        let paper = paper_ms.iter().find(|(pn, _)| *pn == n).map(|(_, t)| *t);
+        println!(
+            "{:>8}{:>14.2}{:>14.2}{:>10.2}{:>16}",
+            n,
+            single.time_ms,
+            dist.time_ms,
+            speedup,
+            paper.map(|t| format!("{t:.1}")).unwrap_or_else(|| "-".into())
+        );
+        n *= 2;
+    }
+
+    for (label, fixed_rows) in [("2048 x M (wide)", true), ("N x 2048 (tall)", false)] {
+        println!();
+        println!("-- rectangular {label} --");
+        println!("{:>8}{:>14}{:>14}{:>10}", "M/N", "single(ms)", "dist(ms)", "speedup");
+        let mut m = 4096u64;
+        while m <= square_max.max(8192) {
+            let (rows, cols) = if fixed_rows { (2048, m) } else { (m, 2048) };
+            let (single, dist, speedup) = fig13_point(rows, cols, &params).expect("run");
+            println!("{:>8}{:>14.2}{:>14.2}{:>10.2}", m, single.time_ms, dist.time_ms, speedup);
+            m *= 2;
+        }
+    }
+    println!();
+    println!("paper: ≈2x speedup across all sizes; distributed 4096² ≈ 2.8 ms.");
+}

@@ -1,0 +1,52 @@
+//! Reproduction of **Fig. 15** — stencil strong scaling on a 4096² grid,
+//! 32 timesteps: 1 bank/1 FPGA, 4 banks/1 FPGA, 1 bank/4 FPGAs,
+//! 4 banks/4 FPGAs, 4 banks/8 FPGAs.
+
+use smi_apps::stencil::timed::{run_timed, StencilTimedConfig};
+use smi_apps::stencil::RankGrid;
+use smi_bench::{banner, Effort};
+use smi_fabric::params::FabricParams;
+
+fn main() {
+    banner("Fig. 15: stencil strong scaling (4096² grid)", "§5.4.2, Fig. 15");
+    let effort = Effort::from_args();
+    let iters = match effort {
+        Effort::Quick => 4,
+        Effort::Normal => 8,
+        Effort::Full => 32, // the paper's 32 timesteps
+    };
+    let configs = [
+        ("1 bank/1 FPGA", RankGrid { rx: 1, ry: 1 }, 1usize, 1.0f64),
+        ("4 banks/1 FPGA", RankGrid { rx: 1, ry: 1 }, 4, 3.5),
+        ("1 bank/4 FPGAs", RankGrid { rx: 2, ry: 2 }, 1, 3.5),
+        ("4 banks/4 FPGAs", RankGrid { rx: 2, ry: 2 }, 4, 12.3),
+        ("4 banks/8 FPGAs", RankGrid { rx: 2, ry: 4 }, 4, 23.1),
+    ];
+    println!("grid 4096 x 4096, {iters} timesteps (paper: 32)");
+    println!(
+        "{:<18}{:>12}{:>12}{:>12}{:>14}",
+        "config", "time(ms)", "speedup", "paper", "paper time"
+    );
+    let mut base_cycles = None;
+    let paper_times = ["254 ms", "72 ms", "72 ms", "20 ms", "11 ms"];
+    for ((name, grid, banks, paper_speedup), paper_time) in configs.into_iter().zip(paper_times) {
+        let cfg = StencilTimedConfig {
+            fabric: FabricParams::default(),
+            nx: 4096,
+            ny: 4096,
+            iters,
+            grid,
+            banks,
+            iter_overhead_cycles: StencilTimedConfig::DEFAULT_ITER_OVERHEAD,
+        };
+        let r = run_timed(&cfg).expect("stencil run");
+        let base = *base_cycles.get_or_insert(r.cycles);
+        let speedup = base as f64 / r.cycles as f64;
+        println!(
+            "{:<18}{:>12.1}{:>11.1}x{:>11.1}x{:>14}",
+            name, r.time_ms, speedup, paper_speedup, paper_time
+        );
+    }
+    println!();
+    println!("(paper times are for 32 timesteps; scale measured times by 32/{iters}.)");
+}

@@ -1,0 +1,45 @@
+//! Reproduction of **Fig. 16** — average time per stencil grid point vs
+//! grid size (1024²–16384²), 32 timesteps, 4 memory banks per FPGA, 4 vs 8
+//! ranks. At small grids the per-timestep overheads dominate; at large
+//! grids 8 ranks run ≈2× faster than 4.
+
+use smi_apps::stencil::timed::{run_timed, StencilTimedConfig};
+use smi_apps::stencil::RankGrid;
+use smi_bench::{banner, Effort};
+use smi_fabric::params::FabricParams;
+
+fn main() {
+    banner("Fig. 16: stencil weak scaling (ns per grid point)", "§5.4.2, Fig. 16");
+    let effort = Effort::from_args();
+    let (iters, max_n) = match effort {
+        Effort::Quick => (4u32, 2048u64),
+        Effort::Normal => (8, 8192),
+        Effort::Full => (32, 16384), // the paper's full range
+    };
+    println!("{iters} timesteps (paper: 32), 4 banks per FPGA");
+    println!("{:>14}{:>16}{:>16}", "grid", "4 ranks ns/pt", "8 ranks ns/pt");
+    let mut n = 1024u64;
+    while n <= max_n {
+        let mut row = format!("{:>14}", format!("{n}x{n}"));
+        for grid in [RankGrid { rx: 2, ry: 2 }, RankGrid { rx: 2, ry: 4 }] {
+            let cfg = StencilTimedConfig {
+                fabric: FabricParams::default(),
+                nx: n,
+                ny: n,
+                iters,
+                grid,
+                banks: 4,
+                iter_overhead_cycles: StencilTimedConfig::DEFAULT_ITER_OVERHEAD,
+            };
+            let r = run_timed(&cfg).expect("stencil run");
+            // Normalize to the paper's 32 timesteps per point.
+            let ns = r.ns_per_point * 32.0 / iters as f64;
+            row.push_str(&format!("{:>16.3}", ns));
+        }
+        println!("{row}");
+        n *= 2;
+    }
+    println!();
+    println!("paper: per-point time flattens with grid size; at 16384² the");
+    println!("8-rank setup is ≈2x faster than 4 ranks; at 1024² they meet.");
+}

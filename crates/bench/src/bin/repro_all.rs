@@ -1,0 +1,32 @@
+//! Run every table/figure reproduction in sequence (the one-shot artifact
+//! generator). Forwards `--quick`/`--full` to each binary.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "tab01_resources",
+        "tab02_collectives",
+        "tab03_latency",
+        "tab04_injection",
+        "fig09_bandwidth",
+        "fig10_bcast",
+        "fig11_reduce",
+        "fig13_gesummv",
+        "fig15_stencil_strong",
+        "fig16_stencil_weak",
+    ];
+    let self_path = std::env::current_exe().expect("own path");
+    let dir = self_path.parent().expect("bin dir");
+    for bin in bins {
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+        println!();
+    }
+    println!("all reproductions complete.");
+}

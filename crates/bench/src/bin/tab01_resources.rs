@@ -1,0 +1,19 @@
+//! Reproduction of **Table 1** — SMI resource consumption (interconnect and
+//! communication kernels, 1 vs 4 QSFPs, % of a Stratix 10 GX2800).
+
+use smi_bench::banner;
+use smi_resources::report::render_table1;
+use smi_resources::{Chip, ResourceModel};
+
+fn main() {
+    banner("Table 1: SMI resource consumption", "§5.2, Tab. 1");
+    let model = ResourceModel::default();
+    print!("{}", render_table1(&model, &Chip::GX2800));
+    println!();
+    println!("paper (measured on hardware):");
+    println!("              1 QSFP:  Interconn. 144 LUT / 4,872 FF / 0 M20K");
+    println!("                       C.K.     6,186 LUT / 7,189 FF / 10 M20K");
+    println!("              4 QSFPs: Interconn. 1,152 LUT / 39,264 FF / 0 M20K");
+    println!("                       C.K.    30,960 LUT / 31,072 FF / 40 M20K");
+    println!("                       (< 2% of the chip in all cases)");
+}

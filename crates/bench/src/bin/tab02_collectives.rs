@@ -1,0 +1,16 @@
+//! Reproduction of **Table 2** — collective support-kernel resources
+//! (Broadcast, Reduce FP32 SUM).
+
+use smi_bench::banner;
+use smi_resources::report::render_table2;
+use smi_resources::{Chip, ResourceModel};
+
+fn main() {
+    banner("Table 2: collectives kernel resource consumption", "§5.2, Tab. 2");
+    let model = ResourceModel::default();
+    print!("{}", render_table2(&model, &Chip::GX2800));
+    println!();
+    println!("paper (measured on hardware):");
+    println!("  Broadcast          2,560 LUT (0.1%)  3,593 FF (0.1%)  0 M20K  0 DSP");
+    println!("  Reduce (FP32 SUM) 10,268 LUT (0.6%) 14,648 FF (0.4%)  0 M20K  6 DSP (0.1%)");
+}

@@ -1,0 +1,28 @@
+//! Reproduction of **Table 3** — ping-pong latency (half round-trip) of SMI
+//! at 1/4/7 network hops vs the MPI+OpenCL host path.
+
+use smi_baseline::HostPathModel;
+use smi_bench::banner;
+use smi_fabric::bench_api::pingpong;
+use smi_fabric::params::FabricParams;
+use smi_topology::Topology;
+
+fn main() {
+    banner("Table 3: message latency (µs)", "§5.3.2, Tab. 3");
+    let params = FabricParams::default();
+    let topo = Topology::bus(8);
+    let iters = 50;
+
+    println!("{:<18}{:>12}{:>12}", "config", "measured", "paper");
+    let paper = [(1usize, 0.801f64), (4, 2.896), (7, 5.103)];
+    for (hops, paper_us) in paper {
+        let r = pingpong(&topo, 0, hops, iters, &params).expect("pingpong run");
+        assert_eq!(r.hops, hops);
+        println!("{:<18}{:>12.3}{:>12.3}", format!("SMI - {hops} hop(s)"), r.half_rtt_us, paper_us);
+    }
+    let host = HostPathModel::default();
+    println!("{:<18}{:>12.3}{:>12.3}", "MPI+OpenCL", host.e2e_p2p_us(4), 36.61);
+    println!();
+    println!("(SMI latency grows linearly with network distance; the host");
+    println!(" path pays two OpenCL transfers + host MPI regardless.)");
+}

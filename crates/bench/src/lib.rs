@@ -1,0 +1,115 @@
+//! # smi-bench — the figure/table reproduction harness
+//!
+//! One binary per table and figure of the paper's evaluation (§5), each
+//! printing the paper's reported values next to the values measured on the
+//! simulated platform:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `tab01_resources` | Table 1 — SMI resource consumption |
+//! | `tab02_collectives` | Table 2 — collective kernel resources |
+//! | `tab03_latency` | Table 3 — ping-pong latency vs hops |
+//! | `tab04_injection` | Table 4 — injection rate vs polling `R` |
+//! | `fig09_bandwidth` | Fig. 9 — P2P bandwidth vs message size & hops |
+//! | `fig10_bcast` | Fig. 10 — Bcast time vs size, topology, ranks |
+//! | `fig11_reduce` | Fig. 11 — Reduce time vs size, topology, ranks |
+//! | `fig13_gesummv` | Fig. 13 — GESUMMV single vs distributed |
+//! | `fig15_stencil_strong` | Fig. 15 — stencil strong scaling |
+//! | `fig16_stencil_weak` | Fig. 16 — stencil weak scaling |
+//! | `repro_all` | everything above, in sequence |
+//!
+//! All binaries accept `--quick` (shrunken sweeps) and `--full` (the paper's
+//! complete parameter ranges); the default is a middle ground that runs the
+//! full shape in seconds.
+
+#![warn(missing_docs)]
+
+/// Sweep sizing selected from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Tiny sweeps for smoke testing.
+    Quick,
+    /// The default: full shape, reduced tails.
+    Normal,
+    /// The paper's complete ranges.
+    Full,
+}
+
+impl Effort {
+    /// Parse from `std::env::args` (`--quick` / `--full`).
+    pub fn from_args() -> Effort {
+        let mut e = Effort::Normal;
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--quick" => e = Effort::Quick,
+                "--full" => e = Effort::Full,
+                "--help" | "-h" => {
+                    eprintln!("options: --quick | --full");
+                    std::process::exit(2);
+                }
+                _ => {}
+            }
+        }
+        e
+    }
+}
+
+/// Geometric size sweep `start..=end` multiplying by `step`.
+pub fn sweep(start: u64, end: u64, step: u64) -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut s = start;
+    while s <= end {
+        v.push(s);
+        s *= step;
+    }
+    v
+}
+
+/// Format a byte count the way the paper's axes do (1K, 2M, …).
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{}M", b >> 20)
+    } else if b >= 1 << 10 {
+        format!("{}K", b >> 10)
+    } else {
+        format!("{b}")
+    }
+}
+
+/// Format an element count axis label.
+pub fn fmt_elems(n: u64) -> String {
+    if n >= 1 << 20 {
+        format!("{}M", n >> 20)
+    } else if n >= 1 << 10 {
+        format!("{}K", n >> 10)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Print a standard header for a reproduction binary.
+pub fn banner(what: &str, paper_ref: &str) {
+    println!("================================================================");
+    println!("{what}");
+    println!("reproduces: {paper_ref}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_geometric() {
+        assert_eq!(sweep(1, 16, 2), vec![1, 2, 4, 8, 16]);
+        assert_eq!(sweep(1, 100, 4), vec![1, 4, 16, 64]);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512");
+        assert_eq!(fmt_bytes(2048), "2K");
+        assert_eq!(fmt_bytes(4 << 20), "4M");
+        assert_eq!(fmt_elems(1 << 20), "1M");
+    }
+}

@@ -1,0 +1,96 @@
+//! Human-readable report of a generated communication design — the stand-in
+//! for the OpenCL device source the paper's code generator emits.
+
+use std::fmt::Write as _;
+
+use crate::{ClusterDesign, CommDesign};
+
+/// Render one rank's design as a report resembling the structure of the
+/// generated device code (CK instances, FIFO attachments, support kernels).
+pub fn emit_rank_report(design: &CommDesign) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// === generated SMI transport for rank {} ===", design.rank);
+    let _ = writeln!(out, "// {} CKS/CKR pair(s)", design.num_ck_pairs());
+    for (pair, qsfp) in design.ck_qsfps.iter().enumerate() {
+        let _ = writeln!(out, "kernel CK_S_{pair} {{ io_channel: QSFP{qsfp} (tx) }}");
+        let _ = writeln!(out, "kernel CK_R_{pair} {{ io_channel: QSFP{qsfp} (rx) }}");
+    }
+    for b in &design.bindings {
+        let op = &b.op;
+        let dir = match op.kind {
+            crate::OpKind::Send => "app -> CK_S",
+            crate::OpKind::Recv => "CK_R -> app",
+            _ => "app <-> support kernel",
+        };
+        let _ = writeln!(
+            out,
+            "endpoint port {port}: {kind:?}<{dtype:?}> {dir}_{pair} (fifo depth {depth} packets){extra}",
+            port = op.port,
+            kind = op.kind,
+            dtype = op.dtype,
+            dir = dir,
+            pair = b.ck_pair,
+            depth = op.buffer_depth,
+            extra = match op.reduce_op {
+                Some(r) => format!(" reduce={r:?}"),
+                None => String::new(),
+            },
+        );
+        if op.kind.is_collective() {
+            let _ = writeln!(
+                out,
+                "kernel support_{kind:?}_{port} {{ between app port {port} and CK pair {pair} }}",
+                kind = op.kind,
+                port = op.port,
+                pair = b.ck_pair,
+            );
+        }
+    }
+    out
+}
+
+/// Render the whole cluster's design.
+pub fn emit_cluster_report(cluster: &ClusterDesign) -> String {
+    let mut out = String::new();
+    for d in &cluster.per_rank {
+        out.push_str(&emit_rank_report(d));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OpSpec, ProgramMeta};
+    use smi_topology::Topology;
+    use smi_wire::{Datatype, ReduceOp};
+
+    #[test]
+    fn report_mentions_all_components() {
+        let topo = Topology::torus2d(2, 4);
+        let meta = ProgramMeta::new()
+            .with(OpSpec::send(0, Datatype::Int))
+            .with(OpSpec::reduce(1, Datatype::Float, ReduceOp::Add));
+        let design = crate::CommDesign::generate(&meta, &topo, 3).unwrap();
+        let report = emit_rank_report(&design);
+        assert!(report.contains("rank 3"));
+        assert!(report.contains("CK_S_0"));
+        assert!(report.contains("CK_R_3"));
+        assert!(report.contains("QSFP2"));
+        assert!(report.contains("Send<Int>"));
+        assert!(report.contains("support_Reduce_1"));
+        assert!(report.contains("reduce=Add"));
+    }
+
+    #[test]
+    fn cluster_report_covers_every_rank() {
+        let topo = Topology::bus(4);
+        let meta = ProgramMeta::new().with(OpSpec::bcast(0, Datatype::Float));
+        let cluster = crate::ClusterDesign::spmd(&meta, &topo).unwrap();
+        let report = emit_cluster_report(&cluster);
+        for r in 0..4 {
+            assert!(report.contains(&format!("rank {r}")));
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for communication-design generation.
+
+use std::fmt;
+
+use smi_wire::Datatype;
+
+use crate::OpKind;
+
+/// Errors detected while validating SMI op metadata or generating a design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// Two operations that cannot share a port were declared on the same
+    /// port (e.g. two sends, or a collective plus anything else).
+    PortClash {
+        /// The contested port.
+        port: usize,
+        /// First op kind on the port.
+        first: OpKind,
+        /// Conflicting op kind.
+        second: OpKind,
+    },
+    /// A port exceeded the wire's 8-bit port field.
+    PortOutOfRange(usize),
+    /// A `Reduce` op without a reduction operator, or a non-reduce op with one.
+    BadReduceOp {
+        /// The port of the offending op.
+        port: usize,
+    },
+    /// A collective port is declared with different kinds or datatypes on
+    /// different ranks of an SPMD program.
+    SpmdMismatch {
+        /// The port with inconsistent declarations.
+        port: usize,
+        /// Description of the inconsistency.
+        detail: String,
+    },
+    /// A rank has no connected QSFP port, so no CK pair can be instantiated.
+    NoNetworkPorts {
+        /// The isolated rank.
+        rank: usize,
+    },
+    /// Zero-depth FIFO requested (the hardware needs at least one slot).
+    ZeroBufferDepth {
+        /// The port of the offending op.
+        port: usize,
+    },
+    /// Inconsistent datatype between two ops sharing a port.
+    TypeClash {
+        /// The port with inconsistent datatypes.
+        port: usize,
+        /// First datatype.
+        first: Datatype,
+        /// Conflicting datatype.
+        second: Datatype,
+    },
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::PortClash { port, first, second } => {
+                write!(f, "port {port}: {first:?} clashes with {second:?}")
+            }
+            CodegenError::PortOutOfRange(p) => {
+                write!(f, "port {p} exceeds the 8-bit wire port field")
+            }
+            CodegenError::BadReduceOp { port } => {
+                write!(f, "port {port}: reduce operator mismatch (required iff kind is Reduce)")
+            }
+            CodegenError::SpmdMismatch { port, detail } => {
+                write!(f, "port {port}: SPMD declaration mismatch: {detail}")
+            }
+            CodegenError::NoNetworkPorts { rank } => {
+                write!(f, "rank {rank} has no connected QSFP ports")
+            }
+            CodegenError::ZeroBufferDepth { port } => {
+                write!(f, "port {port}: buffer depth must be at least 1 packet")
+            }
+            CodegenError::TypeClash { port, first, second } => {
+                write!(f, "port {port}: datatype {first:?} clashes with {second:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}

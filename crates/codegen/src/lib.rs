@@ -1,0 +1,58 @@
+//! # smi-codegen — deriving the communication design from SMI op metadata
+//!
+//! In the paper's workflow (§4.5, Fig. 8) a *metadata extractor* parses the
+//! user's device code with Clang, finds all SMI operations, and a *code
+//! generator* emits the device-side transport: "all the necessary CKS, CKR,
+//! communication primitives and collective support kernel implementations
+//! that are tailored for the specified set of SMI operations". A separate
+//! *route generator* turns the cluster topology into routing tables that are
+//! uploaded at runtime without recompiling the bitstream.
+//!
+//! This crate reproduces that build-time pipeline at the metadata level:
+//!
+//! * [`ProgramMeta`] — the set of SMI operations a rank's code performs
+//!   (what the Clang pass would extract): op kind, port, datatype, buffer
+//!   depth, reduction operator.
+//! * [`CommDesign`] / [`ClusterDesign`] — the "generated hardware": how many
+//!   CKS/CKR pairs a rank instantiates (one per connected QSFP port), which
+//!   CK pair each application port's FIFO attaches to, and which collective
+//!   support kernels exist. Consumed verbatim by both `smi-fabric` (to build
+//!   the clocked design) and the `smi` runtime (to spawn transport threads).
+//! * [`emit`] — a human-readable report of the generated design, standing in
+//!   for the emitted OpenCL source.
+//! * `smi-routegen` (binary) — the route generator: topology JSON in,
+//!   routing-table JSON out.
+//!
+//! ```
+//! use smi_codegen::{ClusterDesign, OpSpec, ProgramMeta};
+//! use smi_topology::Topology;
+//! use smi_wire::{Datatype, ReduceOp};
+//!
+//! // The ops the metadata extractor found in the (SPMD) device code:
+//! let meta = ProgramMeta::new()
+//!     .with(OpSpec::send(0, Datatype::Int))
+//!     .with(OpSpec::recv(0, Datatype::Int))
+//!     .with(OpSpec::reduce(1, Datatype::Float, ReduceOp::Add));
+//! let topo = Topology::torus2d(2, 4);
+//! let design = ClusterDesign::spmd(&meta, &topo).unwrap();
+//! design.validate_collectives().unwrap();
+//! // Every rank instantiates one CK pair per connected QSFP port.
+//! assert_eq!(design.rank(0).num_ck_pairs(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod design;
+pub mod emit;
+pub mod error;
+pub mod metadata;
+
+pub use design::{ClusterDesign, CommDesign, PortBinding};
+pub use error::CodegenError;
+pub use metadata::{OpKind, OpSpec, ProgramMeta};
+
+/// Default FIFO depth (asynchronicity degree *k*) between an application
+/// endpoint and its CK module, in packets. "The internal buffer size is a
+/// compile-time parameter … considered an optimization parameter, as
+/// programs must not rely on these buffer sizes for correctness" (§4.2).
+pub const DEFAULT_BUFFER_DEPTH: usize = 16;

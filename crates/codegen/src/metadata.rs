@@ -1,0 +1,276 @@
+//! SMI operation metadata — what the paper's Clang-based metadata extractor
+//! pulls out of the user's device code.
+
+use serde::{Deserialize, Serialize};
+
+use smi_wire::{Datatype, ReduceOp};
+
+use crate::{CodegenError, DEFAULT_BUFFER_DEPTH};
+
+/// The kind of an SMI operation appearing in a program.
+///
+/// `Send`/`Recv` correspond to `SMI_Open_send_channel` /
+/// `SMI_Open_recv_channel`; the rest to the collective open-channel
+/// primitives of §3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Point-to-point send endpoint.
+    Send,
+    /// Point-to-point receive endpoint.
+    Recv,
+    /// Broadcast participant (root or non-root — decided at runtime).
+    Bcast,
+    /// Scatter participant.
+    Scatter,
+    /// Gather participant.
+    Gather,
+    /// Reduce participant.
+    Reduce,
+}
+
+impl OpKind {
+    /// All op kinds.
+    pub const ALL: [OpKind; 6] = [
+        OpKind::Send,
+        OpKind::Recv,
+        OpKind::Bcast,
+        OpKind::Scatter,
+        OpKind::Gather,
+        OpKind::Reduce,
+    ];
+
+    /// Collectives require a dedicated support kernel and exclusive port use:
+    /// "SMI allows multiple collective communications of the same type to
+    /// execute in parallel, provided that they use separate ports" (§3.2).
+    #[inline]
+    pub fn is_collective(self) -> bool {
+        !matches!(self, OpKind::Send | OpKind::Recv)
+    }
+}
+
+/// One SMI operation found in a rank's code.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpSpec {
+    /// Which primitive.
+    pub kind: OpKind,
+    /// The SMI port identifying this endpoint within the rank.
+    pub port: usize,
+    /// Element datatype of the channel.
+    pub dtype: Datatype,
+    /// Reduction operator — present iff `kind == Reduce`.
+    pub reduce_op: Option<ReduceOp>,
+    /// FIFO depth (in packets) between the endpoint and its CK module —
+    /// the asynchronicity degree *k* of §3.3, a pure optimization parameter.
+    pub buffer_depth: usize,
+}
+
+impl OpSpec {
+    /// A point-to-point send endpoint on `port` carrying `dtype`.
+    pub fn send(port: usize, dtype: Datatype) -> OpSpec {
+        OpSpec { kind: OpKind::Send, port, dtype, reduce_op: None, buffer_depth: DEFAULT_BUFFER_DEPTH }
+    }
+
+    /// A point-to-point receive endpoint on `port` carrying `dtype`.
+    pub fn recv(port: usize, dtype: Datatype) -> OpSpec {
+        OpSpec { kind: OpKind::Recv, port, dtype, reduce_op: None, buffer_depth: DEFAULT_BUFFER_DEPTH }
+    }
+
+    /// A broadcast endpoint on `port` carrying `dtype`.
+    pub fn bcast(port: usize, dtype: Datatype) -> OpSpec {
+        OpSpec { kind: OpKind::Bcast, port, dtype, reduce_op: None, buffer_depth: DEFAULT_BUFFER_DEPTH }
+    }
+
+    /// A scatter endpoint on `port` carrying `dtype`.
+    pub fn scatter(port: usize, dtype: Datatype) -> OpSpec {
+        OpSpec { kind: OpKind::Scatter, port, dtype, reduce_op: None, buffer_depth: DEFAULT_BUFFER_DEPTH }
+    }
+
+    /// A gather endpoint on `port` carrying `dtype`.
+    pub fn gather(port: usize, dtype: Datatype) -> OpSpec {
+        OpSpec { kind: OpKind::Gather, port, dtype, reduce_op: None, buffer_depth: DEFAULT_BUFFER_DEPTH }
+    }
+
+    /// A reduce endpoint on `port` carrying `dtype`, reducing with `op`.
+    pub fn reduce(port: usize, dtype: Datatype, op: ReduceOp) -> OpSpec {
+        OpSpec { kind: OpKind::Reduce, port, dtype, reduce_op: Some(op), buffer_depth: DEFAULT_BUFFER_DEPTH }
+    }
+
+    /// Builder-style override of the FIFO depth.
+    pub fn with_buffer_depth(mut self, depth: usize) -> OpSpec {
+        self.buffer_depth = depth;
+        self
+    }
+}
+
+/// The full set of SMI operations of one rank's program.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ProgramMeta {
+    /// The operations, in declaration order.
+    pub ops: Vec<OpSpec>,
+}
+
+impl ProgramMeta {
+    /// An empty program (no SMI ops — a compute-only rank).
+    pub fn new() -> ProgramMeta {
+        ProgramMeta::default()
+    }
+
+    /// Build from a list of ops.
+    pub fn from_ops(ops: Vec<OpSpec>) -> ProgramMeta {
+        ProgramMeta { ops }
+    }
+
+    /// Add an op (builder style).
+    pub fn with(mut self, op: OpSpec) -> ProgramMeta {
+        self.ops.push(op);
+        self
+    }
+
+    /// Validate the port-sharing rules:
+    ///
+    /// * a port may carry at most one `Send` and at most one `Recv`
+    ///   (both together are legal — intra-rank channels use matching ports);
+    /// * a collective owns its port exclusively;
+    /// * all ops on a port agree on the datatype;
+    /// * reduce ops carry a reduction operator, others must not;
+    /// * ports fit the wire field and buffer depths are nonzero.
+    pub fn validate(&self) -> Result<(), CodegenError> {
+        for op in &self.ops {
+            if op.port >= smi_wire::MAX_PORTS {
+                return Err(CodegenError::PortOutOfRange(op.port));
+            }
+            if (op.kind == OpKind::Reduce) != op.reduce_op.is_some() {
+                return Err(CodegenError::BadReduceOp { port: op.port });
+            }
+            if op.buffer_depth == 0 {
+                return Err(CodegenError::ZeroBufferDepth { port: op.port });
+            }
+        }
+        // Pairwise port-sharing rules (op lists are tiny; O(n^2) is fine).
+        for (i, a) in self.ops.iter().enumerate() {
+            for b in &self.ops[i + 1..] {
+                if a.port != b.port {
+                    continue;
+                }
+                let compatible = (a.kind == OpKind::Send && b.kind == OpKind::Recv)
+                    || (a.kind == OpKind::Recv && b.kind == OpKind::Send);
+                if !compatible {
+                    return Err(CodegenError::PortClash {
+                        port: a.port,
+                        first: a.kind,
+                        second: b.kind,
+                    });
+                }
+                if a.dtype != b.dtype {
+                    return Err(CodegenError::TypeClash {
+                        port: a.port,
+                        first: a.dtype,
+                        second: b.dtype,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Look up the op bound to `port` with the given kind.
+    pub fn find(&self, port: usize, kind: OpKind) -> Option<&OpSpec> {
+        self.ops.iter().find(|o| o.port == port && o.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_set_fields() {
+        let op = OpSpec::reduce(3, Datatype::Float, ReduceOp::Add).with_buffer_depth(64);
+        assert_eq!(op.kind, OpKind::Reduce);
+        assert_eq!(op.port, 3);
+        assert_eq!(op.reduce_op, Some(ReduceOp::Add));
+        assert_eq!(op.buffer_depth, 64);
+    }
+
+    #[test]
+    fn valid_program() {
+        let meta = ProgramMeta::new()
+            .with(OpSpec::send(0, Datatype::Int))
+            .with(OpSpec::recv(1, Datatype::Int))
+            .with(OpSpec::bcast(2, Datatype::Float))
+            .with(OpSpec::reduce(3, Datatype::Float, ReduceOp::Add));
+        meta.validate().unwrap();
+    }
+
+    #[test]
+    fn send_recv_port_share_is_legal() {
+        // Intra-rank channel: send and recv on the same port.
+        let meta = ProgramMeta::new()
+            .with(OpSpec::send(5, Datatype::Double))
+            .with(OpSpec::recv(5, Datatype::Double));
+        meta.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_send_rejected() {
+        let meta = ProgramMeta::new()
+            .with(OpSpec::send(0, Datatype::Int))
+            .with(OpSpec::send(0, Datatype::Int));
+        assert!(matches!(meta.validate(), Err(CodegenError::PortClash { port: 0, .. })));
+    }
+
+    #[test]
+    fn collective_port_is_exclusive() {
+        let meta = ProgramMeta::new()
+            .with(OpSpec::bcast(0, Datatype::Int))
+            .with(OpSpec::send(0, Datatype::Int));
+        assert!(matches!(meta.validate(), Err(CodegenError::PortClash { .. })));
+        let meta = ProgramMeta::new()
+            .with(OpSpec::bcast(1, Datatype::Int))
+            .with(OpSpec::gather(1, Datatype::Int));
+        assert!(matches!(meta.validate(), Err(CodegenError::PortClash { .. })));
+    }
+
+    #[test]
+    fn type_clash_on_shared_port() {
+        let meta = ProgramMeta::new()
+            .with(OpSpec::send(2, Datatype::Int))
+            .with(OpSpec::recv(2, Datatype::Float));
+        assert!(matches!(meta.validate(), Err(CodegenError::TypeClash { port: 2, .. })));
+    }
+
+    #[test]
+    fn reduce_op_required_exactly_for_reduce() {
+        let mut bad = OpSpec::send(0, Datatype::Int);
+        bad.reduce_op = Some(ReduceOp::Max);
+        assert!(matches!(
+            ProgramMeta::from_ops(vec![bad]).validate(),
+            Err(CodegenError::BadReduceOp { .. })
+        ));
+        let mut bad = OpSpec::reduce(0, Datatype::Int, ReduceOp::Max);
+        bad.reduce_op = None;
+        assert!(matches!(
+            ProgramMeta::from_ops(vec![bad]).validate(),
+            Err(CodegenError::BadReduceOp { .. })
+        ));
+    }
+
+    #[test]
+    fn range_checks() {
+        let meta = ProgramMeta::from_ops(vec![OpSpec::send(300, Datatype::Int)]);
+        assert_eq!(meta.validate(), Err(CodegenError::PortOutOfRange(300)));
+        let meta =
+            ProgramMeta::from_ops(vec![OpSpec::send(0, Datatype::Int).with_buffer_depth(0)]);
+        assert!(matches!(meta.validate(), Err(CodegenError::ZeroBufferDepth { .. })));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let meta = ProgramMeta::new()
+            .with(OpSpec::send(0, Datatype::Int))
+            .with(OpSpec::reduce(3, Datatype::Float, ReduceOp::Min));
+        let json = serde_json::to_string(&meta).unwrap();
+        let back: ProgramMeta = serde_json::from_str(&json).unwrap();
+        assert_eq!(meta, back);
+    }
+}

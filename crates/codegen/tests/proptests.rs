@@ -1,0 +1,127 @@
+//! Property tests of the communication-design generator.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smi_codegen::{ClusterDesign, CommDesign, OpKind, OpSpec, ProgramMeta};
+use smi_topology::Topology;
+use smi_wire::{Datatype, ReduceOp};
+
+fn arb_dtype() -> impl Strategy<Value = Datatype> {
+    prop::sample::select(Datatype::ALL.to_vec())
+}
+
+/// A random *valid* program: distinct ports per op, send/recv may pair up.
+fn arb_meta() -> impl Strategy<Value = ProgramMeta> {
+    (
+        prop::collection::btree_set(0usize..32, 0..10),
+        prop::collection::vec((0usize..6, arb_dtype(), 1usize..64), 10),
+    )
+        .prop_map(|(ports, specs)| {
+            let mut meta = ProgramMeta::new();
+            for (port, (kind_pick, dtype, depth)) in ports.into_iter().zip(specs) {
+                let op = match kind_pick {
+                    0 => OpSpec::send(port, dtype),
+                    1 => OpSpec::recv(port, dtype),
+                    2 => OpSpec::bcast(port, dtype),
+                    3 => OpSpec::scatter(port, dtype),
+                    4 => OpSpec::gather(port, dtype),
+                    _ => OpSpec::reduce(port, dtype, ReduceOp::Max),
+                }
+                .with_buffer_depth(depth);
+                meta = meta.with(op);
+                // Half the time, pair a Send with a matching Recv.
+                if kind_pick == 0 && depth % 2 == 0 {
+                    meta = meta.with(OpSpec::recv(port, dtype).with_buffer_depth(depth));
+                }
+            }
+            meta
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Generated designs satisfy the structural invariants: every binding's
+    /// CK pair index is in range, every declared op has exactly one binding,
+    /// and ports distribute round-robin (no pair is over-subscribed by more
+    /// than one endpoint relative to the others).
+    #[test]
+    fn designs_are_structurally_sound(
+        meta in arb_meta(),
+        n in 2usize..12,
+        extra in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let topo = Topology::random_connected(n, 4, extra, &mut rng).unwrap();
+        for rank in 0..n {
+            let design = CommDesign::generate(&meta, &topo, rank).unwrap();
+            let pairs = design.num_ck_pairs();
+            prop_assert!(pairs >= 1);
+            prop_assert_eq!(design.bindings.len(), meta.ops.len());
+            let mut load = vec![0usize; pairs];
+            for b in &design.bindings {
+                prop_assert!(b.ck_pair < pairs, "pair index in range");
+                load[b.ck_pair] += 1;
+                // The binding reproduces its op spec verbatim.
+                prop_assert!(meta.ops.contains(&b.op));
+            }
+            // Round-robin balance: max load - min load <= 1.
+            if !load.is_empty() && !meta.ops.is_empty() {
+                let (lo, hi) = (load.iter().min().unwrap(), load.iter().max().unwrap());
+                prop_assert!(hi - lo <= 1, "unbalanced CK load {:?}", load);
+            }
+            // Lookups find every binding.
+            for op in &meta.ops {
+                prop_assert!(design.binding(op.port, op.kind).is_some());
+            }
+        }
+    }
+
+    /// SPMD cluster designs validate their collectives and serialize
+    /// round-trip through JSON.
+    #[test]
+    fn spmd_designs_roundtrip(meta in arb_meta(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let topo = Topology::random_connected(6, 4, 2, &mut rng).unwrap();
+        let cluster = ClusterDesign::spmd(&meta, &topo).unwrap();
+        cluster.validate_collectives().unwrap();
+        let json = serde_json::to_string(&cluster).unwrap();
+        let back: ClusterDesign = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(cluster, back);
+    }
+
+    /// A meta with a duplicated non-pairable port never generates.
+    #[test]
+    fn port_clashes_always_rejected(
+        port in 0usize..8,
+        dtype in arb_dtype(),
+        collective in any::<bool>(),
+    ) {
+        let dup = if collective {
+            OpSpec::bcast(port, dtype)
+        } else {
+            OpSpec::send(port, dtype)
+        };
+        let meta = ProgramMeta::new().with(dup).with(dup);
+        prop_assert!(meta.validate().is_err());
+        let topo = Topology::bus(2);
+        prop_assert!(CommDesign::generate(&meta, &topo, 0).is_err());
+    }
+
+    /// Kind is part of the binding key: Send and Recv on one port resolve to
+    /// their own bindings.
+    #[test]
+    fn send_recv_pairs_resolve_independently(port in 0usize..16, dtype in arb_dtype()) {
+        let meta = ProgramMeta::new()
+            .with(OpSpec::send(port, dtype))
+            .with(OpSpec::recv(port, dtype));
+        let topo = Topology::torus2d(2, 2);
+        let design = CommDesign::generate(&meta, &topo, 0).unwrap();
+        let s = design.binding(port, OpKind::Send).unwrap();
+        let r = design.binding(port, OpKind::Recv).unwrap();
+        prop_assert_eq!(s.op.kind, OpKind::Send);
+        prop_assert_eq!(r.op.kind, OpKind::Recv);
+    }
+}

@@ -1,0 +1,267 @@
+//! Point-to-point transient channels: `SMI_Open_send_channel` /
+//! `SMI_Open_recv_channel` with `SMI_Push` / `SMI_Pop`.
+//!
+//! Channels are opened with an element count, datatype (the Rust element
+//! type), peer rank and port, and are implicitly closed once `count`
+//! elements have moved (§3.1.1). `push`/`pop` are blocking, pipelined to one
+//! element per call, and preserve order — the paper's semantics for
+//! `SMI_Push`/`SMI_Pop`.
+//!
+//! Two transmission protocols are provided (§3.3): **eager** (elements enter
+//! the network as soon as buffer space allows; the sender stalls only on
+//! backpressure — correct whenever the program does not rely on buffering)
+//! and **credit-based** (the sender stays within a window granted by the
+//! receiver, so a slow receiver cannot clog shared transport paths with
+//! this channel's packets).
+
+use std::marker::PhantomData;
+use std::time::Duration;
+
+use crossbeam::channel::RecvTimeoutError;
+use smi_wire::{Deframer, Framer, NetworkPacket, PacketOp, SmiType};
+
+use crate::endpoint::{send_packet, EndpointTableHandle, RecvRes, SendRes};
+use crate::SmiError;
+
+/// Transmission protocol of a point-to-point channel (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Push into the network immediately ("elements can be pushed into the
+    /// network without first performing a handshake with the receiver").
+    Eager,
+    /// Credit-based flow control with the given element window; both ends of
+    /// the channel must use the same protocol and window.
+    Credit {
+        /// Window size in elements.
+        window: u64,
+    },
+}
+
+/// The sending end of a transient channel (`SMI_Channel` from
+/// `SMI_Open_send_channel`).
+pub struct SendChannel<T: SmiType> {
+    port: usize,
+    count: u64,
+    sent: u64,
+    framer: Framer,
+    res: Option<SendRes>,
+    table: EndpointTableHandle,
+    protocol: Protocol,
+    credits: u64,
+    timeout: Duration,
+    _elem: PhantomData<T>,
+}
+
+impl<T: SmiType> SendChannel<T> {
+    pub(crate) fn open(
+        table: EndpointTableHandle,
+        my_wire_rank: u8,
+        dst_wire_rank: u8,
+        port: usize,
+        count: u64,
+        protocol: Protocol,
+        timeout: Duration,
+    ) -> Result<Self, SmiError> {
+        let res = table.borrow_mut().take_send(port)?;
+        if res.dtype != T::DATATYPE {
+            let declared = res.dtype;
+            table.borrow_mut().put_send(port, res);
+            return Err(SmiError::TypeMismatch { declared, requested: T::DATATYPE });
+        }
+        let port_wire = smi_wire::header::port_to_wire(port)?;
+        let credits = match protocol {
+            Protocol::Eager => u64::MAX,
+            Protocol::Credit { window } => window,
+        };
+        Ok(SendChannel {
+            port,
+            count,
+            sent: 0,
+            framer: Framer::new(T::DATATYPE, my_wire_rank, dst_wire_rank, port_wire, PacketOp::Send),
+            res: Some(res),
+            table,
+            protocol,
+            credits,
+            timeout,
+            _elem: PhantomData,
+        })
+    }
+
+    /// `SMI_Push`: append one element to the message. Blocks on backpressure
+    /// (and, in credit mode, on an exhausted window).
+    pub fn push(&mut self, value: &T) -> Result<(), SmiError> {
+        if self.sent == self.count {
+            return Err(SmiError::CountExceeded { count: self.count });
+        }
+        let res = self.res.as_ref().expect("resource held while open");
+        if matches!(self.protocol, Protocol::Credit { .. }) && self.credits == 0 {
+            // Wait for the receiver's grant.
+            match res.credit_rx.recv_timeout(self.timeout) {
+                Ok(pkt) if pkt.header.op == PacketOp::Credit => {
+                    self.credits += pkt.control_arg() as u64;
+                }
+                Ok(other) => {
+                    return Err(SmiError::ProtocolViolation {
+                        detail: format!("unexpected {:?} on credit path", other.header.op),
+                    })
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(SmiError::Timeout { waiting_for: "credit grant" })
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(SmiError::TransportClosed),
+            }
+        }
+        self.sent += 1;
+        if self.credits != u64::MAX {
+            self.credits -= 1;
+        }
+        let full = self.framer.push(value);
+        // Flush the partial packet at the message end and, in credit mode,
+        // when the window closes — otherwise a window smaller than the
+        // packet capacity would strand elements in the framer while the
+        // receiver (whose grants are driven by arriving data) waits forever.
+        let must_flush = self.sent == self.count || self.credits == 0;
+        let maybe_pkt = if must_flush {
+            full.or_else(|| self.framer.flush())
+        } else {
+            full
+        };
+        if let Some(pkt) = maybe_pkt {
+            send_packet(&res.to_cks, pkt, self.timeout, "send-channel backpressure")?;
+        }
+        Ok(())
+    }
+
+    /// Elements pushed so far.
+    pub fn pushed(&self) -> u64 {
+        self.sent
+    }
+
+    /// The channel's element count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl<T: SmiType> Drop for SendChannel<T> {
+    fn drop(&mut self) {
+        // A dropped incomplete channel flushes its partial packet (the
+        // elements were semantically "pushed") and frees the port.
+        if let Some(res) = self.res.take() {
+            if let Some(pkt) = self.framer.flush() {
+                let _ = res.to_cks.send(pkt);
+            }
+            self.table.borrow_mut().put_send(self.port, res);
+        }
+    }
+}
+
+/// The receiving end of a transient channel (`SMI_Channel` from
+/// `SMI_Open_recv_channel`).
+pub struct RecvChannel<T: SmiType> {
+    port: usize,
+    count: u64,
+    received: u64,
+    deframer: Deframer,
+    res: Option<RecvRes>,
+    table: EndpointTableHandle,
+    my_wire_rank: u8,
+    src_wire_rank: u8,
+    protocol: Protocol,
+    ungranted: u64,
+    timeout: Duration,
+    _elem: PhantomData<T>,
+}
+
+impl<T: SmiType> RecvChannel<T> {
+    pub(crate) fn open(
+        table: EndpointTableHandle,
+        my_wire_rank: u8,
+        src_wire_rank: u8,
+        port: usize,
+        count: u64,
+        protocol: Protocol,
+        timeout: Duration,
+    ) -> Result<Self, SmiError> {
+        let res = table.borrow_mut().take_recv(port)?;
+        if res.dtype != T::DATATYPE {
+            let declared = res.dtype;
+            table.borrow_mut().put_recv(port, res);
+            return Err(SmiError::TypeMismatch { declared, requested: T::DATATYPE });
+        }
+        Ok(RecvChannel {
+            port,
+            count,
+            received: 0,
+            deframer: Deframer::new(T::DATATYPE),
+            res: Some(res),
+            table,
+            my_wire_rank,
+            src_wire_rank,
+            protocol,
+            ungranted: 0,
+            timeout,
+            _elem: PhantomData,
+        })
+    }
+
+    /// `SMI_Pop`: receive the next element, blocking until it arrives.
+    pub fn pop(&mut self) -> Result<T, SmiError> {
+        if self.received == self.count {
+            return Err(SmiError::CountExceeded { count: self.count });
+        }
+        let res = self.res.as_ref().expect("resource held while open");
+        while self.deframer.is_empty() {
+            match res.from_ckr.recv_timeout(self.timeout) {
+                Ok(pkt) if pkt.header.op == PacketOp::Send => self.deframer.refill(pkt),
+                Ok(other) => {
+                    return Err(SmiError::ProtocolViolation {
+                        detail: format!("unexpected {:?} on p2p recv path", other.header.op),
+                    })
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(SmiError::Timeout { waiting_for: "message data" })
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(SmiError::TransportClosed),
+            }
+        }
+        let v = self.deframer.pop::<T>().expect("non-empty deframer");
+        self.received += 1;
+        if let Protocol::Credit { window } = self.protocol {
+            self.ungranted += 1;
+            // Re-grant at half-window granularity (or at message end) so the
+            // sender's pipeline keeps moving.
+            let batch = (window / 2).max(1);
+            if self.ungranted >= batch || self.received == self.count {
+                let grant = NetworkPacket::control(
+                    self.my_wire_rank,
+                    self.src_wire_rank,
+                    self.port as u8,
+                    PacketOp::Credit,
+                    self.ungranted as u32,
+                );
+                send_packet(&res.grant_tx, grant, self.timeout, "credit grant path")?;
+                self.ungranted = 0;
+            }
+        }
+        Ok(v)
+    }
+
+    /// Elements popped so far.
+    pub fn popped(&self) -> u64 {
+        self.received
+    }
+
+    /// The channel's element count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl<T: SmiType> Drop for RecvChannel<T> {
+    fn drop(&mut self) {
+        if let Some(res) = self.res.take() {
+            self.table.borrow_mut().put_recv(self.port, res);
+        }
+    }
+}

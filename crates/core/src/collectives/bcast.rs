@@ -1,0 +1,146 @@
+//! The broadcast channel (`SMI_Open_bcast_channel` / `SMI_Bcast`).
+
+use std::marker::PhantomData;
+use std::time::Duration;
+
+use smi_wire::{Deframer, Framer, PacketOp, SmiType};
+
+use crate::collectives::{expect_op, recv_packet};
+use crate::comm::Communicator;
+use crate::endpoint::{send_packet, CollRes, EndpointTableHandle};
+use crate::SmiError;
+
+/// A broadcast channel (`SMI_BChannel`). The root pushes each element to
+/// every other member; non-roots receive. "If the caller is the root, it
+/// will push the data towards the other ranks. Otherwise, the caller will
+/// pop data elements from the network." (§3.2)
+pub struct BcastChannel<T: SmiType> {
+    count: u64,
+    done: u64,
+    port: usize,
+    my_world: u8,
+    root_world: usize,
+    is_root: bool,
+    /// World ranks of the other members (root side).
+    others: Vec<usize>,
+    framer: Framer,
+    deframer: Deframer,
+    res: Option<CollRes>,
+    table: EndpointTableHandle,
+    timeout: Duration,
+    _elem: PhantomData<T>,
+}
+
+impl<T: SmiType> BcastChannel<T> {
+    pub(crate) fn open(
+        table: EndpointTableHandle,
+        comm: &Communicator,
+        count: u64,
+        port: usize,
+        root: usize,
+        timeout: Duration,
+    ) -> Result<Self, SmiError> {
+        let root_world = comm.world_rank(root)?;
+        let my_world = comm.world_rank(comm.rank())?;
+        let res = table.borrow_mut().take_coll(port, smi_codegen::OpKind::Bcast)?;
+        if res.dtype != T::DATATYPE {
+            let declared = res.dtype;
+            table.borrow_mut().put_coll(port, res);
+            return Err(SmiError::TypeMismatch { declared, requested: T::DATATYPE });
+        }
+        let is_root = comm.rank() == root;
+        let others: Vec<usize> =
+            comm.world_ranks().iter().copied().filter(|&w| w != root_world).collect();
+        let port_wire = smi_wire::header::port_to_wire(port)?;
+        let my_wire = smi_wire::header::rank_to_wire(my_world)?;
+        let chan = BcastChannel {
+            count,
+            done: 0,
+            port,
+            my_world: my_wire,
+            root_world,
+            is_root,
+            others,
+            framer: Framer::new(T::DATATYPE, my_wire, 0, port_wire, PacketOp::Bcast),
+            deframer: Deframer::new(T::DATATYPE),
+            res: Some(res),
+            table,
+            timeout,
+            _elem: PhantomData,
+        };
+        chan.rendezvous()?;
+        Ok(chan)
+    }
+
+    /// §3.3 one-to-all synchronization: every receiver announces readiness;
+    /// the root collects all announcements before streaming.
+    fn rendezvous(&self) -> Result<(), SmiError> {
+        let res = self.res.as_ref().expect("open");
+        if self.count == 0 {
+            return Ok(());
+        }
+        if self.is_root {
+            for _ in 0..self.others.len() {
+                let pkt = recv_packet(&res.rx, self.timeout, "bcast ready sync")?;
+                expect_op(&pkt, PacketOp::Sync)?;
+            }
+        } else {
+            let sync = smi_wire::NetworkPacket::control(
+                self.my_world,
+                self.root_world as u8,
+                self.port as u8,
+                PacketOp::Sync,
+                0,
+            );
+            send_packet(&res.to_cks, sync, self.timeout, "bcast sync path")?;
+        }
+        Ok(())
+    }
+
+    /// `SMI_Bcast`: at the root, sends `*data`; elsewhere, overwrites `*data`
+    /// with the received element.
+    pub fn bcast(&mut self, data: &mut T) -> Result<(), SmiError> {
+        if self.done == self.count {
+            return Err(SmiError::CountExceeded { count: self.count });
+        }
+        let res = self.res.as_ref().expect("open");
+        if self.is_root {
+            self.done += 1;
+            let full = self.framer.push(data);
+            let maybe_pkt = if self.done == self.count {
+                full.or_else(|| self.framer.flush())
+            } else {
+                full
+            };
+            if let Some(pkt) = maybe_pkt {
+                for &dst in &self.others {
+                    let mut copy = pkt;
+                    copy.header.dst = dst as u8;
+                    send_packet(&res.to_cks, copy, self.timeout, "bcast data fan-out")?;
+                }
+            }
+        } else {
+            while self.deframer.is_empty() {
+                let pkt = recv_packet(&res.rx, self.timeout, "bcast data")?;
+                expect_op(&pkt, PacketOp::Bcast)?;
+                self.deframer.refill(pkt);
+            }
+            *data = self.deframer.pop::<T>().expect("non-empty");
+            self.done += 1;
+        }
+        Ok(())
+    }
+
+    /// Elements broadcast so far.
+    pub fn progressed(&self) -> u64 {
+        self.done
+    }
+}
+
+impl<T: SmiType> Drop for BcastChannel<T> {
+    fn drop(&mut self) {
+        if let Some(res) = self.res.take() {
+            self.table.borrow_mut().put_coll(self.port, res);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! The gather channel (`SMI_Open_gather_channel` analogue).
+//!
+//! Every member pushes `count` elements; the root pops `count × N` elements
+//! in communicator order. "The root rank must communicate to each source
+//! rank when it is ready to receive the given sequence of data" (§3.3): the
+//! root grants members serially with `Sync` packets, so contributions never
+//! interleave and the root needs no reorder buffer.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::time::Duration;
+
+use smi_wire::{Deframer, Framer, PacketOp, SmiType};
+
+use crate::collectives::{expect_op, recv_packet};
+use crate::comm::Communicator;
+use crate::endpoint::{send_packet, CollRes, EndpointTableHandle};
+use crate::SmiError;
+
+/// A gather channel.
+pub struct GatherChannel<T: SmiType> {
+    /// Elements per member.
+    count: u64,
+    port: usize,
+    my_world: u8,
+    root_world: usize,
+    is_root: bool,
+    members: Vec<usize>,
+    /// Leaf: whether the root's grant arrived.
+    granted: bool,
+    /// Root: communicator index currently granted (== popped / count).
+    grant_sent_for: Option<usize>,
+    pushed: u64,
+    popped: u64,
+    /// Root's own contribution, buffered locally.
+    local: VecDeque<T>,
+    framer: Framer,
+    deframer: Deframer,
+    res: Option<CollRes>,
+    table: EndpointTableHandle,
+    timeout: Duration,
+    _elem: PhantomData<T>,
+}
+
+impl<T: SmiType> GatherChannel<T> {
+    pub(crate) fn open(
+        table: EndpointTableHandle,
+        comm: &Communicator,
+        count: u64,
+        port: usize,
+        root: usize,
+        timeout: Duration,
+    ) -> Result<Self, SmiError> {
+        let root_world = comm.world_rank(root)?;
+        let my_world = comm.world_rank(comm.rank())?;
+        let res = table.borrow_mut().take_coll(port, smi_codegen::OpKind::Gather)?;
+        if res.dtype != T::DATATYPE {
+            let declared = res.dtype;
+            table.borrow_mut().put_coll(port, res);
+            return Err(SmiError::TypeMismatch { declared, requested: T::DATATYPE });
+        }
+        let is_root = comm.rank() == root;
+        let port_wire = smi_wire::header::port_to_wire(port)?;
+        let my_wire = smi_wire::header::rank_to_wire(my_world)?;
+        Ok(GatherChannel {
+            count,
+            port,
+            my_world: my_wire,
+            root_world,
+            is_root,
+            members: comm.world_ranks().to_vec(),
+            granted: false,
+            grant_sent_for: None,
+            pushed: 0,
+            popped: 0,
+            local: VecDeque::new(),
+            framer: Framer::new(
+                T::DATATYPE,
+                my_wire,
+                root_world as u8,
+                port_wire,
+                PacketOp::Gather,
+            ),
+            deframer: Deframer::new(T::DATATYPE),
+            res: Some(res),
+            table,
+            timeout,
+            _elem: PhantomData,
+        })
+    }
+
+    /// Push the next element of this member's contribution.
+    pub fn push(&mut self, value: &T) -> Result<(), SmiError> {
+        if self.pushed == self.count {
+            return Err(SmiError::CountExceeded { count: self.count });
+        }
+        if self.is_root {
+            self.local.push_back(*value);
+            self.pushed += 1;
+            return Ok(());
+        }
+        // Wait for the root's serialized go-ahead before any data moves.
+        if !self.granted {
+            let res = self.res.as_ref().expect("open");
+            let pkt = recv_packet(&res.rx, self.timeout, "gather grant")?;
+            expect_op(&pkt, PacketOp::Sync)?;
+            self.granted = true;
+        }
+        self.pushed += 1;
+        let full = self.framer.push(value);
+        let maybe_pkt = if self.pushed == self.count {
+            full.or_else(|| self.framer.flush())
+        } else {
+            full
+        };
+        if let Some(pkt) = maybe_pkt {
+            let res = self.res.as_ref().expect("open");
+            send_packet(&res.to_cks, pkt, self.timeout, "gather data path")?;
+        }
+        Ok(())
+    }
+
+    /// Root only: pop the next element of the gathered `count × N` stream.
+    pub fn pop(&mut self) -> Result<T, SmiError> {
+        if !self.is_root {
+            return Err(SmiError::ProtocolViolation {
+                detail: "gather pop on a non-root rank".into(),
+            });
+        }
+        let total = self.count * self.members.len() as u64;
+        if self.popped == total {
+            return Err(SmiError::CountExceeded { count: total });
+        }
+        let src_idx = (self.popped / self.count) as usize;
+        let src_world = self.members[src_idx];
+        let v = if src_world == self.root_world {
+            self.local.pop_front().ok_or_else(|| SmiError::ProtocolViolation {
+                detail: "gather pop before the root pushed its own contribution".into(),
+            })?
+        } else {
+            // Serialized grant: first element of a new slice grants its
+            // source.
+            if self.grant_sent_for != Some(src_idx) {
+                let res = self.res.as_ref().expect("open");
+                let grant = smi_wire::NetworkPacket::control(
+                    self.my_world,
+                    src_world as u8,
+                    self.port as u8,
+                    PacketOp::Sync,
+                    0,
+                );
+                send_packet(&res.to_cks, grant, self.timeout, "gather grant path")?;
+                self.grant_sent_for = Some(src_idx);
+            }
+            while self.deframer.is_empty() {
+                let res = self.res.as_ref().expect("open");
+                let pkt = recv_packet(&res.rx, self.timeout, "gather data")?;
+                expect_op(&pkt, PacketOp::Gather)?;
+                if pkt.header.src as usize != src_world {
+                    return Err(SmiError::ProtocolViolation {
+                        detail: format!(
+                            "gather order violated: data from {} while collecting {}",
+                            pkt.header.src, src_world
+                        ),
+                    });
+                }
+                self.deframer.refill(pkt);
+            }
+            self.deframer.pop::<T>().expect("non-empty")
+        };
+        self.popped += 1;
+        Ok(v)
+    }
+}
+
+impl<T: SmiType> Drop for GatherChannel<T> {
+    fn drop(&mut self) {
+        if let Some(res) = self.res.take() {
+            self.table.borrow_mut().put_coll(self.port, res);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Collective channels (§3.2): `SMI_Open_bcast_channel` & friends.
+//!
+//! Each collective owns a dedicated port and implements the §4.4
+//! synchronization protocol of the reference implementation: ready-`Sync`s
+//! for the one-to-all collectives (Bcast, Scatter), serialized `Sync` grants
+//! for Gather, and credit-based flow control for Reduce. The protocol state
+//! machines run inline in the application thread (where the hardware places
+//! a dedicated support kernel), exchanging exactly the packets the fabric's
+//! support kernels exchange.
+
+mod bcast;
+mod gather;
+mod reduce;
+mod scatter;
+
+pub use bcast::BcastChannel;
+pub use gather::GatherChannel;
+pub use reduce::ReduceChannel;
+pub use scatter::ScatterChannel;
+
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use smi_wire::{NetworkPacket, PacketOp};
+
+use crate::SmiError;
+
+/// Blocking receive with the runtime's timeout and uniform error mapping.
+pub(crate) fn recv_packet(
+    rx: &Receiver<NetworkPacket>,
+    timeout: Duration,
+    waiting_for: &'static str,
+) -> Result<NetworkPacket, SmiError> {
+    match rx.recv_timeout(timeout) {
+        Ok(pkt) => Ok(pkt),
+        Err(RecvTimeoutError::Timeout) => Err(SmiError::Timeout { waiting_for }),
+        Err(RecvTimeoutError::Disconnected) => Err(SmiError::TransportClosed),
+    }
+}
+
+/// Expect a specific op on a control path.
+pub(crate) fn expect_op(pkt: &NetworkPacket, op: PacketOp) -> Result<(), SmiError> {
+    if pkt.header.op == op {
+        Ok(())
+    } else {
+        Err(SmiError::ProtocolViolation {
+            detail: format!("expected {:?}, got {:?}", op, pkt.header.op),
+        })
+    }
+}

@@ -1,0 +1,208 @@
+//! The reduce channel (`SMI_Open_reduce_channel` / `SMI_Reduce`) with
+//! credit-based flow control (§4.4).
+
+use std::time::Duration;
+
+use smi_wire::reduce::SmiNumeric;
+use smi_wire::{Deframer, Framer, NetworkPacket, PacketOp, ReduceOp};
+
+use crate::collectives::{expect_op, recv_packet};
+use crate::comm::Communicator;
+use crate::endpoint::{send_packet, CollRes, EndpointTableHandle};
+use crate::SmiError;
+
+/// A reduce channel (`SMI_RChannel`). Every member contributes one element
+/// per [`ReduceChannel::reduce`] call; the reduced element is returned at the
+/// root (`None` elsewhere), exactly like the paper's `data_rcv` that is
+/// "produced to the root rank".
+pub struct ReduceChannel<T: SmiNumeric> {
+    count: u64,
+    port: usize,
+    op: ReduceOp,
+    my_world: u8,
+    is_root: bool,
+    /// Root: ring window of `credits` accumulation slots.
+    window: Vec<T>,
+    /// Root: per-member element progress (communicator order).
+    progress: Vec<u64>,
+    /// Root: world-rank → communicator index lookup.
+    member_index: Vec<Option<usize>>,
+    /// Root: elements returned to the caller so far. Leaf: elements sent.
+    done: u64,
+    /// Credit window size `C`.
+    credits_window: u64,
+    /// Leaf: remaining credits.
+    credits: u64,
+    my_comm_index: usize,
+    others_world: Vec<usize>,
+    framer: Framer,
+    res: Option<CollRes>,
+    table: EndpointTableHandle,
+    timeout: Duration,
+}
+
+impl<T: SmiNumeric> ReduceChannel<T> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn open(
+        table: EndpointTableHandle,
+        comm: &Communicator,
+        count: u64,
+        port: usize,
+        root: usize,
+        credits_window: u64,
+        timeout: Duration,
+    ) -> Result<Self, SmiError> {
+        assert!(credits_window >= 1, "reduce needs at least one credit");
+        let root_world = comm.world_rank(root)?;
+        let my_world = comm.world_rank(comm.rank())?;
+        let res = table.borrow_mut().take_coll(port, smi_codegen::OpKind::Reduce)?;
+        if res.dtype != T::DATATYPE {
+            let declared = res.dtype;
+            table.borrow_mut().put_coll(port, res);
+            return Err(SmiError::TypeMismatch { declared, requested: T::DATATYPE });
+        }
+        let op = res.reduce_op.expect("reduce binding carries an operator");
+        let is_root = comm.rank() == root;
+        let n = comm.size();
+        let mut member_index = vec![None; smi_wire::MAX_RANKS];
+        for (i, &w) in comm.world_ranks().iter().enumerate() {
+            member_index[w] = Some(i);
+        }
+        let others_world: Vec<usize> =
+            comm.world_ranks().iter().copied().filter(|&w| w != root_world).collect();
+        let port_wire = smi_wire::header::port_to_wire(port)?;
+        let my_wire = smi_wire::header::rank_to_wire(my_world)?;
+        let ident = identity_of::<T>(op);
+        Ok(ReduceChannel {
+            count,
+            port,
+            op,
+            my_world: my_wire,
+            is_root,
+            window: if is_root { vec![ident; credits_window as usize] } else { Vec::new() },
+            progress: vec![0; n],
+            member_index,
+            done: 0,
+            credits_window,
+            credits: credits_window,
+            my_comm_index: comm.rank(),
+            others_world,
+            framer: Framer::new(
+                T::DATATYPE,
+                my_wire,
+                root_world as u8,
+                port_wire,
+                PacketOp::Reduce,
+            ),
+            res: Some(res),
+            table,
+            timeout,
+        })
+    }
+
+    /// `SMI_Reduce`: contribute `*snd`; returns `Some(result)` at the root,
+    /// `None` elsewhere.
+    pub fn reduce(&mut self, snd: &T) -> Result<Option<T>, SmiError> {
+        if self.done == self.count {
+            return Err(SmiError::CountExceeded { count: self.count });
+        }
+        if self.is_root {
+            self.reduce_root(snd).map(Some)
+        } else {
+            self.reduce_leaf(snd).map(|_| None)
+        }
+    }
+
+    fn reduce_leaf(&mut self, snd: &T) -> Result<(), SmiError> {
+        let res = self.res.as_ref().expect("open");
+        if self.credits == 0 {
+            let pkt = recv_packet(&res.credit_rx, self.timeout, "reduce credits")?;
+            expect_op(&pkt, PacketOp::Credit)?;
+            self.credits += pkt.control_arg() as u64;
+        }
+        self.credits -= 1;
+        self.done += 1;
+        let full = self.framer.push(snd);
+        // Flush at credit-window and message boundaries so no packet
+        // straddles a tile (the root folds packets tile-locally).
+        let maybe_pkt = if self.credits == 0 || self.done == self.count {
+            full.or_else(|| self.framer.flush())
+        } else {
+            full
+        };
+        if let Some(pkt) = maybe_pkt {
+            send_packet(&res.to_cks, pkt, self.timeout, "reduce contribution path")?;
+        }
+        Ok(())
+    }
+
+    fn reduce_root(&mut self, snd: &T) -> Result<T, SmiError> {
+        let i = self.done;
+        let c = self.credits_window;
+        let slot = (i % c) as usize;
+        // Fold the local contribution.
+        self.window[slot] = self.op.apply(self.window[slot], *snd);
+        self.progress[self.my_comm_index] = i + 1;
+        // Drain network contributions until element i is complete at every
+        // member.
+        while self.progress.iter().any(|&p| p <= i) {
+            let res = self.res.as_ref().expect("open");
+            let pkt = recv_packet(&res.rx, self.timeout, "reduce contributions")?;
+            expect_op(&pkt, PacketOp::Reduce)?;
+            let src = pkt.header.src as usize;
+            let idx = self.member_index[src].ok_or_else(|| SmiError::ProtocolViolation {
+                detail: format!("reduce contribution from non-member world rank {src}"),
+            })?;
+            let mut df = Deframer::new(T::DATATYPE);
+            df.refill(pkt);
+            while let Some(v) = df.pop::<T>() {
+                let at = self.progress[idx];
+                debug_assert!(at < i + c, "credit window violated");
+                let s = (at % c) as usize;
+                self.window[s] = self.op.apply(self.window[s], v);
+                self.progress[idx] = at + 1;
+            }
+        }
+        let result = self.window[slot];
+        // The slot is consumed: reset it for element i + C (contributions for
+        // which can only arrive after the next credit grant).
+        self.window[slot] = identity_of::<T>(self.op);
+        self.done = i + 1;
+        // Tile boundary: grant every sender a fresh window.
+        if self.done.is_multiple_of(c) && self.done < self.count {
+            let res = self.res.as_ref().expect("open");
+            for &dst in &self.others_world {
+                let grant = NetworkPacket::control(
+                    self.my_world,
+                    dst as u8,
+                    self.port as u8,
+                    PacketOp::Credit,
+                    c as u32,
+                );
+                send_packet(&res.to_cks, grant, self.timeout, "reduce credit path")?;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Elements reduced (root) or contributed (leaf) so far.
+    pub fn progressed(&self) -> u64 {
+        self.done
+    }
+}
+
+fn identity_of<T: SmiNumeric>(op: ReduceOp) -> T {
+    match op {
+        ReduceOp::Add => T::ZERO,
+        ReduceOp::Max => T::MIN_VALUE,
+        ReduceOp::Min => T::MAX_VALUE,
+    }
+}
+
+impl<T: SmiNumeric> Drop for ReduceChannel<T> {
+    fn drop(&mut self) {
+        if let Some(res) = self.res.take() {
+            self.table.borrow_mut().put_coll(self.port, res);
+        }
+    }
+}

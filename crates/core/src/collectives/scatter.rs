@@ -1,0 +1,177 @@
+//! The scatter channel (`SMI_Open_scatter_channel` analogue).
+//!
+//! The root pushes `count × N` elements in communicator order; every member
+//! (including the root) pops its `count`-element slice. Non-root slices are
+//! only streamed once that member's ready-`Sync` arrived (§3.3).
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::time::Duration;
+
+use smi_wire::{Deframer, Framer, PacketOp, SmiType};
+
+use crate::collectives::{expect_op, recv_packet};
+use crate::comm::Communicator;
+use crate::endpoint::{send_packet, CollRes, EndpointTableHandle};
+use crate::SmiError;
+
+/// A scatter channel.
+pub struct ScatterChannel<T: SmiType> {
+    /// Elements per member.
+    count: u64,
+    port: usize,
+    my_world: u8,
+    root_world: usize,
+    is_root: bool,
+    /// Members in communicator order (world ranks).
+    members: Vec<usize>,
+    /// Root: readiness per communicator index.
+    ready: Vec<bool>,
+    /// Root: pushed elements so far (0..count*N).
+    pushed: u64,
+    /// Popped elements so far (0..count).
+    popped: u64,
+    /// Root's own slice, buffered locally.
+    local: VecDeque<T>,
+    framer: Framer,
+    deframer: Deframer,
+    res: Option<CollRes>,
+    table: EndpointTableHandle,
+    timeout: Duration,
+    _elem: PhantomData<T>,
+}
+
+impl<T: SmiType> ScatterChannel<T> {
+    pub(crate) fn open(
+        table: EndpointTableHandle,
+        comm: &Communicator,
+        count: u64,
+        port: usize,
+        root: usize,
+        timeout: Duration,
+    ) -> Result<Self, SmiError> {
+        let root_world = comm.world_rank(root)?;
+        let my_world = comm.world_rank(comm.rank())?;
+        let res = table.borrow_mut().take_coll(port, smi_codegen::OpKind::Scatter)?;
+        if res.dtype != T::DATATYPE {
+            let declared = res.dtype;
+            table.borrow_mut().put_coll(port, res);
+            return Err(SmiError::TypeMismatch { declared, requested: T::DATATYPE });
+        }
+        let is_root = comm.rank() == root;
+        let mut ready = vec![false; comm.size()];
+        ready[root] = true; // own slice needs no handshake
+        let port_wire = smi_wire::header::port_to_wire(port)?;
+        let my_wire = smi_wire::header::rank_to_wire(my_world)?;
+        let chan = ScatterChannel {
+            count,
+            port,
+            my_world: my_wire,
+            root_world,
+            is_root,
+            members: comm.world_ranks().to_vec(),
+            ready,
+            pushed: 0,
+            popped: 0,
+            local: VecDeque::new(),
+            framer: Framer::new(T::DATATYPE, my_wire, 0, port_wire, PacketOp::Scatter),
+            deframer: Deframer::new(T::DATATYPE),
+            res: Some(res),
+            table,
+            timeout,
+            _elem: PhantomData,
+        };
+        if !chan.is_root && count > 0 {
+            let res = chan.res.as_ref().expect("open");
+            let sync = smi_wire::NetworkPacket::control(
+                chan.my_world,
+                chan.root_world as u8,
+                port as u8,
+                PacketOp::Sync,
+                0,
+            );
+            send_packet(&res.to_cks, sync, timeout, "scatter sync path")?;
+        }
+        Ok(chan)
+    }
+
+    /// Root only: feed the next element of the `count × N` source stream.
+    pub fn push(&mut self, value: &T) -> Result<(), SmiError> {
+        if !self.is_root {
+            return Err(SmiError::ProtocolViolation {
+                detail: "scatter push on a non-root rank".into(),
+            });
+        }
+        let total = self.count * self.members.len() as u64;
+        if self.pushed == total {
+            return Err(SmiError::CountExceeded { count: total });
+        }
+        let dest_idx = (self.pushed / self.count) as usize;
+        let dest_world = self.members[dest_idx];
+        if dest_world == self.root_world {
+            self.local.push_back(*value);
+            self.pushed += 1;
+            return Ok(());
+        }
+        // Wait for this member's ready announcement (Syncs arrive in any
+        // order; flags are sticky).
+        while !self.ready[dest_idx] {
+            let res = self.res.as_ref().expect("open");
+            let pkt = recv_packet(&res.rx, self.timeout, "scatter ready sync")?;
+            expect_op(&pkt, PacketOp::Sync)?;
+            let src = pkt.header.src as usize;
+            let idx = self
+                .members
+                .iter()
+                .position(|&w| w == src)
+                .ok_or_else(|| SmiError::ProtocolViolation {
+                    detail: format!("scatter sync from non-member world rank {src}"),
+                })?;
+            self.ready[idx] = true;
+        }
+        self.pushed += 1;
+        let full = self.framer.push(value);
+        // Flush at slice boundaries: a packet never spans two destinations.
+        let maybe_pkt = if self.pushed.is_multiple_of(self.count) {
+            full.or_else(|| self.framer.flush())
+        } else {
+            full
+        };
+        if let Some(mut pkt) = maybe_pkt {
+            pkt.header.dst = dest_world as u8;
+            let res = self.res.as_ref().expect("open");
+            send_packet(&res.to_cks, pkt, self.timeout, "scatter data path")?;
+        }
+        Ok(())
+    }
+
+    /// Pop the next element of this member's slice.
+    pub fn pop(&mut self) -> Result<T, SmiError> {
+        if self.popped == self.count {
+            return Err(SmiError::CountExceeded { count: self.count });
+        }
+        let v = if self.is_root {
+            self.local.pop_front().ok_or_else(|| SmiError::ProtocolViolation {
+                detail: "scatter pop before the root pushed its own slice".into(),
+            })?
+        } else {
+            while self.deframer.is_empty() {
+                let res = self.res.as_ref().expect("open");
+                let pkt = recv_packet(&res.rx, self.timeout, "scatter data")?;
+                expect_op(&pkt, PacketOp::Scatter)?;
+                self.deframer.refill(pkt);
+            }
+            self.deframer.pop::<T>().expect("non-empty")
+        };
+        self.popped += 1;
+        Ok(v)
+    }
+}
+
+impl<T: SmiType> Drop for ScatterChannel<T> {
+    fn drop(&mut self) {
+        if let Some(res) = self.res.take() {
+            self.table.borrow_mut().put_coll(self.port, res);
+        }
+    }
+}

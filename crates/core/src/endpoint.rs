@@ -1,0 +1,206 @@
+//! Application-side endpoint resources.
+//!
+//! One SMI port corresponds to fixed hardware laid down at "compile time"
+//! (here: at cluster startup, from the generated design). Opening a transient
+//! channel *takes* the port's endpoint resource; closing the channel (drop)
+//! returns it, so a port can host any number of sequential transient
+//! channels but never two concurrent ones.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crossbeam::channel::{Receiver, Sender};
+use smi_codegen::OpKind;
+use smi_wire::{Datatype, NetworkPacket, ReduceOp};
+
+use crate::SmiError;
+
+/// Blocking packet send with the runtime's timeout: a permanently jammed
+/// transport surfaces as an error instead of wedging the rank thread.
+pub(crate) fn send_packet(
+    tx: &Sender<NetworkPacket>,
+    pkt: NetworkPacket,
+    timeout: std::time::Duration,
+    waiting_for: &'static str,
+) -> Result<(), SmiError> {
+    use crossbeam::channel::SendTimeoutError;
+    match tx.send_timeout(pkt, timeout) {
+        Ok(()) => Ok(()),
+        Err(SendTimeoutError::Timeout(_)) => Err(SmiError::Timeout { waiting_for }),
+        Err(SendTimeoutError::Disconnected(_)) => Err(SmiError::TransportClosed),
+    }
+}
+
+/// Send-side endpoint hardware: the FIFO into the bound CKS, plus the
+/// credit-return path used by the credit-based protocol.
+#[derive(Debug)]
+pub(crate) struct SendRes {
+    pub dtype: Datatype,
+    pub to_cks: Sender<NetworkPacket>,
+    pub credit_rx: Receiver<NetworkPacket>,
+}
+
+/// Receive-side endpoint hardware: the FIFO the bound CKR delivers into,
+/// plus a send path into the CKS for credit grants (credit-based protocol).
+#[derive(Debug)]
+pub(crate) struct RecvRes {
+    pub dtype: Datatype,
+    pub from_ckr: Receiver<NetworkPacket>,
+    pub grant_tx: Sender<NetworkPacket>,
+}
+
+/// Collective endpoint hardware (the support-kernel attachment of §4.4):
+/// a send path plus data and credit delivery paths.
+#[derive(Debug)]
+pub(crate) struct CollRes {
+    /// Kept for diagnostics (the declared-kind check happens in the table).
+    #[allow(dead_code)]
+    pub kind: OpKind,
+    pub dtype: Datatype,
+    pub reduce_op: Option<ReduceOp>,
+    pub to_cks: Sender<NetworkPacket>,
+    pub rx: Receiver<NetworkPacket>,
+    pub credit_rx: Receiver<NetworkPacket>,
+}
+
+/// All endpoint resources of one port.
+#[derive(Debug, Default)]
+pub(crate) struct PortEndpoints {
+    pub send: Option<SendRes>,
+    pub recv: Option<RecvRes>,
+    pub coll: Option<CollRes>,
+}
+
+/// The per-rank endpoint table, shared between the context and the channel
+/// objects (which return their resource on drop).
+#[derive(Debug, Default)]
+pub(crate) struct EndpointTable {
+    pub ports: HashMap<usize, PortEndpoints>,
+    declared_send: Vec<usize>,
+    declared_recv: Vec<usize>,
+    declared_coll: Vec<(usize, OpKind)>,
+}
+
+/// Shared handle to a rank's endpoint table (single-threaded per rank).
+pub(crate) type EndpointTableHandle = Rc<RefCell<EndpointTable>>;
+
+impl EndpointTable {
+    /// Record a declared endpoint (wiring time).
+    pub fn declare(&mut self, port: usize, kind: OpKind) {
+        match kind {
+            OpKind::Send => self.declared_send.push(port),
+            OpKind::Recv => self.declared_recv.push(port),
+            k => self.declared_coll.push((port, k)),
+        }
+    }
+
+    /// Take the send resource of `port`.
+    pub fn take_send(&mut self, port: usize) -> Result<SendRes, SmiError> {
+        if !self.declared_send.contains(&port) {
+            return Err(SmiError::NoSuchEndpoint { port, kind: "send" });
+        }
+        self.ports
+            .get_mut(&port)
+            .and_then(|p| p.send.take())
+            .ok_or(SmiError::EndpointBusy { port })
+    }
+
+    /// Take the receive resource of `port`.
+    pub fn take_recv(&mut self, port: usize) -> Result<RecvRes, SmiError> {
+        if !self.declared_recv.contains(&port) {
+            return Err(SmiError::NoSuchEndpoint { port, kind: "recv" });
+        }
+        self.ports
+            .get_mut(&port)
+            .and_then(|p| p.recv.take())
+            .ok_or(SmiError::EndpointBusy { port })
+    }
+
+    /// Take the collective resource of `port`, checking the expected kind.
+    pub fn take_coll(&mut self, port: usize, kind: OpKind) -> Result<CollRes, SmiError> {
+        if !self.declared_coll.contains(&(port, kind)) {
+            return Err(SmiError::NoSuchEndpoint { port, kind: "collective" });
+        }
+        self.ports
+            .get_mut(&port)
+            .and_then(|p| p.coll.take())
+            .ok_or(SmiError::EndpointBusy { port })
+    }
+
+    /// Return a send resource (channel drop).
+    pub fn put_send(&mut self, port: usize, res: SendRes) {
+        self.ports.entry(port).or_default().send = Some(res);
+    }
+
+    /// Return a receive resource (channel drop).
+    pub fn put_recv(&mut self, port: usize, res: RecvRes) {
+        self.ports.entry(port).or_default().recv = Some(res);
+    }
+
+    /// Return a collective resource (channel drop).
+    pub fn put_coll(&mut self, port: usize, res: CollRes) {
+        self.ports.entry(port).or_default().coll = Some(res);
+    }
+}
+
+/// Build a shared handle.
+pub(crate) fn new_table() -> EndpointTableHandle {
+    Rc::new(RefCell::new(EndpointTable::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+
+    fn send_res() -> SendRes {
+        let (tx, _rx_keep) = bounded(1);
+        let (_ctx, crx) = bounded::<NetworkPacket>(1);
+        // Leak the keepers: tests only exercise the table mechanics.
+        std::mem::forget(_rx_keep);
+        std::mem::forget(_ctx);
+        SendRes { dtype: Datatype::Int, to_cks: tx, credit_rx: crx }
+    }
+
+    #[test]
+    fn take_put_cycle() {
+        let t = new_table();
+        t.borrow_mut().declare(0, OpKind::Send);
+        t.borrow_mut().put_send(0, send_res());
+        let res = t.borrow_mut().take_send(0).unwrap();
+        assert!(matches!(
+            t.borrow_mut().take_send(0),
+            Err(SmiError::EndpointBusy { port: 0 })
+        ));
+        t.borrow_mut().put_send(0, res);
+        assert!(t.borrow_mut().take_send(0).is_ok());
+    }
+
+    #[test]
+    fn undeclared_port_is_missing_not_busy() {
+        let t = new_table();
+        assert!(matches!(
+            t.borrow_mut().take_send(9),
+            Err(SmiError::NoSuchEndpoint { port: 9, kind: "send" })
+        ));
+        assert!(matches!(
+            t.borrow_mut().take_recv(9),
+            Err(SmiError::NoSuchEndpoint { .. })
+        ));
+        assert!(matches!(
+            t.borrow_mut().take_coll(9, OpKind::Bcast),
+            Err(SmiError::NoSuchEndpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn collective_kind_checked() {
+        let t = new_table();
+        t.borrow_mut().declare(1, OpKind::Bcast);
+        assert!(matches!(
+            t.borrow_mut().take_coll(1, OpKind::Reduce),
+            Err(SmiError::NoSuchEndpoint { .. })
+        ));
+    }
+}

@@ -1,0 +1,318 @@
+//! The cluster environment: launching SPMD/MPMD programs over the
+//! thread-based transport.
+//!
+//! Mirrors the paper's workflow (Fig. 8): the op metadata (what the Clang
+//! pass would extract) plus the topology produce the communication design
+//! and routing tables; the "host program" — here [`run_spmd`]/[`run_mpmd`] —
+//! uploads them, starts the transport, runs one application per rank, and
+//! tears everything down.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use smi_codegen::{ClusterDesign, CodegenError, OpKind, ProgramMeta};
+use smi_topology::{RoutingPlan, Topology, TopologyError};
+use smi_wire::reduce::SmiNumeric;
+use smi_wire::SmiType;
+
+use crate::channel::{Protocol, RecvChannel, SendChannel};
+use crate::collectives::{BcastChannel, GatherChannel, ReduceChannel, ScatterChannel};
+use crate::comm::{Communicator, SplitBoard};
+use crate::endpoint::{new_table, EndpointTableHandle};
+use crate::params::RuntimeParams;
+use crate::transport::wiring::build_transport;
+use crate::transport::TransportStats;
+use crate::SmiError;
+
+/// Per-rank execution context: the handle through which a rank's code opens
+/// channels (the role played by the generated device interface + host header
+/// in the paper's workflow).
+pub struct SmiCtx {
+    rank: usize,
+    num_ranks: usize,
+    table: EndpointTableHandle,
+    board: Arc<SplitBoard>,
+    params: RuntimeParams,
+}
+
+impl SmiCtx {
+    /// This rank (world).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the cluster.
+    pub fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    /// The world communicator (`SMI_COMM_WORLD`).
+    pub fn world(&self) -> Communicator {
+        Communicator::world(self.num_ranks, self.rank, self.board.clone())
+    }
+
+    /// The runtime configuration.
+    pub fn params(&self) -> &RuntimeParams {
+        &self.params
+    }
+
+    /// `SMI_Open_send_channel`: a transient channel sending `count` elements
+    /// of `T` to world rank `dst` on `port` (eager protocol).
+    pub fn open_send_channel<T: SmiType>(
+        &self,
+        count: u64,
+        dst: usize,
+        port: usize,
+    ) -> Result<SendChannel<T>, SmiError> {
+        self.open_send_channel_with(count, dst, port, Protocol::Eager)
+    }
+
+    /// `open_send_channel` with an explicit transmission protocol (§3.3).
+    pub fn open_send_channel_with<T: SmiType>(
+        &self,
+        count: u64,
+        dst: usize,
+        port: usize,
+        protocol: Protocol,
+    ) -> Result<SendChannel<T>, SmiError> {
+        let my = smi_wire::header::rank_to_wire(self.rank)?;
+        if dst >= self.num_ranks {
+            return Err(SmiError::BadRank { rank: dst, size: self.num_ranks });
+        }
+        let dstw = smi_wire::header::rank_to_wire(dst)?;
+        SendChannel::open(
+            self.table.clone(),
+            my,
+            dstw,
+            port,
+            count,
+            protocol,
+            self.params.blocking_timeout,
+        )
+    }
+
+    /// `SMI_Open_recv_channel`: a transient channel receiving `count`
+    /// elements of `T` from world rank `src` on `port` (eager protocol).
+    pub fn open_recv_channel<T: SmiType>(
+        &self,
+        count: u64,
+        src: usize,
+        port: usize,
+    ) -> Result<RecvChannel<T>, SmiError> {
+        self.open_recv_channel_with(count, src, port, Protocol::Eager)
+    }
+
+    /// `open_recv_channel` with an explicit transmission protocol.
+    pub fn open_recv_channel_with<T: SmiType>(
+        &self,
+        count: u64,
+        src: usize,
+        port: usize,
+        protocol: Protocol,
+    ) -> Result<RecvChannel<T>, SmiError> {
+        let my = smi_wire::header::rank_to_wire(self.rank)?;
+        if src >= self.num_ranks {
+            return Err(SmiError::BadRank { rank: src, size: self.num_ranks });
+        }
+        let srcw = smi_wire::header::rank_to_wire(src)?;
+        RecvChannel::open(
+            self.table.clone(),
+            my,
+            srcw,
+            port,
+            count,
+            protocol,
+            self.params.blocking_timeout,
+        )
+    }
+
+    /// `SMI_Open_bcast_channel`: `root` is a communicator rank.
+    pub fn open_bcast_channel<T: SmiType>(
+        &self,
+        count: u64,
+        port: usize,
+        root: usize,
+        comm: &Communicator,
+    ) -> Result<BcastChannel<T>, SmiError> {
+        BcastChannel::open(
+            self.table.clone(),
+            comm,
+            count,
+            port,
+            root,
+            self.params.blocking_timeout,
+        )
+    }
+
+    /// `SMI_Open_reduce_channel`: `root` is a communicator rank; the
+    /// reduction operator comes from the port's op metadata.
+    pub fn open_reduce_channel<T: SmiNumeric>(
+        &self,
+        count: u64,
+        port: usize,
+        root: usize,
+        comm: &Communicator,
+    ) -> Result<ReduceChannel<T>, SmiError> {
+        ReduceChannel::open(
+            self.table.clone(),
+            comm,
+            count,
+            port,
+            root,
+            self.params.reduce_credits,
+            self.params.blocking_timeout,
+        )
+    }
+
+    /// Open a scatter channel: `root` is a communicator rank; the root
+    /// pushes `count × N` elements, every member pops `count`.
+    pub fn open_scatter_channel<T: SmiType>(
+        &self,
+        count: u64,
+        port: usize,
+        root: usize,
+        comm: &Communicator,
+    ) -> Result<ScatterChannel<T>, SmiError> {
+        ScatterChannel::open(
+            self.table.clone(),
+            comm,
+            count,
+            port,
+            root,
+            self.params.blocking_timeout,
+        )
+    }
+
+    /// Open a gather channel: every member pushes `count` elements, the root
+    /// pops `count × N`.
+    pub fn open_gather_channel<T: SmiType>(
+        &self,
+        count: u64,
+        port: usize,
+        root: usize,
+        comm: &Communicator,
+    ) -> Result<GatherChannel<T>, SmiError> {
+        GatherChannel::open(
+            self.table.clone(),
+            comm,
+            count,
+            port,
+            root,
+            self.params.blocking_timeout,
+        )
+    }
+}
+
+/// Outcome of a cluster run.
+#[derive(Debug)]
+pub struct RunReport<T> {
+    /// Per-rank return values, in rank order.
+    pub results: Vec<T>,
+    /// `(cks_forwards, ckr_forwards, unroutable)` transport counters.
+    pub transport: (u64, u64, u64),
+}
+
+/// Launch errors.
+#[derive(Debug)]
+pub enum LaunchError {
+    /// Invalid op metadata / design.
+    Codegen(CodegenError),
+    /// Route generation failed.
+    Topology(TopologyError),
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::Codegen(e) => write!(f, "codegen: {e}"),
+            LaunchError::Topology(e) => write!(f, "topology: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Run an MPMD program: one closure per rank, each with its own op metadata.
+pub fn run_mpmd<T: Send + 'static>(
+    topo: &Topology,
+    metas: Vec<ProgramMeta>,
+    programs: Vec<Box<dyn FnOnce(SmiCtx) -> T + Send>>,
+    params: RuntimeParams,
+) -> Result<RunReport<T>, LaunchError> {
+    assert_eq!(metas.len(), topo.num_ranks(), "one ProgramMeta per rank");
+    assert_eq!(programs.len(), topo.num_ranks(), "one program per rank");
+    let design = ClusterDesign::mpmd(&metas, topo).map_err(LaunchError::Codegen)?;
+    design.validate_collectives().map_err(LaunchError::Codegen)?;
+    let plan = RoutingPlan::compute(topo).map_err(LaunchError::Topology)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stats = TransportStats::default();
+    let transport = build_transport(topo, &plan, &design, &params, stop.clone(), stats.clone());
+    let board = Arc::new(SplitBoard::default());
+    let num_ranks = topo.num_ranks();
+
+    let mut app_handles = Vec::with_capacity(num_ranks);
+    for (rank, (table, program)) in
+        transport.tables.into_iter().zip(programs).enumerate()
+    {
+        let board = board.clone();
+        let params = params.clone();
+        app_handles.push(
+            std::thread::Builder::new()
+                .name(format!("smi-rank-{rank}"))
+                .spawn(move || {
+                    let handle = new_table();
+                    *handle.borrow_mut() = table;
+                    let ctx = SmiCtx { rank, num_ranks, table: handle, board, params };
+                    program(ctx)
+                })
+                .expect("spawn rank thread"),
+        );
+    }
+    let mut results = Vec::with_capacity(num_ranks);
+    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for h in app_handles {
+        match h.join() {
+            Ok(v) => results.push(v),
+            Err(p) => {
+                // Release everything so remaining joins cannot hang forever.
+                stop.store(true, Ordering::SeqCst);
+                panic.get_or_insert(p);
+            }
+        }
+    }
+    stop.store(true, Ordering::SeqCst);
+    for h in transport.threads {
+        let _ = h.join();
+    }
+    if let Some(p) = panic {
+        std::panic::resume_unwind(p);
+    }
+    Ok(RunReport { results, transport: stats.snapshot() })
+}
+
+/// Run an SPMD program: the same op metadata and closure on every rank
+/// ("only one instance of the code is generated", §4.5).
+pub fn run_spmd<T, F>(
+    topo: &Topology,
+    meta: ProgramMeta,
+    program: F,
+    params: RuntimeParams,
+) -> Result<RunReport<T>, LaunchError>
+where
+    T: Send + 'static,
+    F: Fn(SmiCtx) -> T + Send + Sync + Clone + 'static,
+{
+    let metas = vec![meta; topo.num_ranks()];
+    let programs: Vec<Box<dyn FnOnce(SmiCtx) -> T + Send>> = (0..topo.num_ranks())
+        .map(|_| {
+            let f = program.clone();
+            Box::new(move |ctx: SmiCtx| f(ctx)) as Box<dyn FnOnce(SmiCtx) -> T + Send>
+        })
+        .collect();
+    run_mpmd(topo, metas, programs, params)
+}
+
+// Silence an unused-import warning when the OpKind re-export is only used in
+// doc examples.
+#[allow(unused_imports)]
+use OpKind as _OpKindUsed;

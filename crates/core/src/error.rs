@@ -1,0 +1,95 @@
+//! Error type of the SMI runtime.
+
+use std::fmt;
+
+use smi_wire::Datatype;
+
+/// Errors surfaced by the SMI runtime API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SmiError {
+    /// Wire-level failure (rank/port out of range, bad encoding).
+    Wire(smi_wire::WireError),
+    /// The requested port/kind has no endpoint in this rank's generated
+    /// design — the op metadata did not declare it ("all ports must be known
+    /// at compile time", §2.2).
+    NoSuchEndpoint {
+        /// Requested port.
+        port: usize,
+        /// What kind of endpoint was requested.
+        kind: &'static str,
+    },
+    /// The port's endpoint is already held by an open channel; transient
+    /// channels on one port must be sequential.
+    EndpointBusy {
+        /// The contested port.
+        port: usize,
+    },
+    /// Element type of the channel does not match the declared datatype.
+    TypeMismatch {
+        /// Declared in the op metadata.
+        declared: Datatype,
+        /// Requested by the generic channel type.
+        requested: Datatype,
+    },
+    /// More elements pushed/popped than the channel was opened with.
+    CountExceeded {
+        /// The channel's element count.
+        count: u64,
+    },
+    /// A peer rank index is outside the communicator.
+    BadRank {
+        /// The offending communicator rank.
+        rank: usize,
+        /// Size of the communicator.
+        size: usize,
+    },
+    /// A blocking pop/credit wait timed out — almost always a mismatched
+    /// program (peer never sent) or a count mismatch.
+    Timeout {
+        /// What the channel was waiting for.
+        waiting_for: &'static str,
+    },
+    /// The transport layer shut down while the channel still needed it.
+    TransportClosed,
+    /// A packet with an unexpected op arrived on this channel's port.
+    ProtocolViolation {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SmiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmiError::Wire(e) => write!(f, "wire error: {e}"),
+            SmiError::NoSuchEndpoint { port, kind } => {
+                write!(f, "no {kind} endpoint generated for port {port}")
+            }
+            SmiError::EndpointBusy { port } => {
+                write!(f, "port {port} already has an open channel")
+            }
+            SmiError::TypeMismatch { declared, requested } => {
+                write!(f, "channel datatype mismatch: declared {declared:?}, requested {requested:?}")
+            }
+            SmiError::CountExceeded { count } => {
+                write!(f, "channel count {count} exceeded")
+            }
+            SmiError::BadRank { rank, size } => {
+                write!(f, "rank {rank} outside communicator of size {size}")
+            }
+            SmiError::Timeout { waiting_for } => {
+                write!(f, "timed out waiting for {waiting_for}")
+            }
+            SmiError::TransportClosed => write!(f, "transport layer closed"),
+            SmiError::ProtocolViolation { detail } => write!(f, "protocol violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SmiError {}
+
+impl From<smi_wire::WireError> for SmiError {
+    fn from(e: smi_wire::WireError) -> Self {
+        SmiError::Wire(e)
+    }
+}

@@ -1,0 +1,117 @@
+//! # smi — the Streaming Message Interface
+//!
+//! A Rust implementation of **SMI**, the communication model and interface
+//! of *De Matteis et al., "Streaming Message Interface: High-Performance
+//! Distributed Memory Programming on Reconfigurable Hardware" (SC 2019)*.
+//!
+//! SMI unifies message passing and streaming: instead of bulk-transferring
+//! buffers, a *streaming message* is a **transient channel** — opened with a
+//! count, datatype, peer rank and port — whose elements are pushed/popped one
+//! per (simulated) clock cycle, while a table-driven transport layer routes
+//! 32-byte packets across the FPGA interconnect.
+//!
+//! This crate is the *functional plane* of the reproduction: every rank runs
+//! as an OS thread, the transport layer (CKS/CKR communication kernels,
+//! §4.2–4.3) runs as threads forwarding real packets over bounded FIFO
+//! channels that honour the cluster [`smi_topology::Topology`] and a
+//! deadlock-free routing plan. Data, framing, headers and protocols are
+//! bit-identical with the cycle-accurate `smi-fabric` plane.
+//!
+//! ## Point-to-point (the paper's Lst. 1)
+//!
+//! ```
+//! use smi::prelude::*;
+//!
+//! let topo = Topology::bus(2);
+//! // The "metadata extractor" output: rank 0 sends on port 0, rank 1 receives.
+//! let metas = vec![
+//!     ProgramMeta::new().with(OpSpec::send(0, Datatype::Int)),
+//!     ProgramMeta::new().with(OpSpec::recv(0, Datatype::Int)),
+//! ];
+//! let n = 64;
+//! let report = run_mpmd(
+//!     &topo,
+//!     metas,
+//!     vec![
+//!         Box::new(move |ctx: SmiCtx| {
+//!             let mut ch = ctx.open_send_channel::<i32>(n, 1, 0).unwrap();
+//!             for i in 0..n as i32 {
+//!                 ch.push(&i).unwrap(); // pipelined loop body
+//!             }
+//!             0
+//!         }),
+//!         Box::new(move |ctx: SmiCtx| {
+//!             let mut ch = ctx.open_recv_channel::<i32>(n, 0, 0).unwrap();
+//!             let mut sum = 0;
+//!             for _ in 0..n {
+//!                 sum += ch.pop().unwrap();
+//!             }
+//!             sum
+//!         }),
+//!     ],
+//!     RuntimeParams::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(report.results[1], (0..64).sum::<i32>());
+//! ```
+//!
+//! ## SPMD broadcast (the paper's Lst. 2)
+//!
+//! ```
+//! use smi::prelude::*;
+//!
+//! let topo = Topology::torus2d(2, 2);
+//! let meta = ProgramMeta::new().with(OpSpec::bcast(0, Datatype::Float));
+//! let report = run_spmd(
+//!     &topo,
+//!     meta,
+//!     |ctx: SmiCtx| {
+//!         let comm = ctx.world();
+//!         let root = 0;
+//!         let mut chan = ctx.open_bcast_channel::<f32>(8, 0, root, &comm).unwrap();
+//!         let mut out = Vec::new();
+//!         for i in 0..8 {
+//!             let mut data = if comm.rank() == root { i as f32 * 2.0 } else { 0.0 };
+//!             chan.bcast(&mut data).unwrap();
+//!             out.push(data);
+//!         }
+//!         out
+//!     },
+//!     RuntimeParams::default(),
+//! )
+//! .unwrap();
+//! for r in report.results {
+//!     assert_eq!(r, (0..8).map(|i| i as f32 * 2.0).collect::<Vec<_>>());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod collectives;
+pub mod comm;
+pub mod endpoint;
+pub mod env;
+pub mod error;
+pub mod params;
+pub mod transport;
+
+pub use channel::{Protocol, RecvChannel, SendChannel};
+pub use collectives::{BcastChannel, GatherChannel, ReduceChannel, ScatterChannel};
+pub use comm::Communicator;
+pub use env::{run_mpmd, run_spmd, RunReport, SmiCtx};
+pub use error::SmiError;
+pub use params::RuntimeParams;
+
+/// Convenient glob import: the SMI API plus the re-exported foundation types.
+pub mod prelude {
+    pub use crate::channel::{Protocol, RecvChannel, SendChannel};
+    pub use crate::collectives::{BcastChannel, GatherChannel, ReduceChannel, ScatterChannel};
+    pub use crate::comm::Communicator;
+    pub use crate::env::{run_mpmd, run_spmd, RunReport, SmiCtx};
+    pub use crate::error::SmiError;
+    pub use crate::params::RuntimeParams;
+    pub use smi_codegen::{OpSpec, ProgramMeta};
+    pub use smi_topology::Topology;
+    pub use smi_wire::{Datatype, ReduceOp, SmiType};
+}

@@ -1,0 +1,62 @@
+//! Runtime configuration.
+
+use std::time::Duration;
+
+/// Configuration of the thread-based SMI runtime.
+#[derive(Debug, Clone)]
+pub struct RuntimeParams {
+    /// Capacity (in packets) of the FIFOs between application endpoints and
+    /// CK modules — the asynchronicity degree *k* of §3.3 in packet units.
+    /// Programs must not rely on it for correctness.
+    pub endpoint_fifo_depth: usize,
+    /// Capacity (in packets) of the inter-CK and link FIFOs.
+    pub ck_fifo_depth: usize,
+    /// CKS/CKR polling persistence `R` (§4.3).
+    pub poll_persistence: u32,
+    /// Reduce flow-control credits `C` in elements (§4.4).
+    pub reduce_credits: u64,
+    /// How long a blocking pop / credit wait may stall before reporting
+    /// [`crate::SmiError::Timeout`] (guards tests against mismatched
+    /// programs hanging forever).
+    pub blocking_timeout: Duration,
+}
+
+impl Default for RuntimeParams {
+    fn default() -> Self {
+        RuntimeParams {
+            endpoint_fifo_depth: 16,
+            ck_fifo_depth: 64,
+            poll_persistence: 8,
+            reduce_credits: 512,
+            blocking_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl RuntimeParams {
+    /// A tight-buffer configuration for stress-testing backpressure (tiny
+    /// FIFOs everywhere).
+    pub fn tight() -> Self {
+        RuntimeParams {
+            endpoint_fifo_depth: 1,
+            ck_fifo_depth: 2,
+            poll_persistence: 1,
+            reduce_credits: 4,
+            blocking_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let p = RuntimeParams::default();
+        assert!(p.endpoint_fifo_depth >= 1);
+        assert!(p.reduce_credits >= 1);
+        let t = RuntimeParams::tight();
+        assert_eq!(t.endpoint_fifo_depth, 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! The polling forwarder: the §4.3 CKS/CKR loop as a thread.
+//!
+//! Like the hardware kernels, a forwarder owns a set of input FIFOs, a
+//! routing function, and a set of output FIFOs; it polls inputs round-robin,
+//! reading up to `R` packets from one input while data is available, and
+//! forwards with backpressure (a full output FIFO stalls the head packet —
+//! order within an input is never reordered).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, Sender, TryRecvError, TrySendError};
+use smi_wire::NetworkPacket;
+
+/// Routing verdict for one packet.
+pub(crate) enum Route {
+    /// Forward into output `i` of the forwarder's output list.
+    Output(usize),
+    /// No route — count as unroutable and drop (always a wiring bug).
+    Drop,
+}
+
+/// A CKS or CKR kernel body.
+pub(crate) struct PollingForwarder {
+    /// Diagnostic name (also used as the thread name at spawn).
+    #[allow(dead_code)]
+    pub name: String,
+    pub inputs: Vec<Receiver<NetworkPacket>>,
+    pub outputs: Vec<Sender<NetworkPacket>>,
+    /// Packet → output index.
+    pub route: Box<dyn Fn(&NetworkPacket) -> Route + Send>,
+    /// Polling persistence `R`.
+    pub persistence: u32,
+    /// Global end-of-run flag, set once every application thread returned.
+    pub stop: Arc<AtomicBool>,
+    /// Incremented per forwarded packet.
+    pub forwards: Arc<std::sync::atomic::AtomicU64>,
+    /// Incremented per dropped packet.
+    pub unroutable: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl PollingForwarder {
+    /// Run the forwarding loop until shutdown. Intended for a dedicated
+    /// thread.
+    pub fn run(mut self) {
+        let n = self.inputs.len();
+        if n == 0 {
+            return;
+        }
+        let mut dead = vec![false; n];
+        let mut current = 0usize;
+        let mut streak = 0u32;
+        let mut idle_rotations = 0u32;
+        // Inputs polled without moving a packet; a full fruitless rotation
+        // triggers the stop check and progressive backoff. (Counting polls —
+        // rather than testing `current == 0` — keeps the shutdown check
+        // reachable even when input 0 is disconnected.)
+        let mut fruitless_polls = 0usize;
+        loop {
+            if dead.iter().all(|&d| d) {
+                return; // every producer hung up
+            }
+            if fruitless_polls >= n {
+                fruitless_polls = 0;
+                idle_rotations += 1;
+                if self.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                // Back off progressively: spin, then yield, then nap.
+                if idle_rotations < 64 {
+                    std::hint::spin_loop();
+                } else if idle_rotations < 256 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+            if dead[current] {
+                current = (current + 1) % n;
+                streak = 0;
+                fruitless_polls += 1;
+                continue;
+            }
+            match self.inputs[current].try_recv() {
+                Ok(pkt) => {
+                    idle_rotations = 0;
+                    fruitless_polls = 0;
+                    if !self.forward(pkt) {
+                        return; // stop requested while stalled
+                    }
+                    streak += 1;
+                    if streak >= self.persistence {
+                        streak = 0;
+                        current = (current + 1) % n;
+                    }
+                }
+                Err(TryRecvError::Empty) => {
+                    streak = 0;
+                    current = (current + 1) % n;
+                    fruitless_polls += 1;
+                }
+                Err(TryRecvError::Disconnected) => {
+                    dead[current] = true;
+                    streak = 0;
+                    current = (current + 1) % n;
+                    fruitless_polls += 1;
+                }
+            }
+        }
+    }
+
+    /// Forward with backpressure; returns false if shutdown interrupted a
+    /// stalled push.
+    fn forward(&mut self, pkt: NetworkPacket) -> bool {
+        let idx = match (self.route)(&pkt) {
+            Route::Output(i) => i,
+            Route::Drop => {
+                self.unroutable.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        };
+        let mut pkt = pkt;
+        loop {
+            match self.outputs[idx].try_send(pkt) {
+                Ok(()) => {
+                    self.forwards.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(TrySendError::Full(p)) => {
+                    pkt = p;
+                    if self.stop.load(Ordering::Relaxed) {
+                        return false;
+                    }
+                    std::thread::yield_now();
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    // Receiver gone: only legal during shutdown; treat the
+                    // packet as drained.
+                    return !self.stop.load(Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+    use smi_wire::PacketOp;
+    use std::sync::atomic::AtomicU64;
+
+    fn pkt(dst: u8) -> NetworkPacket {
+        NetworkPacket::new(0, dst, 0, PacketOp::Send)
+    }
+
+    #[test]
+    fn forwards_by_route_and_exits_on_disconnect() {
+        let (in_tx, in_rx) = bounded(16);
+        let (out0_tx, out0_rx) = bounded::<NetworkPacket>(16);
+        let (out1_tx, out1_rx) = bounded::<NetworkPacket>(16);
+        let stop = Arc::new(AtomicBool::new(false));
+        let fwd = PollingForwarder {
+            name: "t".into(),
+            inputs: vec![in_rx],
+            outputs: vec![out0_tx, out1_tx],
+            route: Box::new(|p| Route::Output((p.header.dst % 2) as usize)),
+            persistence: 8,
+            stop: stop.clone(),
+            forwards: Arc::new(AtomicU64::new(0)),
+            unroutable: Arc::new(AtomicU64::new(0)),
+        };
+        let h = std::thread::spawn(move || fwd.run());
+        for d in 0..10u8 {
+            in_tx.send(pkt(d)).unwrap();
+        }
+        drop(in_tx); // forwarder drains then exits
+        h.join().unwrap();
+        assert_eq!(out0_rx.len(), 5);
+        assert_eq!(out1_rx.len(), 5);
+    }
+
+    #[test]
+    fn unroutable_counted_and_dropped() {
+        let (in_tx, in_rx) = bounded(4);
+        let (out_tx, out_rx) = bounded::<NetworkPacket>(4);
+        let unroutable = Arc::new(AtomicU64::new(0));
+        let fwd = PollingForwarder {
+            name: "t".into(),
+            inputs: vec![in_rx],
+            outputs: vec![out_tx],
+            route: Box::new(|p| if p.header.dst == 0 { Route::Output(0) } else { Route::Drop }),
+            persistence: 1,
+            stop: Arc::new(AtomicBool::new(false)),
+            forwards: Arc::new(AtomicU64::new(0)),
+            unroutable: unroutable.clone(),
+        };
+        let h = std::thread::spawn(move || fwd.run());
+        in_tx.send(pkt(0)).unwrap();
+        in_tx.send(pkt(3)).unwrap();
+        in_tx.send(pkt(0)).unwrap();
+        drop(in_tx);
+        h.join().unwrap();
+        assert_eq!(out_rx.len(), 2);
+        assert_eq!(unroutable.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn stop_flag_releases_stalled_forwarder() {
+        // Output capacity 1, no consumer: the forwarder stalls until stop.
+        let (in_tx, in_rx) = bounded(8);
+        let (out_tx, _out_rx) = bounded::<NetworkPacket>(1);
+        let stop = Arc::new(AtomicBool::new(false));
+        let fwd = PollingForwarder {
+            name: "t".into(),
+            inputs: vec![in_rx],
+            outputs: vec![out_tx],
+            route: Box::new(|_| Route::Output(0)),
+            persistence: 1,
+            stop: stop.clone(),
+            forwards: Arc::new(AtomicU64::new(0)),
+            unroutable: Arc::new(AtomicU64::new(0)),
+        };
+        let h = std::thread::spawn(move || fwd.run());
+        in_tx.send(pkt(0)).unwrap();
+        in_tx.send(pkt(0)).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        stop.store(true, Ordering::SeqCst);
+        h.join().unwrap(); // must terminate
+    }
+}

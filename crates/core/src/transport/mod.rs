@@ -1,0 +1,31 @@
+//! The thread-based transport layer: CKS/CKR kernels as threads, QSFP links
+//! as bounded channels, wired from the same topology/routing-plan/design
+//! triple as the cycle-accurate fabric.
+
+pub mod ck;
+pub mod wiring;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Transport-wide counters, shared with the CK threads.
+#[derive(Debug, Clone, Default)]
+pub struct TransportStats {
+    /// Packets forwarded by CKS kernels.
+    pub cks_forwards: Arc<AtomicU64>,
+    /// Packets forwarded by CKR kernels.
+    pub ckr_forwards: Arc<AtomicU64>,
+    /// Packets dropped for lack of a route/port binding (always a bug).
+    pub unroutable: Arc<AtomicU64>,
+}
+
+impl TransportStats {
+    /// Snapshot `(cks_forwards, ckr_forwards, unroutable)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.cks_forwards.load(Ordering::Relaxed),
+            self.ckr_forwards.load(Ordering::Relaxed),
+            self.unroutable.load(Ordering::Relaxed),
+        )
+    }
+}

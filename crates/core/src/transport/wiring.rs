@@ -1,0 +1,320 @@
+//! Constructing the transport: endpoint FIFOs, CK threads and links from the
+//! (topology, routing plan, generated design) triple — the same inputs the
+//! paper's host program uploads to the devices.
+
+use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use smi_codegen::{ClusterDesign, OpKind};
+use smi_topology::{NextHop, RoutingPlan, Topology};
+use smi_wire::{NetworkPacket, PacketOp};
+
+use crate::endpoint::{CollRes, EndpointTable, RecvRes, SendRes};
+use crate::params::RuntimeParams;
+use crate::transport::ck::{PollingForwarder, Route};
+use crate::transport::TransportStats;
+
+/// Everything the env needs back from wiring: per-rank endpoint tables and
+/// the CK thread handles to join at shutdown.
+pub(crate) struct TransportHandle {
+    pub tables: Vec<EndpointTable>,
+    pub threads: Vec<JoinHandle<()>>,
+}
+
+/// A bounded channel pair used for intra-rank CK plumbing.
+type Pipe = (Sender<NetworkPacket>, Receiver<NetworkPacket>);
+
+/// Delivery targets of one port at one rank.
+#[derive(Default)]
+struct PortDelivery {
+    /// (owner CK pair, sender) for data/sync packets.
+    data: Option<(usize, Sender<NetworkPacket>)>,
+    /// (owner CK pair, sender) for credit packets.
+    credit: Option<(usize, Sender<NetworkPacket>)>,
+}
+
+/// Build all channels and spawn the CK threads.
+pub(crate) fn build_transport(
+    topo: &Topology,
+    plan: &RoutingPlan,
+    design: &ClusterDesign,
+    params: &RuntimeParams,
+    stop: Arc<AtomicBool>,
+    stats: TransportStats,
+) -> TransportHandle {
+    let n = topo.num_ranks();
+    if n == 1 {
+        return build_single_rank(design, params);
+    }
+
+    // Directed link channels, keyed by the sender-side endpoint.
+    let mut link_tx: HashMap<(usize, usize), Sender<NetworkPacket>> = HashMap::new();
+    let mut link_rx: HashMap<(usize, usize), Receiver<NetworkPacket>> = HashMap::new();
+    for c in topo.connections() {
+        for (from, to) in [(c.a, c.b), (c.b, c.a)] {
+            let (tx, rx) = bounded(params.ck_fifo_depth);
+            link_tx.insert((from.rank, from.qsfp), tx);
+            link_rx.insert((to.rank, to.qsfp), rx);
+        }
+    }
+
+    let mut tables = Vec::with_capacity(n);
+    let mut threads = Vec::new();
+
+    for r in 0..n {
+        let rank_design = design.rank(r);
+        let pairs: Vec<usize> = rank_design.ck_qsfps.clone();
+        let np = pairs.len();
+        let mut pair_of_qsfp = vec![usize::MAX; topo.ports_per_rank()];
+        for (i, &q) in pairs.iter().enumerate() {
+            pair_of_qsfp[q] = i;
+        }
+
+        // Intra-rank CK interconnect.
+        let mk = || bounded::<NetworkPacket>(params.ck_fifo_depth);
+        let cks_to_ckr: Vec<_> = (0..np).map(|_| mk()).collect();
+        let ckr_to_cks: Vec<_> = (0..np).map(|_| mk()).collect();
+        let mut cks_to_cks: Vec<Vec<Option<Pipe>>> =
+            (0..np).map(|_| (0..np).map(|_| None).collect()).collect();
+        let mut ckr_to_ckr: Vec<Vec<Option<Pipe>>> =
+            (0..np).map(|_| (0..np).map(|_| None).collect()).collect();
+        for i in 0..np {
+            for j in 0..np {
+                if i != j {
+                    cks_to_cks[i][j] = Some(mk());
+                    ckr_to_ckr[i][j] = Some(mk());
+                }
+            }
+        }
+
+        // Endpoints.
+        let mut table = EndpointTable::default();
+        let mut cks_app_inputs: Vec<Vec<Receiver<NetworkPacket>>> = vec![Vec::new(); np];
+        let mut deliveries: HashMap<usize, PortDelivery> = HashMap::new();
+        for b in &rank_design.bindings {
+            let op = b.op;
+            let pair = b.ck_pair;
+            table.declare(op.port, op.kind);
+            match op.kind {
+                OpKind::Send => {
+                    let (app_tx, cks_rx) = bounded(op.buffer_depth);
+                    cks_app_inputs[pair].push(cks_rx);
+                    let (credit_tx, credit_rx) = bounded(op.buffer_depth.max(4));
+                    let d = deliveries.entry(op.port).or_default();
+                    assert!(d.credit.is_none(), "duplicate credit delivery for port {}", op.port);
+                    d.credit = Some((pair, credit_tx));
+                    table.ports.entry(op.port).or_default().send =
+                        Some(SendRes { dtype: op.dtype, to_cks: app_tx, credit_rx });
+                }
+                OpKind::Recv => {
+                    let (data_tx, app_rx) = bounded(op.buffer_depth);
+                    let d = deliveries.entry(op.port).or_default();
+                    assert!(d.data.is_none(), "duplicate data delivery for port {}", op.port);
+                    d.data = Some((pair, data_tx));
+                    // Receive endpoints own a send path into their CKS for
+                    // credit grants (credit-based protocol, §3.3).
+                    let (grant_tx, grant_rx) = bounded::<NetworkPacket>(4);
+                    cks_app_inputs[pair].push(grant_rx);
+                    table.ports.entry(op.port).or_default().recv =
+                        Some(RecvRes { dtype: op.dtype, from_ckr: app_rx, grant_tx });
+                }
+                _ => {
+                    let (sup_tx, cks_rx) = bounded(op.buffer_depth);
+                    cks_app_inputs[pair].push(cks_rx);
+                    let (data_tx, data_rx) = bounded(op.buffer_depth);
+                    let (credit_tx, credit_rx) = bounded(op.buffer_depth.max(4));
+                    let d = deliveries.entry(op.port).or_default();
+                    assert!(
+                        d.data.is_none() && d.credit.is_none(),
+                        "collective port clash on port {}",
+                        op.port
+                    );
+                    d.data = Some((pair, data_tx));
+                    d.credit = Some((pair, credit_tx));
+                    table.ports.entry(op.port).or_default().coll = Some(CollRes {
+                        kind: op.kind,
+                        dtype: op.dtype,
+                        reduce_op: op.reduce_op,
+                        to_cks: sup_tx,
+                        rx: data_rx,
+                        credit_rx,
+                    });
+                }
+            }
+        }
+
+        // --- CKS threads ---
+        for p in 0..np {
+            let mut inputs = std::mem::take(&mut cks_app_inputs[p]);
+            inputs.push(ckr_to_cks[p].1.clone());
+            let mut outputs = vec![
+                link_tx[&(r, pairs[p])].clone(), // 0: network port
+                cks_to_ckr[p].0.clone(),         // 1: paired CKR (local dst)
+            ];
+            let mut out_idx_of_pair = vec![usize::MAX; np];
+            for j in 0..np {
+                if j != p {
+                    inputs.push(cks_to_cks[j][p].as_ref().expect("wired").1.clone());
+                    out_idx_of_pair[j] = outputs.len();
+                    outputs.push(cks_to_cks[p][j].as_ref().expect("wired").0.clone());
+                }
+            }
+            // dst rank -> output index (the M20K routing table of §4.3).
+            let route_table: Vec<usize> = (0..n)
+                .map(|dst| match plan.next_hop(r, dst) {
+                    NextHop::Local => 1,
+                    NextHop::Via(q) => {
+                        let t = pair_of_qsfp[q];
+                        if t == p {
+                            0
+                        } else {
+                            out_idx_of_pair[t]
+                        }
+                    }
+                })
+                .collect();
+            let fwd = PollingForwarder {
+                name: format!("r{r}.cks{p}"),
+                inputs,
+                outputs,
+                route: Box::new(move |pkt: &NetworkPacket| {
+                    match route_table.get(pkt.header.dst as usize) {
+                        Some(&idx) => Route::Output(idx),
+                        None => Route::Drop,
+                    }
+                }),
+                persistence: params.poll_persistence,
+                stop: stop.clone(),
+                forwards: stats.cks_forwards.clone(),
+                unroutable: stats.unroutable.clone(),
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("smi-cks-{r}-{p}"))
+                    .spawn(move || fwd.run())
+                    .expect("spawn CKS thread"),
+            );
+        }
+
+        // --- CKR threads ---
+        for p in 0..np {
+            let mut inputs = vec![link_rx[&(r, pairs[p])].clone(), cks_to_ckr[p].1.clone()];
+            let mut outputs = vec![ckr_to_cks[p].0.clone()]; // 0: paired CKS (transit)
+            let mut out_idx_of_pair = vec![usize::MAX; np];
+            for j in 0..np {
+                if j != p {
+                    inputs.push(ckr_to_ckr[j][p].as_ref().expect("wired").1.clone());
+                    out_idx_of_pair[j] = outputs.len();
+                    outputs.push(ckr_to_ckr[p][j].as_ref().expect("wired").0.clone());
+                }
+            }
+            // (port, is_credit) -> output index.
+            let mut delivery_idx: HashMap<(usize, bool), usize> = HashMap::new();
+            for (&port, d) in &deliveries {
+                if let Some((owner, tx)) = &d.data {
+                    let idx = if *owner == p {
+                        outputs.push(tx.clone());
+                        outputs.len() - 1
+                    } else {
+                        out_idx_of_pair[*owner]
+                    };
+                    delivery_idx.insert((port, false), idx);
+                }
+                if let Some((owner, tx)) = &d.credit {
+                    let idx = if *owner == p {
+                        outputs.push(tx.clone());
+                        outputs.len() - 1
+                    } else {
+                        out_idx_of_pair[*owner]
+                    };
+                    delivery_idx.insert((port, true), idx);
+                }
+            }
+            let my_rank = r;
+            let fwd = PollingForwarder {
+                name: format!("r{r}.ckr{p}"),
+                inputs,
+                outputs,
+                route: Box::new(move |pkt: &NetworkPacket| {
+                    if pkt.header.dst as usize != my_rank {
+                        return Route::Output(0);
+                    }
+                    let key = (pkt.header.port as usize, pkt.header.op == PacketOp::Credit);
+                    match delivery_idx.get(&key) {
+                        Some(&idx) => Route::Output(idx),
+                        None => Route::Drop,
+                    }
+                }),
+                persistence: params.poll_persistence,
+                stop: stop.clone(),
+                forwards: stats.ckr_forwards.clone(),
+                unroutable: stats.unroutable.clone(),
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("smi-ckr-{r}-{p}"))
+                    .spawn(move || fwd.run())
+                    .expect("spawn CKR thread"),
+            );
+        }
+
+        tables.push(table);
+    }
+
+    TransportHandle { tables, threads }
+}
+
+/// Single-rank cluster: no network — wire each port's send side straight to
+/// its receive side (intra-rank channels on matching ports, §3.1.1). The
+/// recv grant path loops back into the send side's credit input, so even the
+/// credit-based protocol works locally.
+fn build_single_rank(design: &ClusterDesign, params: &RuntimeParams) -> TransportHandle {
+    let rank_design = design.rank(0);
+    let mut table = EndpointTable::default();
+    // First pass: sends establish the data path per port.
+    for b in &rank_design.bindings {
+        let op = b.op;
+        table.declare(op.port, op.kind);
+        match op.kind {
+            OpKind::Send => {
+                let depth = op.buffer_depth.max(params.endpoint_fifo_depth);
+                let (data_tx, data_rx) = bounded(depth);
+                let (grant_tx, credit_rx) = bounded(4);
+                let slot = table.ports.entry(op.port).or_default();
+                slot.send = Some(SendRes { dtype: op.dtype, to_cks: data_tx, credit_rx });
+                slot.recv = Some(RecvRes { dtype: op.dtype, from_ckr: data_rx, grant_tx });
+            }
+            OpKind::Recv => {
+                // Paired with the Send arm above when the port has both; a
+                // lone Recv on a single rank can never receive — wire a dead
+                // channel so pops report a timeout instead of panicking.
+                let slot = table.ports.entry(op.port).or_default();
+                if slot.recv.is_none() {
+                    let (_dead_tx, data_rx) = bounded::<NetworkPacket>(1);
+                    std::mem::forget(_dead_tx);
+                    let (grant_tx, _dead_rx) = bounded(1);
+                    std::mem::forget(_dead_rx);
+                    slot.recv =
+                        Some(RecvRes { dtype: op.dtype, from_ckr: data_rx, grant_tx });
+                }
+            }
+            _ => {
+                let (tx, rx) = bounded(op.buffer_depth);
+                let (_ctx, crx) = bounded::<NetworkPacket>(4);
+                std::mem::forget(_ctx); // no credits on a single rank
+                table.ports.entry(op.port).or_default().coll = Some(CollRes {
+                    kind: op.kind,
+                    dtype: op.dtype,
+                    reduce_op: op.reduce_op,
+                    to_cks: tx,
+                    rx,
+                    credit_rx: crx,
+                });
+            }
+        }
+    }
+    TransportHandle { tables: vec![table], threads: Vec::new() }
+}

@@ -1,0 +1,170 @@
+//! Property tests of the thread-based runtime: arbitrary message contents,
+//! sizes, datatypes, topologies and buffer configurations must deliver
+//! bit-exact, in-order data.
+
+use proptest::prelude::*;
+use smi::env::SmiCtx;
+use smi::prelude::*;
+
+type Prog<T> = Box<dyn FnOnce(SmiCtx) -> T + Send>;
+
+/// Send arbitrary f64 payloads between a random pair of ranks on a random
+/// built-in topology; the receiver must see the exact bit pattern.
+fn roundtrip(
+    topo: &Topology,
+    src: usize,
+    dst: usize,
+    payload: Vec<f64>,
+    params: RuntimeParams,
+    protocol: Protocol,
+) -> Vec<f64> {
+    let n = payload.len() as u64;
+    let metas: Vec<ProgramMeta> = (0..topo.num_ranks())
+        .map(|r| {
+            let mut m = ProgramMeta::new();
+            if r == src {
+                m = m.with(OpSpec::send(0, Datatype::Double));
+            }
+            if r == dst {
+                m = m.with(OpSpec::recv(0, Datatype::Double));
+            }
+            m
+        })
+        .collect();
+    let programs: Vec<Prog<Vec<f64>>> = (0..topo.num_ranks())
+        .map(|r| {
+            let b: Prog<Vec<f64>> = if r == src {
+                let payload = payload.clone();
+                Box::new(move |ctx| {
+                    let mut ch = ctx
+                        .open_send_channel_with::<f64>(n, dst, 0, protocol)
+                        .unwrap();
+                    for v in &payload {
+                        ch.push(v).unwrap();
+                    }
+                    Vec::new()
+                })
+            } else if r == dst {
+                Box::new(move |ctx| {
+                    let mut ch = ctx
+                        .open_recv_channel_with::<f64>(n, src, 0, protocol)
+                        .unwrap();
+                    (0..n).map(|_| ch.pop().unwrap()).collect()
+                })
+            } else {
+                Box::new(|_| Vec::new())
+            };
+            b
+        })
+        .collect();
+    run_mpmd(topo, metas, programs, params)
+        .unwrap()
+        .results
+        .swap_remove(dst)
+}
+
+fn topo_of(pick: u8) -> Topology {
+    match pick % 4 {
+        0 => Topology::bus(3),
+        1 => Topology::bus(5),
+        2 => Topology::torus2d(2, 2),
+        _ => Topology::torus2d(2, 3),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary payloads arrive bit-exact (NaNs included) over eager
+    /// channels on assorted topologies.
+    #[test]
+    fn payload_bits_preserved(
+        payload in prop::collection::vec(any::<f64>(), 1..300),
+        topo_pick in any::<u8>(),
+        src_pick in any::<u8>(),
+        dst_pick in any::<u8>(),
+    ) {
+        let topo = topo_of(topo_pick);
+        let n = topo.num_ranks();
+        let src = src_pick as usize % n;
+        let dst = dst_pick as usize % n;
+        prop_assume!(src != dst);
+        let got = roundtrip(&topo, src, dst, payload.clone(),
+            RuntimeParams::default(), Protocol::Eager);
+        let a: Vec<u64> = payload.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Credit-mode channels deliver identically for any window size.
+    #[test]
+    fn credit_windows_deliver(
+        payload in prop::collection::vec(any::<f64>(), 1..200),
+        window in 1u64..64,
+    ) {
+        let topo = Topology::bus(3);
+        let got = roundtrip(&topo, 0, 2, payload.clone(),
+            RuntimeParams::default(), Protocol::Credit { window });
+        prop_assert_eq!(got.len(), payload.len());
+        let a: Vec<u64> = payload.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Tight buffers never affect correctness, only timing.
+    #[test]
+    fn tight_buffers_correct(payload in prop::collection::vec(any::<f64>(), 1..150)) {
+        let topo = Topology::bus(4);
+        let got = roundtrip(&topo, 0, 3, payload.clone(),
+            RuntimeParams::tight(), Protocol::Eager);
+        let a: Vec<u64> = payload.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Reduce over random contributions matches the serial fold for all ops.
+    #[test]
+    fn reduce_matches_serial_fold(
+        count in 1u64..80,
+        root in 0usize..4,
+        op_pick in 0usize..3,
+        seed in any::<i32>(),
+    ) {
+        let op = ReduceOp::ALL[op_pick];
+        let topo = Topology::torus2d(2, 2);
+        let meta = ProgramMeta::new().with(OpSpec::reduce(0, Datatype::Int, op));
+        let report = run_spmd(
+            &topo,
+            meta,
+            move |ctx: SmiCtx| {
+                let comm = ctx.world();
+                let rank = comm.rank() as i32;
+                let mut ch = ctx.open_reduce_channel::<i32>(count, 0, root, &comm).unwrap();
+                let mut out = Vec::new();
+                for i in 0..count as i32 {
+                    let contrib = seed.wrapping_mul(rank + 1).wrapping_add(i * 37);
+                    if let Some(v) = ch.reduce(&contrib).unwrap() {
+                        out.push(v);
+                    }
+                }
+                out
+            },
+            RuntimeParams::default(),
+        )
+        .unwrap();
+        let want: Vec<i32> = (0..count as i32)
+            .map(|i| {
+                (0..4)
+                    .map(|rank| seed.wrapping_mul(rank + 1).wrapping_add(i * 37))
+                    .reduce(|a, b| op.apply(a, b))
+                    .unwrap()
+            })
+            .collect();
+        prop_assert_eq!(&report.results[root], &want);
+        for (r, res) in report.results.iter().enumerate() {
+            if r != root {
+                prop_assert!(res.is_empty());
+            }
+        }
+    }
+}

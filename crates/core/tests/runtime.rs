@@ -1,0 +1,640 @@
+//! End-to-end tests of the thread-based SMI runtime: real data over real
+//! routed transport threads.
+
+use smi::prelude::*;
+use smi::env::SmiCtx;
+
+type Prog<T> = Box<dyn FnOnce(SmiCtx) -> T + Send>;
+
+fn send_recv_pair(topo: &Topology, src: usize, dst: usize, n: u64, params: RuntimeParams) -> Vec<i32> {
+    let metas: Vec<ProgramMeta> = (0..topo.num_ranks())
+        .map(|r| {
+            let mut m = ProgramMeta::new();
+            if r == src {
+                m = m.with(OpSpec::send(0, Datatype::Int));
+            }
+            if r == dst {
+                m = m.with(OpSpec::recv(0, Datatype::Int));
+            }
+            m
+        })
+        .collect();
+    let programs: Vec<Prog<Vec<i32>>> = (0..topo.num_ranks())
+        .map(|r| {
+            let b: Prog<Vec<i32>> = if r == src {
+                Box::new(move |ctx| {
+                    let mut ch = ctx.open_send_channel::<i32>(n, dst, 0).unwrap();
+                    for i in 0..n as i32 {
+                        ch.push(&(i * 3)).unwrap();
+                    }
+                    Vec::new()
+                })
+            } else if r == dst {
+                Box::new(move |ctx| {
+                    let mut ch = ctx.open_recv_channel::<i32>(n, src, 0).unwrap();
+                    (0..n).map(|_| ch.pop().unwrap()).collect()
+                })
+            } else {
+                Box::new(|_ctx| Vec::new())
+            };
+            b
+        })
+        .collect();
+    let report = run_mpmd(topo, metas, programs, params).unwrap();
+    assert_eq!(report.transport.2, 0, "unroutable packets");
+    report.results.into_iter().nth(dst).unwrap()
+}
+
+#[test]
+fn p2p_adjacent() {
+    let topo = Topology::bus(2);
+    let got = send_recv_pair(&topo, 0, 1, 100, RuntimeParams::default());
+    assert_eq!(got, (0..100).map(|i| i * 3).collect::<Vec<i32>>());
+}
+
+#[test]
+fn p2p_multihop_bus() {
+    // 0 -> 7 crosses six intermediate ranks' CK kernels.
+    let topo = Topology::bus(8);
+    let got = send_recv_pair(&topo, 0, 7, 500, RuntimeParams::default());
+    assert_eq!(got.len(), 500);
+    assert_eq!(got[499], 499 * 3);
+}
+
+#[test]
+fn p2p_on_torus() {
+    let topo = Topology::torus2d(2, 4);
+    let got = send_recv_pair(&topo, 1, 6, 333, RuntimeParams::default());
+    assert_eq!(got, (0..333).map(|i| i * 3).collect::<Vec<i32>>());
+}
+
+#[test]
+fn p2p_tight_buffers_backpressure() {
+    // One-packet FIFOs everywhere: correctness must not depend on buffering.
+    let topo = Topology::bus(4);
+    let got = send_recv_pair(&topo, 0, 3, 1000, RuntimeParams::tight());
+    assert_eq!(got.len(), 1000);
+    assert_eq!(got, (0..1000).map(|i| i * 3).collect::<Vec<i32>>());
+}
+
+#[test]
+fn p2p_reverse_direction() {
+    let topo = Topology::bus(8);
+    let got = send_recv_pair(&topo, 7, 2, 64, RuntimeParams::default());
+    assert_eq!(got.len(), 64);
+}
+
+#[test]
+fn intra_rank_channel() {
+    // "Channels can also be used to communicate between two applications
+    // that exist within the same rank using matching ports" (§3.1.1).
+    let topo = Topology::bus(2);
+    let metas = vec![
+        ProgramMeta::new()
+            .with(OpSpec::send(0, Datatype::Double))
+            .with(OpSpec::recv(0, Datatype::Double)),
+        ProgramMeta::new(),
+    ];
+    let programs: Vec<Prog<f64>> = vec![
+        Box::new(|ctx| {
+            let mut tx = ctx.open_send_channel::<f64>(10, 0, 0).unwrap();
+            for i in 0..10 {
+                tx.push(&(i as f64 * 0.5)).unwrap();
+            }
+            drop(tx);
+            let mut rx = ctx.open_recv_channel::<f64>(10, 0, 0).unwrap();
+            (0..10).map(|_| rx.pop().unwrap()).sum()
+        }),
+        Box::new(|_| 0.0),
+    ];
+    let report = run_mpmd(&topo, metas, programs, RuntimeParams::default()).unwrap();
+    assert_eq!(report.results[0], (0..10).map(|i| i as f64 * 0.5).sum::<f64>());
+}
+
+#[test]
+fn bidirectional_exchange() {
+    // Two ranks exchange simultaneously on distinct ports. The exchange is
+    // chunked at packet granularity (7 floats): SMI_Push only emits a packet
+    // when the payload fills, so an element-wise lockstep exchange would
+    // deadlock — exactly the §3.3 caveat that correctness "must be
+    // guaranteed by the user … even if the system provides no buffering".
+    let topo = Topology::bus(2);
+    let meta = ProgramMeta::new()
+        .with(OpSpec::send(0, Datatype::Float))
+        .with(OpSpec::recv(1, Datatype::Float))
+        .with(OpSpec::send(1, Datatype::Float))
+        .with(OpSpec::recv(0, Datatype::Float));
+    let n = 2100u64; // multiple of the 7-element packet capacity
+    let report = run_spmd(
+        &topo,
+        meta,
+        move |ctx: SmiCtx| {
+            let peer = 1 - ctx.rank();
+            // Rank 0 sends on port 0 / receives on port 1; rank 1 mirrors.
+            let (sp, rp) = if ctx.rank() == 0 { (0, 1) } else { (1, 0) };
+            let mut tx = ctx.open_send_channel::<f32>(n, peer, sp).unwrap();
+            let mut rx = ctx.open_recv_channel::<f32>(n, peer, rp).unwrap();
+            let mut acc = 0.0f32;
+            let chunk = Datatype::Float.elems_per_packet() as u64;
+            for c in 0..n / chunk {
+                for k in 0..chunk {
+                    tx.push(&((c * chunk + k) as f32)).unwrap();
+                }
+                for _ in 0..chunk {
+                    acc += rx.pop().unwrap();
+                }
+            }
+            acc
+        },
+        RuntimeParams::default(),
+    )
+    .unwrap();
+    let expect: f32 = (0..2100).map(|i| i as f32).sum();
+    assert_eq!(report.results, vec![expect, expect]);
+}
+
+#[test]
+fn credit_protocol_p2p() {
+    let topo = Topology::bus(3);
+    let n = 700u64;
+    let metas = vec![
+        ProgramMeta::new().with(OpSpec::send(0, Datatype::Int)),
+        ProgramMeta::new(),
+        ProgramMeta::new().with(OpSpec::recv(0, Datatype::Int)),
+    ];
+    let programs: Vec<Prog<Vec<i32>>> = vec![
+        Box::new(move |ctx| {
+            let mut ch = ctx
+                .open_send_channel_with::<i32>(n, 2, 0, Protocol::Credit { window: 32 })
+                .unwrap();
+            for i in 0..n as i32 {
+                ch.push(&i).unwrap();
+            }
+            Vec::new()
+        }),
+        Box::new(|_| Vec::new()),
+        Box::new(move |ctx| {
+            let mut ch = ctx
+                .open_recv_channel_with::<i32>(n, 0, 0, Protocol::Credit { window: 32 })
+                .unwrap();
+            (0..n).map(|_| ch.pop().unwrap()).collect()
+        }),
+    ];
+    let report = run_mpmd(&topo, metas, programs, RuntimeParams::default()).unwrap();
+    assert_eq!(report.results[2], (0..n as i32).collect::<Vec<i32>>());
+}
+
+#[test]
+fn sequential_transient_channels_reuse_port() {
+    // Two messages back to back over the same port: transient channels.
+    let topo = Topology::bus(2);
+    let metas = vec![
+        ProgramMeta::new().with(OpSpec::send(0, Datatype::Int)),
+        ProgramMeta::new().with(OpSpec::recv(0, Datatype::Int)),
+    ];
+    let programs: Vec<Prog<Vec<i32>>> = vec![
+        Box::new(|ctx| {
+            for round in 0..3 {
+                let mut ch = ctx.open_send_channel::<i32>(5, 1, 0).unwrap();
+                for i in 0..5 {
+                    ch.push(&(round * 100 + i)).unwrap();
+                }
+            }
+            Vec::new()
+        }),
+        Box::new(|ctx| {
+            let mut out = Vec::new();
+            for _ in 0..3 {
+                let mut ch = ctx.open_recv_channel::<i32>(5, 0, 0).unwrap();
+                for _ in 0..5 {
+                    out.push(ch.pop().unwrap());
+                }
+            }
+            out
+        }),
+    ];
+    let report = run_mpmd(&topo, metas, programs, RuntimeParams::default()).unwrap();
+    let want: Vec<i32> = (0..3).flat_map(|r| (0..5).map(move |i| r * 100 + i)).collect();
+    assert_eq!(report.results[1], want);
+}
+
+#[test]
+fn open_errors() {
+    let topo = Topology::bus(2);
+    let metas = vec![
+        ProgramMeta::new().with(OpSpec::send(0, Datatype::Int)),
+        ProgramMeta::new().with(OpSpec::recv(0, Datatype::Int)),
+    ];
+    let programs: Vec<Prog<()>> = vec![
+        Box::new(|ctx| {
+            // Wrong type.
+            assert!(matches!(
+                ctx.open_send_channel::<f32>(1, 1, 0),
+                Err(SmiError::TypeMismatch { .. })
+            ));
+            // Unknown port.
+            assert!(matches!(
+                ctx.open_send_channel::<i32>(1, 1, 9),
+                Err(SmiError::NoSuchEndpoint { port: 9, .. })
+            ));
+            // Peer out of range.
+            assert!(matches!(
+                ctx.open_send_channel::<i32>(1, 7, 0),
+                Err(SmiError::BadRank { rank: 7, .. })
+            ));
+            // Double open.
+            let _c = ctx.open_send_channel::<i32>(1, 1, 0).unwrap();
+            assert!(matches!(
+                ctx.open_send_channel::<i32>(1, 1, 0),
+                Err(SmiError::EndpointBusy { port: 0 })
+            ));
+            // The peer still waits for one element.
+            drop(_c);
+            let mut c = ctx.open_send_channel::<i32>(1, 1, 0).unwrap();
+            c.push(&42).unwrap();
+            assert!(matches!(
+                c.push(&43),
+                Err(SmiError::CountExceeded { .. })
+            ));
+        }),
+        Box::new(|ctx| {
+            let mut ch = ctx.open_recv_channel::<i32>(1, 0, 0).unwrap();
+            assert_eq!(ch.pop().unwrap(), 42);
+        }),
+    ];
+    run_mpmd(&topo, metas, programs, RuntimeParams::default()).unwrap();
+}
+
+// ---------------- collectives ----------------
+
+#[test]
+fn bcast_spmd_all_roots() {
+    let topo = Topology::torus2d(2, 2);
+    let meta = ProgramMeta::new().with(OpSpec::bcast(0, Datatype::Float));
+    for root in 0..4 {
+        let report = run_spmd(
+            &topo,
+            meta.clone(),
+            move |ctx: SmiCtx| {
+                let comm = ctx.world();
+                let mut chan = ctx.open_bcast_channel::<f32>(50, 0, root, &comm).unwrap();
+                let mut got = Vec::new();
+                for i in 0..50 {
+                    let mut v = if comm.rank() == root { (i * i) as f32 } else { -1.0 };
+                    chan.bcast(&mut v).unwrap();
+                    got.push(v);
+                }
+                got
+            },
+            RuntimeParams::default(),
+        )
+        .unwrap();
+        let want: Vec<f32> = (0..50).map(|i| (i * i) as f32).collect();
+        for r in report.results {
+            assert_eq!(r, want, "root {root}");
+        }
+    }
+}
+
+#[test]
+fn reduce_add_and_minmax() {
+    let topo = Topology::torus2d(2, 4);
+    for op in [ReduceOp::Add, ReduceOp::Max, ReduceOp::Min] {
+        let meta = ProgramMeta::new().with(OpSpec::reduce(0, Datatype::Int, op));
+        let n = 100u64;
+        let report = run_spmd(
+            &topo,
+            meta,
+            move |ctx: SmiCtx| {
+                let comm = ctx.world();
+                let rank = comm.rank() as i32;
+                let mut chan = ctx.open_reduce_channel::<i32>(n, 0, 0, &comm).unwrap();
+                let mut results = Vec::new();
+                for i in 0..n as i32 {
+                    // Contribution: rank-dependent so max/min are nontrivial.
+                    let contrib = i + rank * 1000;
+                    if let Some(v) = chan.reduce(&contrib).unwrap() {
+                        results.push(v);
+                    }
+                }
+                results
+            },
+            RuntimeParams::default(),
+        )
+        .unwrap();
+        for (rank, res) in report.results.iter().enumerate() {
+            if rank == 0 {
+                let want: Vec<i32> = (0..100)
+                    .map(|i| match op {
+                        ReduceOp::Add => (0..8).map(|r| i + r * 1000).sum(),
+                        ReduceOp::Max => i + 7000,
+                        ReduceOp::Min => i,
+                    })
+                    .collect();
+                assert_eq!(res, &want, "{op:?}");
+            } else {
+                assert!(res.is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn reduce_small_credit_window_multiple_tiles() {
+    let topo = Topology::torus2d(2, 2);
+    let meta = ProgramMeta::new().with(OpSpec::reduce(0, Datatype::Float, ReduceOp::Add));
+    let mut params = RuntimeParams::default();
+    params.reduce_credits = 8; // force many credit round trips
+    let n = 100u64;
+    let report = run_spmd(
+        &topo,
+        meta,
+        move |ctx: SmiCtx| {
+            let comm = ctx.world();
+            let mut chan = ctx.open_reduce_channel::<f32>(n, 0, 1, &comm).unwrap();
+            let mut out = Vec::new();
+            for i in 0..n {
+                if let Some(v) = chan.reduce(&(i as f32)).unwrap() {
+                    out.push(v);
+                }
+            }
+            out
+        },
+        params,
+    )
+    .unwrap();
+    let want: Vec<f32> = (0..100).map(|i| 4.0 * i as f32).collect();
+    assert_eq!(report.results[1], want);
+}
+
+#[test]
+fn scatter_slices() {
+    let topo = Topology::torus2d(2, 2);
+    let meta = ProgramMeta::new().with(OpSpec::scatter(0, Datatype::Int));
+    let count = 13u64; // not a multiple of the packet capacity
+    let report = run_spmd(
+        &topo,
+        meta,
+        move |ctx: SmiCtx| {
+            let comm = ctx.world();
+            let root = 2;
+            let mut chan = ctx.open_scatter_channel::<i32>(count, 0, root, &comm).unwrap();
+            if comm.rank() == root {
+                for i in 0..count * 4 {
+                    chan.push(&(i as i32 * 2)).unwrap();
+                }
+            }
+            (0..count).map(|_| chan.pop().unwrap()).collect::<Vec<i32>>()
+        },
+        RuntimeParams::default(),
+    )
+    .unwrap();
+    for (rank, res) in report.results.iter().enumerate() {
+        let offset = rank as i32 * count as i32;
+        let want: Vec<i32> = (0..count as i32).map(|i| (offset + i) * 2).collect();
+        assert_eq!(res, &want, "rank {rank}");
+    }
+}
+
+#[test]
+fn gather_ordered() {
+    let topo = Topology::torus2d(2, 2);
+    let meta = ProgramMeta::new().with(OpSpec::gather(0, Datatype::Int));
+    let count = 9u64;
+    let report = run_spmd(
+        &topo,
+        meta,
+        move |ctx: SmiCtx| {
+            let comm = ctx.world();
+            let root = 1;
+            let rank = comm.rank() as i32;
+            let mut chan = ctx.open_gather_channel::<i32>(count, 0, root, &comm).unwrap();
+            for i in 0..count as i32 {
+                chan.push(&(rank * 100 + i)).unwrap();
+            }
+            if comm.rank() == root {
+                (0..count * 4).map(|_| chan.pop().unwrap()).collect::<Vec<i32>>()
+            } else {
+                Vec::new()
+            }
+        },
+        RuntimeParams::default(),
+    )
+    .unwrap();
+    let want: Vec<i32> =
+        (0..4).flat_map(|r| (0..count as i32).map(move |i| r * 100 + i)).collect();
+    assert_eq!(report.results[1], want);
+}
+
+#[test]
+fn collectives_on_sub_communicator() {
+    // Split the world in half and broadcast within each half independently.
+    let topo = Topology::torus2d(2, 4);
+    let meta = ProgramMeta::new().with(OpSpec::bcast(0, Datatype::Int));
+    let report = run_spmd(
+        &topo,
+        meta,
+        |ctx: SmiCtx| {
+            let world = ctx.world();
+            let color = (world.rank() % 2) as i64; // evens vs odds
+            let sub = world.split(color, world.rank() as i64).unwrap();
+            let mut chan = ctx.open_bcast_channel::<i32>(10, 0, 0, &sub).unwrap();
+            let mut got = Vec::new();
+            for i in 0..10 {
+                let mut v = if sub.rank() == 0 { color as i32 * 1000 + i } else { 0 };
+                chan.bcast(&mut v).unwrap();
+                got.push(v);
+            }
+            got
+        },
+        RuntimeParams::default(),
+    )
+    .unwrap();
+    for (rank, res) in report.results.iter().enumerate() {
+        let color = (rank % 2) as i32;
+        let want: Vec<i32> = (0..10).map(|i| color * 1000 + i).collect();
+        assert_eq!(res, &want, "rank {rank}");
+    }
+}
+
+#[test]
+fn two_parallel_collectives_on_distinct_ports() {
+    // "multiple collective communications of the same type [can] execute in
+    // parallel, provided that they use separate ports" (§3.2).
+    let topo = Topology::torus2d(2, 2);
+    let meta = ProgramMeta::new()
+        .with(OpSpec::bcast(0, Datatype::Int))
+        .with(OpSpec::bcast(1, Datatype::Int));
+    // Interleave the two broadcasts at packet granularity (7 ints): element-
+    // wise lockstep between two different roots would deadlock on packet
+    // framing, on real SMI hardware as much as here.
+    let n = 21i32;
+    let report = run_spmd(
+        &topo,
+        meta,
+        move |ctx: SmiCtx| {
+            let comm = ctx.world();
+            let mut a = ctx.open_bcast_channel::<i32>(n as u64, 0, 0, &comm).unwrap();
+            let mut b = ctx.open_bcast_channel::<i32>(n as u64, 1, 3, &comm).unwrap();
+            let mut out = (0i64, 0i64);
+            let chunk = Datatype::Int.elems_per_packet() as i32;
+            for c in 0..n / chunk {
+                for k in 0..chunk {
+                    let i = c * chunk + k;
+                    let mut va = if comm.rank() == 0 { i } else { 0 };
+                    a.bcast(&mut va).unwrap();
+                    out.0 += va as i64;
+                }
+                for k in 0..chunk {
+                    let i = c * chunk + k;
+                    let mut vb = if comm.rank() == 3 { i * 7 } else { 0 };
+                    b.bcast(&mut vb).unwrap();
+                    out.1 += vb as i64;
+                }
+            }
+            out
+        },
+        RuntimeParams::default(),
+    )
+    .unwrap();
+    let sum_a: i64 = (0..21).sum();
+    let sum_b: i64 = (0..21).map(|i| i * 7).sum();
+    for r in report.results {
+        assert_eq!(r, (sum_a, sum_b));
+    }
+}
+
+#[test]
+fn single_rank_cluster_local_channels() {
+    let topo = Topology::bus(1);
+    let metas = vec![ProgramMeta::new()
+        .with(OpSpec::send(0, Datatype::Int))
+        .with(OpSpec::recv(0, Datatype::Int))];
+    let programs: Vec<Prog<i32>> = vec![Box::new(|ctx| {
+        let mut tx = ctx.open_send_channel::<i32>(4, 0, 0).unwrap();
+        for i in 0..4 {
+            tx.push(&i).unwrap();
+        }
+        drop(tx);
+        let mut rx = ctx.open_recv_channel::<i32>(4, 0, 0).unwrap();
+        (0..4).map(|_| rx.pop().unwrap()).sum()
+    })];
+    let report = run_mpmd(&topo, metas, programs, RuntimeParams::default()).unwrap();
+    assert_eq!(report.results[0], 6);
+}
+
+#[test]
+fn zero_count_channels_are_noops() {
+    let topo = Topology::bus(2);
+    let metas = vec![
+        ProgramMeta::new()
+            .with(OpSpec::send(0, Datatype::Int))
+            .with(OpSpec::bcast(1, Datatype::Float)),
+        ProgramMeta::new()
+            .with(OpSpec::recv(0, Datatype::Int))
+            .with(OpSpec::bcast(1, Datatype::Float)),
+    ];
+    let programs: Vec<Prog<bool>> = vec![
+        Box::new(|ctx| {
+            let mut ch = ctx.open_send_channel::<i32>(0, 1, 0).unwrap();
+            assert!(matches!(ch.push(&1), Err(SmiError::CountExceeded { count: 0 })));
+            let comm = ctx.world();
+            let mut b = ctx.open_bcast_channel::<f32>(0, 1, 0, &comm).unwrap();
+            let mut v = 0.0;
+            assert!(matches!(b.bcast(&mut v), Err(SmiError::CountExceeded { .. })));
+            true
+        }),
+        Box::new(|ctx| {
+            let mut ch = ctx.open_recv_channel::<i32>(0, 0, 0).unwrap();
+            assert!(matches!(ch.pop(), Err(SmiError::CountExceeded { count: 0 })));
+            let comm = ctx.world();
+            let _b = ctx.open_bcast_channel::<f32>(0, 1, 0, &comm).unwrap();
+            true
+        }),
+    ];
+    let report = run_mpmd(&topo, metas, programs, RuntimeParams::default()).unwrap();
+    assert!(report.results.iter().all(|&r| r));
+}
+
+#[test]
+fn size_one_communicator_collectives() {
+    // Split the world into singletons: every rank is its own root; bcast
+    // and reduce degenerate to local no-ops that still move data correctly.
+    let topo = Topology::bus(2);
+    let meta = ProgramMeta::new()
+        .with(OpSpec::bcast(0, Datatype::Int))
+        .with(OpSpec::reduce(1, Datatype::Int, ReduceOp::Add));
+    let report = run_spmd(
+        &topo,
+        meta,
+        |ctx: SmiCtx| {
+            let world = ctx.world();
+            let me = world.rank() as i64;
+            let solo = world.split(me, 0).unwrap();
+            assert_eq!(solo.size(), 1);
+            let mut b = ctx.open_bcast_channel::<i32>(3, 0, 0, &solo).unwrap();
+            let mut sum = 0;
+            for i in 0..3 {
+                let mut v = me as i32 * 10 + i;
+                b.bcast(&mut v).unwrap();
+                sum += v;
+            }
+            let mut r = ctx.open_reduce_channel::<i32>(3, 1, 0, &solo).unwrap();
+            for i in 0..3 {
+                sum += r.reduce(&(i + 100)).unwrap().expect("root of own comm");
+            }
+            sum
+        },
+        RuntimeParams::default(),
+    )
+    .unwrap();
+    // bcast leaves the data as-is for a singleton; reduce returns the own
+    // contribution. rank r: sum = (10r + 10r+1 + 10r+2) + (100+101+102).
+    assert_eq!(report.results[0], 3 + 303);
+    assert_eq!(report.results[1], 30 + 3 + 303);
+}
+
+#[test]
+fn gather_and_scatter_role_errors() {
+    let topo = Topology::bus(2);
+    let meta = ProgramMeta::new()
+        .with(OpSpec::scatter(0, Datatype::Int))
+        .with(OpSpec::gather(1, Datatype::Int));
+    let report = run_spmd(
+        &topo,
+        meta,
+        |ctx: SmiCtx| {
+            let comm = ctx.world();
+            let root = 0;
+            let mut s = ctx.open_scatter_channel::<i32>(7, 0, root, &comm).unwrap();
+            let mut g = ctx.open_gather_channel::<i32>(7, 1, root, &comm).unwrap();
+            let mut ok = true;
+            if comm.rank() != root {
+                // Non-root may not push a scatter nor pop a gather.
+                ok &= matches!(s.push(&1), Err(SmiError::ProtocolViolation { .. }));
+                ok &= matches!(g.pop(), Err(SmiError::ProtocolViolation { .. }));
+            }
+            // Complete the collectives so both ranks exit cleanly.
+            if comm.rank() == root {
+                for i in 0..14 {
+                    s.push(&i).unwrap();
+                }
+            }
+            for _ in 0..7 {
+                let _ = s.pop().unwrap();
+            }
+            for i in 0..7 {
+                g.push(&i).unwrap();
+            }
+            if comm.rank() == root {
+                for _ in 0..14 {
+                    let _ = g.pop().unwrap();
+                }
+            }
+            ok
+        },
+        RuntimeParams::default(),
+    )
+    .unwrap();
+    assert!(report.results.iter().all(|&r| r));
+}

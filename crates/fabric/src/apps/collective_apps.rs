@@ -1,0 +1,186 @@
+//! Producer/consumer applications for the collective benchmarks.
+//!
+//! A [`CollectiveProducer`] is the application loop feeding a support kernel
+//! (`SMI_Bcast`/`SMI_Reduce`/… called once per element at the root or
+//! contributing side); a [`CollectiveConsumer`] pops and verifies results.
+//! Element values are supplied/checked through closures so each collective
+//! can express its expected data (sequence, slice offsets, reduced folds).
+
+use smi_wire::{Datatype, Deframer, Framer, NetworkPacket, PacketOp};
+
+use crate::apps::stream::ProbeHandle;
+use crate::engine::{Component, Status};
+use crate::fifo::{FifoId, FifoPool};
+
+/// Element generator closure: fills the byte slice with element `i`.
+pub type ValueFn = Box<dyn FnMut(u64, &mut [u8])>;
+/// Element checker closure: validates the byte slice of element `i`.
+pub type ExpectFn = Box<dyn FnMut(u64, &[u8]) -> bool>;
+
+/// Generates elements `value_fn(0..total)` into a support kernel's `app_in`.
+pub struct CollectiveProducer {
+    name: String,
+    out: FifoId,
+    dtype: Datatype,
+    framer: Framer,
+    total: u64,
+    generated: u64,
+    elems_per_cycle: u32,
+    pending: Option<NetworkPacket>,
+    value_fn: ValueFn,
+}
+
+impl CollectiveProducer {
+    /// New producer pushing `total` elements at `elems_per_cycle` per cycle.
+    pub fn new(
+        name: impl Into<String>,
+        out: FifoId,
+        dtype: Datatype,
+        total: u64,
+        elems_per_cycle: u32,
+        value_fn: impl FnMut(u64, &mut [u8]) + 'static,
+    ) -> Self {
+        let epp = dtype.elems_per_packet() as u32;
+        assert!(elems_per_cycle >= 1 && elems_per_cycle <= epp);
+        CollectiveProducer {
+            name: name.into(),
+            out,
+            dtype,
+            framer: Framer::new(dtype, 0, 0, 0, PacketOp::Send),
+            total,
+            generated: 0,
+            elems_per_cycle,
+            pending: None,
+            value_fn: Box::new(value_fn),
+        }
+    }
+}
+
+impl Component for CollectiveProducer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _cycle: u64, fifos: &mut FifoPool) -> Status {
+        if let Some(pkt) = self.pending.take() {
+            if fifos.can_push(self.out) {
+                fifos.push(self.out, pkt);
+                return Status::Active;
+            }
+            self.pending = Some(pkt);
+            return Status::Idle;
+        }
+        if self.generated == self.total {
+            return Status::Done;
+        }
+        let sz = self.dtype.size_bytes();
+        let mut buf = [0u8; 8];
+        for _ in 0..self.elems_per_cycle {
+            if self.generated == self.total {
+                break;
+            }
+            (self.value_fn)(self.generated, &mut buf[..sz]);
+            self.generated += 1;
+            if let Some(pkt) = self.framer.push_bytes(&buf[..sz]) {
+                self.pending = Some(pkt);
+                break;
+            }
+        }
+        if self.generated == self.total && self.pending.is_none() {
+            self.pending = self.framer.flush();
+        }
+        if let Some(pkt) = self.pending.take() {
+            if fifos.can_push(self.out) {
+                fifos.push(self.out, pkt);
+            } else {
+                self.pending = Some(pkt);
+            }
+        }
+        if self.generated == self.total && self.pending.is_none() {
+            Status::Done
+        } else {
+            Status::Active
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        true
+    }
+}
+
+/// Pops `total` elements from a support kernel's `app_out` and verifies each
+/// against `expect_fn`.
+pub struct CollectiveConsumer {
+    name: String,
+    input: FifoId,
+    dtype: Datatype,
+    deframer: Deframer,
+    total: u64,
+    received: u64,
+    probe: ProbeHandle,
+    expect_fn: ExpectFn,
+}
+
+impl CollectiveConsumer {
+    /// New consumer expecting `total` elements.
+    pub fn new(
+        name: impl Into<String>,
+        input: FifoId,
+        dtype: Datatype,
+        total: u64,
+        probe: ProbeHandle,
+        expect_fn: impl FnMut(u64, &[u8]) -> bool + 'static,
+    ) -> Self {
+        CollectiveConsumer {
+            name: name.into(),
+            input,
+            dtype,
+            deframer: Deframer::new(dtype),
+            total,
+            received: 0,
+            probe,
+            expect_fn: Box::new(expect_fn),
+        }
+    }
+}
+
+impl Component for CollectiveConsumer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, cycle: u64, fifos: &mut FifoPool) -> Status {
+        if self.received == self.total {
+            return Status::Done;
+        }
+        if self.deframer.is_empty() {
+            if !fifos.can_pop(self.input) {
+                return Status::Idle;
+            }
+            self.deframer.refill(fifos.pop(self.input));
+        }
+        let sz = self.dtype.size_bytes();
+        let mut buf = [0u8; 8];
+        while self.deframer.pop_bytes(&mut buf[..sz]) {
+            if !(self.expect_fn)(self.received, &buf[..sz]) {
+                self.probe.borrow_mut().errors += 1;
+            }
+            self.received += 1;
+            let mut p = self.probe.borrow_mut();
+            if p.first_cycle.is_none() {
+                p.first_cycle = Some(cycle);
+            }
+            p.last_cycle = Some(cycle);
+            p.elements += 1;
+        }
+        if self.received == self.total {
+            Status::Done
+        } else {
+            Status::Active
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        true
+    }
+}

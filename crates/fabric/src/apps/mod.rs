@@ -1,0 +1,12 @@
+//! Application-side components: pipelined kernels that exercise the SMI
+//! transport with verifiable data streams (microbenchmark sources/sinks,
+//! ping-pong, and the collective producer/consumer apps).
+
+pub mod collective_apps;
+pub mod data;
+pub mod pingpong;
+pub mod stream;
+
+pub use collective_apps::{CollectiveConsumer, CollectiveProducer};
+pub use pingpong::{PingPongInitiator, PingPongResponder};
+pub use stream::{Probe, ProbeHandle, StreamSink, StreamSource};

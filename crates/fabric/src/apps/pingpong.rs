@@ -1,0 +1,207 @@
+//! The latency microbenchmark: "a ping-pong benchmark of a small message
+//! between two ranks … the latency is half the execution time of a single
+//! round-trip" (§5.3.2).
+
+use smi_wire::{Datatype, Framer, NetworkPacket, PacketOp};
+
+use crate::engine::{Component, Status};
+use crate::fifo::{FifoId, FifoPool};
+
+fn one_elem_packet(dtype: Datatype, src: u8, dst: u8, port: u8, value: u64) -> NetworkPacket {
+    let mut framer = Framer::new(dtype, src, dst, port, PacketOp::Send);
+    let mut buf = [0u8; 8];
+    crate::apps::data::write_element(dtype, value, &mut buf[..dtype.size_bytes()]);
+    framer.push_bytes(&buf[..dtype.size_bytes()]);
+    framer.flush().expect("one element framed")
+}
+
+/// The rank that starts each round: sends a 1-element ping, waits for the
+/// 1-element pong, `iters` times.
+pub struct PingPongInitiator {
+    name: String,
+    out: FifoId,
+    input: FifoId,
+    dtype: Datatype,
+    my_rank: u8,
+    peer_rank: u8,
+    peer_port: u8,
+    iters: u32,
+    round: u32,
+    waiting: bool,
+}
+
+impl PingPongInitiator {
+    /// Build the initiator side.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        out: FifoId,
+        input: FifoId,
+        dtype: Datatype,
+        my_rank: u8,
+        peer_rank: u8,
+        peer_port: u8,
+        iters: u32,
+    ) -> Self {
+        assert!(iters >= 1);
+        PingPongInitiator {
+            name: name.into(),
+            out,
+            input,
+            dtype,
+            my_rank,
+            peer_rank,
+            peer_port,
+            iters,
+            round: 0,
+            waiting: false,
+        }
+    }
+}
+
+impl Component for PingPongInitiator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _cycle: u64, fifos: &mut FifoPool) -> Status {
+        if self.round == self.iters {
+            return Status::Done;
+        }
+        if self.waiting {
+            if fifos.can_pop(self.input) {
+                fifos.pop(self.input);
+                self.waiting = false;
+                self.round += 1;
+                if self.round == self.iters {
+                    return Status::Done;
+                }
+                return Status::Active;
+            }
+            return Status::Idle;
+        }
+        if fifos.can_push(self.out) {
+            let pkt = one_elem_packet(
+                self.dtype,
+                self.my_rank,
+                self.peer_rank,
+                self.peer_port,
+                self.round as u64,
+            );
+            fifos.push(self.out, pkt);
+            self.waiting = true;
+            Status::Active
+        } else {
+            Status::Idle
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        true
+    }
+}
+
+/// The echoing rank: pops a ping, sends a pong, `iters` times.
+pub struct PingPongResponder {
+    name: String,
+    out: FifoId,
+    input: FifoId,
+    dtype: Datatype,
+    my_rank: u8,
+    peer_rank: u8,
+    peer_port: u8,
+    iters: u32,
+    round: u32,
+    replying: bool,
+}
+
+impl PingPongResponder {
+    /// Build the responder side.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        out: FifoId,
+        input: FifoId,
+        dtype: Datatype,
+        my_rank: u8,
+        peer_rank: u8,
+        peer_port: u8,
+        iters: u32,
+    ) -> Self {
+        PingPongResponder {
+            name: name.into(),
+            out,
+            input,
+            dtype,
+            my_rank,
+            peer_rank,
+            peer_port,
+            iters,
+            round: 0,
+            replying: false,
+        }
+    }
+}
+
+impl Component for PingPongResponder {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _cycle: u64, fifos: &mut FifoPool) -> Status {
+        if self.round == self.iters {
+            return Status::Done;
+        }
+        if self.replying {
+            if fifos.can_push(self.out) {
+                let pkt = one_elem_packet(
+                    self.dtype,
+                    self.my_rank,
+                    self.peer_rank,
+                    self.peer_port,
+                    self.round as u64,
+                );
+                fifos.push(self.out, pkt);
+                self.replying = false;
+                self.round += 1;
+                if self.round == self.iters {
+                    return Status::Done;
+                }
+                return Status::Active;
+            }
+            return Status::Idle;
+        }
+        if fifos.can_pop(self.input) {
+            fifos.pop(self.input);
+            self.replying = true;
+            Status::Active
+        } else {
+            Status::Idle
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+
+    #[test]
+    fn pingpong_over_bare_fifos() {
+        // Two FIFOs back-to-back (no network): RTT = a few cycles per round.
+        let mut e = Engine::new();
+        let ab = e.fifos_mut().add("a->b", 4);
+        let ba = e.fifos_mut().add("b->a", 4);
+        let iters = 50;
+        e.add(PingPongInitiator::new("init", ab, ba, Datatype::Int, 0, 1, 0, iters));
+        e.add(PingPongResponder::new("resp", ba, ab, Datatype::Int, 1, 0, 0, iters));
+        let report = e.run(100_000).unwrap();
+        // Each round: push (1 cycle visibility) + pop + push + pop ≈ 4 cycles.
+        let per_round = report.cycles as f64 / iters as f64;
+        assert!((3.0..6.0).contains(&per_round), "per round {per_round}");
+    }
+}

@@ -1,0 +1,350 @@
+//! Streaming source and sink kernels — the bandwidth microbenchmark apps.
+//!
+//! A [`StreamSource`] is the pipelined send loop of Lst. 1: it opens a send
+//! channel (header template) and pushes elements cycle by cycle; the internal
+//! framer emits one network packet per `elems_per_packet` pushes. A
+//! [`StreamSink`] is the matching receive loop, verifying the element
+//! sequence as it pops.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use smi_wire::{Datatype, Deframer, Framer, NetworkPacket, PacketOp};
+
+use crate::apps::data;
+use crate::engine::{Component, Status};
+use crate::fifo::{FifoId, FifoPool};
+
+/// Measurement probe shared between an app component and the harness.
+#[derive(Debug, Default, Clone)]
+pub struct Probe {
+    /// Cycle at which the first element/packet was handled.
+    pub first_cycle: Option<u64>,
+    /// Cycle at which the last element/packet was handled.
+    pub last_cycle: Option<u64>,
+    /// Elements processed.
+    pub elements: u64,
+    /// Sequence mismatches observed (must stay 0).
+    pub errors: u64,
+}
+
+/// Shared handle to a [`Probe`].
+pub type ProbeHandle = Rc<RefCell<Probe>>;
+
+/// Fresh probe handle.
+pub fn new_probe() -> ProbeHandle {
+    Rc::new(RefCell::new(Probe::default()))
+}
+
+impl Probe {
+    fn touch(&mut self, cycle: u64, elems: u64) {
+        if self.first_cycle.is_none() {
+            self.first_cycle = Some(cycle);
+        }
+        self.last_cycle = Some(cycle);
+        self.elements += elems;
+    }
+}
+
+/// Pipelined sending application.
+pub struct StreamSource {
+    name: String,
+    out: FifoId,
+    dtype: Datatype,
+    framer: Framer,
+    total: u64,
+    generated: u64,
+    /// Elements pushed per cycle (the loop's vector width). Capped at one
+    /// packet per cycle: at most `dtype.elems_per_packet()`.
+    elems_per_cycle: u32,
+    /// When true every element is flushed as its own packet (1-element
+    /// messages, as in the injection-rate microbenchmark).
+    packet_per_element: bool,
+    /// The source idles this many cycles before producing (staggered-start
+    /// experiments).
+    start_delay: u64,
+    pending: Option<NetworkPacket>,
+    probe: ProbeHandle,
+}
+
+impl StreamSource {
+    /// A source at `src_rank` streaming `total` elements of `dtype` to
+    /// `dst_rank`:`dst_port`, `elems_per_cycle` wide.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        out: FifoId,
+        dtype: Datatype,
+        src_rank: u8,
+        dst_rank: u8,
+        dst_port: u8,
+        total: u64,
+        elems_per_cycle: u32,
+        probe: ProbeHandle,
+    ) -> Self {
+        let epp = dtype.elems_per_packet() as u32;
+        assert!(elems_per_cycle >= 1 && elems_per_cycle <= epp,
+            "elems_per_cycle must be in 1..={epp}");
+        StreamSource {
+            name: name.into(),
+            out,
+            dtype,
+            framer: Framer::new(dtype, src_rank, dst_rank, dst_port, PacketOp::Send),
+            total,
+            generated: 0,
+            elems_per_cycle,
+            packet_per_element: false,
+            start_delay: 0,
+            pending: None,
+            probe,
+        }
+    }
+
+    /// Flush every element as its own single-element packet.
+    pub fn packet_per_element(mut self) -> Self {
+        self.packet_per_element = true;
+        self
+    }
+
+    /// Idle for `cycles` before the first element (staggered starts).
+    pub fn with_start_delay(mut self, cycles: u64) -> Self {
+        self.start_delay = cycles;
+        self
+    }
+}
+
+impl Component for StreamSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, cycle: u64, fifos: &mut FifoPool) -> Status {
+        if cycle < self.start_delay {
+            return Status::Active; // armed, waiting for its start cycle
+        }
+        // Drain a stalled packet first (backpressure from the CKS FIFO).
+        // The pipeline stays stalled for the rest of the cycle: at most one
+        // packet leaves the source per cycle.
+        if let Some(pkt) = self.pending.take() {
+            if fifos.can_push(self.out) {
+                fifos.push(self.out, pkt);
+                return Status::Active;
+            }
+            self.pending = Some(pkt);
+            return Status::Idle;
+        }
+        if self.generated == self.total {
+            return Status::Done;
+        }
+        // Pipelined loop body: up to `elems_per_cycle` pushes this cycle.
+        let mut buf = [0u8; 8];
+        let sz = self.dtype.size_bytes();
+        let mut produced = 0u64;
+        for _ in 0..self.elems_per_cycle {
+            if self.generated == self.total {
+                break;
+            }
+            data::write_element(self.dtype, self.generated, &mut buf[..sz]);
+            self.generated += 1;
+            produced += 1;
+            if let Some(pkt) = self.framer.push_bytes(&buf[..sz]) {
+                debug_assert!(self.pending.is_none(), "one packet per cycle");
+                self.pending = Some(pkt);
+                break; // a full packet ends the cycle's work
+            }
+            if self.packet_per_element {
+                self.pending = self.framer.flush();
+                break;
+            }
+        }
+        if self.generated == self.total {
+            if let Some(pkt) = self.framer.flush() {
+                assert!(self.pending.is_none(), "tail flush collides with full packet");
+                self.pending = Some(pkt);
+            }
+        }
+        if produced > 0 {
+            self.probe.borrow_mut().touch(cycle, produced);
+        }
+        // Try to emit the packet in the same cycle (store-and-forward at the
+        // FIFO boundary still applies its one-cycle visibility).
+        if let Some(pkt) = self.pending.take() {
+            if fifos.can_push(self.out) {
+                fifos.push(self.out, pkt);
+            } else {
+                self.pending = Some(pkt);
+            }
+        }
+        if self.generated == self.total && self.pending.is_none() {
+            Status::Done
+        } else {
+            Status::Active
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        true
+    }
+}
+
+/// Pipelined receiving application.
+pub struct StreamSink {
+    name: String,
+    input: FifoId,
+    dtype: Datatype,
+    deframer: Deframer,
+    expected: u64,
+    received: u64,
+    /// Maximum packets accepted per cycle (1 models a single Pop-per-cycle
+    /// pipeline; the deframer then delivers its elements "within" the cycle,
+    /// i.e. the loop is vectorized to the packet width).
+    packets_per_cycle: u32,
+    probe: ProbeHandle,
+}
+
+impl StreamSink {
+    /// A sink expecting `expected` elements of `dtype`.
+    pub fn new(
+        name: impl Into<String>,
+        input: FifoId,
+        dtype: Datatype,
+        expected: u64,
+        probe: ProbeHandle,
+    ) -> Self {
+        StreamSink {
+            name: name.into(),
+            input,
+            dtype,
+            deframer: Deframer::new(dtype),
+            expected,
+            received: 0,
+            packets_per_cycle: 1,
+            probe,
+        }
+    }
+
+    fn drain_deframer(&mut self, cycle: u64) {
+        let sz = self.dtype.size_bytes();
+        let mut buf = [0u8; 8];
+        while self.deframer.pop_bytes(&mut buf[..sz]) {
+            if !data::check_element(self.dtype, self.received, &buf[..sz]) {
+                self.probe.borrow_mut().errors += 1;
+            }
+            self.received += 1;
+            self.probe.borrow_mut().touch(cycle, 1);
+        }
+    }
+}
+
+impl Component for StreamSink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, cycle: u64, fifos: &mut FifoPool) -> Status {
+        if self.received == self.expected {
+            return Status::Done;
+        }
+        let mut acted = false;
+        for _ in 0..self.packets_per_cycle {
+            if !self.deframer.is_empty() {
+                break;
+            }
+            if fifos.can_pop(self.input) {
+                let pkt = fifos.pop(self.input);
+                self.deframer.refill(pkt);
+                self.drain_deframer(cycle);
+                acted = true;
+            }
+        }
+        if self.received == self.expected {
+            Status::Done
+        } else if acted {
+            Status::Active
+        } else {
+            Status::Idle
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+
+    #[test]
+    fn source_to_sink_direct() {
+        // Source and sink joined by a bare FIFO (no network): verifies
+        // framing, pacing, and data integrity.
+        let mut e = Engine::new();
+        let f = e.fifos_mut().add("direct", 8);
+        let sp = new_probe();
+        let rp = new_probe();
+        e.add(StreamSource::new("src", f, Datatype::Float, 0, 1, 0, 100, 7, sp.clone()));
+        e.add(StreamSink::new("snk", f, Datatype::Float, 100, rp.clone()));
+        e.run(10_000).unwrap();
+        assert_eq!(rp.borrow().elements, 100);
+        assert_eq!(rp.borrow().errors, 0);
+        assert_eq!(sp.borrow().elements, 100);
+    }
+
+    #[test]
+    fn full_width_source_saturates_fifo() {
+        // 7 elems/cycle = 1 packet/cycle: 700 elements need ~100 cycles + pipeline.
+        let mut e = Engine::new();
+        let f = e.fifos_mut().add("direct", 8);
+        let rp = new_probe();
+        e.add(StreamSource::new("src", f, Datatype::Float, 0, 1, 0, 700, 7, new_probe()));
+        e.add(StreamSink::new("snk", f, Datatype::Float, 700, rp.clone()));
+        let report = e.run(10_000).unwrap();
+        assert!(report.cycles < 130, "cycles = {}", report.cycles);
+        assert_eq!(rp.borrow().errors, 0);
+    }
+
+    #[test]
+    fn narrow_source_paces_output() {
+        // 1 elem/cycle: 70 elements -> 10 packets over ~70 cycles.
+        let mut e = Engine::new();
+        let f = e.fifos_mut().add("direct", 8);
+        let rp = new_probe();
+        e.add(StreamSource::new("src", f, Datatype::Float, 0, 1, 0, 70, 1, new_probe()));
+        e.add(StreamSink::new("snk", f, Datatype::Float, 70, rp.clone()));
+        let report = e.run(10_000).unwrap();
+        assert!(report.cycles >= 70, "cycles = {}", report.cycles);
+        assert_eq!(rp.borrow().errors, 0);
+    }
+
+    #[test]
+    fn packet_per_element_mode() {
+        let mut e = Engine::new();
+        let f = e.fifos_mut().add("direct", 64);
+        let rp = new_probe();
+        e.add(
+            StreamSource::new("src", f, Datatype::Int, 0, 1, 0, 10, 7, new_probe())
+                .packet_per_element(),
+        );
+        e.add(StreamSink::new("snk", f, Datatype::Int, 10, rp.clone()));
+        e.run(10_000).unwrap();
+        // 10 packets pushed in total.
+        assert_eq!(e.fifos().pushes(f), 10);
+        assert_eq!(rp.borrow().errors, 0);
+    }
+
+    #[test]
+    fn partial_tail_packet() {
+        let mut e = Engine::new();
+        let f = e.fifos_mut().add("direct", 8);
+        let rp = new_probe();
+        e.add(StreamSource::new("src", f, Datatype::Double, 0, 1, 0, 7, 3, new_probe()));
+        e.add(StreamSink::new("snk", f, Datatype::Double, 7, rp.clone()));
+        e.run(10_000).unwrap();
+        // 7 doubles = 2 full packets (3+3) + tail (1).
+        assert_eq!(e.fifos().pushes(f), 3);
+        assert_eq!(rp.borrow().elements, 7);
+        assert_eq!(rp.borrow().errors, 0);
+    }
+}

@@ -1,0 +1,444 @@
+//! Wiring a complete multi-FPGA fabric.
+//!
+//! The builder consumes exactly what the real system consumes (Fig. 8): the
+//! cluster [`Topology`], the [`RoutingPlan`] produced by the route generator,
+//! and the [`ClusterDesign`] produced by the code generator. It instantiates,
+//! per rank, one CKS/CKR pair per connected QSFP port with the full §4.3
+//! interconnect (app FIFOs, paired CKS↔CKR FIFOs, all-to-all CKS→CKS and
+//! CKR→CKR FIFOs), and one directed [`QsfpLink`] per cable direction.
+//!
+//! Application and support-kernel components are registered against ports
+//! before [`FabricBuilder::finalize`]; the builder hands back the FIFO ids
+//! they need.
+
+use std::collections::HashMap;
+
+use smi_codegen::{ClusterDesign, OpKind};
+use smi_topology::{NextHop, RoutingPlan, Topology};
+
+use crate::ckr::{CkrKernel, CkrTarget};
+use crate::cks::{CksKernel, CksTarget};
+use crate::engine::{Component, Engine, SimError, SimReport};
+use crate::fifo::FifoId;
+use crate::link::QsfpLink;
+use crate::memory::{DramPool, DramPoolComponent, DramPoolHandle};
+use crate::params::FabricParams;
+use crate::stats::{new_stats, StatsHandle};
+
+/// FIFO endpoints handed to a collective support kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct SupportWiring {
+    /// Support kernel → CKS (packets leaving this rank).
+    pub to_cks: FifoId,
+    /// CKR → support kernel (packets arriving on this port).
+    pub from_ckr: FifoId,
+    /// Application → support kernel (local element stream, framed).
+    pub app_in: FifoId,
+    /// Support kernel → application (local element stream, framed).
+    pub app_out: FifoId,
+}
+
+/// Per-rank wiring state during construction.
+struct RankWiring {
+    /// pair index -> qsfp id.
+    ck_qsfps: Vec<usize>,
+    /// qsfp id -> pair index.
+    pair_of_qsfp: Vec<Option<usize>>,
+    /// Per pair: FIFOs from app/support endpoints into the CKS.
+    cks_app_inputs: Vec<Vec<FifoId>>,
+    /// Per pair: CKS -> paired CKR (local delivery).
+    cks_to_ckr: Vec<FifoId>,
+    /// Per pair: CKR -> paired CKS (transit forwarding).
+    ckr_to_cks: Vec<FifoId>,
+    /// [from pair][to pair] CKS -> CKS.
+    cks_to_cks: Vec<Vec<Option<FifoId>>>,
+    /// [from pair][to pair] CKR -> CKR.
+    ckr_to_ckr: Vec<Vec<Option<FifoId>>>,
+    /// Per pair: CKS -> link input.
+    net_out: Vec<FifoId>,
+    /// Per pair: link output -> CKR.
+    net_in: Vec<FifoId>,
+    /// port -> (owning pair, delivery FIFO into the app/support endpoint).
+    port_delivery: HashMap<usize, (usize, FifoId)>,
+}
+
+/// Builder for a simulated SMI cluster.
+pub struct FabricBuilder {
+    topo: Topology,
+    plan: RoutingPlan,
+    design: ClusterDesign,
+    params: FabricParams,
+    engine: Engine,
+    stats: StatsHandle,
+    ranks: Vec<RankWiring>,
+    /// Directed links: (link id, name, input fifo, output fifo).
+    links: Vec<(usize, String, FifoId, FifoId)>,
+    /// Components added by the user (apps, support kernels), in order.
+    user_components: Vec<Box<dyn Component>>,
+    dram_pools: Vec<(String, DramPoolHandle)>,
+}
+
+impl FabricBuilder {
+    /// Start building a fabric. Panics if any rank of a multi-rank topology
+    /// has no cables (the topology constructor normally guarantees
+    /// connectivity).
+    pub fn new(
+        topo: Topology,
+        plan: RoutingPlan,
+        design: ClusterDesign,
+        params: FabricParams,
+    ) -> FabricBuilder {
+        assert_eq!(plan.num_ranks(), topo.num_ranks(), "plan/topology mismatch");
+        assert_eq!(design.per_rank.len(), topo.num_ranks(), "design/topology mismatch");
+        let mut engine = Engine::new();
+        let n = topo.num_ranks();
+        let depth = params.ck_fifo_depth;
+        let mut ranks = Vec::with_capacity(n);
+        for r in 0..n {
+            let ck_qsfps: Vec<usize> = topo.neighbors(r).map(|(q, _)| q).collect();
+            assert!(
+                !ck_qsfps.is_empty() || n == 1,
+                "rank {r} has no network ports"
+            );
+            assert_eq!(
+                ck_qsfps, design.rank(r).ck_qsfps,
+                "design CK pairs must match topology at rank {r}"
+            );
+            let pairs = ck_qsfps.len();
+            let mut pair_of_qsfp = vec![None; topo.ports_per_rank()];
+            for (i, &q) in ck_qsfps.iter().enumerate() {
+                pair_of_qsfp[q] = Some(i);
+            }
+            let fifos = engine.fifos_mut();
+            let cks_to_ckr =
+                (0..pairs).map(|p| fifos.add(format!("r{r}.cks{p}->ckr{p}"), depth)).collect();
+            let ckr_to_cks =
+                (0..pairs).map(|p| fifos.add(format!("r{r}.ckr{p}->cks{p}"), depth)).collect();
+            let mut cks_to_cks = vec![vec![None; pairs]; pairs];
+            let mut ckr_to_ckr = vec![vec![None; pairs]; pairs];
+            for i in 0..pairs {
+                for j in 0..pairs {
+                    if i != j {
+                        cks_to_cks[i][j] =
+                            Some(fifos.add(format!("r{r}.cks{i}->cks{j}"), depth));
+                        ckr_to_ckr[i][j] =
+                            Some(fifos.add(format!("r{r}.ckr{i}->ckr{j}"), depth));
+                    }
+                }
+            }
+            let net_out =
+                (0..pairs).map(|p| fifos.add(format!("r{r}.cks{p}->net"), depth)).collect();
+            let net_in =
+                (0..pairs).map(|p| fifos.add(format!("r{r}.net->ckr{p}"), depth)).collect();
+            ranks.push(RankWiring {
+                ck_qsfps,
+                pair_of_qsfp,
+                cks_app_inputs: vec![Vec::new(); pairs],
+                cks_to_ckr,
+                ckr_to_cks,
+                cks_to_cks,
+                ckr_to_ckr,
+                net_out,
+                net_in,
+                port_delivery: HashMap::new(),
+            });
+        }
+        // Directed links, two per cable.
+        let mut links = Vec::new();
+        for c in topo.connections() {
+            for (from, to) in [(c.a, c.b), (c.b, c.a)] {
+                let id = links.len();
+                let in_fifo =
+                    ranks[from.rank].net_out[ranks[from.rank].pair_of_qsfp[from.qsfp].unwrap()];
+                let out_fifo =
+                    ranks[to.rank].net_in[ranks[to.rank].pair_of_qsfp[to.qsfp].unwrap()];
+                links.push((id, format!("link.{from}->{to}"), in_fifo, out_fifo));
+            }
+        }
+        let stats = new_stats(links.len());
+        FabricBuilder {
+            topo,
+            plan,
+            design,
+            params,
+            engine,
+            stats,
+            ranks,
+            links,
+            user_components: Vec::new(),
+            dram_pools: Vec::new(),
+        }
+    }
+
+    /// The platform parameters.
+    pub fn params(&self) -> &FabricParams {
+        &self.params
+    }
+
+    /// Shared statistics handle (live during and after the run).
+    pub fn stats(&self) -> StatsHandle {
+        self.stats.clone()
+    }
+
+    /// Register a point-to-point *send* endpoint: returns the FIFO the
+    /// application pushes framed packets into (drained by the bound CKS).
+    pub fn register_send(&mut self, rank: usize, port: usize) -> FifoId {
+        let binding = *self
+            .design
+            .rank(rank)
+            .binding(port, OpKind::Send)
+            .unwrap_or_else(|| panic!("no Send binding for rank {rank} port {port}"));
+        let fifo = self
+            .engine
+            .fifos_mut()
+            .add(format!("r{rank}.app_p{port}->cks"), binding.op.buffer_depth);
+        self.ranks[rank].cks_app_inputs[binding.ck_pair].push(fifo);
+        fifo
+    }
+
+    /// Register a point-to-point *receive* endpoint: returns the FIFO the
+    /// bound CKR delivers port-`port` packets into.
+    pub fn register_recv(&mut self, rank: usize, port: usize) -> FifoId {
+        let binding = *self
+            .design
+            .rank(rank)
+            .binding(port, OpKind::Recv)
+            .unwrap_or_else(|| panic!("no Recv binding for rank {rank} port {port}"));
+        let fifo = self
+            .engine
+            .fifos_mut()
+            .add(format!("r{rank}.ckr->app_p{port}"), binding.op.buffer_depth);
+        let prev = self.ranks[rank]
+            .port_delivery
+            .insert(port, (binding.ck_pair, fifo));
+        assert!(prev.is_none(), "port {port} already delivers at rank {rank}");
+        fifo
+    }
+
+    /// Register a collective endpoint on `port`: allocates the four FIFOs a
+    /// support kernel needs and wires its network side into the bound CK
+    /// pair.
+    pub fn register_collective(&mut self, rank: usize, port: usize, kind: OpKind) -> SupportWiring {
+        assert!(kind.is_collective(), "use register_send/register_recv for p2p");
+        let binding = *self
+            .design
+            .rank(rank)
+            .binding(port, kind)
+            .unwrap_or_else(|| panic!("no {kind:?} binding for rank {rank} port {port}"));
+        let depth = binding.op.buffer_depth;
+        let fifos = self.engine.fifos_mut();
+        let to_cks = fifos.add(format!("r{rank}.sup_p{port}->cks"), depth);
+        let from_ckr = fifos.add(format!("r{rank}.ckr->sup_p{port}"), depth);
+        let app_in = fifos.add(format!("r{rank}.app->sup_p{port}"), depth);
+        let app_out = fifos.add(format!("r{rank}.sup_p{port}->app"), depth);
+        self.ranks[rank].cks_app_inputs[binding.ck_pair].push(to_cks);
+        let prev = self.ranks[rank]
+            .port_delivery
+            .insert(port, (binding.ck_pair, from_ckr));
+        assert!(prev.is_none(), "port {port} already delivers at rank {rank}");
+        SupportWiring { to_cks, from_ckr, app_in, app_out }
+    }
+
+    /// Create a DRAM bandwidth pool for a rank's memory system.
+    pub fn add_dram_pool(&mut self, name: impl Into<String>, elems_per_cycle: f64) -> DramPoolHandle {
+        let handle = DramPool::new_handle(elems_per_cycle);
+        self.dram_pools.push((name.into(), handle.clone()));
+        handle
+    }
+
+    /// Add an application or support-kernel component.
+    pub fn add_component(&mut self, c: impl Component + 'static) {
+        self.user_components.push(Box::new(c));
+    }
+
+    /// Allocate a bare FIFO (for custom app-to-app plumbing inside a rank,
+    /// e.g. the GEMV→AXPY stream of GESUMMV).
+    pub fn add_local_fifo(&mut self, name: impl Into<String>, depth: usize) -> FifoId {
+        self.engine.fifos_mut().add(name, depth)
+    }
+
+    /// Instantiate all CK kernels and links and seal the fabric.
+    pub fn finalize(mut self) -> Fabric {
+        let n = self.topo.num_ranks();
+        // DRAM pools refill first, then user components, then CKs, then links.
+        for (name, pool) in std::mem::take(&mut self.dram_pools) {
+            self.engine.add(DramPoolComponent::new(name, pool));
+        }
+        for c in std::mem::take(&mut self.user_components) {
+            self.engine.add_boxed(c);
+        }
+        for r in 0..n {
+            let w = &self.ranks[r];
+            let pairs = w.ck_qsfps.len();
+            let max_port = w.port_delivery.keys().copied().max();
+            for p in 0..pairs {
+                // --- CKS ---
+                let mut inputs = w.cks_app_inputs[p].clone();
+                inputs.push(w.ckr_to_cks[p]);
+                for other in 0..pairs {
+                    if other != p {
+                        inputs.push(w.cks_to_cks[other][p].expect("inter-CKS fifo"));
+                    }
+                }
+                let table: Vec<CksTarget> = (0..n)
+                    .map(|dst| match self.plan.next_hop(r, dst) {
+                        NextHop::Local => CksTarget::PairedCkr,
+                        NextHop::Via(q) => {
+                            let target_pair =
+                                w.pair_of_qsfp[q].expect("route uses connected port");
+                            if target_pair == p {
+                                CksTarget::Net
+                            } else {
+                                CksTarget::OtherCks(target_pair)
+                            }
+                        }
+                    })
+                    .collect();
+                let to_other_cks: Vec<Option<FifoId>> = (0..pairs)
+                    .map(|t| if t == p { None } else { w.cks_to_cks[p][t] })
+                    .collect();
+                self.engine.add(
+                    CksKernel::new(
+                        format!("r{r}.cks{p}"),
+                        inputs,
+                        table,
+                        w.net_out[p],
+                        w.cks_to_ckr[p],
+                        to_other_cks,
+                        self.params.poll_persistence,
+                        self.stats.clone(),
+                    )
+                    .with_circuit_switching(self.params.circuit_hold_cycles),
+                );
+                // --- CKR ---
+                let mut inputs = vec![w.net_in[p], w.cks_to_ckr[p]];
+                for other in 0..pairs {
+                    if other != p {
+                        inputs.push(w.ckr_to_ckr[other][p].expect("inter-CKR fifo"));
+                    }
+                }
+                let table: Vec<Option<CkrTarget>> = match max_port {
+                    None => Vec::new(),
+                    Some(mp) => (0..=mp)
+                        .map(|port| {
+                            w.port_delivery.get(&port).map(|&(owner, fifo)| {
+                                if owner == p {
+                                    CkrTarget::App(fifo)
+                                } else {
+                                    CkrTarget::OtherCkr(owner)
+                                }
+                            })
+                        })
+                        .collect(),
+                };
+                let to_other_ckr: Vec<Option<FifoId>> = (0..pairs)
+                    .map(|t| if t == p { None } else { w.ckr_to_ckr[p][t] })
+                    .collect();
+                self.engine.add(CkrKernel::new(
+                    format!("r{r}.ckr{p}"),
+                    r,
+                    inputs,
+                    table,
+                    w.ckr_to_cks[p],
+                    to_other_ckr,
+                    self.params.poll_persistence,
+                    self.stats.clone(),
+                ));
+            }
+        }
+        let rate = self.params.link_packets_per_cycle();
+        let latency = self.params.link_latency_cycles;
+        for (id, name, input, output) in std::mem::take(&mut self.links) {
+            self.engine.add(QsfpLink::new(
+                name,
+                id,
+                input,
+                output,
+                rate,
+                latency,
+                self.stats.clone(),
+            ));
+        }
+        Fabric { engine: self.engine, stats: self.stats, params: self.params }
+    }
+}
+
+/// A sealed, runnable fabric.
+pub struct Fabric {
+    engine: Engine,
+    stats: StatsHandle,
+    params: FabricParams,
+}
+
+impl Fabric {
+    /// Run to completion (all terminal components done).
+    pub fn run(&mut self, max_cycles: u64) -> Result<SimReport, SimError> {
+        self.engine.run(max_cycles)
+    }
+
+    /// The shared statistics handle.
+    pub fn stats(&self) -> StatsHandle {
+        self.stats.clone()
+    }
+
+    /// The platform parameters.
+    pub fn params(&self) -> &FabricParams {
+        &self.params
+    }
+
+    /// Engine access for inspection.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smi_codegen::{ClusterDesign, OpSpec, ProgramMeta};
+    use smi_topology::{RoutingPlan, Topology};
+    use smi_wire::Datatype;
+
+    /// CKS table derivation sanity on a bus: rank 1's CKS for port to rank 3
+    /// must point at the eastern link.
+    #[test]
+    fn builder_wires_bus_without_panic() {
+        let topo = Topology::bus(4);
+        let plan = RoutingPlan::compute(&topo).unwrap();
+        let meta = ProgramMeta::new()
+            .with(OpSpec::send(0, Datatype::Int))
+            .with(OpSpec::recv(1, Datatype::Int));
+        let design = ClusterDesign::spmd(&meta, &topo).unwrap();
+        let mut b = FabricBuilder::new(topo, plan, design, FabricParams::default());
+        let _s = b.register_send(0, 0);
+        let _r = b.register_recv(3, 1);
+        let fabric = b.finalize();
+        // 4 ranks: ranks 0,3 have 1 pair; ranks 1,2 have 2 pairs => 6 CKS +
+        // 6 CKR + 6 directed links = 18 components.
+        assert_eq!(fabric.engine().num_components(), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "no Send binding")]
+    fn unregistered_port_panics() {
+        let topo = Topology::bus(2);
+        let plan = RoutingPlan::compute(&topo).unwrap();
+        let design = ClusterDesign::spmd(&ProgramMeta::new(), &topo).unwrap();
+        let mut b = FabricBuilder::new(topo, plan, design, FabricParams::default());
+        b.register_send(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already delivers")]
+    fn duplicate_recv_port_panics() {
+        let topo = Topology::bus(2);
+        let plan = RoutingPlan::compute(&topo).unwrap();
+        let meta = ProgramMeta::new()
+            .with(OpSpec::recv(0, Datatype::Int))
+            .with(OpSpec::send(0, Datatype::Int));
+        let design = ClusterDesign::spmd(&meta, &topo).unwrap();
+        let mut b = FabricBuilder::new(topo, plan, design, FabricParams::default());
+        b.register_recv(0, 0);
+        b.register_recv(0, 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! The receive-side communication kernel (CKR).
+//!
+//! "…and receive communication kernels (CKR), if they receive data from the
+//! network. […] At a receiver module (CKR), if the destination rank is not
+//! the local rank, it is forwarded to the associated CKS module. […]
+//! Otherwise, the CKR will use the port of the packet as an index into its
+//! routing table. The table instructs it to either send the packet directly
+//! to a connected application, or to forward the packet to the CKR that is
+//! directly connected to the destination port." (§4.3)
+
+use crate::cks::Arbiter;
+use crate::engine::{Component, Status};
+use crate::fifo::{FifoId, FifoPool};
+use crate::stats::StatsHandle;
+
+/// Routing decision of a CKR for one local port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkrTarget {
+    /// This CKR owns the port: deliver into the endpoint's FIFO.
+    App(FifoId),
+    /// Another CK pair owns the port: forward to that CKR.
+    OtherCkr(usize),
+}
+
+/// One receive communication kernel.
+pub struct CkrKernel {
+    name: String,
+    local_rank: usize,
+    inputs: Vec<FifoId>,
+    /// Port-indexed delivery table.
+    table: Vec<Option<CkrTarget>>,
+    to_paired_cks: FifoId,
+    /// Output FIFOs to the other CKR modules, indexed by CK-pair.
+    to_other_ckr: Vec<Option<FifoId>>,
+    arb: Arbiter,
+    stats: StatsHandle,
+}
+
+impl CkrKernel {
+    /// Construct a CKR.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        local_rank: usize,
+        inputs: Vec<FifoId>,
+        table: Vec<Option<CkrTarget>>,
+        to_paired_cks: FifoId,
+        to_other_ckr: Vec<Option<FifoId>>,
+        persistence: u32,
+        stats: StatsHandle,
+    ) -> Self {
+        CkrKernel {
+            name: name.into(),
+            local_rank,
+            inputs,
+            table,
+            to_paired_cks,
+            to_other_ckr,
+            arb: Arbiter::new(persistence),
+            stats,
+        }
+    }
+
+    fn target_fifo(&self, dst: usize, port: usize) -> Option<FifoId> {
+        if dst != self.local_rank {
+            // In transit through this rank: bounce to the paired CKS, which
+            // routes it onward.
+            return Some(self.to_paired_cks);
+        }
+        match self.table.get(port).copied().flatten() {
+            Some(CkrTarget::App(fifo)) => Some(fifo),
+            Some(CkrTarget::OtherCkr(pair)) => {
+                Some(self.to_other_ckr[pair].expect("other-CKR fifo wired"))
+            }
+            None => None,
+        }
+    }
+}
+
+impl Component for CkrKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _cycle: u64, fifos: &mut FifoPool) -> Status {
+        if self.inputs.is_empty() {
+            return Status::Idle;
+        }
+        let input = self.inputs[self.arb.current()];
+        if !fifos.can_pop(input) {
+            self.arb.advance(self.inputs.len());
+            return Status::Idle;
+        }
+        let header = fifos.peek(input).expect("non-empty").header;
+        match self.target_fifo(header.dst as usize, header.port as usize) {
+            Some(target) if fifos.can_push(target) => {
+                let pkt = fifos.pop(input);
+                fifos.push(target, pkt);
+                self.stats.borrow_mut().ckr_forwards += 1;
+                self.arb.hit(self.inputs.len());
+                Status::Active
+            }
+            Some(_) => Status::Idle, // head-of-line stall, preserve order
+            None => {
+                fifos.pop(input);
+                self.stats.borrow_mut().ckr_unroutable += 1;
+                self.arb.hit(self.inputs.len());
+                Status::Active
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::stats::new_stats;
+    use smi_wire::{NetworkPacket, PacketOp};
+
+    /// Single CKR: packets for local port 0 go to the app FIFO; packets for
+    /// other ranks bounce to the paired CKS FIFO; unknown ports are dropped.
+    #[test]
+    fn ckr_delivery_rules() {
+        let mut e = Engine::new();
+        let net_in = e.fifos_mut().add("net", 16);
+        let app = e.fifos_mut().add("app", 16);
+        let to_cks = e.fifos_mut().add("to_cks", 16);
+        let stats = new_stats(0);
+        let ckr = CkrKernel::new(
+            "ckr",
+            /*local_rank=*/ 2,
+            vec![net_in],
+            vec![Some(CkrTarget::App(app))],
+            to_cks,
+            vec![],
+            8,
+            stats.clone(),
+        );
+        e.add(ckr);
+
+        // Prime the input FIFO directly.
+        let mk = |dst: u8, port: u8| {
+            let mut p = NetworkPacket::new(0, dst, port, PacketOp::Send);
+            p.header.count = 1;
+            p
+        };
+        e.fifos_mut().push(net_in, mk(2, 0)); // local, port 0 -> app
+        e.fifos_mut().push(net_in, mk(5, 0)); // transit -> to_cks
+        e.fifos_mut().push(net_in, mk(2, 9)); // unknown port -> dropped
+        // Step a handful of cycles manually (no terminal components, so
+        // run()'s completion logic does not apply).
+        for _ in 0..10 {
+            e.step();
+        }
+        assert_eq!(e.fifos().occupancy(app), 1);
+        assert_eq!(e.fifos().occupancy(to_cks), 1);
+        assert_eq!(stats.borrow().ckr_unroutable, 1);
+        assert_eq!(stats.borrow().ckr_forwards, 2);
+    }
+}

@@ -1,0 +1,235 @@
+//! The send-side communication kernel (CKS).
+//!
+//! "We refer to these entities as send communication kernels (CKS), if they
+//! send data to the network […] After the kernel receives a packet, it
+//! consults an internal routing table to determine where to forward the
+//! packet." (§4.2–4.3)
+//!
+//! A CKS serves one QSFP port. Its inputs are the FIFOs from local
+//! application/support endpoints assigned to it, from its paired CKR
+//! (packets in transit through this rank), and from the other local CKS
+//! modules. Its routing table is indexed by destination rank: local → paired
+//! CKR; remote via its own QSFP → the network; remote via another QSFP → that
+//! port's CKS.
+
+use crate::engine::{Component, Status};
+use crate::fifo::{FifoId, FifoPool};
+use crate::stats::StatsHandle;
+
+/// The configurable polling scheme shared by CKS and CKR (§4.3): keep
+/// reading from the same input for up to `R` packets while data is
+/// available, then move on; an empty poll costs the cycle.
+#[derive(Debug, Clone)]
+pub struct Arbiter {
+    current: usize,
+    streak: u32,
+    persistence: u32,
+}
+
+impl Arbiter {
+    /// New arbiter with polling persistence `R >= 1`.
+    pub fn new(persistence: u32) -> Arbiter {
+        assert!(persistence >= 1, "polling persistence must be >= 1");
+        Arbiter { current: 0, streak: 0, persistence }
+    }
+
+    /// The input to examine this cycle.
+    #[inline]
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Record a successfully forwarded packet; rotates to the next input
+    /// after `R` consecutive reads.
+    #[inline]
+    pub fn hit(&mut self, num_inputs: usize) {
+        self.streak += 1;
+        if self.streak >= self.persistence {
+            self.advance(num_inputs);
+        }
+    }
+
+    /// Move to the next input (empty poll or persistence exhausted).
+    #[inline]
+    pub fn advance(&mut self, num_inputs: usize) {
+        self.streak = 0;
+        if num_inputs > 0 {
+            self.current = (self.current + 1) % num_inputs;
+        }
+    }
+}
+
+/// Routing decision of a CKS for one destination rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CksTarget {
+    /// Destination is the local rank: hand to the paired CKR.
+    PairedCkr,
+    /// Destination is reached through this CKS's own QSFP port.
+    Net,
+    /// Destination is reached through another QSFP port: hand to that CKS
+    /// (index into the rank's CK-pair list).
+    OtherCks(usize),
+}
+
+/// One send communication kernel.
+pub struct CksKernel {
+    name: String,
+    inputs: Vec<FifoId>,
+    /// Routing table indexed by destination rank.
+    table: Vec<CksTarget>,
+    to_net: FifoId,
+    to_paired_ckr: FifoId,
+    /// Output FIFOs to the other CKS modules, indexed by CK-pair.
+    to_other_cks: Vec<Option<FifoId>>,
+    arb: Arbiter,
+    /// Circuit-switching emulation (§4.2 ablation): after forwarding from an
+    /// input, an empty poll *holds* the circuit for up to this many cycles
+    /// instead of rotating — "it will continue to accept data only from that
+    /// application until all the content of the message has been
+    /// transferred". 0 = the reference packet-switching behaviour.
+    hold_on_empty: u32,
+    holding: u32,
+    locked: bool,
+    stats: StatsHandle,
+}
+
+impl CksKernel {
+    /// Construct a CKS.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        inputs: Vec<FifoId>,
+        table: Vec<CksTarget>,
+        to_net: FifoId,
+        to_paired_ckr: FifoId,
+        to_other_cks: Vec<Option<FifoId>>,
+        persistence: u32,
+        stats: StatsHandle,
+    ) -> Self {
+        CksKernel {
+            name: name.into(),
+            inputs,
+            table,
+            to_net,
+            to_paired_ckr,
+            to_other_cks,
+            arb: Arbiter::new(persistence),
+            hold_on_empty: 0,
+            holding: 0,
+            locked: false,
+            stats,
+        }
+    }
+
+    /// Switch this CKS to circuit-switching emulation: hold the granted
+    /// input through up to `hold_cycles` empty polls (see the field docs).
+    pub fn with_circuit_switching(mut self, hold_cycles: u32) -> Self {
+        self.hold_on_empty = hold_cycles;
+        self
+    }
+
+    fn target_fifo(&self, dst: usize) -> Option<FifoId> {
+        match self.table.get(dst) {
+            Some(CksTarget::PairedCkr) => Some(self.to_paired_ckr),
+            Some(CksTarget::Net) => Some(self.to_net),
+            Some(CksTarget::OtherCks(pair)) => {
+                Some(self.to_other_cks[*pair].expect("other-CKS fifo wired"))
+            }
+            None => None,
+        }
+    }
+}
+
+impl Component for CksKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _cycle: u64, fifos: &mut FifoPool) -> Status {
+        if self.inputs.is_empty() {
+            return Status::Idle;
+        }
+        let input = self.inputs[self.arb.current()];
+        if !fifos.can_pop(input) {
+            // Circuit emulation: hold the grant through message bubbles.
+            if self.locked && self.holding < self.hold_on_empty {
+                self.holding += 1;
+                return Status::Idle;
+            }
+            // Empty poll: costs this cycle, move on (R=1 behaviour of the
+            // paper: "polls a different connection every cycle").
+            self.locked = false;
+            self.holding = 0;
+            self.arb.advance(self.inputs.len());
+            return Status::Idle;
+        }
+        let dst = fifos.peek(input).expect("non-empty").header.dst as usize;
+        match self.target_fifo(dst) {
+            Some(target) if fifos.can_push(target) => {
+                let pkt = fifos.pop(input);
+                fifos.push(target, pkt);
+                self.stats.borrow_mut().cks_forwards += 1;
+                if self.hold_on_empty > 0 {
+                    // Circuit mode: the grant persists while data flows.
+                    self.locked = true;
+                    self.holding = 0;
+                } else {
+                    self.arb.hit(self.inputs.len());
+                }
+                Status::Active
+            }
+            Some(_) => {
+                // Head-of-line stall: target full. Stay on this input to
+                // preserve per-flow FIFO order.
+                Status::Idle
+            }
+            None => {
+                // Destination outside the routing table: count and drop.
+                fifos.pop(input);
+                self.stats.borrow_mut().cks_unroutable += 1;
+                self.arb.hit(self.inputs.len());
+                Status::Active
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arbiter_rotates_on_empty_poll() {
+        let mut a = Arbiter::new(8);
+        assert_eq!(a.current(), 0);
+        a.advance(3);
+        assert_eq!(a.current(), 1);
+        a.advance(3);
+        a.advance(3);
+        assert_eq!(a.current(), 0);
+    }
+
+    #[test]
+    fn arbiter_persistence() {
+        let mut a = Arbiter::new(2);
+        a.hit(4); // streak 1: stays
+        assert_eq!(a.current(), 0);
+        a.hit(4); // streak 2 == R: rotate
+        assert_eq!(a.current(), 1);
+    }
+
+    #[test]
+    fn arbiter_r1_rotates_every_hit() {
+        let mut a = Arbiter::new(1);
+        a.hit(4);
+        assert_eq!(a.current(), 1);
+        a.hit(4);
+        assert_eq!(a.current(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "persistence")]
+    fn arbiter_rejects_zero_r() {
+        Arbiter::new(0);
+    }
+}

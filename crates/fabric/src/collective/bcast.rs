@@ -1,0 +1,162 @@
+//! The Bcast support kernel (linear scheme).
+//!
+//! Root: collect one `Sync` from every non-root rank ("ranks must communicate
+//! to the root when they are ready to receive before the root starts
+//! streaming data across the network", §3.3), then stream the message,
+//! replicating every data packet to each non-root rank (one packet per
+//! cycle — the linear fan-out that makes Bcast time grow with the
+//! communicator size).
+//!
+//! Non-root: send the `Sync`, then forward arriving `Bcast` data packets to
+//! the application.
+
+use smi_wire::{NetworkPacket, PacketOp};
+
+use crate::builder::SupportWiring;
+use crate::collective::CollectiveComm;
+use crate::engine::{Component, Status};
+use crate::fifo::FifoPool;
+
+enum RootState {
+    CollectSyncs { got: u64 },
+    Stream { elems_sent: u64, pkt: Option<NetworkPacket>, fanout_idx: usize },
+    Done,
+}
+
+enum LeafState {
+    SendSync,
+    Recv { elems: u64 },
+    Done,
+}
+
+enum Role {
+    Root(RootState),
+    Leaf(LeafState),
+}
+
+/// Bcast support kernel of one rank.
+pub struct BcastSupport {
+    name: String,
+    comm: CollectiveComm,
+    my_rank: usize,
+    w: SupportWiring,
+    role: Role,
+}
+
+impl BcastSupport {
+    /// Create the support kernel; the role (root/leaf) is chosen at runtime
+    /// from `comm.root`, exactly as in the paper.
+    pub fn new(
+        name: impl Into<String>,
+        comm: CollectiveComm,
+        my_rank: usize,
+        wiring: SupportWiring,
+    ) -> Self {
+        let role = if my_rank == comm.root {
+            if comm.size() == 1 || comm.count == 0 {
+                Role::Root(RootState::Done)
+            } else {
+                Role::Root(RootState::CollectSyncs { got: 0 })
+            }
+        } else if comm.count == 0 {
+            Role::Leaf(LeafState::Done)
+        } else {
+            Role::Leaf(LeafState::SendSync)
+        };
+        BcastSupport { name: name.into(), comm, my_rank, w: wiring, role }
+    }
+}
+
+impl Component for BcastSupport {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _cycle: u64, fifos: &mut FifoPool) -> Status {
+        match &mut self.role {
+            Role::Root(state) => match state {
+                RootState::CollectSyncs { got } => {
+                    if fifos.can_pop(self.w.from_ckr) {
+                        let pkt = fifos.pop(self.w.from_ckr);
+                        assert_eq!(pkt.header.op, PacketOp::Sync, "bcast root expects Sync");
+                        *got += 1;
+                        if *got as usize == self.comm.size() - 1 {
+                            *state = RootState::Stream {
+                                elems_sent: 0,
+                                pkt: None,
+                                fanout_idx: 0,
+                            };
+                        }
+                        Status::Active
+                    } else {
+                        Status::Idle
+                    }
+                }
+                RootState::Stream { elems_sent, pkt, fanout_idx } => {
+                    if pkt.is_none() {
+                        if !fifos.can_pop(self.w.app_in) {
+                            return Status::Idle;
+                        }
+                        *pkt = Some(fifos.pop(self.w.app_in));
+                        *fanout_idx = 0;
+                    }
+                    let data = pkt.expect("loaded above");
+                    // Replicate to the next non-root rank (one per cycle).
+                    let dsts: Vec<usize> = self.comm.non_roots().collect();
+                    let dst = dsts[*fanout_idx];
+                    if !fifos.can_push(self.w.to_cks) {
+                        return Status::Idle;
+                    }
+                    let mut copy = data;
+                    copy.header.src = self.my_rank as u8;
+                    copy.header.dst = dst as u8;
+                    copy.header.port = self.comm.port;
+                    copy.header.op = PacketOp::Bcast;
+                    fifos.push(self.w.to_cks, copy);
+                    *fanout_idx += 1;
+                    if *fanout_idx == dsts.len() {
+                        *elems_sent += data.header.count as u64;
+                        *pkt = None;
+                        if *elems_sent >= self.comm.count {
+                            *state = RootState::Done;
+                        }
+                    }
+                    Status::Active
+                }
+                RootState::Done => Status::Done,
+            },
+            Role::Leaf(state) => match state {
+                LeafState::SendSync => {
+                    if fifos.can_push(self.w.to_cks) {
+                        let sync =
+                            self.comm.control(self.my_rank, self.comm.root, PacketOp::Sync, 0);
+                        fifos.push(self.w.to_cks, sync);
+                        *state = LeafState::Recv { elems: 0 };
+                        Status::Active
+                    } else {
+                        Status::Idle
+                    }
+                }
+                LeafState::Recv { elems } => {
+                    if fifos.can_pop(self.w.from_ckr) && fifos.can_push(self.w.app_out) {
+                        let pkt = fifos.pop(self.w.from_ckr);
+                        assert_eq!(pkt.header.op, PacketOp::Bcast, "bcast leaf expects data");
+                        *elems += pkt.header.count as u64;
+                        fifos.push(self.w.app_out, pkt);
+                        if *elems >= self.comm.count {
+                            *state = LeafState::Done;
+                        }
+                        Status::Active
+                    } else {
+                        Status::Idle
+                    }
+                }
+                LeafState::Done => Status::Done,
+            },
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        true
+    }
+}

@@ -1,0 +1,171 @@
+//! The Gather support kernel (linear scheme).
+//!
+//! "For Gather, the root rank has to receive the data from the ranks in the
+//! correct order, which is coordinated by the support kernel" (§4.4): the
+//! root walks the communicator in order; for its own slot it forwards the
+//! local application's contribution, for every other rank it first sends the
+//! `Sync` go-ahead ("the root rank must communicate to each source rank when
+//! it is ready to receive") and then forwards that rank's `count` elements to
+//! the application.
+//!
+//! Contributions keep their original framing (a partial tail packet mid-
+//! stream is fine — element counts travel in the headers), so the root
+//! forwards packets without re-framing.
+
+use smi_wire::PacketOp;
+
+use crate::builder::SupportWiring;
+use crate::collective::CollectiveComm;
+use crate::engine::{Component, Status};
+use crate::fifo::FifoPool;
+
+enum RootPhase {
+    /// Send the go-ahead to the rank at the current communicator index.
+    Grant,
+    /// Forward `count` elements from the current source.
+    Collect { elems: u64 },
+}
+
+struct RootState {
+    cur: usize,
+    phase: RootPhase,
+}
+
+enum LeafState {
+    WaitGrant,
+    Stream { elems: u64 },
+    Done,
+}
+
+enum Role {
+    Root(RootState),
+    Leaf(LeafState),
+    Finished,
+}
+
+/// Gather support kernel of one rank.
+pub struct GatherSupport {
+    name: String,
+    comm: CollectiveComm,
+    my_rank: usize,
+    w: SupportWiring,
+    role: Role,
+}
+
+impl GatherSupport {
+    /// Create the support kernel (role decided at runtime from `comm.root`).
+    pub fn new(
+        name: impl Into<String>,
+        comm: CollectiveComm,
+        my_rank: usize,
+        wiring: SupportWiring,
+    ) -> Self {
+        let role = if comm.count == 0 {
+            Role::Finished
+        } else if my_rank == comm.root {
+            Role::Root(RootState { cur: 0, phase: RootPhase::Grant })
+        } else {
+            Role::Leaf(LeafState::WaitGrant)
+        };
+        GatherSupport { name: name.into(), comm, my_rank, w: wiring, role }
+    }
+}
+
+impl Component for GatherSupport {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _cycle: u64, fifos: &mut FifoPool) -> Status {
+        match &mut self.role {
+            Role::Finished => Status::Done,
+            Role::Root(st) => {
+                if st.cur == self.comm.size() {
+                    return Status::Done;
+                }
+                let src_rank = self.comm.ranks[st.cur];
+                match &mut st.phase {
+                    RootPhase::Grant => {
+                        if src_rank == self.my_rank {
+                            st.phase = RootPhase::Collect { elems: 0 };
+                            return Status::Active;
+                        }
+                        if fifos.can_push(self.w.to_cks) {
+                            let sync =
+                                self.comm.control(self.my_rank, src_rank, PacketOp::Sync, 0);
+                            fifos.push(self.w.to_cks, sync);
+                            st.phase = RootPhase::Collect { elems: 0 };
+                            Status::Active
+                        } else {
+                            Status::Idle
+                        }
+                    }
+                    RootPhase::Collect { elems } => {
+                        let input = if src_rank == self.my_rank {
+                            self.w.app_in
+                        } else {
+                            self.w.from_ckr
+                        };
+                        if fifos.can_pop(input) && fifos.can_push(self.w.app_out) {
+                            let pkt = fifos.pop(input);
+                            if src_rank != self.my_rank {
+                                assert_eq!(
+                                    pkt.header.op,
+                                    PacketOp::Gather,
+                                    "gather root expects data"
+                                );
+                                assert_eq!(
+                                    pkt.header.src as usize, src_rank,
+                                    "gather order violated"
+                                );
+                            }
+                            *elems += pkt.header.count as u64;
+                            fifos.push(self.w.app_out, pkt);
+                            if *elems >= self.comm.count {
+                                st.cur += 1;
+                                st.phase = RootPhase::Grant;
+                            }
+                            Status::Active
+                        } else {
+                            Status::Idle
+                        }
+                    }
+                }
+            }
+            Role::Leaf(state) => match state {
+                LeafState::WaitGrant => {
+                    if fifos.can_pop(self.w.from_ckr) {
+                        let pkt = fifos.pop(self.w.from_ckr);
+                        assert_eq!(pkt.header.op, PacketOp::Sync, "gather leaf expects Sync");
+                        *state = LeafState::Stream { elems: 0 };
+                        Status::Active
+                    } else {
+                        Status::Idle
+                    }
+                }
+                LeafState::Stream { elems } => {
+                    if fifos.can_pop(self.w.app_in) && fifos.can_push(self.w.to_cks) {
+                        let mut pkt = fifos.pop(self.w.app_in);
+                        pkt.header.src = self.my_rank as u8;
+                        pkt.header.dst = self.comm.root as u8;
+                        pkt.header.port = self.comm.port;
+                        pkt.header.op = PacketOp::Gather;
+                        *elems += pkt.header.count as u64;
+                        fifos.push(self.w.to_cks, pkt);
+                        if *elems >= self.comm.count {
+                            *state = LeafState::Done;
+                        }
+                        Status::Active
+                    } else {
+                        Status::Idle
+                    }
+                }
+                LeafState::Done => Status::Done,
+            },
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        true
+    }
+}

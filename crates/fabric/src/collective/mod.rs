@@ -1,0 +1,120 @@
+//! Collective support kernels (§4.4).
+//!
+//! "The implemented SMI transport layer uses a support kernel for
+//! coordinating each collective. Support kernels reside between the
+//! application and the associated CKR/CKS modules, and their logic is
+//! specialized to the specific collective. […] Both the root and non-root
+//! behavior is instantiated at every rank, to allow the root rank to be
+//! specified dynamically."
+//!
+//! All four collectives are implemented with the paper's *linear* scheme:
+//!
+//! * **Bcast/Scatter** (one-to-all): every receiver first signals readiness
+//!   with a `Sync` packet; the root then streams data (fanning packets out
+//!   one per cycle for Bcast, slice by slice for Scatter).
+//! * **Gather** (all-to-one): the root grants each source, in rank order, a
+//!   `Sync` go-ahead and receives its contribution before moving on.
+//! * **Reduce** (all-to-one): credit-based flow control with `C` credits —
+//!   the root folds contributions into a `C`-element tile buffer and
+//!   re-credits all senders when the tile completes.
+//!
+//! The tree-based variants the paper names as an extension live in
+//! [`tree`].
+
+pub mod bcast;
+pub mod gather;
+pub mod reduce;
+pub mod scatter;
+pub mod tree;
+
+pub use bcast::BcastSupport;
+pub use gather::GatherSupport;
+pub use reduce::ReduceSupport;
+pub use scatter::ScatterSupport;
+
+use smi_wire::{Datatype, NetworkPacket, PacketOp};
+
+/// The communicator a collective operates on: an ordered set of global ranks
+/// (as in `SMI_Comm`), the root, and the channel parameters.
+#[derive(Debug, Clone)]
+pub struct CollectiveComm {
+    /// Participating global ranks, in communicator order.
+    pub ranks: Vec<usize>,
+    /// The root's global rank (must be in `ranks`).
+    pub root: usize,
+    /// The SMI port dedicated to this collective.
+    pub port: u8,
+    /// Element datatype.
+    pub dtype: Datatype,
+    /// Elements **per rank** (Bcast: message length; Scatter/Gather/Reduce:
+    /// slice/contribution length).
+    pub count: u64,
+}
+
+impl CollectiveComm {
+    /// Number of participants.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Communicator index of the root.
+    pub fn root_index(&self) -> usize {
+        self.ranks
+            .iter()
+            .position(|&r| r == self.root)
+            .expect("root is a member of the communicator")
+    }
+
+    /// Communicator index of a global rank.
+    pub fn index_of(&self, rank: usize) -> Option<usize> {
+        self.ranks.iter().position(|&r| r == rank)
+    }
+
+    /// Non-root ranks in communicator order.
+    pub fn non_roots(&self) -> impl Iterator<Item = usize> + '_ {
+        self.ranks.iter().copied().filter(move |&r| r != self.root)
+    }
+
+    /// A control packet (Sync/Credit) on this collective's port.
+    pub fn control(&self, src: usize, dst: usize, op: PacketOp, arg: u32) -> NetworkPacket {
+        NetworkPacket::control(src as u8, dst as u8, self.port, op, arg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_indexing() {
+        let comm = CollectiveComm {
+            ranks: vec![4, 2, 7],
+            root: 2,
+            port: 3,
+            dtype: Datatype::Float,
+            count: 10,
+        };
+        assert_eq!(comm.size(), 3);
+        assert_eq!(comm.root_index(), 1);
+        assert_eq!(comm.index_of(7), Some(2));
+        assert_eq!(comm.index_of(9), None);
+        assert_eq!(comm.non_roots().collect::<Vec<_>>(), vec![4, 7]);
+    }
+
+    #[test]
+    fn control_packet_fields() {
+        let comm = CollectiveComm {
+            ranks: vec![0, 1],
+            root: 0,
+            port: 9,
+            dtype: Datatype::Int,
+            count: 1,
+        };
+        let p = comm.control(1, 0, PacketOp::Sync, 42);
+        assert_eq!(p.header.src, 1);
+        assert_eq!(p.header.dst, 0);
+        assert_eq!(p.header.port, 9);
+        assert_eq!(p.header.op, PacketOp::Sync);
+        assert_eq!(p.control_arg(), 42);
+    }
+}

@@ -1,0 +1,339 @@
+//! The Reduce support kernel — credit-based flow control (§4.4).
+//!
+//! "The latter implements rendezvous with a credit-based flow control
+//! algorithm with C credits, corresponding to an internal buffer of size C at
+//! the root rank holding accumulation results. When C contributions have been
+//! received from each rank, the reduced result is forwarded to the
+//! application, and new credits are sent to the ranks."
+//!
+//! Senders stream at most `C` elements ahead (per tile); the root folds
+//! contributions element-wise into the tile buffer (order-insensitive across
+//! ranks thanks to associativity/commutativity — the "fill columns in
+//! parallel" of Fig. 5), emits the reduced tile to the application, and
+//! re-credits every sender. The per-tile round trip is what makes Reduce
+//! latency-sensitive on high-diameter topologies (Fig. 11).
+
+use smi_wire::{Deframer, Framer, NetworkPacket, PacketOp, ReduceOp};
+
+use crate::builder::SupportWiring;
+use crate::collective::CollectiveComm;
+use crate::engine::{Component, Status};
+use crate::fifo::FifoPool;
+
+enum RootPhase {
+    /// Accumulate contributions into the tile buffer.
+    Fold,
+    /// Stream the reduced tile to the application (element offset).
+    Emit { offset: u64 },
+    /// Send fresh credits to every non-root sender (communicator index).
+    Credits { idx: usize },
+}
+
+struct RootState {
+    /// Tile accumulation buffer (capacity `credits` elements).
+    tile: Vec<u8>,
+    /// Elements in the current tile (min(credits, remaining)).
+    tile_size: u64,
+    /// Per communicator index: elements folded into the current tile.
+    progress: Vec<u64>,
+    /// Elements fully reduced and emitted so far.
+    done: u64,
+    /// Deframer for the root's own contribution stream (it can straddle
+    /// tile boundaries, unlike network packets which senders flush per tile).
+    own: Deframer,
+    /// Fairness flip-flop between network and local input.
+    prefer_net: bool,
+    phase: RootPhase,
+}
+
+struct LeafState {
+    credits: u64,
+    sent: u64,
+    deframer: Deframer,
+    framer: Framer,
+    pending: Option<NetworkPacket>,
+}
+
+enum Role {
+    Root(RootState),
+    Leaf(LeafState),
+    Finished,
+}
+
+/// Reduce support kernel of one rank.
+pub struct ReduceSupport {
+    name: String,
+    comm: CollectiveComm,
+    op: ReduceOp,
+    /// Credits `C` (tile size in elements).
+    credits: u64,
+    my_rank: usize,
+    w: SupportWiring,
+    role: Role,
+}
+
+impl ReduceSupport {
+    /// Create the support kernel. `credits` is the root's tile buffer size
+    /// `C` in elements.
+    pub fn new(
+        name: impl Into<String>,
+        comm: CollectiveComm,
+        op: ReduceOp,
+        credits: u64,
+        my_rank: usize,
+        wiring: SupportWiring,
+    ) -> Self {
+        assert!(credits >= 1, "reduce needs at least one credit");
+        let sz = comm.dtype.size_bytes();
+        let role = if comm.count == 0 {
+            Role::Finished
+        } else if my_rank == comm.root {
+            let tile_size = comm.count.min(credits);
+            let mut tile = vec![0u8; credits as usize * sz];
+            init_identity(&mut tile, op, &comm);
+            Role::Root(RootState {
+                tile,
+                tile_size,
+                progress: vec![0; comm.size()],
+                done: 0,
+                own: Deframer::new(comm.dtype),
+                prefer_net: true,
+                phase: RootPhase::Fold,
+            })
+        } else {
+            Role::Leaf(LeafState {
+                credits,
+                sent: 0,
+                deframer: Deframer::new(comm.dtype),
+                framer: Framer::new(
+                    comm.dtype,
+                    my_rank as u8,
+                    comm.root as u8,
+                    comm.port,
+                    PacketOp::Reduce,
+                ),
+                pending: None,
+            })
+        };
+        ReduceSupport { name: name.into(), comm, op, credits, my_rank, w: wiring, role }
+    }
+}
+
+fn init_identity(tile: &mut [u8], op: ReduceOp, comm: &CollectiveComm) {
+    let sz = comm.dtype.size_bytes();
+    let mut ident = vec![0u8; sz];
+    op.identity_bytes(comm.dtype, &mut ident);
+    for chunk in tile.chunks_exact_mut(sz) {
+        chunk.copy_from_slice(&ident);
+    }
+}
+
+impl Component for ReduceSupport {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _cycle: u64, fifos: &mut FifoPool) -> Status {
+        let sz = self.comm.dtype.size_bytes();
+        match &mut self.role {
+            Role::Finished => Status::Done,
+            Role::Root(st) => {
+                if st.done == self.comm.count && matches!(st.phase, RootPhase::Fold) {
+                    return Status::Done;
+                }
+                match &mut st.phase {
+                    RootPhase::Fold => {
+                        let root_idx = self.comm.root_index();
+                        let mut acted = false;
+                        // One network packet xor one local packet per cycle.
+                        let try_net = st.prefer_net;
+                        st.prefer_net = !st.prefer_net;
+                        let net_ready = fifos.can_pop(self.w.from_ckr);
+                        let own_possible = st.progress[root_idx] < st.tile_size;
+                        if net_ready && (try_net || !own_possible) {
+                            let pkt = fifos.pop(self.w.from_ckr);
+                            assert_eq!(pkt.header.op, PacketOp::Reduce, "reduce root expects data");
+                            let idx = self
+                                .comm
+                                .index_of(pkt.header.src as usize)
+                                .expect("contribution from member");
+                            let k = pkt.header.count as u64;
+                            let at = st.progress[idx];
+                            assert!(
+                                at + k <= st.tile_size,
+                                "sender violated credit window ({at}+{k} > {})",
+                                st.tile_size
+                            );
+                            let lo = at as usize * sz;
+                            let hi = (at + k) as usize * sz;
+                            self.op.fold_bytes(
+                                self.comm.dtype,
+                                &mut st.tile[lo..hi],
+                                &pkt.payload[..(k as usize) * sz],
+                            );
+                            st.progress[idx] += k;
+                            acted = true;
+                        } else if own_possible {
+                            // Fold the local contribution element-wise.
+                            if st.own.is_empty() && fifos.can_pop(self.w.app_in) {
+                                st.own.refill(fifos.pop(self.w.app_in));
+                            }
+                            let mut buf = [0u8; 8];
+                            let mut folded = 0;
+                            while st.progress[root_idx] < st.tile_size
+                                && folded < self.comm.dtype.elems_per_packet()
+                                && st.own.pop_bytes(&mut buf[..sz])
+                            {
+                                let at = st.progress[root_idx] as usize;
+                                self.op.fold_bytes(
+                                    self.comm.dtype,
+                                    &mut st.tile[at * sz..(at + 1) * sz],
+                                    &buf[..sz],
+                                );
+                                st.progress[root_idx] += 1;
+                                folded += 1;
+                            }
+                            acted = folded > 0;
+                        }
+                        if st.progress.iter().all(|&p| p == st.tile_size) {
+                            st.phase = RootPhase::Emit { offset: 0 };
+                            return Status::Active;
+                        }
+                        if acted {
+                            Status::Active
+                        } else {
+                            Status::Idle
+                        }
+                    }
+                    RootPhase::Emit { offset } => {
+                        // One packet of reduced results per cycle.
+                        if !fifos.can_push(self.w.app_out) {
+                            return Status::Idle;
+                        }
+                        let epp = self.comm.dtype.elems_per_packet() as u64;
+                        let k = epp.min(st.tile_size - *offset);
+                        let mut pkt = NetworkPacket::new(
+                            self.my_rank as u8,
+                            self.my_rank as u8,
+                            self.comm.port,
+                            PacketOp::Reduce,
+                        );
+                        pkt.header.count = k as u8;
+                        let lo = *offset as usize * sz;
+                        pkt.payload[..(k as usize) * sz]
+                            .copy_from_slice(&st.tile[lo..lo + k as usize * sz]);
+                        fifos.push(self.w.app_out, pkt);
+                        *offset += k;
+                        if *offset == st.tile_size {
+                            st.done += st.tile_size;
+                            if st.done == self.comm.count {
+                                // Message complete: no further credits needed.
+                                st.phase = RootPhase::Fold; // Fold + done => Done
+                            } else if self.comm.size() == 1 {
+                                // No senders to credit: start the next tile.
+                                let remaining = self.comm.count - st.done;
+                                st.tile_size = remaining.min(self.credits);
+                                init_identity(&mut st.tile, self.op, &self.comm);
+                                st.progress.iter_mut().for_each(|p| *p = 0);
+                                st.phase = RootPhase::Fold;
+                            } else {
+                                st.phase = RootPhase::Credits { idx: 0 };
+                            }
+                        }
+                        Status::Active
+                    }
+                    RootPhase::Credits { idx } => {
+                        // Grant C fresh credits to each non-root member.
+                        let non_roots: Vec<usize> = self.comm.non_roots().collect();
+                        if *idx == non_roots.len() {
+                            let remaining = self.comm.count - st.done;
+                            st.tile_size = remaining.min(self.credits);
+                            init_identity(&mut st.tile, self.op, &self.comm);
+                            st.progress.iter_mut().for_each(|p| *p = 0);
+                            st.phase = RootPhase::Fold;
+                            return Status::Active;
+                        }
+                        if fifos.can_push(self.w.to_cks) {
+                            let credit = self.comm.control(
+                                self.my_rank,
+                                non_roots[*idx],
+                                PacketOp::Credit,
+                                self.credits as u32,
+                            );
+                            fifos.push(self.w.to_cks, credit);
+                            *idx += 1;
+                            Status::Active
+                        } else {
+                            Status::Idle
+                        }
+                    }
+                }
+            }
+            Role::Leaf(st) => {
+                // 1. Flush a stalled packet.
+                if let Some(pkt) = st.pending.take() {
+                    if fifos.can_push(self.w.to_cks) {
+                        fifos.push(self.w.to_cks, pkt);
+                        return Status::Active;
+                    }
+                    st.pending = Some(pkt);
+                    return Status::Idle;
+                }
+                if st.sent == self.comm.count {
+                    return Status::Done;
+                }
+                // 2. Refresh credits.
+                if st.credits == 0 {
+                    if fifos.can_pop(self.w.from_ckr) {
+                        let pkt = fifos.pop(self.w.from_ckr);
+                        assert_eq!(pkt.header.op, PacketOp::Credit, "reduce leaf expects credits");
+                        st.credits += pkt.control_arg() as u64;
+                        return Status::Active;
+                    }
+                    return Status::Idle;
+                }
+                // 3. Stream contribution elements within the credit window.
+                let mut buf = [0u8; 8];
+                let mut moved = false;
+                while st.credits > 0 && st.sent < self.comm.count && st.pending.is_none() {
+                    if st.deframer.is_empty() {
+                        if fifos.can_pop(self.w.app_in) {
+                            st.deframer.refill(fifos.pop(self.w.app_in));
+                        } else {
+                            break;
+                        }
+                    }
+                    if !st.deframer.pop_bytes(&mut buf[..sz]) {
+                        break;
+                    }
+                    st.credits -= 1;
+                    st.sent += 1;
+                    moved = true;
+                    if let Some(pkt) = st.framer.push_bytes(&buf[..sz]) {
+                        st.pending = Some(pkt);
+                    } else if st.credits == 0 || st.sent == self.comm.count {
+                        // Flush at the credit-window / message boundary so no
+                        // packet straddles a tile.
+                        st.pending = st.framer.flush();
+                    }
+                }
+                if let Some(pkt) = st.pending.take() {
+                    if fifos.can_push(self.w.to_cks) {
+                        fifos.push(self.w.to_cks, pkt);
+                    } else {
+                        st.pending = Some(pkt);
+                    }
+                }
+                if moved {
+                    Status::Active
+                } else {
+                    Status::Idle
+                }
+            }
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        true
+    }
+}

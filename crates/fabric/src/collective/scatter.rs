@@ -1,0 +1,214 @@
+//! The Scatter support kernel (linear scheme).
+//!
+//! The root holds `count × N` elements (in communicator order) and sends
+//! rank *i* its `count`-element slice, serving ranks in order, each only
+//! after its `Sync` arrived (§3.3: "each rank will send/receive count
+//! elements in sequence, only when allowed by the matching rank"). Slices
+//! can split mid-packet, so the root re-frames: it deframes the application
+//! stream and re-packs elements per destination.
+
+use smi_wire::{Deframer, Framer, NetworkPacket, PacketOp};
+
+use crate::builder::SupportWiring;
+use crate::collective::CollectiveComm;
+use crate::engine::{Component, Status};
+use crate::fifo::{FifoId, FifoPool};
+
+struct RootState {
+    /// Readiness per communicator index (Syncs can arrive in any order).
+    ready: Vec<bool>,
+    /// Communicator index currently being served.
+    cur: usize,
+    /// Elements still to deliver to the current destination.
+    remaining: u64,
+    deframer: Deframer,
+    framer: Framer,
+    /// An emitted packet waiting for FIFO space: (target, packet).
+    pending: Option<(FifoId, NetworkPacket)>,
+}
+
+enum LeafState {
+    SendSync,
+    Recv { elems: u64 },
+    Done,
+}
+
+enum Role {
+    Root(RootState),
+    Leaf(LeafState),
+    Finished,
+}
+
+/// Scatter support kernel of one rank.
+pub struct ScatterSupport {
+    name: String,
+    comm: CollectiveComm,
+    my_rank: usize,
+    w: SupportWiring,
+    role: Role,
+}
+
+impl ScatterSupport {
+    /// Create the support kernel (role decided at runtime from `comm.root`).
+    pub fn new(
+        name: impl Into<String>,
+        comm: CollectiveComm,
+        my_rank: usize,
+        wiring: SupportWiring,
+    ) -> Self {
+        let role = if comm.count == 0 {
+            Role::Finished
+        } else if my_rank == comm.root {
+            let mut ready = vec![false; comm.size()];
+            ready[comm.root_index()] = true; // own slice needs no sync
+            let dtype = comm.dtype;
+            let count = comm.count;
+            Role::Root(RootState {
+                ready,
+                cur: 0,
+                remaining: count,
+                deframer: Deframer::new(dtype),
+                framer: Framer::new(dtype, my_rank as u8, 0, comm.port, PacketOp::Scatter),
+                pending: None,
+            })
+        } else {
+            Role::Leaf(LeafState::SendSync)
+        };
+        ScatterSupport { name: name.into(), comm, my_rank, w: wiring, role }
+    }
+
+}
+
+impl Component for ScatterSupport {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _cycle: u64, fifos: &mut FifoPool) -> Status {
+        match &mut self.role {
+            Role::Finished => Status::Done,
+            Role::Root(st) => {
+                // 1. Flush a stalled output packet.
+                if let Some((target, pkt)) = st.pending.take() {
+                    if fifos.can_push(target) {
+                        fifos.push(target, pkt);
+                        return Status::Active;
+                    }
+                    st.pending = Some((target, pkt));
+                    return Status::Idle;
+                }
+                if st.cur == self.comm.size() {
+                    return Status::Done;
+                }
+                // 2. Absorb Syncs whenever the current destination is not
+                //    ready yet.
+                if !st.ready[st.cur] {
+                    if fifos.can_pop(self.w.from_ckr) {
+                        let pkt = fifos.pop(self.w.from_ckr);
+                        assert_eq!(pkt.header.op, PacketOp::Sync, "scatter root expects Sync");
+                        let idx = self
+                            .comm
+                            .index_of(pkt.header.src as usize)
+                            .expect("sync from communicator member");
+                        st.ready[idx] = true;
+                        return Status::Active;
+                    }
+                    return Status::Idle;
+                }
+                // 3. Move elements of the current slice: deframe the app
+                //    stream, re-frame toward the destination. At most one
+                //    emitted packet per cycle.
+                let cur = st.cur;
+                let (target, dst_rank) = {
+                    let rank = self.comm.ranks[cur];
+                    if rank == self.my_rank {
+                        (self.w.app_out, self.my_rank as u8)
+                    } else {
+                        (self.w.to_cks, rank as u8)
+                    }
+                };
+                let sz = self.comm.dtype.size_bytes();
+                let mut buf = [0u8; 8];
+                let mut emitted = None;
+                while st.remaining > 0 && emitted.is_none() {
+                    if st.deframer.is_empty() {
+                        if fifos.can_pop(self.w.app_in) {
+                            let pkt = fifos.pop(self.w.app_in);
+                            st.deframer.refill(pkt);
+                        } else {
+                            break;
+                        }
+                    }
+                    while st.remaining > 0 {
+                        if !st.deframer.pop_bytes(&mut buf[..sz]) {
+                            break;
+                        }
+                        st.remaining -= 1;
+                        if let Some(mut pkt) = st.framer.push_bytes(&buf[..sz]) {
+                            pkt.header.dst = dst_rank;
+                            emitted = Some(pkt);
+                            break;
+                        }
+                    }
+                }
+                if st.remaining == 0 && emitted.is_none() {
+                    if let Some(mut pkt) = st.framer.flush() {
+                        pkt.header.dst = dst_rank;
+                        emitted = Some(pkt);
+                    }
+                }
+                let advanced = if st.remaining == 0 && st.framer.pending() == 0 {
+                    st.cur += 1;
+                    st.remaining = self.comm.count;
+                    true
+                } else {
+                    false
+                };
+                match emitted {
+                    Some(pkt) => {
+                        if fifos.can_push(target) {
+                            fifos.push(target, pkt);
+                        } else {
+                            st.pending = Some((target, pkt));
+                        }
+                        Status::Active
+                    }
+                    None if advanced => Status::Active,
+                    None => Status::Idle,
+                }
+            }
+            Role::Leaf(state) => match state {
+                LeafState::SendSync => {
+                    if fifos.can_push(self.w.to_cks) {
+                        let sync =
+                            self.comm.control(self.my_rank, self.comm.root, PacketOp::Sync, 0);
+                        fifos.push(self.w.to_cks, sync);
+                        *state = LeafState::Recv { elems: 0 };
+                        Status::Active
+                    } else {
+                        Status::Idle
+                    }
+                }
+                LeafState::Recv { elems } => {
+                    if fifos.can_pop(self.w.from_ckr) && fifos.can_push(self.w.app_out) {
+                        let pkt = fifos.pop(self.w.from_ckr);
+                        assert_eq!(pkt.header.op, PacketOp::Scatter, "scatter leaf expects data");
+                        *elems += pkt.header.count as u64;
+                        fifos.push(self.w.app_out, pkt);
+                        if *elems >= self.comm.count {
+                            *state = LeafState::Done;
+                        }
+                        Status::Active
+                    } else {
+                        Status::Idle
+                    }
+                }
+                LeafState::Done => Status::Done,
+            },
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        true
+    }
+}

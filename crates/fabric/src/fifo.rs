@@ -1,0 +1,277 @@
+//! Hardware FIFOs with backpressure and single-cycle visibility.
+//!
+//! These model the on-chip FIFO buffers that connect application endpoints,
+//! CK modules and network interfaces (§4.2: "These connections are
+//! implemented using FIFO buffers, where the internal buffer size is a
+//! compile-time parameter"). A push performed in cycle *t* becomes visible to
+//! poppers in cycle *t + 1* (registered output), and a full FIFO refuses
+//! pushes — the backpressure that the whole transport layer relies on.
+
+use std::collections::VecDeque;
+
+use smi_wire::NetworkPacket;
+
+/// Index of a FIFO in the [`FifoPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FifoId(pub(crate) usize);
+
+impl FifoId {
+    /// The raw index (for stats tables).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One hardware FIFO carrying network packets.
+#[derive(Debug)]
+pub struct HwFifo {
+    name: String,
+    capacity: usize,
+    queue: VecDeque<NetworkPacket>,
+    staged: Vec<NetworkPacket>,
+    /// Lifetime statistics.
+    pushes: u64,
+    max_occupancy: usize,
+}
+
+impl HwFifo {
+    fn new(name: String, capacity: usize) -> Self {
+        assert!(capacity >= 1, "FIFO needs at least one slot");
+        HwFifo {
+            name,
+            capacity,
+            queue: VecDeque::with_capacity(capacity),
+            staged: Vec::with_capacity(2),
+            pushes: 0,
+            max_occupancy: 0,
+        }
+    }
+
+    /// Occupancy counting both visible and staged entries.
+    #[inline]
+    fn total_len(&self) -> usize {
+        self.queue.len() + self.staged.len()
+    }
+}
+
+/// The arena of all FIFOs of a fabric; components address FIFOs by
+/// [`FifoId`]. Tracks whether any transfer happened in the current cycle
+/// (for quiescence/deadlock detection).
+#[derive(Debug, Default)]
+pub struct FifoPool {
+    fifos: Vec<HwFifo>,
+    activity: bool,
+}
+
+impl FifoPool {
+    /// Create an empty pool.
+    pub fn new() -> FifoPool {
+        FifoPool::default()
+    }
+
+    /// Allocate a FIFO with `capacity` packet slots.
+    pub fn add(&mut self, name: impl Into<String>, capacity: usize) -> FifoId {
+        self.fifos.push(HwFifo::new(name.into(), capacity));
+        FifoId(self.fifos.len() - 1)
+    }
+
+    /// Number of FIFOs allocated.
+    pub fn len(&self) -> usize {
+        self.fifos.len()
+    }
+
+    /// True when no FIFO exists.
+    pub fn is_empty(&self) -> bool {
+        self.fifos.is_empty()
+    }
+
+    /// Can one more packet be pushed this cycle?
+    #[inline]
+    pub fn can_push(&self, id: FifoId) -> bool {
+        let f = &self.fifos[id.0];
+        f.total_len() < f.capacity
+    }
+
+    /// Push a packet (visible to poppers from the next cycle). Panics when
+    /// full — callers must check [`FifoPool::can_push`]; real hardware wires
+    /// the ready signal into the producer's pipeline stall.
+    #[inline]
+    pub fn push(&mut self, id: FifoId, pkt: NetworkPacket) {
+        let f = &mut self.fifos[id.0];
+        assert!(f.total_len() < f.capacity, "push into full FIFO '{}'", f.name);
+        f.staged.push(pkt);
+        f.pushes += 1;
+        self.activity = true;
+    }
+
+    /// Is a packet available to pop this cycle?
+    #[inline]
+    pub fn can_pop(&self, id: FifoId) -> bool {
+        !self.fifos[id.0].queue.is_empty()
+    }
+
+    /// Peek at the head packet without consuming it.
+    #[inline]
+    pub fn peek(&self, id: FifoId) -> Option<&NetworkPacket> {
+        self.fifos[id.0].queue.front()
+    }
+
+    /// Pop the head packet. Panics when empty — callers must check
+    /// [`FifoPool::can_pop`].
+    #[inline]
+    pub fn pop(&mut self, id: FifoId) -> NetworkPacket {
+        let f = &mut self.fifos[id.0];
+        let pkt = f.queue.pop_front().unwrap_or_else(|| panic!("pop from empty FIFO '{}'", f.name));
+        self.activity = true;
+        pkt
+    }
+
+    /// Visible occupancy of a FIFO.
+    #[inline]
+    pub fn occupancy(&self, id: FifoId) -> usize {
+        self.fifos[id.0].queue.len()
+    }
+
+    /// End-of-cycle commit: staged pushes become visible; returns whether any
+    /// push or pop happened during the cycle.
+    pub fn commit(&mut self) -> bool {
+        for f in &mut self.fifos {
+            if !f.staged.is_empty() {
+                f.queue.extend(f.staged.drain(..));
+            }
+            f.max_occupancy = f.max_occupancy.max(f.queue.len());
+        }
+        std::mem::take(&mut self.activity)
+    }
+
+    /// True when every FIFO is completely empty (no queued or staged data).
+    pub fn all_empty(&self) -> bool {
+        self.fifos.iter().all(|f| f.total_len() == 0)
+    }
+
+    /// Lifetime push count of a FIFO.
+    pub fn pushes(&self, id: FifoId) -> u64 {
+        self.fifos[id.0].pushes
+    }
+
+    /// Highest observed visible occupancy of a FIFO.
+    pub fn max_occupancy(&self, id: FifoId) -> usize {
+        self.fifos[id.0].max_occupancy
+    }
+
+    /// The FIFO's configured capacity.
+    pub fn capacity(&self, id: FifoId) -> usize {
+        self.fifos[id.0].capacity
+    }
+
+    /// The FIFO's diagnostic name.
+    pub fn name(&self, id: FifoId) -> &str {
+        &self.fifos[id.0].name
+    }
+
+    /// Names and occupancies of all non-empty FIFOs (deadlock diagnostics).
+    pub fn nonempty_report(&self) -> Vec<(String, usize)> {
+        self.fifos
+            .iter()
+            .filter(|f| f.total_len() > 0)
+            .map(|f| (f.name.clone(), f.total_len()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smi_wire::PacketOp;
+
+    fn pkt(tag: u8) -> NetworkPacket {
+        let mut p = NetworkPacket::new(tag, 0, 0, PacketOp::Send);
+        p.header.count = 1;
+        p
+    }
+
+    #[test]
+    fn push_visible_next_cycle_only() {
+        let mut pool = FifoPool::new();
+        let id = pool.add("t", 4);
+        assert!(pool.can_push(id));
+        pool.push(id, pkt(1));
+        assert!(!pool.can_pop(id), "staged pushes invisible within the cycle");
+        pool.commit();
+        assert!(pool.can_pop(id));
+        assert_eq!(pool.pop(id).header.src, 1);
+    }
+
+    #[test]
+    fn capacity_counts_staged() {
+        let mut pool = FifoPool::new();
+        let id = pool.add("t", 2);
+        pool.push(id, pkt(1));
+        pool.push(id, pkt(2));
+        assert!(!pool.can_push(id), "staged entries occupy capacity");
+        pool.commit();
+        assert!(!pool.can_push(id));
+        pool.pop(id);
+        assert!(pool.can_push(id));
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut pool = FifoPool::new();
+        let id = pool.add("t", 8);
+        for i in 0..5 {
+            pool.push(id, pkt(i));
+        }
+        pool.commit();
+        for i in 0..5 {
+            assert_eq!(pool.pop(id).header.src, i);
+        }
+    }
+
+    #[test]
+    fn activity_flag() {
+        let mut pool = FifoPool::new();
+        let id = pool.add("t", 2);
+        assert!(!pool.commit(), "no activity on idle cycle");
+        pool.push(id, pkt(0));
+        assert!(pool.commit());
+        assert!(!pool.commit());
+        pool.pop(id);
+        assert!(pool.commit());
+    }
+
+    #[test]
+    fn stats_tracked() {
+        let mut pool = FifoPool::new();
+        let id = pool.add("t", 4);
+        for i in 0..3 {
+            pool.push(id, pkt(i));
+        }
+        pool.commit();
+        assert_eq!(pool.pushes(id), 3);
+        assert_eq!(pool.max_occupancy(id), 3);
+        assert_eq!(pool.capacity(id), 4);
+        assert_eq!(pool.name(id), "t");
+        pool.pop(id);
+        pool.commit();
+        assert_eq!(pool.max_occupancy(id), 3, "high watermark sticks");
+    }
+
+    #[test]
+    #[should_panic(expected = "full FIFO")]
+    fn overflow_panics() {
+        let mut pool = FifoPool::new();
+        let id = pool.add("t", 1);
+        pool.push(id, pkt(0));
+        pool.push(id, pkt(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty FIFO")]
+    fn underflow_panics() {
+        let mut pool = FifoPool::new();
+        let id = pool.add("t", 1);
+        pool.pop(id);
+    }
+}

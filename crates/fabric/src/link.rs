@@ -1,0 +1,228 @@
+//! The QSFP serial link model.
+//!
+//! One [`QsfpLink`] is a *directed* channel (each physical cable contributes
+//! two). It models what the paper's BSP guarantees (§5.1): lossless delivery
+//! with "error correction, flow control, and backpressure", a fixed line rate
+//! (40 Gbit/s → one 32-byte packet per 6.4 ns), and a pipeline latency
+//! covering SerDes, cable and BSP logic.
+//!
+//! Rate limiting uses a fractional credit accumulator so that any ratio of
+//! link rate to kernel clock is supported. In-flight packets travel through a
+//! delay line and are delivered into the receiver-side FIFO, honouring its
+//! backpressure (delivery stalls, as the BSP's flow control would).
+
+use std::collections::VecDeque;
+
+use smi_wire::NetworkPacket;
+
+use crate::engine::{Component, Status};
+use crate::fifo::{FifoId, FifoPool};
+use crate::stats::StatsHandle;
+
+/// A directed QSFP link between a sender-side FIFO (fed by a CKS) and a
+/// receiver-side FIFO (drained by a CKR).
+pub struct QsfpLink {
+    name: String,
+    /// Stats index of this directed link.
+    link_id: usize,
+    input: FifoId,
+    output: FifoId,
+    /// Packets the line accepts per kernel cycle (may be < 1).
+    rate: f64,
+    /// Pipeline latency in cycles.
+    latency: u64,
+    /// Fractional transmission credit.
+    credit: f64,
+    /// In-flight packets: (delivery-ready cycle, packet).
+    in_flight: VecDeque<(u64, NetworkPacket)>,
+    stats: StatsHandle,
+}
+
+impl QsfpLink {
+    /// Create a link; `rate` = packets per kernel cycle, `latency` = pipeline
+    /// delay in cycles.
+    pub fn new(
+        name: impl Into<String>,
+        link_id: usize,
+        input: FifoId,
+        output: FifoId,
+        rate: f64,
+        latency: u64,
+        stats: StatsHandle,
+    ) -> Self {
+        assert!(rate > 0.0, "link rate must be positive");
+        QsfpLink {
+            name: name.into(),
+            link_id,
+            input,
+            output,
+            rate,
+            latency,
+            credit: 0.0,
+            in_flight: VecDeque::new(),
+            stats,
+        }
+    }
+}
+
+impl Component for QsfpLink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, cycle: u64, fifos: &mut FifoPool) -> Status {
+        // Accumulate line-rate credit (capped: an idle line cannot "save up"
+        // more than one packet's worth of serialization slots beyond burst 2,
+        // keeping the model close to a real serializer).
+        self.credit = (self.credit + self.rate).min(2.0);
+
+        let mut acted = false;
+
+        // Deliver the head in-flight packet when it has traversed the
+        // pipeline and the receiver FIFO has room (BSP backpressure).
+        if let Some(&(ready, _)) = self.in_flight.front() {
+            if ready <= cycle && fifos.can_push(self.output) {
+                let (_, pkt) = self.in_flight.pop_front().expect("head exists");
+                fifos.push(self.output, pkt);
+                self.stats.borrow_mut().link_packets[self.link_id] += 1;
+                acted = true;
+            }
+        }
+
+        // Accept a new packet from the sender when the line has credit.
+        if self.credit >= 1.0 && fifos.can_pop(self.input) {
+            let pkt = fifos.pop(self.input);
+            self.credit -= 1.0;
+            self.in_flight.push_back((cycle + self.latency, pkt));
+            acted = true;
+        }
+
+        if !self.in_flight.is_empty() {
+            self.stats.borrow_mut().link_busy_cycles[self.link_id] += 1;
+            return Status::Active;
+        }
+        if acted {
+            Status::Active
+        } else {
+            Status::Idle
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::stats::new_stats;
+    use smi_wire::PacketOp;
+
+    fn pkt(tag: u8) -> NetworkPacket {
+        let mut p = NetworkPacket::new(tag, 1, 0, PacketOp::Send);
+        p.header.count = 1;
+        p
+    }
+
+    /// Pushes `n` packets as fast as the FIFO allows, then Done.
+    struct Feeder {
+        out: FifoId,
+        n: u8,
+        sent: u8,
+    }
+    impl Component for Feeder {
+        fn name(&self) -> &str {
+            "feeder"
+        }
+        fn tick(&mut self, _c: u64, fifos: &mut FifoPool) -> Status {
+            if self.sent == self.n {
+                return Status::Done;
+            }
+            if fifos.can_push(self.out) {
+                fifos.push(self.out, pkt(self.sent));
+                self.sent += 1;
+            }
+            if self.sent == self.n {
+                Status::Done
+            } else {
+                Status::Active
+            }
+        }
+        fn is_terminal(&self) -> bool {
+            true
+        }
+    }
+
+    /// Records the arrival cycle of each packet.
+    struct Recorder {
+        input: FifoId,
+        expected: u8,
+        arrivals: std::rc::Rc<std::cell::RefCell<Vec<(u64, u8)>>>,
+    }
+    impl Component for Recorder {
+        fn name(&self) -> &str {
+            "recorder"
+        }
+        fn tick(&mut self, cycle: u64, fifos: &mut FifoPool) -> Status {
+            while fifos.can_pop(self.input) {
+                let p = fifos.pop(self.input);
+                self.arrivals.borrow_mut().push((cycle, p.header.src));
+            }
+            if self.arrivals.borrow().len() as u8 == self.expected {
+                Status::Done
+            } else {
+                Status::Idle
+            }
+        }
+        fn is_terminal(&self) -> bool {
+            true
+        }
+    }
+
+    fn run_link(rate: f64, latency: u64, n: u8) -> Vec<(u64, u8)> {
+        let mut e = Engine::new();
+        let fin = e.fifos_mut().add("in", 64);
+        let fout = e.fifos_mut().add("out", 64);
+        let stats = new_stats(1);
+        e.add(Feeder { out: fin, n, sent: 0 });
+        e.add(QsfpLink::new("link", 0, fin, fout, rate, latency, stats.clone()));
+        let arrivals = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        e.add(Recorder { input: fout, expected: n, arrivals: arrivals.clone() });
+        e.run(100_000).unwrap();
+        assert_eq!(stats.borrow().link_packets[0], n as u64);
+        let v = arrivals.borrow().clone();
+        v
+    }
+
+    #[test]
+    fn delivery_preserves_order() {
+        let arrivals = run_link(1.0, 10, 20);
+        let tags: Vec<u8> = arrivals.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, (0..20).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn latency_is_modeled() {
+        let arrivals = run_link(1.0, 50, 1);
+        // Packet pushed at cycle 0 (visible cycle 1), link picks it up at
+        // cycle 1, readies at 51, recorder pops at >= 52.
+        assert!(arrivals[0].0 >= 51, "arrival at {}", arrivals[0].0);
+        assert!(arrivals[0].0 <= 55, "arrival at {}", arrivals[0].0);
+    }
+
+    #[test]
+    fn rate_limiting_throttles_throughput() {
+        // rate 0.5: 40 packets need ~80 cycles on the wire.
+        let arrivals = run_link(0.5, 5, 40);
+        let first = arrivals.first().unwrap().0;
+        let last = arrivals.last().unwrap().0;
+        let span = last - first;
+        assert!((76..=84).contains(&span), "span = {span}");
+    }
+
+    #[test]
+    fn full_rate_streams_back_to_back() {
+        let arrivals = run_link(1.0, 5, 40);
+        let first = arrivals.first().unwrap().0;
+        let last = arrivals.last().unwrap().0;
+        assert_eq!(last - first, 39, "one packet per cycle");
+    }
+}

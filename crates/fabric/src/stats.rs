@@ -1,0 +1,53 @@
+//! Shared run statistics, collected by components during simulation.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Statistics accumulated across a fabric run. Components hold an
+/// `Rc<RefCell<FabricStats>>` (the simulation is single-threaded and
+/// deterministic) and update their counters as they tick.
+#[derive(Debug, Default, Clone)]
+pub struct FabricStats {
+    /// Packets delivered per directed link, indexed by link id.
+    pub link_packets: Vec<u64>,
+    /// Cycles each directed link spent with a packet in flight.
+    pub link_busy_cycles: Vec<u64>,
+    /// Packets forwarded by CKS modules (any direction).
+    pub cks_forwards: u64,
+    /// Packets forwarded by CKR modules (any direction).
+    pub ckr_forwards: u64,
+    /// Packets that arrived at a CKR for a port with no local binding —
+    /// always a wiring bug; tests assert this stays zero.
+    pub ckr_unroutable: u64,
+    /// Packets that arrived at a CKS for a destination rank outside the
+    /// routing table — always a wiring bug; tests assert this stays zero.
+    pub cks_unroutable: u64,
+    /// Elements folded by Reduce support kernels.
+    pub reduce_folds: u64,
+}
+
+/// Shared handle to run statistics.
+pub type StatsHandle = Rc<RefCell<FabricStats>>;
+
+/// Create a fresh stats handle with `num_links` directed-link slots.
+pub fn new_stats(num_links: usize) -> StatsHandle {
+    Rc::new(RefCell::new(FabricStats {
+        link_packets: vec![0; num_links],
+        link_busy_cycles: vec![0; num_links],
+        ..FabricStats::default()
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = new_stats(3);
+        stats.borrow_mut().link_packets[1] += 5;
+        stats.borrow_mut().cks_forwards += 2;
+        assert_eq!(stats.borrow().link_packets, vec![0, 5, 0]);
+        assert_eq!(stats.borrow().cks_forwards, 2);
+    }
+}

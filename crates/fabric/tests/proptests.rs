@@ -1,0 +1,113 @@
+//! Property tests of the cycle-level fabric: on random connected
+//! topologies, any point-to-point stream must be delivered completely, in
+//! order, bit-exact — regardless of FIFO depths, polling persistence, and
+//! message size.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smi_fabric::bench_api::{collective, p2p_stream, CollectiveKind, CollectiveScheme};
+use smi_fabric::params::FabricParams;
+use smi_topology::Topology;
+use smi_wire::{Datatype, ReduceOp};
+
+fn random_topo(n: usize, extra: usize, seed: u64) -> Topology {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Topology::random_connected(n, 4, extra, &mut rng).expect("random topology")
+}
+
+fn arb_dtype() -> impl Strategy<Value = Datatype> {
+    prop::sample::select(Datatype::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any (src, dst) stream on any random topology arrives complete and
+    /// uncorrupted, for every datatype and odd message sizes.
+    #[test]
+    fn p2p_delivers_on_random_topologies(
+        n in 2usize..10,
+        extra in 0usize..4,
+        seed in any::<u64>(),
+        src_pick in any::<u64>(),
+        dst_pick in any::<u64>(),
+        count in 1u64..3_000,
+        dtype in arb_dtype(),
+        depth in 2usize..32,
+        r in 1u32..16,
+    ) {
+        let topo = random_topo(n, extra, seed);
+        let src = (src_pick % n as u64) as usize;
+        let dst = (dst_pick % n as u64) as usize;
+        prop_assume!(src != dst);
+        let mut params = FabricParams::default();
+        params.ck_fifo_depth = depth;
+        params.poll_persistence = r;
+        let res = p2p_stream(&topo, src, dst, count, dtype, &params).unwrap();
+        prop_assert_eq!(res.errors, 0, "corruption {}->{} on {:?}", src, dst, dtype);
+    }
+
+    /// Collectives verify on random torus shapes, roots and counts, for both
+    /// schemes where applicable.
+    #[test]
+    fn collectives_verify_on_random_shapes(
+        rx in 1usize..3,
+        ry in 2usize..5,
+        root_pick in any::<u64>(),
+        count in 1u64..500,
+        kind_pick in 0usize..4,
+        credits in 4usize..64,
+    ) {
+        let topo = Topology::torus2d(rx, ry);
+        let n = topo.num_ranks();
+        prop_assume!(n >= 2);
+        let root = (root_pick % n as u64) as usize;
+        let mut params = FabricParams::default();
+        params.reduce_credits = credits;
+        let kind = [
+            CollectiveKind::Bcast,
+            CollectiveKind::Scatter,
+            CollectiveKind::Gather,
+            CollectiveKind::Reduce,
+        ][kind_pick];
+        let res = collective(
+            &topo,
+            kind,
+            CollectiveScheme::Linear,
+            root,
+            count,
+            Datatype::Float,
+            ReduceOp::Add,
+            &params,
+        )
+        .unwrap();
+        prop_assert_eq!(res.errors, 0, "{:?} root {} count {}", kind, root, count);
+    }
+
+    /// Tree collectives agree with linear on correctness for random roots.
+    #[test]
+    fn tree_collectives_verify(
+        root in 0usize..8,
+        count in 1u64..400,
+        credits in 8usize..64,
+        reduce in any::<bool>(),
+    ) {
+        let topo = Topology::torus2d(2, 4);
+        let mut params = FabricParams::default();
+        params.reduce_credits = credits;
+        let kind = if reduce { CollectiveKind::Reduce } else { CollectiveKind::Bcast };
+        let res = collective(
+            &topo,
+            kind,
+            CollectiveScheme::Tree,
+            root,
+            count,
+            Datatype::Float,
+            ReduceOp::Add,
+            &params,
+        )
+        .unwrap();
+        prop_assert_eq!(res.errors, 0, "{:?} tree root {}", kind, root);
+    }
+}

@@ -1,0 +1,41 @@
+//! Device capacity constants.
+
+/// Resource capacity of an FPGA device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chip {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Adaptive LUTs (2 per ALM on Stratix 10).
+    pub aluts: u64,
+    /// Flip-flops (4 per ALM).
+    pub ffs: u64,
+    /// M20K embedded memory blocks.
+    pub m20ks: u64,
+    /// DSP blocks.
+    pub dsps: u64,
+}
+
+impl Chip {
+    /// The paper's device: Intel Stratix 10 GX2800 (Nallatech 520N board) —
+    /// 933,120 ALMs.
+    pub const GX2800: Chip = Chip {
+        name: "Stratix 10 GX2800",
+        aluts: 1_866_240,
+        ffs: 3_732_480,
+        m20ks: 11_721,
+        dsps: 5_760,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gx2800_ratios() {
+        let c = Chip::GX2800;
+        // 2 ALUTs and 4 FFs per ALM.
+        assert_eq!(c.ffs, 2 * c.aluts);
+        assert!(c.m20ks > 10_000 && c.dsps > 5_000);
+    }
+}

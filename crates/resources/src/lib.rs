@@ -1,0 +1,22 @@
+//! # smi-resources — FPGA area model for SMI components
+//!
+//! Reproduces the resource accounting of the paper's §5.2 (Tables 1 and 2):
+//! how many LUTs, flip-flops, M20K memory blocks and DSPs the SMI transport
+//! layer and the collective support kernels consume on a Stratix 10 GX2800,
+//! as a function of how many QSFP network ports are used.
+//!
+//! The model is additive with per-component costs calibrated to the paper's
+//! measured 1-QSFP and 4-QSFP columns: a CK pair's cost grows with the
+//! number of *other* CK pairs it interconnects with (more input/output
+//! channels to arbitrate — "the number of used resources grows slightly
+//! faster than linear […] because the number of input/output channels that
+//! the communication kernels must handle increases", §5.2).
+
+#![warn(missing_docs)]
+
+pub mod chip;
+pub mod model;
+pub mod report;
+
+pub use chip::Chip;
+pub use model::{Area, ResourceModel};

@@ -1,0 +1,260 @@
+//! The additive area model, calibrated to Tables 1–2.
+
+use std::ops::{Add, AddAssign};
+
+use smi_codegen::{CommDesign, OpKind};
+use smi_topology::Topology;
+use smi_wire::Datatype;
+
+use crate::chip::Chip;
+
+/// An amount of FPGA resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Area {
+    /// Adaptive LUTs.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// M20K memory blocks.
+    pub m20ks: u64,
+    /// DSP blocks.
+    pub dsps: u64,
+}
+
+impl Area {
+    /// Convenience constructor.
+    pub const fn new(luts: u64, ffs: u64, m20ks: u64, dsps: u64) -> Area {
+        Area { luts, ffs, m20ks, dsps }
+    }
+
+    /// Utilization of `chip`, as `(lut%, ff%, m20k%, dsp%)`.
+    pub fn utilization(&self, chip: &Chip) -> (f64, f64, f64, f64) {
+        (
+            self.luts as f64 / chip.aluts as f64 * 100.0,
+            self.ffs as f64 / chip.ffs as f64 * 100.0,
+            self.m20ks as f64 / chip.m20ks as f64 * 100.0,
+            self.dsps as f64 / chip.dsps as f64 * 100.0,
+        )
+    }
+
+    /// Scale every resource kind by an integer factor.
+    pub fn times(&self, k: u64) -> Area {
+        Area {
+            luts: self.luts * k,
+            ffs: self.ffs * k,
+            m20ks: self.m20ks * k,
+            dsps: self.dsps * k,
+        }
+    }
+}
+
+impl Add for Area {
+    type Output = Area;
+    fn add(self, rhs: Area) -> Area {
+        Area {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            m20ks: self.m20ks + rhs.m20ks,
+            dsps: self.dsps + rhs.dsps,
+        }
+    }
+}
+
+impl AddAssign for Area {
+    fn add_assign(&mut self, rhs: Area) {
+        *self = *self + rhs;
+    }
+}
+
+/// Calibrated per-component costs.
+///
+/// Solving the paper's Table 1 for a per-CK-pair model `base + slope ×
+/// n_other` (where `n_other` = number of *other* CK pairs on the rank):
+///
+/// * CK pair LUTs: 6186 + 518·n_other (1 pair: 6186 → paper 6,186;
+///   4 pairs: 4×7740 = 30,960 → paper 30,960)
+/// * CK pair FFs: 7189 + 193·n_other (→ 7,189 / 31,072)
+/// * CK pair M20Ks: 10 (routing tables; → 10 / 40)
+/// * Interconnect per pair: 144 + 48·n_other LUTs, 4872 + 1648·n_other FFs
+///   (→ 144 / 1,152 and 4,872 / 39,264)
+#[derive(Debug, Clone)]
+pub struct ResourceModel {
+    /// Per CK pair base cost.
+    pub ck_base: Area,
+    /// Extra CK-pair cost per other pair interconnected.
+    pub ck_per_other: Area,
+    /// Per pair interconnect base cost.
+    pub interconnect_base: Area,
+    /// Extra interconnect cost per other pair.
+    pub interconnect_per_other: Area,
+    /// Bcast support kernel (Table 2).
+    pub bcast_kernel: Area,
+    /// Reduce support kernel for FP32 SUM (Table 2).
+    pub reduce_kernel_fp32: Area,
+}
+
+impl Default for ResourceModel {
+    fn default() -> Self {
+        ResourceModel {
+            ck_base: Area::new(6_186, 7_189, 10, 0),
+            ck_per_other: Area::new(518, 193, 0, 0),
+            interconnect_base: Area::new(144, 4_872, 0, 0),
+            interconnect_per_other: Area::new(48, 1_648, 0, 0),
+            bcast_kernel: Area::new(2_560, 3_593, 0, 0),
+            reduce_kernel_fp32: Area::new(10_268, 14_648, 0, 6),
+        }
+    }
+}
+
+impl ResourceModel {
+    /// Communication-kernel area of a rank using `pairs` CK pairs.
+    pub fn ck_area(&self, pairs: usize) -> Area {
+        if pairs == 0 {
+            return Area::default();
+        }
+        let n_other = (pairs - 1) as u64;
+        (self.ck_base + self.ck_per_other.times(n_other)).times(pairs as u64)
+    }
+
+    /// Interconnect area of a rank using `pairs` CK pairs.
+    pub fn interconnect_area(&self, pairs: usize) -> Area {
+        if pairs == 0 {
+            return Area::default();
+        }
+        let n_other = (pairs - 1) as u64;
+        (self.interconnect_base + self.interconnect_per_other.times(n_other))
+            .times(pairs as u64)
+    }
+
+    /// Support-kernel area for a collective of the given kind/datatype.
+    ///
+    /// The paper reports Bcast and Reduce (FP32 SUM); other datatypes are
+    /// extrapolated by element width, and Scatter/Gather are costed like
+    /// Bcast plus a 20 % margin for their ordering logic (documented
+    /// extrapolations, not paper measurements).
+    pub fn support_kernel_area(&self, kind: OpKind, dtype: Datatype) -> Area {
+        let width_factor = dtype.size_bytes() as u64;
+        let scale = |a: Area| Area {
+            luts: a.luts * width_factor / 4,
+            ffs: a.ffs * width_factor / 4,
+            m20ks: a.m20ks,
+            dsps: a.dsps * width_factor / 4,
+        };
+        match kind {
+            OpKind::Bcast => scale(self.bcast_kernel),
+            OpKind::Reduce => scale(self.reduce_kernel_fp32),
+            OpKind::Scatter | OpKind::Gather => {
+                let b = scale(self.bcast_kernel);
+                Area { luts: b.luts * 6 / 5, ffs: b.ffs * 6 / 5, m20ks: b.m20ks, dsps: b.dsps }
+            }
+            OpKind::Send | OpKind::Recv => Area::default(),
+        }
+    }
+
+    /// Total transport area (interconnect + CKs) for one rank of a design.
+    pub fn rank_transport_area(&self, design: &CommDesign) -> Area {
+        let pairs = design.num_ck_pairs();
+        self.interconnect_area(pairs) + self.ck_area(pairs)
+    }
+
+    /// Full per-rank area including collective support kernels.
+    pub fn rank_total_area(&self, design: &CommDesign) -> Area {
+        let mut a = self.rank_transport_area(design);
+        for b in &design.bindings {
+            a += self.support_kernel_area(b.op.kind, b.op.dtype);
+        }
+        a
+    }
+
+    /// Worst-case rank area across a topology (what must fit the chip).
+    pub fn max_rank_area(&self, topo: &Topology, designs: &[CommDesign]) -> Area {
+        assert_eq!(designs.len(), topo.num_ranks());
+        designs
+            .iter()
+            .map(|d| self.rank_total_area(d))
+            .max_by_key(|a| a.luts)
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_one_qsfp() {
+        let m = ResourceModel::default();
+        let ck = m.ck_area(1);
+        assert_eq!(ck, Area::new(6_186, 7_189, 10, 0));
+        let ic = m.interconnect_area(1);
+        assert_eq!(ic, Area::new(144, 4_872, 0, 0));
+    }
+
+    #[test]
+    fn table1_four_qsfp() {
+        let m = ResourceModel::default();
+        let ck = m.ck_area(4);
+        assert_eq!(ck, Area::new(30_960, 31_072, 40, 0));
+        let ic = m.interconnect_area(4);
+        assert_eq!(ic, Area::new(1_152, 39_264, 0, 0));
+    }
+
+    #[test]
+    fn table1_percent_of_max() {
+        // Paper: 4-QSFP total is < 2 % of the chip.
+        let m = ResourceModel::default();
+        let total = m.ck_area(4) + m.interconnect_area(4);
+        let (lut, ff, m20k, _) = total.utilization(&Chip::GX2800);
+        assert!((1.6..1.8).contains(&lut), "LUT% {lut}");
+        assert!((1.8..2.0).contains(&ff), "FF% {ff}");
+        assert!((0.3..0.4).contains(&m20k), "M20K% {m20k}");
+    }
+
+    #[test]
+    fn table2_collectives() {
+        let m = ResourceModel::default();
+        let b = m.support_kernel_area(OpKind::Bcast, Datatype::Float);
+        assert_eq!(b, Area::new(2_560, 3_593, 0, 0));
+        let r = m.support_kernel_area(OpKind::Reduce, Datatype::Float);
+        assert_eq!(r, Area::new(10_268, 14_648, 0, 6));
+        let (lutp, _, _, dspp) = r.utilization(&Chip::GX2800);
+        assert!((0.5..0.7).contains(&lutp), "reduce LUT% {lutp}");
+        assert!((0.05..0.2).contains(&dspp), "reduce DSP% {dspp}");
+    }
+
+    #[test]
+    fn growth_is_superlinear() {
+        // "the number of used resources grows slightly faster than linear".
+        let m = ResourceModel::default();
+        let one = m.ck_area(1).luts + m.interconnect_area(1).luts;
+        let four = m.ck_area(4).luts + m.interconnect_area(4).luts;
+        assert!(four > 4 * one, "4-QSFP {four} vs 4×1-QSFP {}", 4 * one);
+    }
+
+    #[test]
+    fn dtype_extrapolation_scales() {
+        let m = ResourceModel::default();
+        let f32r = m.support_kernel_area(OpKind::Reduce, Datatype::Float);
+        let f64r = m.support_kernel_area(OpKind::Reduce, Datatype::Double);
+        assert_eq!(f64r.luts, 2 * f32r.luts);
+        assert_eq!(f64r.dsps, 12);
+        let p2p = m.support_kernel_area(OpKind::Send, Datatype::Float);
+        assert_eq!(p2p, Area::default());
+    }
+
+    #[test]
+    fn design_aggregation() {
+        use smi_codegen::{OpSpec, ProgramMeta};
+        let topo = Topology::torus2d(2, 4);
+        let meta = ProgramMeta::new()
+            .with(OpSpec::bcast(0, Datatype::Float))
+            .with(OpSpec::send(1, Datatype::Float));
+        let design = smi_codegen::ClusterDesign::spmd(&meta, &topo).unwrap();
+        let m = ResourceModel::default();
+        let per_rank = m.rank_total_area(design.rank(0));
+        let transport = m.rank_transport_area(design.rank(0));
+        assert_eq!(per_rank.luts, transport.luts + 2_560);
+        let worst = m.max_rank_area(&topo, &design.per_rank);
+        assert_eq!(worst, per_rank, "torus is symmetric");
+    }
+}

@@ -1,0 +1,76 @@
+//! Table formatting for the resource reproduction binaries.
+
+use crate::chip::Chip;
+use crate::model::{Area, ResourceModel};
+
+/// Render Table 1 (SMI resource consumption for 1 and 4 QSFPs).
+pub fn render_table1(model: &ResourceModel, chip: &Chip) -> String {
+    let mut out = String::new();
+    out.push_str("SMI resource consumption (reproduction of Table 1)\n");
+    out.push_str(&format!("{:<14}{:>12}{:>12}{:>9}   {:>12}{:>12}{:>9}\n",
+        "", "LUTs", "FFs", "M20Ks", "LUTs", "FFs", "M20Ks"));
+    out.push_str(&format!("{:<14}{:-^33}   {:-^33}\n", "", " 1 QSFP ", " 4 QSFPs "));
+    let rows: [(&str, Area, Area); 2] = [
+        ("Interconn.", model.interconnect_area(1), model.interconnect_area(4)),
+        ("C. K.", model.ck_area(1), model.ck_area(4)),
+    ];
+    let mut tot1 = Area::default();
+    let mut tot4 = Area::default();
+    for (name, a1, a4) in rows {
+        out.push_str(&format!(
+            "{:<14}{:>12}{:>12}{:>9}   {:>12}{:>12}{:>9}\n",
+            name, a1.luts, a1.ffs, a1.m20ks, a4.luts, a4.ffs, a4.m20ks
+        ));
+        tot1 += a1;
+        tot4 += a4;
+    }
+    let (l1, f1, m1, _) = tot1.utilization(chip);
+    let (l4, f4, m4, _) = tot4.utilization(chip);
+    out.push_str(&format!(
+        "{:<14}{:>11.1}%{:>11.1}%{:>8.1}%   {:>11.1}%{:>11.1}%{:>8.1}%\n",
+        "% of max", l1, f1, m1, l4, f4, m4
+    ));
+    out
+}
+
+/// Render Table 2 (collective support-kernel resources).
+pub fn render_table2(model: &ResourceModel, chip: &Chip) -> String {
+    use smi_codegen::OpKind;
+    use smi_wire::Datatype;
+    let mut out = String::new();
+    out.push_str("Collectives kernel resource consumption (reproduction of Table 2)\n");
+    out.push_str(&format!(
+        "{:<22}{:>16}{:>16}{:>12}{:>12}\n",
+        "", "LUTs", "FFs", "M20Ks", "DSPs"
+    ));
+    for (name, kind) in [("Broadcast", OpKind::Bcast), ("Reduce (FP32 SUM)", OpKind::Reduce)] {
+        let a = model.support_kernel_area(kind, Datatype::Float);
+        let (l, f, m, d) = a.utilization(chip);
+        out.push_str(&format!(
+            "{:<22}{:>9} ({:.1}%){:>9} ({:.1}%){:>6} ({:.0}%){:>6} ({:.1}%)\n",
+            name, a.luts, l, a.ffs, f, a.m20ks, m, a.dsps, d
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contains_paper_values() {
+        let s = render_table1(&ResourceModel::default(), &Chip::GX2800);
+        for v in ["144", "4872", "6186", "7189", "1152", "39264", "30960", "31072", "40"] {
+            assert!(s.contains(v), "missing {v} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn table2_contains_paper_values() {
+        let s = render_table2(&ResourceModel::default(), &Chip::GX2800);
+        for v in ["2560", "3593", "10268", "14648", "6"] {
+            assert!(s.contains(v), "missing {v} in:\n{s}");
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Builders for the interconnect shapes used in the paper's evaluation
+//! (linear bus, 2D torus) and other common test topologies.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Connection, Topology, TopologyError, DEFAULT_PORTS_PER_RANK};
+
+impl Topology {
+    /// A linear bus: rank `i` port 1 ↔ rank `i+1` port 0.
+    ///
+    /// This is the configuration the paper uses to measure bandwidth/latency
+    /// at varying network distance: "the 8 FPGAs are treated as being
+    /// organized along a linear bus, rather than in a torus (without
+    /// rebuilding the bitstream)" (§5.3.1).
+    pub fn bus(num_ranks: usize) -> Topology {
+        let conns = (0..num_ranks.saturating_sub(1))
+            .map(|i| Connection::new(i, 1, i + 1, 0))
+            .collect();
+        Topology::new(num_ranks, DEFAULT_PORTS_PER_RANK, conns)
+            .expect("bus construction is always valid")
+    }
+
+    /// A ring: the bus plus a wrap-around cable `n-1`:1 ↔ `0`:0.
+    pub fn ring(num_ranks: usize) -> Topology {
+        assert!(num_ranks >= 2, "ring needs at least 2 ranks");
+        let mut conns: Vec<Connection> = (0..num_ranks - 1)
+            .map(|i| Connection::new(i, 1, i + 1, 0))
+            .collect();
+        conns.push(Connection::new(num_ranks - 1, 1, 0, 0));
+        Topology::new(num_ranks, DEFAULT_PORTS_PER_RANK, conns)
+            .expect("ring construction is always valid")
+    }
+
+    /// A 2D torus of `rx × ry` devices, the paper's cluster shape
+    /// ("8 FPGAs connected in a 2D torus", §5.1).
+    ///
+    /// Rank numbering matches the paper's stencil code: `rank = x * ry + y`
+    /// (`r_x = rank / RY; r_y = rank % RY`). Port convention per device:
+    /// 0 = west (y−1), 1 = east (y+1), 2 = north (x−1), 3 = south (x+1).
+    ///
+    /// A dimension of size 2 yields two parallel cables between the same pair
+    /// of devices (the wrap-around coincides with the direct link), which is
+    /// physically legal — both ports are wired.
+    pub fn torus2d(rx: usize, ry: usize) -> Topology {
+        assert!(rx >= 1 && ry >= 1, "torus dimensions must be positive");
+        let rank_of = |x: usize, y: usize| x * ry + y;
+        let mut conns = Vec::new();
+        for x in 0..rx {
+            for y in 0..ry {
+                if ry >= 2 {
+                    // east cable: (x,y):1 <-> (x,y+1):0
+                    conns.push(Connection::new(rank_of(x, y), 1, rank_of(x, (y + 1) % ry), 0));
+                }
+                if rx >= 2 {
+                    // south cable: (x,y):3 <-> (x+1,y):2
+                    conns.push(Connection::new(rank_of(x, y), 3, rank_of((x + 1) % rx, y), 2));
+                }
+            }
+        }
+        Topology::new(rx * ry, DEFAULT_PORTS_PER_RANK, conns)
+            .expect("torus construction is always valid")
+    }
+
+    /// A 3D torus of `rx × ry × rz` devices — the interconnect shape of
+    /// Novo-G# (George et al., discussed in the paper's related work §6).
+    /// Needs 6 ports per device (0/1 = ±z, 2/3 = ±y, 4/5 = ±x); rank =
+    /// `x·ry·rz + y·rz + z`.
+    pub fn torus3d(rx: usize, ry: usize, rz: usize) -> Topology {
+        assert!(rx >= 1 && ry >= 1 && rz >= 1, "torus dimensions must be positive");
+        let rank_of = |x: usize, y: usize, z: usize| x * ry * rz + y * rz + z;
+        let mut conns = Vec::new();
+        for x in 0..rx {
+            for y in 0..ry {
+                for z in 0..rz {
+                    if rz >= 2 {
+                        conns.push(Connection::new(
+                            rank_of(x, y, z),
+                            1,
+                            rank_of(x, y, (z + 1) % rz),
+                            0,
+                        ));
+                    }
+                    if ry >= 2 {
+                        conns.push(Connection::new(
+                            rank_of(x, y, z),
+                            3,
+                            rank_of(x, (y + 1) % ry, z),
+                            2,
+                        ));
+                    }
+                    if rx >= 2 {
+                        conns.push(Connection::new(
+                            rank_of(x, y, z),
+                            5,
+                            rank_of((x + 1) % rx, y, z),
+                            4,
+                        ));
+                    }
+                }
+            }
+        }
+        Topology::new(rx * ry * rz, 6, conns).expect("3D torus construction is always valid")
+    }
+
+    /// A star: rank 0 in the center, cabled to every other rank.
+    pub fn star(num_ranks: usize) -> Topology {
+        assert!(num_ranks >= 2, "star needs at least 2 ranks");
+        let ports = (num_ranks - 1).max(DEFAULT_PORTS_PER_RANK);
+        let conns = (1..num_ranks)
+            .map(|i| Connection::new(0, i - 1, i, 0))
+            .collect();
+        Topology::new(num_ranks, ports, conns).expect("star construction is always valid")
+    }
+
+    /// A fully connected clique (every pair cabled directly).
+    pub fn fully_connected(num_ranks: usize) -> Topology {
+        assert!(num_ranks >= 2, "clique needs at least 2 ranks");
+        let ports = num_ranks - 1;
+        // Port of j at i: j-1 if j > i, else j.
+        let port_at = |i: usize, j: usize| if j > i { j - 1 } else { j };
+        let mut conns = Vec::new();
+        for i in 0..num_ranks {
+            for j in (i + 1)..num_ranks {
+                conns.push(Connection::new(i, port_at(i, j), j, port_at(j, i)));
+            }
+        }
+        Topology::new(num_ranks, ports, conns).expect("clique construction is always valid")
+    }
+
+    /// A random connected topology honouring a per-device port budget:
+    /// a random spanning tree plus `extra_links` random additional cables
+    /// (as many as free ports allow). Used by property tests.
+    pub fn random_connected<R: Rng>(
+        num_ranks: usize,
+        ports_per_rank: usize,
+        extra_links: usize,
+        rng: &mut R,
+    ) -> Result<Topology, TopologyError> {
+        assert!(num_ranks >= 1);
+        assert!(ports_per_rank >= 2 || num_ranks <= 2, "need >=2 ports to chain devices");
+        let mut free: Vec<Vec<usize>> = (0..num_ranks)
+            .map(|_| (0..ports_per_rank).rev().collect())
+            .collect();
+        let mut order: Vec<usize> = (0..num_ranks).collect();
+        order.shuffle(rng);
+        let mut conns = Vec::new();
+        // Spanning tree: attach each new device to a random already-attached
+        // device that still has a free port.
+        for idx in 1..num_ranks {
+            let new = order[idx];
+            let candidates: Vec<usize> = order[..idx]
+                .iter()
+                .copied()
+                .filter(|&r| !free[r].is_empty())
+                .collect();
+            let &host = candidates
+                .choose(rng)
+                .ok_or_else(|| TopologyError::BadSpec("port budget exhausted".into()))?;
+            let hp = free[host].pop().expect("candidate has free port");
+            let np = free[new].pop().expect("fresh device has free ports");
+            conns.push(Connection::new(host, hp, new, np));
+        }
+        // Extra links between distinct devices with free ports.
+        for _ in 0..extra_links {
+            let candidates: Vec<usize> =
+                (0..num_ranks).filter(|&r| !free[r].is_empty()).collect();
+            if candidates.len() < 2 {
+                break;
+            }
+            let a = *candidates.choose(rng).expect("nonempty");
+            let others: Vec<usize> = candidates.into_iter().filter(|&r| r != a).collect();
+            let b = *others.choose(rng).expect("nonempty");
+            let ap = free[a].pop().expect("has free port");
+            let bp = free[b].pop().expect("has free port");
+            conns.push(Connection::new(a, ap, b, bp));
+        }
+        Topology::new(num_ranks, ports_per_rank, conns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bus_shape() {
+        let t = Topology::bus(8);
+        assert_eq!(t.num_ranks(), 8);
+        assert_eq!(t.connections().len(), 7);
+        assert_eq!(t.degree(0), 1);
+        assert_eq!(t.degree(3), 2);
+        assert_eq!(t.degree(7), 1);
+    }
+
+    #[test]
+    fn single_rank_bus() {
+        let t = Topology::bus(1);
+        assert_eq!(t.num_ranks(), 1);
+        assert_eq!(t.connections().len(), 0);
+    }
+
+    #[test]
+    fn ring_shape() {
+        let t = Topology::ring(5);
+        assert_eq!(t.connections().len(), 5);
+        for r in 0..5 {
+            assert_eq!(t.degree(r), 2);
+        }
+    }
+
+    #[test]
+    fn torus_2x4_all_ports_used() {
+        // The paper's 8-FPGA cluster.
+        let t = Topology::torus2d(2, 4);
+        assert_eq!(t.num_ranks(), 8);
+        for r in 0..8 {
+            assert_eq!(t.degree(r), 4, "every QSFP port wired");
+        }
+        // 8 east cables + 8 south cables.
+        assert_eq!(t.connections().len(), 16);
+    }
+
+    #[test]
+    fn torus_rank_numbering_matches_paper() {
+        // rank = x * RY + y; east neighbor of (0,0) is rank 1.
+        let t = Topology::torus2d(2, 4);
+        let east = t.peer(0, 1).unwrap();
+        assert_eq!(east.rank, 1);
+        // south neighbor of (0,0) is (1,0) = rank 4.
+        let south = t.peer(0, 3).unwrap();
+        assert_eq!(south.rank, 4);
+    }
+
+    #[test]
+    fn torus_4x4() {
+        let t = Topology::torus2d(4, 4);
+        assert_eq!(t.num_ranks(), 16);
+        assert_eq!(t.connections().len(), 32);
+        for r in 0..16 {
+            assert_eq!(t.neighbor_ranks(r).len(), 4, "4 distinct neighbours in 4x4");
+        }
+    }
+
+    #[test]
+    fn torus3d_shapes() {
+        let t = Topology::torus3d(2, 2, 2);
+        assert_eq!(t.num_ranks(), 8);
+        for r in 0..8 {
+            assert_eq!(t.degree(r), 6, "all six ports wired on rank {r}");
+        }
+        // 8 nodes × 3 dims with doubled wrap cables = 24 connections.
+        assert_eq!(t.connections().len(), 24);
+        let t = Topology::torus3d(3, 3, 3);
+        assert_eq!(t.num_ranks(), 27);
+        assert_eq!(t.connections().len(), 81);
+        // Rank numbering: (1, 2, 0) = 1*9 + 2*3 + 0 = 15; its +z peer is 16.
+        assert_eq!(t.peer(15, 1).unwrap().rank, 16);
+        // Degenerate dimensions still build.
+        let flat = Topology::torus3d(1, 2, 4);
+        assert_eq!(flat.num_ranks(), 8);
+    }
+
+    #[test]
+    fn torus3d_routes_deadlock_free() {
+        use crate::deadlock::is_deadlock_free;
+        use crate::RoutingPlan;
+        for (x, y, z) in [(2, 2, 2), (3, 3, 3), (1, 2, 4)] {
+            let t = Topology::torus3d(x, y, z);
+            let plan = RoutingPlan::compute(&t).unwrap();
+            plan.validate_against(&t).unwrap();
+            assert!(is_deadlock_free(&t, &plan), "torus3d {x}x{y}x{z}");
+        }
+    }
+
+    #[test]
+    fn star_and_clique() {
+        let s = Topology::star(6);
+        assert_eq!(s.degree(0), 5);
+        for r in 1..6 {
+            assert_eq!(s.degree(r), 1);
+        }
+        let c = Topology::fully_connected(5);
+        for r in 0..5 {
+            assert_eq!(c.degree(r), 4);
+            assert_eq!(c.neighbor_ranks(r).len(), 4);
+        }
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for n in [1usize, 2, 3, 8, 16, 40] {
+            let t = Topology::random_connected(n, 4, 6, &mut rng).unwrap();
+            assert_eq!(t.num_ranks(), n);
+            // Constructor validates connectivity.
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Topology descriptions on disk: the JSON format of the paper's workflow
+//! ("The topology is provided as a JSON file, which describes connections
+//! between FPGA network ports", §4.5), plus the compact `A:0 - B:0` text
+//! form shown in Fig. 8.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Connection, Endpoint, Topology, TopologyError, DEFAULT_PORTS_PER_RANK};
+
+/// Serialized topology description.
+///
+/// ```json
+/// {
+///   "num_ranks": 8,
+///   "ports_per_rank": 4,
+///   "connections": [ ["0:1", "1:0"], ["1:1", "2:0"] ]
+/// }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopologySpec {
+    /// Number of FPGAs.
+    pub num_ranks: usize,
+    /// QSFP ports per FPGA (defaults to 4 when omitted).
+    #[serde(default = "default_ports")]
+    pub ports_per_rank: usize,
+    /// Cables as `"rank:port"` string pairs.
+    pub connections: Vec<(String, String)>,
+}
+
+fn default_ports() -> usize {
+    DEFAULT_PORTS_PER_RANK
+}
+
+/// Parse an endpoint written as `"rank:port"`. Rank may be a decimal number
+/// or a single letter `A`–`Z` (the paper's Fig. 8 uses letters).
+pub fn parse_endpoint(s: &str) -> Result<Endpoint, TopologyError> {
+    let s = s.trim();
+    let (r, q) = s
+        .split_once(':')
+        .ok_or_else(|| TopologyError::BadSpec(format!("endpoint '{s}' missing ':'")))?;
+    let r = r.trim();
+    let rank = if r.len() == 1 && r.chars().next().unwrap().is_ascii_uppercase() {
+        (r.bytes().next().unwrap() - b'A') as usize
+    } else {
+        r.parse::<usize>()
+            .map_err(|_| TopologyError::BadSpec(format!("bad rank '{r}'")))?
+    };
+    let qsfp = q
+        .trim()
+        .parse::<usize>()
+        .map_err(|_| TopologyError::BadSpec(format!("bad port '{q}'")))?;
+    Ok(Endpoint { rank, qsfp })
+}
+
+impl TopologySpec {
+    /// Validate and build the [`Topology`].
+    pub fn build(&self) -> Result<Topology, TopologyError> {
+        let conns = self
+            .connections
+            .iter()
+            .map(|(a, b)| {
+                Ok(Connection { a: parse_endpoint(a)?, b: parse_endpoint(b)? })
+            })
+            .collect::<Result<Vec<_>, TopologyError>>()?;
+        Topology::new(self.num_ranks, self.ports_per_rank, conns)
+    }
+
+    /// Capture an existing topology as a serializable spec.
+    pub fn from_topology(topo: &Topology) -> TopologySpec {
+        TopologySpec {
+            num_ranks: topo.num_ranks(),
+            ports_per_rank: topo.ports_per_rank(),
+            connections: topo
+                .connections()
+                .iter()
+                .map(|c| (c.a.to_string(), c.b.to_string()))
+                .collect(),
+        }
+    }
+}
+
+impl Topology {
+    /// Parse a topology from its JSON description.
+    pub fn from_json(json: &str) -> Result<Topology, TopologyError> {
+        let spec: TopologySpec = serde_json::from_str(json)
+            .map_err(|e| TopologyError::BadSpec(format!("JSON parse error: {e}")))?;
+        spec.build()
+    }
+
+    /// Serialize to the JSON description format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&TopologySpec::from_topology(self))
+            .expect("topology spec serializes")
+    }
+
+    /// Parse the compact text form of Fig. 8: one cable per line,
+    /// `A:0 - B:0` (letters or decimal ranks). `num_ranks` is inferred as
+    /// max rank + 1; blank lines and `#` comments are ignored.
+    pub fn from_text(text: &str) -> Result<Topology, TopologyError> {
+        let mut conns = Vec::new();
+        let mut max_rank = 0usize;
+        let mut max_port = 0usize;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (a, b) = line
+                .split_once('-')
+                .ok_or_else(|| TopologyError::BadSpec(format!("line '{line}' missing '-'")))?;
+            let a = parse_endpoint(a)?;
+            let b = parse_endpoint(b)?;
+            max_rank = max_rank.max(a.rank).max(b.rank);
+            max_port = max_port.max(a.qsfp).max(b.qsfp);
+            conns.push(Connection { a, b });
+        }
+        let ports = DEFAULT_PORTS_PER_RANK.max(max_port + 1);
+        Topology::new(max_rank + 1, ports, conns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let topo = Topology::torus2d(2, 4);
+        let json = topo.to_json();
+        let back = Topology::from_json(&json).unwrap();
+        assert_eq!(topo, back);
+    }
+
+    #[test]
+    fn json_with_default_ports() {
+        let json = r#"{ "num_ranks": 2, "connections": [["0:0", "1:0"]] }"#;
+        let topo = Topology::from_json(json).unwrap();
+        assert_eq!(topo.ports_per_rank(), DEFAULT_PORTS_PER_RANK);
+        assert_eq!(topo.peer(0, 0), Some(Endpoint::new(1, 0)));
+    }
+
+    #[test]
+    fn text_format_with_letters() {
+        // The Fig. 8 example: "A:0 - B:0, A:1 - C:1, B:1 - C:2".
+        let text = "A:0 - B:0\nA:1 - C:1\nB:1 - C:2\n";
+        let topo = Topology::from_text(text).unwrap();
+        assert_eq!(topo.num_ranks(), 3);
+        assert_eq!(topo.peer(0, 0), Some(Endpoint::new(1, 0)));
+        assert_eq!(topo.peer(2, 2), Some(Endpoint::new(1, 1)));
+    }
+
+    #[test]
+    fn text_format_with_numbers_and_comments() {
+        let text = "# my cluster\n0:1 - 1:0\n\n1:1 - 2:0\n";
+        let topo = Topology::from_text(text).unwrap();
+        assert_eq!(topo.num_ranks(), 3);
+        assert_eq!(topo.degree(1), 2);
+    }
+
+    #[test]
+    fn bad_specs_are_reported() {
+        assert!(Topology::from_json("{").is_err());
+        assert!(Topology::from_text("0:0 1:0").is_err()); // missing '-'
+        assert!(parse_endpoint("abc").is_err());
+        assert!(parse_endpoint("1:x").is_err());
+        // Port clash via text form:
+        let text = "0:0 - 1:0\n0:0 - 2:0";
+        assert!(matches!(
+            Topology::from_text(text),
+            Err(TopologyError::PortInUse { rank: 0, port: 0 })
+        ));
+    }
+
+    #[test]
+    fn spec_build_checks_bounds() {
+        let spec = TopologySpec {
+            num_ranks: 2,
+            ports_per_rank: 1,
+            connections: vec![("0:0".into(), "1:5".into())],
+        };
+        assert!(matches!(
+            spec.build(),
+            Err(TopologyError::PortOutOfBounds { port: 5, .. })
+        ));
+    }
+}

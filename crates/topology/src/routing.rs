@@ -1,0 +1,403 @@
+//! Route computation: deadlock-free up\*/down\* routing and per-rank
+//! next-hop tables.
+//!
+//! The paper (§4.3) computes static routes offline "using a deadlock-free
+//! routing scheme \[Domke et al., 8\], according to the target FPGA
+//! interconnection topology", and uploads the resulting tables to the
+//! devices at runtime. We implement **up\*/down\*** routing — the classic
+//! deadlock-free oblivious scheme for arbitrary topologies: links are
+//! oriented toward a BFS spanning-tree root, and every route consists of
+//! zero or more "up" hops followed by zero or more "down" hops. Because no
+//! route ever turns down→up, the channel-dependency graph is provably
+//! acyclic, which [`crate::deadlock::find_cycle`] verifies per instance.
+//!
+//! A plain shortest-path scheme ([`Scheme::ShortestPath`]) is also provided;
+//! it is *not* deadlock-free in general (e.g. on rings) and exists for
+//! comparison and for negative tests of the deadlock checker.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Endpoint, Topology, TopologyError};
+
+/// Where a rank must send a packet for a given destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NextHop {
+    /// The destination is this rank: deliver to the local CKR.
+    Local,
+    /// Forward out of the given QSFP port.
+    Via(usize),
+}
+
+/// One directed traversal of a cable, from port `from` into port `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Hop {
+    /// Outgoing endpoint (sender side of the cable).
+    pub from: Endpoint,
+    /// Incoming endpoint (receiver side of the cable).
+    pub to: Endpoint,
+}
+
+/// The routing table of one rank: `next[dst]` says where packets for `dst`
+/// leave this rank. This is the content the paper uploads into the on-chip
+/// M20K routing tables of the CKS modules.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankRoutes {
+    /// Indexed by destination rank.
+    pub next: Vec<NextHop>,
+}
+
+/// The routing scheme used to compute a [`RoutingPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Up*/down* over a BFS spanning tree rooted at rank 0 — deadlock-free.
+    UpDown,
+    /// Plain BFS shortest paths — minimal hop count but **not** guaranteed
+    /// deadlock-free; for analysis/ablation only.
+    ShortestPath,
+}
+
+/// A complete set of routes for a topology: per-rank next-hop tables plus
+/// the full path of every (src, dst) pair for analysis and table generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingPlan {
+    num_ranks: usize,
+    scheme: Scheme,
+    per_rank: Vec<RankRoutes>,
+    /// paths[src][dst] = directed hops from src to dst (empty when src == dst).
+    paths: Vec<Vec<Vec<Hop>>>,
+}
+
+impl RoutingPlan {
+    /// Compute a deadlock-free up*/down* routing plan.
+    pub fn compute(topo: &Topology) -> Result<RoutingPlan, TopologyError> {
+        Self::compute_with(topo, Scheme::UpDown)
+    }
+
+    /// Compute a routing plan with an explicit scheme.
+    pub fn compute_with(topo: &Topology, scheme: Scheme) -> Result<RoutingPlan, TopologyError> {
+        let n = topo.num_ranks();
+        let levels = bfs_levels(topo);
+        let mut paths: Vec<Vec<Vec<Hop>>> = vec![vec![Vec::new(); n]; n];
+        for (src, row) in paths.iter_mut().enumerate() {
+            let tree = match scheme {
+                Scheme::UpDown => updown_bfs(topo, &levels, src),
+                Scheme::ShortestPath => shortest_bfs(topo, src),
+            };
+            for (dst, path) in tree.into_iter().enumerate() {
+                match path {
+                    Some(p) => row[dst] = p,
+                    None if dst != src => return Err(TopologyError::NoRoute { src, dst }),
+                    None => {}
+                }
+            }
+        }
+        let per_rank = (0..n)
+            .map(|r| RankRoutes {
+                next: (0..n)
+                    .map(|dst| {
+                        if dst == r {
+                            NextHop::Local
+                        } else {
+                            NextHop::Via(paths[r][dst][0].from.qsfp)
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        Ok(RoutingPlan { num_ranks: n, scheme, per_rank, paths })
+    }
+
+    /// Number of ranks covered.
+    #[inline]
+    pub fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    /// The scheme used.
+    #[inline]
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Next hop at `rank` for packets destined to `dst`.
+    #[inline]
+    pub fn next_hop(&self, rank: usize, dst: usize) -> NextHop {
+        self.per_rank[rank].next[dst]
+    }
+
+    /// The per-rank table (what gets uploaded to the device).
+    #[inline]
+    pub fn rank_routes(&self, rank: usize) -> &RankRoutes {
+        &self.per_rank[rank]
+    }
+
+    /// The full directed path from `src` to `dst`.
+    #[inline]
+    pub fn path(&self, src: usize, dst: usize) -> &[Hop] {
+        &self.paths[src][dst]
+    }
+
+    /// Number of network hops from `src` to `dst` under this plan.
+    #[inline]
+    pub fn hops(&self, src: usize, dst: usize) -> usize {
+        self.paths[src][dst].len()
+    }
+
+    /// The longest routed path in the plan (routed diameter).
+    pub fn max_hops(&self) -> usize {
+        (0..self.num_ranks)
+            .flat_map(|s| (0..self.num_ranks).map(move |d| (s, d)))
+            .map(|(s, d)| self.hops(s, d))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Verify that every path is physically valid: consecutive cables exist
+    /// in the topology and chain rank-to-rank. Used by tests.
+    pub fn validate_against(&self, topo: &Topology) -> Result<(), TopologyError> {
+        for src in 0..self.num_ranks {
+            for dst in 0..self.num_ranks {
+                let path = self.path(src, dst);
+                if src == dst {
+                    if !path.is_empty() {
+                        return Err(TopologyError::BadSpec(format!(
+                            "non-empty path from {src} to itself"
+                        )));
+                    }
+                    continue;
+                }
+                let mut at = src;
+                for hop in path {
+                    if hop.from.rank != at {
+                        return Err(TopologyError::BadSpec(format!(
+                            "path {src}->{dst} teleports at rank {at}"
+                        )));
+                    }
+                    match topo.peer(hop.from.rank, hop.from.qsfp) {
+                        Some(peer) if peer == hop.to => at = hop.to.rank,
+                        _ => {
+                            return Err(TopologyError::BadSpec(format!(
+                                "path {src}->{dst} uses nonexistent cable {}-{}",
+                                hop.from, hop.to
+                            )))
+                        }
+                    }
+                }
+                if at != dst {
+                    return Err(TopologyError::BadSpec(format!(
+                        "path {src}->{dst} ends at {at}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// BFS levels from rank 0 (the up*/down* root).
+fn bfs_levels(topo: &Topology) -> Vec<usize> {
+    let n = topo.num_ranks();
+    let mut level = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    level[0] = 0;
+    queue.push_back(0usize);
+    while let Some(u) = queue.pop_front() {
+        for (_, ep) in topo.neighbors(u) {
+            if level[ep.rank] == usize::MAX {
+                level[ep.rank] = level[u] + 1;
+                queue.push_back(ep.rank);
+            }
+        }
+    }
+    level
+}
+
+/// Is the directed traversal `u -> v` an "up" move (toward the root)?
+/// Ties on level are broken by rank id so every cable has exactly one up
+/// direction.
+#[inline]
+fn is_up(levels: &[usize], u: usize, v: usize) -> bool {
+    levels[v] < levels[u] || (levels[v] == levels[u] && v < u)
+}
+
+/// BFS over (rank, phase) states where phase=0 means "still going up" and
+/// phase=1 means "now going down"; only up→down transitions are allowed.
+/// Returns the shortest legal path to every rank (None when unreachable).
+fn updown_bfs(topo: &Topology, levels: &[usize], src: usize) -> Vec<Option<Vec<Hop>>> {
+    let n = topo.num_ranks();
+    // state = rank * 2 + phase
+    let mut parent: Vec<Option<(usize, Hop)>> = vec![None; n * 2];
+    let mut dist = vec![usize::MAX; n * 2];
+    let start = src * 2;
+    dist[start] = 0;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(start);
+    while let Some(state) = queue.pop_front() {
+        let (u, phase) = (state / 2, state % 2);
+        for (q, ep) in topo.neighbors(u) {
+            let up = is_up(levels, u, ep.rank);
+            // In the up phase we may keep going up or turn down;
+            // in the down phase we may only continue down.
+            let next_phase = if up { 0 } else { 1 };
+            if phase == 1 && up {
+                continue;
+            }
+            let next_state = ep.rank * 2 + next_phase;
+            if dist[next_state] == usize::MAX {
+                dist[next_state] = dist[state] + 1;
+                parent[next_state] = Some((
+                    state,
+                    Hop { from: Endpoint::new(u, q), to: ep },
+                ));
+                queue.push_back(next_state);
+            }
+        }
+    }
+    (0..n)
+        .map(|dst| {
+            if dst == src {
+                return Some(Vec::new());
+            }
+            let s_up = dst * 2;
+            let s_down = dst * 2 + 1;
+            let best = if dist[s_up] <= dist[s_down] { s_up } else { s_down };
+            if dist[best] == usize::MAX {
+                return None;
+            }
+            let mut hops = Vec::with_capacity(dist[best]);
+            let mut cur = best;
+            while let Some((prev, hop)) = parent[cur] {
+                hops.push(hop);
+                cur = prev;
+            }
+            hops.reverse();
+            Some(hops)
+        })
+        .collect()
+}
+
+/// Plain BFS shortest paths (not deadlock-free in general).
+fn shortest_bfs(topo: &Topology, src: usize) -> Vec<Option<Vec<Hop>>> {
+    let n = topo.num_ranks();
+    let mut parent: Vec<Option<(usize, Hop)>> = vec![None; n];
+    let mut dist = vec![usize::MAX; n];
+    dist[src] = 0;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        for (q, ep) in topo.neighbors(u) {
+            if dist[ep.rank] == usize::MAX {
+                dist[ep.rank] = dist[u] + 1;
+                parent[ep.rank] = Some((u, Hop { from: Endpoint::new(u, q), to: ep }));
+                queue.push_back(ep.rank);
+            }
+        }
+    }
+    (0..n)
+        .map(|dst| {
+            if dst == src {
+                return Some(Vec::new());
+            }
+            if dist[dst] == usize::MAX {
+                return None;
+            }
+            let mut hops = Vec::with_capacity(dist[dst]);
+            let mut cur = dst;
+            while let Some((prev, hop)) = parent[cur] {
+                hops.push(hop);
+                cur = prev;
+            }
+            hops.reverse();
+            Some(hops)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_routes_are_linear() {
+        let topo = Topology::bus(8);
+        let plan = RoutingPlan::compute(&topo).unwrap();
+        plan.validate_against(&topo).unwrap();
+        // Hop counts on a bus are |src - dst|.
+        for s in 0..8 {
+            for d in 0..8 {
+                assert_eq!(plan.hops(s, d), s.abs_diff(d), "bus {s}->{d}");
+            }
+        }
+        assert_eq!(plan.max_hops(), 7);
+        // Direction sanity: 0 -> 7 leaves through port 1 (east).
+        assert_eq!(plan.next_hop(0, 7), NextHop::Via(1));
+        assert_eq!(plan.next_hop(3, 0), NextHop::Via(0));
+        assert_eq!(plan.next_hop(5, 5), NextHop::Local);
+    }
+
+    #[test]
+    fn torus_routes_valid_and_bounded() {
+        let topo = Topology::torus2d(2, 4);
+        let plan = RoutingPlan::compute(&topo).unwrap();
+        plan.validate_against(&topo).unwrap();
+        // Up*/down* on this torus cannot exceed 2x the BFS eccentricity.
+        assert!(plan.max_hops() <= 5, "max hops {}", plan.max_hops());
+        for s in 0..8 {
+            for d in 0..8 {
+                if s != d {
+                    assert!(plan.hops(s, d) >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_scheme_is_minimal() {
+        let topo = Topology::ring(6);
+        let sp = RoutingPlan::compute_with(&topo, Scheme::ShortestPath).unwrap();
+        sp.validate_against(&topo).unwrap();
+        for s in 0..6usize {
+            for d in 0..6usize {
+                let direct = s.abs_diff(d).min(6 - s.abs_diff(d));
+                assert_eq!(sp.hops(s, d), direct);
+            }
+        }
+    }
+
+    #[test]
+    fn updown_on_ring_detours_but_routes() {
+        // Up*/down* on a ring must avoid the "wrap" turn somewhere; paths
+        // may be longer than shortest but must exist and be valid.
+        let topo = Topology::ring(6);
+        let plan = RoutingPlan::compute(&topo).unwrap();
+        plan.validate_against(&topo).unwrap();
+        assert!(plan.max_hops() >= 3);
+    }
+
+    #[test]
+    fn single_rank_plan() {
+        let topo = Topology::bus(1);
+        let plan = RoutingPlan::compute(&topo).unwrap();
+        assert_eq!(plan.next_hop(0, 0), NextHop::Local);
+        assert_eq!(plan.max_hops(), 0);
+    }
+
+    #[test]
+    fn two_rank_plan() {
+        let topo = Topology::bus(2);
+        let plan = RoutingPlan::compute(&topo).unwrap();
+        assert_eq!(plan.hops(0, 1), 1);
+        assert_eq!(plan.hops(1, 0), 1);
+        assert_eq!(plan.path(0, 1)[0].from, Endpoint::new(0, 1));
+        assert_eq!(plan.path(0, 1)[0].to, Endpoint::new(1, 0));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let topo = Topology::torus2d(2, 2);
+        let plan = RoutingPlan::compute(&topo).unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: RoutingPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

@@ -1,0 +1,169 @@
+//! SMI datatypes and their mapping onto Rust element types.
+//!
+//! SMI channels are opened with an explicit datatype (`SMI_INT`, `SMI_FLOAT`,
+//! …) and every `Push`/`Pop` must use the same type. The datatype determines
+//! how many elements fit into the 28-byte packet payload.
+
+use serde::{Deserialize, Serialize};
+
+use crate::PAYLOAD_BYTES;
+
+/// The element datatypes defined by the SMI interface specification.
+///
+/// Mirrors the paper's `SMI_Datatype` (`SMI_CHAR`, `SMI_SHORT`, `SMI_INT`,
+/// `SMI_FLOAT`, `SMI_DOUBLE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Datatype {
+    /// 1-byte character / byte (`SMI_CHAR`).
+    Char,
+    /// 2-byte signed integer (`SMI_SHORT`).
+    Short,
+    /// 4-byte signed integer (`SMI_INT`).
+    Int,
+    /// 4-byte IEEE-754 float (`SMI_FLOAT`).
+    Float,
+    /// 8-byte IEEE-754 float (`SMI_DOUBLE`).
+    Double,
+}
+
+impl Datatype {
+    /// All datatypes, in wire-encoding order.
+    pub const ALL: [Datatype; 5] = [
+        Datatype::Char,
+        Datatype::Short,
+        Datatype::Int,
+        Datatype::Float,
+        Datatype::Double,
+    ];
+
+    /// Size of one element in bytes.
+    #[inline]
+    pub const fn size_bytes(self) -> usize {
+        match self {
+            Datatype::Char => 1,
+            Datatype::Short => 2,
+            Datatype::Int => 4,
+            Datatype::Float => 4,
+            Datatype::Double => 8,
+        }
+    }
+
+    /// How many elements of this type fit in one packet payload.
+    ///
+    /// E.g. 7 for `Int`/`Float` (28 B / 4 B), 3 for `Double`.
+    #[inline]
+    pub const fn elems_per_packet(self) -> usize {
+        PAYLOAD_BYTES / self.size_bytes()
+    }
+
+    /// Number of packets needed to carry `count` elements of this type.
+    #[inline]
+    pub const fn packets_for(self, count: usize) -> usize {
+        count.div_ceil(self.elems_per_packet())
+    }
+
+    /// Total payload bytes for `count` elements.
+    #[inline]
+    pub const fn bytes_for(self, count: usize) -> usize {
+        count * self.size_bytes()
+    }
+}
+
+/// Rust element types that can travel over SMI channels.
+///
+/// The trait ties a Rust type to its SMI [`Datatype`] and provides the
+/// little-endian byte codec used to place elements into packet payloads.
+/// Implemented for `u8` (char), `i16` (short), `i32` (int), `f32` (float) and
+/// `f64` (double).
+pub trait SmiType: Copy + PartialEq + std::fmt::Debug + Send + 'static {
+    /// The SMI datatype tag corresponding to `Self`.
+    const DATATYPE: Datatype;
+
+    /// Serialize `self` into `dst` (exactly `DATATYPE.size_bytes()` bytes).
+    fn write_le(&self, dst: &mut [u8]);
+
+    /// Deserialize an element from `src` (exactly `DATATYPE.size_bytes()` bytes).
+    fn read_le(src: &[u8]) -> Self;
+}
+
+macro_rules! impl_smi_type {
+    ($ty:ty, $dt:expr) => {
+        impl SmiType for $ty {
+            const DATATYPE: Datatype = $dt;
+
+            #[inline]
+            fn write_le(&self, dst: &mut [u8]) {
+                dst.copy_from_slice(&self.to_le_bytes());
+            }
+
+            #[inline]
+            fn read_le(src: &[u8]) -> Self {
+                <$ty>::from_le_bytes(src.try_into().expect("element slice of exact size"))
+            }
+        }
+    };
+}
+
+impl_smi_type!(u8, Datatype::Char);
+impl_smi_type!(i16, Datatype::Short);
+impl_smi_type!(i32, Datatype::Int);
+impl_smi_type!(f32, Datatype::Float);
+impl_smi_type!(f64, Datatype::Double);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_paper() {
+        assert_eq!(Datatype::Char.size_bytes(), 1);
+        assert_eq!(Datatype::Short.size_bytes(), 2);
+        assert_eq!(Datatype::Int.size_bytes(), 4);
+        assert_eq!(Datatype::Float.size_bytes(), 4);
+        assert_eq!(Datatype::Double.size_bytes(), 8);
+    }
+
+    #[test]
+    fn elems_per_packet() {
+        // 28-byte payload.
+        assert_eq!(Datatype::Char.elems_per_packet(), 28);
+        assert_eq!(Datatype::Short.elems_per_packet(), 14);
+        assert_eq!(Datatype::Int.elems_per_packet(), 7);
+        assert_eq!(Datatype::Float.elems_per_packet(), 7);
+        assert_eq!(Datatype::Double.elems_per_packet(), 3);
+    }
+
+    #[test]
+    fn packets_for_counts() {
+        assert_eq!(Datatype::Float.packets_for(0), 0);
+        assert_eq!(Datatype::Float.packets_for(1), 1);
+        assert_eq!(Datatype::Float.packets_for(7), 1);
+        assert_eq!(Datatype::Float.packets_for(8), 2);
+        assert_eq!(Datatype::Double.packets_for(4), 2);
+        assert_eq!(Datatype::Char.packets_for(29), 2);
+    }
+
+    #[test]
+    fn roundtrip_each_type() {
+        let mut buf = [0u8; 8];
+        42u8.write_le(&mut buf[..1]);
+        assert_eq!(u8::read_le(&buf[..1]), 42);
+        (-1234i16).write_le(&mut buf[..2]);
+        assert_eq!(i16::read_le(&buf[..2]), -1234);
+        0x7fff_1234i32.write_le(&mut buf[..4]);
+        assert_eq!(i32::read_le(&buf[..4]), 0x7fff_1234);
+        3.5f32.write_le(&mut buf[..4]);
+        assert_eq!(f32::read_le(&buf[..4]), 3.5);
+        (-2.25e300f64).write_le(&mut buf[..8]);
+        assert_eq!(f64::read_le(&buf[..8]), -2.25e300);
+    }
+
+    #[test]
+    fn trait_datatype_tags() {
+        assert_eq!(u8::DATATYPE, Datatype::Char);
+        assert_eq!(i16::DATATYPE, Datatype::Short);
+        assert_eq!(i32::DATATYPE, Datatype::Int);
+        assert_eq!(f32::DATATYPE, Datatype::Float);
+        assert_eq!(f64::DATATYPE, Datatype::Double);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for wire-level encoding and decoding.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding SMI wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// A rank did not fit the 8-bit wire field.
+    ///
+    /// The paper truncates ranks to 8 bits "to mitigate the penalty of packet
+    /// switching"; larger logical ranks are a checked error at channel-open
+    /// time rather than silent truncation.
+    RankOutOfRange(usize),
+    /// A port did not fit the 8-bit wire field.
+    PortOutOfRange(usize),
+    /// A valid-count did not fit the 5-bit header field, or exceeded the
+    /// payload capacity for the element type.
+    CountOutOfRange(usize),
+    /// The 3-bit operation field held an encoding not assigned to any
+    /// [`PacketOp`](crate::PacketOp).
+    BadOpEncoding(u8),
+    /// An element type other than the one the channel was opened with was
+    /// pushed or popped (`SMI_Push`/`SMI_Pop` "must match the ones defined in
+    /// the Open_Channel primitives").
+    TypeMismatch {
+        /// Datatype the channel was opened with.
+        expected: crate::Datatype,
+        /// Datatype of the element that was pushed/popped.
+        got: crate::Datatype,
+    },
+    /// A payload slice had the wrong length for the requested operation.
+    BadPayloadLength {
+        /// Expected length in bytes.
+        expected: usize,
+        /// Provided length in bytes.
+        got: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::RankOutOfRange(r) => {
+                write!(f, "rank {r} does not fit the 8-bit wire rank field")
+            }
+            WireError::PortOutOfRange(p) => {
+                write!(f, "port {p} does not fit the 8-bit wire port field")
+            }
+            WireError::CountOutOfRange(c) => {
+                write!(f, "valid-count {c} does not fit the 5-bit count field / payload")
+            }
+            WireError::BadOpEncoding(b) => write!(f, "unassigned 3-bit op encoding {b:#05b}"),
+            WireError::TypeMismatch { expected, got } => {
+                write!(f, "datatype mismatch: channel opened with {expected:?}, element is {got:?}")
+            }
+            WireError::BadPayloadLength { expected, got } => {
+                write!(f, "bad payload length: expected {expected} bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::RankOutOfRange(999);
+        assert!(e.to_string().contains("999"));
+        let e = WireError::TypeMismatch {
+            expected: crate::Datatype::Int,
+            got: crate::Datatype::Float,
+        };
+        assert!(e.to_string().contains("Int"));
+        assert!(e.to_string().contains("Float"));
+    }
+}

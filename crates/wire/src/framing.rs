@@ -1,0 +1,285 @@
+//! Message framing: packing an element stream into packets and back.
+//!
+//! This is the logic inside `SMI_Push` and `SMI_Pop` (§4.2): "Push internally
+//! accumulates data items until a network packet is full. The packet is then
+//! forwarded to CKS […] Pop internally unpacks data returned from CKR, and
+//! transmits it to the application one element at a time."
+
+use crate::{Datatype, NetworkPacket, PacketOp, SmiType};
+
+/// Accumulates pushed elements into outgoing packets.
+///
+/// A `Framer` is created per open send-side channel with the channel's header
+/// template (src/dst/port/op). Elements are appended with [`Framer::push`];
+/// whenever the payload fills up, a finished packet is returned. The final,
+/// possibly partial packet is obtained from [`Framer::flush`].
+#[derive(Debug, Clone)]
+pub struct Framer {
+    dtype: Datatype,
+    elems_per_packet: usize,
+    current: NetworkPacket,
+    filled: usize,
+}
+
+impl Framer {
+    /// New framer for a channel sending `dtype` elements from `src` to
+    /// `dst`:`port` tagged with `op`.
+    pub fn new(dtype: Datatype, src: u8, dst: u8, port: u8, op: PacketOp) -> Self {
+        Framer {
+            dtype,
+            elems_per_packet: dtype.elems_per_packet(),
+            current: NetworkPacket::new(src, dst, port, op),
+            filled: 0,
+        }
+    }
+
+    /// The datatype this framer was created with.
+    #[inline]
+    pub fn dtype(&self) -> Datatype {
+        self.dtype
+    }
+
+    /// Append one element. Returns a completed packet when the payload fills.
+    ///
+    /// Panics in debug builds if `T` does not match the channel datatype;
+    /// the typed channel API makes a mismatch unrepresentable, and the
+    /// untyped path ([`Framer::push_bytes`]) re-checks sizes.
+    #[inline]
+    pub fn push<T: SmiType>(&mut self, value: &T) -> Option<NetworkPacket> {
+        debug_assert_eq!(T::DATATYPE.size_bytes(), self.dtype.size_bytes());
+        self.current.write_elem(self.filled, value);
+        self.filled += 1;
+        self.maybe_complete()
+    }
+
+    /// Append one element given as raw little-endian bytes (used by untyped
+    /// transport paths; `bytes.len()` must equal the element size).
+    #[inline]
+    pub fn push_bytes(&mut self, bytes: &[u8]) -> Option<NetworkPacket> {
+        let sz = self.dtype.size_bytes();
+        assert_eq!(bytes.len(), sz, "element byte size mismatch");
+        let off = self.filled * sz;
+        self.current.payload[off..off + sz].copy_from_slice(bytes);
+        self.filled += 1;
+        self.maybe_complete()
+    }
+
+    #[inline]
+    fn maybe_complete(&mut self) -> Option<NetworkPacket> {
+        if self.filled == self.elems_per_packet {
+            Some(self.take_packet())
+        } else {
+            None
+        }
+    }
+
+    /// Emit the in-progress packet if it holds any elements (the final,
+    /// partial packet of a message).
+    #[inline]
+    pub fn flush(&mut self) -> Option<NetworkPacket> {
+        if self.filled > 0 {
+            Some(self.take_packet())
+        } else {
+            None
+        }
+    }
+
+    /// Number of elements accumulated in the unfinished packet.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.filled
+    }
+
+    fn take_packet(&mut self) -> NetworkPacket {
+        let mut pkt = self.current;
+        pkt.header.count = self.filled as u8;
+        self.filled = 0;
+        self.current.payload = [0; crate::PAYLOAD_BYTES];
+        pkt
+    }
+}
+
+/// Unpacks received packets back into an element stream.
+///
+/// Elements are consumed one at a time with [`Deframer::pop`]; a new packet is
+/// fed in with [`Deframer::refill`] whenever the deframer runs [`Deframer::is_empty`].
+#[derive(Debug, Clone)]
+pub struct Deframer {
+    dtype: Datatype,
+    packet: NetworkPacket,
+    next: usize,
+    valid: usize,
+}
+
+impl Deframer {
+    /// New, empty deframer for `dtype` elements.
+    pub fn new(dtype: Datatype) -> Self {
+        Deframer {
+            dtype,
+            packet: NetworkPacket::new(0, 0, 0, PacketOp::Send),
+            next: 0,
+            valid: 0,
+        }
+    }
+
+    /// The datatype this deframer was created with.
+    #[inline]
+    pub fn dtype(&self) -> Datatype {
+        self.dtype
+    }
+
+    /// True when all valid elements of the current packet have been popped.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.next == self.valid
+    }
+
+    /// Load the next packet. Panics if the previous one was not drained —
+    /// SMI guarantees in-order delivery, so the transport never overwrites
+    /// undelivered elements.
+    pub fn refill(&mut self, packet: NetworkPacket) {
+        assert!(self.is_empty(), "refill with undrained elements");
+        self.valid = packet.header.count as usize;
+        self.packet = packet;
+        self.next = 0;
+    }
+
+    /// Pop the next element, or `None` if the current packet is drained.
+    #[inline]
+    pub fn pop<T: SmiType>(&mut self) -> Option<T> {
+        debug_assert_eq!(T::DATATYPE.size_bytes(), self.dtype.size_bytes());
+        if self.is_empty() {
+            return None;
+        }
+        let v = self.packet.read_elem::<T>(self.next);
+        self.next += 1;
+        Some(v)
+    }
+
+    /// Pop the next element as raw little-endian bytes into `dst`.
+    #[inline]
+    pub fn pop_bytes(&mut self, dst: &mut [u8]) -> bool {
+        let sz = self.dtype.size_bytes();
+        assert_eq!(dst.len(), sz, "element byte size mismatch");
+        if self.is_empty() {
+            return false;
+        }
+        let off = self.next * sz;
+        dst.copy_from_slice(&self.packet.payload[off..off + sz]);
+        self.next += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_all<T: SmiType>(elems: &[T]) -> Vec<NetworkPacket> {
+        let mut fr = Framer::new(T::DATATYPE, 0, 1, 0, PacketOp::Send);
+        let mut pkts = Vec::new();
+        for e in elems {
+            if let Some(p) = fr.push(e) {
+                pkts.push(p);
+            }
+        }
+        if let Some(p) = fr.flush() {
+            pkts.push(p);
+        }
+        pkts
+    }
+
+    fn deframe_all<T: SmiType>(pkts: &[NetworkPacket], n: usize) -> Vec<T> {
+        let mut df = Deframer::new(T::DATATYPE);
+        let mut out = Vec::with_capacity(n);
+        let mut it = pkts.iter();
+        while out.len() < n {
+            if df.is_empty() {
+                df.refill(*it.next().expect("enough packets"));
+            }
+            out.push(df.pop::<T>().expect("element available"));
+        }
+        out
+    }
+
+    #[test]
+    fn floats_pack_seven_per_packet() {
+        let elems: Vec<f32> = (0..23).map(|i| i as f32).collect();
+        let pkts = frame_all(&elems);
+        // 23 floats -> 3 full packets of 7 + 1 partial of 2.
+        assert_eq!(pkts.len(), 4);
+        assert_eq!(pkts[0].header.count, 7);
+        assert_eq!(pkts[3].header.count, 2);
+        assert_eq!(deframe_all::<f32>(&pkts, 23), elems);
+    }
+
+    #[test]
+    fn exact_multiple_has_no_partial_packet() {
+        let elems: Vec<i32> = (0..14).collect();
+        let pkts = frame_all(&elems);
+        assert_eq!(pkts.len(), 2);
+        assert!(pkts.iter().all(|p| p.header.count == 7));
+    }
+
+    #[test]
+    fn single_element_message() {
+        let elems = [42.0f64];
+        let pkts = frame_all(&elems);
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].header.count, 1);
+        assert_eq!(deframe_all::<f64>(&pkts, 1), elems);
+    }
+
+    #[test]
+    fn header_fields_propagate() {
+        let mut fr = Framer::new(Datatype::Int, 5, 2, 9, PacketOp::Gather);
+        let p = loop {
+            if let Some(p) = fr.push(&1i32) {
+                break p;
+            }
+        };
+        assert_eq!(p.header.src, 5);
+        assert_eq!(p.header.dst, 2);
+        assert_eq!(p.header.port, 9);
+        assert_eq!(p.header.op, PacketOp::Gather);
+    }
+
+    #[test]
+    fn bytes_interface_matches_typed() {
+        let mut fr_t = Framer::new(Datatype::Short, 0, 1, 0, PacketOp::Send);
+        let mut fr_b = Framer::new(Datatype::Short, 0, 1, 0, PacketOp::Send);
+        let mut out_t = Vec::new();
+        let mut out_b = Vec::new();
+        for i in 0..30i16 {
+            if let Some(p) = fr_t.push(&i) {
+                out_t.push(p);
+            }
+            if let Some(p) = fr_b.push_bytes(&i.to_le_bytes()) {
+                out_b.push(p);
+            }
+        }
+        out_t.extend(fr_t.flush());
+        out_b.extend(fr_b.flush());
+        assert_eq!(out_t, out_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "undrained")]
+    fn refill_undrained_panics() {
+        let mut df = Deframer::new(Datatype::Float);
+        let mut fr = Framer::new(Datatype::Float, 0, 1, 0, PacketOp::Send);
+        fr.push(&1.0f32);
+        let p = fr.flush().unwrap();
+        df.refill(p);
+        df.refill(p); // still holds one element
+    }
+
+    #[test]
+    fn chars_pack_28_per_packet() {
+        let elems: Vec<u8> = (0..57).collect();
+        let pkts = frame_all(&elems);
+        assert_eq!(pkts.len(), 3); // 28 + 28 + 1
+        assert_eq!(pkts[2].header.count, 1);
+        assert_eq!(deframe_all::<u8>(&pkts, 57), elems);
+    }
+}

@@ -1,0 +1,215 @@
+//! The 4-byte packet header codec.
+//!
+//! Layout (little-endian byte order on the wire):
+//!
+//! ```text
+//! byte 0: source rank       (8 bits)
+//! byte 1: destination rank  (8 bits)
+//! byte 2: port              (8 bits)
+//! byte 3: [ op : 3 bits | valid count : 5 bits ]
+//! ```
+//!
+//! This is the header of §4.2: "The header contains source and destination
+//! ranks (1 B each), the port (1 B), the operation type (e.g., send/receive,
+//! 3 bits), and the number of valid data items contained in the payload
+//! (5 bits). We thus truncate the rank and port information with respect to
+//! the SMI interface to 8 bit each."
+
+use crate::{WireError, HEADER_BYTES, MAX_COUNT};
+
+/// The 3-bit operation type carried by every packet.
+///
+/// `Send` is ordinary point-to-point data. The collective ops tag data
+/// packets belonging to the respective collectives so that the support
+/// kernels can tell them apart from p2p traffic on the same port. `Sync` and
+/// `Credit` are the control messages of the collective synchronization
+/// protocols of §3.3/§4.4 (ready-to-receive notifications and credit-based
+/// flow control).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum PacketOp {
+    /// Point-to-point streaming message data.
+    Send = 0,
+    /// Broadcast data (root → non-root).
+    Bcast = 1,
+    /// Scatter data (root → non-root, per-rank slice).
+    Scatter = 2,
+    /// Gather data (non-root → root).
+    Gather = 3,
+    /// Reduce contribution data (non-root → root).
+    Reduce = 4,
+    /// "Ready to receive" rendezvous notification.
+    Sync = 5,
+    /// Credit grant (credit-based flow control).
+    Credit = 6,
+}
+
+impl PacketOp {
+    /// All assigned operation encodings.
+    pub const ALL: [PacketOp; 7] = [
+        PacketOp::Send,
+        PacketOp::Bcast,
+        PacketOp::Scatter,
+        PacketOp::Gather,
+        PacketOp::Reduce,
+        PacketOp::Sync,
+        PacketOp::Credit,
+    ];
+
+    /// Decode a 3-bit encoding.
+    #[inline]
+    pub fn from_bits(bits: u8) -> Result<Self, WireError> {
+        match bits {
+            0 => Ok(PacketOp::Send),
+            1 => Ok(PacketOp::Bcast),
+            2 => Ok(PacketOp::Scatter),
+            3 => Ok(PacketOp::Gather),
+            4 => Ok(PacketOp::Reduce),
+            5 => Ok(PacketOp::Sync),
+            6 => Ok(PacketOp::Credit),
+            other => Err(WireError::BadOpEncoding(other)),
+        }
+    }
+
+    /// The 3-bit encoding of this op.
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether this op carries message payload data (as opposed to being a
+    /// pure control packet).
+    #[inline]
+    pub const fn carries_data(self) -> bool {
+        !matches!(self, PacketOp::Sync | PacketOp::Credit)
+    }
+}
+
+/// A decoded packet header.
+///
+/// Ranks and ports are stored as `u8` exactly as on the wire; conversion from
+/// the API-level `usize` ranks happens (checked) at channel-open time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Header {
+    /// Source rank (wire-truncated to 8 bits).
+    pub src: u8,
+    /// Destination rank (wire-truncated to 8 bits).
+    pub dst: u8,
+    /// Destination port (wire-truncated to 8 bits).
+    pub port: u8,
+    /// Operation type (3 bits on the wire).
+    pub op: PacketOp,
+    /// Number of valid data items in the payload (5 bits on the wire).
+    pub count: u8,
+}
+
+impl Header {
+    /// Build a header, checking that `count` fits the 5-bit field.
+    #[inline]
+    pub fn new(src: u8, dst: u8, port: u8, op: PacketOp, count: u8) -> Result<Self, WireError> {
+        if count as usize > MAX_COUNT {
+            return Err(WireError::CountOutOfRange(count as usize));
+        }
+        Ok(Header { src, dst, port, op, count })
+    }
+
+    /// Pack into the 4-byte wire representation.
+    #[inline]
+    pub fn pack(&self) -> [u8; HEADER_BYTES] {
+        debug_assert!(self.count as usize <= MAX_COUNT);
+        [
+            self.src,
+            self.dst,
+            self.port,
+            (self.op.bits() << 5) | (self.count & 0x1f),
+        ]
+    }
+
+    /// Unpack from the 4-byte wire representation.
+    #[inline]
+    pub fn unpack(bytes: &[u8; HEADER_BYTES]) -> Result<Self, WireError> {
+        let op = PacketOp::from_bits(bytes[3] >> 5)?;
+        Ok(Header {
+            src: bytes[0],
+            dst: bytes[1],
+            port: bytes[2],
+            op,
+            count: bytes[3] & 0x1f,
+        })
+    }
+}
+
+/// Checked conversion of an API-level rank (`usize`) to the wire field.
+#[inline]
+pub fn rank_to_wire(rank: usize) -> Result<u8, WireError> {
+    u8::try_from(rank).map_err(|_| WireError::RankOutOfRange(rank))
+}
+
+/// Checked conversion of an API-level port (`usize`) to the wire field.
+#[inline]
+pub fn port_to_wire(port: usize) -> Result<u8, WireError> {
+    u8::try_from(port).map_err(|_| WireError::PortOutOfRange(port))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for &op in &PacketOp::ALL {
+            for count in 0..=MAX_COUNT as u8 {
+                let h = Header::new(3, 250, 17, op, count).unwrap();
+                let packed = h.pack();
+                let back = Header::unpack(&packed).unwrap();
+                assert_eq!(h, back);
+            }
+        }
+    }
+
+    #[test]
+    fn header_is_four_bytes() {
+        let h = Header::new(0, 1, 0, PacketOp::Send, 7).unwrap();
+        assert_eq!(h.pack().len(), HEADER_BYTES);
+    }
+
+    #[test]
+    fn count_field_is_five_bits() {
+        assert!(Header::new(0, 0, 0, PacketOp::Send, 31).is_ok());
+        assert_eq!(
+            Header::new(0, 0, 0, PacketOp::Send, 32),
+            Err(WireError::CountOutOfRange(32))
+        );
+    }
+
+    #[test]
+    fn unassigned_op_encoding_rejected() {
+        // op bits = 7 is unassigned.
+        let bytes = [0u8, 0, 0, 7 << 5];
+        assert_eq!(Header::unpack(&bytes), Err(WireError::BadOpEncoding(7)));
+    }
+
+    #[test]
+    fn op_bits_are_three_bits() {
+        for &op in &PacketOp::ALL {
+            assert!(op.bits() < 8);
+            assert_eq!(PacketOp::from_bits(op.bits()).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn control_ops_carry_no_data() {
+        assert!(PacketOp::Send.carries_data());
+        assert!(PacketOp::Reduce.carries_data());
+        assert!(!PacketOp::Sync.carries_data());
+        assert!(!PacketOp::Credit.carries_data());
+    }
+
+    #[test]
+    fn wire_rank_conversion_checked() {
+        assert_eq!(rank_to_wire(255).unwrap(), 255);
+        assert!(rank_to_wire(256).is_err());
+        assert_eq!(port_to_wire(0).unwrap(), 0);
+        assert!(port_to_wire(1000).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! # smi-wire — the SMI wire format
+//!
+//! This crate implements the network-packet layer of the Streaming Message
+//! Interface (SMI) reference implementation, as described in §4.1–§4.2 of
+//! *De Matteis et al., "Streaming Message Interface", SC 2019*:
+//!
+//! > "network packets in our implementation are composed of 4 Bytes of header
+//! > data, and a payload of 28 Bytes. The header contains source and
+//! > destination ranks (1 B each), the port (1 B), the operation type
+//! > (e.g., send/receive, 3 bits), and the number of valid data items
+//! > contained in the payload (5 bits)."
+//!
+//! A [`NetworkPacket`] is exactly 32 bytes — the width of the 256-bit I/O
+//! channels exposed by the board support package on the paper's Nallatech
+//! 520N boards. The packet is the minimal unit of routing; it may carry one
+//! or more data elements of a given [`Datatype`].
+//!
+//! The crate provides:
+//!
+//! * [`Header`] — the 4-byte packet header codec (pack/unpack, checked).
+//! * [`NetworkPacket`] — header + 28-byte payload, with typed element access.
+//! * [`Datatype`] / [`SmiType`] — the SMI datatypes (`SMI_CHAR` … `SMI_DOUBLE`)
+//!   and their mapping onto Rust types.
+//! * [`Framer`] / [`Deframer`] — packing a stream of elements into packets and
+//!   back, as done inside `SMI_Push` / `SMI_Pop` ("Push internally accumulates
+//!   data items until a network packet is full").
+//! * [`ReduceOp`] — the reduction operations (`SMI_ADD`, `SMI_MAX`, `SMI_MIN`)
+//!   applied element-wise on payloads by the Reduce support kernel.
+//!
+//! Everything here is plain data and codecs: no I/O, no threads, no clocks.
+//! Both the functional runtime (`smi`) and the cycle-level simulator
+//! (`smi-fabric`) speak this exact format, so a packet produced by one can be
+//! decoded by the other.
+
+#![warn(missing_docs)]
+
+pub mod datatype;
+pub mod error;
+pub mod framing;
+pub mod header;
+pub mod packet;
+pub mod reduce;
+
+pub use datatype::{Datatype, SmiType};
+pub use error::WireError;
+pub use framing::{Deframer, Framer};
+pub use header::{Header, PacketOp};
+pub use packet::NetworkPacket;
+pub use reduce::ReduceOp;
+
+/// Total size of a network packet in bytes (256-bit I/O channel width).
+pub const PACKET_BYTES: usize = 32;
+/// Size of the packet header in bytes.
+pub const HEADER_BYTES: usize = 4;
+/// Size of the packet payload in bytes.
+pub const PAYLOAD_BYTES: usize = PACKET_BYTES - HEADER_BYTES;
+/// Maximum value representable in the 5-bit valid-count header field.
+pub const MAX_COUNT: usize = 31;
+/// Maximum number of ranks addressable on the wire (8-bit rank field).
+pub const MAX_RANKS: usize = 256;
+/// Maximum number of ports addressable on the wire (8-bit port field).
+pub const MAX_PORTS: usize = 256;

@@ -1,0 +1,147 @@
+//! The 32-byte network packet: header + payload, with typed element access.
+
+use crate::{
+    Datatype, Header, PacketOp, SmiType, WireError, HEADER_BYTES, PACKET_BYTES, PAYLOAD_BYTES,
+};
+
+/// One 32-byte network packet — the minimal unit of routing in the SMI
+/// transport layer (§4.1: "messages are packaged in network packets, which
+/// have a size equal to the width of the I/O interface to the network").
+///
+/// The payload holds up to [`Datatype::elems_per_packet`] elements; the
+/// header's `count` field says how many are valid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkPacket {
+    /// The decoded header.
+    pub header: Header,
+    /// Raw payload bytes (valid prefix defined by `header.count` × element size).
+    pub payload: [u8; PAYLOAD_BYTES],
+}
+
+impl NetworkPacket {
+    /// An empty packet with the given header fields and zeroed payload.
+    pub fn new(src: u8, dst: u8, port: u8, op: PacketOp) -> Self {
+        NetworkPacket {
+            header: Header { src, dst, port, op, count: 0 },
+            payload: [0; PAYLOAD_BYTES],
+        }
+    }
+
+    /// A pure control packet (Sync/Credit). `arg` is carried in the first
+    /// payload bytes (e.g. the credit amount or the tile index).
+    pub fn control(src: u8, dst: u8, port: u8, op: PacketOp, arg: u32) -> Self {
+        debug_assert!(!op.carries_data());
+        let mut p = NetworkPacket::new(src, dst, port, op);
+        p.payload[..4].copy_from_slice(&arg.to_le_bytes());
+        p
+    }
+
+    /// Read the 32-bit control argument of a Sync/Credit packet.
+    #[inline]
+    pub fn control_arg(&self) -> u32 {
+        u32::from_le_bytes(self.payload[..4].try_into().expect("4-byte prefix"))
+    }
+
+    /// Store element `idx` (of type `T`) into the payload.
+    ///
+    /// Does *not* update `header.count`; the framer is responsible for that.
+    #[inline]
+    pub fn write_elem<T: SmiType>(&mut self, idx: usize, value: &T) {
+        let sz = T::DATATYPE.size_bytes();
+        let off = idx * sz;
+        debug_assert!(off + sz <= PAYLOAD_BYTES, "element index out of payload");
+        value.write_le(&mut self.payload[off..off + sz]);
+    }
+
+    /// Load element `idx` (of type `T`) from the payload.
+    #[inline]
+    pub fn read_elem<T: SmiType>(&self, idx: usize) -> T {
+        let sz = T::DATATYPE.size_bytes();
+        let off = idx * sz;
+        debug_assert!(off + sz <= PAYLOAD_BYTES, "element index out of payload");
+        T::read_le(&self.payload[off..off + sz])
+    }
+
+    /// The valid payload bytes, as declared by the count field, for elements
+    /// of the given datatype.
+    #[inline]
+    pub fn valid_payload(&self, dtype: Datatype) -> &[u8] {
+        &self.payload[..dtype.bytes_for(self.header.count as usize)]
+    }
+
+    /// Serialize the full packet to its 32-byte wire representation.
+    pub fn pack(&self) -> [u8; PACKET_BYTES] {
+        let mut out = [0u8; PACKET_BYTES];
+        out[..HEADER_BYTES].copy_from_slice(&self.header.pack());
+        out[HEADER_BYTES..].copy_from_slice(&self.payload);
+        out
+    }
+
+    /// Deserialize a packet from its 32-byte wire representation.
+    pub fn unpack(bytes: &[u8; PACKET_BYTES]) -> Result<Self, WireError> {
+        let header = Header::unpack(
+            bytes[..HEADER_BYTES]
+                .try_into()
+                .expect("4-byte header slice"),
+        )?;
+        let mut payload = [0u8; PAYLOAD_BYTES];
+        payload.copy_from_slice(&bytes[HEADER_BYTES..]);
+        Ok(NetworkPacket { header, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_is_32_bytes() {
+        let p = NetworkPacket::new(0, 1, 2, PacketOp::Send);
+        assert_eq!(p.pack().len(), PACKET_BYTES);
+        assert_eq!(std::mem::size_of::<[u8; PACKET_BYTES]>(), 32);
+    }
+
+    #[test]
+    fn typed_element_roundtrip() {
+        let mut p = NetworkPacket::new(0, 1, 0, PacketOp::Send);
+        for i in 0..7 {
+            p.write_elem(i, &(i as f32 * 1.5));
+        }
+        p.header.count = 7;
+        for i in 0..7 {
+            assert_eq!(p.read_elem::<f32>(i), i as f32 * 1.5);
+        }
+    }
+
+    #[test]
+    fn doubles_fit_three_per_packet() {
+        let mut p = NetworkPacket::new(0, 1, 0, PacketOp::Send);
+        for i in 0..3 {
+            p.write_elem(i, &(i as f64 + 0.25));
+        }
+        p.header.count = 3;
+        for i in 0..3 {
+            assert_eq!(p.read_elem::<f64>(i), i as f64 + 0.25);
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let mut p = NetworkPacket::new(7, 3, 9, PacketOp::Reduce);
+        for i in 0..7 {
+            p.write_elem(i, &(100 + i as i32));
+        }
+        p.header.count = 5; // partial packet
+        let bytes = p.pack();
+        let back = NetworkPacket::unpack(&bytes).unwrap();
+        assert_eq!(p, back);
+        assert_eq!(back.valid_payload(Datatype::Int).len(), 20);
+    }
+
+    #[test]
+    fn control_packet_arg() {
+        let p = NetworkPacket::control(1, 0, 4, PacketOp::Credit, 0xdead_beef);
+        assert_eq!(p.control_arg(), 0xdead_beef);
+        assert_eq!(p.header.op, PacketOp::Credit);
+    }
+}

@@ -1,0 +1,227 @@
+//! Reduction operations (`SMI_ADD`, `SMI_MAX`, `SMI_MIN`).
+//!
+//! The Reduce support kernel (§4.4) applies the operation element-wise on
+//! payload data. Reductions are defined both on typed Rust values (for the
+//! application-facing API) and directly on little-endian payload bytes given
+//! a [`Datatype`] (for the transport/fabric layer, which is untyped).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Datatype, SmiType};
+
+/// A reduction operator, as passed to `SMI_Open_reduce_channel`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReduceOp {
+    /// Element-wise sum (`SMI_ADD`).
+    Add,
+    /// Element-wise maximum (`SMI_MAX`).
+    Max,
+    /// Element-wise minimum (`SMI_MIN`).
+    Min,
+}
+
+impl ReduceOp {
+    /// All reduction operators.
+    pub const ALL: [ReduceOp; 3] = [ReduceOp::Add, ReduceOp::Max, ReduceOp::Min];
+
+    /// Apply the operator to a pair of typed values.
+    ///
+    /// For floats, `Max`/`Min` follow IEEE `maxNum`/`minNum` semantics
+    /// (`f32::max`): if one operand is NaN, the other is returned.
+    #[inline]
+    pub fn apply<T: SmiNumeric>(self, a: T, b: T) -> T {
+        match self {
+            ReduceOp::Add => a.num_add(b),
+            ReduceOp::Max => a.num_max(b),
+            ReduceOp::Min => a.num_min(b),
+        }
+    }
+
+    /// The identity element of the operator for a datatype, as payload bytes.
+    pub fn identity_bytes(self, dtype: Datatype, dst: &mut [u8]) {
+        macro_rules! write_ident {
+            ($ty:ty) => {{
+                let v: $ty = match self {
+                    ReduceOp::Add => <$ty as SmiNumeric>::ZERO,
+                    ReduceOp::Max => <$ty as SmiNumeric>::MIN_VALUE,
+                    ReduceOp::Min => <$ty as SmiNumeric>::MAX_VALUE,
+                };
+                v.write_le(dst);
+            }};
+        }
+        match dtype {
+            Datatype::Char => write_ident!(u8),
+            Datatype::Short => write_ident!(i16),
+            Datatype::Int => write_ident!(i32),
+            Datatype::Float => write_ident!(f32),
+            Datatype::Double => write_ident!(f64),
+        }
+    }
+
+    /// Element-wise `acc[i] = op(acc[i], contrib[i])` on little-endian payload
+    /// bytes. Both slices must hold the same whole number of elements.
+    pub fn fold_bytes(self, dtype: Datatype, acc: &mut [u8], contrib: &[u8]) {
+        assert_eq!(acc.len(), contrib.len(), "payload length mismatch");
+        let sz = dtype.size_bytes();
+        assert_eq!(acc.len() % sz, 0, "payload not a whole number of elements");
+        macro_rules! fold {
+            ($ty:ty) => {
+                for (a, c) in acc.chunks_exact_mut(sz).zip(contrib.chunks_exact(sz)) {
+                    let v = self.apply(<$ty>::read_le(a), <$ty>::read_le(c));
+                    v.write_le(a);
+                }
+            };
+        }
+        match dtype {
+            Datatype::Char => fold!(u8),
+            Datatype::Short => fold!(i16),
+            Datatype::Int => fold!(i32),
+            Datatype::Float => fold!(f32),
+            Datatype::Double => fold!(f64),
+        }
+    }
+}
+
+/// Numeric behaviour needed by [`ReduceOp`], implemented for all SMI element
+/// types. Integer addition wraps (matching what fixed-width hardware adders
+/// do); float max/min use IEEE `maxNum`/`minNum` semantics.
+pub trait SmiNumeric: SmiType {
+    /// Additive identity.
+    const ZERO: Self;
+    /// Smallest representable value (identity for `Max`).
+    const MIN_VALUE: Self;
+    /// Largest representable value (identity for `Min`).
+    const MAX_VALUE: Self;
+
+    /// Wrapping/IEEE addition.
+    fn num_add(self, other: Self) -> Self;
+    /// Maximum.
+    fn num_max(self, other: Self) -> Self;
+    /// Minimum.
+    fn num_min(self, other: Self) -> Self;
+}
+
+macro_rules! impl_numeric_int {
+    ($ty:ty) => {
+        impl SmiNumeric for $ty {
+            const ZERO: Self = 0;
+            const MIN_VALUE: Self = <$ty>::MIN;
+            const MAX_VALUE: Self = <$ty>::MAX;
+
+            #[inline]
+            fn num_add(self, other: Self) -> Self {
+                self.wrapping_add(other)
+            }
+            #[inline]
+            fn num_max(self, other: Self) -> Self {
+                self.max(other)
+            }
+            #[inline]
+            fn num_min(self, other: Self) -> Self {
+                self.min(other)
+            }
+        }
+    };
+}
+
+macro_rules! impl_numeric_float {
+    ($ty:ty) => {
+        impl SmiNumeric for $ty {
+            const ZERO: Self = 0.0;
+            const MIN_VALUE: Self = <$ty>::NEG_INFINITY;
+            const MAX_VALUE: Self = <$ty>::INFINITY;
+
+            #[inline]
+            fn num_add(self, other: Self) -> Self {
+                self + other
+            }
+            #[inline]
+            fn num_max(self, other: Self) -> Self {
+                self.max(other)
+            }
+            #[inline]
+            fn num_min(self, other: Self) -> Self {
+                self.min(other)
+            }
+        }
+    };
+}
+
+impl_numeric_int!(u8);
+impl_numeric_int!(i16);
+impl_numeric_int!(i32);
+impl_numeric_float!(f32);
+impl_numeric_float!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_apply() {
+        assert_eq!(ReduceOp::Add.apply(3i32, 4), 7);
+        assert_eq!(ReduceOp::Max.apply(3i32, 4), 4);
+        assert_eq!(ReduceOp::Min.apply(3i32, 4), 3);
+        assert_eq!(ReduceOp::Add.apply(1.5f32, 2.25), 3.75);
+        assert_eq!(ReduceOp::Max.apply(-1.0f64, 2.0), 2.0);
+    }
+
+    #[test]
+    fn integer_add_wraps() {
+        assert_eq!(ReduceOp::Add.apply(i32::MAX, 1), i32::MIN);
+        assert_eq!(ReduceOp::Add.apply(255u8, 2), 1);
+    }
+
+    #[test]
+    fn float_max_ignores_nan() {
+        assert_eq!(ReduceOp::Max.apply(f32::NAN, 2.0), 2.0);
+        assert_eq!(ReduceOp::Min.apply(3.0f32, f32::NAN), 3.0);
+    }
+
+    #[test]
+    fn identities_are_identities() {
+        for &op in &ReduceOp::ALL {
+            for &dt in &Datatype::ALL {
+                let sz = dt.size_bytes();
+                let mut ident = vec![0u8; sz];
+                op.identity_bytes(dt, &mut ident);
+                // fold(identity, x) == x for a few sample values
+                for sample in [0u8, 1, 7, 200] {
+                    let mut acc = ident.clone();
+                    let contrib = vec![sample; sz];
+                    // NB: arbitrary bytes are valid for all our types.
+                    op.fold_bytes(dt, &mut acc, &contrib);
+                    let mut direct = contrib.clone();
+                    // fold identity into the contribution the other way too:
+                    op.fold_bytes(dt, &mut direct, &ident);
+                    assert_eq!(acc, direct, "{op:?} {dt:?} not commutative on identity");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fold_bytes_matches_typed_float() {
+        let xs: Vec<f32> = vec![1.0, -2.5, 3.25];
+        let ys: Vec<f32> = vec![0.5, 10.0, -1.0];
+        for &op in &ReduceOp::ALL {
+            let mut acc_bytes: Vec<u8> = xs.iter().flat_map(|v| v.to_le_bytes()).collect();
+            let contrib: Vec<u8> = ys.iter().flat_map(|v| v.to_le_bytes()).collect();
+            op.fold_bytes(Datatype::Float, &mut acc_bytes, &contrib);
+            let got: Vec<f32> = acc_bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            let want: Vec<f32> = xs.iter().zip(&ys).map(|(&a, &b)| op.apply(a, b)).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn fold_bytes_length_checked() {
+        let mut a = vec![0u8; 8];
+        let b = vec![0u8; 4];
+        ReduceOp::Add.fold_bytes(Datatype::Int, &mut a, &b);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the SMI wire format.
+
+use proptest::prelude::*;
+use smi_wire::{Datatype, Deframer, Framer, Header, NetworkPacket, PacketOp, ReduceOp, SmiType};
+
+fn arb_op() -> impl Strategy<Value = PacketOp> {
+    prop::sample::select(PacketOp::ALL.to_vec())
+}
+
+proptest! {
+    /// Header pack/unpack is a bijection on valid headers.
+    #[test]
+    fn header_roundtrip(src: u8, dst: u8, port: u8, op in arb_op(), count in 0u8..=31) {
+        let h = Header::new(src, dst, port, op, count).unwrap();
+        prop_assert_eq!(Header::unpack(&h.pack()).unwrap(), h);
+    }
+
+    /// Unpacking arbitrary 4 bytes either fails (op=7) or re-packs to the
+    /// same bytes (no information loss).
+    #[test]
+    fn header_unpack_total(bytes in prop::array::uniform4(any::<u8>())) {
+        match Header::unpack(&bytes) {
+            Ok(h) => prop_assert_eq!(h.pack(), bytes),
+            Err(_) => prop_assert_eq!(bytes[3] >> 5, 7),
+        }
+    }
+
+    /// Full packet pack/unpack roundtrip.
+    #[test]
+    fn packet_roundtrip(
+        src: u8, dst: u8, port: u8, op in arb_op(), count in 0u8..=31,
+        payload in prop::array::uniform28(any::<u8>()),
+    ) {
+        let mut p = NetworkPacket::new(src, dst, port, op);
+        p.header.count = count;
+        p.payload = payload;
+        let bytes = p.pack();
+        prop_assert_eq!(NetworkPacket::unpack(&bytes).unwrap(), p);
+    }
+
+    /// Framing then deframing any f32 message reproduces it exactly, and
+    /// uses exactly ceil(n/7) packets with correct counts.
+    #[test]
+    fn frame_deframe_f32(elems in prop::collection::vec(any::<f32>(), 0..200)) {
+        let mut fr = Framer::new(Datatype::Float, 3, 4, 1, PacketOp::Send);
+        let mut pkts = Vec::new();
+        for e in &elems {
+            pkts.extend(fr.push(e));
+        }
+        pkts.extend(fr.flush());
+        prop_assert_eq!(pkts.len(), Datatype::Float.packets_for(elems.len()));
+        let total: usize = pkts.iter().map(|p| p.header.count as usize).sum();
+        prop_assert_eq!(total, elems.len());
+
+        let mut df = Deframer::new(Datatype::Float);
+        let mut out = Vec::with_capacity(elems.len());
+        for p in &pkts {
+            df.refill(*p);
+            while let Some(v) = df.pop::<f32>() {
+                out.push(v);
+            }
+        }
+        // Compare bit patterns so NaNs round-trip too.
+        let a: Vec<u32> = elems.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Same framing roundtrip for doubles (3 per packet, exercises the
+    /// packet-boundary arithmetic for the odd element size).
+    #[test]
+    fn frame_deframe_f64(elems in prop::collection::vec(any::<f64>(), 0..100)) {
+        let mut fr = Framer::new(Datatype::Double, 0, 1, 0, PacketOp::Bcast);
+        let mut pkts = Vec::new();
+        for e in &elems {
+            pkts.extend(fr.push(e));
+        }
+        pkts.extend(fr.flush());
+        let mut df = Deframer::new(Datatype::Double);
+        let mut out = Vec::new();
+        for p in &pkts {
+            df.refill(*p);
+            while let Some(v) = df.pop::<f64>() {
+                out.push(v);
+            }
+        }
+        let a: Vec<u64> = elems.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = out.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Byte-level reduce fold agrees with the typed apply for i32.
+    #[test]
+    fn reduce_bytes_matches_typed_i32(
+        xs in prop::collection::vec(any::<i32>(), 1..50),
+        ys_seed in prop::collection::vec(any::<i32>(), 1..50),
+        op in prop::sample::select(ReduceOp::ALL.to_vec()),
+    ) {
+        let n = xs.len().min(ys_seed.len());
+        let xs = &xs[..n];
+        let ys = &ys_seed[..n];
+        let mut acc: Vec<u8> = xs.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let contrib: Vec<u8> = ys.iter().flat_map(|v| v.to_le_bytes()).collect();
+        op.fold_bytes(Datatype::Int, &mut acc, &contrib);
+        let got: Vec<i32> = acc.chunks_exact(4).map(i32::read_le).collect();
+        let want: Vec<i32> = xs.iter().zip(ys).map(|(&a, &b)| op.apply(a, b)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Reduce is associative on integers (hardware tiling order must not
+    /// change the result).
+    #[test]
+    fn reduce_i32_associative(a: i32, b: i32, c: i32, op in prop::sample::select(ReduceOp::ALL.to_vec())) {
+        prop_assert_eq!(
+            op.apply(op.apply(a, b), c),
+            op.apply(a, op.apply(b, c))
+        );
+    }
+}

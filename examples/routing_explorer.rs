@@ -1,0 +1,71 @@
+//! Explore the transport layer's routing workflow (§4.3/§4.5): describe a
+//! topology, generate deadlock-free routes, inspect tables, then change the
+//! wiring at "runtime" — no bitstream rebuild — and regenerate.
+//!
+//! Run with: `cargo run --example routing_explorer`
+
+use smi_topology::deadlock::{find_cycle, is_deadlock_free};
+use smi_topology::routing::Scheme;
+use smi_topology::{NextHop, PathStats, RoutingPlan, Topology};
+
+fn describe(name: &str, topo: &Topology) {
+    let plan = RoutingPlan::compute(topo).expect("routable");
+    let stats = PathStats::analyze(topo, &plan);
+    println!("--- {name} ---");
+    println!(
+        "{} ranks, {} cables, diameter {} (routed {}), mean stretch {:.3}, deadlock-free: {}",
+        topo.num_ranks(),
+        topo.connections().len(),
+        stats.diameter,
+        stats.routed_diameter,
+        stats.mean_stretch,
+        is_deadlock_free(topo, &plan),
+    );
+    // Print rank 0's CKS routing table, the on-chip content of §4.3.
+    let routes = plan.rank_routes(0);
+    let table: Vec<String> = routes
+        .next
+        .iter()
+        .enumerate()
+        .map(|(dst, hop)| match hop {
+            NextHop::Local => format!("{dst}→local"),
+            NextHop::Via(q) => format!("{dst}→QSFP{q}"),
+        })
+        .collect();
+    println!("rank 0 routing table: {}", table.join("  "));
+}
+
+fn main() {
+    // The paper's Fig. 8 topology description, in its text form.
+    let fig8 = "A:0 - B:0\nA:1 - C:1\nB:1 - C:2\n";
+    let topo = Topology::from_text(fig8).expect("parse Fig. 8 topology");
+    describe("Fig. 8 example (3 FPGAs)", &topo);
+    println!("JSON form:\n{}", topo.to_json());
+
+    describe("linear bus, 8 FPGAs (the Fig. 9/Tab. 3 configuration)", &Topology::bus(8));
+    describe("2x4 torus, 8 FPGAs (the evaluation cluster)", &Topology::torus2d(2, 4));
+
+    // Deadlock demonstration: shortest-path routing on a ring has a cyclic
+    // channel dependency; up*/down* does not.
+    let ring = Topology::ring(6);
+    let sp = RoutingPlan::compute_with(&ring, Scheme::ShortestPath).expect("routes");
+    match find_cycle(&ring, &sp) {
+        Some(cycle) => println!(
+            "\nshortest-path routing on ring(6): CDG cycle through {} channels -> can deadlock",
+            cycle.len()
+        ),
+        None => println!("\nunexpected: no cycle found"),
+    }
+    let ud = RoutingPlan::compute(&ring).expect("routes");
+    println!(
+        "up*/down* routing on ring(6): deadlock-free = {}",
+        is_deadlock_free(&ring, &ud)
+    );
+
+    // "If the interconnection topology changes … the routing scheme merely
+    // needs to be recomputed and uploaded": unplug one cable and regenerate.
+    let torus = Topology::torus2d(2, 4);
+    let degraded = torus.without_connection(0).expect("still connected");
+    describe("2x4 torus with one cable unplugged (recomputed routes)", &degraded);
+    println!("routing_explorer OK");
+}

@@ -1,0 +1,29 @@
+//! # smi-repro — reproduction of *Streaming Message Interface* (SC 2019)
+//!
+//! Facade crate: re-exports every workspace crate and hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests (`tests/`).
+//!
+//! The interesting entry points:
+//!
+//! * [`smi`] — the SMI library itself: transient channels, `push`/`pop`,
+//!   collectives, communicators, and the thread-based reference transport.
+//! * [`smi_fabric`] — the cycle-level multi-FPGA simulator (the substitute
+//!   for the paper's Stratix 10 cluster) and its experiment runners.
+//! * [`smi_topology`] — interconnect descriptions and deadlock-free routing.
+//! * [`smi_codegen`] — op metadata → communication design (the paper's
+//!   code-generation workflow).
+//! * [`smi_apps`] — GESUMMV and the distributed stencil.
+//! * [`smi_baseline`] — the MPI+OpenCL host-path comparator.
+//! * [`smi_resources`] — the FPGA area model (Tables 1–2).
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the paper-vs-measured
+//! record of every table and figure.
+
+pub use smi;
+pub use smi_apps;
+pub use smi_baseline;
+pub use smi_codegen;
+pub use smi_fabric;
+pub use smi_resources;
+pub use smi_topology;
+pub use smi_wire;

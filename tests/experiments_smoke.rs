@@ -1,0 +1,138 @@
+//! Integration: every table/figure reproduction path runs end to end at a
+//! tiny scale (the full-size sweeps live in the `smi-bench` binaries).
+
+use smi_apps::gesummv::timed::{fig13_point, GesummvTimedParams};
+use smi_apps::stencil::timed::{run_timed, StencilTimedConfig};
+use smi_apps::stencil::RankGrid;
+use smi_baseline::hostpath::HostPathModel;
+use smi_baseline::mpi::MpiCollectives;
+use smi_fabric::bench_api::{
+    collective, injection_rate, p2p_stream, pingpong, CollectiveKind, CollectiveScheme,
+};
+use smi_fabric::params::FabricParams;
+use smi_resources::report::{render_table1, render_table2};
+use smi_resources::{Chip, ResourceModel};
+use smi_topology::Topology;
+use smi_wire::{Datatype, ReduceOp};
+
+#[test]
+fn tab01_tab02_resources() {
+    let model = ResourceModel::default();
+    let t1 = render_table1(&model, &Chip::GX2800);
+    assert!(t1.contains("30960") && t1.contains("1152"));
+    let t2 = render_table2(&model, &Chip::GX2800);
+    assert!(t2.contains("10268"));
+}
+
+#[test]
+fn tab03_latency_path() {
+    let params = FabricParams::default();
+    let topo = Topology::bus(8);
+    let smi1 = pingpong(&topo, 0, 1, 10, &params).unwrap();
+    let host = HostPathModel::default().e2e_p2p_us(4);
+    assert!(smi1.half_rtt_us < 2.0, "SMI 1-hop {} µs", smi1.half_rtt_us);
+    assert!(host > 30.0, "host path {host} µs");
+    assert!(host / smi1.half_rtt_us > 20.0, "paper: ~45x gap at 1 hop");
+}
+
+#[test]
+fn tab04_injection_path() {
+    let mut params = FabricParams::default();
+    params.poll_persistence = 1;
+    let r1 = injection_rate(&params, 2_000).unwrap().cycles_per_packet;
+    params.poll_persistence = 16;
+    let r16 = injection_rate(&params, 2_000).unwrap().cycles_per_packet;
+    assert!(r1 > 4.5 && r16 < 1.5, "R=1: {r1}, R=16: {r16}");
+}
+
+#[test]
+fn fig09_bandwidth_path() {
+    let params = FabricParams::default();
+    let topo = Topology::bus(8);
+    let r = p2p_stream(&topo, 0, 4, 1 << 16, Datatype::Float, &params).unwrap();
+    assert_eq!(r.errors, 0);
+    assert!(r.payload_gbit_s > 25.0);
+    let host = HostPathModel::default().e2e_bandwidth_gbit_s(1 << 18);
+    assert!(host < r.payload_gbit_s, "SMI must beat the host path");
+}
+
+#[test]
+fn fig10_fig11_collectives_path() {
+    let params = FabricParams::default();
+    let mpi = MpiCollectives::default();
+    for (kind, elems) in [(CollectiveKind::Bcast, 2048u64), (CollectiveKind::Reduce, 2048)] {
+        let smi_t = collective(
+            &Topology::torus2d(2, 4),
+            kind,
+            CollectiveScheme::Linear,
+            0,
+            elems,
+            Datatype::Float,
+            ReduceOp::Add,
+            &params,
+        )
+        .unwrap();
+        assert_eq!(smi_t.errors, 0);
+        let mpi_t = match kind {
+            CollectiveKind::Bcast => mpi.bcast_us(elems as usize * 4, 8),
+            _ => mpi.reduce_us(elems as usize * 4, 8),
+        };
+        // At this small-medium size SMI wins both collectives (Figs. 10/11).
+        assert!(
+            smi_t.time_us < mpi_t,
+            "{kind:?}: SMI {} µs vs MPI {} µs",
+            smi_t.time_us,
+            mpi_t
+        );
+    }
+}
+
+#[test]
+fn fig11_crossover_exists() {
+    // At large sizes the host path overtakes the linear SMI reduce (Fig. 11).
+    let params = FabricParams::default();
+    let mpi = MpiCollectives::default();
+    let elems = 1u64 << 18;
+    let smi_t = collective(
+        &Topology::bus(8),
+        CollectiveKind::Reduce,
+        CollectiveScheme::Linear,
+        0,
+        elems,
+        Datatype::Float,
+        ReduceOp::Add,
+        &params,
+    )
+    .unwrap();
+    let mpi_t = mpi.reduce_us(elems as usize * 4, 8);
+    assert!(
+        mpi_t < smi_t.time_us,
+        "large reduce: MPI {} µs must beat SMI {} µs",
+        mpi_t,
+        smi_t.time_us
+    );
+}
+
+#[test]
+fn fig13_gesummv_path() {
+    let (_, _, speedup) = fig13_point(256, 256, &GesummvTimedParams::default()).unwrap();
+    assert!((1.8..2.1).contains(&speedup));
+}
+
+#[test]
+fn fig15_fig16_stencil_path() {
+    let mk = |grid: RankGrid, banks: usize| StencilTimedConfig {
+        fabric: FabricParams::default(),
+        nx: 512,
+        ny: 512,
+        iters: 2,
+        grid,
+        banks,
+        iter_overhead_cycles: 0,
+    };
+    let base = run_timed(&mk(RankGrid { rx: 1, ry: 1 }, 1)).unwrap();
+    let eight = run_timed(&mk(RankGrid { rx: 2, ry: 4 }, 4)).unwrap();
+    let speedup = base.cycles as f64 / eight.cycles as f64;
+    assert!(speedup > 15.0, "8-FPGA 4-bank speedup {speedup}");
+    assert!(eight.ns_per_point < base.ns_per_point);
+}
