@@ -27,8 +27,9 @@ pub fn run_distributed_mpi(p: &GesummvProblem) -> Vec<f32> {
             if w.rank() == 0 {
                 // Bulk-compute the whole partial result, then one MPI_Send —
                 // "the model relies on bulk transfers" (§2.1.1).
-                let q1: Vec<f32> =
-                    (0..rows).map(|i| dot(&a[i * cols..(i + 1) * cols], &x)).collect();
+                let q1: Vec<f32> = (0..rows)
+                    .map(|i| dot(&a[i * cols..(i + 1) * cols], &x))
+                    .collect();
                 w.send(&q1, 1, 0);
                 Vec::new()
             } else {

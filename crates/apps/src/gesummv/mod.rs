@@ -33,9 +33,8 @@ impl GesummvProblem {
     /// well-conditioned).
     pub fn random(rows: usize, cols: usize, seed: u64) -> GesummvProblem {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut gen = |n: usize| -> Vec<f32> {
-            (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
-        };
+        let mut gen =
+            |n: usize| -> Vec<f32> { (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect() };
         GesummvProblem {
             rows,
             cols,

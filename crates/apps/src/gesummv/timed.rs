@@ -32,7 +32,10 @@ pub struct GesummvTimedParams {
 
 impl Default for GesummvTimedParams {
     fn default() -> Self {
-        GesummvTimedParams { fabric: FabricParams::default(), gemv_mem_elems_per_cycle: 20.0 }
+        GesummvTimedParams {
+            fabric: FabricParams::default(),
+            gemv_mem_elems_per_cycle: 20.0,
+        }
     }
 }
 
@@ -113,7 +116,10 @@ impl Component for GemvEngine {
         let want = (total - self.fetched).max(0.0);
         if want > 0.0 {
             let rate = self.pool.borrow().rate();
-            let granted = self.pool.borrow_mut().try_consume(self.consumer, want.min(rate));
+            let granted = self
+                .pool
+                .borrow_mut()
+                .try_consume(self.consumer, want.min(rate));
             self.fetched += granted;
         }
         // Emit result elements for completed rows (≤ one packet per cycle).
@@ -224,7 +230,16 @@ pub fn run_single_timed(
     let pool = b.add_dram_pool("fpga0.mem", params.gemv_mem_elems_per_cycle);
     let q1 = b.add_local_fifo("gemvA->axpy", 16);
     let q2 = b.add_local_fifo("gemvB->axpy", 16);
-    b.add_component(GemvEngine::new("gemvA", pool.clone(), rows, cols, q1, 0, 0, 0));
+    b.add_component(GemvEngine::new(
+        "gemvA",
+        pool.clone(),
+        rows,
+        cols,
+        q1,
+        0,
+        0,
+        0,
+    ));
     b.add_component(GemvEngine::new("gemvB", pool, rows, cols, q2, 0, 0, 0));
     let probe = new_probe();
     b.add_component(AxpyEngine {
@@ -266,7 +281,9 @@ pub fn run_distributed_timed(
     let to_net = b.register_send(0, 0);
     let from_net = b.register_recv(1, 0);
     let q2 = b.add_local_fifo("gemvB->axpy", 16);
-    b.add_component(GemvEngine::new("gemvA@r0", pool0, rows, cols, to_net, 0, 1, 0));
+    b.add_component(GemvEngine::new(
+        "gemvA@r0", pool0, rows, cols, to_net, 0, 1, 0,
+    ));
     b.add_component(GemvEngine::new("gemvB@r1", pool1, rows, cols, q2, 1, 1, 0));
     let probe = new_probe();
     b.add_component(AxpyEngine {
@@ -280,8 +297,8 @@ pub fn run_distributed_timed(
         probe,
     });
     let mut fabric = b.finalize();
-    let budget = (rows as f64 * cols as f64 / params.gemv_mem_elems_per_cycle * 4.0) as u64
-        + 1_000_000;
+    let budget =
+        (rows as f64 * cols as f64 / params.gemv_mem_elems_per_cycle * 4.0) as u64 + 1_000_000;
     let report = fabric.run(budget)?;
     Ok(GesummvTimedResult {
         cycles: report.cycles,

@@ -56,8 +56,7 @@ pub fn run_distributed(
             let mut next = vec![0.0f32; gnx * gny];
             for i in 0..bnx {
                 for j in 0..bny {
-                    cur[(i + 1) * gny + (j + 1)] =
-                        global[(rx_ * bnx + i) * ny + (ry_ * bny + j)];
+                    cur[(i + 1) * gny + (j + 1)] = global[(rx_ * bnx + i) * ny + (ry_ * bny + j)];
                 }
             }
             let parity = (rx_ + ry_) % 2 == 0;
@@ -74,18 +73,13 @@ pub fn run_distributed(
                             .open_send_channel::<f32>(counts[dir], peer, port)
                             .expect("halo send channel");
                         match dir {
-                            0 => (0..bnx).for_each(|i| {
-                                ch.push(&cur[(i + 1) * gny + 1]).expect("push")
-                            }),
-                            1 => (0..bnx).for_each(|i| {
-                                ch.push(&cur[(i + 1) * gny + bny]).expect("push")
-                            }),
-                            2 => (0..bny).for_each(|j| {
-                                ch.push(&cur[gny + (j + 1)]).expect("push")
-                            }),
-                            _ => (0..bny).for_each(|j| {
-                                ch.push(&cur[bnx * gny + (j + 1)]).expect("push")
-                            }),
+                            0 => (0..bnx)
+                                .for_each(|i| ch.push(&cur[(i + 1) * gny + 1]).expect("push")),
+                            1 => (0..bnx)
+                                .for_each(|i| ch.push(&cur[(i + 1) * gny + bny]).expect("push")),
+                            2 => (0..bny).for_each(|j| ch.push(&cur[gny + (j + 1)]).expect("push")),
+                            _ => (0..bny)
+                                .for_each(|j| ch.push(&cur[bnx * gny + (j + 1)]).expect("push")),
                         }
                     }
                 };
@@ -97,15 +91,11 @@ pub fn run_distributed(
                             .open_recv_channel::<f32>(counts[dir], peer, port)
                             .expect("halo recv channel");
                         match dir {
-                            0 => (0..bnx).for_each(|i| {
-                                cur[(i + 1) * gny] = ch.pop().expect("pop")
-                            }),
+                            0 => (0..bnx).for_each(|i| cur[(i + 1) * gny] = ch.pop().expect("pop")),
                             1 => (0..bnx).for_each(|i| {
                                 cur[(i + 1) * gny + bny + 1] = ch.pop().expect("pop")
                             }),
-                            2 => (0..bny).for_each(|j| {
-                                cur[j + 1] = ch.pop().expect("pop")
-                            }),
+                            2 => (0..bny).for_each(|j| cur[j + 1] = ch.pop().expect("pop")),
                             _ => (0..bny).for_each(|j| {
                                 cur[(bnx + 1) * gny + (j + 1)] = ch.pop().expect("pop")
                             }),

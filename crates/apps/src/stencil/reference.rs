@@ -43,7 +43,12 @@ mod tests {
     fn uniform_interior_decays_at_boundary() {
         // All-ones grid: interior cells stay 1, boundary cells lose the
         // out-of-domain contributions.
-        let p = StencilProblem { nx: 5, ny: 5, iters: 1, grid: vec![1.0; 25] };
+        let p = StencilProblem {
+            nx: 5,
+            ny: 5,
+            iters: 1,
+            grid: vec![1.0; 25],
+        };
         let out = run(&p);
         assert_eq!(out[2 * 5 + 2], 1.0, "interior");
         assert_eq!(out[0], 0.5, "corner keeps 2 of 4 neighbours");

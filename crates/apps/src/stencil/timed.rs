@@ -105,7 +105,10 @@ impl StencilRankKernel {
 
     fn iteration_done(&self) -> bool {
         self.compute_remaining <= 0.0
-            && self.sends.iter().all(|s| s.sent == s.count && s.pending.is_none())
+            && self
+                .sends
+                .iter()
+                .all(|s| s.sent == s.count && s.pending.is_none())
             && self.recvs.iter().all(|r| r.received >= r.count)
     }
 }
@@ -245,7 +248,11 @@ pub fn run_timed(cfg: &StencilTimedConfig) -> Result<StencilTimedResult, SimErro
             if neighbors[dir].is_some() {
                 let port = ports::recv_port(dir);
                 let input = b.register_recv(rank, port);
-                recvs.push(EdgeRecv { count: counts[dir], received: 0, input });
+                recvs.push(EdgeRecv {
+                    count: counts[dir],
+                    received: 0,
+                    input,
+                });
             }
             // Send toward `dir` lands on the peer's opposite-direction port.
             if let Some(peer) = neighbors[dir] {
@@ -336,7 +343,10 @@ mod tests {
         let one = run_timed(&cfg_no_overhead(512, 512, RankGrid { rx: 1, ry: 1 }, 1, 4)).unwrap();
         let four = run_timed(&cfg_no_overhead(512, 512, RankGrid { rx: 1, ry: 1 }, 4, 4)).unwrap();
         let speedup = one.cycles as f64 / four.cycles as f64;
-        assert!((3.3..3.7).contains(&speedup), "bank speedup {speedup} (paper: 3.5)");
+        assert!(
+            (3.3..3.7).contains(&speedup),
+            "bank speedup {speedup} (paper: 3.5)"
+        );
     }
 
     #[test]
@@ -344,7 +354,10 @@ mod tests {
         let one = run_timed(&cfg_no_overhead(512, 512, RankGrid { rx: 1, ry: 1 }, 1, 4)).unwrap();
         let four = run_timed(&cfg_no_overhead(512, 512, RankGrid { rx: 2, ry: 2 }, 1, 4)).unwrap();
         let speedup = one.cycles as f64 / four.cycles as f64;
-        assert!((3.2..4.1).contains(&speedup), "rank speedup {speedup} (paper: 3.5)");
+        assert!(
+            (3.2..4.1).contains(&speedup),
+            "rank speedup {speedup} (paper: 3.5)"
+        );
     }
 
     #[test]
@@ -387,6 +400,9 @@ mod tests {
         );
         let large8 = run_timed(&cfg(4096, 4096, RankGrid { rx: 2, ry: 4 }, 4, 2)).unwrap();
         let ratio = large4.ns_per_point / large8.ns_per_point;
-        assert!((1.5..2.1).contains(&ratio), "8 vs 4 ranks at large size: {ratio}");
+        assert!(
+            (1.5..2.1).contains(&ratio),
+            "8 vs 4 ranks at large size: {ratio}"
+        );
     }
 }

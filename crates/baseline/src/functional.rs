@@ -49,7 +49,13 @@ impl MpiWorld {
             txs: Mutex::new(HashMap::new()),
             rxs: Mutex::new(HashMap::new()),
         });
-        (0..size).map(|rank| MpiWorld { rank, size, boxes: boxes.clone() }).collect()
+        (0..size)
+            .map(|rank| MpiWorld {
+                rank,
+                size,
+                boxes: boxes.clone(),
+            })
+            .collect()
     }
 
     /// This rank.
@@ -78,7 +84,11 @@ impl MpiWorld {
         let bytes = rx
             .recv_timeout(std::time::Duration::from_secs(30))
             .expect("mpi recv timed out: mismatched program");
-        assert_eq!(bytes.len(), count * std::mem::size_of::<T>(), "message size mismatch");
+        assert_eq!(
+            bytes.len(),
+            count * std::mem::size_of::<T>(),
+            "message size mismatch"
+        );
         let mut out = vec![T::default(); count];
         unsafe {
             std::ptr::copy_nonoverlapping(
@@ -268,8 +278,9 @@ mod tests {
         });
         for (rank, res) in results.into_iter().enumerate() {
             if rank == 3 {
-                let want: Vec<f64> =
-                    (0..10).map(|i| (0..8).map(|r| (r * 10 + i) as f64).sum()).collect();
+                let want: Vec<f64> = (0..10)
+                    .map(|i| (0..8).map(|r| (r * 10 + i) as f64).sum())
+                    .collect();
                 assert_eq!(res.unwrap(), want);
             } else {
                 assert!(res.is_none());

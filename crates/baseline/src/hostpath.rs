@@ -98,7 +98,10 @@ mod tests {
         // Paper Fig. 9: host path ≈ 11-12 Gbit/s vs SMI's 35 Gbit/s.
         let m = HostPathModel::default();
         let bw = m.e2e_bandwidth_gbit_s(64 * 1024 * 1024);
-        assert!((10.0..13.5).contains(&bw), "large-message bandwidth {bw} Gbit/s");
+        assert!(
+            (10.0..13.5).contains(&bw),
+            "large-message bandwidth {bw} Gbit/s"
+        );
     }
 
     #[test]

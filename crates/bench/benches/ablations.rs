@@ -4,8 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use smi_fabric::bench_api::{
-    collective, injection_rate, p2p_stream, two_flow_interference, CollectiveKind,
-    CollectiveScheme,
+    collective, injection_rate, p2p_stream, two_flow_interference, CollectiveKind, CollectiveScheme,
 };
 use smi_fabric::params::FabricParams;
 use smi_topology::Topology;
@@ -17,8 +16,10 @@ fn ablate_polling_r(c: &mut Criterion) {
     g.sample_size(10);
     for r in [1u32, 4, 8, 16] {
         g.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
-            let mut params = FabricParams::default();
-            params.poll_persistence = r;
+            let params = FabricParams {
+                poll_persistence: r,
+                ..Default::default()
+            };
             b.iter(|| black_box(injection_rate(&params, 2_000).unwrap()))
         });
     }
@@ -34,11 +35,12 @@ fn ablate_buffer_depth(c: &mut Criterion) {
     let topo = Topology::bus(4);
     for depth in [2usize, 8, 32, 128] {
         g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
-            let mut params = FabricParams::default();
-            params.ck_fifo_depth = depth;
+            let params = FabricParams {
+                ck_fifo_depth: depth,
+                ..Default::default()
+            };
             b.iter(|| {
-                let r =
-                    p2p_stream(&topo, 0, 3, 20_000, Datatype::Float, &params).unwrap();
+                let r = p2p_stream(&topo, 0, 3, 20_000, Datatype::Float, &params).unwrap();
                 black_box(r.cycles)
             })
         });
@@ -53,10 +55,22 @@ fn ablate_tree_collectives(c: &mut Criterion) {
     let params = FabricParams::default();
     let topo = Topology::torus2d(2, 4);
     for (name, kind, scheme) in [
-        ("bcast_linear", CollectiveKind::Bcast, CollectiveScheme::Linear),
+        (
+            "bcast_linear",
+            CollectiveKind::Bcast,
+            CollectiveScheme::Linear,
+        ),
         ("bcast_tree", CollectiveKind::Bcast, CollectiveScheme::Tree),
-        ("reduce_linear", CollectiveKind::Reduce, CollectiveScheme::Linear),
-        ("reduce_tree", CollectiveKind::Reduce, CollectiveScheme::Tree),
+        (
+            "reduce_linear",
+            CollectiveKind::Reduce,
+            CollectiveScheme::Linear,
+        ),
+        (
+            "reduce_tree",
+            CollectiveKind::Reduce,
+            CollectiveScheme::Tree,
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
@@ -86,8 +100,10 @@ fn ablate_switching(c: &mut Criterion) {
     g.sample_size(10);
     for (name, hold) in [("packet", 0u32), ("circuit", 16)] {
         g.bench_function(name, |b| {
-            let mut params = FabricParams::default();
-            params.circuit_hold_cycles = hold;
+            let params = FabricParams {
+                circuit_hold_cycles: hold,
+                ..Default::default()
+            };
             b.iter(|| {
                 let r = two_flow_interference(&params, 20_000, 70).unwrap();
                 black_box(r.short_completion_cycles)

@@ -2,11 +2,11 @@
 //! small problem sizes).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use smi::prelude::RuntimeParams;
 use smi_apps::gesummv::timed::{run_distributed_timed, GesummvTimedParams};
 use smi_apps::gesummv::{functional, GesummvProblem};
 use smi_apps::stencil::timed::{run_timed, StencilTimedConfig};
 use smi_apps::stencil::RankGrid;
-use smi::prelude::RuntimeParams;
 use smi_fabric::params::FabricParams;
 
 fn bench_gesummv(c: &mut Criterion) {

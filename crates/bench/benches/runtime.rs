@@ -13,14 +13,18 @@ fn p2p_run(topo: &Topology, n: u64, protocol: Protocol) -> u64 {
     type Prog = Box<dyn FnOnce(SmiCtx) -> u64 + Send>;
     let programs: Vec<Prog> = vec![
         Box::new(move |ctx| {
-            let mut ch = ctx.open_send_channel_with::<i32>(n, 1, 0, protocol).unwrap();
+            let mut ch = ctx
+                .open_send_channel_with::<i32>(n, 1, 0, protocol)
+                .unwrap();
             for i in 0..n as i32 {
                 ch.push(&i).unwrap();
             }
             0
         }),
         Box::new(move |ctx| {
-            let mut ch = ctx.open_recv_channel_with::<i32>(n, 0, 0, protocol).unwrap();
+            let mut ch = ctx
+                .open_recv_channel_with::<i32>(n, 0, 0, protocol)
+                .unwrap();
             let mut acc = 0u64;
             for _ in 0..n {
                 acc = acc.wrapping_add(ch.pop().unwrap() as u64);

@@ -10,7 +10,9 @@ fn bench_header(c: &mut Criterion) {
     let h = Header::new(3, 250, 17, PacketOp::Send, 7).unwrap();
     g.bench_function("pack", |b| b.iter(|| black_box(h).pack()));
     let bytes = h.pack();
-    g.bench_function("unpack", |b| b.iter(|| Header::unpack(black_box(&bytes)).unwrap()));
+    g.bench_function("unpack", |b| {
+        b.iter(|| Header::unpack(black_box(&bytes)).unwrap())
+    });
     g.finish();
 }
 
@@ -24,7 +26,9 @@ fn bench_packet(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(32));
     g.bench_function("pack32B", |b| b.iter(|| black_box(&p).pack()));
     let bytes = p.pack();
-    g.bench_function("unpack32B", |b| b.iter(|| NetworkPacket::unpack(black_box(&bytes)).unwrap()));
+    g.bench_function("unpack32B", |b| {
+        b.iter(|| NetworkPacket::unpack(black_box(&bytes)).unwrap())
+    });
     g.finish();
 }
 

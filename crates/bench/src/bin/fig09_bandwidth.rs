@@ -12,7 +12,10 @@ use smi_topology::Topology;
 use smi_wire::Datatype;
 
 fn main() {
-    banner("Fig. 9: bandwidth vs message size (Gbit/s)", "§5.3.1, Fig. 9");
+    banner(
+        "Fig. 9: bandwidth vs message size (Gbit/s)",
+        "§5.3.1, Fig. 9",
+    );
     let effort = Effort::from_args();
     let params = FabricParams::default();
     let topo = Topology::bus(8);
@@ -32,12 +35,15 @@ fn main() {
         let elems = bytes / 4;
         let mut row = format!("{:>10}", fmt_bytes(bytes));
         for dst in [1usize, 4, 7] {
-            let r = p2p_stream(&topo, 0, dst, elems, Datatype::Float, &params)
-                .expect("p2p stream run");
+            let r =
+                p2p_stream(&topo, 0, dst, elems, Datatype::Float, &params).expect("p2p stream run");
             assert_eq!(r.errors, 0, "data corruption at {bytes} bytes");
             row.push_str(&format!("{:>14.2}", r.payload_gbit_s));
         }
-        row.push_str(&format!("{:>14.2}", host.e2e_bandwidth_gbit_s(bytes as usize)));
+        row.push_str(&format!(
+            "{:>14.2}",
+            host.e2e_bandwidth_gbit_s(bytes as usize)
+        ));
         println!("{row}");
     }
     println!();

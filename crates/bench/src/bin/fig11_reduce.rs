@@ -13,7 +13,10 @@ use smi_topology::Topology;
 use smi_wire::{Datatype, ReduceOp};
 
 fn main() {
-    banner("Fig. 11: Reduce time vs size (µs, FP32 SUM)", "§5.3.4, Fig. 11");
+    banner(
+        "Fig. 11: Reduce time vs size (µs, FP32 SUM)",
+        "§5.3.4, Fig. 11",
+    );
     let effort = Effort::from_args();
     let params = FabricParams::default();
     let mpi = MpiCollectives::new(HostPathModel::default());

@@ -6,7 +6,10 @@ use smi_apps::gesummv::timed::{fig13_point, GesummvTimedParams};
 use smi_bench::{banner, Effort};
 
 fn main() {
-    banner("Fig. 13: GESUMMV single-FPGA vs distributed", "§5.4.1, Fig. 13");
+    banner(
+        "Fig. 13: GESUMMV single-FPGA vs distributed",
+        "§5.4.1, Fig. 13",
+    );
     let effort = Effort::from_args();
     let params = GesummvTimedParams::default();
     let square_max: u64 = match effort {
@@ -32,7 +35,9 @@ fn main() {
             single.time_ms,
             dist.time_ms,
             speedup,
-            paper.map(|t| format!("{t:.1}")).unwrap_or_else(|| "-".into())
+            paper
+                .map(|t| format!("{t:.1}"))
+                .unwrap_or_else(|| "-".into())
         );
         n *= 2;
     }
@@ -40,12 +45,18 @@ fn main() {
     for (label, fixed_rows) in [("2048 x M (wide)", true), ("N x 2048 (tall)", false)] {
         println!();
         println!("-- rectangular {label} --");
-        println!("{:>8}{:>14}{:>14}{:>10}", "M/N", "single(ms)", "dist(ms)", "speedup");
+        println!(
+            "{:>8}{:>14}{:>14}{:>10}",
+            "M/N", "single(ms)", "dist(ms)", "speedup"
+        );
         let mut m = 4096u64;
         while m <= square_max.max(8192) {
             let (rows, cols) = if fixed_rows { (2048, m) } else { (m, 2048) };
             let (single, dist, speedup) = fig13_point(rows, cols, &params).expect("run");
-            println!("{:>8}{:>14.2}{:>14.2}{:>10.2}", m, single.time_ms, dist.time_ms, speedup);
+            println!(
+                "{:>8}{:>14.2}{:>14.2}{:>10.2}",
+                m, single.time_ms, dist.time_ms, speedup
+            );
             m *= 2;
         }
     }

@@ -8,7 +8,10 @@ use smi_bench::{banner, Effort};
 use smi_fabric::params::FabricParams;
 
 fn main() {
-    banner("Fig. 15: stencil strong scaling (4096² grid)", "§5.4.2, Fig. 15");
+    banner(
+        "Fig. 15: stencil strong scaling (4096² grid)",
+        "§5.4.2, Fig. 15",
+    );
     let effort = Effort::from_args();
     let iters = match effort {
         Effort::Quick => 4,

@@ -9,7 +9,10 @@ use smi_bench::{banner, Effort};
 use smi_fabric::params::FabricParams;
 
 fn main() {
-    banner("Fig. 16: stencil weak scaling (ns per grid point)", "§5.4.2, Fig. 16");
+    banner(
+        "Fig. 16: stencil weak scaling (ns per grid point)",
+        "§5.4.2, Fig. 16",
+    );
     let effort = Effort::from_args();
     let (iters, max_n) = match effort {
         Effort::Quick => (4u32, 2048u64),
@@ -17,7 +20,10 @@ fn main() {
         Effort::Full => (32, 16384), // the paper's full range
     };
     println!("{iters} timesteps (paper: 32), 4 banks per FPGA");
-    println!("{:>14}{:>16}{:>16}", "grid", "4 ranks ns/pt", "8 ranks ns/pt");
+    println!(
+        "{:>14}{:>16}{:>16}",
+        "grid", "4 ranks ns/pt", "8 ranks ns/pt"
+    );
     let mut n = 1024u64;
     while n <= max_n {
         let mut row = format!("{:>14}", format!("{n}x{n}"));

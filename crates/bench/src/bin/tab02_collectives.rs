@@ -6,7 +6,10 @@ use smi_resources::report::render_table2;
 use smi_resources::{Chip, ResourceModel};
 
 fn main() {
-    banner("Table 2: collectives kernel resource consumption", "§5.2, Tab. 2");
+    banner(
+        "Table 2: collectives kernel resource consumption",
+        "§5.2, Tab. 2",
+    );
     let model = ResourceModel::default();
     print!("{}", render_table2(&model, &Chip::GX2800));
     println!();

@@ -18,10 +18,20 @@ fn main() {
     for (hops, paper_us) in paper {
         let r = pingpong(&topo, 0, hops, iters, &params).expect("pingpong run");
         assert_eq!(r.hops, hops);
-        println!("{:<18}{:>12.3}{:>12.3}", format!("SMI - {hops} hop(s)"), r.half_rtt_us, paper_us);
+        println!(
+            "{:<18}{:>12.3}{:>12.3}",
+            format!("SMI - {hops} hop(s)"),
+            r.half_rtt_us,
+            paper_us
+        );
     }
     let host = HostPathModel::default();
-    println!("{:<18}{:>12.3}{:>12.3}", "MPI+OpenCL", host.e2e_p2p_us(4), 36.61);
+    println!(
+        "{:<18}{:>12.3}{:>12.3}",
+        "MPI+OpenCL",
+        host.e2e_p2p_us(4),
+        36.61
+    );
     println!();
     println!("(SMI latency grows linearly with network distance; the host");
     println!(" path pays two OpenCL transfers + host MPI regardless.)");

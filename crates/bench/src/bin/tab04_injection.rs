@@ -7,14 +7,23 @@ use smi_fabric::bench_api::injection_rate;
 use smi_fabric::params::FabricParams;
 
 fn main() {
-    banner("Table 4: injection rate vs polling persistence R", "§5.3.3, Tab. 4");
+    banner(
+        "Table 4: injection rate vs polling persistence R",
+        "§5.3.3, Tab. 4",
+    );
     let count = 20_000;
     println!("{:<8}{:>16}{:>12}", "R", "measured", "paper");
     let paper = [(1u32, 5.0f64), (4, 2.5), (8, 1.8), (16, 1.69)];
     for (r, paper_cycles) in paper {
-        let params = FabricParams { poll_persistence: r, ..FabricParams::default() };
+        let params = FabricParams {
+            poll_persistence: r,
+            ..FabricParams::default()
+        };
         let res = injection_rate(&params, count).expect("injection run");
-        println!("{:<8}{:>16.2}{:>12.2}", r, res.cycles_per_packet, paper_cycles);
+        println!(
+            "{:<8}{:>16.2}{:>12.2}",
+            r, res.cycles_per_packet, paper_cycles
+        );
     }
     println!();
     println!("(a CKS arbitrates 5 inputs: 1 application + its CKR + 3 other");

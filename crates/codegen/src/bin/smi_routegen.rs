@@ -53,7 +53,9 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
-    let Some(topo_path) = topo_path else { return usage() };
+    let Some(topo_path) = topo_path else {
+        return usage();
+    };
     let text = match std::fs::read_to_string(&topo_path) {
         Ok(t) => t,
         Err(e) => {

@@ -55,13 +55,23 @@ impl CommDesign {
         order.sort_by_key(|&i| (meta.ops[i].port, meta.ops[i].kind as usize));
         let n_pairs = ck_qsfps.len().max(1);
         let mut bindings = vec![
-            PortBinding { op: OpSpec::send(0, smi_wire::Datatype::Char), ck_pair: 0 };
+            PortBinding {
+                op: OpSpec::send(0, smi_wire::Datatype::Char),
+                ck_pair: 0
+            };
             meta.ops.len()
         ];
         for (slot, &op_idx) in order.iter().enumerate() {
-            bindings[op_idx] = PortBinding { op: meta.ops[op_idx], ck_pair: slot % n_pairs };
+            bindings[op_idx] = PortBinding {
+                op: meta.ops[op_idx],
+                ck_pair: slot % n_pairs,
+            };
         }
-        Ok(CommDesign { rank, ck_qsfps, bindings })
+        Ok(CommDesign {
+            rank,
+            ck_qsfps,
+            bindings,
+        })
     }
 
     /// Number of CKS/CKR pairs in this design.

@@ -9,7 +9,11 @@ use crate::{ClusterDesign, CommDesign};
 /// generated device code (CK instances, FIFO attachments, support kernels).
 pub fn emit_rank_report(design: &CommDesign) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "// === generated SMI transport for rank {} ===", design.rank);
+    let _ = writeln!(
+        out,
+        "// === generated SMI transport for rank {} ===",
+        design.rank
+    );
     let _ = writeln!(out, "// {} CKS/CKR pair(s)", design.num_ck_pairs());
     for (pair, qsfp) in design.ck_qsfps.iter().enumerate() {
         let _ = writeln!(out, "kernel CK_S_{pair} {{ io_channel: QSFP{qsfp} (tx) }}");

@@ -58,14 +58,21 @@ pub enum CodegenError {
 impl fmt::Display for CodegenError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CodegenError::PortClash { port, first, second } => {
+            CodegenError::PortClash {
+                port,
+                first,
+                second,
+            } => {
                 write!(f, "port {port}: {first:?} clashes with {second:?}")
             }
             CodegenError::PortOutOfRange(p) => {
                 write!(f, "port {p} exceeds the 8-bit wire port field")
             }
             CodegenError::BadReduceOp { port } => {
-                write!(f, "port {port}: reduce operator mismatch (required iff kind is Reduce)")
+                write!(
+                    f,
+                    "port {port}: reduce operator mismatch (required iff kind is Reduce)"
+                )
             }
             CodegenError::SpmdMismatch { port, detail } => {
                 write!(f, "port {port}: SPMD declaration mismatch: {detail}")
@@ -76,7 +83,11 @@ impl fmt::Display for CodegenError {
             CodegenError::ZeroBufferDepth { port } => {
                 write!(f, "port {port}: buffer depth must be at least 1 packet")
             }
-            CodegenError::TypeClash { port, first, second } => {
+            CodegenError::TypeClash {
+                port,
+                first,
+                second,
+            } => {
                 write!(f, "port {port}: datatype {first:?} clashes with {second:?}")
             }
         }

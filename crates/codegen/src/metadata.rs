@@ -67,32 +67,68 @@ pub struct OpSpec {
 impl OpSpec {
     /// A point-to-point send endpoint on `port` carrying `dtype`.
     pub fn send(port: usize, dtype: Datatype) -> OpSpec {
-        OpSpec { kind: OpKind::Send, port, dtype, reduce_op: None, buffer_depth: DEFAULT_BUFFER_DEPTH }
+        OpSpec {
+            kind: OpKind::Send,
+            port,
+            dtype,
+            reduce_op: None,
+            buffer_depth: DEFAULT_BUFFER_DEPTH,
+        }
     }
 
     /// A point-to-point receive endpoint on `port` carrying `dtype`.
     pub fn recv(port: usize, dtype: Datatype) -> OpSpec {
-        OpSpec { kind: OpKind::Recv, port, dtype, reduce_op: None, buffer_depth: DEFAULT_BUFFER_DEPTH }
+        OpSpec {
+            kind: OpKind::Recv,
+            port,
+            dtype,
+            reduce_op: None,
+            buffer_depth: DEFAULT_BUFFER_DEPTH,
+        }
     }
 
     /// A broadcast endpoint on `port` carrying `dtype`.
     pub fn bcast(port: usize, dtype: Datatype) -> OpSpec {
-        OpSpec { kind: OpKind::Bcast, port, dtype, reduce_op: None, buffer_depth: DEFAULT_BUFFER_DEPTH }
+        OpSpec {
+            kind: OpKind::Bcast,
+            port,
+            dtype,
+            reduce_op: None,
+            buffer_depth: DEFAULT_BUFFER_DEPTH,
+        }
     }
 
     /// A scatter endpoint on `port` carrying `dtype`.
     pub fn scatter(port: usize, dtype: Datatype) -> OpSpec {
-        OpSpec { kind: OpKind::Scatter, port, dtype, reduce_op: None, buffer_depth: DEFAULT_BUFFER_DEPTH }
+        OpSpec {
+            kind: OpKind::Scatter,
+            port,
+            dtype,
+            reduce_op: None,
+            buffer_depth: DEFAULT_BUFFER_DEPTH,
+        }
     }
 
     /// A gather endpoint on `port` carrying `dtype`.
     pub fn gather(port: usize, dtype: Datatype) -> OpSpec {
-        OpSpec { kind: OpKind::Gather, port, dtype, reduce_op: None, buffer_depth: DEFAULT_BUFFER_DEPTH }
+        OpSpec {
+            kind: OpKind::Gather,
+            port,
+            dtype,
+            reduce_op: None,
+            buffer_depth: DEFAULT_BUFFER_DEPTH,
+        }
     }
 
     /// A reduce endpoint on `port` carrying `dtype`, reducing with `op`.
     pub fn reduce(port: usize, dtype: Datatype, op: ReduceOp) -> OpSpec {
-        OpSpec { kind: OpKind::Reduce, port, dtype, reduce_op: Some(op), buffer_depth: DEFAULT_BUFFER_DEPTH }
+        OpSpec {
+            kind: OpKind::Reduce,
+            port,
+            dtype,
+            reduce_op: Some(op),
+            buffer_depth: DEFAULT_BUFFER_DEPTH,
+        }
     }
 
     /// Builder-style override of the FIFO depth.
@@ -216,7 +252,10 @@ mod tests {
         let meta = ProgramMeta::new()
             .with(OpSpec::send(0, Datatype::Int))
             .with(OpSpec::send(0, Datatype::Int));
-        assert!(matches!(meta.validate(), Err(CodegenError::PortClash { port: 0, .. })));
+        assert!(matches!(
+            meta.validate(),
+            Err(CodegenError::PortClash { port: 0, .. })
+        ));
     }
 
     #[test]
@@ -224,11 +263,17 @@ mod tests {
         let meta = ProgramMeta::new()
             .with(OpSpec::bcast(0, Datatype::Int))
             .with(OpSpec::send(0, Datatype::Int));
-        assert!(matches!(meta.validate(), Err(CodegenError::PortClash { .. })));
+        assert!(matches!(
+            meta.validate(),
+            Err(CodegenError::PortClash { .. })
+        ));
         let meta = ProgramMeta::new()
             .with(OpSpec::bcast(1, Datatype::Int))
             .with(OpSpec::gather(1, Datatype::Int));
-        assert!(matches!(meta.validate(), Err(CodegenError::PortClash { .. })));
+        assert!(matches!(
+            meta.validate(),
+            Err(CodegenError::PortClash { .. })
+        ));
     }
 
     #[test]
@@ -236,7 +281,10 @@ mod tests {
         let meta = ProgramMeta::new()
             .with(OpSpec::send(2, Datatype::Int))
             .with(OpSpec::recv(2, Datatype::Float));
-        assert!(matches!(meta.validate(), Err(CodegenError::TypeClash { port: 2, .. })));
+        assert!(matches!(
+            meta.validate(),
+            Err(CodegenError::TypeClash { port: 2, .. })
+        ));
     }
 
     #[test]
@@ -259,9 +307,11 @@ mod tests {
     fn range_checks() {
         let meta = ProgramMeta::from_ops(vec![OpSpec::send(300, Datatype::Int)]);
         assert_eq!(meta.validate(), Err(CodegenError::PortOutOfRange(300)));
-        let meta =
-            ProgramMeta::from_ops(vec![OpSpec::send(0, Datatype::Int).with_buffer_depth(0)]);
-        assert!(matches!(meta.validate(), Err(CodegenError::ZeroBufferDepth { .. })));
+        let meta = ProgramMeta::from_ops(vec![OpSpec::send(0, Datatype::Int).with_buffer_depth(0)]);
+        assert!(matches!(
+            meta.validate(),
+            Err(CodegenError::ZeroBufferDepth { .. })
+        ));
     }
 
     #[test]

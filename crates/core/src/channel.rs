@@ -66,7 +66,10 @@ impl<T: SmiType> SendChannel<T> {
         if res.dtype != T::DATATYPE {
             let declared = res.dtype;
             table.borrow_mut().put_send(port, res);
-            return Err(SmiError::TypeMismatch { declared, requested: T::DATATYPE });
+            return Err(SmiError::TypeMismatch {
+                declared,
+                requested: T::DATATYPE,
+            });
         }
         let port_wire = smi_wire::header::port_to_wire(port)?;
         let credits = match protocol {
@@ -77,7 +80,13 @@ impl<T: SmiType> SendChannel<T> {
             port,
             count,
             sent: 0,
-            framer: Framer::new(T::DATATYPE, my_wire_rank, dst_wire_rank, port_wire, PacketOp::Send),
+            framer: Framer::new(
+                T::DATATYPE,
+                my_wire_rank,
+                dst_wire_rank,
+                port_wire,
+                PacketOp::Send,
+            ),
             res: Some(res),
             table,
             protocol,
@@ -106,7 +115,9 @@ impl<T: SmiType> SendChannel<T> {
                     })
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    return Err(SmiError::Timeout { waiting_for: "credit grant" })
+                    return Err(SmiError::Timeout {
+                        waiting_for: "credit grant",
+                    })
                 }
                 Err(RecvTimeoutError::Disconnected) => return Err(SmiError::TransportClosed),
             }
@@ -187,7 +198,10 @@ impl<T: SmiType> RecvChannel<T> {
         if res.dtype != T::DATATYPE {
             let declared = res.dtype;
             table.borrow_mut().put_recv(port, res);
-            return Err(SmiError::TypeMismatch { declared, requested: T::DATATYPE });
+            return Err(SmiError::TypeMismatch {
+                declared,
+                requested: T::DATATYPE,
+            });
         }
         Ok(RecvChannel {
             port,
@@ -220,7 +234,9 @@ impl<T: SmiType> RecvChannel<T> {
                     })
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    return Err(SmiError::Timeout { waiting_for: "message data" })
+                    return Err(SmiError::Timeout {
+                        waiting_for: "message data",
+                    })
                 }
                 Err(RecvTimeoutError::Disconnected) => return Err(SmiError::TransportClosed),
             }

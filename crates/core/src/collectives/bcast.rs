@@ -42,15 +42,24 @@ impl<T: SmiType> BcastChannel<T> {
     ) -> Result<Self, SmiError> {
         let root_world = comm.world_rank(root)?;
         let my_world = comm.world_rank(comm.rank())?;
-        let res = table.borrow_mut().take_coll(port, smi_codegen::OpKind::Bcast)?;
+        let res = table
+            .borrow_mut()
+            .take_coll(port, smi_codegen::OpKind::Bcast)?;
         if res.dtype != T::DATATYPE {
             let declared = res.dtype;
             table.borrow_mut().put_coll(port, res);
-            return Err(SmiError::TypeMismatch { declared, requested: T::DATATYPE });
+            return Err(SmiError::TypeMismatch {
+                declared,
+                requested: T::DATATYPE,
+            });
         }
         let is_root = comm.rank() == root;
-        let others: Vec<usize> =
-            comm.world_ranks().iter().copied().filter(|&w| w != root_world).collect();
+        let others: Vec<usize> = comm
+            .world_ranks()
+            .iter()
+            .copied()
+            .filter(|&w| w != root_world)
+            .collect();
         let port_wire = smi_wire::header::port_to_wire(port)?;
         let my_wire = smi_wire::header::rank_to_wire(my_world)?;
         let chan = BcastChannel {

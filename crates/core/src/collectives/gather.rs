@@ -53,11 +53,16 @@ impl<T: SmiType> GatherChannel<T> {
     ) -> Result<Self, SmiError> {
         let root_world = comm.world_rank(root)?;
         let my_world = comm.world_rank(comm.rank())?;
-        let res = table.borrow_mut().take_coll(port, smi_codegen::OpKind::Gather)?;
+        let res = table
+            .borrow_mut()
+            .take_coll(port, smi_codegen::OpKind::Gather)?;
         if res.dtype != T::DATATYPE {
             let declared = res.dtype;
             table.borrow_mut().put_coll(port, res);
-            return Err(SmiError::TypeMismatch { declared, requested: T::DATATYPE });
+            return Err(SmiError::TypeMismatch {
+                declared,
+                requested: T::DATATYPE,
+            });
         }
         let is_root = comm.rank() == root;
         let port_wire = smi_wire::header::port_to_wire(port)?;
@@ -134,9 +139,11 @@ impl<T: SmiType> GatherChannel<T> {
         let src_idx = (self.popped / self.count) as usize;
         let src_world = self.members[src_idx];
         let v = if src_world == self.root_world {
-            self.local.pop_front().ok_or_else(|| SmiError::ProtocolViolation {
-                detail: "gather pop before the root pushed its own contribution".into(),
-            })?
+            self.local
+                .pop_front()
+                .ok_or_else(|| SmiError::ProtocolViolation {
+                    detail: "gather pop before the root pushed its own contribution".into(),
+                })?
         } else {
             // Serialized grant: first element of a new slice grants its
             // source.

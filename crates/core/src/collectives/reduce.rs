@@ -55,11 +55,16 @@ impl<T: SmiNumeric> ReduceChannel<T> {
         assert!(credits_window >= 1, "reduce needs at least one credit");
         let root_world = comm.world_rank(root)?;
         let my_world = comm.world_rank(comm.rank())?;
-        let res = table.borrow_mut().take_coll(port, smi_codegen::OpKind::Reduce)?;
+        let res = table
+            .borrow_mut()
+            .take_coll(port, smi_codegen::OpKind::Reduce)?;
         if res.dtype != T::DATATYPE {
             let declared = res.dtype;
             table.borrow_mut().put_coll(port, res);
-            return Err(SmiError::TypeMismatch { declared, requested: T::DATATYPE });
+            return Err(SmiError::TypeMismatch {
+                declared,
+                requested: T::DATATYPE,
+            });
         }
         let op = res.reduce_op.expect("reduce binding carries an operator");
         let is_root = comm.rank() == root;
@@ -68,8 +73,12 @@ impl<T: SmiNumeric> ReduceChannel<T> {
         for (i, &w) in comm.world_ranks().iter().enumerate() {
             member_index[w] = Some(i);
         }
-        let others_world: Vec<usize> =
-            comm.world_ranks().iter().copied().filter(|&w| w != root_world).collect();
+        let others_world: Vec<usize> = comm
+            .world_ranks()
+            .iter()
+            .copied()
+            .filter(|&w| w != root_world)
+            .collect();
         let port_wire = smi_wire::header::port_to_wire(port)?;
         let my_wire = smi_wire::header::rank_to_wire(my_world)?;
         let ident = identity_of::<T>(op);
@@ -79,7 +88,11 @@ impl<T: SmiNumeric> ReduceChannel<T> {
             op,
             my_world: my_wire,
             is_root,
-            window: if is_root { vec![ident; credits_window as usize] } else { Vec::new() },
+            window: if is_root {
+                vec![ident; credits_window as usize]
+            } else {
+                Vec::new()
+            },
             progress: vec![0; n],
             member_index,
             done: 0,

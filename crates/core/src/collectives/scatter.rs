@@ -52,11 +52,16 @@ impl<T: SmiType> ScatterChannel<T> {
     ) -> Result<Self, SmiError> {
         let root_world = comm.world_rank(root)?;
         let my_world = comm.world_rank(comm.rank())?;
-        let res = table.borrow_mut().take_coll(port, smi_codegen::OpKind::Scatter)?;
+        let res = table
+            .borrow_mut()
+            .take_coll(port, smi_codegen::OpKind::Scatter)?;
         if res.dtype != T::DATATYPE {
             let declared = res.dtype;
             table.borrow_mut().put_coll(port, res);
-            return Err(SmiError::TypeMismatch { declared, requested: T::DATATYPE });
+            return Err(SmiError::TypeMismatch {
+                declared,
+                requested: T::DATATYPE,
+            });
         }
         let is_root = comm.rank() == root;
         let mut ready = vec![false; comm.size()];
@@ -120,13 +125,11 @@ impl<T: SmiType> ScatterChannel<T> {
             let pkt = recv_packet(&res.rx, self.timeout, "scatter ready sync")?;
             expect_op(&pkt, PacketOp::Sync)?;
             let src = pkt.header.src as usize;
-            let idx = self
-                .members
-                .iter()
-                .position(|&w| w == src)
-                .ok_or_else(|| SmiError::ProtocolViolation {
+            let idx = self.members.iter().position(|&w| w == src).ok_or_else(|| {
+                SmiError::ProtocolViolation {
                     detail: format!("scatter sync from non-member world rank {src}"),
-                })?;
+                }
+            })?;
             self.ready[idx] = true;
         }
         self.pushed += 1;
@@ -151,9 +154,11 @@ impl<T: SmiType> ScatterChannel<T> {
             return Err(SmiError::CountExceeded { count: self.count });
         }
         let v = if self.is_root {
-            self.local.pop_front().ok_or_else(|| SmiError::ProtocolViolation {
-                detail: "scatter pop before the root pushed its own slice".into(),
-            })?
+            self.local
+                .pop_front()
+                .ok_or_else(|| SmiError::ProtocolViolation {
+                    detail: "scatter pop before the root pushed its own slice".into(),
+                })?
         } else {
             while self.deframer.is_empty() {
                 let res = self.res.as_ref().expect("open");

@@ -85,10 +85,10 @@ impl Communicator {
 
     /// Translate a communicator rank to the world rank the transport routes on.
     pub fn world_rank(&self, comm_rank: usize) -> Result<usize, SmiError> {
-        self.ranks
-            .get(comm_rank)
-            .copied()
-            .ok_or(SmiError::BadRank { rank: comm_rank, size: self.size() })
+        self.ranks.get(comm_rank).copied().ok_or(SmiError::BadRank {
+            rank: comm_rank,
+            size: self.size(),
+        })
     }
 
     /// The member world ranks in communicator order.
@@ -175,8 +175,9 @@ mod tests {
     #[test]
     fn split_groups_by_color_and_orders_by_key() {
         let board = Arc::new(SplitBoard::default());
-        let comms: Vec<Communicator> =
-            (0..4).map(|r| Communicator::world(4, r, board.clone())).collect();
+        let comms: Vec<Communicator> = (0..4)
+            .map(|r| Communicator::world(4, r, board.clone()))
+            .collect();
         // Even/odd split; key reverses order within the odd group.
         let handles: Vec<_> = comms
             .into_iter()
@@ -202,8 +203,9 @@ mod tests {
     #[test]
     fn consecutive_splits_use_fresh_epochs() {
         let board = Arc::new(SplitBoard::default());
-        let comms: Vec<Communicator> =
-            (0..2).map(|r| Communicator::world(2, r, board.clone())).collect();
+        let comms: Vec<Communicator> = (0..2)
+            .map(|r| Communicator::world(2, r, board.clone()))
+            .collect();
         let handles: Vec<_> = comms
             .into_iter()
             .map(|c| {

@@ -120,7 +120,10 @@ impl EndpointTable {
     /// Take the collective resource of `port`, checking the expected kind.
     pub fn take_coll(&mut self, port: usize, kind: OpKind) -> Result<CollRes, SmiError> {
         if !self.declared_coll.contains(&(port, kind)) {
-            return Err(SmiError::NoSuchEndpoint { port, kind: "collective" });
+            return Err(SmiError::NoSuchEndpoint {
+                port,
+                kind: "collective",
+            });
         }
         self.ports
             .get_mut(&port)
@@ -160,7 +163,11 @@ mod tests {
         // Leak the keepers: tests only exercise the table mechanics.
         std::mem::forget(_rx_keep);
         std::mem::forget(_ctx);
-        SendRes { dtype: Datatype::Int, to_cks: tx, credit_rx: crx }
+        SendRes {
+            dtype: Datatype::Int,
+            to_cks: tx,
+            credit_rx: crx,
+        }
     }
 
     #[test]
@@ -182,7 +189,10 @@ mod tests {
         let t = new_table();
         assert!(matches!(
             t.borrow_mut().take_send(9),
-            Err(SmiError::NoSuchEndpoint { port: 9, kind: "send" })
+            Err(SmiError::NoSuchEndpoint {
+                port: 9,
+                kind: "send"
+            })
         ));
         assert!(matches!(
             t.borrow_mut().take_recv(9),

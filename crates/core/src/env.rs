@@ -77,7 +77,10 @@ impl SmiCtx {
     ) -> Result<SendChannel<T>, SmiError> {
         let my = smi_wire::header::rank_to_wire(self.rank)?;
         if dst >= self.num_ranks {
-            return Err(SmiError::BadRank { rank: dst, size: self.num_ranks });
+            return Err(SmiError::BadRank {
+                rank: dst,
+                size: self.num_ranks,
+            });
         }
         let dstw = smi_wire::header::rank_to_wire(dst)?;
         SendChannel::open(
@@ -112,7 +115,10 @@ impl SmiCtx {
     ) -> Result<RecvChannel<T>, SmiError> {
         let my = smi_wire::header::rank_to_wire(self.rank)?;
         if src >= self.num_ranks {
-            return Err(SmiError::BadRank { rank: src, size: self.num_ranks });
+            return Err(SmiError::BadRank {
+                rank: src,
+                size: self.num_ranks,
+            });
         }
         let srcw = smi_wire::header::rank_to_wire(src)?;
         RecvChannel::open(
@@ -242,7 +248,9 @@ pub fn run_mpmd<T: Send + 'static>(
     assert_eq!(metas.len(), topo.num_ranks(), "one ProgramMeta per rank");
     assert_eq!(programs.len(), topo.num_ranks(), "one program per rank");
     let design = ClusterDesign::mpmd(&metas, topo).map_err(LaunchError::Codegen)?;
-    design.validate_collectives().map_err(LaunchError::Codegen)?;
+    design
+        .validate_collectives()
+        .map_err(LaunchError::Codegen)?;
     let plan = RoutingPlan::compute(topo).map_err(LaunchError::Topology)?;
     let stop = Arc::new(AtomicBool::new(false));
     let stats = TransportStats::default();
@@ -251,9 +259,7 @@ pub fn run_mpmd<T: Send + 'static>(
     let num_ranks = topo.num_ranks();
 
     let mut app_handles = Vec::with_capacity(num_ranks);
-    for (rank, (table, program)) in
-        transport.tables.into_iter().zip(programs).enumerate()
-    {
+    for (rank, (table, program)) in transport.tables.into_iter().zip(programs).enumerate() {
         let board = board.clone();
         let params = params.clone();
         app_handles.push(
@@ -262,7 +268,13 @@ pub fn run_mpmd<T: Send + 'static>(
                 .spawn(move || {
                     let handle = new_table();
                     *handle.borrow_mut() = table;
-                    let ctx = SmiCtx { rank, num_ranks, table: handle, board, params };
+                    let ctx = SmiCtx {
+                        rank,
+                        num_ranks,
+                        table: handle,
+                        board,
+                        params,
+                    };
                     program(ctx)
                 })
                 .expect("spawn rank thread"),
@@ -287,7 +299,10 @@ pub fn run_mpmd<T: Send + 'static>(
     if let Some(p) = panic {
         std::panic::resume_unwind(p);
     }
-    Ok(RunReport { results, transport: stats.snapshot() })
+    Ok(RunReport {
+        results,
+        transport: stats.snapshot(),
+    })
 }
 
 /// Run an SPMD program: the same op metadata and closure on every rank

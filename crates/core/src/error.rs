@@ -68,8 +68,14 @@ impl fmt::Display for SmiError {
             SmiError::EndpointBusy { port } => {
                 write!(f, "port {port} already has an open channel")
             }
-            SmiError::TypeMismatch { declared, requested } => {
-                write!(f, "channel datatype mismatch: declared {declared:?}, requested {requested:?}")
+            SmiError::TypeMismatch {
+                declared,
+                requested,
+            } => {
+                write!(
+                    f,
+                    "channel datatype mismatch: declared {declared:?}, requested {requested:?}"
+                )
             }
             SmiError::CountExceeded { count } => {
                 write!(f, "channel count {count} exceeded")

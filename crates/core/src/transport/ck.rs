@@ -190,7 +190,13 @@ mod tests {
             name: "t".into(),
             inputs: vec![in_rx],
             outputs: vec![out_tx],
-            route: Box::new(|p| if p.header.dst == 0 { Route::Output(0) } else { Route::Drop }),
+            route: Box::new(|p| {
+                if p.header.dst == 0 {
+                    Route::Output(0)
+                } else {
+                    Route::Drop
+                }
+            }),
             persistence: 1,
             stop: Arc::new(AtomicBool::new(false)),
             forwards: Arc::new(AtomicU64::new(0)),

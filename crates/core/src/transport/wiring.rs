@@ -104,22 +104,36 @@ pub(crate) fn build_transport(
                     cks_app_inputs[pair].push(cks_rx);
                     let (credit_tx, credit_rx) = bounded(op.buffer_depth.max(4));
                     let d = deliveries.entry(op.port).or_default();
-                    assert!(d.credit.is_none(), "duplicate credit delivery for port {}", op.port);
+                    assert!(
+                        d.credit.is_none(),
+                        "duplicate credit delivery for port {}",
+                        op.port
+                    );
                     d.credit = Some((pair, credit_tx));
-                    table.ports.entry(op.port).or_default().send =
-                        Some(SendRes { dtype: op.dtype, to_cks: app_tx, credit_rx });
+                    table.ports.entry(op.port).or_default().send = Some(SendRes {
+                        dtype: op.dtype,
+                        to_cks: app_tx,
+                        credit_rx,
+                    });
                 }
                 OpKind::Recv => {
                     let (data_tx, app_rx) = bounded(op.buffer_depth);
                     let d = deliveries.entry(op.port).or_default();
-                    assert!(d.data.is_none(), "duplicate data delivery for port {}", op.port);
+                    assert!(
+                        d.data.is_none(),
+                        "duplicate data delivery for port {}",
+                        op.port
+                    );
                     d.data = Some((pair, data_tx));
                     // Receive endpoints own a send path into their CKS for
                     // credit grants (credit-based protocol, §3.3).
                     let (grant_tx, grant_rx) = bounded::<NetworkPacket>(4);
                     cks_app_inputs[pair].push(grant_rx);
-                    table.ports.entry(op.port).or_default().recv =
-                        Some(RecvRes { dtype: op.dtype, from_ckr: app_rx, grant_tx });
+                    table.ports.entry(op.port).or_default().recv = Some(RecvRes {
+                        dtype: op.dtype,
+                        from_ckr: app_rx,
+                        grant_tx,
+                    });
                 }
                 _ => {
                     let (sup_tx, cks_rx) = bounded(op.buffer_depth);
@@ -284,8 +298,16 @@ fn build_single_rank(design: &ClusterDesign, params: &RuntimeParams) -> Transpor
                 let (data_tx, data_rx) = bounded(depth);
                 let (grant_tx, credit_rx) = bounded(4);
                 let slot = table.ports.entry(op.port).or_default();
-                slot.send = Some(SendRes { dtype: op.dtype, to_cks: data_tx, credit_rx });
-                slot.recv = Some(RecvRes { dtype: op.dtype, from_ckr: data_rx, grant_tx });
+                slot.send = Some(SendRes {
+                    dtype: op.dtype,
+                    to_cks: data_tx,
+                    credit_rx,
+                });
+                slot.recv = Some(RecvRes {
+                    dtype: op.dtype,
+                    from_ckr: data_rx,
+                    grant_tx,
+                });
             }
             OpKind::Recv => {
                 // Paired with the Send arm above when the port has both; a
@@ -297,8 +319,11 @@ fn build_single_rank(design: &ClusterDesign, params: &RuntimeParams) -> Transpor
                     std::mem::forget(_dead_tx);
                     let (grant_tx, _dead_rx) = bounded(1);
                     std::mem::forget(_dead_rx);
-                    slot.recv =
-                        Some(RecvRes { dtype: op.dtype, from_ckr: data_rx, grant_tx });
+                    slot.recv = Some(RecvRes {
+                        dtype: op.dtype,
+                        from_ckr: data_rx,
+                        grant_tx,
+                    });
                 }
             }
             _ => {
@@ -316,5 +341,8 @@ fn build_single_rank(design: &ClusterDesign, params: &RuntimeParams) -> Transpor
             }
         }
     }
-    TransportHandle { tables: vec![table], threads: Vec::new() }
+    TransportHandle {
+        tables: vec![table],
+        threads: Vec::new(),
+    }
 }

@@ -1,12 +1,18 @@
 //! End-to-end tests of the thread-based SMI runtime: real data over real
 //! routed transport threads.
 
-use smi::prelude::*;
 use smi::env::SmiCtx;
+use smi::prelude::*;
 
 type Prog<T> = Box<dyn FnOnce(SmiCtx) -> T + Send>;
 
-fn send_recv_pair(topo: &Topology, src: usize, dst: usize, n: u64, params: RuntimeParams) -> Vec<i32> {
+fn send_recv_pair(
+    topo: &Topology,
+    src: usize,
+    dst: usize,
+    n: u64,
+    params: RuntimeParams,
+) -> Vec<i32> {
     let metas: Vec<ProgramMeta> = (0..topo.num_ranks())
         .map(|r| {
             let mut m = ProgramMeta::new();
@@ -108,7 +114,10 @@ fn intra_rank_channel() {
         Box::new(|_| 0.0),
     ];
     let report = run_mpmd(&topo, metas, programs, RuntimeParams::default()).unwrap();
-    assert_eq!(report.results[0], (0..10).map(|i| i as f64 * 0.5).sum::<f64>());
+    assert_eq!(
+        report.results[0],
+        (0..10).map(|i| i as f64 * 0.5).sum::<f64>()
+    );
 }
 
 #[test]
@@ -214,7 +223,9 @@ fn sequential_transient_channels_reuse_port() {
         }),
     ];
     let report = run_mpmd(&topo, metas, programs, RuntimeParams::default()).unwrap();
-    let want: Vec<i32> = (0..3).flat_map(|r| (0..5).map(move |i| r * 100 + i)).collect();
+    let want: Vec<i32> = (0..3)
+        .flat_map(|r| (0..5).map(move |i| r * 100 + i))
+        .collect();
     assert_eq!(report.results[1], want);
 }
 
@@ -252,10 +263,7 @@ fn open_errors() {
             drop(_c);
             let mut c = ctx.open_send_channel::<i32>(1, 1, 0).unwrap();
             c.push(&42).unwrap();
-            assert!(matches!(
-                c.push(&43),
-                Err(SmiError::CountExceeded { .. })
-            ));
+            assert!(matches!(c.push(&43), Err(SmiError::CountExceeded { .. })));
         }),
         Box::new(|ctx| {
             let mut ch = ctx.open_recv_channel::<i32>(1, 0, 0).unwrap();
@@ -280,7 +288,11 @@ fn bcast_spmd_all_roots() {
                 let mut chan = ctx.open_bcast_channel::<f32>(50, 0, root, &comm).unwrap();
                 let mut got = Vec::new();
                 for i in 0..50 {
-                    let mut v = if comm.rank() == root { (i * i) as f32 } else { -1.0 };
+                    let mut v = if comm.rank() == root {
+                        (i * i) as f32
+                    } else {
+                        -1.0
+                    };
                     chan.bcast(&mut v).unwrap();
                     got.push(v);
                 }
@@ -343,8 +355,10 @@ fn reduce_add_and_minmax() {
 fn reduce_small_credit_window_multiple_tiles() {
     let topo = Topology::torus2d(2, 2);
     let meta = ProgramMeta::new().with(OpSpec::reduce(0, Datatype::Float, ReduceOp::Add));
-    let mut params = RuntimeParams::default();
-    params.reduce_credits = 8; // force many credit round trips
+    let params = RuntimeParams {
+        reduce_credits: 8, // force many credit round trips
+        ..Default::default()
+    };
     let n = 100u64;
     let report = run_spmd(
         &topo,
@@ -378,13 +392,17 @@ fn scatter_slices() {
         move |ctx: SmiCtx| {
             let comm = ctx.world();
             let root = 2;
-            let mut chan = ctx.open_scatter_channel::<i32>(count, 0, root, &comm).unwrap();
+            let mut chan = ctx
+                .open_scatter_channel::<i32>(count, 0, root, &comm)
+                .unwrap();
             if comm.rank() == root {
                 for i in 0..count * 4 {
                     chan.push(&(i as i32 * 2)).unwrap();
                 }
             }
-            (0..count).map(|_| chan.pop().unwrap()).collect::<Vec<i32>>()
+            (0..count)
+                .map(|_| chan.pop().unwrap())
+                .collect::<Vec<i32>>()
         },
         RuntimeParams::default(),
     )
@@ -408,12 +426,16 @@ fn gather_ordered() {
             let comm = ctx.world();
             let root = 1;
             let rank = comm.rank() as i32;
-            let mut chan = ctx.open_gather_channel::<i32>(count, 0, root, &comm).unwrap();
+            let mut chan = ctx
+                .open_gather_channel::<i32>(count, 0, root, &comm)
+                .unwrap();
             for i in 0..count as i32 {
                 chan.push(&(rank * 100 + i)).unwrap();
             }
             if comm.rank() == root {
-                (0..count * 4).map(|_| chan.pop().unwrap()).collect::<Vec<i32>>()
+                (0..count * 4)
+                    .map(|_| chan.pop().unwrap())
+                    .collect::<Vec<i32>>()
             } else {
                 Vec::new()
             }
@@ -421,8 +443,9 @@ fn gather_ordered() {
         RuntimeParams::default(),
     )
     .unwrap();
-    let want: Vec<i32> =
-        (0..4).flat_map(|r| (0..count as i32).map(move |i| r * 100 + i)).collect();
+    let want: Vec<i32> = (0..4)
+        .flat_map(|r| (0..count as i32).map(move |i| r * 100 + i))
+        .collect();
     assert_eq!(report.results[1], want);
 }
 
@@ -441,7 +464,11 @@ fn collectives_on_sub_communicator() {
             let mut chan = ctx.open_bcast_channel::<i32>(10, 0, 0, &sub).unwrap();
             let mut got = Vec::new();
             for i in 0..10 {
-                let mut v = if sub.rank() == 0 { color as i32 * 1000 + i } else { 0 };
+                let mut v = if sub.rank() == 0 {
+                    color as i32 * 1000 + i
+                } else {
+                    0
+                };
                 chan.bcast(&mut v).unwrap();
                 got.push(v);
             }
@@ -474,8 +501,12 @@ fn two_parallel_collectives_on_distinct_ports() {
         meta,
         move |ctx: SmiCtx| {
             let comm = ctx.world();
-            let mut a = ctx.open_bcast_channel::<i32>(n as u64, 0, 0, &comm).unwrap();
-            let mut b = ctx.open_bcast_channel::<i32>(n as u64, 1, 3, &comm).unwrap();
+            let mut a = ctx
+                .open_bcast_channel::<i32>(n as u64, 0, 0, &comm)
+                .unwrap();
+            let mut b = ctx
+                .open_bcast_channel::<i32>(n as u64, 1, 3, &comm)
+                .unwrap();
             let mut out = (0i64, 0i64);
             let chunk = Datatype::Int.elems_per_packet() as i32;
             for c in 0..n / chunk {
@@ -537,16 +568,25 @@ fn zero_count_channels_are_noops() {
     let programs: Vec<Prog<bool>> = vec![
         Box::new(|ctx| {
             let mut ch = ctx.open_send_channel::<i32>(0, 1, 0).unwrap();
-            assert!(matches!(ch.push(&1), Err(SmiError::CountExceeded { count: 0 })));
+            assert!(matches!(
+                ch.push(&1),
+                Err(SmiError::CountExceeded { count: 0 })
+            ));
             let comm = ctx.world();
             let mut b = ctx.open_bcast_channel::<f32>(0, 1, 0, &comm).unwrap();
             let mut v = 0.0;
-            assert!(matches!(b.bcast(&mut v), Err(SmiError::CountExceeded { .. })));
+            assert!(matches!(
+                b.bcast(&mut v),
+                Err(SmiError::CountExceeded { .. })
+            ));
             true
         }),
         Box::new(|ctx| {
             let mut ch = ctx.open_recv_channel::<i32>(0, 0, 0).unwrap();
-            assert!(matches!(ch.pop(), Err(SmiError::CountExceeded { count: 0 })));
+            assert!(matches!(
+                ch.pop(),
+                Err(SmiError::CountExceeded { count: 0 })
+            ));
             let comm = ctx.world();
             let _b = ctx.open_bcast_channel::<f32>(0, 1, 0, &comm).unwrap();
             true

@@ -197,8 +197,26 @@ mod tests {
         let ab = e.fifos_mut().add("a->b", 4);
         let ba = e.fifos_mut().add("b->a", 4);
         let iters = 50;
-        e.add(PingPongInitiator::new("init", ab, ba, Datatype::Int, 0, 1, 0, iters));
-        e.add(PingPongResponder::new("resp", ba, ab, Datatype::Int, 1, 0, 0, iters));
+        e.add(PingPongInitiator::new(
+            "init",
+            ab,
+            ba,
+            Datatype::Int,
+            0,
+            1,
+            0,
+            iters,
+        ));
+        e.add(PingPongResponder::new(
+            "resp",
+            ba,
+            ab,
+            Datatype::Int,
+            1,
+            0,
+            0,
+            iters,
+        ));
         let report = e.run(100_000).unwrap();
         // Each round: push (1 cycle visibility) + pop + push + pop ≈ 4 cycles.
         let per_round = report.cycles as f64 / iters as f64;

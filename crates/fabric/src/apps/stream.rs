@@ -83,8 +83,10 @@ impl StreamSource {
         probe: ProbeHandle,
     ) -> Self {
         let epp = dtype.elems_per_packet() as u32;
-        assert!(elems_per_cycle >= 1 && elems_per_cycle <= epp,
-            "elems_per_cycle must be in 1..={epp}");
+        assert!(
+            elems_per_cycle >= 1 && elems_per_cycle <= epp,
+            "elems_per_cycle must be in 1..={epp}"
+        );
         StreamSource {
             name: name.into(),
             out,
@@ -159,7 +161,10 @@ impl Component for StreamSource {
         }
         if self.generated == self.total {
             if let Some(pkt) = self.framer.flush() {
-                assert!(self.pending.is_none(), "tail flush collides with full packet");
+                assert!(
+                    self.pending.is_none(),
+                    "tail flush collides with full packet"
+                );
                 self.pending = Some(pkt);
             }
         }
@@ -284,7 +289,17 @@ mod tests {
         let f = e.fifos_mut().add("direct", 8);
         let sp = new_probe();
         let rp = new_probe();
-        e.add(StreamSource::new("src", f, Datatype::Float, 0, 1, 0, 100, 7, sp.clone()));
+        e.add(StreamSource::new(
+            "src",
+            f,
+            Datatype::Float,
+            0,
+            1,
+            0,
+            100,
+            7,
+            sp.clone(),
+        ));
         e.add(StreamSink::new("snk", f, Datatype::Float, 100, rp.clone()));
         e.run(10_000).unwrap();
         assert_eq!(rp.borrow().elements, 100);
@@ -298,7 +313,17 @@ mod tests {
         let mut e = Engine::new();
         let f = e.fifos_mut().add("direct", 8);
         let rp = new_probe();
-        e.add(StreamSource::new("src", f, Datatype::Float, 0, 1, 0, 700, 7, new_probe()));
+        e.add(StreamSource::new(
+            "src",
+            f,
+            Datatype::Float,
+            0,
+            1,
+            0,
+            700,
+            7,
+            new_probe(),
+        ));
         e.add(StreamSink::new("snk", f, Datatype::Float, 700, rp.clone()));
         let report = e.run(10_000).unwrap();
         assert!(report.cycles < 130, "cycles = {}", report.cycles);
@@ -311,7 +336,17 @@ mod tests {
         let mut e = Engine::new();
         let f = e.fifos_mut().add("direct", 8);
         let rp = new_probe();
-        e.add(StreamSource::new("src", f, Datatype::Float, 0, 1, 0, 70, 1, new_probe()));
+        e.add(StreamSource::new(
+            "src",
+            f,
+            Datatype::Float,
+            0,
+            1,
+            0,
+            70,
+            1,
+            new_probe(),
+        ));
         e.add(StreamSink::new("snk", f, Datatype::Float, 70, rp.clone()));
         let report = e.run(10_000).unwrap();
         assert!(report.cycles >= 70, "cycles = {}", report.cycles);
@@ -339,7 +374,17 @@ mod tests {
         let mut e = Engine::new();
         let f = e.fifos_mut().add("direct", 8);
         let rp = new_probe();
-        e.add(StreamSource::new("src", f, Datatype::Double, 0, 1, 0, 7, 3, new_probe()));
+        e.add(StreamSource::new(
+            "src",
+            f,
+            Datatype::Double,
+            0,
+            1,
+            0,
+            7,
+            3,
+            new_probe(),
+        ));
         e.add(StreamSink::new("snk", f, Datatype::Double, 7, rp.clone()));
         e.run(10_000).unwrap();
         // 7 doubles = 2 full packets (3+3) + tail (1).

@@ -15,10 +15,10 @@ use crate::apps::data;
 use crate::apps::pingpong::{PingPongInitiator, PingPongResponder};
 use crate::apps::stream::{new_probe, StreamSink, StreamSource};
 use crate::builder::FabricBuilder;
+use crate::collective::tree::{TreeBcastSupport, TreeReduceSupport};
 use crate::collective::{
     BcastSupport, CollectiveComm, GatherSupport, ReduceSupport, ScatterSupport,
 };
-use crate::collective::tree::{TreeBcastSupport, TreeReduceSupport};
 use crate::engine::SimError;
 use crate::params::FabricParams;
 
@@ -70,17 +70,15 @@ pub fn p2p_stream(
     let recv_probe = new_probe();
     let width = dtype.elems_per_packet() as u32;
     b.add_component(StreamSource::new(
-        "source",
-        out,
-        dtype,
-        src as u8,
-        dst as u8,
-        0,
-        count,
-        width,
-        send_probe,
+        "source", out, dtype, src as u8, dst as u8, 0, count, width, send_probe,
     ));
-    b.add_component(StreamSink::new("sink", input, dtype, count, recv_probe.clone()));
+    b.add_component(StreamSink::new(
+        "sink",
+        input,
+        dtype,
+        count,
+        recv_probe.clone(),
+    ));
     let mut fabric = b.finalize();
     let budget = 10_000 + (count / dtype.elems_per_packet() as u64) * 4 + 4_000 * hops as u64;
     let report = fabric.run(budget.max(1_000_000))?;
@@ -137,10 +135,24 @@ pub fn pingpong(
     let b_out = builder.register_send(b_rank, 1);
     let a_in = builder.register_recv(a, 1);
     builder.add_component(PingPongInitiator::new(
-        "initiator", a_out, a_in, dtype, a as u8, b_rank as u8, 0, iters,
+        "initiator",
+        a_out,
+        a_in,
+        dtype,
+        a as u8,
+        b_rank as u8,
+        0,
+        iters,
     ));
     builder.add_component(PingPongResponder::new(
-        "responder", b_out, b_in, dtype, b_rank as u8, a as u8, 1, iters,
+        "responder",
+        b_out,
+        b_in,
+        dtype,
+        b_rank as u8,
+        a as u8,
+        1,
+        iters,
     ));
     let mut fabric = builder.finalize();
     let budget = (iters as u64) * (params.link_latency_cycles + 100) * (2 * hops as u64 + 2);
@@ -262,7 +274,13 @@ pub fn collective(
     let meta = ProgramMeta::new().with(op_spec);
     let design = ClusterDesign::spmd(&meta, topo).expect("valid design");
     let mut b = FabricBuilder::new(topo.clone(), plan, design, params.clone());
-    let comm = CollectiveComm { ranks: (0..n).collect(), root, port: 0, dtype, count };
+    let comm = CollectiveComm {
+        ranks: (0..n).collect(),
+        root,
+        port: 0,
+        dtype,
+        count,
+    };
     let width = dtype.elems_per_packet() as u32;
     let probe = new_probe();
     let sz = dtype.size_bytes();
@@ -408,8 +426,9 @@ pub fn collective(
     }
     let mut fabric = b.finalize();
     let packets = dtype.packets_for(count as usize) as u64 + 1;
-    let budget =
-        1_000_000 + packets * (n as u64 + 2) * 8 + (count / params.reduce_credits as u64 + 2) * 8_000;
+    let budget = 1_000_000
+        + packets * (n as u64 + 2) * 8
+        + (count / params.reduce_credits as u64 + 2) * 8_000;
     let report = fabric.run(budget)?;
     let errors = probe.borrow().errors;
     Ok(CollectiveResult {
@@ -460,15 +479,39 @@ pub fn two_flow_interference(
     let short_probe = new_probe();
     let width = dtype.elems_per_packet() as u32;
     b.add_component(StreamSource::new(
-        "long", long_out, dtype, 0, 1, 0, long_elems, width, new_probe(),
+        "long",
+        long_out,
+        dtype,
+        0,
+        1,
+        0,
+        long_elems,
+        width,
+        new_probe(),
     ));
     // The short message starts after the long stream is established, so a
     // circuit-switched CKS has already granted the long flow.
     b.add_component(
-        StreamSource::new("short", short_out, dtype, 0, 1, 1, short_elems, width, new_probe())
-            .with_start_delay(100),
+        StreamSource::new(
+            "short",
+            short_out,
+            dtype,
+            0,
+            1,
+            1,
+            short_elems,
+            width,
+            new_probe(),
+        )
+        .with_start_delay(100),
     );
-    b.add_component(StreamSink::new("long_sink", long_in, dtype, long_elems, new_probe()));
+    b.add_component(StreamSink::new(
+        "long_sink",
+        long_in,
+        dtype,
+        long_elems,
+        new_probe(),
+    ));
     b.add_component(StreamSink::new(
         "short_sink",
         short_in,
@@ -479,7 +522,10 @@ pub fn two_flow_interference(
     let mut fabric = b.finalize();
     let budget = (long_elems + short_elems) * 8 + 1_000_000;
     let report = fabric.run(budget)?;
-    let short_done = short_probe.borrow().last_cycle.expect("short flow finished");
+    let short_done = short_probe
+        .borrow()
+        .last_cycle
+        .expect("short flow finished");
     Ok(InterferenceResult {
         short_completion_cycles: short_done,
         total_cycles: report.cycles,
@@ -511,12 +557,23 @@ pub fn bcast_subset(
         .collect();
     let design = ClusterDesign::mpmd(&metas, topo).expect("design");
     let mut b = FabricBuilder::new(topo.clone(), plan, design, params.clone());
-    let comm = CollectiveComm { ranks: members.clone(), root, port: 0, dtype, count };
+    let comm = CollectiveComm {
+        ranks: members.clone(),
+        root,
+        port: 0,
+        dtype,
+        count,
+    };
     let probe = new_probe();
     let width = dtype.elems_per_packet() as u32;
     for &rank in &members {
         let w = b.register_collective(rank, 0, OpKind::Bcast);
-        b.add_component(BcastSupport::new(format!("bcast.r{rank}"), comm.clone(), rank, w));
+        b.add_component(BcastSupport::new(
+            format!("bcast.r{rank}"),
+            comm.clone(),
+            rank,
+            w,
+        ));
         if rank == root {
             b.add_component(CollectiveProducer::new(
                 format!("prod.r{rank}"),
@@ -608,11 +665,19 @@ mod tests {
         let mut p = params();
         p.poll_persistence = 1;
         let r = injection_rate(&p, 5_000).unwrap();
-        assert!((4.8..5.4).contains(&r.cycles_per_packet), "got {}", r.cycles_per_packet);
+        assert!(
+            (4.8..5.4).contains(&r.cycles_per_packet),
+            "got {}",
+            r.cycles_per_packet
+        );
         // R=8: (8 + 4) / 8 = 1.5 cycles.
         p.poll_persistence = 8;
         let r = injection_rate(&p, 5_000).unwrap();
-        assert!((1.4..1.8).contains(&r.cycles_per_packet), "got {}", r.cycles_per_packet);
+        assert!(
+            (1.4..1.8).contains(&r.cycles_per_packet),
+            "got {}",
+            r.cycles_per_packet
+        );
     }
 
     #[test]

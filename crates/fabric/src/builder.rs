@@ -89,7 +89,11 @@ impl FabricBuilder {
         params: FabricParams,
     ) -> FabricBuilder {
         assert_eq!(plan.num_ranks(), topo.num_ranks(), "plan/topology mismatch");
-        assert_eq!(design.per_rank.len(), topo.num_ranks(), "design/topology mismatch");
+        assert_eq!(
+            design.per_rank.len(),
+            topo.num_ranks(),
+            "design/topology mismatch"
+        );
         let mut engine = Engine::new();
         let n = topo.num_ranks();
         let depth = params.ck_fifo_depth;
@@ -101,7 +105,8 @@ impl FabricBuilder {
                 "rank {r} has no network ports"
             );
             assert_eq!(
-                ck_qsfps, design.rank(r).ck_qsfps,
+                ck_qsfps,
+                design.rank(r).ck_qsfps,
                 "design CK pairs must match topology at rank {r}"
             );
             let pairs = ck_qsfps.len();
@@ -110,26 +115,28 @@ impl FabricBuilder {
                 pair_of_qsfp[q] = Some(i);
             }
             let fifos = engine.fifos_mut();
-            let cks_to_ckr =
-                (0..pairs).map(|p| fifos.add(format!("r{r}.cks{p}->ckr{p}"), depth)).collect();
-            let ckr_to_cks =
-                (0..pairs).map(|p| fifos.add(format!("r{r}.ckr{p}->cks{p}"), depth)).collect();
+            let cks_to_ckr = (0..pairs)
+                .map(|p| fifos.add(format!("r{r}.cks{p}->ckr{p}"), depth))
+                .collect();
+            let ckr_to_cks = (0..pairs)
+                .map(|p| fifos.add(format!("r{r}.ckr{p}->cks{p}"), depth))
+                .collect();
             let mut cks_to_cks = vec![vec![None; pairs]; pairs];
             let mut ckr_to_ckr = vec![vec![None; pairs]; pairs];
             for i in 0..pairs {
                 for j in 0..pairs {
                     if i != j {
-                        cks_to_cks[i][j] =
-                            Some(fifos.add(format!("r{r}.cks{i}->cks{j}"), depth));
-                        ckr_to_ckr[i][j] =
-                            Some(fifos.add(format!("r{r}.ckr{i}->ckr{j}"), depth));
+                        cks_to_cks[i][j] = Some(fifos.add(format!("r{r}.cks{i}->cks{j}"), depth));
+                        ckr_to_ckr[i][j] = Some(fifos.add(format!("r{r}.ckr{i}->ckr{j}"), depth));
                     }
                 }
             }
-            let net_out =
-                (0..pairs).map(|p| fifos.add(format!("r{r}.cks{p}->net"), depth)).collect();
-            let net_in =
-                (0..pairs).map(|p| fifos.add(format!("r{r}.net->ckr{p}"), depth)).collect();
+            let net_out = (0..pairs)
+                .map(|p| fifos.add(format!("r{r}.cks{p}->net"), depth))
+                .collect();
+            let net_in = (0..pairs)
+                .map(|p| fifos.add(format!("r{r}.net->ckr{p}"), depth))
+                .collect();
             ranks.push(RankWiring {
                 ck_qsfps,
                 pair_of_qsfp,
@@ -150,8 +157,7 @@ impl FabricBuilder {
                 let id = links.len();
                 let in_fifo =
                     ranks[from.rank].net_out[ranks[from.rank].pair_of_qsfp[from.qsfp].unwrap()];
-                let out_fifo =
-                    ranks[to.rank].net_in[ranks[to.rank].pair_of_qsfp[to.qsfp].unwrap()];
+                let out_fifo = ranks[to.rank].net_in[ranks[to.rank].pair_of_qsfp[to.qsfp].unwrap()];
                 links.push((id, format!("link.{from}->{to}"), in_fifo, out_fifo));
             }
         }
@@ -211,7 +217,10 @@ impl FabricBuilder {
         let prev = self.ranks[rank]
             .port_delivery
             .insert(port, (binding.ck_pair, fifo));
-        assert!(prev.is_none(), "port {port} already delivers at rank {rank}");
+        assert!(
+            prev.is_none(),
+            "port {port} already delivers at rank {rank}"
+        );
         fifo
     }
 
@@ -219,7 +228,10 @@ impl FabricBuilder {
     /// support kernel needs and wires its network side into the bound CK
     /// pair.
     pub fn register_collective(&mut self, rank: usize, port: usize, kind: OpKind) -> SupportWiring {
-        assert!(kind.is_collective(), "use register_send/register_recv for p2p");
+        assert!(
+            kind.is_collective(),
+            "use register_send/register_recv for p2p"
+        );
         let binding = *self
             .design
             .rank(rank)
@@ -235,12 +247,24 @@ impl FabricBuilder {
         let prev = self.ranks[rank]
             .port_delivery
             .insert(port, (binding.ck_pair, from_ckr));
-        assert!(prev.is_none(), "port {port} already delivers at rank {rank}");
-        SupportWiring { to_cks, from_ckr, app_in, app_out }
+        assert!(
+            prev.is_none(),
+            "port {port} already delivers at rank {rank}"
+        );
+        SupportWiring {
+            to_cks,
+            from_ckr,
+            app_in,
+            app_out,
+        }
     }
 
     /// Create a DRAM bandwidth pool for a rank's memory system.
-    pub fn add_dram_pool(&mut self, name: impl Into<String>, elems_per_cycle: f64) -> DramPoolHandle {
+    pub fn add_dram_pool(
+        &mut self,
+        name: impl Into<String>,
+        elems_per_cycle: f64,
+    ) -> DramPoolHandle {
         let handle = DramPool::new_handle(elems_per_cycle);
         self.dram_pools.push((name.into(), handle.clone()));
         handle
@@ -284,8 +308,7 @@ impl FabricBuilder {
                     .map(|dst| match self.plan.next_hop(r, dst) {
                         NextHop::Local => CksTarget::PairedCkr,
                         NextHop::Via(q) => {
-                            let target_pair =
-                                w.pair_of_qsfp[q].expect("route uses connected port");
+                            let target_pair = w.pair_of_qsfp[q].expect("route uses connected port");
                             if target_pair == p {
                                 CksTarget::Net
                             } else {
@@ -359,7 +382,11 @@ impl FabricBuilder {
                 self.stats.clone(),
             ));
         }
-        Fabric { engine: self.engine, stats: self.stats, params: self.params }
+        Fabric {
+            engine: self.engine,
+            stats: self.stats,
+            params: self.params,
+        }
     }
 }
 

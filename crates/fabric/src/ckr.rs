@@ -148,8 +148,8 @@ mod tests {
         e.fifos_mut().push(net_in, mk(2, 0)); // local, port 0 -> app
         e.fifos_mut().push(net_in, mk(5, 0)); // transit -> to_cks
         e.fifos_mut().push(net_in, mk(2, 9)); // unknown port -> dropped
-        // Step a handful of cycles manually (no terminal components, so
-        // run()'s completion logic does not apply).
+                                              // Step a handful of cycles manually (no terminal components, so
+                                              // run()'s completion logic does not apply).
         for _ in 0..10 {
             e.step();
         }

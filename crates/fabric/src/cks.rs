@@ -30,7 +30,11 @@ impl Arbiter {
     /// New arbiter with polling persistence `R >= 1`.
     pub fn new(persistence: u32) -> Arbiter {
         assert!(persistence >= 1, "polling persistence must be >= 1");
-        Arbiter { current: 0, streak: 0, persistence }
+        Arbiter {
+            current: 0,
+            streak: 0,
+            persistence,
+        }
     }
 
     /// The input to examine this cycle.

@@ -18,8 +18,14 @@ use crate::engine::{Component, Status};
 use crate::fifo::FifoPool;
 
 enum RootState {
-    CollectSyncs { got: u64 },
-    Stream { elems_sent: u64, pkt: Option<NetworkPacket>, fanout_idx: usize },
+    CollectSyncs {
+        got: u64,
+    },
+    Stream {
+        elems_sent: u64,
+        pkt: Option<NetworkPacket>,
+        fanout_idx: usize,
+    },
     Done,
 }
 
@@ -63,7 +69,13 @@ impl BcastSupport {
         } else {
             Role::Leaf(LeafState::SendSync)
         };
-        BcastSupport { name: name.into(), comm, my_rank, w: wiring, role }
+        BcastSupport {
+            name: name.into(),
+            comm,
+            my_rank,
+            w: wiring,
+            role,
+        }
     }
 }
 
@@ -92,7 +104,11 @@ impl Component for BcastSupport {
                         Status::Idle
                     }
                 }
-                RootState::Stream { elems_sent, pkt, fanout_idx } => {
+                RootState::Stream {
+                    elems_sent,
+                    pkt,
+                    fanout_idx,
+                } => {
                     if pkt.is_none() {
                         if !fifos.can_pop(self.w.app_in) {
                             return Status::Idle;
@@ -129,7 +145,8 @@ impl Component for BcastSupport {
                 LeafState::SendSync => {
                     if fifos.can_push(self.w.to_cks) {
                         let sync =
-                            self.comm.control(self.my_rank, self.comm.root, PacketOp::Sync, 0);
+                            self.comm
+                                .control(self.my_rank, self.comm.root, PacketOp::Sync, 0);
                         fifos.push(self.w.to_cks, sync);
                         *state = LeafState::Recv { elems: 0 };
                         Status::Active

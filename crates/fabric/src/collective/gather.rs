@@ -63,11 +63,20 @@ impl GatherSupport {
         let role = if comm.count == 0 {
             Role::Finished
         } else if my_rank == comm.root {
-            Role::Root(RootState { cur: 0, phase: RootPhase::Grant })
+            Role::Root(RootState {
+                cur: 0,
+                phase: RootPhase::Grant,
+            })
         } else {
             Role::Leaf(LeafState::WaitGrant)
         };
-        GatherSupport { name: name.into(), comm, my_rank, w: wiring, role }
+        GatherSupport {
+            name: name.into(),
+            comm,
+            my_rank,
+            w: wiring,
+            role,
+        }
     }
 }
 
@@ -91,8 +100,7 @@ impl Component for GatherSupport {
                             return Status::Active;
                         }
                         if fifos.can_push(self.w.to_cks) {
-                            let sync =
-                                self.comm.control(self.my_rank, src_rank, PacketOp::Sync, 0);
+                            let sync = self.comm.control(self.my_rank, src_rank, PacketOp::Sync, 0);
                             fifos.push(self.w.to_cks, sync);
                             st.phase = RootPhase::Collect { elems: 0 };
                             Status::Active

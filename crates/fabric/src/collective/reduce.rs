@@ -115,7 +115,15 @@ impl ReduceSupport {
                 pending: None,
             })
         };
-        ReduceSupport { name: name.into(), comm, op, credits, my_rank, w: wiring, role }
+        ReduceSupport {
+            name: name.into(),
+            comm,
+            op,
+            credits,
+            my_rank,
+            w: wiring,
+            role,
+        }
     }
 }
 
@@ -286,7 +294,11 @@ impl Component for ReduceSupport {
                 if st.credits == 0 {
                     if fifos.can_pop(self.w.from_ckr) {
                         let pkt = fifos.pop(self.w.from_ckr);
-                        assert_eq!(pkt.header.op, PacketOp::Credit, "reduce leaf expects credits");
+                        assert_eq!(
+                            pkt.header.op,
+                            PacketOp::Credit,
+                            "reduce leaf expects credits"
+                        );
                         st.credits += pkt.control_arg() as u64;
                         return Status::Active;
                     }

@@ -74,9 +74,14 @@ impl ScatterSupport {
         } else {
             Role::Leaf(LeafState::SendSync)
         };
-        ScatterSupport { name: name.into(), comm, my_rank, w: wiring, role }
+        ScatterSupport {
+            name: name.into(),
+            comm,
+            my_rank,
+            w: wiring,
+            role,
+        }
     }
-
 }
 
 impl Component for ScatterSupport {
@@ -181,7 +186,8 @@ impl Component for ScatterSupport {
                 LeafState::SendSync => {
                     if fifos.can_push(self.w.to_cks) {
                         let sync =
-                            self.comm.control(self.my_rank, self.comm.root, PacketOp::Sync, 0);
+                            self.comm
+                                .control(self.my_rank, self.comm.root, PacketOp::Sync, 0);
                         fifos.push(self.w.to_cks, sync);
                         *state = LeafState::Recv { elems: 0 };
                         Status::Active
@@ -192,7 +198,11 @@ impl Component for ScatterSupport {
                 LeafState::Recv { elems } => {
                     if fifos.can_pop(self.w.from_ckr) && fifos.can_push(self.w.app_out) {
                         let pkt = fifos.pop(self.w.from_ckr);
-                        assert_eq!(pkt.header.op, PacketOp::Scatter, "scatter leaf expects data");
+                        assert_eq!(
+                            pkt.header.op,
+                            PacketOp::Scatter,
+                            "scatter leaf expects data"
+                        );
                         *elems += pkt.header.count as u64;
                         fifos.push(self.w.app_out, pkt);
                         if *elems >= self.comm.count {

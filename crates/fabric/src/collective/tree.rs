@@ -70,11 +70,18 @@ enum Phase {
     /// to the parent: a node's readiness means its whole subtree is ready,
     /// otherwise parent data could arrive interleaved with child syncs on
     /// the same port.
-    CollectSyncs { got: usize },
+    CollectSyncs {
+        got: usize,
+    },
     /// Non-root: announce subtree readiness to the parent.
     SendSync,
     /// Stream: pull packets (from parent or the root's app) and fan out.
-    Stream { elems: u64, pkt: Option<NetworkPacket>, fanout_idx: usize, delivered_local: bool },
+    Stream {
+        elems: u64,
+        pkt: Option<NetworkPacket>,
+        fanout_idx: usize,
+        delivered_local: bool,
+    },
     Done,
 }
 
@@ -108,14 +115,27 @@ impl TreeBcastSupport {
         } else if children.is_empty() {
             // Leaf: nothing to collect; root-leaf degenerates to streaming.
             if is_root {
-                Phase::Stream { elems: 0, pkt: None, fanout_idx: 0, delivered_local: false }
+                Phase::Stream {
+                    elems: 0,
+                    pkt: None,
+                    fanout_idx: 0,
+                    delivered_local: false,
+                }
             } else {
                 Phase::SendSync
             }
         } else {
             Phase::CollectSyncs { got: 0 }
         };
-        TreeBcastSupport { name: name.into(), comm, my_rank, w: wiring, children, is_root, phase }
+        TreeBcastSupport {
+            name: name.into(),
+            comm,
+            my_rank,
+            w: wiring,
+            children,
+            is_root,
+            phase,
+        }
     }
 }
 
@@ -133,8 +153,12 @@ impl Component for TreeBcastSupport {
                 if fifos.can_push(self.w.to_cks) {
                     let sync = self.comm.control(self.my_rank, parent, PacketOp::Sync, 0);
                     fifos.push(self.w.to_cks, sync);
-                    self.phase =
-                        Phase::Stream { elems: 0, pkt: None, fanout_idx: 0, delivered_local: false };
+                    self.phase = Phase::Stream {
+                        elems: 0,
+                        pkt: None,
+                        fanout_idx: 0,
+                        delivered_local: false,
+                    };
                     Status::Active
                 } else {
                     Status::Idle
@@ -162,9 +186,18 @@ impl Component for TreeBcastSupport {
                     Status::Idle
                 }
             }
-            Phase::Stream { elems, pkt, fanout_idx, delivered_local } => {
+            Phase::Stream {
+                elems,
+                pkt,
+                fanout_idx,
+                delivered_local,
+            } => {
                 if pkt.is_none() {
-                    let input = if self.is_root { self.w.app_in } else { self.w.from_ckr };
+                    let input = if self.is_root {
+                        self.w.app_in
+                    } else {
+                        self.w.from_ckr
+                    };
                     if !fifos.can_pop(input) {
                         return Status::Idle;
                     }
@@ -321,7 +354,10 @@ impl Component for TreeReduceSupport {
 
     fn tick(&mut self, _cycle: u64, fifos: &mut FifoPool) -> Status {
         let sz = self.comm.dtype.size_bytes();
-        if self.done == self.comm.count && self.pending.is_none() && !self.emitting && !self.crediting
+        if self.done == self.comm.count
+            && self.pending.is_none()
+            && !self.emitting
+            && !self.crediting
         {
             return Status::Done;
         }
@@ -494,8 +530,11 @@ impl TreeReduceSupport {
         assert!(at + k <= self.tile_size, "child violated credit window");
         let lo = at as usize * sz;
         let hi = (at + k) as usize * sz;
-        self.op
-            .fold_bytes(self.comm.dtype, &mut self.tile[lo..hi], &pkt.payload[..k as usize * sz]);
+        self.op.fold_bytes(
+            self.comm.dtype,
+            &mut self.tile[lo..hi],
+            &pkt.payload[..k as usize * sz],
+        );
         self.progress[idx] += k;
     }
 }

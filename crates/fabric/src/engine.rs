@@ -60,7 +60,11 @@ pub enum SimError {
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::Deadlock { cycle, stuck, fifo_report } => {
+            SimError::Deadlock {
+                cycle,
+                stuck,
+                fifo_report,
+            } => {
                 write!(
                     f,
                     "deadlock at cycle {cycle}: stuck components {stuck:?}; non-empty FIFOs {fifo_report:?}"
@@ -98,7 +102,11 @@ impl Default for Engine {
 impl Engine {
     /// An empty engine.
     pub fn new() -> Engine {
-        Engine { fifos: FifoPool::new(), components: Vec::new(), cycle: 0 }
+        Engine {
+            fifos: FifoPool::new(),
+            components: Vec::new(),
+            cycle: 0,
+        }
     }
 
     /// Access the FIFO arena (wiring phase).
@@ -282,11 +290,23 @@ mod tests {
     fn producer_consumer_completes() {
         let mut e = Engine::new();
         let f = e.fifos_mut().add("pc", 4);
-        e.add(Producer { out: f, remaining: 100 });
-        e.add(Consumer { input: f, expected: 100, got: 0, enabled: true });
+        e.add(Producer {
+            out: f,
+            remaining: 100,
+        });
+        e.add(Consumer {
+            input: f,
+            expected: 100,
+            got: 0,
+            enabled: true,
+        });
         let report = e.run(10_000).unwrap();
         // 100 packets, 1/cycle, pipelined: ~102 cycles.
-        assert!(report.cycles >= 100 && report.cycles < 120, "cycles = {}", report.cycles);
+        assert!(
+            report.cycles >= 100 && report.cycles < 120,
+            "cycles = {}",
+            report.cycles
+        );
     }
 
     #[test]
@@ -294,8 +314,16 @@ mod tests {
         // Tiny FIFO: producer must stall; still completes.
         let mut e = Engine::new();
         let f = e.fifos_mut().add("pc", 1);
-        e.add(Producer { out: f, remaining: 50 });
-        e.add(Consumer { input: f, expected: 50, got: 0, enabled: true });
+        e.add(Producer {
+            out: f,
+            remaining: 50,
+        });
+        e.add(Consumer {
+            input: f,
+            expected: 50,
+            got: 0,
+            enabled: true,
+        });
         let report = e.run(10_000).unwrap();
         assert!(report.cycles >= 50);
     }
@@ -304,10 +332,20 @@ mod tests {
     fn deadlock_detected() {
         let mut e = Engine::new();
         let f = e.fifos_mut().add("pc", 2);
-        e.add(Producer { out: f, remaining: 10 });
-        e.add(Consumer { input: f, expected: 10, got: 0, enabled: false });
+        e.add(Producer {
+            out: f,
+            remaining: 10,
+        });
+        e.add(Consumer {
+            input: f,
+            expected: 10,
+            got: 0,
+            enabled: false,
+        });
         match e.run(10_000) {
-            Err(SimError::Deadlock { stuck, fifo_report, .. }) => {
+            Err(SimError::Deadlock {
+                stuck, fifo_report, ..
+            }) => {
                 assert!(stuck.contains(&"producer".to_string()));
                 assert!(stuck.contains(&"consumer".to_string()));
                 assert_eq!(fifo_report.len(), 1);
@@ -332,7 +370,10 @@ mod tests {
         }
         let mut e = Engine::new();
         e.add(Spinner);
-        assert_eq!(e.run(100), Err(SimError::MaxCyclesExceeded { max_cycles: 100 }));
+        assert_eq!(
+            e.run(100),
+            Err(SimError::MaxCyclesExceeded { max_cycles: 100 })
+        );
     }
 
     #[test]

@@ -99,7 +99,11 @@ impl FifoPool {
     #[inline]
     pub fn push(&mut self, id: FifoId, pkt: NetworkPacket) {
         let f = &mut self.fifos[id.0];
-        assert!(f.total_len() < f.capacity, "push into full FIFO '{}'", f.name);
+        assert!(
+            f.total_len() < f.capacity,
+            "push into full FIFO '{}'",
+            f.name
+        );
         f.staged.push(pkt);
         f.pushes += 1;
         self.activity = true;
@@ -122,7 +126,10 @@ impl FifoPool {
     #[inline]
     pub fn pop(&mut self, id: FifoId) -> NetworkPacket {
         let f = &mut self.fifos[id.0];
-        let pkt = f.queue.pop_front().unwrap_or_else(|| panic!("pop from empty FIFO '{}'", f.name));
+        let pkt = f
+            .queue
+            .pop_front()
+            .unwrap_or_else(|| panic!("pop from empty FIFO '{}'", f.name));
         self.activity = true;
         pkt
     }
@@ -197,7 +204,10 @@ mod tests {
         let id = pool.add("t", 4);
         assert!(pool.can_push(id));
         pool.push(id, pkt(1));
-        assert!(!pool.can_pop(id), "staged pushes invisible within the cycle");
+        assert!(
+            !pool.can_pop(id),
+            "staged pushes invisible within the cycle"
+        );
         pool.commit();
         assert!(pool.can_pop(id));
         assert_eq!(pool.pop(id).header.src, 1);

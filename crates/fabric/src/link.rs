@@ -182,10 +182,26 @@ mod tests {
         let fin = e.fifos_mut().add("in", 64);
         let fout = e.fifos_mut().add("out", 64);
         let stats = new_stats(1);
-        e.add(Feeder { out: fin, n, sent: 0 });
-        e.add(QsfpLink::new("link", 0, fin, fout, rate, latency, stats.clone()));
+        e.add(Feeder {
+            out: fin,
+            n,
+            sent: 0,
+        });
+        e.add(QsfpLink::new(
+            "link",
+            0,
+            fin,
+            fout,
+            rate,
+            latency,
+            stats.clone(),
+        ));
         let arrivals = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
-        e.add(Recorder { input: fout, expected: n, arrivals: arrivals.clone() });
+        e.add(Recorder {
+            input: fout,
+            expected: n,
+            arrivals: arrivals.clone(),
+        });
         e.run(100_000).unwrap();
         assert_eq!(stats.borrow().link_packets[0], n as u64);
         let v = arrivals.borrow().clone();

@@ -36,7 +36,11 @@ impl DramPool {
     /// Create a pool streaming `rate` elements/cycle in total.
     pub fn new_handle(rate: f64) -> DramPoolHandle {
         assert!(rate > 0.0, "memory rate must be positive");
-        Rc::new(RefCell::new(DramPool { rate, buckets: Vec::new(), spill: 0.0 }))
+        Rc::new(RefCell::new(DramPool {
+            rate,
+            buckets: Vec::new(),
+            spill: 0.0,
+        }))
     }
 
     /// Register a consumer pipeline. All registrations must happen before the
@@ -105,7 +109,10 @@ pub struct DramPoolComponent {
 impl DramPoolComponent {
     /// Wrap a pool handle for the engine.
     pub fn new(name: impl Into<String>, pool: DramPoolHandle) -> Self {
-        DramPoolComponent { name: name.into(), pool }
+        DramPoolComponent {
+            name: name.into(),
+            pool,
+        }
     }
 }
 

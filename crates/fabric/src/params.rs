@@ -67,8 +67,7 @@ impl FabricParams {
     /// at 300 MHz that is ≈ 0.5208 packets/cycle.
     #[inline]
     pub fn link_packets_per_cycle(&self) -> f64 {
-        (self.link_gbit_s * 1e9 / 8.0 / smi_wire::PACKET_BYTES as f64)
-            / (self.kernel_mhz * 1e6)
+        (self.link_gbit_s * 1e9 / 8.0 / smi_wire::PACKET_BYTES as f64) / (self.kernel_mhz * 1e6)
     }
 
     /// Convert a cycle count to microseconds.

@@ -41,9 +41,11 @@ proptest! {
         let src = (src_pick % n as u64) as usize;
         let dst = (dst_pick % n as u64) as usize;
         prop_assume!(src != dst);
-        let mut params = FabricParams::default();
-        params.ck_fifo_depth = depth;
-        params.poll_persistence = r;
+        let params = FabricParams {
+            ck_fifo_depth: depth,
+            poll_persistence: r,
+            ..Default::default()
+        };
         let res = p2p_stream(&topo, src, dst, count, dtype, &params).unwrap();
         prop_assert_eq!(res.errors, 0, "corruption {}->{} on {:?}", src, dst, dtype);
     }
@@ -63,8 +65,10 @@ proptest! {
         let n = topo.num_ranks();
         prop_assume!(n >= 2);
         let root = (root_pick % n as u64) as usize;
-        let mut params = FabricParams::default();
-        params.reduce_credits = credits;
+        let params = FabricParams {
+            reduce_credits: credits,
+            ..Default::default()
+        };
         let kind = [
             CollectiveKind::Bcast,
             CollectiveKind::Scatter,
@@ -94,8 +98,10 @@ proptest! {
         reduce in any::<bool>(),
     ) {
         let topo = Topology::torus2d(2, 4);
-        let mut params = FabricParams::default();
-        params.reduce_credits = credits;
+        let params = FabricParams {
+            reduce_credits: credits,
+            ..Default::default()
+        };
         let kind = if reduce { CollectiveKind::Reduce } else { CollectiveKind::Bcast };
         let res = collective(
             &topo,

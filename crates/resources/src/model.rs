@@ -24,7 +24,12 @@ pub struct Area {
 impl Area {
     /// Convenience constructor.
     pub const fn new(luts: u64, ffs: u64, m20ks: u64, dsps: u64) -> Area {
-        Area { luts, ffs, m20ks, dsps }
+        Area {
+            luts,
+            ffs,
+            m20ks,
+            dsps,
+        }
     }
 
     /// Utilization of `chip`, as `(lut%, ff%, m20k%, dsp%)`.
@@ -122,8 +127,7 @@ impl ResourceModel {
             return Area::default();
         }
         let n_other = (pairs - 1) as u64;
-        (self.interconnect_base + self.interconnect_per_other.times(n_other))
-            .times(pairs as u64)
+        (self.interconnect_base + self.interconnect_per_other.times(n_other)).times(pairs as u64)
     }
 
     /// Support-kernel area for a collective of the given kind/datatype.
@@ -145,7 +149,12 @@ impl ResourceModel {
             OpKind::Reduce => scale(self.reduce_kernel_fp32),
             OpKind::Scatter | OpKind::Gather => {
                 let b = scale(self.bcast_kernel);
-                Area { luts: b.luts * 6 / 5, ffs: b.ffs * 6 / 5, m20ks: b.m20ks, dsps: b.dsps }
+                Area {
+                    luts: b.luts * 6 / 5,
+                    ffs: b.ffs * 6 / 5,
+                    m20ks: b.m20ks,
+                    dsps: b.dsps,
+                }
             }
             OpKind::Send | OpKind::Recv => Area::default(),
         }

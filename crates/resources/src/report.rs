@@ -7,11 +7,20 @@ use crate::model::{Area, ResourceModel};
 pub fn render_table1(model: &ResourceModel, chip: &Chip) -> String {
     let mut out = String::new();
     out.push_str("SMI resource consumption (reproduction of Table 1)\n");
-    out.push_str(&format!("{:<14}{:>12}{:>12}{:>9}   {:>12}{:>12}{:>9}\n",
-        "", "LUTs", "FFs", "M20Ks", "LUTs", "FFs", "M20Ks"));
-    out.push_str(&format!("{:<14}{:-^33}   {:-^33}\n", "", " 1 QSFP ", " 4 QSFPs "));
+    out.push_str(&format!(
+        "{:<14}{:>12}{:>12}{:>9}   {:>12}{:>12}{:>9}\n",
+        "", "LUTs", "FFs", "M20Ks", "LUTs", "FFs", "M20Ks"
+    ));
+    out.push_str(&format!(
+        "{:<14}{:-^33}   {:-^33}\n",
+        "", " 1 QSFP ", " 4 QSFPs "
+    ));
     let rows: [(&str, Area, Area); 2] = [
-        ("Interconn.", model.interconnect_area(1), model.interconnect_area(4)),
+        (
+            "Interconn.",
+            model.interconnect_area(1),
+            model.interconnect_area(4),
+        ),
         ("C. K.", model.ck_area(1), model.ck_area(4)),
     ];
     let mut tot1 = Area::default();
@@ -43,7 +52,10 @@ pub fn render_table2(model: &ResourceModel, chip: &Chip) -> String {
         "{:<22}{:>16}{:>16}{:>12}{:>12}\n",
         "", "LUTs", "FFs", "M20Ks", "DSPs"
     ));
-    for (name, kind) in [("Broadcast", OpKind::Bcast), ("Reduce (FP32 SUM)", OpKind::Reduce)] {
+    for (name, kind) in [
+        ("Broadcast", OpKind::Bcast),
+        ("Reduce (FP32 SUM)", OpKind::Reduce),
+    ] {
         let a = model.support_kernel_area(kind, Datatype::Float);
         let (l, f, m, d) = a.utilization(chip);
         out.push_str(&format!(
@@ -61,7 +73,9 @@ mod tests {
     #[test]
     fn table1_contains_paper_values() {
         let s = render_table1(&ResourceModel::default(), &Chip::GX2800);
-        for v in ["144", "4872", "6186", "7189", "1152", "39264", "30960", "31072", "40"] {
+        for v in [
+            "144", "4872", "6186", "7189", "1152", "39264", "30960", "31072", "40",
+        ] {
             assert!(s.contains(v), "missing {v} in:\n{s}");
         }
     }

@@ -50,11 +50,21 @@ impl Topology {
             for y in 0..ry {
                 if ry >= 2 {
                     // east cable: (x,y):1 <-> (x,y+1):0
-                    conns.push(Connection::new(rank_of(x, y), 1, rank_of(x, (y + 1) % ry), 0));
+                    conns.push(Connection::new(
+                        rank_of(x, y),
+                        1,
+                        rank_of(x, (y + 1) % ry),
+                        0,
+                    ));
                 }
                 if rx >= 2 {
                     // south cable: (x,y):3 <-> (x+1,y):2
-                    conns.push(Connection::new(rank_of(x, y), 3, rank_of((x + 1) % rx, y), 2));
+                    conns.push(Connection::new(
+                        rank_of(x, y),
+                        3,
+                        rank_of((x + 1) % rx, y),
+                        2,
+                    ));
                 }
             }
         }
@@ -67,7 +77,10 @@ impl Topology {
     /// Needs 6 ports per device (0/1 = ±z, 2/3 = ±y, 4/5 = ±x); rank =
     /// `x·ry·rz + y·rz + z`.
     pub fn torus3d(rx: usize, ry: usize, rz: usize) -> Topology {
-        assert!(rx >= 1 && ry >= 1 && rz >= 1, "torus dimensions must be positive");
+        assert!(
+            rx >= 1 && ry >= 1 && rz >= 1,
+            "torus dimensions must be positive"
+        );
         let rank_of = |x: usize, y: usize, z: usize| x * ry * rz + y * rz + z;
         let mut conns = Vec::new();
         for x in 0..rx {
@@ -138,7 +151,10 @@ impl Topology {
         rng: &mut R,
     ) -> Result<Topology, TopologyError> {
         assert!(num_ranks >= 1);
-        assert!(ports_per_rank >= 2 || num_ranks <= 2, "need >=2 ports to chain devices");
+        assert!(
+            ports_per_rank >= 2 || num_ranks <= 2,
+            "need >=2 ports to chain devices"
+        );
         let mut free: Vec<Vec<usize>> = (0..num_ranks)
             .map(|_| (0..ports_per_rank).rev().collect())
             .collect();
@@ -163,8 +179,7 @@ impl Topology {
         }
         // Extra links between distinct devices with free ports.
         for _ in 0..extra_links {
-            let candidates: Vec<usize> =
-                (0..num_ranks).filter(|&r| !free[r].is_empty()).collect();
+            let candidates: Vec<usize> = (0..num_ranks).filter(|&r| !free[r].is_empty()).collect();
             if candidates.len() < 2 {
                 break;
             }

@@ -26,7 +26,10 @@ pub struct Channel {
 
 impl From<Hop> for Channel {
     fn from(h: Hop) -> Channel {
-        Channel { rank: h.from.rank, qsfp: h.from.qsfp }
+        Channel {
+            rank: h.from.rank,
+            qsfp: h.from.qsfp,
+        }
     }
 }
 
@@ -91,7 +94,10 @@ pub fn find_cycle(topo: &Topology, plan: &RoutingPlan) -> Option<Vec<Channel>> {
                             .expect("grey node is on the path");
                         let cycle = path_stack[pos..]
                             .iter()
-                            .map(|&id| Channel { rank: id / ports, qsfp: id % ports })
+                            .map(|&id| Channel {
+                                rank: id / ports,
+                                qsfp: id % ports,
+                            })
                             .collect();
                         return Some(cycle);
                     }
@@ -165,16 +171,19 @@ mod tests {
             let consecutive_in_some_path = |a: Channel, b: Channel| {
                 (0..8).any(|s| {
                     (0..8).any(|d| {
-                        plan.path(s, d).windows(2).any(|w| {
-                            Channel::from(w[0]) == a && Channel::from(w[1]) == b
-                        })
+                        plan.path(s, d)
+                            .windows(2)
+                            .any(|w| Channel::from(w[0]) == a && Channel::from(w[1]) == b)
                     })
                 })
             };
             for i in 0..cycle.len() {
                 let a = cycle[i];
                 let b = cycle[(i + 1) % cycle.len()];
-                assert!(consecutive_in_some_path(a, b), "witness edge {a:?}->{b:?} not in CDG");
+                assert!(
+                    consecutive_in_some_path(a, b),
+                    "witness edge {a:?}->{b:?} not in CDG"
+                );
             }
         } else {
             panic!("expected a cycle on shortest-path ring routing");

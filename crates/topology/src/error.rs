@@ -56,8 +56,14 @@ impl fmt::Display for TopologyError {
             TopologyError::RankOutOfBounds { rank, num_ranks } => {
                 write!(f, "rank {rank} out of bounds (num_ranks = {num_ranks})")
             }
-            TopologyError::PortOutOfBounds { port, ports_per_rank } => {
-                write!(f, "QSFP port {port} out of bounds (ports_per_rank = {ports_per_rank})")
+            TopologyError::PortOutOfBounds {
+                port,
+                ports_per_rank,
+            } => {
+                write!(
+                    f,
+                    "QSFP port {port} out of bounds (ports_per_rank = {ports_per_rank})"
+                )
             }
             TopologyError::PortInUse { rank, port } => {
                 write!(f, "QSFP port {rank}:{port} has two cables plugged in")
@@ -66,7 +72,10 @@ impl fmt::Display for TopologyError {
                 write!(f, "rank {rank} is cabled to itself")
             }
             TopologyError::Disconnected { unreachable_rank } => {
-                write!(f, "topology is disconnected: rank {unreachable_rank} unreachable from rank 0")
+                write!(
+                    f,
+                    "topology is disconnected: rank {unreachable_rank} unreachable from rank 0"
+                )
             }
             TopologyError::NoRoute { src, dst } => {
                 write!(f, "no deadlock-free route from rank {src} to rank {dst}")

@@ -91,7 +91,10 @@ impl Topology {
         for c in &connections {
             for ep in [c.a, c.b] {
                 if ep.rank >= num_ranks {
-                    return Err(TopologyError::RankOutOfBounds { rank: ep.rank, num_ranks });
+                    return Err(TopologyError::RankOutOfBounds {
+                        rank: ep.rank,
+                        num_ranks,
+                    });
                 }
                 if ep.qsfp >= ports_per_rank {
                     return Err(TopologyError::PortOutOfBounds {
@@ -106,15 +109,25 @@ impl Topology {
             for (ep, far) in [(c.a, c.b), (c.b, c.a)] {
                 let slot = &mut adj[ep.rank][ep.qsfp];
                 if slot.is_some() {
-                    return Err(TopologyError::PortInUse { rank: ep.rank, port: ep.qsfp });
+                    return Err(TopologyError::PortInUse {
+                        rank: ep.rank,
+                        port: ep.qsfp,
+                    });
                 }
                 *slot = Some(far);
             }
         }
-        let topo = Topology { num_ranks, ports_per_rank, connections, adj };
+        let topo = Topology {
+            num_ranks,
+            ports_per_rank,
+            connections,
+            adj,
+        };
         if num_ranks > 1 {
             if let Some(unreachable) = topo.first_unreachable() {
-                return Err(TopologyError::Disconnected { unreachable_rank: unreachable });
+                return Err(TopologyError::Disconnected {
+                    unreachable_rank: unreachable,
+                });
             }
         }
         Ok(topo)
@@ -230,9 +243,15 @@ mod tests {
     #[test]
     fn out_of_bounds_rejected() {
         let err = Topology::new(2, 4, vec![Connection::new(0, 0, 2, 0)]).unwrap_err();
-        assert!(matches!(err, TopologyError::RankOutOfBounds { rank: 2, .. }));
+        assert!(matches!(
+            err,
+            TopologyError::RankOutOfBounds { rank: 2, .. }
+        ));
         let err = Topology::new(2, 4, vec![Connection::new(0, 5, 1, 0)]).unwrap_err();
-        assert!(matches!(err, TopologyError::PortOutOfBounds { port: 5, .. }));
+        assert!(matches!(
+            err,
+            TopologyError::PortOutOfBounds { port: 5, .. }
+        ));
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl TopologySpec {
             .connections
             .iter()
             .map(|(a, b)| {
-                Ok(Connection { a: parse_endpoint(a)?, b: parse_endpoint(b)? })
+                Ok(Connection {
+                    a: parse_endpoint(a)?,
+                    b: parse_endpoint(b)?,
+                })
             })
             .collect::<Result<Vec<_>, TopologyError>>()?;
         Topology::new(self.num_ranks, self.ports_per_rank, conns)

@@ -73,7 +73,11 @@ impl PathStats {
             routed,
             diameter,
             routed_diameter,
-            mean_stretch: if pairs == 0 { 1.0 } else { stretch_sum / pairs as f64 },
+            mean_stretch: if pairs == 0 {
+                1.0
+            } else {
+                stretch_sum / pairs as f64
+            },
         }
     }
 }
@@ -89,7 +93,10 @@ mod tests {
         let stats = PathStats::analyze(&topo, &plan);
         assert_eq!(stats.diameter, 7);
         assert_eq!(stats.routed_diameter, 7);
-        assert!((stats.mean_stretch - 1.0).abs() < 1e-12, "bus routes are minimal");
+        assert!(
+            (stats.mean_stretch - 1.0).abs() < 1e-12,
+            "bus routes are minimal"
+        );
     }
 
     #[test]

@@ -104,7 +104,12 @@ impl RoutingPlan {
                     .collect(),
             })
             .collect();
-        Ok(RoutingPlan { num_ranks: n, scheme, per_rank, paths })
+        Ok(RoutingPlan {
+            num_ranks: n,
+            scheme,
+            per_rank,
+            paths,
+        })
     }
 
     /// Number of ranks covered.
@@ -247,7 +252,10 @@ fn updown_bfs(topo: &Topology, levels: &[usize], src: usize) -> Vec<Option<Vec<H
                 dist[next_state] = dist[state] + 1;
                 parent[next_state] = Some((
                     state,
-                    Hop { from: Endpoint::new(u, q), to: ep },
+                    Hop {
+                        from: Endpoint::new(u, q),
+                        to: ep,
+                    },
                 ));
                 queue.push_back(next_state);
             }
@@ -260,7 +268,11 @@ fn updown_bfs(topo: &Topology, levels: &[usize], src: usize) -> Vec<Option<Vec<H
             }
             let s_up = dst * 2;
             let s_down = dst * 2 + 1;
-            let best = if dist[s_up] <= dist[s_down] { s_up } else { s_down };
+            let best = if dist[s_up] <= dist[s_down] {
+                s_up
+            } else {
+                s_down
+            };
             if dist[best] == usize::MAX {
                 return None;
             }
@@ -288,7 +300,13 @@ fn shortest_bfs(topo: &Topology, src: usize) -> Vec<Option<Vec<Hop>>> {
         for (q, ep) in topo.neighbors(u) {
             if dist[ep.rank] == usize::MAX {
                 dist[ep.rank] = dist[u] + 1;
-                parent[ep.rank] = Some((u, Hop { from: Endpoint::new(u, q), to: ep }));
+                parent[ep.rank] = Some((
+                    u,
+                    Hop {
+                        from: Endpoint::new(u, q),
+                        to: ep,
+                    },
+                ));
                 queue.push_back(ep.rank);
             }
         }

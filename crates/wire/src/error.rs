@@ -47,14 +47,23 @@ impl fmt::Display for WireError {
                 write!(f, "port {p} does not fit the 8-bit wire port field")
             }
             WireError::CountOutOfRange(c) => {
-                write!(f, "valid-count {c} does not fit the 5-bit count field / payload")
+                write!(
+                    f,
+                    "valid-count {c} does not fit the 5-bit count field / payload"
+                )
             }
             WireError::BadOpEncoding(b) => write!(f, "unassigned 3-bit op encoding {b:#05b}"),
             WireError::TypeMismatch { expected, got } => {
-                write!(f, "datatype mismatch: channel opened with {expected:?}, element is {got:?}")
+                write!(
+                    f,
+                    "datatype mismatch: channel opened with {expected:?}, element is {got:?}"
+                )
             }
             WireError::BadPayloadLength { expected, got } => {
-                write!(f, "bad payload length: expected {expected} bytes, got {got}")
+                write!(
+                    f,
+                    "bad payload length: expected {expected} bytes, got {got}"
+                )
             }
         }
     }

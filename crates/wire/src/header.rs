@@ -110,7 +110,13 @@ impl Header {
         if count as usize > MAX_COUNT {
             return Err(WireError::CountOutOfRange(count as usize));
         }
-        Ok(Header { src, dst, port, op, count })
+        Ok(Header {
+            src,
+            dst,
+            port,
+            op,
+            count,
+        })
     }
 
     /// Pack into the 4-byte wire representation.

@@ -22,7 +22,13 @@ impl NetworkPacket {
     /// An empty packet with the given header fields and zeroed payload.
     pub fn new(src: u8, dst: u8, port: u8, op: PacketOp) -> Self {
         NetworkPacket {
-            header: Header { src, dst, port, op, count: 0 },
+            header: Header {
+                src,
+                dst,
+                port,
+                op,
+                count: 0,
+            },
             payload: [0; PAYLOAD_BYTES],
         }
     }

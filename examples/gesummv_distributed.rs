@@ -10,10 +10,13 @@ use smi_apps::gesummv::{functional, reference, GesummvProblem};
 fn main() {
     // --- functional: rank 0's GEMV streams partials to rank 1 ---
     let p = GesummvProblem::random(128, 128, 77);
-    let got = functional::run_distributed(&p, RuntimeParams::default())
-        .expect("distributed gesummv");
+    let got =
+        functional::run_distributed(&p, RuntimeParams::default()).expect("distributed gesummv");
     let want = reference::gesummv(&p);
-    assert_eq!(got, want, "distributed result must equal serial, bit for bit");
+    assert_eq!(
+        got, want,
+        "distributed result must equal serial, bit for bit"
+    );
     println!("functional: 128×128 GESUMMV across 2 ranks — identical to serial");
 
     // --- timed: the Fig. 13 comparison ---

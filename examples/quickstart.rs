@@ -56,7 +56,10 @@ fn main() {
     .expect("cluster run");
 
     let expect: i64 = (0..n as i64).map(|i| i * i).sum();
-    println!("rank 1 received {} elements, sum = {}", n, report.results[1]);
+    println!(
+        "rank 1 received {} elements, sum = {}",
+        n, report.results[1]
+    );
     assert_eq!(report.results[1], expect);
     let (cks, ckr, unroutable) = report.transport;
     println!("transport: {cks} CKS forwards, {ckr} CKR forwards, {unroutable} unroutable");

@@ -42,8 +42,14 @@ fn main() {
     describe("Fig. 8 example (3 FPGAs)", &topo);
     println!("JSON form:\n{}", topo.to_json());
 
-    describe("linear bus, 8 FPGAs (the Fig. 9/Tab. 3 configuration)", &Topology::bus(8));
-    describe("2x4 torus, 8 FPGAs (the evaluation cluster)", &Topology::torus2d(2, 4));
+    describe(
+        "linear bus, 8 FPGAs (the Fig. 9/Tab. 3 configuration)",
+        &Topology::bus(8),
+    );
+    describe(
+        "2x4 torus, 8 FPGAs (the evaluation cluster)",
+        &Topology::torus2d(2, 4),
+    );
 
     // Deadlock demonstration: shortest-path routing on a ring has a cyclic
     // channel dependency; up*/down* does not.
@@ -66,6 +72,9 @@ fn main() {
     // needs to be recomputed and uploaded": unplug one cable and regenerate.
     let torus = Topology::torus2d(2, 4);
     let degraded = torus.without_connection(0).expect("still connected");
-    describe("2x4 torus with one cable unplugged (recomputed routes)", &degraded);
+    describe(
+        "2x4 torus with one cable unplugged (recomputed routes)",
+        &degraded,
+    );
     println!("routing_explorer OK");
 }

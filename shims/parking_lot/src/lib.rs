@@ -1,0 +1,169 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! slice of `parking_lot` it uses: [`Mutex`] whose `lock()` returns a guard
+//! directly (no poisoning — a poisoned std lock is transparently recovered),
+//! and [`Condvar`] whose `wait` takes `&mut MutexGuard`. Backed by
+//! `std::sync`; fairness/perf characteristics of real parking_lot are not
+//! reproduced.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+use std::time::Duration;
+
+/// A mutex with parking_lot's API: `lock()` returns the guard directly.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Option` so Condvar::wait can temporarily take the std guard.
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking. Never poisons.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            guard: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { guard: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                guard: Some(p.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present")
+    }
+}
+
+/// A condition variable pairing with [`Mutex`].
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// A new condition variable.
+    pub fn new() -> Condvar {
+        Condvar::default()
+    }
+
+    /// Atomically release the guard's lock and wait; the lock is re-acquired
+    /// before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.guard.take().expect("guard present");
+        guard.guard = Some(self.inner.wait(g).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    /// Like [`Condvar::wait`] with a timeout; returns `true` if it timed out.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        let g = guard.guard.take().expect("guard present");
+        let (g, res) = self
+            .inner
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.guard = Some(g);
+        res.timed_out()
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn condvar_roundtrip() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let h = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock();
+            *ready = true;
+            cv.notify_all();
+            drop(ready);
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock();
+        while !*ready {
+            cv.wait(&mut ready);
+        }
+        drop(ready);
+        h.join().unwrap();
+    }
+}

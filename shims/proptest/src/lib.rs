@@ -1,0 +1,670 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! miniature property-testing engine with the API surface its tests use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`, `pat in strategy`
+//!   and `name: Type` argument forms
+//! * [`Strategy`] with `prop_map`, ranges, tuples, [`any`],
+//!   `prop::sample::select`, `prop::collection::{vec, btree_set}` and
+//!   `prop::array::uniform{4,28}`
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`]
+//!
+//! Cases are generated from a deterministic per-test seed (hash of the test
+//! path), so failures reproduce. **Shrinking is not implemented** — a failure
+//! reports the failing assertion, not a minimal counterexample.
+
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic generator driving case generation (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary name (the test path), so every test gets a
+    /// stable, distinct stream.
+    pub fn from_name(name: &str) -> TestRng {
+        // FNV-1a
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config and case outcome
+// ---------------------------------------------------------------------------
+
+/// Runner configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Outcome of a single generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was vetoed by `prop_assume!` — generate another.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($t:ident . $n:tt),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value (uniform over the representation).
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        // Uniform over bit patterns: exercises NaNs, infinities, subnormals.
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+/// Combinator namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Sampling from explicit value lists.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy returned by [`select`].
+        pub struct Select<T> {
+            items: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut TestRng) -> T {
+                assert!(!self.items.is_empty(), "select over empty list");
+                self.items[rng.below(self.items.len() as u64) as usize].clone()
+            }
+        }
+
+        /// Pick uniformly from `items`.
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            Select { items }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{SizeRange, Strategy, TestRng};
+        use std::collections::BTreeSet;
+
+        /// Strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.sample(rng);
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// A `Vec` of `element` values with a length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// Strategy returned by [`btree_set`].
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+                let want = self.size.sample(rng);
+                let mut out = BTreeSet::new();
+                // Duplicates shrink the set; bounded retries keep this total.
+                for _ in 0..want * 10 {
+                    if out.len() >= want {
+                        break;
+                    }
+                    out.insert(self.element.sample(rng));
+                }
+                out
+            }
+        }
+
+        /// A `BTreeSet` of `element` values with a size drawn from `size`
+        /// (best effort: duplicates may yield a smaller set).
+        pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            BTreeSetStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    /// Fixed-size array strategies.
+    pub mod array {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy producing `[S::Value; N]`.
+        pub struct UniformArray<S, const N: usize> {
+            element: S,
+        }
+
+        impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+            type Value = [S::Value; N];
+            fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+                std::array::from_fn(|_| self.element.sample(rng))
+            }
+        }
+
+        /// A 4-element array of `element` values.
+        pub fn uniform4<S: Strategy>(element: S) -> UniformArray<S, 4> {
+            UniformArray { element }
+        }
+
+        /// A 28-element array of `element` values.
+        pub fn uniform28<S: Strategy>(element: S) -> UniformArray<S, 28> {
+            UniformArray { element }
+        }
+    }
+}
+
+/// A collection-size specification: exact, `a..b`, or `a..=b`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        let span = (self.hi_inclusive - self.lo + 1) as u64;
+        self.lo + rng.below(span) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+// `Just` — occasionally handy, provided for completeness.
+/// Strategy that always yields a clone of one value.
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: Clone> Strategy for Vec<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.is_empty(), "sampling from empty Vec strategy");
+        self[rng.below(self.len() as u64) as usize].clone()
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<T: Ord + Clone> Strategy for BTreeSet<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.is_empty(), "sampling from empty set strategy");
+        let idx = rng.below(self.len() as u64) as usize;
+        self.iter().nth(idx).unwrap().clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Assert inside a proptest body; failure fails the case with the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), __l, __r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), __l, __r,
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+            )));
+        }
+    }};
+}
+
+/// Veto the current case (it is regenerated, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declare property tests. Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(..)]` header followed by `#[test] fn` items whose
+/// arguments are `pat in strategy` or `name: Type` (sugar for `any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = (<$crate::ProptestConfig as ::std::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr); $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_run! {
+                cfg = ($cfg);
+                name = $name;
+                bindings = ();
+                params = ($($params)*);
+                body = $body
+            }
+        }
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_run {
+    // All parameters consumed: emit the runner.
+    (cfg = ($cfg:expr); name = $name:ident;
+     bindings = ($(($pat:pat) ($strat:expr))*);
+     params = (); body = $body:block) => {{
+        let __config: $crate::ProptestConfig = $cfg;
+        let mut __rng = $crate::TestRng::from_name(
+            concat!(module_path!(), "::", stringify!($name)),
+        );
+        let mut __accepted: u32 = 0;
+        let mut __attempts: u32 = 0;
+        let __max_attempts: u32 = __config.cases.saturating_mul(20).max(1000);
+        while __accepted < __config.cases && __attempts < __max_attempts {
+            __attempts += 1;
+            let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                $(let $pat = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                $body
+                ::std::result::Result::Ok(())
+            })();
+            match __outcome {
+                ::std::result::Result::Ok(()) => __accepted += 1,
+                ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                    panic!(
+                        "proptest `{}` failed on case {}: {}\n\
+                         (the offline proptest shim does not shrink)",
+                        stringify!($name), __attempts, __msg
+                    );
+                }
+            }
+        }
+        // Like real proptest's "too many global rejects": a test that could
+        // not reach its configured case count must not pass silently.
+        if __accepted < __config.cases {
+            panic!(
+                "proptest `{}`: only {} of {} cases accepted after {} attempts \
+                 (prop_assume! rejected the rest — loosen the strategy or the assumption)",
+                stringify!($name), __accepted, __config.cases, __attempts
+            );
+        }
+    }};
+    // `name: Type` sugar, more parameters follow.
+    (cfg = ($cfg:expr); name = $tname:ident; bindings = ($($b:tt)*);
+     params = ($name:ident : $ty:ty, $($rest:tt)*); body = $body:block) => {
+        $crate::__proptest_run! {
+            cfg = ($cfg); name = $tname;
+            bindings = ($($b)* ($name) ($crate::any::<$ty>()));
+            params = ($($rest)*); body = $body
+        }
+    };
+    // `name: Type` sugar, final parameter without trailing comma.
+    (cfg = ($cfg:expr); name = $tname:ident; bindings = ($($b:tt)*);
+     params = ($name:ident : $ty:ty); body = $body:block) => {
+        $crate::__proptest_run! {
+            cfg = ($cfg); name = $tname;
+            bindings = ($($b)* ($name) ($crate::any::<$ty>()));
+            params = (); body = $body
+        }
+    };
+    // `pat in strategy`, more parameters follow.
+    (cfg = ($cfg:expr); name = $tname:ident; bindings = ($($b:tt)*);
+     params = ($pat:pat in $strat:expr, $($rest:tt)*); body = $body:block) => {
+        $crate::__proptest_run! {
+            cfg = ($cfg); name = $tname;
+            bindings = ($($b)* ($pat) ($strat));
+            params = ($($rest)*); body = $body
+        }
+    };
+    // `pat in strategy`, final parameter without trailing comma.
+    (cfg = ($cfg:expr); name = $tname:ident; bindings = ($($b:tt)*);
+     params = ($pat:pat in $strat:expr); body = $body:block) => {
+        $crate::__proptest_run! {
+            cfg = ($cfg); name = $tname;
+            bindings = ($($b)* ($pat) ($strat));
+            params = (); body = $body
+        }
+    };
+}
+
+/// The glob import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Arbitrary,
+        Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_small() -> impl Strategy<Value = u8> {
+        prop::sample::select(vec![1u8, 2, 3])
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in 0u8..=4, z: u16) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+            let _ = z;
+        }
+
+        #[test]
+        fn combinators_work(
+            v in prop::collection::vec(any::<u8>(), 2..5),
+            s in prop::collection::btree_set(0usize..100, 0..6),
+            arr in prop::array::uniform4(any::<u8>()),
+            picked in arb_small(),
+            (a, b) in (0usize..4, 10usize..14),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(s.len() < 6);
+            prop_assert_eq!(arr.len(), 4);
+            prop_assert!((1..=3).contains(&picked));
+            prop_assert!(a < 4 && (10..14).contains(&b));
+        }
+
+        #[test]
+        fn mapped_strategies(n in (0usize..5).prop_map(|x| x * 2)) {
+            prop_assert!(n % 2 == 0 && n < 10);
+        }
+
+        #[test]
+        fn assume_rejects(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::from_name("fixed");
+        let mut b = TestRng::from_name("fixed");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

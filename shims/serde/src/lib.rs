@@ -1,0 +1,407 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! miniature serde: a JSON-shaped [`Value`] tree, [`Serialize`] /
+//! [`Deserialize`] traits that convert to and from that tree, and derive
+//! macros (from the sibling `serde_derive` shim) for structs and enums in
+//! serde's *externally tagged* representation. `serde_json` (also vendored)
+//! renders and parses the tree as real JSON text.
+//!
+//! Supported derive shapes — the ones this workspace uses:
+//! * structs with named fields, honouring `#[serde(default)]` and
+//!   `#[serde(default = "path")]`
+//! * enums with unit variants (`"Name"`), newtype variants
+//!   (`{"Name": value}`), tuple variants (`{"Name": [..]}`) and struct
+//!   variants (`{"Name": {..}}`)
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree, the interchange format of the shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON integer (stored exactly; fits all the integer fields we use).
+    Int(i64),
+    /// Integers above `i64::MAX` (e.g. large `u64`s).
+    UInt(u64),
+    /// JSON floating-point number.
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: what was expected, and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// A new error with the given message.
+    pub fn new(msg: impl Into<String>) -> DeError {
+        DeError { msg: msg.into() }
+    }
+
+    /// Shorthand: "expected X".
+    pub fn expected(what: &str) -> DeError {
+        DeError::new(format!("expected {what}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Value`] tree.
+pub trait Serialize {
+    /// Build the value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse `self` out of a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError::new(format!("{} out of range for {}", i, stringify!($t)))),
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError::new(format!("{} out of range for {}", u, stringify!($t)))),
+                    _ => Err(DeError::expected(stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, u8, u16, u32, isize);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::UInt(*self),
+        }
+    }
+}
+impl Deserialize for u64 {
+    fn from_value(v: &Value) -> Result<u64, DeError> {
+        match v {
+            Value::Int(i) => u64::try_from(*i).map_err(|_| DeError::expected("u64")),
+            Value::UInt(u) => Ok(*u),
+            _ => Err(DeError::expected("u64")),
+        }
+    }
+}
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        (*self as u64).to_value()
+    }
+}
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<usize, DeError> {
+        u64::from_value(v).and_then(|u| usize::try_from(u).map_err(|_| DeError::expected("usize")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            _ => Err(DeError::expected("number")),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("string"))
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<BTreeSet<T>, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize + Eq + std::hash::Hash> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<BTreeMap<String, V>, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::expected("object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<HashMap<String, V>, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::expected("object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<($($t,)+), DeError> {
+                let a = v.as_array().ok_or_else(|| DeError::expected("tuple array"))?;
+                let want = [$($n),+].len();
+                if a.len() != want {
+                    return Err(DeError::new(format!(
+                        "expected array of length {want}, found {}", a.len()
+                    )));
+                }
+                Ok(($($t::from_value(&a[$n])?,)+))
+            }
+        }
+    )*};
+}
+ser_de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the generated derive code
+// ---------------------------------------------------------------------------
+
+/// Runtime support for the generated derive code; not public API.
+pub mod __private {
+    use super::{DeError, Deserialize, Value};
+
+    /// Look up `name` in an object's entries.
+    pub fn get<'v>(obj: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
+        obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Deserialize a required field; missing fields fall back to `Null`
+    /// (so `Option` fields read as `None`, as with real serde).
+    pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, DeError> {
+        match get(obj, name) {
+            Some(v) => T::from_value(v).map_err(|e| DeError::new(format!("field `{name}`: {e}"))),
+            None => T::from_value(&Value::Null)
+                .map_err(|_| DeError::new(format!("missing field `{name}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&(u64::MAX).to_value()), Ok(u64::MAX));
+        assert_eq!(i64::from_value(&(-5i64).to_value()), Ok(-5));
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None::<u32>));
+        let t = ("a".to_string(), 3usize);
+        assert_eq!(<(String, usize)>::from_value(&t.to_value()), Ok(t));
+    }
+}

@@ -1,0 +1,445 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! type shapes used in this workspace, parsing the input token stream by
+//! hand (no `syn`/`quote` — the build environment has no network access):
+//!
+//! * structs with named fields, honouring `#[serde(default)]` and
+//!   `#[serde(default = "path")]`
+//! * enums with unit, newtype, tuple and struct variants, in serde's
+//!   externally-tagged representation
+//!
+//! Generics are not supported — none of the derived types here use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    /// `None` = required; `Some(None)` = `#[serde(default)]`;
+    /// `Some(Some(path))` = `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
+
+#[derive(Debug, Clone)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Parsed {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Scan one attribute group (`[serde(...)]` body already unwrapped by the
+/// caller) for `default` / `default = "path"`.
+fn scan_serde_attr(tokens: &[TokenTree], out: &mut Option<Option<String>>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "default" {
+                // Either bare, or followed by `=` and a string literal.
+                if let (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(lit))) =
+                    (tokens.get(i + 1), tokens.get(i + 2))
+                {
+                    if p.as_char() == '=' {
+                        let s = lit.to_string();
+                        let path = s.trim_matches('"').to_string();
+                        *out = Some(Some(path));
+                        i += 3;
+                        continue;
+                    }
+                }
+                *out = Some(None);
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Consume leading attributes; returns the serde `default` setting if any.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> Option<Option<String>> {
+    let mut default = None;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+                            scan_serde_attr(&args, &mut default);
+                        }
+                    }
+                }
+                *pos += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    default
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skip tokens until a top-level comma (tracking `<...>` nesting), leaving
+/// `pos` *after* the comma (or at end of input).
+fn skip_to_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(tt) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Parse `name: Type, ...` named fields from inside a brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let default = take_attrs(&tokens, &mut pos);
+        skip_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected field name, found {other:?}"),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => {
+                panic!("serde_derive shim: expected ':' after field `{name}`, found {other:?}")
+            }
+        }
+        skip_to_comma(&tokens, &mut pos);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Count top-level comma-separated items in a tuple variant's parens.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut arity = 0;
+    while pos < tokens.len() {
+        // A leading attribute or visibility may prefix each element.
+        let _ = take_attrs(&tokens, &mut pos);
+        skip_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        arity += 1;
+        skip_to_comma(&tokens, &mut pos);
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let _ = take_attrs(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected variant name, found {other:?}"),
+        };
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                pos += 1;
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                pos += 1;
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        skip_to_comma(&tokens, &mut pos);
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    // Skip outer attributes (doc comments, other derives' leftovers).
+    loop {
+        let before = pos;
+        let _ = take_attrs(&tokens, &mut pos);
+        skip_vis(&tokens, &mut pos);
+        if pos == before {
+            break;
+        }
+    }
+    let kw = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct`/`enum`, found {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are not supported (type `{name}`)");
+        }
+    }
+    let body = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && kw == "struct" => {
+            panic!("serde_derive shim: tuple structs are not supported (type `{name}`)")
+        }
+        other => panic!("serde_derive shim: expected `{{...}}` body for `{name}`, found {other:?}"),
+    };
+    match kw.as_str() {
+        "struct" => Parsed::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Parsed::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}`"),
+    }
+}
+
+/// Derive `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Parsed::Struct { name, fields } => {
+            let mut entries = String::new();
+            for f in &fields {
+                entries.push_str(&format!(
+                    "(\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})),",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Parsed::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Object(vec![\
+                             (\"{vn}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let vals: Vec<String> = pats
+                            .iter()
+                            .map(|p| format!("::serde::Serialize::to_value({p})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![\
+                                 (\"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                            pats.join(","),
+                            vals.join(",")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let pats: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), ::serde::Serialize::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![\
+                                 (\"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                            pats.join(","),
+                            entries.join(",")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive shim: generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_input(input) {
+        Parsed::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                let n = &f.name;
+                match &f.default {
+                    None => {
+                        inits.push_str(&format!("{n}: ::serde::__private::field(__obj, \"{n}\")?,"))
+                    }
+                    Some(None) => inits.push_str(&format!(
+                        "{n}: match ::serde::__private::get(__obj, \"{n}\") {{\
+                             Some(v) => ::serde::Deserialize::from_value(v)?,\
+                             None => ::std::default::Default::default(),\
+                         }},"
+                    )),
+                    Some(Some(path)) => inits.push_str(&format!(
+                        "{n}: match ::serde::__private::get(__obj, \"{n}\") {{\
+                             Some(v) => ::serde::Deserialize::from_value(v)?,\
+                             None => {path}(),\
+                         }},"
+                    )),
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let __obj = __v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object for {name}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Parsed::Enum { name, variants } => {
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => str_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                    )),
+                    VariantShape::Tuple(1) => obj_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__payload)?)),"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        obj_arms.push_str(&format!(
+                            "\"{vn}\" => {{\
+                                 let __arr = __payload.as_array().ok_or_else(|| ::serde::DeError::expected(\"array for {name}::{vn}\"))?;\
+                                 if __arr.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::expected(\"{n} elements for {name}::{vn}\")); }}\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\
+                             }},",
+                            elems.join(",")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{n}: ::serde::__private::field(__fobj, \"{n}\")?",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        obj_arms.push_str(&format!(
+                            "\"{vn}\" => {{\
+                                 let __fobj = __payload.as_object().ok_or_else(|| ::serde::DeError::expected(\"object for {name}::{vn}\"))?;\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }})\
+                             }},",
+                            inits.join(",")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {str_arms}\n\
+                                 __other => ::std::result::Result::Err(::serde::DeError::new(format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                                 let (__tag, __payload) = &__entries[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {obj_arms}\n\
+                                     __other => ::std::result::Result::Err(::serde::DeError::new(format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                                 }}\n\
+                             }},\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::expected(\"string or single-key object for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive shim: generated Deserialize impl parses")
+}

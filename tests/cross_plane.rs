@@ -2,9 +2,7 @@
 //! (cycle-level fabric) implement the same protocols — cross-check their
 //! behaviour and assert the paper's headline shapes on the fabric.
 
-use smi_fabric::bench_api::{
-    collective, p2p_stream, pingpong, CollectiveKind, CollectiveScheme,
-};
+use smi_fabric::bench_api::{collective, p2p_stream, pingpong, CollectiveKind, CollectiveScheme};
 use smi_fabric::params::FabricParams;
 use smi_topology::Topology;
 use smi_wire::{Datatype, ReduceOp};
@@ -35,8 +33,14 @@ fn fabric_latency_linear_in_hops() {
         .collect();
     let slope1 = (l[1] - l[0]) / 3.0;
     let slope2 = (l[2] - l[1]) / 3.0;
-    assert!((slope1 / slope2 - 1.0).abs() < 0.15, "linear slope: {slope1} vs {slope2}");
-    assert!((0.5..1.0).contains(&slope1), "per-hop latency {slope1} µs (paper ≈0.72)");
+    assert!(
+        (slope1 / slope2 - 1.0).abs() < 0.15,
+        "linear slope: {slope1} vs {slope2}"
+    );
+    assert!(
+        (0.5..1.0).contains(&slope1),
+        "per-hop latency {slope1} µs (paper ≈0.72)"
+    );
 }
 
 #[test]
@@ -119,8 +123,10 @@ fn tree_bcast_beats_linear_at_scale() {
 fn reduce_latency_sensitive_to_diameter() {
     // Fig. 11: the credit-based flow control makes Reduce slower on the
     // high-diameter bus than on the torus.
-    let mut params = FabricParams::default();
-    params.reduce_credits = 256; // pronounced credit round-trips
+    let params = FabricParams {
+        reduce_credits: 256, // pronounced credit round-trips
+        ..Default::default()
+    };
     let n = 1 << 14;
     let torus = collective(
         &Topology::torus2d(2, 4),

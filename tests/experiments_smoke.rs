@@ -37,10 +37,15 @@ fn tab03_latency_path() {
 
 #[test]
 fn tab04_injection_path() {
-    let mut params = FabricParams::default();
-    params.poll_persistence = 1;
+    let params = FabricParams {
+        poll_persistence: 1,
+        ..Default::default()
+    };
     let r1 = injection_rate(&params, 2_000).unwrap().cycles_per_packet;
-    params.poll_persistence = 16;
+    let params = FabricParams {
+        poll_persistence: 16,
+        ..Default::default()
+    };
     let r16 = injection_rate(&params, 2_000).unwrap().cycles_per_packet;
     assert!(r1 > 4.5 && r16 < 1.5, "R=1: {r1}, R=16: {r16}");
 }
@@ -60,7 +65,10 @@ fn fig09_bandwidth_path() {
 fn fig10_fig11_collectives_path() {
     let params = FabricParams::default();
     let mpi = MpiCollectives::default();
-    for (kind, elems) in [(CollectiveKind::Bcast, 2048u64), (CollectiveKind::Reduce, 2048)] {
+    for (kind, elems) in [
+        (CollectiveKind::Bcast, 2048u64),
+        (CollectiveKind::Reduce, 2048),
+    ] {
         let smi_t = collective(
             &Topology::torus2d(2, 4),
             kind,

@@ -50,7 +50,11 @@ fn unplugged_cable_reroutes_traffic() {
             })
             .collect();
         let report = run_mpmd(&topo, metas, programs, RuntimeParams::default()).unwrap();
-        assert_eq!(report.results[7], (0..100i64).sum::<i64>(), "cable {broken}");
+        assert_eq!(
+            report.results[7],
+            (0..100i64).sum::<i64>(),
+            "cable {broken}"
+        );
     }
 }
 
@@ -75,8 +79,10 @@ fn mismatched_program_times_out_instead_of_hanging() {
         ProgramMeta::new().with(OpSpec::recv(0, Datatype::Int)),
         ProgramMeta::new().with(OpSpec::send(0, Datatype::Int)),
     ];
-    let mut params = RuntimeParams::default();
-    params.blocking_timeout = Duration::from_millis(200);
+    let params = RuntimeParams {
+        blocking_timeout: Duration::from_millis(200),
+        ..Default::default()
+    };
     type Prog = Box<dyn FnOnce(SmiCtx) -> bool + Send>;
     let programs: Vec<Prog> = vec![
         Box::new(|ctx| {
@@ -97,8 +103,10 @@ fn credit_starvation_times_out() {
         ProgramMeta::new().with(OpSpec::send(0, Datatype::Int)),
         ProgramMeta::new().with(OpSpec::recv(0, Datatype::Int)),
     ];
-    let mut params = RuntimeParams::default();
-    params.blocking_timeout = Duration::from_millis(200);
+    let params = RuntimeParams {
+        blocking_timeout: Duration::from_millis(200),
+        ..Default::default()
+    };
     type Prog = Box<dyn FnOnce(SmiCtx) -> bool + Send>;
     let programs: Vec<Prog> = vec![
         Box::new(|ctx| {
@@ -130,7 +138,10 @@ fn credit_starvation_times_out() {
         }),
     ];
     let report = run_mpmd(&topo, metas, programs, params).unwrap();
-    assert!(report.results[0], "sender must hit credit starvation timeout");
+    assert!(
+        report.results[0],
+        "sender must hit credit starvation timeout"
+    );
 }
 
 #[test]

@@ -48,7 +48,10 @@ fn full_workflow_from_text_topology() {
         }),
     ];
     let report = run_mpmd(&topo, metas, programs, RuntimeParams::default()).unwrap();
-    assert_eq!(report.results[3], (0..40).map(|i| i as f64 * 0.25).sum::<f64>());
+    assert_eq!(
+        report.results[3],
+        (0..40).map(|i| i as f64 * 0.25).sum::<f64>()
+    );
     assert_eq!(report.transport.2, 0, "no unroutable packets");
 }
 
@@ -68,7 +71,11 @@ fn spmd_program_one_design_any_rank_count() {
     // "For SPMD programs … the user only needs to build a single bitstream
     // for any number of nodes": the same metadata works on 2, 4 and 8 ranks.
     let meta = ProgramMeta::new().with(OpSpec::bcast(0, Datatype::Int));
-    for topo in [Topology::bus(2), Topology::torus2d(2, 2), Topology::torus2d(2, 4)] {
+    for topo in [
+        Topology::bus(2),
+        Topology::torus2d(2, 2),
+        Topology::torus2d(2, 4),
+    ] {
         let n_ranks = topo.num_ranks();
         let design = ClusterDesign::spmd(&meta, &topo).expect("design");
         design.validate_collectives().expect("consistent");
