@@ -1,0 +1,309 @@
+//! Scaling benchmark of the functional message plane: p2p throughput vs.
+//! rank count on the sharded batched runtime, emitted as
+//! `BENCH_scaling.json` so every CI run leaves a perf data point.
+//!
+//! Three series:
+//!
+//! * `task_bulk` — disjoint neighbour pairs (`2i → 2i+1`) on a bus, rank
+//!   programs as cooperative tasks (`run_mpmd_tasks`) using the bulk
+//!   `try_push_slice`/`try_pop_slice` APIs. This is the configuration that
+//!   scales past the OS thread budget: the whole cluster runs on the
+//!   executor's worker pool.
+//! * `threads_per_element` — the paper-style per-element `push`/`pop` API on
+//!   thread-per-rank execution at 8 ranks (the pre-batching hot path).
+//! * `threads_bulk` — `push_slice`/`pop_slice` on thread-per-rank execution
+//!   at 8 ranks, isolating the batching win from the executor win.
+//!
+//! A timing-plane reference (`fabric_pairs`, cycle-accurate model) is
+//! recorded for 8 ranks for cross-plane context.
+//!
+//! Usage: `bench_scaling [--quick|--smoke | --full] [--out PATH]`
+//! (`--smoke` is an alias for `--quick`.)
+
+use std::time::Instant;
+
+use smi::env::SmiCtx;
+use smi::prelude::*;
+use smi_fabric::bench_api::p2p_pairs;
+use smi_fabric::params::FabricParams;
+
+/// One measured point.
+struct Point {
+    series: &'static str,
+    ranks: usize,
+    elems_per_pair: u64,
+    seconds: f64,
+    melem_per_s: f64,
+    threads_spawned: usize,
+}
+
+struct BulkSend {
+    ch: Option<SendChannel<i32>>,
+    data: Vec<i32>,
+    off: usize,
+}
+
+impl RankTask for BulkSend {
+    fn poll(&mut self) -> Result<TaskStatus, SmiError> {
+        let ch = self.ch.as_mut().expect("open while pending");
+        let before = self.off;
+        if self.off < self.data.len() {
+            self.off += ch.try_push_slice(&self.data[self.off..])?;
+        }
+        if self.off == self.data.len() && ch.try_flush()? && ch.fully_sent() {
+            self.ch = None; // close: return the endpoint resource
+            return Ok(TaskStatus::Done);
+        }
+        Ok(if self.off > before {
+            TaskStatus::Progress
+        } else {
+            TaskStatus::Pending
+        })
+    }
+}
+
+struct BulkRecv {
+    ch: Option<RecvChannel<i32>>,
+    buf: Vec<i32>,
+    filled: usize,
+}
+
+impl RankTask for BulkRecv {
+    fn poll(&mut self) -> Result<TaskStatus, SmiError> {
+        let ch = self.ch.as_mut().expect("open while pending");
+        let moved = ch.try_pop_slice(&mut self.buf[self.filled..])?;
+        self.filled += moved;
+        if self.filled == self.buf.len() {
+            // Verify the stream before declaring success.
+            for (i, &v) in self.buf.iter().enumerate() {
+                if v != i as i32 {
+                    return Err(SmiError::ProtocolViolation {
+                        detail: format!("element {i} corrupted: {v}"),
+                    });
+                }
+            }
+            self.ch = None;
+            return Ok(TaskStatus::Done);
+        }
+        Ok(if moved > 0 {
+            TaskStatus::Progress
+        } else {
+            TaskStatus::Pending
+        })
+    }
+}
+
+fn pair_metas(ranks: usize) -> Vec<ProgramMeta> {
+    (0..ranks)
+        .map(|r| {
+            if r % 2 == 0 {
+                ProgramMeta::new().with(OpSpec::send(0, Datatype::Int))
+            } else {
+                ProgramMeta::new().with(OpSpec::recv(0, Datatype::Int))
+            }
+        })
+        .collect()
+}
+
+/// Cooperative-task bulk run: returns (seconds, threads_spawned).
+fn run_task_bulk(ranks: usize, n: u64) -> (f64, usize) {
+    let topo = Topology::bus(ranks);
+    let factories: Vec<TaskFactory> = (0..ranks)
+        .map(|r| {
+            let f: TaskFactory = if r % 2 == 0 {
+                Box::new(move |ctx: SmiCtx| {
+                    let ch = ctx.open_send_channel::<i32>(n, r + 1, 0)?;
+                    Ok(Box::new(BulkSend {
+                        ch: Some(ch),
+                        data: (0..n as i32).collect(),
+                        off: 0,
+                    }) as Box<dyn RankTask>)
+                })
+            } else {
+                Box::new(move |ctx: SmiCtx| {
+                    let ch = ctx.open_recv_channel::<i32>(n, r - 1, 0)?;
+                    Ok(Box::new(BulkRecv {
+                        ch: Some(ch),
+                        buf: vec![0; n as usize],
+                        filled: 0,
+                    }) as Box<dyn RankTask>)
+                })
+            };
+            f
+        })
+        .collect();
+    let t = Instant::now();
+    let report = run_mpmd_tasks(
+        &topo,
+        pair_metas(ranks),
+        factories,
+        RuntimeParams::default(),
+    )
+    .expect("launch");
+    let dt = t.elapsed().as_secs_f64();
+    for (r, res) in report.results.iter().enumerate() {
+        if let Err(e) = res {
+            panic!("rank {r} failed: {e}");
+        }
+    }
+    assert_eq!(report.transport.2, 0, "unroutable packets");
+    (dt, report.threads_spawned)
+}
+
+/// Thread-per-rank run; `bulk` picks slice vs per-element channel calls.
+fn run_threads(ranks: usize, n: u64, bulk: bool) -> (f64, usize) {
+    let topo = Topology::bus(ranks);
+    type Prog = Box<dyn FnOnce(SmiCtx) -> bool + Send>;
+    let programs: Vec<Prog> = (0..ranks)
+        .map(|r| {
+            let b: Prog = if r % 2 == 0 {
+                Box::new(move |ctx| {
+                    let mut ch = ctx.open_send_channel::<i32>(n, r + 1, 0).unwrap();
+                    if bulk {
+                        let data: Vec<i32> = (0..n as i32).collect();
+                        ch.push_slice(&data).unwrap();
+                    } else {
+                        for i in 0..n as i32 {
+                            ch.push(&i).unwrap();
+                        }
+                    }
+                    true
+                })
+            } else {
+                Box::new(move |ctx| {
+                    let mut ch = ctx.open_recv_channel::<i32>(n, r - 1, 0).unwrap();
+                    if bulk {
+                        let mut buf = vec![0i32; n as usize];
+                        ch.pop_slice(&mut buf).unwrap();
+                        buf.iter().enumerate().all(|(i, &v)| v == i as i32)
+                    } else {
+                        (0..n as i32).all(|i| ch.pop().unwrap() == i)
+                    }
+                })
+            };
+            b
+        })
+        .collect();
+    let t = Instant::now();
+    let report =
+        run_mpmd(&topo, pair_metas(ranks), programs, RuntimeParams::default()).expect("launch");
+    let dt = t.elapsed().as_secs_f64();
+    assert!(report.results.iter().all(|&ok| ok), "data corrupted");
+    (dt, report.threads_spawned)
+}
+
+fn main() {
+    let mut effort = smi_bench::Effort::from_args();
+    let mut out_path = String::from("BENCH_scaling.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--smoke" => effort = smi_bench::Effort::Quick,
+            _ => {}
+        }
+    }
+    smi_bench::banner(
+        "bench_scaling — functional-plane p2p throughput vs. rank count",
+        "runtime scaling (sharded executor + burst batching)",
+    );
+
+    let (rank_sweep, total_elems): (Vec<usize>, u64) = match effort {
+        smi_bench::Effort::Quick => (vec![2, 8, 32, 64], 512 << 10),
+        smi_bench::Effort::Normal => (vec![2, 4, 8, 16, 32, 64], 8 << 20),
+        smi_bench::Effort::Full => (vec![2, 4, 8, 16, 32, 64, 128], 32 << 20),
+    };
+
+    let mut points: Vec<Point> = Vec::new();
+    println!(
+        "{:<22} {:>6} {:>12} {:>10} {:>9} {:>8}",
+        "series", "ranks", "elems/pair", "seconds", "Melem/s", "threads"
+    );
+
+    for &ranks in &rank_sweep {
+        let pairs = (ranks / 2) as u64;
+        let n = (total_elems / pairs).max(1024);
+        let (dt, threads) = run_task_bulk(ranks, n);
+        let melem = (n * pairs) as f64 / dt / 1e6;
+        println!(
+            "{:<22} {:>6} {:>12} {:>10.3} {:>9.2} {:>8}",
+            "task_bulk", ranks, n, dt, melem, threads
+        );
+        points.push(Point {
+            series: "task_bulk",
+            ranks,
+            elems_per_pair: n,
+            seconds: dt,
+            melem_per_s: melem,
+            threads_spawned: threads,
+        });
+    }
+
+    for (series, bulk) in [("threads_per_element", false), ("threads_bulk", true)] {
+        let ranks = 8usize;
+        let n = (total_elems / 4).max(1024);
+        let (dt, threads) = run_threads(ranks, n, bulk);
+        let melem = (n * 4) as f64 / dt / 1e6;
+        println!(
+            "{:<22} {:>6} {:>12} {:>10.3} {:>9.2} {:>8}",
+            series, ranks, n, dt, melem, threads
+        );
+        points.push(Point {
+            series,
+            ranks,
+            elems_per_pair: n,
+            seconds: dt,
+            melem_per_s: melem,
+            threads_spawned: threads,
+        });
+    }
+
+    // Timing-plane reference at 8 ranks (cycle-accurate model, not wall
+    // clock): aggregate Gbit/s over 4 disjoint flows.
+    let fabric_n = match effort {
+        smi_bench::Effort::Quick => 50_000u64,
+        _ => 400_000,
+    };
+    let fr = p2p_pairs(
+        &Topology::bus(8),
+        fabric_n,
+        Datatype::Int,
+        &FabricParams::default(),
+    )
+    .expect("fabric pairs");
+    assert_eq!(fr.errors, 0);
+    println!(
+        "fabric_pairs (model)        8 {fabric_n:>12} {:>10.1}us {:>6.1} Gbit/s aggregate",
+        fr.time_us, fr.aggregate_gbit_s
+    );
+
+    // Hand-rolled JSON: flat, stable, diff-friendly.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"benchmark\": \"bench_scaling\",\n  \"effort\": \"{:?}\",\n  \"available_parallelism\": {},\n",
+        effort,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    ));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"series\": \"{}\", \"ranks\": {}, \"elems_per_pair\": {}, \"seconds\": {:.6}, \"melem_per_s\": {:.3}, \"threads_spawned\": {}}}{}\n",
+            p.series,
+            p.ranks,
+            p.elems_per_pair,
+            p.seconds,
+            p.melem_per_s,
+            p.threads_spawned,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"fabric_pairs_8rank\": {{\"elems_per_pair\": {}, \"time_us\": {:.3}, \"aggregate_gbit_s\": {:.3}}}\n",
+        fabric_n, fr.time_us, fr.aggregate_gbit_s
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write JSON");
+    println!("\nwrote {out_path}");
+}

@@ -13,14 +13,25 @@
 //! and **credit-based** (the sender stays within a window granted by the
 //! receiver, so a slow receiver cannot clog shared transport paths with
 //! this channel's packets).
+//!
+//! Beyond the paper's per-element API, both ends expose **bulk** operations:
+//! [`SendChannel::push_slice`] / [`RecvChannel::pop_slice`] move whole
+//! slices, framing directly into packets and handing packets to the
+//! transport in multi-packet bursts (amortizing queue synchronization), and
+//! their non-blocking variants [`SendChannel::try_push_slice`] /
+//! [`RecvChannel::try_pop_slice`] make the channel usable from cooperative
+//! rank tasks (see [`crate::env::run_mpmd_tasks`]). Single-element `push`
+//! still forwards each completed packet immediately, preserving the paper's
+//! pipelining/liveness semantics that lockstep programs rely on.
 
 use std::marker::PhantomData;
 use std::time::Duration;
 
-use crossbeam::channel::RecvTimeoutError;
+use crossbeam::channel::TrySendError;
 use smi_wire::{Deframer, Framer, NetworkPacket, PacketOp, SmiType};
 
-use crate::endpoint::{send_packet, EndpointTableHandle, RecvRes, SendRes};
+use crate::endpoint::{send_burst, send_packet, EndpointTableHandle, RecvRes, SendRes};
+use crate::transport::Burst;
 use crate::SmiError;
 
 /// Transmission protocol of a point-to-point channel (§3.3).
@@ -49,10 +60,15 @@ pub struct SendChannel<T: SmiType> {
     protocol: Protocol,
     credits: u64,
     timeout: Duration,
+    /// Completed packets not yet handed to the CKS (bulk paths only).
+    staged: Burst,
+    /// Burst size cap ([`crate::RuntimeParams::burst_packets`]).
+    max_burst: usize,
     _elem: PhantomData<T>,
 }
 
 impl<T: SmiType> SendChannel<T> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn open(
         table: EndpointTableHandle,
         my_wire_rank: u8,
@@ -61,11 +77,12 @@ impl<T: SmiType> SendChannel<T> {
         count: u64,
         protocol: Protocol,
         timeout: Duration,
+        max_burst: usize,
     ) -> Result<Self, SmiError> {
-        let res = table.borrow_mut().take_send(port)?;
+        let res = table.lock().take_send(port)?;
         if res.dtype != T::DATATYPE {
             let declared = res.dtype;
-            table.borrow_mut().put_send(port, res);
+            table.lock().put_send(port, res);
             return Err(SmiError::TypeMismatch {
                 declared,
                 requested: T::DATATYPE,
@@ -92,8 +109,70 @@ impl<T: SmiType> SendChannel<T> {
             protocol,
             credits,
             timeout,
+            staged: Vec::new(),
+            max_burst: max_burst.max(1),
             _elem: PhantomData,
         })
+    }
+
+    /// Blocking wait for a credit grant (credit protocol, empty window).
+    fn wait_credit(&mut self) -> Result<(), SmiError> {
+        let res = self.res.as_mut().expect("resource held while open");
+        let pkt = res.credit_rx.recv_packet(self.timeout, "credit grant")?;
+        if pkt.header.op != PacketOp::Credit {
+            return Err(SmiError::ProtocolViolation {
+                detail: format!("unexpected {:?} on credit path", pkt.header.op),
+            });
+        }
+        self.credits += pkt.control_arg() as u64;
+        Ok(())
+    }
+
+    /// Absorb any grants already delivered, without blocking.
+    fn absorb_credits(&mut self) -> Result<(), SmiError> {
+        let res = self.res.as_mut().expect("resource held while open");
+        while let Some(pkt) = res.credit_rx.try_recv_packet()? {
+            if pkt.header.op != PacketOp::Credit {
+                return Err(SmiError::ProtocolViolation {
+                    detail: format!("unexpected {:?} on credit path", pkt.header.op),
+                });
+            }
+            self.credits += pkt.control_arg() as u64;
+        }
+        Ok(())
+    }
+
+    /// Hand the staged burst to the CKS, blocking on backpressure.
+    fn flush_staged(&mut self) -> Result<(), SmiError> {
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        let burst = std::mem::take(&mut self.staged);
+        let res = self.res.as_ref().expect("resource held while open");
+        send_burst(
+            &res.to_cks,
+            burst,
+            self.timeout,
+            "send-channel backpressure",
+        )
+    }
+
+    /// Hand the staged burst to the CKS without blocking. Returns `false`
+    /// (burst retained) when the FIFO is full.
+    fn try_flush_staged(&mut self) -> Result<bool, SmiError> {
+        if self.staged.is_empty() {
+            return Ok(true);
+        }
+        let burst = std::mem::take(&mut self.staged);
+        let res = self.res.as_ref().expect("resource held while open");
+        match res.to_cks.try_send(burst) {
+            Ok(()) => Ok(true),
+            Err(TrySendError::Full(b)) => {
+                self.staged = b;
+                Ok(false)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SmiError::TransportClosed),
+        }
     }
 
     /// `SMI_Push`: append one element to the message. Blocks on backpressure
@@ -102,25 +181,8 @@ impl<T: SmiType> SendChannel<T> {
         if self.sent == self.count {
             return Err(SmiError::CountExceeded { count: self.count });
         }
-        let res = self.res.as_ref().expect("resource held while open");
         if matches!(self.protocol, Protocol::Credit { .. }) && self.credits == 0 {
-            // Wait for the receiver's grant.
-            match res.credit_rx.recv_timeout(self.timeout) {
-                Ok(pkt) if pkt.header.op == PacketOp::Credit => {
-                    self.credits += pkt.control_arg() as u64;
-                }
-                Ok(other) => {
-                    return Err(SmiError::ProtocolViolation {
-                        detail: format!("unexpected {:?} on credit path", other.header.op),
-                    })
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    return Err(SmiError::Timeout {
-                        waiting_for: "credit grant",
-                    })
-                }
-                Err(RecvTimeoutError::Disconnected) => return Err(SmiError::TransportClosed),
-            }
+            self.wait_credit()?;
         }
         self.sent += 1;
         if self.credits != u64::MAX {
@@ -138,9 +200,108 @@ impl<T: SmiType> SendChannel<T> {
             full
         };
         if let Some(pkt) = maybe_pkt {
-            send_packet(&res.to_cks, pkt, self.timeout, "send-channel backpressure")?;
+            // Per-element pushes forward each completed packet immediately:
+            // lockstep programs rely on packet-granularity progress.
+            self.staged.push(pkt);
+            self.flush_staged()?;
         }
         Ok(())
+    }
+
+    /// Bulk `SMI_Push`: append a whole slice, framing directly into packets
+    /// and handing them to the transport in bursts of up to
+    /// `burst_packets`. Blocks on backpressure and credit waits; when it
+    /// returns, every element has been accepted by the transport layer.
+    ///
+    /// A slice larger than the channel's remaining count fails atomically
+    /// up front: nothing is consumed.
+    pub fn push_slice(&mut self, values: &[T]) -> Result<(), SmiError> {
+        if values.len() as u64 > self.count - self.sent {
+            return Err(SmiError::CountExceeded { count: self.count });
+        }
+        let mut i = 0usize;
+        while i < values.len() {
+            if matches!(self.protocol, Protocol::Credit { .. }) && self.credits == 0 {
+                self.wait_credit()?;
+            }
+            i += self.frame_chunk(&values[i..]);
+            if self.staged.len() >= self.max_burst || self.must_flush_now() {
+                self.flush_staged()?;
+            }
+        }
+        self.flush_staged()
+    }
+
+    /// Non-blocking bulk push: appends as many elements as transport
+    /// capacity (and, in credit mode, the granted window) currently allows
+    /// and returns how many were consumed. `Ok(0)` means "try again later" —
+    /// the channel never blocks. Elements already framed into a staged burst
+    /// count as consumed; call [`SendChannel::try_flush`] (or just keep
+    /// calling this) until [`SendChannel::fully_sent`] reports completion.
+    pub fn try_push_slice(&mut self, values: &[T]) -> Result<usize, SmiError> {
+        if values.len() as u64 > self.count - self.sent {
+            return Err(SmiError::CountExceeded { count: self.count });
+        }
+        if !self.try_flush_staged()? {
+            return Ok(0);
+        }
+        let mut consumed = 0usize;
+        while consumed < values.len() {
+            if matches!(self.protocol, Protocol::Credit { .. }) && self.credits == 0 {
+                self.absorb_credits()?;
+                if self.credits == 0 {
+                    break;
+                }
+            }
+            consumed += self.frame_chunk(&values[consumed..]);
+            if (self.staged.len() >= self.max_burst || self.must_flush_now())
+                && !self.try_flush_staged()?
+            {
+                break;
+            }
+        }
+        Ok(consumed)
+    }
+
+    /// Frame up to one packet's worth of `values` (bounded by the credit
+    /// window), staging a completed packet. Returns elements consumed.
+    fn frame_chunk(&mut self, values: &[T]) -> usize {
+        let mut avail = values.len();
+        if self.credits != u64::MAX {
+            avail = avail.min(self.credits as usize);
+        }
+        avail = avail.min((self.count - self.sent) as usize);
+        let (taken, maybe_pkt) = self.framer.push_slice(&values[..avail]);
+        self.sent += taken as u64;
+        if self.credits != u64::MAX {
+            self.credits -= taken as u64;
+        }
+        if let Some(pkt) = maybe_pkt {
+            self.staged.push(pkt);
+        } else if self.must_flush_now() {
+            if let Some(pkt) = self.framer.flush() {
+                self.staged.push(pkt);
+            }
+        }
+        taken
+    }
+
+    /// Whether a partial packet must leave the framer now (message end or
+    /// closed credit window).
+    fn must_flush_now(&self) -> bool {
+        self.sent == self.count || self.credits == 0
+    }
+
+    /// Non-blocking drain of any staged packets; `Ok(true)` when nothing is
+    /// left staged.
+    pub fn try_flush(&mut self) -> Result<bool, SmiError> {
+        self.try_flush_staged()
+    }
+
+    /// True once all `count` elements have been accepted by the transport
+    /// (nothing staged, nothing pending in the framer).
+    pub fn fully_sent(&self) -> bool {
+        self.sent == self.count && self.staged.is_empty() && self.framer.pending() == 0
     }
 
     /// Elements pushed so far.
@@ -157,12 +318,18 @@ impl<T: SmiType> SendChannel<T> {
 impl<T: SmiType> Drop for SendChannel<T> {
     fn drop(&mut self) {
         // A dropped incomplete channel flushes its partial packet (the
-        // elements were semantically "pushed") and frees the port.
+        // elements were semantically "pushed") and frees the port. The
+        // handover is best-effort (try_send): Drop may run on an executor
+        // worker, and blocking there would wedge the very thread that
+        // drains the FIFO.
         if let Some(res) = self.res.take() {
             if let Some(pkt) = self.framer.flush() {
-                let _ = res.to_cks.send(pkt);
+                self.staged.push(pkt);
             }
-            self.table.borrow_mut().put_send(self.port, res);
+            if !self.staged.is_empty() {
+                let _ = res.to_cks.try_send(std::mem::take(&mut self.staged));
+            }
+            self.table.lock().put_send(self.port, res);
         }
     }
 }
@@ -179,6 +346,9 @@ pub struct RecvChannel<T: SmiType> {
     my_wire_rank: u8,
     src_wire_rank: u8,
     protocol: Protocol,
+    /// Elements consumed but not yet granted back (credit protocol). Grants
+    /// are coalesced: one grant packet per half-window (or message end),
+    /// checked at packet boundaries on the bulk paths.
     ungranted: u64,
     timeout: Duration,
     _elem: PhantomData<T>,
@@ -194,10 +364,10 @@ impl<T: SmiType> RecvChannel<T> {
         protocol: Protocol,
         timeout: Duration,
     ) -> Result<Self, SmiError> {
-        let res = table.borrow_mut().take_recv(port)?;
+        let res = table.lock().take_recv(port)?;
         if res.dtype != T::DATATYPE {
             let declared = res.dtype;
-            table.borrow_mut().put_recv(port, res);
+            table.lock().put_recv(port, res);
             return Err(SmiError::TypeMismatch {
                 declared,
                 requested: T::DATATYPE,
@@ -219,48 +389,128 @@ impl<T: SmiType> RecvChannel<T> {
         })
     }
 
+    fn refill(&mut self, pkt: NetworkPacket) -> Result<(), SmiError> {
+        if pkt.header.op != PacketOp::Send {
+            return Err(SmiError::ProtocolViolation {
+                detail: format!("unexpected {:?} on p2p recv path", pkt.header.op),
+            });
+        }
+        self.deframer.refill(pkt);
+        Ok(())
+    }
+
+    /// Send a coalesced credit grant if enough elements accumulated (or the
+    /// message completed). `blocking` selects the transport handover mode;
+    /// in non-blocking mode an un-sendable grant stays accumulated and is
+    /// retried on the next call.
+    fn maybe_grant(&mut self, blocking: bool) -> Result<(), SmiError> {
+        let window = match self.protocol {
+            Protocol::Credit { window } => window,
+            Protocol::Eager => return Ok(()),
+        };
+        let batch = (window / 2).max(1);
+        if self.ungranted < batch && self.received != self.count {
+            return Ok(());
+        }
+        if self.ungranted == 0 {
+            return Ok(());
+        }
+        let grant = NetworkPacket::control(
+            self.my_wire_rank,
+            self.src_wire_rank,
+            self.port as u8,
+            PacketOp::Credit,
+            self.ungranted as u32,
+        );
+        let res = self.res.as_ref().expect("resource held while open");
+        if blocking {
+            send_packet(&res.grant_tx, grant, self.timeout, "credit grant path")?;
+        } else {
+            match res.grant_tx.try_send(vec![grant]) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => return Ok(()), // retry later
+                Err(TrySendError::Disconnected(_)) => return Err(SmiError::TransportClosed),
+            }
+        }
+        self.ungranted = 0;
+        Ok(())
+    }
+
     /// `SMI_Pop`: receive the next element, blocking until it arrives.
     pub fn pop(&mut self) -> Result<T, SmiError> {
         if self.received == self.count {
             return Err(SmiError::CountExceeded { count: self.count });
         }
-        let res = self.res.as_ref().expect("resource held while open");
         while self.deframer.is_empty() {
-            match res.from_ckr.recv_timeout(self.timeout) {
-                Ok(pkt) if pkt.header.op == PacketOp::Send => self.deframer.refill(pkt),
-                Ok(other) => {
-                    return Err(SmiError::ProtocolViolation {
-                        detail: format!("unexpected {:?} on p2p recv path", other.header.op),
-                    })
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    return Err(SmiError::Timeout {
-                        waiting_for: "message data",
-                    })
-                }
-                Err(RecvTimeoutError::Disconnected) => return Err(SmiError::TransportClosed),
-            }
+            let res = self.res.as_mut().expect("resource held while open");
+            let pkt = res.from_ckr.recv_packet(self.timeout, "message data")?;
+            self.refill(pkt)?;
         }
         let v = self.deframer.pop::<T>().expect("non-empty deframer");
         self.received += 1;
-        if let Protocol::Credit { window } = self.protocol {
-            self.ungranted += 1;
-            // Re-grant at half-window granularity (or at message end) so the
-            // sender's pipeline keeps moving.
-            let batch = (window / 2).max(1);
-            if self.ungranted >= batch || self.received == self.count {
-                let grant = NetworkPacket::control(
-                    self.my_wire_rank,
-                    self.src_wire_rank,
-                    self.port as u8,
-                    PacketOp::Credit,
-                    self.ungranted as u32,
-                );
-                send_packet(&res.grant_tx, grant, self.timeout, "credit grant path")?;
-                self.ungranted = 0;
-            }
-        }
+        self.ungranted += u64::from(matches!(self.protocol, Protocol::Credit { .. }));
+        self.maybe_grant(true)?;
         Ok(v)
+    }
+
+    /// Bulk `SMI_Pop`: fill the whole slice, blocking until every element
+    /// arrived. Credit grants are coalesced per packet rather than per
+    /// element.
+    ///
+    /// A slice larger than the channel's remaining count fails atomically
+    /// up front: nothing is consumed.
+    pub fn pop_slice(&mut self, out: &mut [T]) -> Result<(), SmiError> {
+        if out.len() as u64 > self.count - self.received {
+            return Err(SmiError::CountExceeded { count: self.count });
+        }
+        let mut filled = 0usize;
+        while filled < out.len() {
+            if self.deframer.is_empty() {
+                let res = self.res.as_mut().expect("resource held while open");
+                let pkt = res.from_ckr.recv_packet(self.timeout, "message data")?;
+                self.refill(pkt)?;
+            }
+            filled += self.drain_deframer(&mut out[filled..]);
+            self.maybe_grant(true)?;
+        }
+        Ok(())
+    }
+
+    /// Non-blocking bulk pop: drains whatever has arrived into `out` and
+    /// returns how many elements were written (possibly 0).
+    pub fn try_pop_slice(&mut self, out: &mut [T]) -> Result<usize, SmiError> {
+        if out.len() as u64 > self.count - self.received {
+            return Err(SmiError::CountExceeded { count: self.count });
+        }
+        // Retry a grant deferred by a full FIFO even when no data is
+        // buffered — with the sender's window exhausted, this grant is the
+        // only thing that can make new data arrive.
+        self.maybe_grant(false)?;
+        let mut filled = 0usize;
+        while filled < out.len() {
+            if self.deframer.is_empty() {
+                let res = self.res.as_mut().expect("resource held while open");
+                match res.from_ckr.try_recv_packet()? {
+                    Some(pkt) => self.refill(pkt)?,
+                    None => break,
+                }
+            }
+            filled += self.drain_deframer(&mut out[filled..]);
+            self.maybe_grant(false)?;
+        }
+        Ok(filled)
+    }
+
+    /// Move elements from the deframer into `out`, bounded by the channel
+    /// count; updates progress and grant accounting.
+    fn drain_deframer(&mut self, out: &mut [T]) -> usize {
+        let cap = out.len().min((self.count - self.received) as usize);
+        let n = self.deframer.pop_slice(&mut out[..cap]);
+        self.received += n as u64;
+        if matches!(self.protocol, Protocol::Credit { .. }) {
+            self.ungranted += n as u64;
+        }
+        n
     }
 
     /// Elements popped so far.
@@ -277,7 +527,19 @@ impl<T: SmiType> RecvChannel<T> {
 impl<T: SmiType> Drop for RecvChannel<T> {
     fn drop(&mut self) {
         if let Some(res) = self.res.take() {
-            self.table.borrow_mut().put_recv(self.port, res);
+            // Best-effort delivery of a final coalesced grant so a sender
+            // mid-window is not stranded by an early close.
+            if self.ungranted > 0 {
+                let grant = NetworkPacket::control(
+                    self.my_wire_rank,
+                    self.src_wire_rank,
+                    self.port as u8,
+                    PacketOp::Credit,
+                    self.ungranted as u32,
+                );
+                let _ = res.grant_tx.try_send(vec![grant]);
+            }
+            self.table.lock().put_recv(self.port, res);
         }
     }
 }

@@ -5,9 +5,9 @@ use std::time::Duration;
 
 use smi_wire::{Deframer, Framer, PacketOp, SmiType};
 
-use crate::collectives::{expect_op, recv_packet};
+use crate::collectives::expect_op;
 use crate::comm::Communicator;
-use crate::endpoint::{send_packet, CollRes, EndpointTableHandle};
+use crate::endpoint::{send_burst, send_packet, CollRes, EndpointTableHandle};
 use crate::SmiError;
 
 /// A broadcast channel (`SMI_BChannel`). The root pushes each element to
@@ -42,12 +42,10 @@ impl<T: SmiType> BcastChannel<T> {
     ) -> Result<Self, SmiError> {
         let root_world = comm.world_rank(root)?;
         let my_world = comm.world_rank(comm.rank())?;
-        let res = table
-            .borrow_mut()
-            .take_coll(port, smi_codegen::OpKind::Bcast)?;
+        let res = table.lock().take_coll(port, smi_codegen::OpKind::Bcast)?;
         if res.dtype != T::DATATYPE {
             let declared = res.dtype;
-            table.borrow_mut().put_coll(port, res);
+            table.lock().put_coll(port, res);
             return Err(SmiError::TypeMismatch {
                 declared,
                 requested: T::DATATYPE,
@@ -62,7 +60,7 @@ impl<T: SmiType> BcastChannel<T> {
             .collect();
         let port_wire = smi_wire::header::port_to_wire(port)?;
         let my_wire = smi_wire::header::rank_to_wire(my_world)?;
-        let chan = BcastChannel {
+        let mut chan = BcastChannel {
             count,
             done: 0,
             port,
@@ -83,14 +81,15 @@ impl<T: SmiType> BcastChannel<T> {
 
     /// §3.3 one-to-all synchronization: every receiver announces readiness;
     /// the root collects all announcements before streaming.
-    fn rendezvous(&self) -> Result<(), SmiError> {
-        let res = self.res.as_ref().expect("open");
+    fn rendezvous(&mut self) -> Result<(), SmiError> {
         if self.count == 0 {
             return Ok(());
         }
+        let timeout = self.timeout;
+        let res = self.res.as_mut().expect("open");
         if self.is_root {
             for _ in 0..self.others.len() {
-                let pkt = recv_packet(&res.rx, self.timeout, "bcast ready sync")?;
+                let pkt = res.rx.recv_packet(timeout, "bcast ready sync")?;
                 expect_op(&pkt, PacketOp::Sync)?;
             }
         } else {
@@ -101,7 +100,7 @@ impl<T: SmiType> BcastChannel<T> {
                 PacketOp::Sync,
                 0,
             );
-            send_packet(&res.to_cks, sync, self.timeout, "bcast sync path")?;
+            send_packet(&res.to_cks, sync, timeout, "bcast sync path")?;
         }
         Ok(())
     }
@@ -112,7 +111,6 @@ impl<T: SmiType> BcastChannel<T> {
         if self.done == self.count {
             return Err(SmiError::CountExceeded { count: self.count });
         }
-        let res = self.res.as_ref().expect("open");
         if self.is_root {
             self.done += 1;
             let full = self.framer.push(data);
@@ -121,16 +119,25 @@ impl<T: SmiType> BcastChannel<T> {
             } else {
                 full
             };
-            if let Some(pkt) = maybe_pkt {
-                for &dst in &self.others {
-                    let mut copy = pkt;
-                    copy.header.dst = dst as u8;
-                    send_packet(&res.to_cks, copy, self.timeout, "bcast data fan-out")?;
-                }
+            if let Some(pkt) = maybe_pkt.filter(|_| !self.others.is_empty()) {
+                // Fan out to every member as one burst: the CKS splits it
+                // per destination route.
+                let burst: Vec<_> = self
+                    .others
+                    .iter()
+                    .map(|&dst| {
+                        let mut copy = pkt;
+                        copy.header.dst = dst as u8;
+                        copy
+                    })
+                    .collect();
+                let res = self.res.as_ref().expect("open");
+                send_burst(&res.to_cks, burst, self.timeout, "bcast data fan-out")?;
             }
         } else {
             while self.deframer.is_empty() {
-                let pkt = recv_packet(&res.rx, self.timeout, "bcast data")?;
+                let res = self.res.as_mut().expect("open");
+                let pkt = res.rx.recv_packet(self.timeout, "bcast data")?;
                 expect_op(&pkt, PacketOp::Bcast)?;
                 self.deframer.refill(pkt);
             }
@@ -149,7 +156,7 @@ impl<T: SmiType> BcastChannel<T> {
 impl<T: SmiType> Drop for BcastChannel<T> {
     fn drop(&mut self) {
         if let Some(res) = self.res.take() {
-            self.table.borrow_mut().put_coll(self.port, res);
+            self.table.lock().put_coll(self.port, res);
         }
     }
 }

@@ -12,7 +12,7 @@ use std::time::Duration;
 
 use smi_wire::{Deframer, Framer, PacketOp, SmiType};
 
-use crate::collectives::{expect_op, recv_packet};
+use crate::collectives::expect_op;
 use crate::comm::Communicator;
 use crate::endpoint::{send_packet, CollRes, EndpointTableHandle};
 use crate::SmiError;
@@ -53,12 +53,10 @@ impl<T: SmiType> GatherChannel<T> {
     ) -> Result<Self, SmiError> {
         let root_world = comm.world_rank(root)?;
         let my_world = comm.world_rank(comm.rank())?;
-        let res = table
-            .borrow_mut()
-            .take_coll(port, smi_codegen::OpKind::Gather)?;
+        let res = table.lock().take_coll(port, smi_codegen::OpKind::Gather)?;
         if res.dtype != T::DATATYPE {
             let declared = res.dtype;
-            table.borrow_mut().put_coll(port, res);
+            table.lock().put_coll(port, res);
             return Err(SmiError::TypeMismatch {
                 declared,
                 requested: T::DATATYPE,
@@ -106,8 +104,8 @@ impl<T: SmiType> GatherChannel<T> {
         }
         // Wait for the root's serialized go-ahead before any data moves.
         if !self.granted {
-            let res = self.res.as_ref().expect("open");
-            let pkt = recv_packet(&res.rx, self.timeout, "gather grant")?;
+            let res = self.res.as_mut().expect("open");
+            let pkt = res.rx.recv_packet(self.timeout, "gather grant")?;
             expect_op(&pkt, PacketOp::Sync)?;
             self.granted = true;
         }
@@ -160,8 +158,8 @@ impl<T: SmiType> GatherChannel<T> {
                 self.grant_sent_for = Some(src_idx);
             }
             while self.deframer.is_empty() {
-                let res = self.res.as_ref().expect("open");
-                let pkt = recv_packet(&res.rx, self.timeout, "gather data")?;
+                let res = self.res.as_mut().expect("open");
+                let pkt = res.rx.recv_packet(self.timeout, "gather data")?;
                 expect_op(&pkt, PacketOp::Gather)?;
                 if pkt.header.src as usize != src_world {
                     return Err(SmiError::ProtocolViolation {
@@ -183,7 +181,7 @@ impl<T: SmiType> GatherChannel<T> {
 impl<T: SmiType> Drop for GatherChannel<T> {
     fn drop(&mut self) {
         if let Some(res) = self.res.take() {
-            self.table.borrow_mut().put_coll(self.port, res);
+            self.table.lock().put_coll(self.port, res);
         }
     }
 }

@@ -18,25 +18,9 @@ pub use gather::GatherChannel;
 pub use reduce::ReduceChannel;
 pub use scatter::ScatterChannel;
 
-use std::time::Duration;
-
-use crossbeam::channel::{Receiver, RecvTimeoutError};
 use smi_wire::{NetworkPacket, PacketOp};
 
 use crate::SmiError;
-
-/// Blocking receive with the runtime's timeout and uniform error mapping.
-pub(crate) fn recv_packet(
-    rx: &Receiver<NetworkPacket>,
-    timeout: Duration,
-    waiting_for: &'static str,
-) -> Result<NetworkPacket, SmiError> {
-    match rx.recv_timeout(timeout) {
-        Ok(pkt) => Ok(pkt),
-        Err(RecvTimeoutError::Timeout) => Err(SmiError::Timeout { waiting_for }),
-        Err(RecvTimeoutError::Disconnected) => Err(SmiError::TransportClosed),
-    }
-}
 
 /// Expect a specific op on a control path.
 pub(crate) fn expect_op(pkt: &NetworkPacket, op: PacketOp) -> Result<(), SmiError> {

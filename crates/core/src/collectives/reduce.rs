@@ -6,9 +6,9 @@ use std::time::Duration;
 use smi_wire::reduce::SmiNumeric;
 use smi_wire::{Deframer, Framer, NetworkPacket, PacketOp, ReduceOp};
 
-use crate::collectives::{expect_op, recv_packet};
+use crate::collectives::expect_op;
 use crate::comm::Communicator;
-use crate::endpoint::{send_packet, CollRes, EndpointTableHandle};
+use crate::endpoint::{send_burst, send_packet, CollRes, EndpointTableHandle};
 use crate::SmiError;
 
 /// A reduce channel (`SMI_RChannel`). Every member contributes one element
@@ -55,12 +55,10 @@ impl<T: SmiNumeric> ReduceChannel<T> {
         assert!(credits_window >= 1, "reduce needs at least one credit");
         let root_world = comm.world_rank(root)?;
         let my_world = comm.world_rank(comm.rank())?;
-        let res = table
-            .borrow_mut()
-            .take_coll(port, smi_codegen::OpKind::Reduce)?;
+        let res = table.lock().take_coll(port, smi_codegen::OpKind::Reduce)?;
         if res.dtype != T::DATATYPE {
             let declared = res.dtype;
-            table.borrow_mut().put_coll(port, res);
+            table.lock().put_coll(port, res);
             return Err(SmiError::TypeMismatch {
                 declared,
                 requested: T::DATATYPE,
@@ -127,9 +125,9 @@ impl<T: SmiNumeric> ReduceChannel<T> {
     }
 
     fn reduce_leaf(&mut self, snd: &T) -> Result<(), SmiError> {
-        let res = self.res.as_ref().expect("open");
         if self.credits == 0 {
-            let pkt = recv_packet(&res.credit_rx, self.timeout, "reduce credits")?;
+            let res = self.res.as_mut().expect("open");
+            let pkt = res.credit_rx.recv_packet(self.timeout, "reduce credits")?;
             expect_op(&pkt, PacketOp::Credit)?;
             self.credits += pkt.control_arg() as u64;
         }
@@ -144,6 +142,7 @@ impl<T: SmiNumeric> ReduceChannel<T> {
             full
         };
         if let Some(pkt) = maybe_pkt {
+            let res = self.res.as_ref().expect("open");
             send_packet(&res.to_cks, pkt, self.timeout, "reduce contribution path")?;
         }
         Ok(())
@@ -159,8 +158,8 @@ impl<T: SmiNumeric> ReduceChannel<T> {
         // Drain network contributions until element i is complete at every
         // member.
         while self.progress.iter().any(|&p| p <= i) {
-            let res = self.res.as_ref().expect("open");
-            let pkt = recv_packet(&res.rx, self.timeout, "reduce contributions")?;
+            let res = self.res.as_mut().expect("open");
+            let pkt = res.rx.recv_packet(self.timeout, "reduce contributions")?;
             expect_op(&pkt, PacketOp::Reduce)?;
             let src = pkt.header.src as usize;
             let idx = self.member_index[src].ok_or_else(|| SmiError::ProtocolViolation {
@@ -181,19 +180,24 @@ impl<T: SmiNumeric> ReduceChannel<T> {
         // which can only arrive after the next credit grant).
         self.window[slot] = identity_of::<T>(self.op);
         self.done = i + 1;
-        // Tile boundary: grant every sender a fresh window.
-        if self.done.is_multiple_of(c) && self.done < self.count {
+        // Tile boundary: grant every sender a fresh window (one burst; the
+        // CKS splits it per destination route).
+        if self.done.is_multiple_of(c) && self.done < self.count && !self.others_world.is_empty() {
+            let burst: Vec<_> = self
+                .others_world
+                .iter()
+                .map(|&dst| {
+                    NetworkPacket::control(
+                        self.my_world,
+                        dst as u8,
+                        self.port as u8,
+                        PacketOp::Credit,
+                        c as u32,
+                    )
+                })
+                .collect();
             let res = self.res.as_ref().expect("open");
-            for &dst in &self.others_world {
-                let grant = NetworkPacket::control(
-                    self.my_world,
-                    dst as u8,
-                    self.port as u8,
-                    PacketOp::Credit,
-                    c as u32,
-                );
-                send_packet(&res.to_cks, grant, self.timeout, "reduce credit path")?;
-            }
+            send_burst(&res.to_cks, burst, self.timeout, "reduce credit path")?;
         }
         Ok(result)
     }
@@ -215,7 +219,7 @@ fn identity_of<T: SmiNumeric>(op: ReduceOp) -> T {
 impl<T: SmiNumeric> Drop for ReduceChannel<T> {
     fn drop(&mut self) {
         if let Some(res) = self.res.take() {
-            self.table.borrow_mut().put_coll(self.port, res);
+            self.table.lock().put_coll(self.port, res);
         }
     }
 }

@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use smi_wire::{Deframer, Framer, PacketOp, SmiType};
 
-use crate::collectives::{expect_op, recv_packet};
+use crate::collectives::expect_op;
 use crate::comm::Communicator;
 use crate::endpoint::{send_packet, CollRes, EndpointTableHandle};
 use crate::SmiError;
@@ -52,12 +52,10 @@ impl<T: SmiType> ScatterChannel<T> {
     ) -> Result<Self, SmiError> {
         let root_world = comm.world_rank(root)?;
         let my_world = comm.world_rank(comm.rank())?;
-        let res = table
-            .borrow_mut()
-            .take_coll(port, smi_codegen::OpKind::Scatter)?;
+        let res = table.lock().take_coll(port, smi_codegen::OpKind::Scatter)?;
         if res.dtype != T::DATATYPE {
             let declared = res.dtype;
-            table.borrow_mut().put_coll(port, res);
+            table.lock().put_coll(port, res);
             return Err(SmiError::TypeMismatch {
                 declared,
                 requested: T::DATATYPE,
@@ -121,8 +119,8 @@ impl<T: SmiType> ScatterChannel<T> {
         // Wait for this member's ready announcement (Syncs arrive in any
         // order; flags are sticky).
         while !self.ready[dest_idx] {
-            let res = self.res.as_ref().expect("open");
-            let pkt = recv_packet(&res.rx, self.timeout, "scatter ready sync")?;
+            let res = self.res.as_mut().expect("open");
+            let pkt = res.rx.recv_packet(self.timeout, "scatter ready sync")?;
             expect_op(&pkt, PacketOp::Sync)?;
             let src = pkt.header.src as usize;
             let idx = self.members.iter().position(|&w| w == src).ok_or_else(|| {
@@ -161,8 +159,8 @@ impl<T: SmiType> ScatterChannel<T> {
                 })?
         } else {
             while self.deframer.is_empty() {
-                let res = self.res.as_ref().expect("open");
-                let pkt = recv_packet(&res.rx, self.timeout, "scatter data")?;
+                let res = self.res.as_mut().expect("open");
+                let pkt = res.rx.recv_packet(self.timeout, "scatter data")?;
                 expect_op(&pkt, PacketOp::Scatter)?;
                 self.deframer.refill(pkt);
             }
@@ -176,7 +174,7 @@ impl<T: SmiType> ScatterChannel<T> {
 impl<T: SmiType> Drop for ScatterChannel<T> {
     fn drop(&mut self) {
         if let Some(res) = self.res.take() {
-            self.table.borrow_mut().put_coll(self.port, res);
+            self.table.lock().put_coll(self.port, res);
         }
     }
 }

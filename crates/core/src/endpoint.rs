@@ -5,30 +5,99 @@
 //! channel *takes* the port's endpoint resource; closing the channel (drop)
 //! returns it, so a port can host any number of sequential transient
 //! channels but never two concurrent ones.
+//!
+//! All endpoint FIFOs move packet [`Burst`]s: bulk channel operations hand
+//! over many packets per queue operation, and receive-side resources carry a
+//! [`PacketRx`] that unbatches bursts back into a packet stream (buffered
+//! state lives with the resource, so it survives channel reopen cycles).
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
 use smi_codegen::OpKind;
 use smi_wire::{Datatype, NetworkPacket, ReduceOp};
 
+use crate::transport::Burst;
 use crate::SmiError;
 
-/// Blocking packet send with the runtime's timeout: a permanently jammed
+/// Blocking burst send with the runtime's timeout: a permanently jammed
 /// transport surfaces as an error instead of wedging the rank thread.
-pub(crate) fn send_packet(
-    tx: &Sender<NetworkPacket>,
-    pkt: NetworkPacket,
+pub(crate) fn send_burst(
+    tx: &Sender<Burst>,
+    burst: Burst,
     timeout: std::time::Duration,
     waiting_for: &'static str,
 ) -> Result<(), SmiError> {
     use crossbeam::channel::SendTimeoutError;
-    match tx.send_timeout(pkt, timeout) {
+    match tx.send_timeout(burst, timeout) {
         Ok(()) => Ok(()),
         Err(SendTimeoutError::Timeout(_)) => Err(SmiError::Timeout { waiting_for }),
         Err(SendTimeoutError::Disconnected(_)) => Err(SmiError::TransportClosed),
+    }
+}
+
+/// Blocking single-packet send (control packets: syncs, grants).
+pub(crate) fn send_packet(
+    tx: &Sender<Burst>,
+    pkt: NetworkPacket,
+    timeout: std::time::Duration,
+    waiting_for: &'static str,
+) -> Result<(), SmiError> {
+    send_burst(tx, vec![pkt], timeout, waiting_for)
+}
+
+/// Receive side of a burst FIFO, unbatched into single packets. The pending
+/// queue holds the tail of the last burst.
+#[derive(Debug)]
+pub(crate) struct PacketRx {
+    rx: Receiver<Burst>,
+    pending: VecDeque<NetworkPacket>,
+}
+
+impl PacketRx {
+    pub fn new(rx: Receiver<Burst>) -> Self {
+        PacketRx {
+            rx,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Blocking packet receive with the runtime's timeout and uniform error
+    /// mapping.
+    pub fn recv_packet(
+        &mut self,
+        timeout: std::time::Duration,
+        waiting_for: &'static str,
+    ) -> Result<NetworkPacket, SmiError> {
+        use crossbeam::channel::RecvTimeoutError;
+        loop {
+            if let Some(p) = self.pending.pop_front() {
+                return Ok(p);
+            }
+            match self.rx.recv_timeout(timeout) {
+                Ok(b) => self.pending.extend(b),
+                Err(RecvTimeoutError::Timeout) => return Err(SmiError::Timeout { waiting_for }),
+                Err(RecvTimeoutError::Disconnected) => return Err(SmiError::TransportClosed),
+            }
+        }
+    }
+
+    /// Non-blocking packet receive: `Ok(None)` when nothing is buffered.
+    pub fn try_recv_packet(&mut self) -> Result<Option<NetworkPacket>, SmiError> {
+        use crossbeam::channel::TryRecvError;
+        loop {
+            if let Some(p) = self.pending.pop_front() {
+                return Ok(Some(p));
+            }
+            match self.rx.try_recv() {
+                Ok(b) => self.pending.extend(b),
+                Err(TryRecvError::Empty) => return Ok(None),
+                Err(TryRecvError::Disconnected) => return Err(SmiError::TransportClosed),
+            }
+        }
     }
 }
 
@@ -37,8 +106,8 @@ pub(crate) fn send_packet(
 #[derive(Debug)]
 pub(crate) struct SendRes {
     pub dtype: Datatype,
-    pub to_cks: Sender<NetworkPacket>,
-    pub credit_rx: Receiver<NetworkPacket>,
+    pub to_cks: Sender<Burst>,
+    pub credit_rx: PacketRx,
 }
 
 /// Receive-side endpoint hardware: the FIFO the bound CKR delivers into,
@@ -46,8 +115,8 @@ pub(crate) struct SendRes {
 #[derive(Debug)]
 pub(crate) struct RecvRes {
     pub dtype: Datatype,
-    pub from_ckr: Receiver<NetworkPacket>,
-    pub grant_tx: Sender<NetworkPacket>,
+    pub from_ckr: PacketRx,
+    pub grant_tx: Sender<Burst>,
 }
 
 /// Collective endpoint hardware (the support-kernel attachment of §4.4):
@@ -59,9 +128,9 @@ pub(crate) struct CollRes {
     pub kind: OpKind,
     pub dtype: Datatype,
     pub reduce_op: Option<ReduceOp>,
-    pub to_cks: Sender<NetworkPacket>,
-    pub rx: Receiver<NetworkPacket>,
-    pub credit_rx: Receiver<NetworkPacket>,
+    pub to_cks: Sender<Burst>,
+    pub rx: PacketRx,
+    pub credit_rx: PacketRx,
 }
 
 /// All endpoint resources of one port.
@@ -82,8 +151,10 @@ pub(crate) struct EndpointTable {
     declared_coll: Vec<(usize, OpKind)>,
 }
 
-/// Shared handle to a rank's endpoint table (single-threaded per rank).
-pub(crate) type EndpointTableHandle = Rc<RefCell<EndpointTable>>;
+/// Shared handle to a rank's endpoint table. Lock traffic is confined to
+/// channel open/close (never the per-element hot path), so a mutex-guarded
+/// handle keeps contexts `Send` — required by the cooperative task plane.
+pub(crate) type EndpointTableHandle = Arc<Mutex<EndpointTable>>;
 
 impl EndpointTable {
     /// Record a declared endpoint (wiring time).
@@ -149,7 +220,7 @@ impl EndpointTable {
 
 /// Build a shared handle.
 pub(crate) fn new_table() -> EndpointTableHandle {
-    Rc::new(RefCell::new(EndpointTable::default()))
+    Arc::new(Mutex::new(EndpointTable::default()))
 }
 
 #[cfg(test)]
@@ -159,47 +230,47 @@ mod tests {
 
     fn send_res() -> SendRes {
         let (tx, _rx_keep) = bounded(1);
-        let (_ctx, crx) = bounded::<NetworkPacket>(1);
+        let (_ctx, crx) = bounded::<Burst>(1);
         // Leak the keepers: tests only exercise the table mechanics.
         std::mem::forget(_rx_keep);
         std::mem::forget(_ctx);
         SendRes {
             dtype: Datatype::Int,
             to_cks: tx,
-            credit_rx: crx,
+            credit_rx: PacketRx::new(crx),
         }
     }
 
     #[test]
     fn take_put_cycle() {
         let t = new_table();
-        t.borrow_mut().declare(0, OpKind::Send);
-        t.borrow_mut().put_send(0, send_res());
-        let res = t.borrow_mut().take_send(0).unwrap();
+        t.lock().declare(0, OpKind::Send);
+        t.lock().put_send(0, send_res());
+        let res = t.lock().take_send(0).unwrap();
         assert!(matches!(
-            t.borrow_mut().take_send(0),
+            t.lock().take_send(0),
             Err(SmiError::EndpointBusy { port: 0 })
         ));
-        t.borrow_mut().put_send(0, res);
-        assert!(t.borrow_mut().take_send(0).is_ok());
+        t.lock().put_send(0, res);
+        assert!(t.lock().take_send(0).is_ok());
     }
 
     #[test]
     fn undeclared_port_is_missing_not_busy() {
         let t = new_table();
         assert!(matches!(
-            t.borrow_mut().take_send(9),
+            t.lock().take_send(9),
             Err(SmiError::NoSuchEndpoint {
                 port: 9,
                 kind: "send"
             })
         ));
         assert!(matches!(
-            t.borrow_mut().take_recv(9),
+            t.lock().take_recv(9),
             Err(SmiError::NoSuchEndpoint { .. })
         ));
         assert!(matches!(
-            t.borrow_mut().take_coll(9, OpKind::Bcast),
+            t.lock().take_coll(9, OpKind::Bcast),
             Err(SmiError::NoSuchEndpoint { .. })
         ));
     }
@@ -207,10 +278,35 @@ mod tests {
     #[test]
     fn collective_kind_checked() {
         let t = new_table();
-        t.borrow_mut().declare(1, OpKind::Bcast);
+        t.lock().declare(1, OpKind::Bcast);
         assert!(matches!(
-            t.borrow_mut().take_coll(1, OpKind::Reduce),
+            t.lock().take_coll(1, OpKind::Reduce),
             Err(SmiError::NoSuchEndpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn packet_rx_unbatches_bursts() {
+        use smi_wire::PacketOp;
+        let (tx, rx) = bounded::<Burst>(4);
+        let mut prx = PacketRx::new(rx);
+        let pkt = |d: u8| NetworkPacket::new(0, d, 0, PacketOp::Send);
+        tx.send(vec![pkt(1), pkt(2)]).unwrap();
+        tx.send(vec![pkt(3)]).unwrap();
+        assert_eq!(prx.try_recv_packet().unwrap().unwrap().header.dst, 1);
+        assert_eq!(prx.try_recv_packet().unwrap().unwrap().header.dst, 2);
+        assert_eq!(
+            prx.recv_packet(std::time::Duration::from_secs(1), "t")
+                .unwrap()
+                .header
+                .dst,
+            3
+        );
+        assert!(prx.try_recv_packet().unwrap().is_none());
+        drop(tx);
+        assert!(matches!(
+            prx.try_recv_packet(),
+            Err(SmiError::TransportClosed)
         ));
     }
 }

@@ -1,11 +1,26 @@
-//! The cluster environment: launching SPMD/MPMD programs over the
-//! thread-based transport.
+//! The cluster environment: launching SPMD/MPMD programs over the sharded
+//! transport.
 //!
 //! Mirrors the paper's workflow (Fig. 8): the op metadata (what the Clang
 //! pass would extract) plus the topology produce the communication design
 //! and routing tables; the "host program" — here [`run_spmd`]/[`run_mpmd`] —
 //! uploads them, starts the transport, runs one application per rank, and
 //! tears everything down.
+//!
+//! Two execution models are provided:
+//!
+//! * **Thread-per-rank** ([`run_mpmd`]/[`run_spmd`]): each rank program is
+//!   an arbitrary blocking closure on its own OS thread. The transport (all
+//!   CKS/CKR state machines) runs on the sharded executor — a fixed pool of
+//!   worker threads — instead of one thread per CK kernel, so the thread
+//!   bill is `ranks + workers` rather than `ranks + 4·ranks`.
+//! * **Cooperative tasks** ([`run_mpmd_tasks`]/[`run_spmd_tasks`]): rank
+//!   programs are poll-mode state machines (like the paper's hardware
+//!   kernels) scheduled on the *same* worker pool as the transport. A
+//!   64-rank cluster then runs on `workers` threads total — this is the
+//!   execution model that scales past the OS thread budget. Tasks must only
+//!   use the non-blocking channel APIs ([`crate::SendChannel::try_push_slice`],
+//!   [`crate::RecvChannel::try_pop_slice`]).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -18,8 +33,9 @@ use smi_wire::SmiType;
 use crate::channel::{Protocol, RecvChannel, SendChannel};
 use crate::collectives::{BcastChannel, GatherChannel, ReduceChannel, ScatterChannel};
 use crate::comm::{Communicator, SplitBoard};
-use crate::endpoint::{new_table, EndpointTableHandle};
+use crate::endpoint::{new_table, EndpointTable, EndpointTableHandle};
 use crate::params::RuntimeParams;
+use crate::transport::executor::{Pollable, ShardedExecutor, Step};
 use crate::transport::wiring::build_transport;
 use crate::transport::TransportStats;
 use crate::SmiError;
@@ -91,6 +107,7 @@ impl SmiCtx {
             count,
             protocol,
             self.params.blocking_timeout,
+            self.params.burst_packets,
         )
     }
 
@@ -216,6 +233,9 @@ pub struct RunReport<T> {
     pub results: Vec<T>,
     /// `(cks_forwards, ckr_forwards, unroutable)` transport counters.
     pub transport: (u64, u64, u64),
+    /// OS threads the runtime spawned for this run (rank threads, if any,
+    /// plus executor workers).
+    pub threads_spawned: usize,
 }
 
 /// Launch errors.
@@ -238,6 +258,40 @@ impl std::fmt::Display for LaunchError {
 
 impl std::error::Error for LaunchError {}
 
+/// Validate the launch inputs and build the transport.
+fn prepare(
+    topo: &Topology,
+    metas: &[ProgramMeta],
+    params: &RuntimeParams,
+    stats: TransportStats,
+) -> Result<crate::transport::wiring::TransportHandle, LaunchError> {
+    assert_eq!(metas.len(), topo.num_ranks(), "one ProgramMeta per rank");
+    let design = ClusterDesign::mpmd(metas, topo).map_err(LaunchError::Codegen)?;
+    design
+        .validate_collectives()
+        .map_err(LaunchError::Codegen)?;
+    let plan = RoutingPlan::compute(topo).map_err(LaunchError::Topology)?;
+    Ok(build_transport(topo, &plan, &design, params, stats))
+}
+
+fn make_ctx(
+    rank: usize,
+    num_ranks: usize,
+    table: EndpointTable,
+    board: Arc<SplitBoard>,
+    params: RuntimeParams,
+) -> SmiCtx {
+    let handle = new_table();
+    *handle.lock() = table;
+    SmiCtx {
+        rank,
+        num_ranks,
+        table: handle,
+        board,
+        params,
+    }
+}
+
 /// Run an MPMD program: one closure per rank, each with its own op metadata.
 pub fn run_mpmd<T: Send + 'static>(
     topo: &Topology,
@@ -245,16 +299,12 @@ pub fn run_mpmd<T: Send + 'static>(
     programs: Vec<Box<dyn FnOnce(SmiCtx) -> T + Send>>,
     params: RuntimeParams,
 ) -> Result<RunReport<T>, LaunchError> {
-    assert_eq!(metas.len(), topo.num_ranks(), "one ProgramMeta per rank");
     assert_eq!(programs.len(), topo.num_ranks(), "one program per rank");
-    let design = ClusterDesign::mpmd(&metas, topo).map_err(LaunchError::Codegen)?;
-    design
-        .validate_collectives()
-        .map_err(LaunchError::Codegen)?;
-    let plan = RoutingPlan::compute(topo).map_err(LaunchError::Topology)?;
-    let stop = Arc::new(AtomicBool::new(false));
     let stats = TransportStats::default();
-    let transport = build_transport(topo, &plan, &design, &params, stop.clone(), stats.clone());
+    let transport = prepare(topo, &metas, &params, stats.clone())?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let executor =
+        ShardedExecutor::spawn(transport.machines, params.resolved_workers(), stop.clone());
     let board = Arc::new(SplitBoard::default());
     let num_ranks = topo.num_ranks();
 
@@ -265,21 +315,11 @@ pub fn run_mpmd<T: Send + 'static>(
         app_handles.push(
             std::thread::Builder::new()
                 .name(format!("smi-rank-{rank}"))
-                .spawn(move || {
-                    let handle = new_table();
-                    *handle.borrow_mut() = table;
-                    let ctx = SmiCtx {
-                        rank,
-                        num_ranks,
-                        table: handle,
-                        board,
-                        params,
-                    };
-                    program(ctx)
-                })
+                .spawn(move || program(make_ctx(rank, num_ranks, table, board, params)))
                 .expect("spawn rank thread"),
         );
     }
+    let threads_spawned = app_handles.len() + executor.num_workers();
     let mut results = Vec::with_capacity(num_ranks);
     let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
     for h in app_handles {
@@ -293,15 +333,14 @@ pub fn run_mpmd<T: Send + 'static>(
         }
     }
     stop.store(true, Ordering::SeqCst);
-    for h in transport.threads {
-        let _ = h.join();
-    }
+    executor.join();
     if let Some(p) = panic {
         std::panic::resume_unwind(p);
     }
     Ok(RunReport {
         results,
         transport: stats.snapshot(),
+        threads_spawned,
     })
 }
 
@@ -325,6 +364,188 @@ where
         })
         .collect();
     run_mpmd(topo, metas, programs, params)
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative task plane
+// ---------------------------------------------------------------------------
+
+/// Progress report of one cooperative poll step of a rank task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// Moved data this step; poll again promptly (keeps the worker's
+    /// backoff reset — report this whenever any element was pushed/popped).
+    Progress,
+    /// Nothing to do until the transport accepts or supplies data.
+    Pending,
+    /// The rank program completed.
+    Done,
+}
+
+/// A rank program as a poll-mode state machine — the software analogue of
+/// the paper's pipelined hardware kernels. `poll` must never block: use the
+/// `try_*` channel APIs and return [`TaskStatus::Pending`] when the
+/// transport cannot accept or supply data right now.
+pub trait RankTask: Send {
+    /// Advance as far as currently possible.
+    fn poll(&mut self) -> Result<TaskStatus, SmiError>;
+}
+
+/// Builds one rank's task from its context (runs on an executor worker).
+pub type TaskFactory = Box<dyn FnOnce(SmiCtx) -> Result<Box<dyn RankTask>, SmiError> + Send>;
+
+enum TaskState {
+    Init { ctx: SmiCtx, factory: TaskFactory },
+    Running(Box<dyn RankTask>),
+    Finished,
+}
+
+/// Executor adapter: drives one rank task and reports its outcome.
+struct RankTaskItem {
+    rank: usize,
+    state: TaskState,
+    done_tx: crossbeam::channel::Sender<(usize, Result<(), SmiError>)>,
+}
+
+impl Pollable for RankTaskItem {
+    fn poll(&mut self) -> Step {
+        let state = std::mem::replace(&mut self.state, TaskState::Finished);
+        match state {
+            TaskState::Init { ctx, factory } => match factory(ctx) {
+                Ok(task) => {
+                    self.state = TaskState::Running(task);
+                    Step::Progress
+                }
+                Err(e) => {
+                    let _ = self.done_tx.send((self.rank, Err(e)));
+                    Step::Done
+                }
+            },
+            TaskState::Running(mut task) => match task.poll() {
+                Ok(TaskStatus::Progress) => {
+                    self.state = TaskState::Running(task);
+                    Step::Progress
+                }
+                Ok(TaskStatus::Pending) => {
+                    self.state = TaskState::Running(task);
+                    Step::Idle
+                }
+                Ok(TaskStatus::Done) => {
+                    // Drop the task (returning endpoint resources) before
+                    // reporting completion.
+                    drop(task);
+                    let _ = self.done_tx.send((self.rank, Ok(())));
+                    Step::Done
+                }
+                Err(e) => {
+                    drop(task);
+                    let _ = self.done_tx.send((self.rank, Err(e)));
+                    Step::Done
+                }
+            },
+            TaskState::Finished => Step::Done,
+        }
+    }
+}
+
+/// Run an MPMD program in cooperative task mode: every rank task *and* every
+/// CK state machine is driven by the sharded executor's worker pool, so the
+/// whole cluster uses `workers` OS threads regardless of rank count.
+///
+/// Restrictions compared to [`run_mpmd`]: rank tasks must be non-blocking
+/// (use the `try_*` channel APIs), and collective channel opens — which
+/// perform blocking rendezvous — are not supported from tasks.
+pub fn run_mpmd_tasks(
+    topo: &Topology,
+    metas: Vec<ProgramMeta>,
+    factories: Vec<TaskFactory>,
+    params: RuntimeParams,
+) -> Result<RunReport<Result<(), SmiError>>, LaunchError> {
+    assert_eq!(factories.len(), topo.num_ranks(), "one task per rank");
+    let stats = TransportStats::default();
+    let transport = prepare(topo, &metas, &params, stats.clone())?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let board = Arc::new(SplitBoard::default());
+    let num_ranks = topo.num_ranks();
+    let (done_tx, done_rx) = crossbeam::channel::unbounded();
+
+    let mut items: Vec<Box<dyn Pollable>> = transport.machines;
+    for (rank, (table, factory)) in transport.tables.into_iter().zip(factories).enumerate() {
+        items.push(Box::new(RankTaskItem {
+            rank,
+            state: TaskState::Init {
+                ctx: make_ctx(rank, num_ranks, table, board.clone(), params.clone()),
+                factory,
+            },
+            done_tx: done_tx.clone(),
+        }));
+    }
+    drop(done_tx);
+    let executor = ShardedExecutor::spawn(items, params.resolved_workers(), stop.clone());
+    let threads_spawned = executor.num_workers();
+
+    let mut results: Vec<Result<(), SmiError>> = (0..num_ranks)
+        .map(|_| Err(SmiError::TransportClosed))
+        .collect();
+    let mut reported = vec![false; num_ranks];
+    let mut remaining = num_ranks;
+    // Stall watchdog: the blocking plane bounds every stalled operation by
+    // `blocking_timeout`; the cooperative plane's analogue is "no executor
+    // round made progress for a whole timeout window" — e.g. a failed rank
+    // leaving its peer polling Pending forever. Detecting it here keeps
+    // `run_mpmd_tasks` from hanging on partial failures.
+    let mut last_progress = executor.progress();
+    while remaining > 0 {
+        match done_rx.recv_timeout(params.blocking_timeout) {
+            Ok((rank, res)) => {
+                results[rank] = res;
+                reported[rank] = true;
+                remaining -= 1;
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                let p = executor.progress();
+                if p == last_progress {
+                    for (rank, seen) in reported.iter().enumerate() {
+                        if !seen {
+                            results[rank] = Err(SmiError::Timeout {
+                                waiting_for: "cooperative task progress",
+                            });
+                        }
+                    }
+                    break;
+                }
+                last_progress = p;
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    stop.store(true, Ordering::SeqCst);
+    executor.join();
+    Ok(RunReport {
+        results,
+        transport: stats.snapshot(),
+        threads_spawned,
+    })
+}
+
+/// SPMD variant of [`run_mpmd_tasks`]: one factory closure, cloned per rank.
+pub fn run_spmd_tasks<F>(
+    topo: &Topology,
+    meta: ProgramMeta,
+    factory: F,
+    params: RuntimeParams,
+) -> Result<RunReport<Result<(), SmiError>>, LaunchError>
+where
+    F: Fn(SmiCtx) -> Result<Box<dyn RankTask>, SmiError> + Send + Sync + Clone + 'static,
+{
+    let metas = vec![meta; topo.num_ranks()];
+    let factories: Vec<TaskFactory> = (0..topo.num_ranks())
+        .map(|_| {
+            let f = factory.clone();
+            Box::new(move |ctx: SmiCtx| f(ctx)) as TaskFactory
+        })
+        .collect();
+    run_mpmd_tasks(topo, metas, factories, params)
 }
 
 // Silence an unused-import warning when the OpKind re-export is only used in

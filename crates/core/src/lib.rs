@@ -10,11 +10,15 @@
 //! per (simulated) clock cycle, while a table-driven transport layer routes
 //! 32-byte packets across the FPGA interconnect.
 //!
-//! This crate is the *functional plane* of the reproduction: every rank runs
-//! as an OS thread, the transport layer (CKS/CKR communication kernels,
-//! §4.2–4.3) runs as threads forwarding real packets over bounded FIFO
-//! channels that honour the cluster [`smi_topology::Topology`] and a
-//! deadlock-free routing plan. Data, framing, headers and protocols are
+//! This crate is the *functional plane* of the reproduction: the transport
+//! layer (CKS/CKR communication kernels, §4.2–4.3) runs as cooperative
+//! state machines on a sharded executor — a fixed pool of worker threads —
+//! forwarding real packet *bursts* over bounded FIFO channels that honour
+//! the cluster [`smi_topology::Topology`] and a deadlock-free routing plan.
+//! Rank programs run either as blocking closures on their own OS threads
+//! ([`run_mpmd`]/[`run_spmd`]) or as poll-mode tasks on the same worker
+//! pool ([`env::run_mpmd_tasks`]), which lets 64+-rank clusters execute on
+//! a handful of threads. Data, framing, headers and protocols are
 //! bit-identical with the cycle-accurate `smi-fabric` plane.
 //!
 //! ## Point-to-point (the paper's Lst. 1)
@@ -99,7 +103,10 @@ pub mod transport;
 pub use channel::{Protocol, RecvChannel, SendChannel};
 pub use collectives::{BcastChannel, GatherChannel, ReduceChannel, ScatterChannel};
 pub use comm::Communicator;
-pub use env::{run_mpmd, run_spmd, RunReport, SmiCtx};
+pub use env::{
+    run_mpmd, run_mpmd_tasks, run_spmd, run_spmd_tasks, RankTask, RunReport, SmiCtx, TaskFactory,
+    TaskStatus,
+};
 pub use error::SmiError;
 pub use params::RuntimeParams;
 
@@ -108,7 +115,10 @@ pub mod prelude {
     pub use crate::channel::{Protocol, RecvChannel, SendChannel};
     pub use crate::collectives::{BcastChannel, GatherChannel, ReduceChannel, ScatterChannel};
     pub use crate::comm::Communicator;
-    pub use crate::env::{run_mpmd, run_spmd, RunReport, SmiCtx};
+    pub use crate::env::{
+        run_mpmd, run_mpmd_tasks, run_spmd, run_spmd_tasks, RankTask, RunReport, SmiCtx,
+        TaskFactory, TaskStatus,
+    };
     pub use crate::error::SmiError;
     pub use crate::params::RuntimeParams;
     pub use smi_codegen::{OpSpec, ProgramMeta};

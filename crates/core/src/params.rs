@@ -19,6 +19,15 @@ pub struct RuntimeParams {
     /// [`crate::SmiError::Timeout`] (guards tests against mismatched
     /// programs hanging forever).
     pub blocking_timeout: Duration,
+    /// Maximum packets moved per burst on the hot path: bulk channel
+    /// operations (`push_slice`/`pop_slice`) and CK forwarding hand over up
+    /// to this many packets under a single queue operation, amortizing
+    /// synchronization cost. `1` degenerates to per-packet handover.
+    pub burst_packets: usize,
+    /// Worker threads of the sharded transport executor that drives all CK
+    /// state machines (and, in task mode, the rank tasks). `0` means
+    /// `std::thread::available_parallelism()`.
+    pub transport_workers: usize,
 }
 
 impl Default for RuntimeParams {
@@ -29,13 +38,15 @@ impl Default for RuntimeParams {
             poll_persistence: 8,
             reduce_credits: 512,
             blocking_timeout: Duration::from_secs(10),
+            burst_packets: 16,
+            transport_workers: 0,
         }
     }
 }
 
 impl RuntimeParams {
     /// A tight-buffer configuration for stress-testing backpressure (tiny
-    /// FIFOs everywhere).
+    /// FIFOs everywhere, per-packet handover).
     pub fn tight() -> Self {
         RuntimeParams {
             endpoint_fifo_depth: 1,
@@ -43,6 +54,20 @@ impl RuntimeParams {
             poll_persistence: 1,
             reduce_credits: 4,
             blocking_timeout: Duration::from_secs(10),
+            burst_packets: 1,
+            transport_workers: 0,
+        }
+    }
+
+    /// The resolved executor worker count (`transport_workers`, with `0`
+    /// mapped to the machine's available parallelism).
+    pub fn resolved_workers(&self) -> usize {
+        if self.transport_workers > 0 {
+            self.transport_workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }

@@ -1,145 +1,222 @@
-//! The polling forwarder: the §4.3 CKS/CKR loop as a thread.
+//! The CK state machine: the §4.3 CKS/CKR loop as a cooperative,
+//! burst-granular poller.
 //!
-//! Like the hardware kernels, a forwarder owns a set of input FIFOs, a
-//! routing function, and a set of output FIFOs; it polls inputs round-robin,
-//! reading up to `R` packets from one input while data is available, and
-//! forwards with backpressure (a full output FIFO stalls the head packet —
-//! order within an input is never reordered).
+//! Like the hardware kernels, a machine owns a set of input FIFOs, a routing
+//! function, and a set of output FIFOs; it polls inputs round-robin, reading
+//! up to `R` bursts from one input while data is available, and forwards
+//! with backpressure (a full output FIFO stalls the head burst — order
+//! within an input is never reordered). Unlike the previous implementation
+//! it never blocks: when an output is full the machine parks the burst and
+//! reports [`Step::Idle`], letting the executor worker drive its other
+//! machines.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 use crossbeam::channel::{Receiver, Sender, TryRecvError, TrySendError};
 use smi_wire::NetworkPacket;
 
+use crate::transport::executor::{Pollable, Step};
+use crate::transport::Burst;
+
 /// Routing verdict for one packet.
 pub(crate) enum Route {
-    /// Forward into output `i` of the forwarder's output list.
+    /// Forward into output `i` of the machine's output list.
     Output(usize),
     /// No route — count as unroutable and drop (always a wiring bug).
     Drop,
 }
 
-/// A CKS or CKR kernel body.
-pub(crate) struct PollingForwarder {
-    /// Diagnostic name (also used as the thread name at spawn).
+/// A CKS or CKR kernel body in poll mode.
+pub(crate) struct CkMachine {
+    /// Diagnostic name.
     #[allow(dead_code)]
     pub name: String,
-    pub inputs: Vec<Receiver<NetworkPacket>>,
-    pub outputs: Vec<Sender<NetworkPacket>>,
+    pub inputs: Vec<Receiver<Burst>>,
+    pub outputs: Vec<Sender<Burst>>,
     /// Packet → output index.
     pub route: Box<dyn Fn(&NetworkPacket) -> Route + Send>,
-    /// Polling persistence `R`.
+    /// Polling persistence `R` (bursts drained from one input before
+    /// rotating).
     pub persistence: u32,
-    /// Global end-of-run flag, set once every application thread returned.
-    pub stop: Arc<AtomicBool>,
+    /// Maximum packets grouped into one forwarded burst.
+    pub max_burst: usize,
     /// Incremented per forwarded packet.
-    pub forwards: Arc<std::sync::atomic::AtomicU64>,
+    pub forwards: Arc<AtomicU64>,
     /// Incremented per dropped packet.
-    pub unroutable: Arc<std::sync::atomic::AtomicU64>,
+    pub unroutable: Arc<AtomicU64>,
+    // --- runtime state ---
+    dead: Vec<bool>,
+    current: usize,
+    /// A routed burst an output refused; retried before anything else.
+    parked: Option<(usize, Burst)>,
+    /// Received packets not yet routed (mixed-route bursts).
+    stash: VecDeque<NetworkPacket>,
 }
 
-impl PollingForwarder {
-    /// Run the forwarding loop until shutdown. Intended for a dedicated
-    /// thread.
-    pub fn run(mut self) {
-        let n = self.inputs.len();
-        if n == 0 {
-            return;
+impl CkMachine {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: String,
+        inputs: Vec<Receiver<Burst>>,
+        outputs: Vec<Sender<Burst>>,
+        route: Box<dyn Fn(&NetworkPacket) -> Route + Send>,
+        persistence: u32,
+        max_burst: usize,
+        forwards: Arc<AtomicU64>,
+        unroutable: Arc<AtomicU64>,
+    ) -> Self {
+        let n = inputs.len();
+        CkMachine {
+            name,
+            inputs,
+            outputs,
+            route,
+            persistence: persistence.max(1),
+            max_burst: max_burst.max(1),
+            forwards,
+            unroutable,
+            dead: vec![false; n],
+            current: 0,
+            parked: None,
+            stash: VecDeque::new(),
         }
-        let mut dead = vec![false; n];
-        let mut current = 0usize;
-        let mut streak = 0u32;
-        let mut idle_rotations = 0u32;
-        // Inputs polled without moving a packet; a full fruitless rotation
-        // triggers the stop check and progressive backoff. (Counting polls —
-        // rather than testing `current == 0` — keeps the shutdown check
-        // reachable even when input 0 is disconnected.)
-        let mut fruitless_polls = 0usize;
-        loop {
-            if dead.iter().all(|&d| d) {
-                return; // every producer hung up
+    }
+
+    /// Try to push a routed burst; on `Full` the burst is parked for the
+    /// next poll. Returns false when the machine is now blocked.
+    fn offer(&mut self, idx: usize, burst: Burst, progressed: &mut bool) -> bool {
+        let len = burst.len() as u64;
+        match self.outputs[idx].try_send(burst) {
+            Ok(()) => {
+                self.forwards.fetch_add(len, Ordering::Relaxed);
+                *progressed = true;
+                true
             }
-            if fruitless_polls >= n {
-                fruitless_polls = 0;
-                idle_rotations += 1;
-                if self.stop.load(Ordering::Relaxed) {
-                    return;
-                }
-                // Back off progressively: spin, then yield, then nap.
-                if idle_rotations < 64 {
-                    std::hint::spin_loop();
-                } else if idle_rotations < 256 {
-                    std::thread::yield_now();
-                } else {
-                    std::thread::sleep(Duration::from_micros(50));
-                }
+            Err(TrySendError::Full(b)) => {
+                self.parked = Some((idx, b));
+                false
             }
-            if dead[current] {
-                current = (current + 1) % n;
-                streak = 0;
-                fruitless_polls += 1;
-                continue;
-            }
-            match self.inputs[current].try_recv() {
-                Ok(pkt) => {
-                    idle_rotations = 0;
-                    fruitless_polls = 0;
-                    if !self.forward(pkt) {
-                        return; // stop requested while stalled
-                    }
-                    streak += 1;
-                    if streak >= self.persistence {
-                        streak = 0;
-                        current = (current + 1) % n;
-                    }
-                }
-                Err(TryRecvError::Empty) => {
-                    streak = 0;
-                    current = (current + 1) % n;
-                    fruitless_polls += 1;
-                }
-                Err(TryRecvError::Disconnected) => {
-                    dead[current] = true;
-                    streak = 0;
-                    current = (current + 1) % n;
-                    fruitless_polls += 1;
-                }
+            Err(TrySendError::Disconnected(_)) => {
+                // Receiver gone: only legal during shutdown; treat the burst
+                // as drained.
+                *progressed = true;
+                true
             }
         }
     }
 
-    /// Forward with backpressure; returns false if shutdown interrupted a
-    /// stalled push.
-    fn forward(&mut self, pkt: NetworkPacket) -> bool {
-        let idx = match (self.route)(&pkt) {
-            Route::Output(i) => i,
-            Route::Drop => {
-                self.unroutable.fetch_add(1, Ordering::Relaxed);
-                return true;
+    /// Drain the parked burst and the stash into outputs. Returns false when
+    /// blocked on a full output.
+    fn drain(&mut self, progressed: &mut bool) -> bool {
+        if let Some((idx, b)) = self.parked.take() {
+            if !self.offer(idx, b, progressed) {
+                return false;
             }
-        };
-        let mut pkt = pkt;
-        loop {
-            match self.outputs[idx].try_send(pkt) {
-                Ok(()) => {
-                    self.forwards.fetch_add(1, Ordering::Relaxed);
-                    return true;
+        }
+        while let Some(&head) = self.stash.front() {
+            let idx = match (self.route)(&head) {
+                Route::Output(i) => i,
+                Route::Drop => {
+                    self.stash.pop_front();
+                    self.unroutable.fetch_add(1, Ordering::Relaxed);
+                    *progressed = true;
+                    continue;
                 }
-                Err(TrySendError::Full(p)) => {
-                    pkt = p;
-                    if self.stop.load(Ordering::Relaxed) {
-                        return false;
+            };
+            // Group the run of consecutive same-output packets into a burst.
+            let mut burst: Burst = Vec::with_capacity(self.max_burst.min(self.stash.len()));
+            burst.push(self.stash.pop_front().expect("head"));
+            while burst.len() < self.max_burst {
+                match self.stash.front() {
+                    Some(p) => match (self.route)(p) {
+                        Route::Output(i) if i == idx => {
+                            burst.push(self.stash.pop_front().expect("next"));
+                        }
+                        _ => break,
+                    },
+                    None => break,
+                }
+            }
+            if !self.offer(idx, burst, progressed) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// If every packet of `burst` routes to the same output, return it —
+    /// the zero-copy fast path forwards the burst without restaging.
+    fn uniform_route(&mut self, burst: &Burst) -> Option<usize> {
+        let mut idx = None;
+        for p in burst {
+            match (self.route)(p) {
+                Route::Output(i) => match idx {
+                    None => idx = Some(i),
+                    Some(j) if j == i => {}
+                    Some(_) => return None,
+                },
+                Route::Drop => return None,
+            }
+        }
+        idx
+    }
+}
+
+impl Pollable for CkMachine {
+    fn poll(&mut self) -> Step {
+        let mut progressed = false;
+        if !self.drain(&mut progressed) {
+            return if progressed {
+                Step::Progress
+            } else {
+                Step::Idle
+            };
+        }
+        let n = self.inputs.len();
+        let mut polled = 0usize;
+        'rotate: while polled < n {
+            polled += 1;
+            let at = self.current;
+            self.current = (self.current + 1) % n;
+            if self.dead[at] {
+                continue;
+            }
+            let mut streak = 0u32;
+            while streak < self.persistence {
+                match self.inputs[at].try_recv() {
+                    Ok(burst) => {
+                        streak += 1;
+                        progressed = true;
+                        if self.stash.is_empty() && self.parked.is_none() {
+                            if let Some(idx) = self.uniform_route(&burst) {
+                                if !self.offer(idx, burst, &mut progressed) {
+                                    break 'rotate;
+                                }
+                                continue;
+                            }
+                        }
+                        self.stash.extend(burst);
+                        if !self.drain(&mut progressed) {
+                            break 'rotate;
+                        }
                     }
-                    std::thread::yield_now();
-                }
-                Err(TrySendError::Disconnected(_)) => {
-                    // Receiver gone: only legal during shutdown; treat the
-                    // packet as drained.
-                    return !self.stop.load(Ordering::Relaxed);
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        self.dead[at] = true;
+                        break;
+                    }
                 }
             }
+        }
+        if self.dead.iter().all(|&d| d) && self.stash.is_empty() && self.parked.is_none() {
+            return Step::Done;
+        }
+        if progressed {
+            Step::Progress
+        } else {
+            Step::Idle
         }
     }
 }
@@ -147,92 +224,159 @@ impl PollingForwarder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::executor::ShardedExecutor;
     use crossbeam::channel::bounded;
     use smi_wire::PacketOp;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::AtomicBool;
 
     fn pkt(dst: u8) -> NetworkPacket {
         NetworkPacket::new(0, dst, 0, PacketOp::Send)
     }
 
+    fn counters() -> (Arc<AtomicU64>, Arc<AtomicU64>) {
+        (Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0)))
+    }
+
     #[test]
-    fn forwards_by_route_and_exits_on_disconnect() {
-        let (in_tx, in_rx) = bounded(16);
-        let (out0_tx, out0_rx) = bounded::<NetworkPacket>(16);
-        let (out1_tx, out1_rx) = bounded::<NetworkPacket>(16);
+    fn forwards_by_route_and_finishes_on_disconnect() {
+        let (in_tx, in_rx) = bounded::<Burst>(16);
+        let (out0_tx, out0_rx) = bounded::<Burst>(16);
+        let (out1_tx, out1_rx) = bounded::<Burst>(16);
+        let (fwd, unr) = counters();
+        let m = CkMachine::new(
+            "t".into(),
+            vec![in_rx],
+            vec![out0_tx, out1_tx],
+            Box::new(|p| Route::Output((p.header.dst % 2) as usize)),
+            8,
+            4,
+            fwd.clone(),
+            unr,
+        );
+        // Mixed-route burst: must be split per output.
+        in_tx.send((0..10u8).map(pkt).collect()).unwrap();
+        drop(in_tx); // machine drains then finishes
         let stop = Arc::new(AtomicBool::new(false));
-        let fwd = PollingForwarder {
-            name: "t".into(),
-            inputs: vec![in_rx],
-            outputs: vec![out0_tx, out1_tx],
-            route: Box::new(|p| Route::Output((p.header.dst % 2) as usize)),
-            persistence: 8,
-            stop: stop.clone(),
-            forwards: Arc::new(AtomicU64::new(0)),
-            unroutable: Arc::new(AtomicU64::new(0)),
-        };
-        let h = std::thread::spawn(move || fwd.run());
-        for d in 0..10u8 {
-            in_tx.send(pkt(d)).unwrap();
-        }
-        drop(in_tx); // forwarder drains then exits
-        h.join().unwrap();
-        assert_eq!(out0_rx.len(), 5);
-        assert_eq!(out1_rx.len(), 5);
+        let ex = ShardedExecutor::spawn(vec![Box::new(m)], 1, stop);
+        ex.join();
+        let count = |rx: Receiver<Burst>| rx.try_iter().map(|b| b.len()).sum::<usize>();
+        assert_eq!(count(out0_rx), 5);
+        assert_eq!(count(out1_rx), 5);
+        assert_eq!(fwd.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn uniform_burst_forwarded_whole() {
+        let (in_tx, in_rx) = bounded::<Burst>(4);
+        let (out_tx, out_rx) = bounded::<Burst>(4);
+        let (fwd, unr) = counters();
+        let m = CkMachine::new(
+            "t".into(),
+            vec![in_rx],
+            vec![out_tx],
+            Box::new(|_| Route::Output(0)),
+            8,
+            64,
+            fwd,
+            unr,
+        );
+        in_tx.send(vec![pkt(0); 7]).unwrap();
+        drop(in_tx);
+        let stop = Arc::new(AtomicBool::new(false));
+        ShardedExecutor::spawn(vec![Box::new(m)], 1, stop).join();
+        // The 7-packet burst arrives as a single burst (fast path).
+        let bursts: Vec<Burst> = out_rx.try_iter().collect();
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].len(), 7);
     }
 
     #[test]
     fn unroutable_counted_and_dropped() {
-        let (in_tx, in_rx) = bounded(4);
-        let (out_tx, out_rx) = bounded::<NetworkPacket>(4);
-        let unroutable = Arc::new(AtomicU64::new(0));
-        let fwd = PollingForwarder {
-            name: "t".into(),
-            inputs: vec![in_rx],
-            outputs: vec![out_tx],
-            route: Box::new(|p| {
+        let (in_tx, in_rx) = bounded::<Burst>(4);
+        let (out_tx, out_rx) = bounded::<Burst>(4);
+        let (fwd, unr) = counters();
+        let m = CkMachine::new(
+            "t".into(),
+            vec![in_rx],
+            vec![out_tx],
+            Box::new(|p| {
                 if p.header.dst == 0 {
                     Route::Output(0)
                 } else {
                     Route::Drop
                 }
             }),
-            persistence: 1,
-            stop: Arc::new(AtomicBool::new(false)),
-            forwards: Arc::new(AtomicU64::new(0)),
-            unroutable: unroutable.clone(),
-        };
-        let h = std::thread::spawn(move || fwd.run());
-        in_tx.send(pkt(0)).unwrap();
-        in_tx.send(pkt(3)).unwrap();
-        in_tx.send(pkt(0)).unwrap();
+            1,
+            8,
+            fwd,
+            unr.clone(),
+        );
+        in_tx.send(vec![pkt(0), pkt(3), pkt(0)]).unwrap();
         drop(in_tx);
-        h.join().unwrap();
-        assert_eq!(out_rx.len(), 2);
-        assert_eq!(unroutable.load(Ordering::Relaxed), 1);
+        let stop = Arc::new(AtomicBool::new(false));
+        ShardedExecutor::spawn(vec![Box::new(m)], 1, stop).join();
+        let delivered: usize = out_rx.try_iter().map(|b| b.len()).sum();
+        assert_eq!(delivered, 2);
+        assert_eq!(unr.load(Ordering::Relaxed), 1);
     }
 
     #[test]
-    fn stop_flag_releases_stalled_forwarder() {
-        // Output capacity 1, no consumer: the forwarder stalls until stop.
-        let (in_tx, in_rx) = bounded(8);
-        let (out_tx, _out_rx) = bounded::<NetworkPacket>(1);
+    fn stalled_machine_reports_idle_and_releases_on_stop() {
+        // Output capacity 1, no consumer: the machine parks the burst and
+        // reports Idle; the stop flag releases the executor.
+        let (in_tx, in_rx) = bounded::<Burst>(8);
+        let (out_tx, _out_rx) = bounded::<Burst>(1);
+        let (fwd, unr) = counters();
+        let m = CkMachine::new(
+            "t".into(),
+            vec![in_rx],
+            vec![out_tx],
+            Box::new(|_| Route::Output(0)),
+            1,
+            1,
+            fwd,
+            unr,
+        );
+        in_tx.send(vec![pkt(0)]).unwrap();
+        in_tx.send(vec![pkt(0)]).unwrap();
+        in_tx.send(vec![pkt(0)]).unwrap();
         let stop = Arc::new(AtomicBool::new(false));
-        let fwd = PollingForwarder {
-            name: "t".into(),
-            inputs: vec![in_rx],
-            outputs: vec![out_tx],
-            route: Box::new(|_| Route::Output(0)),
-            persistence: 1,
-            stop: stop.clone(),
-            forwards: Arc::new(AtomicU64::new(0)),
-            unroutable: Arc::new(AtomicU64::new(0)),
-        };
-        let h = std::thread::spawn(move || fwd.run());
-        in_tx.send(pkt(0)).unwrap();
-        in_tx.send(pkt(0)).unwrap();
-        std::thread::sleep(Duration::from_millis(20));
+        let ex = ShardedExecutor::spawn(vec![Box::new(m)], 1, stop.clone());
+        std::thread::sleep(std::time::Duration::from_millis(20));
         stop.store(true, Ordering::SeqCst);
-        h.join().unwrap(); // must terminate
+        ex.join(); // must terminate
+    }
+
+    #[test]
+    fn order_within_input_preserved_under_backpressure() {
+        let (in_tx, in_rx) = bounded::<Burst>(64);
+        let (out_tx, out_rx) = bounded::<Burst>(1);
+        let (fwd, unr) = counters();
+        let m = CkMachine::new(
+            "t".into(),
+            vec![in_rx],
+            vec![out_tx],
+            Box::new(|_| Route::Output(0)),
+            4,
+            2,
+            fwd,
+            unr,
+        );
+        for i in 0..50u8 {
+            in_tx.send(vec![pkt(i)]).unwrap();
+        }
+        drop(in_tx);
+        let stop = Arc::new(AtomicBool::new(false));
+        let ex = ShardedExecutor::spawn(vec![Box::new(m)], 1, stop);
+        // Slowly drain the capacity-1 output while the machine runs.
+        let mut seen = Vec::new();
+        while seen.len() < 50 {
+            for b in out_rx.try_iter() {
+                seen.extend(b.into_iter().map(|p| p.header.dst));
+            }
+            std::thread::yield_now();
+        }
+        ex.join();
+        assert_eq!(seen, (0..50u8).collect::<Vec<_>>());
     }
 }

@@ -1,14 +1,23 @@
-//! The thread-based transport layer: CKS/CKR kernels as threads, QSFP links
-//! as bounded channels, wired from the same topology/routing-plan/design
-//! triple as the cycle-accurate fabric.
+//! The sharded transport layer: CKS/CKR kernels as cooperative state
+//! machines driven by a fixed pool of worker threads, QSFP links as bounded
+//! channels moving packet *bursts*, wired from the same
+//! topology/routing-plan/design triple as the cycle-accurate fabric.
 
 pub mod ck;
+pub mod executor;
 pub mod wiring;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Transport-wide counters, shared with the CK threads.
+use smi_wire::NetworkPacket;
+
+/// The unit moved through transport FIFOs: a batch of packets handed over
+/// under one queue operation. Endpoint bulk operations and CK forwarding
+/// group up to [`crate::RuntimeParams::burst_packets`] packets per burst.
+pub(crate) type Burst = Vec<NetworkPacket>;
+
+/// Transport-wide counters, shared with the CK machines.
 #[derive(Debug, Clone, Default)]
 pub struct TransportStats {
     /// Packets forwarded by CKS kernels.

@@ -1,48 +1,48 @@
-//! Constructing the transport: endpoint FIFOs, CK threads and links from the
-//! (topology, routing plan, generated design) triple — the same inputs the
-//! paper's host program uploads to the devices.
+//! Constructing the transport: endpoint FIFOs, CK state machines and links
+//! from the (topology, routing plan, generated design) triple — the same
+//! inputs the paper's host program uploads to the devices.
+//!
+//! Nothing is spawned here: the wiring produces one [`CkMachine`] per
+//! CKS/CKR kernel, and the env hands all of them to the sharded executor.
 
 use std::collections::HashMap;
-use std::sync::atomic::AtomicBool;
-use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use smi_codegen::{ClusterDesign, OpKind};
 use smi_topology::{NextHop, RoutingPlan, Topology};
 use smi_wire::{NetworkPacket, PacketOp};
 
-use crate::endpoint::{CollRes, EndpointTable, RecvRes, SendRes};
+use crate::endpoint::{CollRes, EndpointTable, PacketRx, RecvRes, SendRes};
 use crate::params::RuntimeParams;
-use crate::transport::ck::{PollingForwarder, Route};
-use crate::transport::TransportStats;
+use crate::transport::ck::{CkMachine, Route};
+use crate::transport::executor::Pollable;
+use crate::transport::{Burst, TransportStats};
 
 /// Everything the env needs back from wiring: per-rank endpoint tables and
-/// the CK thread handles to join at shutdown.
+/// the CK machines to hand to the executor.
 pub(crate) struct TransportHandle {
     pub tables: Vec<EndpointTable>,
-    pub threads: Vec<JoinHandle<()>>,
+    pub machines: Vec<Box<dyn Pollable>>,
 }
 
 /// A bounded channel pair used for intra-rank CK plumbing.
-type Pipe = (Sender<NetworkPacket>, Receiver<NetworkPacket>);
+type Pipe = (Sender<Burst>, Receiver<Burst>);
 
 /// Delivery targets of one port at one rank.
 #[derive(Default)]
 struct PortDelivery {
     /// (owner CK pair, sender) for data/sync packets.
-    data: Option<(usize, Sender<NetworkPacket>)>,
+    data: Option<(usize, Sender<Burst>)>,
     /// (owner CK pair, sender) for credit packets.
-    credit: Option<(usize, Sender<NetworkPacket>)>,
+    credit: Option<(usize, Sender<Burst>)>,
 }
 
-/// Build all channels and spawn the CK threads.
+/// Build all channels and CK machines.
 pub(crate) fn build_transport(
     topo: &Topology,
     plan: &RoutingPlan,
     design: &ClusterDesign,
     params: &RuntimeParams,
-    stop: Arc<AtomicBool>,
     stats: TransportStats,
 ) -> TransportHandle {
     let n = topo.num_ranks();
@@ -50,19 +50,28 @@ pub(crate) fn build_transport(
         return build_single_rank(design, params);
     }
 
+    // FIFO depths are performance knobs, never correctness knobs: clamp to
+    // >= 1 so a zero depth cannot turn a transport FIFO into a rendezvous
+    // channel, which the poll-mode machines (try_send/try_recv only, never
+    // parked in recv) could not hand packets through.
+    let ck_depth = params.ck_fifo_depth.max(1);
+    // Endpoint FIFO sizing: the per-op buffer depth, floored by the global
+    // asynchronicity knob (same rule as the single-rank wiring).
+    let ep_depth = |op_depth: usize| op_depth.max(params.endpoint_fifo_depth).max(1);
+
     // Directed link channels, keyed by the sender-side endpoint.
-    let mut link_tx: HashMap<(usize, usize), Sender<NetworkPacket>> = HashMap::new();
-    let mut link_rx: HashMap<(usize, usize), Receiver<NetworkPacket>> = HashMap::new();
+    let mut link_tx: HashMap<(usize, usize), Sender<Burst>> = HashMap::new();
+    let mut link_rx: HashMap<(usize, usize), Receiver<Burst>> = HashMap::new();
     for c in topo.connections() {
         for (from, to) in [(c.a, c.b), (c.b, c.a)] {
-            let (tx, rx) = bounded(params.ck_fifo_depth);
+            let (tx, rx) = bounded(ck_depth);
             link_tx.insert((from.rank, from.qsfp), tx);
             link_rx.insert((to.rank, to.qsfp), rx);
         }
     }
 
     let mut tables = Vec::with_capacity(n);
-    let mut threads = Vec::new();
+    let mut machines: Vec<Box<dyn Pollable>> = Vec::new();
 
     for r in 0..n {
         let rank_design = design.rank(r);
@@ -74,7 +83,7 @@ pub(crate) fn build_transport(
         }
 
         // Intra-rank CK interconnect.
-        let mk = || bounded::<NetworkPacket>(params.ck_fifo_depth);
+        let mk = || bounded::<Burst>(ck_depth);
         let cks_to_ckr: Vec<_> = (0..np).map(|_| mk()).collect();
         let ckr_to_cks: Vec<_> = (0..np).map(|_| mk()).collect();
         let mut cks_to_cks: Vec<Vec<Option<Pipe>>> =
@@ -92,7 +101,7 @@ pub(crate) fn build_transport(
 
         // Endpoints.
         let mut table = EndpointTable::default();
-        let mut cks_app_inputs: Vec<Vec<Receiver<NetworkPacket>>> = vec![Vec::new(); np];
+        let mut cks_app_inputs: Vec<Vec<Receiver<Burst>>> = vec![Vec::new(); np];
         let mut deliveries: HashMap<usize, PortDelivery> = HashMap::new();
         for b in &rank_design.bindings {
             let op = b.op;
@@ -100,7 +109,7 @@ pub(crate) fn build_transport(
             table.declare(op.port, op.kind);
             match op.kind {
                 OpKind::Send => {
-                    let (app_tx, cks_rx) = bounded(op.buffer_depth);
+                    let (app_tx, cks_rx) = bounded(ep_depth(op.buffer_depth));
                     cks_app_inputs[pair].push(cks_rx);
                     let (credit_tx, credit_rx) = bounded(op.buffer_depth.max(4));
                     let d = deliveries.entry(op.port).or_default();
@@ -113,11 +122,11 @@ pub(crate) fn build_transport(
                     table.ports.entry(op.port).or_default().send = Some(SendRes {
                         dtype: op.dtype,
                         to_cks: app_tx,
-                        credit_rx,
+                        credit_rx: PacketRx::new(credit_rx),
                     });
                 }
                 OpKind::Recv => {
-                    let (data_tx, app_rx) = bounded(op.buffer_depth);
+                    let (data_tx, app_rx) = bounded(ep_depth(op.buffer_depth));
                     let d = deliveries.entry(op.port).or_default();
                     assert!(
                         d.data.is_none(),
@@ -127,18 +136,18 @@ pub(crate) fn build_transport(
                     d.data = Some((pair, data_tx));
                     // Receive endpoints own a send path into their CKS for
                     // credit grants (credit-based protocol, §3.3).
-                    let (grant_tx, grant_rx) = bounded::<NetworkPacket>(4);
+                    let (grant_tx, grant_rx) = bounded::<Burst>(4);
                     cks_app_inputs[pair].push(grant_rx);
                     table.ports.entry(op.port).or_default().recv = Some(RecvRes {
                         dtype: op.dtype,
-                        from_ckr: app_rx,
+                        from_ckr: PacketRx::new(app_rx),
                         grant_tx,
                     });
                 }
                 _ => {
-                    let (sup_tx, cks_rx) = bounded(op.buffer_depth);
+                    let (sup_tx, cks_rx) = bounded(ep_depth(op.buffer_depth));
                     cks_app_inputs[pair].push(cks_rx);
-                    let (data_tx, data_rx) = bounded(op.buffer_depth);
+                    let (data_tx, data_rx) = bounded(ep_depth(op.buffer_depth));
                     let (credit_tx, credit_rx) = bounded(op.buffer_depth.max(4));
                     let d = deliveries.entry(op.port).or_default();
                     assert!(
@@ -153,14 +162,14 @@ pub(crate) fn build_transport(
                         dtype: op.dtype,
                         reduce_op: op.reduce_op,
                         to_cks: sup_tx,
-                        rx: data_rx,
-                        credit_rx,
+                        rx: PacketRx::new(data_rx),
+                        credit_rx: PacketRx::new(credit_rx),
                     });
                 }
             }
         }
 
-        // --- CKS threads ---
+        // --- CKS machines ---
         for p in 0..np {
             let mut inputs = std::mem::take(&mut cks_app_inputs[p]);
             inputs.push(ckr_to_cks[p].1.clone());
@@ -190,30 +199,24 @@ pub(crate) fn build_transport(
                     }
                 })
                 .collect();
-            let fwd = PollingForwarder {
-                name: format!("r{r}.cks{p}"),
+            machines.push(Box::new(CkMachine::new(
+                format!("r{r}.cks{p}"),
                 inputs,
                 outputs,
-                route: Box::new(move |pkt: &NetworkPacket| {
+                Box::new(move |pkt: &NetworkPacket| {
                     match route_table.get(pkt.header.dst as usize) {
                         Some(&idx) => Route::Output(idx),
                         None => Route::Drop,
                     }
                 }),
-                persistence: params.poll_persistence,
-                stop: stop.clone(),
-                forwards: stats.cks_forwards.clone(),
-                unroutable: stats.unroutable.clone(),
-            };
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("smi-cks-{r}-{p}"))
-                    .spawn(move || fwd.run())
-                    .expect("spawn CKS thread"),
-            );
+                params.poll_persistence,
+                params.burst_packets,
+                stats.cks_forwards.clone(),
+                stats.unroutable.clone(),
+            )));
         }
 
-        // --- CKR threads ---
+        // --- CKR machines ---
         for p in 0..np {
             let mut inputs = vec![link_rx[&(r, pairs[p])].clone(), cks_to_ckr[p].1.clone()];
             let mut outputs = vec![ckr_to_cks[p].0.clone()]; // 0: paired CKS (transit)
@@ -248,11 +251,11 @@ pub(crate) fn build_transport(
                 }
             }
             let my_rank = r;
-            let fwd = PollingForwarder {
-                name: format!("r{r}.ckr{p}"),
+            machines.push(Box::new(CkMachine::new(
+                format!("r{r}.ckr{p}"),
                 inputs,
                 outputs,
-                route: Box::new(move |pkt: &NetworkPacket| {
+                Box::new(move |pkt: &NetworkPacket| {
                     if pkt.header.dst as usize != my_rank {
                         return Route::Output(0);
                     }
@@ -262,23 +265,17 @@ pub(crate) fn build_transport(
                         None => Route::Drop,
                     }
                 }),
-                persistence: params.poll_persistence,
-                stop: stop.clone(),
-                forwards: stats.ckr_forwards.clone(),
-                unroutable: stats.unroutable.clone(),
-            };
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("smi-ckr-{r}-{p}"))
-                    .spawn(move || fwd.run())
-                    .expect("spawn CKR thread"),
-            );
+                params.poll_persistence,
+                params.burst_packets,
+                stats.ckr_forwards.clone(),
+                stats.unroutable.clone(),
+            )));
         }
 
         tables.push(table);
     }
 
-    TransportHandle { tables, threads }
+    TransportHandle { tables, machines }
 }
 
 /// Single-rank cluster: no network — wire each port's send side straight to
@@ -294,18 +291,18 @@ fn build_single_rank(design: &ClusterDesign, params: &RuntimeParams) -> Transpor
         table.declare(op.port, op.kind);
         match op.kind {
             OpKind::Send => {
-                let depth = op.buffer_depth.max(params.endpoint_fifo_depth);
+                let depth = op.buffer_depth.max(params.endpoint_fifo_depth).max(1);
                 let (data_tx, data_rx) = bounded(depth);
                 let (grant_tx, credit_rx) = bounded(4);
                 let slot = table.ports.entry(op.port).or_default();
                 slot.send = Some(SendRes {
                     dtype: op.dtype,
                     to_cks: data_tx,
-                    credit_rx,
+                    credit_rx: PacketRx::new(credit_rx),
                 });
                 slot.recv = Some(RecvRes {
                     dtype: op.dtype,
-                    from_ckr: data_rx,
+                    from_ckr: PacketRx::new(data_rx),
                     grant_tx,
                 });
             }
@@ -315,34 +312,34 @@ fn build_single_rank(design: &ClusterDesign, params: &RuntimeParams) -> Transpor
                 // channel so pops report a timeout instead of panicking.
                 let slot = table.ports.entry(op.port).or_default();
                 if slot.recv.is_none() {
-                    let (_dead_tx, data_rx) = bounded::<NetworkPacket>(1);
+                    let (_dead_tx, data_rx) = bounded::<Burst>(1);
                     std::mem::forget(_dead_tx);
                     let (grant_tx, _dead_rx) = bounded(1);
                     std::mem::forget(_dead_rx);
                     slot.recv = Some(RecvRes {
                         dtype: op.dtype,
-                        from_ckr: data_rx,
+                        from_ckr: PacketRx::new(data_rx),
                         grant_tx,
                     });
                 }
             }
             _ => {
-                let (tx, rx) = bounded(op.buffer_depth);
-                let (_ctx, crx) = bounded::<NetworkPacket>(4);
+                let (tx, rx) = bounded(op.buffer_depth.max(1));
+                let (_ctx, crx) = bounded::<Burst>(4);
                 std::mem::forget(_ctx); // no credits on a single rank
                 table.ports.entry(op.port).or_default().coll = Some(CollRes {
                     kind: op.kind,
                     dtype: op.dtype,
                     reduce_op: op.reduce_op,
                     to_cks: tx,
-                    rx,
-                    credit_rx: crx,
+                    rx: PacketRx::new(rx),
+                    credit_rx: PacketRx::new(crx),
                 });
             }
         }
     }
     TransportHandle {
         tables: vec![table],
-        threads: Vec::new(),
+        machines: Vec::new(),
     }
 }

@@ -273,6 +273,277 @@ fn open_errors() {
     run_mpmd(&topo, metas, programs, RuntimeParams::default()).unwrap();
 }
 
+// ---------------- bulk APIs & scale ----------------
+
+#[test]
+fn bulk_slice_paths_match_elementwise() {
+    // push_slice/pop_slice move the same stream the per-element API moves,
+    // across an odd count that exercises partial packets, on both protocols.
+    let topo = Topology::bus(3);
+    for protocol in [Protocol::Eager, Protocol::Credit { window: 64 }] {
+        let n = 10_007u64;
+        let metas = vec![
+            ProgramMeta::new().with(OpSpec::send(0, Datatype::Int)),
+            ProgramMeta::new(),
+            ProgramMeta::new().with(OpSpec::recv(0, Datatype::Int)),
+        ];
+        let programs: Vec<Prog<Vec<i32>>> = vec![
+            Box::new(move |ctx| {
+                let mut ch = ctx
+                    .open_send_channel_with::<i32>(n, 2, 0, protocol)
+                    .unwrap();
+                let data: Vec<i32> = (0..n as i32).map(|i| i * 7).collect();
+                // Mixed-size slices, including a per-element interlude.
+                ch.push_slice(&data[..1000]).unwrap();
+                for v in &data[1000..1003] {
+                    ch.push(v).unwrap();
+                }
+                ch.push_slice(&data[1003..]).unwrap();
+                Vec::new()
+            }),
+            Box::new(|_| Vec::new()),
+            Box::new(move |ctx| {
+                let mut ch = ctx
+                    .open_recv_channel_with::<i32>(n, 0, 0, protocol)
+                    .unwrap();
+                let mut buf = vec![0i32; n as usize];
+                ch.pop_slice(&mut buf[..500]).unwrap();
+                for slot in buf[500..503].iter_mut() {
+                    *slot = ch.pop().unwrap();
+                }
+                ch.pop_slice(&mut buf[503..]).unwrap();
+                buf
+            }),
+        ];
+        let report = run_mpmd(&topo, metas, programs, RuntimeParams::default()).unwrap();
+        let want: Vec<i32> = (0..n as i32).map(|i| i * 7).collect();
+        assert_eq!(report.results[2], want, "{protocol:?}");
+    }
+}
+
+#[test]
+fn p2p_twelve_ranks_on_torus() {
+    // More ranks than any pre-existing functional-plane test: exercises the
+    // sharded executor with a 24-machine transport.
+    let topo = Topology::torus2d(3, 4);
+    let got = send_recv_pair(&topo, 0, 11, 500, RuntimeParams::default());
+    assert_eq!(got, (0..500).map(|i| i * 3).collect::<Vec<i32>>());
+}
+
+struct SliceSend {
+    ch: Option<SendChannel<i32>>,
+    data: Vec<i32>,
+    off: usize,
+}
+
+impl RankTask for SliceSend {
+    fn poll(&mut self) -> Result<TaskStatus, SmiError> {
+        let ch = self.ch.as_mut().expect("open");
+        let before = self.off;
+        if self.off < self.data.len() {
+            self.off += ch.try_push_slice(&self.data[self.off..])?;
+        }
+        if self.off == self.data.len() && ch.try_flush()? && ch.fully_sent() {
+            self.ch = None;
+            return Ok(TaskStatus::Done);
+        }
+        Ok(if self.off > before {
+            TaskStatus::Progress
+        } else {
+            TaskStatus::Pending
+        })
+    }
+}
+
+struct SliceRecv {
+    ch: Option<RecvChannel<i32>>,
+    buf: Vec<i32>,
+    filled: usize,
+    out: std::sync::Arc<parking_lot::Mutex<Vec<Vec<i32>>>>,
+    rank: usize,
+}
+
+impl RankTask for SliceRecv {
+    fn poll(&mut self) -> Result<TaskStatus, SmiError> {
+        let ch = self.ch.as_mut().expect("open");
+        let moved = ch.try_pop_slice(&mut self.buf[self.filled..])?;
+        self.filled += moved;
+        if self.filled == self.buf.len() {
+            self.ch = None;
+            self.out.lock()[self.rank] = std::mem::take(&mut self.buf);
+            return Ok(TaskStatus::Done);
+        }
+        Ok(if moved > 0 {
+            TaskStatus::Progress
+        } else {
+            TaskStatus::Pending
+        })
+    }
+}
+
+/// Disjoint-pair bulk streaming over the cooperative task plane.
+fn run_pairs_tasks(ranks: usize, n: u64, params: RuntimeParams) -> (Vec<Vec<i32>>, usize) {
+    let topo = Topology::bus(ranks);
+    let metas: Vec<ProgramMeta> = (0..ranks)
+        .map(|r| {
+            if r % 2 == 0 {
+                ProgramMeta::new().with(OpSpec::send(0, Datatype::Int))
+            } else {
+                ProgramMeta::new().with(OpSpec::recv(0, Datatype::Int))
+            }
+        })
+        .collect();
+    let out = std::sync::Arc::new(parking_lot::Mutex::new(vec![Vec::new(); ranks]));
+    let factories: Vec<TaskFactory> = (0..ranks)
+        .map(|r| {
+            let out = out.clone();
+            let f: TaskFactory = if r % 2 == 0 {
+                Box::new(move |ctx: SmiCtx| {
+                    let ch = ctx.open_send_channel::<i32>(n, r + 1, 0)?;
+                    Ok(Box::new(SliceSend {
+                        ch: Some(ch),
+                        data: (0..n as i32).map(|i| i + r as i32).collect(),
+                        off: 0,
+                    }) as Box<dyn RankTask>)
+                })
+            } else {
+                Box::new(move |ctx: SmiCtx| {
+                    let ch = ctx.open_recv_channel::<i32>(n, r - 1, 0)?;
+                    Ok(Box::new(SliceRecv {
+                        ch: Some(ch),
+                        buf: vec![0; n as usize],
+                        filled: 0,
+                        out,
+                        rank: r,
+                    }) as Box<dyn RankTask>)
+                })
+            };
+            f
+        })
+        .collect();
+    let report = run_mpmd_tasks(&topo, metas, factories, params).unwrap();
+    for (r, res) in report.results.iter().enumerate() {
+        assert!(res.is_ok(), "rank {r}: {res:?}");
+    }
+    assert_eq!(report.transport.2, 0, "unroutable packets");
+    let collected = std::mem::take(&mut *out.lock());
+    (collected, report.threads_spawned)
+}
+
+#[test]
+fn task_plane_64_ranks_on_worker_pool() {
+    // The scaling acceptance scenario: a 64-rank cluster must complete on
+    // the executor's worker pool alone — at most 2x the machine's available
+    // parallelism in OS threads, instead of 64 rank threads plus one thread
+    // per CK kernel.
+    let ap = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (results, threads) = run_pairs_tasks(64, 4096, RuntimeParams::default());
+    assert!(
+        threads <= 2 * ap,
+        "64-rank run used {threads} OS threads (available_parallelism = {ap})"
+    );
+    for r in (1..64).step_by(2) {
+        let want: Vec<i32> = (0..4096).map(|i| i + (r as i32 - 1)).collect();
+        assert_eq!(results[r], want, "rank {r}");
+    }
+}
+
+#[test]
+fn task_plane_tight_buffers() {
+    // Cooperative tasks under 1-packet FIFOs and per-packet bursts: progress
+    // must come from polling alone, with heavy backpressure.
+    let (results, _) = run_pairs_tasks(6, 999, RuntimeParams::tight());
+    for r in (1..6).step_by(2) {
+        let want: Vec<i32> = (0..999).map(|i| i + (r as i32 - 1)).collect();
+        assert_eq!(results[r], want, "rank {r}");
+    }
+}
+
+#[test]
+fn task_plane_partial_failure_does_not_hang() {
+    // Rank 0's factory fails (type mismatch), so rank 1's receiver can
+    // never complete: the stall watchdog must end the run with a Timeout
+    // for the stranded rank instead of hanging forever.
+    let topo = Topology::bus(2);
+    let metas = vec![
+        ProgramMeta::new().with(OpSpec::send(0, Datatype::Int)),
+        ProgramMeta::new().with(OpSpec::recv(0, Datatype::Int)),
+    ];
+    let params = RuntimeParams {
+        blocking_timeout: std::time::Duration::from_millis(200),
+        ..Default::default()
+    };
+    let out = std::sync::Arc::new(parking_lot::Mutex::new(vec![Vec::new(); 2]));
+    let out2 = out.clone();
+    let factories: Vec<TaskFactory> = vec![
+        Box::new(|ctx: SmiCtx| {
+            // Wrong element type: fails with TypeMismatch.
+            let _ch = ctx.open_send_channel::<f32>(10, 1, 0)?;
+            unreachable!("open must fail");
+        }),
+        Box::new(move |ctx: SmiCtx| {
+            let ch = ctx.open_recv_channel::<i32>(10, 0, 0)?;
+            Ok(Box::new(SliceRecv {
+                ch: Some(ch),
+                buf: vec![0; 10],
+                filled: 0,
+                out: out2,
+                rank: 1,
+            }) as Box<dyn RankTask>)
+        }),
+    ];
+    let report = run_mpmd_tasks(&topo, metas, factories, params).unwrap();
+    assert!(
+        matches!(report.results[0], Err(SmiError::TypeMismatch { .. })),
+        "{:?}",
+        report.results[0]
+    );
+    assert!(
+        matches!(report.results[1], Err(SmiError::Timeout { .. })),
+        "{:?}",
+        report.results[1]
+    );
+}
+
+#[test]
+fn task_plane_credit_protocol() {
+    // Non-blocking credit absorption: sender tasks stall on the window and
+    // resume on coalesced grants.
+    let topo = Topology::bus(2);
+    let n = 5000u64;
+    let metas = vec![
+        ProgramMeta::new().with(OpSpec::send(0, Datatype::Int)),
+        ProgramMeta::new().with(OpSpec::recv(0, Datatype::Int)),
+    ];
+    let out = std::sync::Arc::new(parking_lot::Mutex::new(vec![Vec::new(); 2]));
+    let out2 = out.clone();
+    let factories: Vec<TaskFactory> = vec![
+        Box::new(move |ctx: SmiCtx| {
+            let ch = ctx.open_send_channel_with::<i32>(n, 1, 0, Protocol::Credit { window: 48 })?;
+            Ok(Box::new(SliceSend {
+                ch: Some(ch),
+                data: (0..n as i32).collect(),
+                off: 0,
+            }) as Box<dyn RankTask>)
+        }),
+        Box::new(move |ctx: SmiCtx| {
+            let ch = ctx.open_recv_channel_with::<i32>(n, 0, 0, Protocol::Credit { window: 48 })?;
+            Ok(Box::new(SliceRecv {
+                ch: Some(ch),
+                buf: vec![0; n as usize],
+                filled: 0,
+                out: out2,
+                rank: 1,
+            }) as Box<dyn RankTask>)
+        }),
+    ];
+    let report = run_mpmd_tasks(&topo, metas, factories, RuntimeParams::default()).unwrap();
+    assert!(report.results.iter().all(|r| r.is_ok()), "{report:?}");
+    assert_eq!(out.lock()[1], (0..n as i32).collect::<Vec<i32>>());
+}
+
 // ---------------- collectives ----------------
 
 #[test]

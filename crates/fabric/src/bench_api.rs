@@ -93,6 +93,87 @@ pub fn p2p_stream(
     })
 }
 
+/// Result of an aggregate multi-flow streaming run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairsResult {
+    /// Total cycles until the last sink finished.
+    pub cycles: u64,
+    /// Wall time in µs at the configured kernel clock.
+    pub time_us: f64,
+    /// Aggregate payload bandwidth over all flows in Gbit/s.
+    pub aggregate_gbit_s: f64,
+    /// Number of concurrent flows.
+    pub pairs: usize,
+    /// Sequence mismatches observed across all sinks (must be 0).
+    pub errors: u64,
+}
+
+/// Stream `count` elements on every disjoint neighbour pair (rank `2i` →
+/// `2i+1`) concurrently — the timing-plane reference for the functional
+/// plane's `bench_scaling` sweep. Requires an even rank count.
+pub fn p2p_pairs(
+    topo: &Topology,
+    count: u64,
+    dtype: Datatype,
+    params: &FabricParams,
+) -> Result<PairsResult, SimError> {
+    let n = topo.num_ranks();
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "disjoint pairs need an even rank count"
+    );
+    let pairs = n / 2;
+    let plan = RoutingPlan::compute(topo).expect("routable topology");
+    let metas: Vec<ProgramMeta> = (0..n)
+        .map(|r| {
+            if r % 2 == 0 {
+                ProgramMeta::new().with(OpSpec::send(0, dtype))
+            } else {
+                ProgramMeta::new().with(OpSpec::recv(0, dtype))
+            }
+        })
+        .collect();
+    let design = ClusterDesign::mpmd(&metas, topo).expect("valid design");
+    let mut b = FabricBuilder::new(topo.clone(), plan, design, params.clone());
+    let width = dtype.elems_per_packet() as u32;
+    let probe = new_probe();
+    for p in 0..pairs {
+        let (src, dst) = (2 * p, 2 * p + 1);
+        let out = b.register_send(src, 0);
+        let input = b.register_recv(dst, 0);
+        b.add_component(StreamSource::new(
+            format!("source.{p}"),
+            out,
+            dtype,
+            src as u8,
+            dst as u8,
+            0,
+            count,
+            width,
+            new_probe(),
+        ));
+        b.add_component(StreamSink::new(
+            format!("sink.{p}"),
+            input,
+            dtype,
+            count,
+            probe.clone(),
+        ));
+    }
+    let mut fabric = b.finalize();
+    let budget = 10_000 + (count / dtype.elems_per_packet() as u64) * 8;
+    let report = fabric.run(budget.max(1_000_000))?;
+    let bytes = dtype.bytes_for(count as usize) * pairs;
+    let errors = probe.borrow().errors;
+    Ok(PairsResult {
+        cycles: report.cycles,
+        time_us: params.cycles_to_us(report.cycles),
+        aggregate_gbit_s: params.payload_gbit_s(bytes, report.cycles),
+        pairs,
+        errors,
+    })
+}
+
 /// Result of a ping-pong latency run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LatencyResult {
@@ -644,6 +725,17 @@ mod tests {
         // Streaming hides distance: bandwidths within 5%.
         let ratio = far.payload_gbit_s / near.payload_gbit_s;
         assert!((0.95..=1.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn disjoint_pairs_aggregate_bandwidth() {
+        let topo = Topology::bus(8);
+        let r = p2p_pairs(&topo, 50_000, Datatype::Float, &params()).unwrap();
+        assert_eq!(r.errors, 0);
+        assert_eq!(r.pairs, 4);
+        // Four non-overlapping 1-hop flows: aggregate far exceeds a single
+        // flow's ~33 Gbit/s payload line rate.
+        assert!(r.aggregate_gbit_s > 40.0, "agg {}", r.aggregate_gbit_s);
     }
 
     #[test]

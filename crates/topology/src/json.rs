@@ -161,6 +161,40 @@ mod tests {
     }
 
     #[test]
+    fn text_form_roundtrips_at_scale() {
+        // A 40-rank chain in the paper's Fig. 8 text form: the first 26
+        // ranks written as letters (`A:0 - B:0`), the rest as decimals —
+        // exercising both endpoint grammars well past the 8-rank fixtures.
+        let rank_name = |r: usize| {
+            if r < 26 {
+                ((b'A' + r as u8) as char).to_string()
+            } else {
+                r.to_string()
+            }
+        };
+        let n = 40;
+        let text: String = (0..n - 1)
+            .map(|r| format!("{}:1 - {}:0\n", rank_name(r), rank_name(r + 1)))
+            .collect();
+        let topo = Topology::from_text(&text).unwrap();
+        assert_eq!(topo.num_ranks(), n);
+        for r in 0..n - 1 {
+            assert_eq!(topo.peer(r, 1), Some(Endpoint::new(r + 1, 0)));
+        }
+        // JSON round-trip preserves the scale topology exactly.
+        let back = Topology::from_json(&topo.to_json()).unwrap();
+        assert_eq!(topo, back);
+    }
+
+    #[test]
+    fn json_roundtrip_64_rank_torus() {
+        let topo = Topology::torus2d(8, 8);
+        assert_eq!(topo.num_ranks(), 64);
+        let back = Topology::from_json(&topo.to_json()).unwrap();
+        assert_eq!(topo, back);
+    }
+
+    #[test]
     fn bad_specs_are_reported() {
         assert!(Topology::from_json("{").is_err());
         assert!(Topology::from_text("0:0 1:0").is_err()); // missing '-'

@@ -64,6 +64,21 @@ impl Framer {
         self.maybe_complete()
     }
 
+    /// Append up to one packet's worth of elements from `values`, returning
+    /// `(consumed, completed_packet)`. The bulk analogue of [`Framer::push`]:
+    /// callers loop until the slice is drained, collecting completed packets
+    /// into bursts.
+    #[inline]
+    pub fn push_slice<T: SmiType>(&mut self, values: &[T]) -> (usize, Option<NetworkPacket>) {
+        debug_assert_eq!(T::DATATYPE.size_bytes(), self.dtype.size_bytes());
+        let take = (self.elems_per_packet - self.filled).min(values.len());
+        for v in &values[..take] {
+            self.current.write_elem(self.filled, v);
+            self.filled += 1;
+        }
+        (take, self.maybe_complete())
+    }
+
     #[inline]
     fn maybe_complete(&mut self) -> Option<NetworkPacket> {
         if self.filled == self.elems_per_packet {
@@ -154,6 +169,20 @@ impl Deframer {
         let v = self.packet.read_elem::<T>(self.next);
         self.next += 1;
         Some(v)
+    }
+
+    /// Pop up to `out.len()` elements into `out`, returning how many were
+    /// written (bounded by the valid remainder of the current packet). The
+    /// bulk analogue of [`Deframer::pop`].
+    #[inline]
+    pub fn pop_slice<T: SmiType>(&mut self, out: &mut [T]) -> usize {
+        debug_assert_eq!(T::DATATYPE.size_bytes(), self.dtype.size_bytes());
+        let n = (self.valid - self.next).min(out.len());
+        for slot in out[..n].iter_mut() {
+            *slot = self.packet.read_elem::<T>(self.next);
+            self.next += 1;
+        }
+        n
     }
 
     /// Pop the next element as raw little-endian bytes into `dst`.
@@ -261,6 +290,34 @@ mod tests {
         out_t.extend(fr_t.flush());
         out_b.extend(fr_b.flush());
         assert_eq!(out_t, out_b);
+    }
+
+    #[test]
+    fn slice_framing_matches_elementwise() {
+        let elems: Vec<i32> = (0..40).collect();
+        let mut fr = Framer::new(Datatype::Int, 0, 1, 0, PacketOp::Send);
+        let mut pkts = Vec::new();
+        let mut i = 0;
+        while i < elems.len() {
+            let (k, p) = fr.push_slice(&elems[i..]);
+            assert!(k > 0);
+            i += k;
+            pkts.extend(p);
+        }
+        pkts.extend(fr.flush());
+        assert_eq!(pkts, frame_all(&elems));
+        // Bulk deframing round-trips too.
+        let mut df = Deframer::new(Datatype::Int);
+        let mut out = vec![0i32; 40];
+        let mut filled = 0;
+        let mut it = pkts.iter();
+        while filled < out.len() {
+            if df.is_empty() {
+                df.refill(*it.next().expect("enough packets"));
+            }
+            filled += df.pop_slice(&mut out[filled..]);
+        }
+        assert_eq!(out, elems);
     }
 
     #[test]

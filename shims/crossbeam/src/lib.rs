@@ -3,9 +3,15 @@
 //! The build environment has no network access, so the workspace vendors the
 //! slice of `crossbeam` it uses: [`channel`] with `bounded`/`unbounded`
 //! MPMC channels, cloneable senders/receivers, disconnect semantics, and the
-//! timeout/try variants of send/recv. Built on `Mutex` + `Condvar`; the
-//! semantics match `crossbeam-channel` for capacities ≥ 1 (a capacity of 0 is
-//! clamped to 1 — the rendezvous case is not used in this workspace).
+//! timeout/try variants of send/recv. Built on `Mutex` + `Condvar`.
+//!
+//! `bounded(0)` creates a **rendezvous channel**: a blocking `send` returns
+//! only once a receiver (blocking `recv` or polling `try_recv`) has actually
+//! taken the message, and `try_send` fails with `Full` unless a receiver is
+//! blocked waiting. One deliberate relaxation versus the real crate, on the
+//! `try_send` path only: the handoff enqueues the message for the waiting
+//! receiver and returns — if that receiver then times out before collecting
+//! it, the next receive collects the message instead.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -14,10 +20,56 @@ pub mod channel {
     use std::time::{Duration, Instant};
 
     struct Inner<T> {
-        queue: VecDeque<T>,
+        /// Buffered messages, each tagged with a monotonically increasing
+        /// enqueue ticket (tickets pop in increasing order — FIFO).
+        queue: VecDeque<(u64, T)>,
         cap: Option<usize>,
         senders: usize,
         receivers: usize,
+        /// Receivers currently blocked in `recv`/`recv_timeout` — the
+        /// admission requirement for rendezvous (capacity 0) `try_send`.
+        takers: usize,
+        /// Tickets issued so far.
+        enqueued: u64,
+        /// Highest ticket a receiver has popped. A rendezvous sender waits
+        /// until `last_popped >= its ticket`, so `recv` *and* `try_recv`
+        /// both complete a handoff; a sender that gives up removes its own
+        /// ticket from the queue without disturbing anyone else's.
+        last_popped: u64,
+    }
+
+    impl<T> Inner<T> {
+        fn push(&mut self, msg: T) -> u64 {
+            self.enqueued += 1;
+            self.queue.push_back((self.enqueued, msg));
+            self.enqueued
+        }
+
+        fn pop(&mut self) -> Option<T> {
+            let (ticket, msg) = self.queue.pop_front()?;
+            self.last_popped = ticket;
+            Some(msg)
+        }
+
+        /// Remove this sender's own queued message by ticket (give-up path).
+        fn reclaim(&mut self, ticket: u64) -> T {
+            let idx = self
+                .queue
+                .iter()
+                .position(|(t, _)| *t == ticket)
+                .expect("own ticket still queued");
+            self.queue.remove(idx).expect("indexed").1
+        }
+    }
+
+    impl<T> Inner<T> {
+        fn is_full(&self) -> bool {
+            match self.cap {
+                None => false,
+                Some(0) => self.queue.len() >= self.takers,
+                Some(c) => self.queue.len() >= c,
+            }
+        }
     }
 
     struct Shared<T> {
@@ -155,6 +207,9 @@ pub mod channel {
                 cap,
                 senders: 1,
                 receivers: 1,
+                takers: 0,
+                enqueued: 0,
+                last_popped: 0,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -167,10 +222,11 @@ pub mod channel {
         )
     }
 
-    /// A channel holding at most `cap` in-flight messages (`cap == 0` is
-    /// clamped to 1; true rendezvous channels are not needed here).
+    /// A channel holding at most `cap` in-flight messages. `cap == 0`
+    /// creates a rendezvous channel: sends only proceed while a receiver is
+    /// blocked waiting (see the module docs for the one relaxation).
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        new_channel(Some(cap.max(1)))
+        new_channel(Some(cap))
     }
 
     /// A channel with unlimited buffering.
@@ -221,13 +277,29 @@ pub mod channel {
         /// are gone.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
             let mut inner = self.shared.inner.lock().unwrap();
+            if inner.cap == Some(0) {
+                // Rendezvous: enqueue a ticketed handoff and wait until a
+                // receiver (blocking or polling) consumes it.
+                if inner.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                let ticket = inner.push(msg);
+                self.shared.not_empty.notify_one();
+                while inner.last_popped < ticket {
+                    if inner.receivers == 0 {
+                        // No receiver can ever consume it now: reclaim.
+                        return Err(SendError(inner.reclaim(ticket)));
+                    }
+                    inner = self.shared.not_full.wait(inner).unwrap();
+                }
+                return Ok(());
+            }
             loop {
                 if inner.receivers == 0 {
                     return Err(SendError(msg));
                 }
-                let full = inner.cap.map(|c| inner.queue.len() >= c).unwrap_or(false);
-                if !full {
-                    inner.queue.push_back(msg);
+                if !inner.is_full() {
+                    inner.push(msg);
                     self.shared.not_empty.notify_one();
                     return Ok(());
                 }
@@ -241,11 +313,10 @@ pub mod channel {
             if inner.receivers == 0 {
                 return Err(TrySendError::Disconnected(msg));
             }
-            let full = inner.cap.map(|c| inner.queue.len() >= c).unwrap_or(false);
-            if full {
+            if inner.is_full() {
                 return Err(TrySendError::Full(msg));
             }
-            inner.queue.push_back(msg);
+            inner.push(msg);
             self.shared.not_empty.notify_one();
             Ok(())
         }
@@ -254,13 +325,35 @@ pub mod channel {
         pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
             let deadline = Instant::now() + timeout;
             let mut inner = self.shared.inner.lock().unwrap();
+            if inner.cap == Some(0) {
+                if inner.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(msg));
+                }
+                let ticket = inner.push(msg);
+                self.shared.not_empty.notify_one();
+                while inner.last_popped < ticket {
+                    if inner.receivers == 0 {
+                        return Err(SendTimeoutError::Disconnected(inner.reclaim(ticket)));
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(SendTimeoutError::Timeout(inner.reclaim(ticket)));
+                    }
+                    let (guard, _res) = self
+                        .shared
+                        .not_full
+                        .wait_timeout(inner, deadline - now)
+                        .unwrap();
+                    inner = guard;
+                }
+                return Ok(());
+            }
             loop {
                 if inner.receivers == 0 {
                     return Err(SendTimeoutError::Disconnected(msg));
                 }
-                let full = inner.cap.map(|c| inner.queue.len() >= c).unwrap_or(false);
-                if !full {
-                    inner.queue.push_back(msg);
+                if !inner.is_full() {
+                    inner.push(msg);
                     self.shared.not_empty.notify_one();
                     return Ok(());
                 }
@@ -294,22 +387,26 @@ pub mod channel {
         pub fn recv(&self) -> Result<T, RecvError> {
             let mut inner = self.shared.inner.lock().unwrap();
             loop {
-                if let Some(msg) = inner.queue.pop_front() {
-                    self.shared.not_full.notify_one();
+                if let Some(msg) = inner.pop() {
+                    self.shared.not_full.notify_all();
                     return Ok(msg);
                 }
                 if inner.senders == 0 {
                     return Err(RecvError);
                 }
+                inner.takers += 1;
+                // A rendezvous sender may be waiting for a taker to appear.
+                self.shared.not_full.notify_all();
                 inner = self.shared.not_empty.wait(inner).unwrap();
+                inner.takers -= 1;
             }
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut inner = self.shared.inner.lock().unwrap();
-            if let Some(msg) = inner.queue.pop_front() {
-                self.shared.not_full.notify_one();
+            if let Some(msg) = inner.pop() {
+                self.shared.not_full.notify_all();
                 return Ok(msg);
             }
             if inner.senders == 0 {
@@ -324,8 +421,8 @@ pub mod channel {
             let deadline = Instant::now() + timeout;
             let mut inner = self.shared.inner.lock().unwrap();
             loop {
-                if let Some(msg) = inner.queue.pop_front() {
-                    self.shared.not_full.notify_one();
+                if let Some(msg) = inner.pop() {
+                    self.shared.not_full.notify_all();
                     return Ok(msg);
                 }
                 if inner.senders == 0 {
@@ -335,12 +432,16 @@ pub mod channel {
                 if now >= deadline {
                     return Err(RecvTimeoutError::Timeout);
                 }
+                inner.takers += 1;
+                // A rendezvous sender may be waiting for a taker to appear.
+                self.shared.not_full.notify_all();
                 let (guard, _res) = self
                     .shared
                     .not_empty
                     .wait_timeout(inner, deadline - now)
                     .unwrap();
                 inner = guard;
+                inner.takers -= 1;
             }
         }
 
@@ -443,6 +544,104 @@ mod tests {
             Err(SendTimeoutError::Timeout(2))
         );
         assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(1));
+    }
+
+    #[test]
+    fn rendezvous_send_blocks_until_receiver_waits() {
+        let (tx, rx) = bounded::<i32>(0);
+        // No receiver waiting: try_send must refuse, and a timed send must
+        // time out rather than buffer.
+        assert_eq!(tx.try_send(1), Err(TrySendError::Full(1)));
+        assert_eq!(
+            tx.send_timeout(1, Duration::from_millis(20)),
+            Err(SendTimeoutError::Timeout(1))
+        );
+        // With a receiver blocked in recv, the handoff completes.
+        let h = thread::spawn(move || rx.recv());
+        thread::sleep(Duration::from_millis(30)); // let the receiver park
+        tx.send(7).unwrap();
+        assert_eq!(h.join().unwrap(), Ok(7));
+    }
+
+    #[test]
+    fn rendezvous_try_send_succeeds_with_waiting_receiver() {
+        let (tx, rx) = bounded::<i32>(0);
+        let h = thread::spawn(move || rx.recv_timeout(Duration::from_secs(5)));
+        // Spin until the receiver is parked and a handoff slot opens.
+        let mut v = 9;
+        loop {
+            match tx.try_send(v) {
+                Ok(()) => break,
+                Err(TrySendError::Full(back)) => {
+                    v = back;
+                    thread::yield_now();
+                }
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert_eq!(h.join().unwrap(), Ok(9));
+    }
+
+    #[test]
+    fn rendezvous_handoff_completes_via_try_recv() {
+        // A polling consumer (try_recv only, never parked) must be able to
+        // complete a rendezvous with a blocked sender — the poll-mode
+        // pattern the transport layer uses everywhere.
+        let (tx, rx) = bounded::<i32>(0);
+        let h = thread::spawn(move || tx.send(5));
+        let v = loop {
+            match rx.try_recv() {
+                Ok(v) => break v,
+                Err(TryRecvError::Empty) => thread::yield_now(),
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        };
+        assert_eq!(v, 5);
+        h.join().unwrap().unwrap(); // sender returned Ok after the handoff
+    }
+
+    #[test]
+    fn rendezvous_timeout_sender_reclaims_message() {
+        // send_timeout on an unserviced rendezvous hands the message back,
+        // and a concurrent later sender's handoff is unaffected.
+        let (tx, rx) = bounded::<i32>(0);
+        assert_eq!(
+            tx.send_timeout(1, Duration::from_millis(20)),
+            Err(SendTimeoutError::Timeout(1))
+        );
+        let h = thread::spawn(move || rx.recv());
+        thread::sleep(Duration::from_millis(20));
+        tx.send(2).unwrap();
+        assert_eq!(h.join().unwrap(), Ok(2));
+    }
+
+    #[test]
+    fn rendezvous_ping_pong() {
+        let (atx, arx) = bounded::<u32>(0);
+        let (btx, brx) = bounded::<u32>(0);
+        let h = thread::spawn(move || {
+            for _ in 0..50 {
+                let v = arx.recv().unwrap();
+                btx.send(v + 1).unwrap();
+            }
+        });
+        let mut v = 0;
+        for _ in 0..50 {
+            atx.send(v).unwrap();
+            v = brx.recv().unwrap();
+        }
+        h.join().unwrap();
+        assert_eq!(v, 50);
+    }
+
+    #[test]
+    fn rendezvous_disconnect_semantics() {
+        let (tx, rx) = bounded::<i32>(0);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        let (tx, rx) = bounded::<i32>(0);
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
     }
 
     #[test]
