@@ -1,56 +1,65 @@
 //! The broadcast channel (`SMI_Open_bcast_channel` / `SMI_Bcast`).
 
 use std::marker::PhantomData;
-use std::time::Duration;
 
-use smi_wire::{Deframer, Framer, PacketOp, SmiType};
+use smi_wire::{Deframer, Framer, NetworkPacket, PacketOp, SmiType};
 
-use crate::collectives::expect_op;
+use crate::collectives::{expect_op, CollectivePoll, CollectiveState};
 use crate::comm::Communicator;
-use crate::endpoint::{send_burst, send_packet, CollRes, EndpointTableHandle};
+use crate::endpoint::{CollIo, EndpointTableHandle};
+use crate::transport::executor::{block_on, BlockingStep};
 use crate::SmiError;
 
 /// A broadcast channel (`SMI_BChannel`). The root pushes each element to
 /// every other member; non-roots receive. "If the caller is the root, it
 /// will push the data towards the other ranks. Otherwise, the caller will
 /// pop data elements from the network." (§3.2)
+///
+/// The channel is a poll-mode state machine: §3.3's one-to-all
+/// synchronization (every receiver announces readiness; the root streams
+/// only once all announcements arrived) runs as the `Opening` handshake
+/// state, advanced by [`CollectivePoll::poll`] / the `try_*` operations
+/// instead of blocking inside open.
 pub struct BcastChannel<T: SmiType> {
     count: u64,
     done: u64,
-    port: usize,
-    my_world: u8,
-    root_world: usize,
     is_root: bool,
     /// World ranks of the other members (root side).
     others: Vec<usize>,
+    /// Root: ready announcements received so far.
+    ready: usize,
+    /// Root: completed packets awaiting fan-out. Staging fans the whole
+    /// window out grouped per destination (one burst-sized window, so the
+    /// CKS sees long same-route runs instead of alternating destinations).
+    window: Vec<NetworkPacket>,
+    state: CollectiveState,
     framer: Framer,
     deframer: Deframer,
-    res: Option<CollRes>,
-    table: EndpointTableHandle,
-    timeout: Duration,
+    io: CollIo,
     _elem: PhantomData<T>,
 }
 
 impl<T: SmiType> BcastChannel<T> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn open(
         table: EndpointTableHandle,
         comm: &Communicator,
         count: u64,
         port: usize,
         root: usize,
-        timeout: Duration,
+        timeout: std::time::Duration,
+        max_burst: usize,
     ) -> Result<Self, SmiError> {
         let root_world = comm.world_rank(root)?;
         let my_world = comm.world_rank(comm.rank())?;
-        let res = table.lock().take_coll(port, smi_codegen::OpKind::Bcast)?;
-        if res.dtype != T::DATATYPE {
-            let declared = res.dtype;
-            table.lock().put_coll(port, res);
-            return Err(SmiError::TypeMismatch {
-                declared,
-                requested: T::DATATYPE,
-            });
-        }
+        let io = CollIo::open(
+            table,
+            port,
+            smi_codegen::OpKind::Bcast,
+            T::DATATYPE,
+            timeout,
+            max_burst,
+        )?;
         let is_root = comm.rank() == root;
         let others: Vec<usize> = comm
             .world_ranks()
@@ -63,88 +72,200 @@ impl<T: SmiType> BcastChannel<T> {
         let mut chan = BcastChannel {
             count,
             done: 0,
-            port,
-            my_world: my_wire,
-            root_world,
             is_root,
-            others,
+            ready: 0,
+            window: Vec::new(),
+            state: CollectiveState::Opening,
             framer: Framer::new(T::DATATYPE, my_wire, 0, port_wire, PacketOp::Bcast),
             deframer: Deframer::new(T::DATATYPE),
-            res: Some(res),
-            table,
-            timeout,
+            io,
+            others,
             _elem: PhantomData,
         };
-        chan.rendezvous()?;
+        if count == 0 {
+            // Zero-length message: no handshake, nothing will ever move.
+            chan.state = CollectiveState::Done;
+        } else if !chan.is_root {
+            // Announce readiness; the packet is staged and flushed by the
+            // first poll, so open itself never blocks.
+            let sync =
+                NetworkPacket::control(my_wire, root_world as u8, port_wire, PacketOp::Sync, 0);
+            chan.io.stage(sync);
+        }
+        chan.advance()?;
         Ok(chan)
     }
 
-    /// §3.3 one-to-all synchronization: every receiver announces readiness;
-    /// the root collects all announcements before streaming.
-    fn rendezvous(&mut self) -> Result<(), SmiError> {
-        if self.count == 0 {
-            return Ok(());
-        }
-        let timeout = self.timeout;
-        let res = self.res.as_mut().expect("open");
-        if self.is_root {
-            for _ in 0..self.others.len() {
-                let pkt = res.rx.recv_packet(timeout, "bcast ready sync")?;
-                expect_op(&pkt, PacketOp::Sync)?;
+    /// One non-blocking step: flush staged packets, absorb handshake syncs,
+    /// update the state. Returns whether the staging buffer is empty.
+    fn advance(&mut self) -> Result<bool, SmiError> {
+        let flushed = self.io.try_flush()?;
+        match self.state {
+            CollectiveState::Opening => {
+                if self.is_root {
+                    while self.ready < self.others.len() {
+                        match self.io.try_recv_data()? {
+                            Some(pkt) => {
+                                expect_op(&pkt, PacketOp::Sync)?;
+                                self.ready += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                    if self.ready == self.others.len() {
+                        self.state = CollectiveState::Streaming;
+                    }
+                } else if flushed {
+                    self.state = CollectiveState::Streaming;
+                }
             }
-        } else {
-            let sync = smi_wire::NetworkPacket::control(
-                self.my_world,
-                self.root_world as u8,
-                self.port as u8,
-                PacketOp::Sync,
-                0,
-            );
-            send_packet(&res.to_cks, sync, timeout, "bcast sync path")?;
+            CollectiveState::Streaming => {
+                if self.done == self.count && self.window.is_empty() && flushed {
+                    self.state = CollectiveState::Done;
+                }
+            }
+            CollectiveState::Done => {}
         }
-        Ok(())
+        Ok(flushed)
+    }
+
+    /// Fan the buffered window out to every member, grouped per destination.
+    fn stage_fanout(&mut self) {
+        if self.others.is_empty() {
+            self.window.clear();
+            return;
+        }
+        for &dst in &self.others {
+            for pkt in &self.window {
+                let mut copy = *pkt;
+                copy.header.dst = dst as u8;
+                self.io.stage(copy);
+            }
+        }
+        self.window.clear();
+    }
+
+    /// Non-blocking bulk `SMI_Bcast`: at the root, consumes elements of
+    /// `data` (framing them into fan-out bursts); elsewhere, fills `data`
+    /// with received elements. Returns how many elements were processed
+    /// (possibly 0 — the channel never blocks, including while the open
+    /// handshake is still in progress).
+    ///
+    /// A slice larger than the channel's remaining count fails atomically
+    /// up front: nothing is consumed.
+    pub fn try_bcast_slice(&mut self, data: &mut [T]) -> Result<usize, SmiError> {
+        if data.len() as u64 > self.count - self.done {
+            return Err(SmiError::CountExceeded { count: self.count });
+        }
+        let flushed = self.advance()?;
+        if self.state == CollectiveState::Opening || data.is_empty() {
+            return Ok(0);
+        }
+        if self.is_root {
+            if !flushed {
+                return Ok(0);
+            }
+            let mut consumed = 0usize;
+            while consumed < data.len() {
+                let (take, pkt) = self.framer.push_slice(&data[consumed..]);
+                consumed += take;
+                self.done += take as u64;
+                let maybe = pkt.or_else(|| {
+                    if self.done == self.count {
+                        self.framer.flush()
+                    } else {
+                        None
+                    }
+                });
+                if let Some(p) = maybe {
+                    self.window.push(p);
+                }
+                if self.window.len() >= self.io.max_burst() || self.done == self.count {
+                    self.stage_fanout();
+                    if !self.io.try_flush()? {
+                        break;
+                    }
+                }
+            }
+            self.advance()?;
+            Ok(consumed)
+        } else {
+            let mut filled = 0usize;
+            while filled < data.len() {
+                if self.deframer.is_empty() {
+                    match self.io.try_recv_data()? {
+                        Some(pkt) => {
+                            expect_op(&pkt, PacketOp::Bcast)?;
+                            self.deframer.refill(pkt);
+                        }
+                        None => break,
+                    }
+                }
+                let n = self.deframer.pop_slice(&mut data[filled..]);
+                filled += n;
+                self.done += n as u64;
+            }
+            if self.done == self.count {
+                self.advance()?;
+            }
+            Ok(filled)
+        }
+    }
+
+    /// Bulk `SMI_Bcast`, blocking until the whole slice is processed: the
+    /// root's elements are all handed to the transport (a final partial
+    /// packet is retained until the message completes, as with per-element
+    /// pushes); non-roots return once `data` is filled.
+    pub fn bcast_slice(&mut self, data: &mut [T]) -> Result<(), SmiError> {
+        if data.len() as u64 > self.count - self.done {
+            return Err(SmiError::CountExceeded { count: self.count });
+        }
+        let timeout = self.io.timeout();
+        let mut off = 0usize;
+        block_on(timeout, "bcast progress", || {
+            let moved = self.try_bcast_slice(&mut data[off..])?;
+            off += moved;
+            if off == data.len() && self.flush_call_end()? {
+                return Ok(BlockingStep::Ready(()));
+            }
+            Ok(if moved > 0 {
+                BlockingStep::Progress
+            } else {
+                BlockingStep::Pending
+            })
+        })
+    }
+
+    /// Stage any buffered fan-out window and offer everything staged: the
+    /// blocking API forwards each completed packet at call granularity
+    /// (per-element pushes keep the paper's packet-by-packet liveness).
+    fn flush_call_end(&mut self) -> Result<bool, SmiError> {
+        if self.is_root && !self.window.is_empty() {
+            self.stage_fanout();
+        }
+        self.io.try_flush()
     }
 
     /// `SMI_Bcast`: at the root, sends `*data`; elsewhere, overwrites `*data`
-    /// with the received element.
+    /// with the received element. Blocking form.
     pub fn bcast(&mut self, data: &mut T) -> Result<(), SmiError> {
-        if self.done == self.count {
-            return Err(SmiError::CountExceeded { count: self.count });
-        }
-        if self.is_root {
-            self.done += 1;
-            let full = self.framer.push(data);
-            let maybe_pkt = if self.done == self.count {
-                full.or_else(|| self.framer.flush())
+        self.bcast_slice(std::slice::from_mut(data))
+    }
+
+    /// Spin the open handshake to completion (thread-plane blocking open).
+    pub(crate) fn wait_open(&mut self) -> Result<(), SmiError> {
+        let timeout = self.io.timeout();
+        block_on(timeout, "bcast open rendezvous", || {
+            let before = self.ready;
+            self.advance()?;
+            if self.state != CollectiveState::Opening {
+                Ok(BlockingStep::Ready(()))
+            } else if self.ready > before {
+                Ok(BlockingStep::Progress)
             } else {
-                full
-            };
-            if let Some(pkt) = maybe_pkt.filter(|_| !self.others.is_empty()) {
-                // Fan out to every member as one burst: the CKS splits it
-                // per destination route.
-                let burst: Vec<_> = self
-                    .others
-                    .iter()
-                    .map(|&dst| {
-                        let mut copy = pkt;
-                        copy.header.dst = dst as u8;
-                        copy
-                    })
-                    .collect();
-                let res = self.res.as_ref().expect("open");
-                send_burst(&res.to_cks, burst, self.timeout, "bcast data fan-out")?;
+                Ok(BlockingStep::Pending)
             }
-        } else {
-            while self.deframer.is_empty() {
-                let res = self.res.as_mut().expect("open");
-                let pkt = res.rx.recv_packet(self.timeout, "bcast data")?;
-                expect_op(&pkt, PacketOp::Bcast)?;
-                self.deframer.refill(pkt);
-            }
-            *data = self.deframer.pop::<T>().expect("non-empty");
-            self.done += 1;
-        }
-        Ok(())
+        })
     }
 
     /// Elements broadcast so far.
@@ -153,10 +274,13 @@ impl<T: SmiType> BcastChannel<T> {
     }
 }
 
-impl<T: SmiType> Drop for BcastChannel<T> {
-    fn drop(&mut self) {
-        if let Some(res) = self.res.take() {
-            self.table.lock().put_coll(self.port, res);
-        }
+impl<T: SmiType> CollectivePoll for BcastChannel<T> {
+    fn poll(&mut self) -> Result<CollectiveState, SmiError> {
+        self.advance()?;
+        Ok(self.state)
+    }
+
+    fn state(&self) -> CollectiveState {
+        self.state
     }
 }

@@ -4,25 +4,28 @@
 //! in communicator order. "The root rank must communicate to each source
 //! rank when it is ready to receive the given sequence of data" (§3.3): the
 //! root grants members serially with `Sync` packets, so contributions never
-//! interleave and the root needs no reorder buffer.
+//! interleave and the root needs no reorder buffer. A leaf's `Opening`
+//! state lasts until its grant arrives — absorbed non-blockingly, so a
+//! cooperative task waiting for its turn never parks a worker.
 
 use std::collections::VecDeque;
 use std::marker::PhantomData;
-use std::time::Duration;
 
-use smi_wire::{Deframer, Framer, PacketOp, SmiType};
+use smi_wire::{Deframer, Framer, NetworkPacket, PacketOp, SmiType};
 
-use crate::collectives::expect_op;
+use crate::collectives::{expect_op, CollectivePoll, CollectiveState};
 use crate::comm::Communicator;
-use crate::endpoint::{send_packet, CollRes, EndpointTableHandle};
+use crate::endpoint::{CollIo, EndpointTableHandle};
+use crate::transport::executor::{block_on, BlockingStep};
 use crate::SmiError;
 
-/// A gather channel.
+/// A gather channel, as a poll-mode core with bulk `push_slice` /
+/// `pop_slice` operations and non-blocking `try_*` forms.
 pub struct GatherChannel<T: SmiType> {
     /// Elements per member.
     count: u64,
-    port: usize,
     my_world: u8,
+    port_wire: u8,
     root_world: usize,
     is_root: bool,
     members: Vec<usize>,
@@ -34,41 +37,41 @@ pub struct GatherChannel<T: SmiType> {
     popped: u64,
     /// Root's own contribution, buffered locally.
     local: VecDeque<T>,
+    state: CollectiveState,
     framer: Framer,
     deframer: Deframer,
-    res: Option<CollRes>,
-    table: EndpointTableHandle,
-    timeout: Duration,
+    io: CollIo,
     _elem: PhantomData<T>,
 }
 
 impl<T: SmiType> GatherChannel<T> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn open(
         table: EndpointTableHandle,
         comm: &Communicator,
         count: u64,
         port: usize,
         root: usize,
-        timeout: Duration,
+        timeout: std::time::Duration,
+        max_burst: usize,
     ) -> Result<Self, SmiError> {
         let root_world = comm.world_rank(root)?;
         let my_world = comm.world_rank(comm.rank())?;
-        let res = table.lock().take_coll(port, smi_codegen::OpKind::Gather)?;
-        if res.dtype != T::DATATYPE {
-            let declared = res.dtype;
-            table.lock().put_coll(port, res);
-            return Err(SmiError::TypeMismatch {
-                declared,
-                requested: T::DATATYPE,
-            });
-        }
+        let io = CollIo::open(
+            table,
+            port,
+            smi_codegen::OpKind::Gather,
+            T::DATATYPE,
+            timeout,
+            max_burst,
+        )?;
         let is_root = comm.rank() == root;
         let port_wire = smi_wire::header::port_to_wire(port)?;
         let my_wire = smi_wire::header::rank_to_wire(my_world)?;
         Ok(GatherChannel {
             count,
-            port,
             my_world: my_wire,
+            port_wire,
             root_world,
             is_root,
             members: comm.world_ranks().to_vec(),
@@ -77,6 +80,14 @@ impl<T: SmiType> GatherChannel<T> {
             pushed: 0,
             popped: 0,
             local: VecDeque::new(),
+            state: if count == 0 {
+                CollectiveState::Done
+            } else if is_root {
+                // The root opens ready; leaves wait for their serial grant.
+                CollectiveState::Streaming
+            } else {
+                CollectiveState::Opening
+            },
             framer: Framer::new(
                 T::DATATYPE,
                 my_wire,
@@ -85,103 +96,222 @@ impl<T: SmiType> GatherChannel<T> {
                 PacketOp::Gather,
             ),
             deframer: Deframer::new(T::DATATYPE),
-            res: Some(res),
-            table,
-            timeout,
+            io,
             _elem: PhantomData,
         })
     }
 
-    /// Push the next element of this member's contribution.
-    pub fn push(&mut self, value: &T) -> Result<(), SmiError> {
-        if self.pushed == self.count {
+    /// One non-blocking step: flush staged packets, absorb a pending grant
+    /// at a leaf, update the state.
+    fn advance(&mut self) -> Result<bool, SmiError> {
+        let flushed = self.io.try_flush()?;
+        if !self.is_root && !self.granted {
+            if let Some(pkt) = self.io.try_recv_data()? {
+                expect_op(&pkt, PacketOp::Sync)?;
+                self.granted = true;
+            }
+        }
+        match self.state {
+            CollectiveState::Opening => {
+                if self.granted {
+                    self.state = CollectiveState::Streaming;
+                }
+            }
+            CollectiveState::Streaming => {
+                let total = self.count * self.members.len() as u64;
+                let popped_all = !self.is_root || self.popped == total;
+                if self.pushed == self.count && popped_all && flushed && self.framer.pending() == 0
+                {
+                    self.state = CollectiveState::Done;
+                }
+            }
+            CollectiveState::Done => {}
+        }
+        Ok(flushed)
+    }
+
+    /// Non-blocking bulk push of this member's contribution. Consumes as
+    /// many elements as the grant and transport capacity currently allow.
+    pub fn try_push_slice(&mut self, values: &[T]) -> Result<usize, SmiError> {
+        if values.len() as u64 > self.count - self.pushed {
             return Err(SmiError::CountExceeded { count: self.count });
         }
         if self.is_root {
-            self.local.push_back(*value);
-            self.pushed += 1;
-            return Ok(());
+            // Own contribution: buffered locally, no grant needed.
+            self.local.extend(values.iter().copied());
+            self.pushed += values.len() as u64;
+            return Ok(values.len());
         }
-        // Wait for the root's serialized go-ahead before any data moves.
+        if !self.advance()? {
+            return Ok(0);
+        }
+        // Data may only move after the root's serialized go-ahead.
         if !self.granted {
-            let res = self.res.as_mut().expect("open");
-            let pkt = res.rx.recv_packet(self.timeout, "gather grant")?;
-            expect_op(&pkt, PacketOp::Sync)?;
-            self.granted = true;
+            return Ok(0);
         }
-        self.pushed += 1;
-        let full = self.framer.push(value);
-        let maybe_pkt = if self.pushed == self.count {
-            full.or_else(|| self.framer.flush())
-        } else {
-            full
-        };
-        if let Some(pkt) = maybe_pkt {
-            let res = self.res.as_ref().expect("open");
-            send_packet(&res.to_cks, pkt, self.timeout, "gather data path")?;
+        let mut consumed = 0usize;
+        while consumed < values.len() {
+            let (take, pkt) = self.framer.push_slice(&values[consumed..]);
+            consumed += take;
+            self.pushed += take as u64;
+            let maybe = if self.pushed == self.count {
+                pkt.or_else(|| self.framer.flush())
+            } else {
+                pkt
+            };
+            if let Some(p) = maybe {
+                self.io.stage(p);
+                if self.io.stage_full() && !self.io.try_flush()? {
+                    break;
+                }
+            }
         }
-        Ok(())
+        self.advance()?;
+        Ok(consumed)
     }
 
-    /// Root only: pop the next element of the gathered `count × N` stream.
-    pub fn pop(&mut self) -> Result<T, SmiError> {
+    /// Bulk push, blocking until the whole contribution slice was accepted.
+    pub fn push_slice(&mut self, values: &[T]) -> Result<(), SmiError> {
+        if values.len() as u64 > self.count - self.pushed {
+            return Err(SmiError::CountExceeded { count: self.count });
+        }
+        let timeout = self.io.timeout();
+        let mut off = 0usize;
+        block_on(timeout, "gather grant", || {
+            let moved = self.try_push_slice(&values[off..])?;
+            off += moved;
+            if off == values.len() && self.io.try_flush()? {
+                return Ok(BlockingStep::Ready(()));
+            }
+            Ok(if moved > 0 {
+                BlockingStep::Progress
+            } else {
+                BlockingStep::Pending
+            })
+        })
+    }
+
+    /// Push the next element of this member's contribution. Blocking form.
+    pub fn push(&mut self, value: &T) -> Result<(), SmiError> {
+        self.push_slice(std::slice::from_ref(value))
+    }
+
+    /// Non-blocking bulk pop (root only): drain whatever of the gathered
+    /// `count × N` stream is available, granting sources serially as their
+    /// slices come up. Returns how many elements were written.
+    pub fn try_pop_slice(&mut self, out: &mut [T]) -> Result<usize, SmiError> {
         if !self.is_root {
             return Err(SmiError::ProtocolViolation {
                 detail: "gather pop on a non-root rank".into(),
             });
         }
         let total = self.count * self.members.len() as u64;
-        if self.popped == total {
+        if out.len() as u64 > total - self.popped {
             return Err(SmiError::CountExceeded { count: total });
         }
-        let src_idx = (self.popped / self.count) as usize;
-        let src_world = self.members[src_idx];
-        let v = if src_world == self.root_world {
-            self.local
-                .pop_front()
-                .ok_or_else(|| SmiError::ProtocolViolation {
-                    detail: "gather pop before the root pushed its own contribution".into(),
-                })?
-        } else {
-            // Serialized grant: first element of a new slice grants its
-            // source.
+        self.advance()?;
+        let mut filled = 0usize;
+        while filled < out.len() {
+            let src_idx = (self.popped / self.count) as usize;
+            let slice_left = (self.count - self.popped % self.count) as usize;
+            let src_world = self.members[src_idx];
+            if src_world == self.root_world {
+                // Own contribution, from the local buffer.
+                let take = slice_left.min(out.len() - filled).min(self.local.len());
+                if take == 0 {
+                    break;
+                }
+                for slot in out[filled..filled + take].iter_mut() {
+                    *slot = self.local.pop_front().expect("sized above");
+                }
+                filled += take;
+                self.popped += take as u64;
+                continue;
+            }
+            // Serialized grant: the first element of a new slice grants its
+            // source (the packet is staged; a full FIFO retries on poll).
             if self.grant_sent_for != Some(src_idx) {
-                let res = self.res.as_ref().expect("open");
-                let grant = smi_wire::NetworkPacket::control(
+                let grant = NetworkPacket::control(
                     self.my_world,
                     src_world as u8,
-                    self.port as u8,
+                    self.port_wire,
                     PacketOp::Sync,
                     0,
                 );
-                send_packet(&res.to_cks, grant, self.timeout, "gather grant path")?;
+                self.io.stage(grant);
                 self.grant_sent_for = Some(src_idx);
+                self.io.try_flush()?;
             }
-            while self.deframer.is_empty() {
-                let res = self.res.as_mut().expect("open");
-                let pkt = res.rx.recv_packet(self.timeout, "gather data")?;
-                expect_op(&pkt, PacketOp::Gather)?;
-                if pkt.header.src as usize != src_world {
-                    return Err(SmiError::ProtocolViolation {
-                        detail: format!(
-                            "gather order violated: data from {} while collecting {}",
-                            pkt.header.src, src_world
-                        ),
-                    });
+            if self.deframer.is_empty() {
+                match self.io.try_recv_data()? {
+                    Some(pkt) => {
+                        expect_op(&pkt, PacketOp::Gather)?;
+                        if pkt.header.src as usize != src_world {
+                            return Err(SmiError::ProtocolViolation {
+                                detail: format!(
+                                    "gather order violated: data from {} while collecting {}",
+                                    pkt.header.src, src_world
+                                ),
+                            });
+                        }
+                        self.deframer.refill(pkt);
+                    }
+                    None => break,
                 }
-                self.deframer.refill(pkt);
             }
-            self.deframer.pop::<T>().expect("non-empty")
-        };
-        self.popped += 1;
-        Ok(v)
+            let cap = slice_left.min(out.len() - filled);
+            let n = self.deframer.pop_slice(&mut out[filled..filled + cap]);
+            filled += n;
+            self.popped += n as u64;
+        }
+        if self.popped == total {
+            self.advance()?;
+        }
+        Ok(filled)
+    }
+
+    /// Bulk pop (root only), blocking until `out` is filled. The root's own
+    /// slice must already have been pushed when its turn comes up (nothing
+    /// else can supply it), so a shortfall there is a protocol violation.
+    pub fn pop_slice(&mut self, out: &mut [T]) -> Result<(), SmiError> {
+        let timeout = self.io.timeout();
+        let mut off = 0usize;
+        block_on(timeout, "gather data", || {
+            let moved = self.try_pop_slice(&mut out[off..])?;
+            off += moved;
+            if off == out.len() {
+                return Ok(BlockingStep::Ready(()));
+            }
+            if moved > 0 {
+                return Ok(BlockingStep::Progress);
+            }
+            // Stalled: distinguish "waiting for the network" from "waiting
+            // for our own unpushed contribution", which can never arrive.
+            let src_idx = (self.popped / self.count) as usize;
+            if self.members[src_idx] == self.root_world && self.local.is_empty() {
+                return Err(SmiError::ProtocolViolation {
+                    detail: "gather pop before the root pushed its own contribution".into(),
+                });
+            }
+            Ok(BlockingStep::Pending)
+        })
+    }
+
+    /// Root only: pop the next element of the gathered stream. Blocking.
+    pub fn pop(&mut self) -> Result<T, SmiError> {
+        let mut out = [crate::collectives::zero_elem::<T>()];
+        self.pop_slice(&mut out)?;
+        Ok(out[0])
     }
 }
 
-impl<T: SmiType> Drop for GatherChannel<T> {
-    fn drop(&mut self) {
-        if let Some(res) = self.res.take() {
-            self.table.lock().put_coll(self.port, res);
-        }
+impl<T: SmiType> CollectivePoll for GatherChannel<T> {
+    fn poll(&mut self) -> Result<CollectiveState, SmiError> {
+        self.advance()?;
+        Ok(self.state)
+    }
+
+    fn state(&self) -> CollectiveState {
+        self.state
     }
 }

@@ -3,10 +3,38 @@
 //! Each collective owns a dedicated port and implements the §4.4
 //! synchronization protocol of the reference implementation: ready-`Sync`s
 //! for the one-to-all collectives (Bcast, Scatter), serialized `Sync` grants
-//! for Gather, and credit-based flow control for Reduce. The protocol state
-//! machines run inline in the application thread (where the hardware places
-//! a dedicated support kernel), exchanging exactly the packets the fabric's
-//! support kernels exchange.
+//! for Gather, and credit-based flow control for Reduce — exchanging exactly
+//! the packets the fabric's support kernels exchange.
+//!
+//! ## Poll-mode cores
+//!
+//! Every channel is a **non-blocking state machine** with an explicit
+//! handshake state ([`CollectiveState`]: `Opening → Streaming → Done`),
+//! driven by the shared [`CollectivePoll`] interface plus per-channel
+//! `try_*` operations. Nothing in the core ever parks the calling thread:
+//! outgoing packets (data, syncs, grants, credits) are staged in the port's
+//! [`crate::endpoint`] resource and re-offered to the transport on every
+//! poll, and incoming packets are drained with non-blocking receives. That
+//! is what lets [`crate::RankTask`] programs on
+//! [`crate::env::run_mpmd_tasks`] open and drive collectives cooperatively —
+//! an in-progress open never occupies an executor worker.
+//!
+//! The paper-shaped blocking methods (`bcast`, `reduce`, `push`, `pop` and
+//! the `*_slice` bulk forms) are thin wrappers that spin the core with the
+//! runtime's `blocking_timeout`
+//! ([`crate::transport::executor::block_on`]); the blocking `open_*` context
+//! methods likewise spin the open handshake, preserving the §3.3 rendezvous
+//! semantics on the thread plane.
+//!
+//! ## Bulk element APIs
+//!
+//! Mirroring the point-to-point bulk path, every collective moves whole
+//! slices per call (`bcast_slice`, `reduce_slice`, scatter/gather
+//! `push_slice`/`pop_slice`), framing directly into packet bursts via
+//! `Framer::push_slice`/`Deframer::pop_slice`. The broadcast root fans a
+//! window of packets out grouped per destination (long same-route runs for
+//! the CKS), and the reduce root coalesces credit grants per completed
+//! window into one `Credit` packet per member.
 
 mod bcast;
 mod gather;
@@ -21,6 +49,36 @@ pub use scatter::ScatterChannel;
 use smi_wire::{NetworkPacket, PacketOp};
 
 use crate::SmiError;
+
+/// Handshake state of a collective channel's poll-mode core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveState {
+    /// The open handshake has not completed (ready-`Sync`s outstanding).
+    Opening,
+    /// Handshake complete (or not required); elements are moving.
+    Streaming,
+    /// All `count` elements moved and every staged packet handed over.
+    Done,
+}
+
+/// The shared poll interface of the collective cores: advance the open
+/// handshake and any staged traffic as far as currently possible, without
+/// blocking. Cooperative rank tasks call this (directly or via the `try_*`
+/// operations, which poll implicitly) instead of the blocking API.
+pub trait CollectivePoll {
+    /// Advance without blocking and report the resulting state.
+    fn poll(&mut self) -> Result<CollectiveState, SmiError>;
+
+    /// The current handshake state (no progress attempted).
+    fn state(&self) -> CollectiveState;
+}
+
+/// A zero-initialized element (placeholder for out-parameters; `SmiType`
+/// requires a defined value for every bit pattern, so all-zeroes is valid).
+pub(crate) fn zero_elem<T: smi_wire::SmiType>() -> T {
+    let buf = [0u8; 16];
+    T::read_le(&buf[..T::DATATYPE.size_bytes()])
+}
 
 /// Expect a specific op on a control path.
 pub(crate) fn expect_op(pkt: &NetworkPacket, op: PacketOp) -> Result<(), SmiError> {

@@ -1,44 +1,50 @@
 //! The reduce channel (`SMI_Open_reduce_channel` / `SMI_Reduce`) with
 //! credit-based flow control (§4.4).
 
-use std::time::Duration;
-
 use smi_wire::reduce::SmiNumeric;
-use smi_wire::{Deframer, Framer, NetworkPacket, PacketOp, ReduceOp};
+use smi_wire::{Deframer, NetworkPacket, PacketOp, ReduceOp};
 
-use crate::collectives::expect_op;
+use crate::collectives::{expect_op, CollectivePoll, CollectiveState};
 use crate::comm::Communicator;
-use crate::endpoint::{send_burst, send_packet, CollRes, EndpointTableHandle};
+use crate::endpoint::{CollIo, EndpointTableHandle};
+use crate::transport::executor::{block_on, BlockingStep};
 use crate::SmiError;
 
-/// A reduce channel (`SMI_RChannel`). Every member contributes one element
-/// per [`ReduceChannel::reduce`] call; the reduced element is returned at the
-/// root (`None` elsewhere), exactly like the paper's `data_rcv` that is
-/// "produced to the root rank".
+/// A reduce channel (`SMI_RChannel`). Every member contributes `count`
+/// elements; the reduced stream is produced at the root, exactly like the
+/// paper's `data_rcv` that is "produced to the root rank".
+///
+/// Reduce needs no open handshake (the first credit window is implicitly
+/// granted), so the poll-mode core starts in `Streaming`. Leaves frame
+/// contributions within the granted window and stage packet bursts; the
+/// root folds its own and the network's contributions into a `C`-slot ring
+/// window and emits coalesced credit grants — one `Credit` packet per
+/// member covering every window completed since the last grant.
 pub struct ReduceChannel<T: SmiNumeric> {
     count: u64,
-    port: usize,
+    port_wire: u8,
     op: ReduceOp,
     my_world: u8,
     is_root: bool,
-    /// Root: ring window of `credits` accumulation slots.
+    /// Root: ring window of `credits_window` accumulation slots.
     window: Vec<T>,
     /// Root: per-member element progress (communicator order).
     progress: Vec<u64>,
     /// Root: world-rank → communicator index lookup.
     member_index: Vec<Option<usize>>,
-    /// Root: elements returned to the caller so far. Leaf: elements sent.
+    /// Root: results returned to the caller so far. Leaf: elements sent.
     done: u64,
     /// Credit window size `C`.
     credits_window: u64,
-    /// Leaf: remaining credits.
+    /// Leaf: remaining credits. Root: total credits granted per member.
     credits: u64,
+    /// Root: credits accrued from completed windows, not yet staged.
+    pending_grant: u64,
     my_comm_index: usize,
     others_world: Vec<usize>,
-    framer: Framer,
-    res: Option<CollRes>,
-    table: EndpointTableHandle,
-    timeout: Duration,
+    framer: smi_wire::Framer,
+    state: CollectiveState,
+    io: CollIo,
 }
 
 impl<T: SmiNumeric> ReduceChannel<T> {
@@ -50,21 +56,21 @@ impl<T: SmiNumeric> ReduceChannel<T> {
         port: usize,
         root: usize,
         credits_window: u64,
-        timeout: Duration,
+        timeout: std::time::Duration,
+        max_burst: usize,
     ) -> Result<Self, SmiError> {
         assert!(credits_window >= 1, "reduce needs at least one credit");
         let root_world = comm.world_rank(root)?;
         let my_world = comm.world_rank(comm.rank())?;
-        let res = table.lock().take_coll(port, smi_codegen::OpKind::Reduce)?;
-        if res.dtype != T::DATATYPE {
-            let declared = res.dtype;
-            table.lock().put_coll(port, res);
-            return Err(SmiError::TypeMismatch {
-                declared,
-                requested: T::DATATYPE,
-            });
-        }
-        let op = res.reduce_op.expect("reduce binding carries an operator");
+        let io = CollIo::open(
+            table,
+            port,
+            smi_codegen::OpKind::Reduce,
+            T::DATATYPE,
+            timeout,
+            max_burst,
+        )?;
+        let op = io.reduce_op().expect("reduce binding carries an operator");
         let is_root = comm.rank() == root;
         let n = comm.size();
         let mut member_index = vec![None; smi_wire::MAX_RANKS];
@@ -82,7 +88,7 @@ impl<T: SmiNumeric> ReduceChannel<T> {
         let ident = identity_of::<T>(op);
         Ok(ReduceChannel {
             count,
-            port,
+            port_wire,
             op,
             my_world: my_wire,
             is_root,
@@ -96,70 +102,121 @@ impl<T: SmiNumeric> ReduceChannel<T> {
             done: 0,
             credits_window,
             credits: credits_window,
+            pending_grant: 0,
             my_comm_index: comm.rank(),
             others_world,
-            framer: Framer::new(
+            framer: smi_wire::Framer::new(
                 T::DATATYPE,
                 my_wire,
                 root_world as u8,
                 port_wire,
                 PacketOp::Reduce,
             ),
-            res: Some(res),
-            table,
-            timeout,
+            state: if count == 0 {
+                CollectiveState::Done
+            } else {
+                CollectiveState::Streaming
+            },
+            io,
         })
     }
 
-    /// `SMI_Reduce`: contribute `*snd`; returns `Some(result)` at the root,
-    /// `None` elsewhere.
-    pub fn reduce(&mut self, snd: &T) -> Result<Option<T>, SmiError> {
-        if self.done == self.count {
+    /// One non-blocking step: retry staged packets and update the state.
+    fn advance(&mut self) -> Result<bool, SmiError> {
+        let flushed = self.io.try_flush()?;
+        if self.state == CollectiveState::Streaming
+            && self.done == self.count
+            && flushed
+            && self.framer.pending() == 0
+        {
+            self.state = CollectiveState::Done;
+        }
+        Ok(flushed)
+    }
+
+    /// Non-blocking bulk `SMI_Reduce`.
+    ///
+    /// `snd` and `out` are parallel views of the *remaining* message: `snd`
+    /// holds this member's next contributions, and (at the root) `out`
+    /// receives the corresponding reduced results. Returns how many
+    /// elements completed this call — contributions accepted at a leaf,
+    /// results written at the root — and the caller advances both slices by
+    /// that amount. At the root, `out` must be at least as long as `snd`
+    /// (the root may internally fold contributions ahead of the completed
+    /// results, bounded by the credit window; the cursor is kept across
+    /// calls).
+    pub fn try_reduce_slice(&mut self, snd: &[T], out: &mut [T]) -> Result<usize, SmiError> {
+        if snd.len() as u64 > self.count - self.done {
             return Err(SmiError::CountExceeded { count: self.count });
         }
         if self.is_root {
-            self.reduce_root(snd).map(Some)
+            self.try_reduce_root(snd, out)
         } else {
-            self.reduce_leaf(snd).map(|_| None)
+            self.try_reduce_leaf(snd)
         }
     }
 
-    fn reduce_leaf(&mut self, snd: &T) -> Result<(), SmiError> {
-        if self.credits == 0 {
-            let res = self.res.as_mut().expect("open");
-            let pkt = res.credit_rx.recv_packet(self.timeout, "reduce credits")?;
+    fn try_reduce_leaf(&mut self, snd: &[T]) -> Result<usize, SmiError> {
+        if !self.advance()? {
+            return Ok(0);
+        }
+        let mut consumed = 0usize;
+        while consumed < snd.len() {
+            if self.credits == 0 {
+                self.absorb_credits()?;
+                if self.credits == 0 {
+                    break;
+                }
+            }
+            let avail = (snd.len() - consumed).min(self.credits as usize);
+            let (take, pkt) = self.framer.push_slice(&snd[consumed..consumed + avail]);
+            consumed += take;
+            self.done += take as u64;
+            self.credits -= take as u64;
+            // Flush at credit-window and message boundaries so no packet
+            // straddles a window tile (matching the fabric support kernel).
+            let maybe = if self.credits == 0 || self.done == self.count {
+                pkt.or_else(|| self.framer.flush())
+            } else {
+                pkt
+            };
+            if let Some(p) = maybe {
+                self.io.stage(p);
+                if self.io.stage_full() && !self.io.try_flush()? {
+                    break;
+                }
+            }
+        }
+        self.advance()?;
+        Ok(consumed)
+    }
+
+    /// Absorb any credit grants already delivered, without blocking.
+    fn absorb_credits(&mut self) -> Result<(), SmiError> {
+        while let Some(pkt) = self.io.try_recv_credit()? {
             expect_op(&pkt, PacketOp::Credit)?;
             self.credits += pkt.control_arg() as u64;
-        }
-        self.credits -= 1;
-        self.done += 1;
-        let full = self.framer.push(snd);
-        // Flush at credit-window and message boundaries so no packet
-        // straddles a tile (the root folds packets tile-locally).
-        let maybe_pkt = if self.credits == 0 || self.done == self.count {
-            full.or_else(|| self.framer.flush())
-        } else {
-            full
-        };
-        if let Some(pkt) = maybe_pkt {
-            let res = self.res.as_ref().expect("open");
-            send_packet(&res.to_cks, pkt, self.timeout, "reduce contribution path")?;
         }
         Ok(())
     }
 
-    fn reduce_root(&mut self, snd: &T) -> Result<T, SmiError> {
-        let i = self.done;
+    fn try_reduce_root(&mut self, snd: &[T], out: &mut [T]) -> Result<usize, SmiError> {
+        self.advance()?;
+        let base = self.done;
+        let n = snd.len().min(out.len());
         let c = self.credits_window;
-        let slot = (i % c) as usize;
-        // Fold the local contribution.
-        self.window[slot] = self.op.apply(self.window[slot], *snd);
-        self.progress[self.my_comm_index] = i + 1;
-        // Drain network contributions until element i is complete at every
-        // member.
-        while self.progress.iter().any(|&p| p <= i) {
-            let res = self.res.as_mut().expect("open");
-            let pkt = res.rx.recv_packet(self.timeout, "reduce contributions")?;
+        // Fold own contributions, up to a window ahead of completed results
+        // (the cursor `progress[my]` survives across calls, so re-passed
+        // elements are never folded twice).
+        let my = self.my_comm_index;
+        while self.progress[my] < base + c && self.progress[my] - base < n as u64 {
+            let idx = (self.progress[my] - base) as usize;
+            let slot = (self.progress[my] % c) as usize;
+            self.window[slot] = self.op.apply(self.window[slot], snd[idx]);
+            self.progress[my] += 1;
+        }
+        // Drain network contributions (bounded by the credit window).
+        while let Some(pkt) = self.io.try_recv_data()? {
             expect_op(&pkt, PacketOp::Reduce)?;
             let src = pkt.header.src as usize;
             let idx = self.member_index[src].ok_or_else(|| SmiError::ProtocolViolation {
@@ -169,37 +226,93 @@ impl<T: SmiNumeric> ReduceChannel<T> {
             df.refill(pkt);
             while let Some(v) = df.pop::<T>() {
                 let at = self.progress[idx];
-                debug_assert!(at < i + c, "credit window violated");
+                debug_assert!(at < self.credits, "credit window violated");
                 let s = (at % c) as usize;
                 self.window[s] = self.op.apply(self.window[s], v);
                 self.progress[idx] = at + 1;
             }
         }
-        let result = self.window[slot];
-        // The slot is consumed: reset it for element i + C (contributions for
-        // which can only arrive after the next credit grant).
-        self.window[slot] = identity_of::<T>(self.op);
-        self.done = i + 1;
-        // Tile boundary: grant every sender a fresh window (one burst; the
-        // CKS splits it per destination route).
-        if self.done.is_multiple_of(c) && self.done < self.count && !self.others_world.is_empty() {
-            let burst: Vec<_> = self
-                .others_world
-                .iter()
-                .map(|&dst| {
-                    NetworkPacket::control(
-                        self.my_world,
-                        dst as u8,
-                        self.port as u8,
-                        PacketOp::Credit,
-                        c as u32,
-                    )
-                })
-                .collect();
-            let res = self.res.as_ref().expect("open");
-            send_burst(&res.to_cks, burst, self.timeout, "reduce credit path")?;
+        // Emit every element that is now complete at all members.
+        let mut completed = 0usize;
+        loop {
+            let i = self.done;
+            if (i - base) as usize >= n || self.progress.iter().any(|&p| p <= i) {
+                break;
+            }
+            let slot = (i % c) as usize;
+            out[(i - base) as usize] = self.window[slot];
+            // The slot is consumed: reset it for element i + C
+            // (contributions for which arrive only after the next grant).
+            self.window[slot] = identity_of::<T>(self.op);
+            self.done = i + 1;
+            completed += 1;
+            if self.done.is_multiple_of(c) && self.done < self.count {
+                // Window boundary: coalesce the grant (§4.4), staged below.
+                self.pending_grant += c;
+            }
         }
-        Ok(result)
+        if self.pending_grant > 0 && !self.others_world.is_empty() {
+            let grant = self.pending_grant;
+            for &dst in &self.others_world {
+                let pkt = NetworkPacket::control(
+                    self.my_world,
+                    dst as u8,
+                    self.port_wire,
+                    PacketOp::Credit,
+                    grant as u32,
+                );
+                self.io.stage(pkt);
+            }
+            self.credits += grant;
+            self.pending_grant = 0;
+        } else if self.pending_grant > 0 {
+            self.credits += self.pending_grant;
+            self.pending_grant = 0;
+        }
+        self.advance()?;
+        Ok(completed)
+    }
+
+    /// Bulk `SMI_Reduce`, blocking until every element of `snd` completed.
+    /// At the root, `out` must be the same length as `snd` and receives the
+    /// reduced stream; elsewhere `out` is ignored (may be empty).
+    pub fn reduce_slice(&mut self, snd: &[T], out: &mut [T]) -> Result<(), SmiError> {
+        if snd.len() as u64 > self.count - self.done {
+            return Err(SmiError::CountExceeded { count: self.count });
+        }
+        if self.is_root && out.len() < snd.len() {
+            return Err(SmiError::ProtocolViolation {
+                detail: "reduce_slice at the root needs out.len() >= snd.len()".into(),
+            });
+        }
+        let timeout = self.io.timeout();
+        let is_root = self.is_root;
+        let mut off = 0usize;
+        block_on(timeout, "reduce progress", || {
+            let moved = if is_root {
+                self.try_reduce_root(&snd[off..], &mut out[off..])?
+            } else {
+                self.try_reduce_leaf(&snd[off..])?
+            };
+            off += moved;
+            if off == snd.len() && self.io.try_flush()? {
+                return Ok(BlockingStep::Ready(()));
+            }
+            Ok(if moved > 0 {
+                BlockingStep::Progress
+            } else {
+                BlockingStep::Pending
+            })
+        })
+    }
+
+    /// `SMI_Reduce`: contribute `*snd`; returns `Some(result)` at the root,
+    /// `None` elsewhere. Blocking form.
+    pub fn reduce(&mut self, snd: &T) -> Result<Option<T>, SmiError> {
+        let contrib = [*snd];
+        let mut out = [*snd];
+        self.reduce_slice(&contrib, &mut out)?;
+        Ok(if self.is_root { Some(out[0]) } else { None })
     }
 
     /// Elements reduced (root) or contributed (leaf) so far.
@@ -208,18 +321,21 @@ impl<T: SmiNumeric> ReduceChannel<T> {
     }
 }
 
+impl<T: SmiNumeric> CollectivePoll for ReduceChannel<T> {
+    fn poll(&mut self) -> Result<CollectiveState, SmiError> {
+        self.advance()?;
+        Ok(self.state)
+    }
+
+    fn state(&self) -> CollectiveState {
+        self.state
+    }
+}
+
 fn identity_of<T: SmiNumeric>(op: ReduceOp) -> T {
     match op {
         ReduceOp::Add => T::ZERO,
         ReduceOp::Max => T::MIN_VALUE,
         ReduceOp::Min => T::MAX_VALUE,
-    }
-}
-
-impl<T: SmiNumeric> Drop for ReduceChannel<T> {
-    fn drop(&mut self) {
-        if let Some(res) = self.res.take() {
-            self.table.lock().put_coll(self.port, res);
-        }
     }
 }

@@ -2,25 +2,25 @@
 //!
 //! The root pushes `count × N` elements in communicator order; every member
 //! (including the root) pops its `count`-element slice. Non-root slices are
-//! only streamed once that member's ready-`Sync` arrived (§3.3).
+//! only streamed once that member's ready-`Sync` arrived (§3.3); readiness
+//! is absorbed non-blockingly per member, so the core never parks a thread.
 
 use std::collections::VecDeque;
 use std::marker::PhantomData;
-use std::time::Duration;
 
-use smi_wire::{Deframer, Framer, PacketOp, SmiType};
+use smi_wire::{Deframer, Framer, NetworkPacket, PacketOp, SmiType};
 
-use crate::collectives::expect_op;
+use crate::collectives::{expect_op, CollectivePoll, CollectiveState};
 use crate::comm::Communicator;
-use crate::endpoint::{send_packet, CollRes, EndpointTableHandle};
+use crate::endpoint::{CollIo, EndpointTableHandle};
+use crate::transport::executor::{block_on, BlockingStep};
 use crate::SmiError;
 
-/// A scatter channel.
+/// A scatter channel, as a poll-mode core with bulk `push_slice` /
+/// `pop_slice` operations and non-blocking `try_*` forms.
 pub struct ScatterChannel<T: SmiType> {
     /// Elements per member.
     count: u64,
-    port: usize,
-    my_world: u8,
     root_world: usize,
     is_root: bool,
     /// Members in communicator order (world ranks).
@@ -33,43 +33,41 @@ pub struct ScatterChannel<T: SmiType> {
     popped: u64,
     /// Root's own slice, buffered locally.
     local: VecDeque<T>,
+    state: CollectiveState,
     framer: Framer,
     deframer: Deframer,
-    res: Option<CollRes>,
-    table: EndpointTableHandle,
-    timeout: Duration,
+    io: CollIo,
     _elem: PhantomData<T>,
 }
 
 impl<T: SmiType> ScatterChannel<T> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn open(
         table: EndpointTableHandle,
         comm: &Communicator,
         count: u64,
         port: usize,
         root: usize,
-        timeout: Duration,
+        timeout: std::time::Duration,
+        max_burst: usize,
     ) -> Result<Self, SmiError> {
         let root_world = comm.world_rank(root)?;
         let my_world = comm.world_rank(comm.rank())?;
-        let res = table.lock().take_coll(port, smi_codegen::OpKind::Scatter)?;
-        if res.dtype != T::DATATYPE {
-            let declared = res.dtype;
-            table.lock().put_coll(port, res);
-            return Err(SmiError::TypeMismatch {
-                declared,
-                requested: T::DATATYPE,
-            });
-        }
+        let io = CollIo::open(
+            table,
+            port,
+            smi_codegen::OpKind::Scatter,
+            T::DATATYPE,
+            timeout,
+            max_burst,
+        )?;
         let is_root = comm.rank() == root;
         let mut ready = vec![false; comm.size()];
         ready[root] = true; // own slice needs no handshake
         let port_wire = smi_wire::header::port_to_wire(port)?;
         let my_wire = smi_wire::header::rank_to_wire(my_world)?;
-        let chan = ScatterChannel {
+        let mut chan = ScatterChannel {
             count,
-            port,
-            my_world: my_wire,
             root_world,
             is_root,
             members: comm.world_ranks().to_vec(),
@@ -77,50 +75,56 @@ impl<T: SmiType> ScatterChannel<T> {
             pushed: 0,
             popped: 0,
             local: VecDeque::new(),
+            state: CollectiveState::Opening,
             framer: Framer::new(T::DATATYPE, my_wire, 0, port_wire, PacketOp::Scatter),
             deframer: Deframer::new(T::DATATYPE),
-            res: Some(res),
-            table,
-            timeout,
+            io,
             _elem: PhantomData,
         };
-        if !chan.is_root && count > 0 {
-            let res = chan.res.as_ref().expect("open");
-            let sync = smi_wire::NetworkPacket::control(
-                chan.my_world,
-                chan.root_world as u8,
-                port as u8,
-                PacketOp::Sync,
-                0,
-            );
-            send_packet(&res.to_cks, sync, timeout, "scatter sync path")?;
+        if count == 0 {
+            chan.state = CollectiveState::Done;
+        } else if chan.is_root {
+            // The root streams per-member once that member's Sync arrives;
+            // its own open side has nothing to wait for.
+            chan.state = CollectiveState::Streaming;
+        } else {
+            let sync =
+                NetworkPacket::control(my_wire, root_world as u8, port_wire, PacketOp::Sync, 0);
+            chan.io.stage(sync);
         }
+        chan.advance()?;
         Ok(chan)
     }
 
-    /// Root only: feed the next element of the `count × N` source stream.
-    pub fn push(&mut self, value: &T) -> Result<(), SmiError> {
-        if !self.is_root {
-            return Err(SmiError::ProtocolViolation {
-                detail: "scatter push on a non-root rank".into(),
-            });
+    /// One non-blocking step: flush staged packets, absorb ready syncs at
+    /// the root, update the state.
+    fn advance(&mut self) -> Result<bool, SmiError> {
+        let flushed = self.io.try_flush()?;
+        if self.is_root {
+            self.absorb_syncs()?;
         }
-        let total = self.count * self.members.len() as u64;
-        if self.pushed == total {
-            return Err(SmiError::CountExceeded { count: total });
+        match self.state {
+            CollectiveState::Opening => {
+                // Non-root: open completes once the ready-Sync left.
+                if flushed {
+                    self.state = CollectiveState::Streaming;
+                }
+            }
+            CollectiveState::Streaming => {
+                let total = self.count * self.members.len() as u64;
+                let sent_all = !self.is_root || self.pushed == total;
+                if sent_all && self.popped == self.count && flushed {
+                    self.state = CollectiveState::Done;
+                }
+            }
+            CollectiveState::Done => {}
         }
-        let dest_idx = (self.pushed / self.count) as usize;
-        let dest_world = self.members[dest_idx];
-        if dest_world == self.root_world {
-            self.local.push_back(*value);
-            self.pushed += 1;
-            return Ok(());
-        }
-        // Wait for this member's ready announcement (Syncs arrive in any
-        // order; flags are sticky).
-        while !self.ready[dest_idx] {
-            let res = self.res.as_mut().expect("open");
-            let pkt = res.rx.recv_packet(self.timeout, "scatter ready sync")?;
+        Ok(flushed)
+    }
+
+    /// Root: record any ready announcements already delivered.
+    fn absorb_syncs(&mut self) -> Result<(), SmiError> {
+        while let Some(pkt) = self.io.try_recv_data()? {
             expect_op(&pkt, PacketOp::Sync)?;
             let src = pkt.header.src as usize;
             let idx = self.members.iter().position(|&w| w == src).ok_or_else(|| {
@@ -130,51 +134,190 @@ impl<T: SmiType> ScatterChannel<T> {
             })?;
             self.ready[idx] = true;
         }
-        self.pushed += 1;
-        let full = self.framer.push(value);
-        // Flush at slice boundaries: a packet never spans two destinations.
-        let maybe_pkt = if self.pushed.is_multiple_of(self.count) {
-            full.or_else(|| self.framer.flush())
-        } else {
-            full
-        };
-        if let Some(mut pkt) = maybe_pkt {
-            pkt.header.dst = dest_world as u8;
-            let res = self.res.as_ref().expect("open");
-            send_packet(&res.to_cks, pkt, self.timeout, "scatter data path")?;
-        }
         Ok(())
     }
 
-    /// Pop the next element of this member's slice.
-    pub fn pop(&mut self) -> Result<T, SmiError> {
-        if self.popped == self.count {
+    /// Non-blocking bulk push (root only): feed the next elements of the
+    /// `count × N` source stream. Consumes as many elements as transport
+    /// capacity and member readiness currently allow; `Ok(0)` means "try
+    /// again later".
+    pub fn try_push_slice(&mut self, values: &[T]) -> Result<usize, SmiError> {
+        if !self.is_root {
+            return Err(SmiError::ProtocolViolation {
+                detail: "scatter push on a non-root rank".into(),
+            });
+        }
+        let total = self.count * self.members.len() as u64;
+        if values.len() as u64 > total - self.pushed {
+            return Err(SmiError::CountExceeded { count: total });
+        }
+        if !self.advance()? || values.is_empty() {
+            return Ok(0);
+        }
+        let mut consumed = 0usize;
+        while consumed < values.len() {
+            let dest_idx = (self.pushed / self.count) as usize;
+            let slice_left = (self.count - self.pushed % self.count) as usize;
+            let avail = (values.len() - consumed).min(slice_left);
+            if self.members[dest_idx] == self.root_world {
+                // Own slice: buffered locally, no handshake.
+                self.local
+                    .extend(values[consumed..consumed + avail].iter().copied());
+                self.pushed += avail as u64;
+                consumed += avail;
+                continue;
+            }
+            if !self.ready[dest_idx] {
+                self.absorb_syncs()?;
+                if !self.ready[dest_idx] {
+                    break;
+                }
+            }
+            let (take, pkt) = self.framer.push_slice(&values[consumed..consumed + avail]);
+            self.pushed += take as u64;
+            consumed += take;
+            // Flush at slice boundaries: a packet never spans destinations.
+            let maybe = if self.pushed.is_multiple_of(self.count) {
+                pkt.or_else(|| self.framer.flush())
+            } else {
+                pkt
+            };
+            if let Some(mut p) = maybe {
+                p.header.dst = self.members[dest_idx] as u8;
+                self.io.stage(p);
+                if self.io.stage_full() && !self.io.try_flush()? {
+                    break;
+                }
+            }
+        }
+        self.advance()?;
+        Ok(consumed)
+    }
+
+    /// Bulk push (root only), blocking until the whole slice was accepted.
+    pub fn push_slice(&mut self, values: &[T]) -> Result<(), SmiError> {
+        let timeout = self.io.timeout();
+        let mut off = 0usize;
+        block_on(timeout, "scatter push progress", || {
+            let moved = self.try_push_slice(&values[off..])?;
+            off += moved;
+            if off == values.len() && self.io.try_flush()? {
+                return Ok(BlockingStep::Ready(()));
+            }
+            Ok(if moved > 0 {
+                BlockingStep::Progress
+            } else {
+                BlockingStep::Pending
+            })
+        })
+    }
+
+    /// Root only: feed the next element of the `count × N` source stream.
+    /// Blocking form.
+    pub fn push(&mut self, value: &T) -> Result<(), SmiError> {
+        self.push_slice(std::slice::from_ref(value))
+    }
+
+    /// Non-blocking bulk pop: drain whatever of this member's slice has
+    /// arrived (root: whatever of its own slice it already pushed) into
+    /// `out`; returns how many elements were written.
+    pub fn try_pop_slice(&mut self, out: &mut [T]) -> Result<usize, SmiError> {
+        if out.len() as u64 > self.count - self.popped {
             return Err(SmiError::CountExceeded { count: self.count });
         }
-        let v = if self.is_root {
-            self.local
-                .pop_front()
-                .ok_or_else(|| SmiError::ProtocolViolation {
-                    detail: "scatter pop before the root pushed its own slice".into(),
-                })?
-        } else {
-            while self.deframer.is_empty() {
-                let res = self.res.as_mut().expect("open");
-                let pkt = res.rx.recv_packet(self.timeout, "scatter data")?;
-                expect_op(&pkt, PacketOp::Scatter)?;
-                self.deframer.refill(pkt);
+        self.advance()?;
+        let mut filled = 0usize;
+        if self.is_root {
+            while filled < out.len() {
+                match self.local.pop_front() {
+                    Some(v) => {
+                        out[filled] = v;
+                        filled += 1;
+                        self.popped += 1;
+                    }
+                    None => break,
+                }
             }
-            self.deframer.pop::<T>().expect("non-empty")
-        };
-        self.popped += 1;
-        Ok(v)
+        } else {
+            while filled < out.len() {
+                if self.deframer.is_empty() {
+                    match self.io.try_recv_data()? {
+                        Some(pkt) => {
+                            expect_op(&pkt, PacketOp::Scatter)?;
+                            self.deframer.refill(pkt);
+                        }
+                        None => break,
+                    }
+                }
+                let n = self.deframer.pop_slice(&mut out[filled..]);
+                filled += n;
+                self.popped += n as u64;
+            }
+        }
+        if self.popped == self.count {
+            self.advance()?;
+        }
+        Ok(filled)
+    }
+
+    /// Bulk pop, blocking until `out` is filled. At the root the slice must
+    /// already have been pushed (the root's own elements cannot arrive from
+    /// anywhere else), so a shortfall is a protocol violation, not a stall.
+    pub fn pop_slice(&mut self, out: &mut [T]) -> Result<(), SmiError> {
+        if out.len() as u64 > self.count - self.popped {
+            return Err(SmiError::CountExceeded { count: self.count });
+        }
+        let timeout = self.io.timeout();
+        let is_root = self.is_root;
+        let mut off = 0usize;
+        block_on(timeout, "scatter data", || {
+            let moved = self.try_pop_slice(&mut out[off..])?;
+            off += moved;
+            if off == out.len() {
+                return Ok(BlockingStep::Ready(()));
+            }
+            if is_root {
+                // Nothing can refill the local buffer but this caller.
+                return Err(SmiError::ProtocolViolation {
+                    detail: "scatter pop before the root pushed its own slice".into(),
+                });
+            }
+            Ok(if moved > 0 {
+                BlockingStep::Progress
+            } else {
+                BlockingStep::Pending
+            })
+        })
+    }
+
+    /// Pop the next element of this member's slice. Blocking form.
+    pub fn pop(&mut self) -> Result<T, SmiError> {
+        let mut out = [crate::collectives::zero_elem::<T>()];
+        self.pop_slice(&mut out)?;
+        Ok(out[0])
+    }
+
+    /// Spin until the open-side handshake traffic left (thread plane).
+    pub(crate) fn wait_open(&mut self) -> Result<(), SmiError> {
+        let timeout = self.io.timeout();
+        block_on(timeout, "scatter sync path", || {
+            self.advance()?;
+            Ok(if self.state != CollectiveState::Opening {
+                BlockingStep::Ready(())
+            } else {
+                BlockingStep::Pending
+            })
+        })
     }
 }
 
-impl<T: SmiType> Drop for ScatterChannel<T> {
-    fn drop(&mut self) {
-        if let Some(res) = self.res.take() {
-            self.table.lock().put_coll(self.port, res);
-        }
+impl<T: SmiType> CollectivePoll for ScatterChannel<T> {
+    fn poll(&mut self) -> Result<CollectiveState, SmiError> {
+        self.advance()?;
+        Ok(self.state)
+    }
+
+    fn state(&self) -> CollectiveState {
+        self.state
     }
 }

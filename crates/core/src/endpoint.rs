@@ -14,8 +14,9 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Duration;
 
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use smi_codegen::OpKind;
 use smi_wire::{Datatype, NetworkPacket, ReduceOp};
@@ -131,6 +132,130 @@ pub(crate) struct CollRes {
     pub to_cks: Sender<Burst>,
     pub rx: PacketRx,
     pub credit_rx: PacketRx,
+}
+
+/// Poll-mode handle on a port's collective endpoint: the [`CollRes`] plus a
+/// staging buffer for outgoing packets (data, syncs, grants, credits).
+///
+/// Every transmit goes through [`CollIo::stage`] + [`CollIo::try_flush`]:
+/// a full transport FIFO leaves the burst staged instead of parking the
+/// calling thread, which is what lets an in-progress collective open (or any
+/// collective operation) run on an executor worker without blocking it. The
+/// channel objects re-offer the staged burst on every poll.
+#[derive(Debug)]
+pub(crate) struct CollIo {
+    port: usize,
+    res: Option<CollRes>,
+    table: EndpointTableHandle,
+    staged: Burst,
+    timeout: Duration,
+    max_burst: usize,
+}
+
+impl CollIo {
+    /// Take the collective resource of `port`, checking kind and datatype.
+    pub fn open(
+        table: EndpointTableHandle,
+        port: usize,
+        kind: OpKind,
+        dtype: Datatype,
+        timeout: Duration,
+        max_burst: usize,
+    ) -> Result<Self, SmiError> {
+        let res = table.lock().take_coll(port, kind)?;
+        if res.dtype != dtype {
+            let declared = res.dtype;
+            table.lock().put_coll(port, res);
+            return Err(SmiError::TypeMismatch {
+                declared,
+                requested: dtype,
+            });
+        }
+        Ok(CollIo {
+            port,
+            res: Some(res),
+            table,
+            staged: Vec::new(),
+            timeout,
+            max_burst: max_burst.max(1),
+        })
+    }
+
+    fn res(&self) -> &CollRes {
+        self.res.as_ref().expect("resource held while open")
+    }
+
+    fn res_mut(&mut self) -> &mut CollRes {
+        self.res.as_mut().expect("resource held while open")
+    }
+
+    /// The reduce operator declared for this port (reduce bindings only).
+    pub fn reduce_op(&self) -> Option<ReduceOp> {
+        self.res().reduce_op
+    }
+
+    /// The runtime's blocking-stall bound.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// The configured burst size (packets per transport handover).
+    pub fn max_burst(&self) -> usize {
+        self.max_burst
+    }
+
+    /// Queue a packet for transmission (data or control).
+    pub fn stage(&mut self, pkt: NetworkPacket) {
+        self.staged.push(pkt);
+    }
+
+    /// Whether the staging buffer reached the configured burst size and
+    /// should be offered to the transport.
+    pub fn stage_full(&self) -> bool {
+        self.staged.len() >= self.max_burst
+    }
+
+    /// Offer the staged burst to the transport without blocking. `Ok(true)`
+    /// when nothing remains staged; `Ok(false)` when the FIFO is full and
+    /// the burst was retained for the next poll.
+    pub fn try_flush(&mut self) -> Result<bool, SmiError> {
+        if self.staged.is_empty() {
+            return Ok(true);
+        }
+        let burst = std::mem::take(&mut self.staged);
+        match self.res().to_cks.try_send(burst) {
+            Ok(()) => Ok(true),
+            Err(TrySendError::Full(b)) => {
+                self.staged = b;
+                Ok(false)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SmiError::TransportClosed),
+        }
+    }
+
+    /// Non-blocking receive from the data/sync delivery path.
+    pub fn try_recv_data(&mut self) -> Result<Option<NetworkPacket>, SmiError> {
+        self.res_mut().rx.try_recv_packet()
+    }
+
+    /// Non-blocking receive from the credit delivery path.
+    pub fn try_recv_credit(&mut self) -> Result<Option<NetworkPacket>, SmiError> {
+        self.res_mut().credit_rx.try_recv_packet()
+    }
+}
+
+impl Drop for CollIo {
+    fn drop(&mut self) {
+        if let Some(res) = self.res.take() {
+            // Best-effort handover of anything still staged (mirrors
+            // `SendChannel::drop`): Drop may run on an executor worker, so
+            // blocking here would wedge the thread that drains the FIFO.
+            if !self.staged.is_empty() {
+                let _ = res.to_cks.try_send(std::mem::take(&mut self.staged));
+            }
+            self.table.lock().put_coll(self.port, res);
+        }
+    }
 }
 
 /// All endpoint resources of one port.

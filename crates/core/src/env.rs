@@ -20,7 +20,9 @@
 //!   64-rank cluster then runs on `workers` threads total — this is the
 //!   execution model that scales past the OS thread budget. Tasks must only
 //!   use the non-blocking channel APIs ([`crate::SendChannel::try_push_slice`],
-//!   [`crate::RecvChannel::try_pop_slice`]).
+//!   [`crate::RecvChannel::try_pop_slice`], the collective `try_*` forms) and
+//!   open collectives with the rendezvous-free `open_*_channel_poll`
+//!   variants.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -150,7 +152,29 @@ impl SmiCtx {
     }
 
     /// `SMI_Open_bcast_channel`: `root` is a communicator rank.
+    ///
+    /// Blocking form: completes the §3.3 one-to-all rendezvous before
+    /// returning (the root waits for every receiver's ready announcement).
+    /// Cooperative tasks must use [`SmiCtx::open_bcast_channel_poll`].
     pub fn open_bcast_channel<T: SmiType>(
+        &self,
+        count: u64,
+        port: usize,
+        root: usize,
+        comm: &Communicator,
+    ) -> Result<BcastChannel<T>, SmiError> {
+        let mut chan = self.open_bcast_channel_poll(count, port, root, comm)?;
+        chan.wait_open()?;
+        Ok(chan)
+    }
+
+    /// Poll-mode `SMI_Open_bcast_channel`: returns immediately with the
+    /// handshake in progress ([`crate::CollectiveState::Opening`]); the
+    /// caller drives it with [`crate::CollectivePoll::poll`] or the `try_*`
+    /// operations. This is the task-safe variant — an in-progress open
+    /// never parks the calling thread, so [`RankTask`] programs on
+    /// [`run_mpmd_tasks`] can open collectives cooperatively.
+    pub fn open_bcast_channel_poll<T: SmiType>(
         &self,
         count: u64,
         port: usize,
@@ -164,12 +188,30 @@ impl SmiCtx {
             port,
             root,
             self.params.blocking_timeout,
+            self.params.burst_packets,
         )
     }
 
     /// `SMI_Open_reduce_channel`: `root` is a communicator rank; the
     /// reduction operator comes from the port's op metadata.
+    ///
+    /// Reduce needs no open handshake (the first credit window is
+    /// implicitly granted), so this never blocks; it is identical to
+    /// [`SmiCtx::open_reduce_channel_poll`] and safe from tasks when only
+    /// the `try_*` operations are used afterwards.
     pub fn open_reduce_channel<T: SmiNumeric>(
+        &self,
+        count: u64,
+        port: usize,
+        root: usize,
+        comm: &Communicator,
+    ) -> Result<ReduceChannel<T>, SmiError> {
+        self.open_reduce_channel_poll(count, port, root, comm)
+    }
+
+    /// Poll-mode `SMI_Open_reduce_channel` (task-safe; see
+    /// [`SmiCtx::open_bcast_channel_poll`] for the execution model).
+    pub fn open_reduce_channel_poll<T: SmiNumeric>(
         &self,
         count: u64,
         port: usize,
@@ -184,12 +226,31 @@ impl SmiCtx {
             root,
             self.params.reduce_credits,
             self.params.blocking_timeout,
+            self.params.burst_packets,
         )
     }
 
     /// Open a scatter channel: `root` is a communicator rank; the root
     /// pushes `count × N` elements, every member pops `count`.
+    ///
+    /// Blocking form: a non-root member waits until its ready announcement
+    /// left for the root. Cooperative tasks must use
+    /// [`SmiCtx::open_scatter_channel_poll`].
     pub fn open_scatter_channel<T: SmiType>(
+        &self,
+        count: u64,
+        port: usize,
+        root: usize,
+        comm: &Communicator,
+    ) -> Result<ScatterChannel<T>, SmiError> {
+        let mut chan = self.open_scatter_channel_poll(count, port, root, comm)?;
+        chan.wait_open()?;
+        Ok(chan)
+    }
+
+    /// Poll-mode scatter open (task-safe; see
+    /// [`SmiCtx::open_bcast_channel_poll`] for the execution model).
+    pub fn open_scatter_channel_poll<T: SmiType>(
         &self,
         count: u64,
         port: usize,
@@ -203,12 +264,30 @@ impl SmiCtx {
             port,
             root,
             self.params.blocking_timeout,
+            self.params.burst_packets,
         )
     }
 
     /// Open a gather channel: every member pushes `count` elements, the root
     /// pops `count × N`.
+    ///
+    /// Gather's serialized grants arrive during streaming, not at open, so
+    /// this never blocks; it is identical to
+    /// [`SmiCtx::open_gather_channel_poll`] and safe from tasks when only
+    /// the `try_*` operations are used afterwards.
     pub fn open_gather_channel<T: SmiType>(
+        &self,
+        count: u64,
+        port: usize,
+        root: usize,
+        comm: &Communicator,
+    ) -> Result<GatherChannel<T>, SmiError> {
+        self.open_gather_channel_poll(count, port, root, comm)
+    }
+
+    /// Poll-mode gather open (task-safe; see
+    /// [`SmiCtx::open_bcast_channel_poll`] for the execution model).
+    pub fn open_gather_channel_poll<T: SmiType>(
         &self,
         count: u64,
         port: usize,
@@ -222,6 +301,7 @@ impl SmiCtx {
             port,
             root,
             self.params.blocking_timeout,
+            self.params.burst_packets,
         )
     }
 }
@@ -452,9 +532,11 @@ impl Pollable for RankTaskItem {
 /// CK state machine is driven by the sharded executor's worker pool, so the
 /// whole cluster uses `workers` OS threads regardless of rank count.
 ///
-/// Restrictions compared to [`run_mpmd`]: rank tasks must be non-blocking
-/// (use the `try_*` channel APIs), and collective channel opens — which
-/// perform blocking rendezvous — are not supported from tasks.
+/// The only restriction compared to [`run_mpmd`] is that rank tasks must be
+/// non-blocking: use the `try_*` channel APIs, and open collectives with
+/// the poll-mode variants ([`SmiCtx::open_bcast_channel_poll`] & friends),
+/// whose rendezvous-free handshake is driven by
+/// [`crate::CollectivePoll::poll`]/`try_*` instead of blocking inside open.
 pub fn run_mpmd_tasks(
     topo: &Topology,
     metas: Vec<ProgramMeta>,

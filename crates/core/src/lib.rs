@@ -88,6 +88,57 @@
 //!     assert_eq!(r, (0..8).map(|i| i as f32 * 2.0).collect::<Vec<_>>());
 //! }
 //! ```
+//!
+//! ## Cooperative task-plane collective
+//!
+//! Collectives open rendezvous-free with the `open_*_channel_poll` variants
+//! (`Opening → Streaming → Done` handshake driven by
+//! [`CollectivePoll::poll`]/`try_*`), so a poll-mode [`RankTask`] can drive
+//! them on the executor's worker pool — no OS thread per rank:
+//!
+//! ```
+//! use smi::prelude::*;
+//!
+//! struct BcastTask {
+//!     ch: BcastChannel<i32>,
+//!     buf: Vec<i32>,
+//!     off: usize,
+//! }
+//!
+//! impl RankTask for BcastTask {
+//!     fn poll(&mut self) -> Result<TaskStatus, SmiError> {
+//!         // The root consumes `buf` into fan-out bursts; leaves fill it.
+//!         let moved = self.ch.try_bcast_slice(&mut self.buf[self.off..])?;
+//!         self.off += moved;
+//!         if self.off == self.buf.len() && self.ch.poll()? == CollectiveState::Done {
+//!             assert!(self.buf.iter().enumerate().all(|(i, &v)| v == i as i32));
+//!             return Ok(TaskStatus::Done);
+//!         }
+//!         Ok(if moved > 0 { TaskStatus::Progress } else { TaskStatus::Pending })
+//!     }
+//! }
+//!
+//! let topo = Topology::torus2d(2, 2);
+//! let meta = ProgramMeta::new().with(OpSpec::bcast(0, Datatype::Int));
+//! let n = 64u64;
+//! let report = run_spmd_tasks(
+//!     &topo,
+//!     meta,
+//!     move |ctx: SmiCtx| {
+//!         let comm = ctx.world();
+//!         let ch = ctx.open_bcast_channel_poll::<i32>(n, 0, 0, &comm)?;
+//!         let buf: Vec<i32> = if comm.rank() == 0 {
+//!             (0..n as i32).collect()
+//!         } else {
+//!             vec![0; n as usize]
+//!         };
+//!         Ok(Box::new(BcastTask { ch, buf, off: 0 }) as Box<dyn RankTask>)
+//!     },
+//!     RuntimeParams::default(),
+//! )
+//! .unwrap();
+//! assert!(report.results.iter().all(|r| r.is_ok()));
+//! ```
 
 #![warn(missing_docs)]
 
@@ -101,7 +152,9 @@ pub mod params;
 pub mod transport;
 
 pub use channel::{Protocol, RecvChannel, SendChannel};
-pub use collectives::{BcastChannel, GatherChannel, ReduceChannel, ScatterChannel};
+pub use collectives::{
+    BcastChannel, CollectivePoll, CollectiveState, GatherChannel, ReduceChannel, ScatterChannel,
+};
 pub use comm::Communicator;
 pub use env::{
     run_mpmd, run_mpmd_tasks, run_spmd, run_spmd_tasks, RankTask, RunReport, SmiCtx, TaskFactory,
@@ -113,7 +166,9 @@ pub use params::RuntimeParams;
 /// Convenient glob import: the SMI API plus the re-exported foundation types.
 pub mod prelude {
     pub use crate::channel::{Protocol, RecvChannel, SendChannel};
-    pub use crate::collectives::{BcastChannel, GatherChannel, ReduceChannel, ScatterChannel};
+    pub use crate::collectives::{
+        BcastChannel, CollectivePoll, CollectiveState, GatherChannel, ReduceChannel, ScatterChannel,
+    };
     pub use crate::comm::Communicator;
     pub use crate::env::{
         run_mpmd, run_mpmd_tasks, run_spmd, run_spmd_tasks, RankTask, RunReport, SmiCtx,

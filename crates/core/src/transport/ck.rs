@@ -146,21 +146,46 @@ impl CkMachine {
         true
     }
 
-    /// If every packet of `burst` routes to the same output, return it —
-    /// the zero-copy fast path forwards the burst without restaging.
-    fn uniform_route(&mut self, burst: &Burst) -> Option<usize> {
-        let mut idx = None;
-        for p in burst {
-            match (self.route)(p) {
-                Route::Output(i) => match idx {
-                    None => idx = Some(i),
-                    Some(j) if j == i => {}
-                    Some(_) => return None,
-                },
-                Route::Drop => return None,
+    /// Forward a received burst by carving maximal same-output runs off its
+    /// front, without restaging through the stash. A burst whose packets all
+    /// share one route (the p2p bulk path) moves as-is, zero-copy; a
+    /// mixed-destination burst — the collective fan-out pattern — is split
+    /// into per-run bursts in place. On backpressure the refused run is
+    /// parked and the unrouted tail is stashed for the next poll (order
+    /// within the input is preserved). Callers must ensure the stash is
+    /// empty and nothing is parked. Returns false when now blocked.
+    fn forward_runs(&mut self, mut burst: Burst, progressed: &mut bool) -> bool {
+        let mut i = 0usize;
+        while i < burst.len() {
+            let idx = match (self.route)(&burst[i]) {
+                Route::Output(idx) => idx,
+                Route::Drop => {
+                    self.unroutable.fetch_add(1, Ordering::Relaxed);
+                    *progressed = true;
+                    i += 1;
+                    continue;
+                }
+            };
+            let mut j = i + 1;
+            while j < burst.len() && j - i < self.max_burst {
+                match (self.route)(&burst[j]) {
+                    Route::Output(k) if k == idx => j += 1,
+                    _ => break,
+                }
             }
+            let run: Burst = if i == 0 && j == burst.len() {
+                std::mem::take(&mut burst) // whole burst, zero-copy
+            } else {
+                burst[i..j].to_vec()
+            };
+            if !self.offer(idx, run, progressed) {
+                // The run is parked; keep everything after it in order.
+                self.stash.extend(burst.into_iter().skip(j));
+                return false;
+            }
+            i = j;
         }
-        idx
+        true
     }
 }
 
@@ -190,16 +215,14 @@ impl Pollable for CkMachine {
                         streak += 1;
                         progressed = true;
                         if self.stash.is_empty() && self.parked.is_none() {
-                            if let Some(idx) = self.uniform_route(&burst) {
-                                if !self.offer(idx, burst, &mut progressed) {
-                                    break 'rotate;
-                                }
-                                continue;
+                            if !self.forward_runs(burst, &mut progressed) {
+                                break 'rotate;
                             }
-                        }
-                        self.stash.extend(burst);
-                        if !self.drain(&mut progressed) {
-                            break 'rotate;
+                        } else {
+                            self.stash.extend(burst);
+                            if !self.drain(&mut progressed) {
+                                break 'rotate;
+                            }
                         }
                     }
                     Err(TryRecvError::Empty) => break,

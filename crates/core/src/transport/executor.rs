@@ -13,7 +13,9 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use crate::SmiError;
 
 /// Outcome of one cooperative `poll` step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +33,56 @@ pub(crate) enum Step {
 pub(crate) trait Pollable: Send {
     /// Advance as far as possible without blocking.
     fn poll(&mut self) -> Step;
+}
+
+/// Outcome of one iteration of a [`block_on`] poll closure.
+pub(crate) enum BlockingStep<T> {
+    /// The operation completed with this value.
+    Ready(T),
+    /// Moved data this iteration; keep polling with a fresh stall deadline.
+    Progress,
+    /// Nothing to do until the transport accepts or supplies data.
+    Pending,
+}
+
+/// Drive a non-blocking poll closure on the calling thread until it reports
+/// [`BlockingStep::Ready`] — the adapter through which the blocking channel
+/// API wrappers spin their poll-mode cores.
+///
+/// `timeout` bounds the *stall*, not the whole operation (matching the
+/// semantics of the previous `recv_timeout`-based blocking paths): every
+/// [`BlockingStep::Progress`] resets the deadline. The backoff mirrors the
+/// executor worker loop — spin briefly, then yield, then nap — so a rank
+/// thread spinning here cannot starve the workers that move its packets.
+pub(crate) fn block_on<T>(
+    timeout: Duration,
+    waiting_for: &'static str,
+    mut poll: impl FnMut() -> Result<BlockingStep<T>, SmiError>,
+) -> Result<T, SmiError> {
+    let mut deadline = Instant::now() + timeout;
+    let mut idle = 0u32;
+    loop {
+        match poll()? {
+            BlockingStep::Ready(v) => return Ok(v),
+            BlockingStep::Progress => {
+                deadline = Instant::now() + timeout;
+                idle = 0;
+            }
+            BlockingStep::Pending => {
+                if Instant::now() >= deadline {
+                    return Err(SmiError::Timeout { waiting_for });
+                }
+                idle += 1;
+                if idle < 16 {
+                    std::hint::spin_loop();
+                } else if idle < 128 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+    }
 }
 
 /// Handle to the worker pool; joined at shutdown.
@@ -175,6 +227,25 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         stop.store(true, Ordering::SeqCst);
         ex.join(); // must terminate
+    }
+
+    #[test]
+    fn block_on_completes_and_times_out() {
+        let mut n = 0;
+        let got = block_on(Duration::from_secs(1), "t", || {
+            n += 1;
+            Ok(if n == 3 {
+                BlockingStep::Ready(42)
+            } else {
+                BlockingStep::Progress
+            })
+        })
+        .unwrap();
+        assert_eq!(got, 42);
+        let err = block_on::<()>(Duration::from_millis(10), "never", || {
+            Ok(BlockingStep::Pending)
+        });
+        assert!(matches!(err, Err(SmiError::Timeout { .. })));
     }
 
     #[test]

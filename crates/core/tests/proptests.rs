@@ -122,6 +122,146 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
+    /// For every collective, the bulk `*_slice` path (applied in arbitrary
+    /// chunk sizes) produces exactly the stream the element-at-a-time loop
+    /// produces: one cluster run drives both variants of each collective on
+    /// separate ports and compares their outputs.
+    #[test]
+    fn collective_slices_match_element_loops(
+        count in 1u64..40,
+        root in 0usize..4,
+        chunk in 1usize..17,
+        seed in any::<i16>(),
+    ) {
+        let topo = Topology::torus2d(2, 2);
+        let meta = ProgramMeta::new()
+            .with(OpSpec::bcast(0, Datatype::Int))
+            .with(OpSpec::bcast(1, Datatype::Int))
+            .with(OpSpec::reduce(2, Datatype::Int, ReduceOp::Add))
+            .with(OpSpec::reduce(3, Datatype::Int, ReduceOp::Add))
+            .with(OpSpec::scatter(4, Datatype::Int))
+            .with(OpSpec::scatter(5, Datatype::Int))
+            .with(OpSpec::gather(6, Datatype::Int))
+            .with(OpSpec::gather(7, Datatype::Int));
+        let seed = seed as i32;
+        let report = run_spmd(
+            &topo,
+            meta,
+            move |ctx: SmiCtx| {
+                let comm = ctx.world();
+                let rank = comm.rank() as i32;
+                let n = count as usize;
+                let is_root = comm.rank() == root;
+                // --- bcast, element loop then chunked slices ---
+                let src: Vec<i32> = (0..count as i32).map(|i| seed ^ (i * 3)).collect();
+                let mut b_elem = if is_root { src.clone() } else { vec![0; n] };
+                let mut ch = ctx.open_bcast_channel::<i32>(count, 0, root, &comm).unwrap();
+                for v in b_elem.iter_mut() {
+                    ch.bcast(v).unwrap();
+                }
+                drop(ch);
+                let mut b_slice = if is_root { src.clone() } else { vec![0; n] };
+                let mut ch = ctx.open_bcast_channel::<i32>(count, 1, root, &comm).unwrap();
+                let mut off = 0;
+                while off < n {
+                    let end = (off + chunk).min(n);
+                    ch.bcast_slice(&mut b_slice[off..end]).unwrap();
+                    off = end;
+                }
+                drop(ch);
+                // --- reduce ---
+                let contrib: Vec<i32> = (0..count as i32)
+                    .map(|i| seed.wrapping_add(i * 13 + rank))
+                    .collect();
+                let mut r_elem = Vec::new();
+                let mut ch = ctx.open_reduce_channel::<i32>(count, 2, root, &comm).unwrap();
+                for v in &contrib {
+                    if let Some(x) = ch.reduce(v).unwrap() {
+                        r_elem.push(x);
+                    }
+                }
+                drop(ch);
+                let mut r_slice = vec![0i32; n];
+                let mut ch = ctx.open_reduce_channel::<i32>(count, 3, root, &comm).unwrap();
+                let mut off = 0;
+                while off < n {
+                    let end = (off + chunk).min(n);
+                    ch.reduce_slice(&contrib[off..end], &mut r_slice[off..end]).unwrap();
+                    off = end;
+                }
+                drop(ch);
+                if !is_root {
+                    r_slice = Vec::new();
+                }
+                // --- scatter ---
+                let ssrc: Vec<i32> = (0..(count * 4) as i32).map(|i| seed ^ (i * 7)).collect();
+                let mut ch = ctx.open_scatter_channel::<i32>(count, 4, root, &comm).unwrap();
+                if is_root {
+                    for v in &ssrc {
+                        ch.push(v).unwrap();
+                    }
+                }
+                let s_elem: Vec<i32> = (0..count).map(|_| ch.pop().unwrap()).collect();
+                drop(ch);
+                let mut ch = ctx.open_scatter_channel::<i32>(count, 5, root, &comm).unwrap();
+                if is_root {
+                    let mut off = 0;
+                    while off < ssrc.len() {
+                        let end = (off + chunk).min(ssrc.len());
+                        ch.push_slice(&ssrc[off..end]).unwrap();
+                        off = end;
+                    }
+                }
+                let mut s_slice = vec![0i32; n];
+                let mut off = 0;
+                while off < n {
+                    let end = (off + chunk).min(n);
+                    ch.pop_slice(&mut s_slice[off..end]).unwrap();
+                    off = end;
+                }
+                drop(ch);
+                // --- gather ---
+                let gsrc: Vec<i32> = (0..count as i32)
+                    .map(|i| seed.wrapping_mul(rank + 2).wrapping_add(i))
+                    .collect();
+                let mut ch = ctx.open_gather_channel::<i32>(count, 6, root, &comm).unwrap();
+                for v in &gsrc {
+                    ch.push(v).unwrap();
+                }
+                let g_elem: Vec<i32> = if is_root {
+                    (0..count * 4).map(|_| ch.pop().unwrap()).collect()
+                } else {
+                    Vec::new()
+                };
+                drop(ch);
+                let mut ch = ctx.open_gather_channel::<i32>(count, 7, root, &comm).unwrap();
+                let mut off = 0;
+                while off < n {
+                    let end = (off + chunk).min(n);
+                    ch.push_slice(&gsrc[off..end]).unwrap();
+                    off = end;
+                }
+                let mut g_slice = if is_root { vec![0i32; n * 4] } else { Vec::new() };
+                let mut off = 0;
+                while off < g_slice.len() {
+                    let end = (off + chunk).min(g_slice.len());
+                    ch.pop_slice(&mut g_slice[off..end]).unwrap();
+                    off = end;
+                }
+                drop(ch);
+                (b_elem, b_slice, r_elem, r_slice, s_elem, s_slice, g_elem, g_slice)
+            },
+            RuntimeParams::default(),
+        )
+        .unwrap();
+        for (rank, (be, bs, re, rs, se, ss, ge, gs)) in report.results.iter().enumerate() {
+            prop_assert_eq!(be, bs, "bcast rank {}", rank);
+            prop_assert_eq!(re, rs, "reduce rank {}", rank);
+            prop_assert_eq!(se, ss, "scatter rank {}", rank);
+            prop_assert_eq!(ge, gs, "gather rank {}", rank);
+        }
+    }
+
     /// Reduce over random contributions matches the serial fold for all ops.
     #[test]
     fn reduce_matches_serial_fold(

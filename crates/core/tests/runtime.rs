@@ -906,6 +906,525 @@ fn size_one_communicator_collectives() {
 }
 
 #[test]
+fn collective_slices_blocking() {
+    // The bulk *_slice APIs move the same streams the per-element API moves,
+    // across odd counts that exercise partial packets, on the thread plane.
+    let topo = Topology::torus2d(2, 4);
+    let meta = ProgramMeta::new()
+        .with(OpSpec::bcast(0, Datatype::Int))
+        .with(OpSpec::reduce(1, Datatype::Int, ReduceOp::Add))
+        .with(OpSpec::scatter(2, Datatype::Int))
+        .with(OpSpec::gather(3, Datatype::Int));
+    let n = 45u64; // not a multiple of the 7-element packet capacity
+    let report = run_spmd(
+        &topo,
+        meta,
+        move |ctx: SmiCtx| {
+            let comm = ctx.world();
+            let rank = comm.rank() as i32;
+            let root = 2usize;
+            // Broadcast a whole slice.
+            let mut b = ctx.open_bcast_channel::<i32>(n, 0, root, &comm).unwrap();
+            let mut bbuf: Vec<i32> = if comm.rank() == root {
+                (0..n as i32).map(|i| i * 5 - 3).collect()
+            } else {
+                vec![0; n as usize]
+            };
+            b.bcast_slice(&mut bbuf).unwrap();
+            drop(b);
+            // Reduce a whole slice.
+            let mut r = ctx.open_reduce_channel::<i32>(n, 1, root, &comm).unwrap();
+            let contrib: Vec<i32> = (0..n as i32).map(|i| i * 7 + rank).collect();
+            let mut rbuf = vec![0i32; n as usize];
+            r.reduce_slice(&contrib, &mut rbuf).unwrap();
+            drop(r);
+            // Scatter: the root pushes count × N in one slice.
+            let mut s = ctx.open_scatter_channel::<i32>(n, 2, root, &comm).unwrap();
+            if comm.rank() == root {
+                let src: Vec<i32> = (0..(n * 8) as i32).map(|i| i * 2 + 1).collect();
+                s.push_slice(&src).unwrap();
+            }
+            let mut sbuf = vec![0i32; n as usize];
+            s.pop_slice(&mut sbuf).unwrap();
+            drop(s);
+            // Gather: every member pushes one slice; the root pops count × N.
+            let mut g = ctx.open_gather_channel::<i32>(n, 3, root, &comm).unwrap();
+            let gsrc: Vec<i32> = (0..n as i32).map(|i| rank * 1000 + i).collect();
+            g.push_slice(&gsrc).unwrap();
+            let mut gbuf = if comm.rank() == root {
+                vec![0i32; (n * 8) as usize]
+            } else {
+                Vec::new()
+            };
+            if comm.rank() == root {
+                g.pop_slice(&mut gbuf).unwrap();
+            }
+            (bbuf, rbuf, sbuf, gbuf)
+        },
+        RuntimeParams::default(),
+    )
+    .unwrap();
+    let want_bcast: Vec<i32> = (0..n as i32).map(|i| i * 5 - 3).collect();
+    let want_reduce: Vec<i32> = (0..n as i32)
+        .map(|i| (0..8).map(|r| i * 7 + r).sum())
+        .collect();
+    let want_gather: Vec<i32> = (0..8)
+        .flat_map(|r| (0..n as i32).map(move |i| r * 1000 + i))
+        .collect();
+    for (rank, (bbuf, rbuf, sbuf, gbuf)) in report.results.iter().enumerate() {
+        assert_eq!(bbuf, &want_bcast, "bcast rank {rank}");
+        let off = rank as i32 * n as i32;
+        let want_scatter: Vec<i32> = (0..n as i32).map(|i| (off + i) * 2 + 1).collect();
+        assert_eq!(sbuf, &want_scatter, "scatter rank {rank}");
+        if rank == 2 {
+            assert_eq!(rbuf, &want_reduce, "reduce root");
+            assert_eq!(gbuf, &want_gather, "gather root");
+        }
+    }
+}
+
+#[test]
+fn mixed_blocking_and_poll_mode_opens_interop() {
+    // Poll-mode and blocking opens speak the same wire protocol: two ranks
+    // drive their channels with the blocking API while two others spin
+    // poll-mode cores by hand, within one broadcast + one reduce.
+    let topo = Topology::torus2d(2, 2);
+    let meta = ProgramMeta::new()
+        .with(OpSpec::bcast(0, Datatype::Int))
+        .with(OpSpec::reduce(1, Datatype::Int, ReduceOp::Add));
+    let n = 100u64;
+    let report = run_spmd(
+        &topo,
+        meta,
+        move |ctx: SmiCtx| {
+            let comm = ctx.world();
+            let rank = comm.rank();
+            let mut bbuf: Vec<i32> = if rank == 0 {
+                (0..n as i32).map(|i| i * 11).collect()
+            } else {
+                vec![0; n as usize]
+            };
+            if rank < 2 {
+                // Blocking plane (rank 0 is the bcast root).
+                let mut b = ctx.open_bcast_channel::<i32>(n, 0, 0, &comm).unwrap();
+                if rank == 0 {
+                    b.bcast_slice(&mut bbuf).unwrap();
+                } else {
+                    for v in bbuf.iter_mut() {
+                        b.bcast(v).unwrap();
+                    }
+                }
+            } else {
+                // Poll-mode core, spun manually on this thread.
+                let mut b = ctx.open_bcast_channel_poll::<i32>(n, 0, 0, &comm).unwrap();
+                let mut off = 0usize;
+                while off < n as usize {
+                    off += b.try_bcast_slice(&mut bbuf[off..]).unwrap();
+                    std::thread::yield_now();
+                }
+                while b.poll().unwrap() != CollectiveState::Done {
+                    std::thread::yield_now();
+                }
+            }
+            // Reduce to root 3, which runs in poll mode; leaves mix modes.
+            let contrib: Vec<i32> = (0..n as i32).map(|i| i + rank as i32).collect();
+            let mut rbuf = vec![0i32; n as usize];
+            if rank == 3 || rank == 1 {
+                let mut r = ctx.open_reduce_channel_poll::<i32>(n, 1, 3, &comm).unwrap();
+                let mut off = 0usize;
+                while off < n as usize {
+                    off += r
+                        .try_reduce_slice(&contrib[off..], &mut rbuf[off..])
+                        .unwrap();
+                    std::thread::yield_now();
+                }
+                while r.poll().unwrap() != CollectiveState::Done {
+                    std::thread::yield_now();
+                }
+            } else {
+                let mut r = ctx.open_reduce_channel::<i32>(n, 1, 3, &comm).unwrap();
+                r.reduce_slice(&contrib, &mut rbuf).unwrap();
+            }
+            (bbuf, rbuf)
+        },
+        RuntimeParams::default(),
+    )
+    .unwrap();
+    let want_bcast: Vec<i32> = (0..n as i32).map(|i| i * 11).collect();
+    let want_reduce: Vec<i32> = (0..n as i32).map(|i| 4 * i + 6).collect();
+    for (rank, (bbuf, rbuf)) in report.results.iter().enumerate() {
+        assert_eq!(bbuf, &want_bcast, "bcast rank {rank}");
+        if rank == 3 {
+            assert_eq!(rbuf, &want_reduce, "reduce root");
+        }
+    }
+}
+
+// ---------------- task-plane collectives ----------------
+
+/// Per-rank result collection: (first collective's output, second's).
+type SharedResults = std::sync::Arc<parking_lot::Mutex<Vec<(Vec<i32>, Vec<i32>)>>>;
+
+enum CollPhase {
+    Bcast {
+        ch: BcastChannel<i32>,
+        buf: Vec<i32>,
+        off: usize,
+    },
+    Reduce {
+        ch: ReduceChannel<i32>,
+        contrib: Vec<i32>,
+        results: Vec<i32>,
+        off: usize,
+    },
+    Finished,
+}
+
+/// One rank of the bcast-then-reduce task-plane scenario: both collectives
+/// are opened with the poll-mode variants and driven entirely by `try_*`
+/// calls — no blocking anywhere, so the whole cluster runs on the executor
+/// worker pool.
+struct CollTask {
+    ctx: SmiCtx,
+    n: u64,
+    root: usize,
+    phase: CollPhase,
+    out: SharedResults,
+}
+
+impl RankTask for CollTask {
+    fn poll(&mut self) -> Result<TaskStatus, SmiError> {
+        let rank = self.ctx.rank();
+        let phase = std::mem::replace(&mut self.phase, CollPhase::Finished);
+        match phase {
+            CollPhase::Bcast {
+                mut ch,
+                mut buf,
+                mut off,
+            } => {
+                let moved = ch.try_bcast_slice(&mut buf[off..])?;
+                off += moved;
+                if off == buf.len() && ch.poll()? == CollectiveState::Done {
+                    drop(ch); // return the endpoint before reporting
+                    self.out.lock()[rank].0 = buf;
+                    let comm = self.ctx.world();
+                    let ch = self
+                        .ctx
+                        .open_reduce_channel_poll::<i32>(self.n, 1, self.root, &comm)?;
+                    let contrib: Vec<i32> = (0..self.n as i32).map(|i| i + rank as i32).collect();
+                    let results = vec![0i32; self.n as usize];
+                    self.phase = CollPhase::Reduce {
+                        ch,
+                        contrib,
+                        results,
+                        off: 0,
+                    };
+                    return Ok(TaskStatus::Progress);
+                }
+                self.phase = CollPhase::Bcast { ch, buf, off };
+                Ok(if moved > 0 {
+                    TaskStatus::Progress
+                } else {
+                    TaskStatus::Pending
+                })
+            }
+            CollPhase::Reduce {
+                mut ch,
+                contrib,
+                mut results,
+                mut off,
+            } => {
+                let moved = ch.try_reduce_slice(&contrib[off..], &mut results[off..])?;
+                off += moved;
+                if off == contrib.len() && ch.poll()? == CollectiveState::Done {
+                    drop(ch);
+                    self.out.lock()[rank].1 = results;
+                    self.phase = CollPhase::Finished;
+                    return Ok(TaskStatus::Done);
+                }
+                self.phase = CollPhase::Reduce {
+                    ch,
+                    contrib,
+                    results,
+                    off,
+                };
+                Ok(if moved > 0 {
+                    TaskStatus::Progress
+                } else {
+                    TaskStatus::Pending
+                })
+            }
+            CollPhase::Finished => Ok(TaskStatus::Done),
+        }
+    }
+}
+
+#[test]
+fn task_plane_collectives_32_ranks() {
+    // The collective acceptance scenario: a 32-rank bcast followed by a
+    // 32-rank reduce, every rank a cooperative task (no OS thread per
+    // rank), opens rendezvous-free, all progress from try_* polling. The
+    // reduce element count spans several credit windows, so coalesced
+    // grants are exercised; the stall watchdog bounds a hang.
+    let ranks = 32usize;
+    let n = 1200u64;
+    let root = 0usize;
+    let ap = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    let topo = Topology::bus(ranks);
+    let metas: Vec<ProgramMeta> = (0..ranks)
+        .map(|_| {
+            ProgramMeta::new()
+                .with(OpSpec::bcast(0, Datatype::Int))
+                .with(OpSpec::reduce(1, Datatype::Int, ReduceOp::Add))
+        })
+        .collect();
+    let out = std::sync::Arc::new(parking_lot::Mutex::new(vec![
+        (Vec::new(), Vec::new());
+        ranks
+    ]));
+    let factories: Vec<TaskFactory> = (0..ranks)
+        .map(|r| {
+            let out = out.clone();
+            let f: TaskFactory = Box::new(move |ctx: SmiCtx| {
+                let comm = ctx.world();
+                let ch = ctx.open_bcast_channel_poll::<i32>(n, 0, root, &comm)?;
+                let buf: Vec<i32> = if r == root {
+                    (0..n as i32).map(|i| i * 3 + 1).collect()
+                } else {
+                    vec![0; n as usize]
+                };
+                Ok(Box::new(CollTask {
+                    ctx,
+                    n,
+                    root,
+                    phase: CollPhase::Bcast { ch, buf, off: 0 },
+                    out,
+                }) as Box<dyn RankTask>)
+            });
+            f
+        })
+        .collect();
+    let report = run_mpmd_tasks(&topo, metas, factories, RuntimeParams::default()).unwrap();
+    for (r, res) in report.results.iter().enumerate() {
+        assert!(res.is_ok(), "rank {r}: {res:?}");
+    }
+    assert!(
+        report.threads_spawned <= 2 * ap,
+        "32-rank collective run used {} OS threads (available_parallelism = {ap})",
+        report.threads_spawned
+    );
+    assert_eq!(report.transport.2, 0, "unroutable packets");
+    let out = out.lock();
+    let want_bcast: Vec<i32> = (0..n as i32).map(|i| i * 3 + 1).collect();
+    for (r, (bcast, _)) in out.iter().enumerate() {
+        assert_eq!(bcast, &want_bcast, "bcast rank {r}");
+    }
+    let want_reduce: Vec<i32> = (0..n as i32)
+        .map(|i| 32 * i + (0..32).sum::<i32>())
+        .collect();
+    assert_eq!(out[root].1, want_reduce, "reduce root results");
+}
+
+enum SgPhase {
+    Scatter {
+        ch: ScatterChannel<i32>,
+        src: Vec<i32>,
+        push_off: usize,
+        buf: Vec<i32>,
+        pop_off: usize,
+    },
+    Gather {
+        ch: GatherChannel<i32>,
+        src: Vec<i32>,
+        push_off: usize,
+        buf: Vec<i32>,
+        pop_off: usize,
+    },
+    Finished,
+}
+
+/// One rank of the scatter-then-gather task-plane scenario; the root task
+/// interleaves pushing and popping within a single poll, which only works
+/// because the `try_*` operations never block.
+struct SgTask {
+    ctx: SmiCtx,
+    n: u64,
+    root: usize,
+    phase: SgPhase,
+    out: SharedResults,
+}
+
+impl RankTask for SgTask {
+    fn poll(&mut self) -> Result<TaskStatus, SmiError> {
+        let rank = self.ctx.rank();
+        let is_root = rank == self.root;
+        let phase = std::mem::replace(&mut self.phase, SgPhase::Finished);
+        match phase {
+            SgPhase::Scatter {
+                mut ch,
+                src,
+                mut push_off,
+                mut buf,
+                mut pop_off,
+            } => {
+                let mut moved = 0usize;
+                if is_root && push_off < src.len() {
+                    let k = ch.try_push_slice(&src[push_off..])?;
+                    push_off += k;
+                    moved += k;
+                }
+                let k = ch.try_pop_slice(&mut buf[pop_off..])?;
+                pop_off += k;
+                moved += k;
+                if push_off == src.len()
+                    && pop_off == buf.len()
+                    && ch.poll()? == CollectiveState::Done
+                {
+                    drop(ch);
+                    self.out.lock()[rank].0 = buf;
+                    let comm = self.ctx.world();
+                    let ch = self
+                        .ctx
+                        .open_gather_channel_poll::<i32>(self.n, 1, self.root, &comm)?;
+                    let src: Vec<i32> = (0..self.n as i32).map(|i| rank as i32 * 100 + i).collect();
+                    let buf = if is_root {
+                        vec![0i32; self.n as usize * self.ctx.num_ranks()]
+                    } else {
+                        Vec::new()
+                    };
+                    self.phase = SgPhase::Gather {
+                        ch,
+                        src,
+                        push_off: 0,
+                        buf,
+                        pop_off: 0,
+                    };
+                    return Ok(TaskStatus::Progress);
+                }
+                self.phase = SgPhase::Scatter {
+                    ch,
+                    src,
+                    push_off,
+                    buf,
+                    pop_off,
+                };
+                Ok(if moved > 0 {
+                    TaskStatus::Progress
+                } else {
+                    TaskStatus::Pending
+                })
+            }
+            SgPhase::Gather {
+                mut ch,
+                src,
+                mut push_off,
+                mut buf,
+                mut pop_off,
+            } => {
+                let mut moved = 0usize;
+                if push_off < src.len() {
+                    let k = ch.try_push_slice(&src[push_off..])?;
+                    push_off += k;
+                    moved += k;
+                }
+                if is_root && pop_off < buf.len() {
+                    let k = ch.try_pop_slice(&mut buf[pop_off..])?;
+                    pop_off += k;
+                    moved += k;
+                }
+                if push_off == src.len()
+                    && pop_off == buf.len()
+                    && ch.poll()? == CollectiveState::Done
+                {
+                    drop(ch);
+                    self.out.lock()[rank].1 = buf;
+                    self.phase = SgPhase::Finished;
+                    return Ok(TaskStatus::Done);
+                }
+                self.phase = SgPhase::Gather {
+                    ch,
+                    src,
+                    push_off,
+                    buf,
+                    pop_off,
+                };
+                Ok(if moved > 0 {
+                    TaskStatus::Progress
+                } else {
+                    TaskStatus::Pending
+                })
+            }
+            SgPhase::Finished => Ok(TaskStatus::Done),
+        }
+    }
+}
+
+#[test]
+fn task_plane_scatter_gather() {
+    // Scatter then gather with every rank (root included) as a cooperative
+    // task: the root interleaves try_push/try_pop within one poll.
+    let ranks = 8usize;
+    let n = 39u64;
+    let root = 3usize;
+    let topo = Topology::torus2d(2, 4);
+    let metas: Vec<ProgramMeta> = (0..ranks)
+        .map(|_| {
+            ProgramMeta::new()
+                .with(OpSpec::scatter(0, Datatype::Int))
+                .with(OpSpec::gather(1, Datatype::Int))
+        })
+        .collect();
+    let out = std::sync::Arc::new(parking_lot::Mutex::new(vec![
+        (Vec::new(), Vec::new());
+        ranks
+    ]));
+    let factories: Vec<TaskFactory> = (0..ranks)
+        .map(|r| {
+            let out = out.clone();
+            let f: TaskFactory = Box::new(move |ctx: SmiCtx| {
+                let comm = ctx.world();
+                let ch = ctx.open_scatter_channel_poll::<i32>(n, 0, root, &comm)?;
+                let src: Vec<i32> = if r == root {
+                    (0..(n * 8) as i32).map(|i| i * 4 - 7).collect()
+                } else {
+                    Vec::new()
+                };
+                Ok(Box::new(SgTask {
+                    ctx,
+                    n,
+                    root,
+                    phase: SgPhase::Scatter {
+                        ch,
+                        src,
+                        push_off: 0,
+                        buf: vec![0i32; n as usize],
+                        pop_off: 0,
+                    },
+                    out,
+                }) as Box<dyn RankTask>)
+            });
+            f
+        })
+        .collect();
+    let report = run_mpmd_tasks(&topo, metas, factories, RuntimeParams::default()).unwrap();
+    for (r, res) in report.results.iter().enumerate() {
+        assert!(res.is_ok(), "rank {r}: {res:?}");
+    }
+    let out = out.lock();
+    for (r, (scat, _)) in out.iter().enumerate() {
+        let off = r as i32 * n as i32;
+        let want: Vec<i32> = (0..n as i32).map(|i| (off + i) * 4 - 7).collect();
+        assert_eq!(scat, &want, "scatter rank {r}");
+    }
+    let want_gather: Vec<i32> = (0..8)
+        .flat_map(|r| (0..n as i32).map(move |i| r * 100 + i))
+        .collect();
+    assert_eq!(out[root].1, want_gather, "gather root");
+}
+
+#[test]
 fn gather_and_scatter_role_errors() {
     let topo = Topology::bus(2);
     let meta = ProgramMeta::new()

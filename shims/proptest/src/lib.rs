@@ -12,8 +12,14 @@
 //!   [`prop_assume!`]
 //!
 //! Cases are generated from a deterministic per-test seed (hash of the test
-//! path), so failures reproduce. **Shrinking is not implemented** — a failure
-//! reports the failing assertion, not a minimal counterexample.
+//! path), so failures reproduce. **Basic shrinking is implemented**: on a
+//! failure, the runner repeatedly asks the strategy tuple for simpler
+//! candidate inputs ([`Strategy::shrinks`]) and re-runs the body, greedily
+//! adopting any candidate that still fails, then reports the minimized
+//! counterexample (inputs and assertion message). Integers shrink toward
+//! their lower bound / zero, collections shrink in length and element-wise,
+//! tuples component-wise; `prop_map`/`select` outputs do not shrink (the
+//! mapping is not invertible). Bound values must be `Clone + Debug`.
 
 use std::collections::BTreeSet;
 use std::marker::PhantomData;
@@ -102,6 +108,14 @@ pub trait Strategy {
     /// Draw one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of `value`, simplest first. The runner
+    /// re-runs a failing body with each candidate and greedily adopts any
+    /// that still fails; an empty list ends the search along this axis.
+    fn shrinks(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Transform generated values with `f`.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
     where
@@ -125,6 +139,18 @@ impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
     }
 }
 
+/// Shrink candidates for an integer in `[lo, v)`: the lower bound, the
+/// midpoint toward it, and the predecessor — a coarse-to-fine descent.
+fn int_shrinks(lo: i128, v: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    for c in [lo, lo + (v - lo) / 2, v - 1] {
+        if c >= lo && c < v && !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out
+}
+
 macro_rules! int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -134,6 +160,12 @@ macro_rules! int_range_strategy {
                 let span = (self.end as i128 - self.start as i128) as u128;
                 let v = (rng.next_u64() as u128) % span;
                 (self.start as i128 + v as i128) as $t
+            }
+            fn shrinks(&self, value: &$t) -> Vec<$t> {
+                int_shrinks(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
             }
         }
         impl Strategy for RangeInclusive<$t> {
@@ -145,6 +177,12 @@ macro_rules! int_range_strategy {
                 let v = (rng.next_u64() as u128) % span;
                 (lo as i128 + v as i128) as $t
             }
+            fn shrinks(&self, value: &$t) -> Vec<$t> {
+                int_shrinks(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
     )*};
 }
@@ -152,25 +190,59 @@ int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 macro_rules! tuple_strategy {
     ($(($($t:ident . $n:tt),+))*) => {$(
-        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+        impl<$($t: Strategy),+> Strategy for ($($t,)+)
+        where
+            $($t::Value: Clone,)+
+        {
             type Value = ($($t::Value,)+);
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$n.sample(rng),)+)
+            }
+            fn shrinks(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for c in self.$n.shrinks(&value.$n) {
+                        let mut w = value.clone();
+                        w.$n = c;
+                        out.push(w);
+                    }
+                )+
+                out
             }
         }
     )*};
 }
 tuple_strategy! {
+    (A.0)
     (A.0, B.1)
     (A.0, B.1, C.2)
     (A.0, B.1, C.2, D.3)
     (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11)
+}
+
+/// The empty strategy tuple (parameterless property tests).
+impl Strategy for () {
+    type Value = ();
+    fn sample(&self, _rng: &mut TestRng) -> Self::Value {}
 }
 
 /// Types with a canonical "any value" strategy.
 pub trait Arbitrary: Sized {
     /// Draw an arbitrary value (uniform over the representation).
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Simpler candidates for `value` (see [`Strategy::shrinks`]).
+    fn shrink(value: &Self) -> Vec<Self> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 macro_rules! arbitrary_int {
@@ -178,6 +250,16 @@ macro_rules! arbitrary_int {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
+            }
+            fn shrink(value: &$t) -> Vec<$t> {
+                let v = *value as i128;
+                let mut out = Vec::new();
+                for c in [0, v / 2, v - v.signum()] {
+                    if c != v && c.abs() < v.abs() && !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+                out.into_iter().map(|c| c as $t).collect()
             }
         }
     )*};
@@ -187,6 +269,13 @@ arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+    fn shrink(value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 impl Arbitrary for f32 {
@@ -210,6 +299,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
     type Value = T;
     fn sample(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
+    }
+    fn shrinks(&self, value: &T) -> Vec<T> {
+        T::shrink(value)
     }
 }
 
@@ -256,11 +348,38 @@ pub mod prop {
             size: SizeRange,
         }
 
-        impl<S: Strategy> Strategy for VecStrategy<S> {
+        impl<S: Strategy> Strategy for VecStrategy<S>
+        where
+            S::Value: Clone,
+        {
             type Value = Vec<S::Value>;
             fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
                 let len = self.size.sample(rng);
                 (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+            fn shrinks(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+                let mut out = Vec::new();
+                let lo = self.size.min_len();
+                let len = value.len();
+                if len > lo {
+                    // Coarse to fine: minimum length, halves, drop-last.
+                    out.push(value[..lo].to_vec());
+                    let half = (len / 2).max(lo);
+                    if half < len {
+                        out.push(value[..half].to_vec());
+                        out.push(value[len - half..].to_vec());
+                    }
+                    out.push(value[..len - 1].to_vec());
+                }
+                // Element-wise: first candidate per position, capped.
+                for i in 0..len.min(8) {
+                    if let Some(c) = self.element.shrinks(&value[i]).into_iter().next() {
+                        let mut w = value.clone();
+                        w[i] = c;
+                        out.push(w);
+                    }
+                }
+                out
             }
         }
 
@@ -319,10 +438,24 @@ pub mod prop {
             element: S,
         }
 
-        impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N>
+        where
+            S::Value: Clone,
+        {
             type Value = [S::Value; N];
             fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
                 std::array::from_fn(|_| self.element.sample(rng))
+            }
+            fn shrinks(&self, value: &[S::Value; N]) -> Vec<[S::Value; N]> {
+                let mut out = Vec::new();
+                for i in 0..N.min(8) {
+                    if let Some(c) = self.element.shrinks(&value[i]).into_iter().next() {
+                        let mut w = value.clone();
+                        w[i] = c;
+                        out.push(w);
+                    }
+                }
+                out
             }
         }
 
@@ -349,6 +482,11 @@ impl SizeRange {
     fn sample(&self, rng: &mut TestRng) -> usize {
         let span = (self.hi_inclusive - self.lo + 1) as u64;
         self.lo + rng.below(span) as usize
+    }
+
+    /// Smallest admissible collection length (shrinking floor).
+    fn min_len(&self) -> usize {
+        self.lo
     }
 }
 
@@ -402,12 +540,18 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn sample(&self, rng: &mut TestRng) -> S::Value {
         (**self).sample(rng)
     }
+    fn shrinks(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrinks(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for Box<S> {
     type Value = S::Value;
     fn sample(&self, rng: &mut TestRng) -> S::Value {
         (**self).sample(rng)
+    }
+    fn shrinks(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrinks(value)
     }
 }
 
@@ -531,41 +675,18 @@ macro_rules! __proptest_run {
     (cfg = ($cfg:expr); name = $name:ident;
      bindings = ($(($pat:pat) ($strat:expr))*);
      params = (); body = $body:block) => {{
-        let __config: $crate::ProptestConfig = $cfg;
-        let mut __rng = $crate::TestRng::from_name(
+        // The whole parameter list is one tuple strategy, so the shrinker
+        // can simplify any single input while holding the others fixed.
+        $crate::run_property(
             concat!(module_path!(), "::", stringify!($name)),
-        );
-        let mut __accepted: u32 = 0;
-        let mut __attempts: u32 = 0;
-        let __max_attempts: u32 = __config.cases.saturating_mul(20).max(1000);
-        while __accepted < __config.cases && __attempts < __max_attempts {
-            __attempts += 1;
-            let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
-                $(let $pat = $crate::Strategy::sample(&($strat), &mut __rng);)*
+            $cfg,
+            ($($strat,)*),
+            |__vals| {
+                let ($($pat,)*) = ::std::clone::Clone::clone(__vals);
                 $body
                 ::std::result::Result::Ok(())
-            })();
-            match __outcome {
-                ::std::result::Result::Ok(()) => __accepted += 1,
-                ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
-                ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
-                    panic!(
-                        "proptest `{}` failed on case {}: {}\n\
-                         (the offline proptest shim does not shrink)",
-                        stringify!($name), __attempts, __msg
-                    );
-                }
-            }
-        }
-        // Like real proptest's "too many global rejects": a test that could
-        // not reach its configured case count must not pass silently.
-        if __accepted < __config.cases {
-            panic!(
-                "proptest `{}`: only {} of {} cases accepted after {} attempts \
-                 (prop_assume! rejected the rest — loosen the strategy or the assumption)",
-                stringify!($name), __accepted, __config.cases, __attempts
-            );
-        }
+            },
+        );
     }};
     // `name: Type` sugar, more parameters follow.
     (cfg = ($cfg:expr); name = $tname:ident; bindings = ($($b:tt)*);
@@ -603,6 +724,83 @@ macro_rules! __proptest_run {
             params = (); body = $body
         }
     };
+}
+
+/// Greedy counterexample minimization: repeatedly ask the strategy for
+/// simpler candidates and adopt the first one that still fails, until no
+/// candidate fails or the re-run budget is exhausted. Returns the minimized
+/// inputs, their failure message, and the number of successful shrink steps.
+fn shrink_failure<S, F>(
+    strat: &S,
+    mut vals: S::Value,
+    mut msg: String,
+    case: &F,
+) -> (S::Value, String, u32)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    let mut steps = 0u32;
+    let mut budget = 400u32;
+    'outer: while budget > 0 {
+        for cand in strat.shrinks(&vals) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let Err(TestCaseError::Fail(m)) = case(&cand) {
+                vals = cand;
+                msg = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (vals, msg, steps)
+}
+
+/// The property-test driver behind [`proptest!`]: generate cases, count
+/// rejects, and on a failure shrink to a minimized counterexample before
+/// panicking. Public for the macro expansion, not part of the mirrored API.
+#[doc(hidden)]
+pub fn run_property<S>(
+    name: &str,
+    config: ProptestConfig,
+    strat: S,
+    case: impl Fn(&S::Value) -> Result<(), TestCaseError>,
+) where
+    S: Strategy,
+    S::Value: std::fmt::Debug,
+{
+    let mut rng = TestRng::from_name(name);
+    let mut accepted: u32 = 0;
+    let mut attempts: u32 = 0;
+    let max_attempts: u32 = config.cases.saturating_mul(20).max(1000);
+    while accepted < config.cases && attempts < max_attempts {
+        attempts += 1;
+        let vals = strat.sample(&mut rng);
+        match case(&vals) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                let (min, min_msg, steps) = shrink_failure(&strat, vals, msg, &case);
+                panic!(
+                    "proptest `{name}` failed on case {attempts}: {min_msg}\n\
+                     minimized counterexample ({steps} shrink steps): {min:?}",
+                );
+            }
+        }
+    }
+    // Like real proptest's "too many global rejects": a test that could not
+    // reach its configured case count must not pass silently.
+    if accepted < config.cases {
+        panic!(
+            "proptest `{name}`: only {accepted} of {} cases accepted after {attempts} attempts \
+             (prop_assume! rejected the rest — loosen the strategy or the assumption)",
+            config.cases
+        );
+    }
 }
 
 /// The glob import mirroring `proptest::prelude::*`.
@@ -665,6 +863,58 @@ mod tests {
         let mut b = TestRng::from_name("fixed");
         for _ in 0..32 {
             assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    // Failing properties, declared without #[test] so the shrink tests can
+    // invoke them under catch_unwind and inspect the panic message.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        fn fails_at_17(x in 0u32..1000) {
+            prop_assert!(x < 17, "x = {} too big", x);
+        }
+
+        fn fails_on_long_vec(v in prop::collection::vec(0u32..100, 0..30)) {
+            prop_assert!(v.len() < 5, "len = {}", v.len());
+        }
+    }
+
+    fn panic_message(f: impl Fn() + std::panic::UnwindSafe) -> String {
+        let err = std::panic::catch_unwind(f).expect_err("property must fail");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("string panic payload")
+    }
+
+    #[test]
+    fn shrinking_minimizes_integer_counterexample() {
+        // The boundary case 17 is the minimal failing input; the greedy
+        // descent (lower bound / midpoint / predecessor) must reach it.
+        let msg = panic_message(fails_at_17);
+        assert!(msg.contains("minimized counterexample"), "{msg}");
+        assert!(msg.contains("(17,)"), "not minimized: {msg}");
+        assert!(msg.contains("x = 17 too big"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_minimizes_vec_length() {
+        // Any 5-element vector is minimal for `len < 5`; length shrinks
+        // must get there from wherever the first failure landed.
+        let msg = panic_message(fails_on_long_vec);
+        assert!(msg.contains("len = 5"), "not minimized: {msg}");
+    }
+
+    #[test]
+    fn int_shrink_candidates_descend() {
+        let s = 3usize..100;
+        let c = s.shrinks(&80);
+        assert_eq!(c, vec![3, 41, 79]);
+        assert!(s.shrinks(&3).is_empty());
+        let signed = -50i32..50;
+        for cand in signed.shrinks(&-1) {
+            assert!((-50..-1).contains(&cand));
         }
     }
 }
