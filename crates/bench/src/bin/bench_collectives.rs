@@ -1,7 +1,7 @@
 //! Collective throughput benchmark of the functional message plane:
-//! broadcast and reduce rates vs. rank count on both execution planes,
-//! emitted as `BENCH_collectives.json` so every CI run leaves a perf data
-//! point for the poll-mode collective runtime.
+//! broadcast and reduce rates vs. rank count and routing scheme, emitted as
+//! `BENCH_collectives.json` so every CI run leaves a perf data point for
+//! the poll-mode collective runtime.
 //!
 //! Series (element rates are root-stream rates: `count / seconds`):
 //!
@@ -11,10 +11,13 @@
 //! * `bcast_thread_slice` / `reduce_thread_slice` — the bulk
 //!   `bcast_slice`/`reduce_slice` APIs on thread-per-rank execution at
 //!   8 ranks, isolating the bulk-framing win.
-//! * `bcast_task_slice` / `reduce_task_slice` — poll-mode opens
-//!   (`open_*_channel_poll`) and `try_*_slice` driving on the cooperative
-//!   task plane, swept over rank counts: the configuration where the whole
-//!   cluster (rank tasks + transport) runs on the executor worker pool.
+//! * `bcast_task_linear` / `bcast_task_tree` and `reduce_task_linear` /
+//!   `reduce_task_tree` — poll-mode opens (`open_*_channel_poll`) and
+//!   `try_*` driving on the cooperative task plane, swept over rank counts
+//!   under both [`CollectiveScheme`]s. The linear series is the paper's
+//!   root-serialized shape (falls off past ~16 ranks on a bus); the tree
+//!   series routes through binomial interior forwarders/combiners, keeping
+//!   the root at `O(log N)` streams.
 //!
 //! Usage: `bench_collectives [--quick|--smoke | --full] [--out PATH]`
 //! (`--smoke` is an alias for `--quick`.)
@@ -26,7 +29,7 @@ use smi::prelude::*;
 
 /// One measured point.
 struct Point {
-    series: &'static str,
+    series: String,
     ranks: usize,
     elems: u64,
     seconds: f64,
@@ -122,6 +125,12 @@ fn run_threads(ranks: usize, n: u64, bulk: bool) -> (f64, f64, usize) {
     (bcast, reduce, report.threads_spawned)
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Bcast,
+    Reduce,
+}
+
 enum Phase {
     Bcast {
         ch: BcastChannel<i32>,
@@ -139,7 +148,6 @@ enum Phase {
 
 struct CollTask {
     ctx: SmiCtx,
-    n: u64,
     phase: Phase,
 }
 
@@ -162,19 +170,8 @@ impl RankTask for CollTask {
                             detail: "bcast data corrupted".into(),
                         });
                     }
-                    let comm = self.ctx.world();
-                    let ch = self
-                        .ctx
-                        .open_reduce_channel_poll::<i32>(self.n, 1, 0, &comm)?;
-                    let contrib: Vec<i32> = (0..self.n as i32).collect();
-                    let out = vec![0i32; self.n as usize];
-                    self.phase = Phase::Reduce {
-                        ch,
-                        contrib,
-                        out,
-                        off: 0,
-                    };
-                    return Ok(TaskStatus::Progress);
+                    self.phase = Phase::Finished;
+                    return Ok(TaskStatus::Done);
                 }
                 self.phase = Phase::Bcast { ch, buf, off };
                 Ok(if moved > 0 {
@@ -221,37 +218,47 @@ impl RankTask for CollTask {
     }
 }
 
-/// Cooperative-task run of bcast then reduce; returns the wall-clock of the
-/// whole run (both collectives) plus threads spawned.
-fn run_tasks(ranks: usize, n: u64) -> (f64, usize) {
+/// Cooperative-task run of one collective under one scheme; returns the
+/// wall-clock of the whole run plus threads spawned.
+fn run_tasks(ranks: usize, n: u64, which: Which, scheme: CollectiveScheme) -> (f64, usize) {
     let topo = Topology::bus(ranks);
+    let params = RuntimeParams {
+        collective_scheme: scheme,
+        ..Default::default()
+    };
     let factories: Vec<TaskFactory> = (0..ranks)
         .map(|r| {
             let f: TaskFactory = Box::new(move |ctx: SmiCtx| {
                 let comm = ctx.world();
-                let ch = ctx.open_bcast_channel_poll::<i32>(n, 0, 0, &comm)?;
-                let buf: Vec<i32> = if r == 0 {
-                    (0..n as i32).collect()
-                } else {
-                    vec![0; n as usize]
+                let phase = match which {
+                    Which::Bcast => {
+                        let ch = ctx.open_bcast_channel_poll::<i32>(n, 0, 0, &comm)?;
+                        let buf: Vec<i32> = if r == 0 {
+                            (0..n as i32).collect()
+                        } else {
+                            vec![0; n as usize]
+                        };
+                        Phase::Bcast { ch, buf, off: 0 }
+                    }
+                    Which::Reduce => {
+                        let ch = ctx.open_reduce_channel_poll::<i32>(n, 1, 0, &comm)?;
+                        let contrib: Vec<i32> = (0..n as i32).collect();
+                        let out = vec![0i32; n as usize];
+                        Phase::Reduce {
+                            ch,
+                            contrib,
+                            out,
+                            off: 0,
+                        }
+                    }
                 };
-                Ok(Box::new(CollTask {
-                    ctx,
-                    n,
-                    phase: Phase::Bcast { ch, buf, off: 0 },
-                }) as Box<dyn RankTask>)
+                Ok(Box::new(CollTask { ctx, phase }) as Box<dyn RankTask>)
             });
             f
         })
         .collect();
     let t = Instant::now();
-    let report = run_mpmd_tasks(
-        &topo,
-        coll_metas(ranks),
-        factories,
-        RuntimeParams::default(),
-    )
-    .expect("launch");
+    let report = run_mpmd_tasks(&topo, coll_metas(ranks), factories, params).expect("launch");
     let dt = t.elapsed().as_secs_f64();
     for (r, res) in report.results.iter().enumerate() {
         if let Err(e) = res {
@@ -273,8 +280,8 @@ fn main() {
         }
     }
     smi_bench::banner(
-        "bench_collectives — bcast/reduce throughput vs. rank count",
-        "poll-mode collectives (rendezvous-free handshake + bulk APIs)",
+        "bench_collectives — bcast/reduce throughput vs. rank count and scheme",
+        "poll-mode collectives (rendezvous-free handshake, bulk APIs, tree routing)",
     );
 
     let (rank_sweep, n): (Vec<usize>, u64) = match effort {
@@ -288,7 +295,7 @@ fn main() {
         "{:<20} {:>6} {:>10} {:>10} {:>9} {:>8}",
         "series", "ranks", "elems", "seconds", "Melem/s", "threads"
     );
-    let mut record = |series: &'static str, ranks: usize, elems: u64, dt: f64, threads: usize| {
+    let mut record = |series: String, ranks: usize, elems: u64, dt: f64, threads: usize| {
         let melem = elems as f64 / dt / 1e6;
         println!(
             "{:<20} {:>6} {:>10} {:>10.4} {:>9.2} {:>8}",
@@ -310,15 +317,43 @@ fn main() {
         ("bcast_thread_slice", "reduce_thread_slice", true),
     ] {
         let (bcast_dt, reduce_dt, threads) = run_threads(8, n, bulk);
-        record(series_b, 8, n, bcast_dt, threads);
-        record(series_r, 8, n, reduce_dt, threads);
+        record(series_b.into(), 8, n, bcast_dt, threads);
+        record(series_r.into(), 8, n, reduce_dt, threads);
     }
 
-    // Task plane: poll-mode opens + try-slices, swept over rank counts.
-    for &ranks in &rank_sweep {
-        let (dt, threads) = run_tasks(ranks, n);
-        // One bcast + one reduce of n elements each moved in dt seconds.
-        record("collective_task_slice", ranks, 2 * n, dt, threads);
+    // Task plane: poll-mode opens + try-slices, swept over rank counts,
+    // under both routing schemes.
+    for (which, name) in [(Which::Bcast, "bcast"), (Which::Reduce, "reduce")] {
+        for (scheme, suffix) in [
+            (CollectiveScheme::Linear, "linear"),
+            (CollectiveScheme::Tree, "tree"),
+        ] {
+            for &ranks in &rank_sweep {
+                let (dt, threads) = run_tasks(ranks, n, which, scheme);
+                record(format!("{name}_task_{suffix}"), ranks, n, dt, threads);
+            }
+        }
+    }
+
+    // Headline: tree vs linear at the largest common rank count.
+    let speedup = |name: &str, ranks: usize| -> Option<f64> {
+        let rate = |series: String| {
+            points
+                .iter()
+                .find(|p| p.series == series && p.ranks == ranks)
+                .map(|p| p.melem_per_s)
+        };
+        Some(rate(format!("{name}_task_tree"))? / rate(format!("{name}_task_linear"))?)
+    };
+    let headline_ranks = rank_sweep
+        .iter()
+        .copied()
+        .find(|&r| r == 32)
+        .unwrap_or(*rank_sweep.last().expect("non-empty sweep"));
+    for name in ["bcast", "reduce"] {
+        if let Some(s) = speedup(name, headline_ranks) {
+            println!("tree/linear speedup @ {headline_ranks} ranks ({name}): {s:.2}x");
+        }
     }
 
     // Hand-rolled JSON: flat, stable, diff-friendly.

@@ -1,13 +1,16 @@
 //! The broadcast channel (`SMI_Open_bcast_channel` / `SMI_Bcast`).
 
+use std::collections::VecDeque;
 use std::marker::PhantomData;
 
 use smi_wire::{Deframer, Framer, NetworkPacket, PacketOp, SmiType};
 
+use crate::collectives::topology::{CollectiveScheme, TreeShape};
 use crate::collectives::{expect_op, CollectivePoll, CollectiveState};
 use crate::comm::Communicator;
 use crate::endpoint::{CollIo, EndpointTableHandle};
-use crate::transport::executor::{block_on, BlockingStep};
+use crate::params::RuntimeParams;
+use crate::transport::executor::{block_on_deadline, BlockingStep};
 use crate::SmiError;
 
 /// A broadcast channel (`SMI_BChannel`). The root pushes each element to
@@ -20,18 +23,42 @@ use crate::SmiError;
 /// only once all announcements arrived) runs as the `Opening` handshake
 /// state, advanced by [`CollectivePoll::poll`] / the `try_*` operations
 /// instead of blocking inside open.
+///
+/// Both [`CollectiveScheme`]s run through one code path, parameterized by
+/// the shape's parent/children relations: `Linear` is the star tree (the
+/// root parents everyone — the paper's shape, bit-identical to the
+/// pre-tree protocol), `Tree` is a binomial tree in which interior nodes
+/// collect their children's readiness before announcing their own
+/// *subtree* ready, then re-frame every received window to their children
+/// while also delivering it locally — so the root stages `O(log N)`
+/// copies of each packet instead of `N−1`.
 pub struct BcastChannel<T: SmiType> {
     count: u64,
     done: u64,
     is_root: bool,
-    /// World ranks of the other members (root side).
-    others: Vec<usize>,
-    /// Root: ready announcements received so far.
+    my_wire: u8,
+    port_wire: u8,
+    /// World rank of the tree parent (None at the root).
+    parent: Option<usize>,
+    /// World ranks of the fan-out targets (linear root: every other
+    /// member; tree: the binomial children).
+    children: Vec<usize>,
+    /// Ready announcements received from children so far.
     ready: usize,
-    /// Root: completed packets awaiting fan-out. Staging fans the whole
-    /// window out grouped per destination (one burst-sized window, so the
-    /// CKS sees long same-route runs instead of alternating destinations).
+    /// Non-root: whether the own (subtree-)ready announcement is staged.
+    sync_staged: bool,
+    /// Completed packets awaiting fan-out: the root's framed app stream,
+    /// or an interior node's received-from-parent window. Staging fans the
+    /// whole window out grouped per destination (one burst-sized window,
+    /// so the CKS sees long same-route runs instead of alternating
+    /// destinations).
     window: Vec<NetworkPacket>,
+    /// Interior: elements received from the parent and copied into the
+    /// fan-out window so far.
+    fwd_elems: u64,
+    /// Interior: received packets pending local deframing (the forwarding
+    /// duty must not wait for the local application to pop).
+    inbox: VecDeque<NetworkPacket>,
     state: CollectiveState,
     framer: Framer,
     deframer: Deframer,
@@ -40,87 +67,106 @@ pub struct BcastChannel<T: SmiType> {
 }
 
 impl<T: SmiType> BcastChannel<T> {
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn open(
         table: EndpointTableHandle,
         comm: &Communicator,
         count: u64,
         port: usize,
         root: usize,
-        timeout: std::time::Duration,
-        max_burst: usize,
+        scheme: CollectiveScheme,
+        params: &RuntimeParams,
     ) -> Result<Self, SmiError> {
-        let root_world = comm.world_rank(root)?;
         let my_world = comm.world_rank(comm.rank())?;
-        let io = CollIo::open(
-            table,
-            port,
-            smi_codegen::OpKind::Bcast,
-            T::DATATYPE,
-            timeout,
-            max_burst,
-        )?;
+        let io = CollIo::open(table, port, smi_codegen::OpKind::Bcast, T::DATATYPE, params)?;
+        let shape = TreeShape::new(scheme, comm.size(), root, comm.rank());
+        let (parent, children) = shape.resolve_world(comm)?;
         let is_root = comm.rank() == root;
-        let others: Vec<usize> = comm
-            .world_ranks()
-            .iter()
-            .copied()
-            .filter(|&w| w != root_world)
-            .collect();
         let port_wire = smi_wire::header::port_to_wire(port)?;
         let my_wire = smi_wire::header::rank_to_wire(my_world)?;
         let mut chan = BcastChannel {
             count,
             done: 0,
             is_root,
+            my_wire,
+            port_wire,
+            parent,
+            children,
             ready: 0,
+            sync_staged: false,
             window: Vec::new(),
+            fwd_elems: 0,
+            inbox: VecDeque::new(),
             state: CollectiveState::Opening,
             framer: Framer::new(T::DATATYPE, my_wire, 0, port_wire, PacketOp::Bcast),
             deframer: Deframer::new(T::DATATYPE),
             io,
-            others,
             _elem: PhantomData,
         };
         if count == 0 {
             // Zero-length message: no handshake, nothing will ever move.
             chan.state = CollectiveState::Done;
-        } else if !chan.is_root {
-            // Announce readiness; the packet is staged and flushed by the
-            // first poll, so open itself never blocks.
-            let sync =
-                NetworkPacket::control(my_wire, root_world as u8, port_wire, PacketOp::Sync, 0);
-            chan.io.stage(sync);
         }
+        // A leaf's readiness announcement is staged by this first advance
+        // (an interior node's only once its children announced), so open
+        // itself never blocks.
         chan.advance()?;
         Ok(chan)
     }
 
+    /// Interior node: has a parent to receive from *and* children to
+    /// forward to (only the tree scheme produces these).
+    #[inline]
+    fn is_interior(&self) -> bool {
+        self.parent.is_some() && !self.children.is_empty()
+    }
+
     /// One non-blocking step: flush staged packets, absorb handshake syncs,
-    /// update the state. Returns whether the staging buffer is empty.
+    /// run the interior forwarding duty, update the state. Returns whether
+    /// the staging buffer is empty.
     fn advance(&mut self) -> Result<bool, SmiError> {
-        let flushed = self.io.try_flush()?;
+        let mut flushed = self.io.try_flush()?;
         match self.state {
             CollectiveState::Opening => {
-                if self.is_root {
-                    while self.ready < self.others.len() {
-                        match self.io.try_recv_data()? {
-                            Some(pkt) => {
-                                expect_op(&pkt, PacketOp::Sync)?;
-                                self.ready += 1;
-                            }
-                            None => break,
+                while self.ready < self.children.len() {
+                    match self.io.try_recv_data()? {
+                        Some(pkt) => {
+                            expect_op(&pkt, PacketOp::Sync)?;
+                            self.ready += 1;
+                        }
+                        None => break,
+                    }
+                }
+                if self.ready == self.children.len() {
+                    if self.is_root {
+                        self.state = CollectiveState::Streaming;
+                    } else {
+                        if !self.sync_staged {
+                            // Announce (subtree) readiness up the tree.
+                            let parent = self.parent.expect("non-root has a parent");
+                            let sync = NetworkPacket::control(
+                                self.my_wire,
+                                parent as u8,
+                                self.port_wire,
+                                PacketOp::Sync,
+                                0,
+                            );
+                            self.io.stage(sync);
+                            self.sync_staged = true;
+                            flushed = self.io.try_flush()?;
+                        }
+                        if flushed {
+                            self.state = CollectiveState::Streaming;
                         }
                     }
-                    if self.ready == self.others.len() {
-                        self.state = CollectiveState::Streaming;
-                    }
-                } else if flushed {
-                    self.state = CollectiveState::Streaming;
                 }
             }
             CollectiveState::Streaming => {
-                if self.done == self.count && self.window.is_empty() && flushed {
+                if self.is_interior() {
+                    self.pump_forward()?;
+                    flushed = self.io.try_flush()?;
+                }
+                let forwarded = !self.is_interior() || self.fwd_elems == self.count;
+                if self.done == self.count && forwarded && self.window.is_empty() && flushed {
                     self.state = CollectiveState::Done;
                 }
             }
@@ -129,20 +175,46 @@ impl<T: SmiType> BcastChannel<T> {
         Ok(flushed)
     }
 
-    /// Fan the buffered window out to every member, grouped per destination.
-    fn stage_fanout(&mut self) {
-        if self.others.is_empty() {
-            self.window.clear();
-            return;
-        }
-        for &dst in &self.others {
-            for pkt in &self.window {
-                let mut copy = *pkt;
-                copy.header.dst = dst as u8;
-                self.io.stage(copy);
+    /// Interior forwarding duty: drain packets arriving from the parent
+    /// into the local inbox *and* the fan-out window, staging the window
+    /// to all children at burst boundaries. Gated on staging capacity so
+    /// a congested transport backpressures the parent instead of growing
+    /// the staged burst without bound.
+    fn pump_forward(&mut self) -> Result<(), SmiError> {
+        loop {
+            if self.window.len() >= self.io.max_burst()
+                || (self.fwd_elems == self.count && !self.window.is_empty())
+            {
+                self.stage_fanout();
+            }
+            if self.fwd_elems == self.count {
+                break;
+            }
+            if self.io.stage_full() && !self.io.try_flush()? {
+                break;
+            }
+            match self.io.try_recv_data()? {
+                Some(pkt) => {
+                    expect_op(&pkt, PacketOp::Bcast)?;
+                    let k = pkt.header.count as u64;
+                    if self.fwd_elems + k > self.count {
+                        return Err(SmiError::ProtocolViolation {
+                            detail: "bcast stream overran the channel count".into(),
+                        });
+                    }
+                    self.fwd_elems += k;
+                    self.window.push(pkt);
+                    self.inbox.push_back(pkt);
+                }
+                None => break,
             }
         }
-        self.window.clear();
+        Ok(())
+    }
+
+    /// Fan the buffered window out to every child, grouped per destination.
+    fn stage_fanout(&mut self) {
+        self.io.stage_fanout(&mut self.window, &self.children);
     }
 
     /// Non-blocking bulk `SMI_Bcast`: at the root, consumes elements of
@@ -193,11 +265,21 @@ impl<T: SmiType> BcastChannel<T> {
             let mut filled = 0usize;
             while filled < data.len() {
                 if self.deframer.is_empty() {
-                    match self.io.try_recv_data()? {
-                        Some(pkt) => {
-                            expect_op(&pkt, PacketOp::Bcast)?;
-                            self.deframer.refill(pkt);
+                    let next = if self.is_interior() {
+                        // Interior: the forwarding pump validated and
+                        // queued the packet already.
+                        self.inbox.pop_front()
+                    } else {
+                        match self.io.try_recv_data()? {
+                            Some(pkt) => {
+                                expect_op(&pkt, PacketOp::Bcast)?;
+                                Some(pkt)
+                            }
+                            None => None,
                         }
+                    };
+                    match next {
+                        Some(pkt) => self.deframer.refill(pkt),
                         None => break,
                     }
                 }
@@ -215,20 +297,29 @@ impl<T: SmiType> BcastChannel<T> {
     /// Bulk `SMI_Bcast`, blocking until the whole slice is processed: the
     /// root's elements are all handed to the transport (a final partial
     /// packet is retained until the message completes, as with per-element
-    /// pushes); non-roots return once `data` is filled.
+    /// pushes); non-roots return once `data` is filled. A call that
+    /// completes the channel's whole message additionally drives the
+    /// channel to `Done` — an interior node's forwarding duty may outlast
+    /// its local delivery, and returning earlier would strand the subtree
+    /// when the caller drops the channel.
     pub fn bcast_slice(&mut self, data: &mut [T]) -> Result<(), SmiError> {
         if data.len() as u64 > self.count - self.done {
             return Err(SmiError::CountExceeded { count: self.count });
         }
         let timeout = self.io.timeout();
+        let overall = self.io.call_deadline();
         let mut off = 0usize;
-        block_on(timeout, "bcast progress", || {
+        block_on_deadline(timeout, overall, "bcast progress", || {
+            let fwd_before = self.fwd_elems;
             let moved = self.try_bcast_slice(&mut data[off..])?;
             off += moved;
-            if off == data.len() && self.flush_call_end()? {
+            if off == data.len()
+                && self.flush_call_end()?
+                && (self.done < self.count || self.poll()? == CollectiveState::Done)
+            {
                 return Ok(BlockingStep::Ready(()));
             }
-            Ok(if moved > 0 {
+            Ok(if moved > 0 || self.fwd_elems > fwd_before {
                 BlockingStep::Progress
             } else {
                 BlockingStep::Pending
@@ -240,7 +331,7 @@ impl<T: SmiType> BcastChannel<T> {
     /// blocking API forwards each completed packet at call granularity
     /// (per-element pushes keep the paper's packet-by-packet liveness).
     fn flush_call_end(&mut self) -> Result<bool, SmiError> {
-        if self.is_root && !self.window.is_empty() {
+        if !self.window.is_empty() {
             self.stage_fanout();
         }
         self.io.try_flush()
@@ -255,7 +346,8 @@ impl<T: SmiType> BcastChannel<T> {
     /// Spin the open handshake to completion (thread-plane blocking open).
     pub(crate) fn wait_open(&mut self) -> Result<(), SmiError> {
         let timeout = self.io.timeout();
-        block_on(timeout, "bcast open rendezvous", || {
+        let overall = self.io.call_deadline();
+        block_on_deadline(timeout, overall, "bcast open rendezvous", || {
             let before = self.ready;
             self.advance()?;
             if self.state != CollectiveState::Opening {

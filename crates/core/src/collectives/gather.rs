@@ -2,21 +2,38 @@
 //!
 //! Every member pushes `count` elements; the root pops `count × N` elements
 //! in communicator order. "The root rank must communicate to each source
-//! rank when it is ready to receive the given sequence of data" (§3.3): the
-//! root grants members serially with `Sync` packets, so contributions never
-//! interleave and the root needs no reorder buffer. A leaf's `Opening`
-//! state lasts until its grant arrives — absorbed non-blockingly, so a
-//! cooperative task waiting for its turn never parks a worker.
+//! rank when it is ready to receive the given sequence of data" (§3.3).
+//!
+//! Under [`CollectiveScheme::Linear`] the root grants members serially with
+//! `Sync` packets, so contributions never interleave and the root needs no
+//! reorder buffer — a leaf's `Opening` state lasts until its grant arrived
+//! (absorbed non-blockingly, so a cooperative task waiting for its turn
+//! never parks a worker). This is the paper's shape, kept wire-identical.
+//!
+//! Under [`CollectiveScheme::Tree`] contributions flow up a binomial tree:
+//! every node merges its own block with its children's subtree streams in
+//! the deterministic `schedule` order and forwards
+//! the merged stream to its parent. Flow control uses element-granular
+//! `Credit` grants per tree edge — a parent grants a child exactly the
+//! elements of the child's next schedule run when that run comes up, so
+//! grants are tail-exact by construction (the gather analogue of the
+//! reduce tail-window clamp) and arrive on the credit delivery path, where
+//! they can never be head-of-line blocked by in-flight data. All nodes
+//! start in `Streaming` (grants gate data, not the open), and packets
+//! never straddle member-block boundaries, so interior forwarding is plain
+//! counting.
 
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 
 use smi_wire::{Deframer, Framer, NetworkPacket, PacketOp, SmiType};
 
+use crate::collectives::topology::{CollectiveScheme, Run, RunTarget, TreeShape};
 use crate::collectives::{expect_op, CollectivePoll, CollectiveState};
 use crate::comm::Communicator;
 use crate::endpoint::{CollIo, EndpointTableHandle};
-use crate::transport::executor::{block_on, BlockingStep};
+use crate::params::RuntimeParams;
+use crate::transport::executor::{block_on_deadline, BlockingStep};
 use crate::SmiError;
 
 /// A gather channel, as a poll-mode core with bulk `push_slice` /
@@ -24,18 +41,40 @@ use crate::SmiError;
 pub struct GatherChannel<T: SmiType> {
     /// Elements per member.
     count: u64,
-    my_world: u8,
+    num_members: usize,
+    my_wire: u8,
     port_wire: u8,
     root_world: usize,
     is_root: bool,
+    scheme: CollectiveScheme,
+    /// Members in communicator order (world ranks; linear root grants).
     members: Vec<usize>,
-    /// Leaf: whether the root's grant arrived.
+    /// Linear leaf: whether the root's grant arrived.
     granted: bool,
-    /// Root: communicator index currently granted (== popped / count).
+    /// Linear root: communicator index currently granted (== popped / count).
     grant_sent_for: Option<usize>,
+    /// Tree: world rank of the parent (None at the root).
+    parent: Option<usize>,
+    /// Tree: world ranks of the children.
+    children: Vec<usize>,
+    /// Tree: this node's merge schedule (subtree blocks in comm order).
+    schedule: Vec<Run>,
+    /// Tree: total elements of this node's subtree stream (fixed at open).
+    subtree_elems: u64,
+    run_idx: usize,
+    run_off: u64,
+    /// Tree: whether the current `Child` run's grant is staged.
+    run_granted: bool,
+    /// Tree non-root: elements this node may still emit upward.
+    upstream_credits: u64,
+    /// Tree non-root: elements emitted upward so far.
+    emitted: u64,
+    /// Tree non-root: a child packet received ahead of the upstream credit
+    /// window, parked until the parent's next grant arrives.
+    pending_fwd: Option<NetworkPacket>,
     pushed: u64,
     popped: u64,
-    /// Root's own contribution, buffered locally.
+    /// This member's own contribution, buffered locally.
     local: VecDeque<T>,
     state: CollectiveState,
     framer: Framer,
@@ -45,15 +84,14 @@ pub struct GatherChannel<T: SmiType> {
 }
 
 impl<T: SmiType> GatherChannel<T> {
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn open(
         table: EndpointTableHandle,
         comm: &Communicator,
         count: u64,
         port: usize,
         root: usize,
-        timeout: std::time::Duration,
-        max_burst: usize,
+        scheme: CollectiveScheme,
+        params: &RuntimeParams,
     ) -> Result<Self, SmiError> {
         let root_world = comm.world_rank(root)?;
         let my_world = comm.world_rank(comm.rank())?;
@@ -62,28 +100,45 @@ impl<T: SmiType> GatherChannel<T> {
             port,
             smi_codegen::OpKind::Gather,
             T::DATATYPE,
-            timeout,
-            max_burst,
+            params,
         )?;
+        let shape = TreeShape::new(scheme, comm.size(), root, comm.rank());
+        let (parent, children) = shape.resolve_world(comm)?;
+        let schedule = shape.schedule();
+        let subtree_elems = schedule.iter().map(|r| r.elems(count)).sum();
         let is_root = comm.rank() == root;
         let port_wire = smi_wire::header::port_to_wire(port)?;
         let my_wire = smi_wire::header::rank_to_wire(my_world)?;
+        let parent_wire = parent.unwrap_or(root_world);
         Ok(GatherChannel {
             count,
-            my_world: my_wire,
+            num_members: comm.size(),
+            my_wire,
             port_wire,
             root_world,
             is_root,
+            scheme,
             members: comm.world_ranks().to_vec(),
             granted: false,
             grant_sent_for: None,
+            parent,
+            children,
+            schedule,
+            subtree_elems,
+            run_idx: 0,
+            run_off: 0,
+            run_granted: false,
+            upstream_credits: 0,
+            emitted: 0,
+            pending_fwd: None,
             pushed: 0,
             popped: 0,
             local: VecDeque::new(),
             state: if count == 0 {
                 CollectiveState::Done
-            } else if is_root {
-                // The root opens ready; leaves wait for their serial grant.
+            } else if is_root || scheme == CollectiveScheme::Tree {
+                // The root opens ready. Under the tree scheme every node
+                // does: credits gate the data, not the open.
                 CollectiveState::Streaming
             } else {
                 CollectiveState::Opening
@@ -91,7 +146,7 @@ impl<T: SmiType> GatherChannel<T> {
             framer: Framer::new(
                 T::DATATYPE,
                 my_wire,
-                root_world as u8,
+                parent_wire as u8,
                 port_wire,
                 PacketOp::Gather,
             ),
@@ -101,11 +156,16 @@ impl<T: SmiType> GatherChannel<T> {
         })
     }
 
+    #[inline]
+    fn tree(&self) -> bool {
+        self.scheme == CollectiveScheme::Tree
+    }
+
     /// One non-blocking step: flush staged packets, absorb a pending grant
-    /// at a leaf, update the state.
+    /// at a linear leaf, run the tree merge duty, update the state.
     fn advance(&mut self) -> Result<bool, SmiError> {
-        let flushed = self.io.try_flush()?;
-        if !self.is_root && !self.granted {
+        let mut flushed = self.io.try_flush()?;
+        if !self.tree() && !self.is_root && !self.granted {
             if let Some(pkt) = self.io.try_recv_data()? {
                 expect_op(&pkt, PacketOp::Sync)?;
                 self.granted = true;
@@ -118,10 +178,19 @@ impl<T: SmiType> GatherChannel<T> {
                 }
             }
             CollectiveState::Streaming => {
-                let total = self.count * self.members.len() as u64;
-                let popped_all = !self.is_root || self.popped == total;
-                if self.pushed == self.count && popped_all && flushed && self.framer.pending() == 0
-                {
+                if self.tree() && !self.is_root {
+                    self.pump_up()?;
+                    flushed = self.io.try_flush()?;
+                }
+                let total = self.count * self.num_members as u64;
+                let done = if self.is_root {
+                    self.pushed == self.count && self.popped == total
+                } else if self.tree() {
+                    self.emitted == self.subtree_elems
+                } else {
+                    self.pushed == self.count
+                };
+                if done && flushed && self.framer.pending() == 0 {
                     self.state = CollectiveState::Done;
                 }
             }
@@ -130,16 +199,163 @@ impl<T: SmiType> GatherChannel<T> {
         Ok(flushed)
     }
 
-    /// Non-blocking bulk push of this member's contribution. Consumes as
-    /// many elements as the grant and transport capacity currently allow.
+    /// Absorb per-edge credit grants (tree non-root).
+    fn absorb_credits(&mut self) -> Result<(), SmiError> {
+        while let Some(pkt) = self.io.try_recv_credit()? {
+            expect_op(&pkt, PacketOp::Credit)?;
+            self.upstream_credits += pkt.control_arg() as u64;
+            if self.emitted + self.upstream_credits > self.subtree_elems {
+                return Err(SmiError::ProtocolViolation {
+                    detail: "gather credit over-grant past the subtree stream".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Stage the grant for the current `Child` run, once. The wire carries
+    /// a 32-bit credit argument, so a run beyond `u32::MAX` elements is
+    /// granted as multiple packets instead of silently truncating.
+    fn grant_current_run(&mut self, child: usize, run_elems: u64) -> Result<(), SmiError> {
+        if !self.run_granted {
+            let mut left = run_elems;
+            while left > 0 {
+                let chunk = left.min(u32::MAX as u64);
+                let pkt = NetworkPacket::control(
+                    self.my_wire,
+                    self.children[child] as u8,
+                    self.port_wire,
+                    PacketOp::Credit,
+                    chunk as u32,
+                );
+                self.io.stage(pkt);
+                left -= chunk;
+            }
+            self.run_granted = true;
+            self.io.try_flush()?;
+        }
+        Ok(())
+    }
+
+    /// Tree non-root merge duty: emit this node's subtree stream to its
+    /// parent in schedule order — own elements framed from the local
+    /// buffer, child runs granted on demand and forwarded at packet
+    /// granularity — bounded by the upstream credit window.
+    fn pump_up(&mut self) -> Result<(), SmiError> {
+        self.absorb_credits()?;
+        while self.run_idx < self.schedule.len() {
+            if self.io.stage_full() && !self.io.try_flush()? {
+                break;
+            }
+            let run = self.schedule[self.run_idx];
+            let run_elems = run.elems(self.count);
+            match run.target {
+                RunTarget::Own => {
+                    if self.upstream_credits == 0 || self.local.is_empty() {
+                        self.absorb_credits()?;
+                        if self.upstream_credits == 0 || self.local.is_empty() {
+                            break;
+                        }
+                    }
+                    let mut moved = false;
+                    while self.run_off < run_elems && self.upstream_credits > 0 {
+                        if self.io.stage_full() && !self.io.try_flush()? {
+                            break;
+                        }
+                        let v = match self.local.pop_front() {
+                            Some(v) => v,
+                            None => break,
+                        };
+                        let pkt = self.framer.push(&v);
+                        self.run_off += 1;
+                        self.emitted += 1;
+                        self.upstream_credits -= 1;
+                        moved = true;
+                        // Flush at member-block boundaries so packets never
+                        // straddle blocks anywhere up the tree.
+                        let maybe = if self.emitted.is_multiple_of(self.count)
+                            || self.emitted == self.subtree_elems
+                        {
+                            pkt.or_else(|| self.framer.flush())
+                        } else {
+                            pkt
+                        };
+                        if let Some(p) = maybe {
+                            self.io.stage(p);
+                        }
+                    }
+                    if !moved {
+                        break;
+                    }
+                }
+                RunTarget::Child(c) => {
+                    self.grant_current_run(c, run_elems)?;
+                    let pkt = match self.pending_fwd.take() {
+                        Some(pkt) => pkt,
+                        None => match self.io.try_recv_data()? {
+                            Some(pkt) => pkt,
+                            None => break,
+                        },
+                    };
+                    expect_op(&pkt, PacketOp::Gather)?;
+                    if pkt.header.src as usize != self.children[c] {
+                        return Err(SmiError::ProtocolViolation {
+                            detail: format!(
+                                "gather order violated: data from {} while merging child {}",
+                                pkt.header.src, self.children[c]
+                            ),
+                        });
+                    }
+                    let k = pkt.header.count as u64;
+                    if self.run_off + k > run_elems {
+                        return Err(SmiError::ProtocolViolation {
+                            detail: "gather packet straddles a block-schedule run".into(),
+                        });
+                    }
+                    if self.upstream_credits < k {
+                        self.absorb_credits()?;
+                    }
+                    if self.upstream_credits < k {
+                        // The child was granted its run independent of our
+                        // own upstream window (prefetch); park the packet
+                        // until the parent's next grant arrives.
+                        self.pending_fwd = Some(pkt);
+                        break;
+                    }
+                    let mut copy = pkt;
+                    copy.header.src = self.my_wire;
+                    copy.header.dst = self.parent.expect("non-root has a parent") as u8;
+                    self.io.stage(copy);
+                    self.run_off += k;
+                    self.emitted += k;
+                    self.upstream_credits -= k;
+                }
+            }
+            if self.run_off == run_elems {
+                self.run_idx += 1;
+                self.run_off = 0;
+                self.run_granted = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Non-blocking bulk push of this member's contribution.
+    ///
+    /// Under the linear scheme a leaf consumes as many elements as the
+    /// grant and transport capacity currently allow. Under the tree scheme
+    /// (and at the root under either scheme) the contribution is buffered
+    /// locally — bounded by `count` — and drained by the merge duty as
+    /// grants arrive.
     pub fn try_push_slice(&mut self, values: &[T]) -> Result<usize, SmiError> {
         if values.len() as u64 > self.count - self.pushed {
             return Err(SmiError::CountExceeded { count: self.count });
         }
-        if self.is_root {
-            // Own contribution: buffered locally, no grant needed.
+        if self.is_root || self.tree() {
+            // Own contribution: buffered locally, merged on schedule.
             self.local.extend(values.iter().copied());
             self.pushed += values.len() as u64;
+            self.advance()?;
             return Ok(values.len());
         }
         if !self.advance()? {
@@ -171,19 +387,29 @@ impl<T: SmiType> GatherChannel<T> {
     }
 
     /// Bulk push, blocking until the whole contribution slice was accepted.
+    /// A call that completes this member's whole contribution additionally
+    /// drives a tree-scheme channel to `Done` — a tree node keeps merging
+    /// and forwarding its children's streams after its own contribution is
+    /// buffered, and returning earlier would strand the subtree when the
+    /// caller drops the channel.
     pub fn push_slice(&mut self, values: &[T]) -> Result<(), SmiError> {
         if values.len() as u64 > self.count - self.pushed {
             return Err(SmiError::CountExceeded { count: self.count });
         }
         let timeout = self.io.timeout();
+        let overall = self.io.call_deadline();
         let mut off = 0usize;
-        block_on(timeout, "gather grant", || {
+        block_on_deadline(timeout, overall, "gather grant", || {
+            let emitted_before = self.emitted;
             let moved = self.try_push_slice(&values[off..])?;
             off += moved;
             if off == values.len() && self.io.try_flush()? {
-                return Ok(BlockingStep::Ready(()));
+                let drains = self.tree() && !self.is_root && self.pushed == self.count;
+                if !drains || self.poll()? == CollectiveState::Done {
+                    return Ok(BlockingStep::Ready(()));
+                }
             }
-            Ok(if moved > 0 {
+            Ok(if moved > 0 || self.emitted > emitted_before {
                 BlockingStep::Progress
             } else {
                 BlockingStep::Pending
@@ -197,19 +423,29 @@ impl<T: SmiType> GatherChannel<T> {
     }
 
     /// Non-blocking bulk pop (root only): drain whatever of the gathered
-    /// `count × N` stream is available, granting sources serially as their
-    /// slices come up. Returns how many elements were written.
+    /// `count × N` stream is available, granting sources as their slices
+    /// come up. Returns how many elements were written.
     pub fn try_pop_slice(&mut self, out: &mut [T]) -> Result<usize, SmiError> {
         if !self.is_root {
             return Err(SmiError::ProtocolViolation {
                 detail: "gather pop on a non-root rank".into(),
             });
         }
-        let total = self.count * self.members.len() as u64;
+        let total = self.count * self.num_members as u64;
         if out.len() as u64 > total - self.popped {
             return Err(SmiError::CountExceeded { count: total });
         }
         self.advance()?;
+        if self.tree() {
+            self.try_pop_slice_tree(out)
+        } else {
+            self.try_pop_slice_linear(out)
+        }
+    }
+
+    /// Linear root: serialized `Sync` grants, one member at a time.
+    fn try_pop_slice_linear(&mut self, out: &mut [T]) -> Result<usize, SmiError> {
+        let total = self.count * self.num_members as u64;
         let mut filled = 0usize;
         while filled < out.len() {
             let src_idx = (self.popped / self.count) as usize;
@@ -232,7 +468,7 @@ impl<T: SmiType> GatherChannel<T> {
             // source (the packet is staged; a full FIFO retries on poll).
             if self.grant_sent_for != Some(src_idx) {
                 let grant = NetworkPacket::control(
-                    self.my_world,
+                    self.my_wire,
                     src_world as u8,
                     self.port_wire,
                     PacketOp::Sync,
@@ -270,13 +506,78 @@ impl<T: SmiType> GatherChannel<T> {
         Ok(filled)
     }
 
+    /// Tree root: walk the merge schedule, granting each child run with an
+    /// element-exact `Credit` as it comes up.
+    fn try_pop_slice_tree(&mut self, out: &mut [T]) -> Result<usize, SmiError> {
+        let total = self.count * self.num_members as u64;
+        let mut filled = 0usize;
+        while filled < out.len() && self.run_idx < self.schedule.len() {
+            let run = self.schedule[self.run_idx];
+            let run_elems = run.elems(self.count);
+            match run.target {
+                RunTarget::Own => {
+                    let left = (run_elems - self.run_off) as usize;
+                    let take = left.min(out.len() - filled).min(self.local.len());
+                    if take == 0 {
+                        break;
+                    }
+                    for slot in out[filled..filled + take].iter_mut() {
+                        *slot = self.local.pop_front().expect("sized above");
+                    }
+                    filled += take;
+                    self.popped += take as u64;
+                    self.run_off += take as u64;
+                }
+                RunTarget::Child(c) => {
+                    self.grant_current_run(c, run_elems)?;
+                    if self.deframer.is_empty() {
+                        match self.io.try_recv_data()? {
+                            Some(pkt) => {
+                                expect_op(&pkt, PacketOp::Gather)?;
+                                if pkt.header.src as usize != self.children[c] {
+                                    return Err(SmiError::ProtocolViolation {
+                                        detail: format!(
+                                            "gather order violated: data from {} while merging \
+                                             child {}",
+                                            pkt.header.src, self.children[c]
+                                        ),
+                                    });
+                                }
+                                self.deframer.refill(pkt);
+                            }
+                            None => break,
+                        }
+                    }
+                    let cap = ((run_elems - self.run_off) as usize).min(out.len() - filled);
+                    let n = self.deframer.pop_slice(&mut out[filled..filled + cap]);
+                    if n == 0 {
+                        break;
+                    }
+                    filled += n;
+                    self.popped += n as u64;
+                    self.run_off += n as u64;
+                }
+            }
+            if self.run_off == run_elems {
+                self.run_idx += 1;
+                self.run_off = 0;
+                self.run_granted = false;
+            }
+        }
+        if self.popped == total {
+            self.advance()?;
+        }
+        Ok(filled)
+    }
+
     /// Bulk pop (root only), blocking until `out` is filled. The root's own
     /// slice must already have been pushed when its turn comes up (nothing
     /// else can supply it), so a shortfall there is a protocol violation.
     pub fn pop_slice(&mut self, out: &mut [T]) -> Result<(), SmiError> {
         let timeout = self.io.timeout();
+        let overall = self.io.call_deadline();
         let mut off = 0usize;
-        block_on(timeout, "gather data", || {
+        block_on_deadline(timeout, overall, "gather data", || {
             let moved = self.try_pop_slice(&mut out[off..])?;
             off += moved;
             if off == out.len() {
@@ -287,8 +588,14 @@ impl<T: SmiType> GatherChannel<T> {
             }
             // Stalled: distinguish "waiting for the network" from "waiting
             // for our own unpushed contribution", which can never arrive.
-            let src_idx = (self.popped / self.count) as usize;
-            if self.members[src_idx] == self.root_world && self.local.is_empty() {
+            let own_up = if self.tree() {
+                self.run_idx < self.schedule.len()
+                    && self.schedule[self.run_idx].target == RunTarget::Own
+            } else {
+                let src_idx = (self.popped / self.count) as usize;
+                self.members[src_idx] == self.root_world
+            };
+            if own_up && self.local.is_empty() && self.pushed < self.count {
                 return Err(SmiError::ProtocolViolation {
                     detail: "gather pop before the root pushed its own contribution".into(),
                 });

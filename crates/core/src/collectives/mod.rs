@@ -22,7 +22,7 @@
 //! The paper-shaped blocking methods (`bcast`, `reduce`, `push`, `pop` and
 //! the `*_slice` bulk forms) are thin wrappers that spin the core with the
 //! runtime's `blocking_timeout`
-//! ([`crate::transport::executor::block_on`]); the blocking `open_*` context
+//! (`block_on_deadline`); the blocking `open_*` context
 //! methods likewise spin the open handshake, preserving the §3.3 rendezvous
 //! semantics on the thread plane.
 //!
@@ -33,18 +33,54 @@
 //! `push_slice`/`pop_slice`), framing directly into packet bursts via
 //! `Framer::push_slice`/`Deframer::pop_slice`. The broadcast root fans a
 //! window of packets out grouped per destination (long same-route runs for
-//! the CKS), and the reduce root coalesces credit grants per completed
-//! window into one `Credit` packet per member.
+//! the CKS), and reduce combiners coalesce credit grants per completed
+//! window into one `Credit` packet per contributor, clamped to the message
+//! tail.
+//!
+//! ## Routing schemes: linear vs. tree
+//!
+//! Every collective supports two [`CollectiveScheme`]s, selected through
+//! [`crate::RuntimeParams::collective_scheme`] (or per open via the
+//! `open_*_channel_poll_with_scheme` context methods — the scheme must be
+//! uniform across all members of one collective):
+//!
+//! * **Linear** (default) — the paper's root-centric shape: every element
+//!   moves directly between the root and each member. Internally this is
+//!   the *star tree* (the root parents everyone), which keeps the wire
+//!   protocol bit-identical to the pre-tree implementation; it remains the
+//!   regression baseline and wins on latency at small rank counts, where
+//!   an extra store-and-forward hop costs more than root serialization.
+//! * **Tree** — a binomial tree over virtual ranks
+//!   ([`topology`]): the parent of virtual rank `v` is `v` with its lowest
+//!   set bit cleared, derived deterministically from
+//!   `(root, rank, num_ranks)` with **no extra handshake rounds** — the
+//!   same `Opening → Streaming → Done` protocol runs along tree edges
+//!   instead of root spokes. Non-root members become interior
+//!   *forwarders* (bcast/scatter re-frame received windows to their
+//!   children, grouped per child for long same-route CKS runs) or
+//!   *combiners* (reduce folds child contributions into the credit-window
+//!   ring before forwarding partial aggregates upward; gather merges child
+//!   subtree streams in deterministic block-schedule order under per-edge,
+//!   element-exact credit grants). The root then touches `O(log N)`
+//!   streams instead of `N − 1`, which is what keeps task-plane
+//!   bcast/reduce throughput from collapsing past ~16 ranks.
+//!
+//! The lowest-bit binomial orientation makes every subtree a contiguous
+//! virtual-rank range, so scatter/gather route whole `count`-element member
+//! blocks through interior nodes by counting alone — packets never straddle
+//! block boundaries and carry no extra routing metadata.
 
 mod bcast;
 mod gather;
 mod reduce;
 mod scatter;
+pub mod topology;
 
 pub use bcast::BcastChannel;
 pub use gather::GatherChannel;
 pub use reduce::ReduceChannel;
 pub use scatter::ScatterChannel;
+pub use topology::CollectiveScheme;
 
 use smi_wire::{NetworkPacket, PacketOp};
 

@@ -4,10 +4,12 @@
 use smi_wire::reduce::SmiNumeric;
 use smi_wire::{Deframer, NetworkPacket, PacketOp, ReduceOp};
 
+use crate::collectives::topology::{CollectiveScheme, TreeShape};
 use crate::collectives::{expect_op, CollectivePoll, CollectiveState};
 use crate::comm::Communicator;
-use crate::endpoint::{CollIo, EndpointTableHandle};
-use crate::transport::executor::{block_on, BlockingStep};
+use crate::endpoint::{CollIo, CreditLedger, EndpointTableHandle};
+use crate::params::RuntimeParams;
+use crate::transport::executor::{block_on_deadline, BlockingStep};
 use crate::SmiError;
 
 /// A reduce channel (`SMI_RChannel`). Every member contributes `count`
@@ -15,100 +17,112 @@ use crate::SmiError;
 /// paper's `data_rcv` that is "produced to the root rank".
 ///
 /// Reduce needs no open handshake (the first credit window is implicitly
-/// granted), so the poll-mode core starts in `Streaming`. Leaves frame
-/// contributions within the granted window and stage packet bursts; the
-/// root folds its own and the network's contributions into a `C`-slot ring
-/// window and emits coalesced credit grants — one `Credit` packet per
-/// member covering every window completed since the last grant.
+/// granted), so the poll-mode core starts in `Streaming`.
+///
+/// Both [`CollectiveScheme`]s share one code path, parameterized by the
+/// shape's parent/children relations:
+///
+/// * a **leaf** (no children) frames contributions within its granted
+///   window and stages packet bursts toward its parent — in the linear
+///   scheme that parent is the root, preserving the pre-tree protocol;
+/// * a **combiner** (any node with children: the linear/tree root, or a
+///   tree interior node) folds its own and its children's contributions
+///   into a `C`-slot ring window, emits each completed element — to the
+///   caller at the root, or framed upward within the *upstream* credit
+///   window at an interior node — and grants its children coalesced,
+///   tail-clamped credits (`CreditLedger`) at window boundaries.
 pub struct ReduceChannel<T: SmiNumeric> {
     count: u64,
     port_wire: u8,
     op: ReduceOp,
-    my_world: u8,
+    my_wire: u8,
     is_root: bool,
-    /// Root: ring window of `credits_window` accumulation slots.
+    /// World rank of the tree parent (None at the root).
+    parent: Option<usize>,
+    /// World ranks of the direct contributors (linear root: every other
+    /// member; tree: the binomial children; leaf: empty).
+    children: Vec<usize>,
+    /// Combiner: ring window of `credits_window` accumulation slots.
     window: Vec<T>,
-    /// Root: per-member element progress (communicator order).
+    /// Combiner: per-contributor element progress — slot 0 is the own
+    /// stream, slot `1 + i` is `children[i]`.
     progress: Vec<u64>,
-    /// Root: world-rank → communicator index lookup.
-    member_index: Vec<Option<usize>>,
-    /// Root: results returned to the caller so far. Leaf: elements sent.
+    /// World rank → contributor slot (1-based; children only).
+    contrib_slot: Vec<Option<usize>>,
+    /// Elements completed at this node: results returned to the caller
+    /// (root), elements framed upward (interior), contributions consumed
+    /// (leaf).
     done: u64,
     /// Credit window size `C`.
     credits_window: u64,
-    /// Leaf: remaining credits. Root: total credits granted per member.
+    /// Non-root: remaining upstream credits (elements this node may still
+    /// emit toward its parent).
     credits: u64,
-    /// Root: credits accrued from completed windows, not yet staged.
-    pending_grant: u64,
-    my_comm_index: usize,
-    others_world: Vec<usize>,
+    /// Combiner: downstream grant accounting, tail-clamped.
+    ledger: CreditLedger,
     framer: smi_wire::Framer,
     state: CollectiveState,
     io: CollIo,
 }
 
 impl<T: SmiNumeric> ReduceChannel<T> {
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn open(
         table: EndpointTableHandle,
         comm: &Communicator,
         count: u64,
         port: usize,
         root: usize,
-        credits_window: u64,
-        timeout: std::time::Duration,
-        max_burst: usize,
+        scheme: CollectiveScheme,
+        params: &RuntimeParams,
     ) -> Result<Self, SmiError> {
+        let credits_window = params.reduce_credits;
         assert!(credits_window >= 1, "reduce needs at least one credit");
-        let root_world = comm.world_rank(root)?;
         let my_world = comm.world_rank(comm.rank())?;
         let io = CollIo::open(
             table,
             port,
             smi_codegen::OpKind::Reduce,
             T::DATATYPE,
-            timeout,
-            max_burst,
+            params,
         )?;
         let op = io.reduce_op().expect("reduce binding carries an operator");
+        let shape = TreeShape::new(scheme, comm.size(), root, comm.rank());
+        let (parent_world, children) = shape.resolve_world(comm)?;
         let is_root = comm.rank() == root;
-        let n = comm.size();
-        let mut member_index = vec![None; smi_wire::MAX_RANKS];
-        for (i, &w) in comm.world_ranks().iter().enumerate() {
-            member_index[w] = Some(i);
+        let mut contrib_slot = vec![None; smi_wire::MAX_RANKS];
+        for (i, &w) in children.iter().enumerate() {
+            contrib_slot[w] = Some(1 + i);
         }
-        let others_world: Vec<usize> = comm
-            .world_ranks()
-            .iter()
-            .copied()
-            .filter(|&w| w != root_world)
-            .collect();
         let port_wire = smi_wire::header::port_to_wire(port)?;
         let my_wire = smi_wire::header::rank_to_wire(my_world)?;
+        let parent_wire = parent_world.unwrap_or(my_world);
         let ident = identity_of::<T>(op);
+        // The root always runs the windowed combiner path, even for a
+        // single-member communicator with no children.
+        let is_combiner = is_root || !children.is_empty();
         Ok(ReduceChannel {
             count,
             port_wire,
             op,
-            my_world: my_wire,
+            my_wire,
             is_root,
-            window: if is_root {
+            parent: parent_world,
+            window: if is_combiner {
                 vec![ident; credits_window as usize]
             } else {
                 Vec::new()
             },
-            progress: vec![0; n],
-            member_index,
+            progress: vec![0; 1 + children.len()],
+            contrib_slot,
+            children,
             done: 0,
             credits_window,
             credits: credits_window,
-            pending_grant: 0,
-            my_comm_index: comm.rank(),
-            others_world,
+            ledger: CreditLedger::new(credits_window, count),
             framer: smi_wire::Framer::new(
                 T::DATATYPE,
                 my_wire,
-                root_world as u8,
+                parent_wire as u8,
                 port_wire,
                 PacketOp::Reduce,
             ),
@@ -121,9 +135,20 @@ impl<T: SmiNumeric> ReduceChannel<T> {
         })
     }
 
-    /// One non-blocking step: retry staged packets and update the state.
+    /// Interior combiner: folds children *and* forwards upward.
+    #[inline]
+    fn is_interior(&self) -> bool {
+        self.parent.is_some() && !self.children.is_empty()
+    }
+
+    /// One non-blocking step: retry staged packets, run the interior
+    /// combine-and-forward duty, and update the state.
     fn advance(&mut self) -> Result<bool, SmiError> {
-        let flushed = self.io.try_flush()?;
+        let mut flushed = self.io.try_flush()?;
+        if self.is_interior() && self.state == CollectiveState::Streaming {
+            self.pump_interior()?;
+            flushed = self.io.try_flush()?;
+        }
         if self.state == CollectiveState::Streaming
             && self.done == self.count
             && flushed
@@ -139,20 +164,34 @@ impl<T: SmiNumeric> ReduceChannel<T> {
     /// `snd` and `out` are parallel views of the *remaining* message: `snd`
     /// holds this member's next contributions, and (at the root) `out`
     /// receives the corresponding reduced results. Returns how many
-    /// elements completed this call — contributions accepted at a leaf,
-    /// results written at the root — and the caller advances both slices by
-    /// that amount. At the root, `out` must be at least as long as `snd`
-    /// (the root may internally fold contributions ahead of the completed
-    /// results, bounded by the credit window; the cursor is kept across
-    /// calls).
+    /// elements completed this call — contributions accepted at a non-root
+    /// member, results written at the root — and the caller advances both
+    /// slices by that amount. At the root, `out` must be at least as long
+    /// as `snd` (the root may internally fold contributions ahead of the
+    /// completed results, bounded by the credit window; the cursor is kept
+    /// across calls).
     pub fn try_reduce_slice(&mut self, snd: &[T], out: &mut [T]) -> Result<usize, SmiError> {
-        if snd.len() as u64 > self.count - self.done {
+        if snd.len() as u64 > self.count - self.consumed() {
             return Err(SmiError::CountExceeded { count: self.count });
         }
         if self.is_root {
             self.try_reduce_root(snd, out)
+        } else if self.is_interior() {
+            self.try_reduce_interior(snd)
         } else {
             self.try_reduce_leaf(snd)
+        }
+    }
+
+    /// How far the caller-facing cursor has advanced — results at the
+    /// root, own contributions elsewhere. This is what bounds further
+    /// `snd` slices (the root's own-fold cursor may run ahead of the
+    /// results by up to a window, but the caller's slices track results).
+    fn consumed(&self) -> u64 {
+        if self.is_interior() {
+            self.progress[0]
+        } else {
+            self.done
         }
     }
 
@@ -191,13 +230,68 @@ impl<T: SmiNumeric> ReduceChannel<T> {
         Ok(consumed)
     }
 
-    /// Absorb any credit grants already delivered, without blocking.
+    /// Absorb any credit grants already delivered, without blocking. A
+    /// grant pushing the total allowance past the message tail is a
+    /// protocol violation (a correct granter clamps the last window — see
+    /// `CreditLedger`).
     fn absorb_credits(&mut self) -> Result<(), SmiError> {
         while let Some(pkt) = self.io.try_recv_credit()? {
             expect_op(&pkt, PacketOp::Credit)?;
             self.credits += pkt.control_arg() as u64;
+            if self.done + self.credits > self.count.max(self.credits_window) {
+                return Err(SmiError::ProtocolViolation {
+                    detail: format!(
+                        "reduce credit over-grant: {} done + {} credits exceeds count {}",
+                        self.done, self.credits, self.count
+                    ),
+                });
+            }
         }
         Ok(())
+    }
+
+    /// Fold network contributions into the ring window (combiner nodes).
+    fn fold_network(&mut self) -> Result<(), SmiError> {
+        let c = self.credits_window;
+        while let Some(pkt) = self.io.try_recv_data()? {
+            expect_op(&pkt, PacketOp::Reduce)?;
+            let src = pkt.header.src as usize;
+            let slot = self.contrib_slot[src].ok_or_else(|| SmiError::ProtocolViolation {
+                detail: format!("reduce contribution from unexpected world rank {src}"),
+            })?;
+            let mut df = Deframer::new(T::DATATYPE);
+            df.refill(pkt);
+            while let Some(v) = df.pop::<T>() {
+                let at = self.progress[slot];
+                debug_assert!(at < self.ledger.granted(), "credit window violated");
+                let s = (at % c) as usize;
+                self.window[s] = self.op.apply(self.window[s], v);
+                self.progress[slot] = at + 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Stage coalesced, tail-clamped credit grants accrued since the last
+    /// staging — one `Credit` packet per child (§4.4). The wire carries a
+    /// 32-bit credit argument, so a coalesced grant beyond `u32::MAX` is
+    /// split into multiple packets instead of silently truncating.
+    fn stage_grants(&mut self, grant: u64) {
+        let mut left = grant;
+        while left > 0 {
+            let chunk = left.min(u32::MAX as u64);
+            for &dst in &self.children {
+                let pkt = NetworkPacket::control(
+                    self.my_wire,
+                    dst as u8,
+                    self.port_wire,
+                    PacketOp::Credit,
+                    chunk as u32,
+                );
+                self.io.stage(pkt);
+            }
+            left -= chunk;
+        }
     }
 
     fn try_reduce_root(&mut self, snd: &[T], out: &mut [T]) -> Result<usize, SmiError> {
@@ -206,34 +300,19 @@ impl<T: SmiNumeric> ReduceChannel<T> {
         let n = snd.len().min(out.len());
         let c = self.credits_window;
         // Fold own contributions, up to a window ahead of completed results
-        // (the cursor `progress[my]` survives across calls, so re-passed
+        // (the cursor `progress[0]` survives across calls, so re-passed
         // elements are never folded twice).
-        let my = self.my_comm_index;
-        while self.progress[my] < base + c && self.progress[my] - base < n as u64 {
-            let idx = (self.progress[my] - base) as usize;
-            let slot = (self.progress[my] % c) as usize;
+        while self.progress[0] < base + c && self.progress[0] - base < n as u64 {
+            let idx = (self.progress[0] - base) as usize;
+            let slot = (self.progress[0] % c) as usize;
             self.window[slot] = self.op.apply(self.window[slot], snd[idx]);
-            self.progress[my] += 1;
+            self.progress[0] += 1;
         }
         // Drain network contributions (bounded by the credit window).
-        while let Some(pkt) = self.io.try_recv_data()? {
-            expect_op(&pkt, PacketOp::Reduce)?;
-            let src = pkt.header.src as usize;
-            let idx = self.member_index[src].ok_or_else(|| SmiError::ProtocolViolation {
-                detail: format!("reduce contribution from non-member world rank {src}"),
-            })?;
-            let mut df = Deframer::new(T::DATATYPE);
-            df.refill(pkt);
-            while let Some(v) = df.pop::<T>() {
-                let at = self.progress[idx];
-                debug_assert!(at < self.credits, "credit window violated");
-                let s = (at % c) as usize;
-                self.window[s] = self.op.apply(self.window[s], v);
-                self.progress[idx] = at + 1;
-            }
-        }
-        // Emit every element that is now complete at all members.
+        self.fold_network()?;
+        // Emit every element that is now complete at all contributors.
         let mut completed = 0usize;
+        let mut pending_grant = 0u64;
         loop {
             let i = self.done;
             if (i - base) as usize >= n || self.progress.iter().any(|&p| p <= i) {
@@ -246,38 +325,83 @@ impl<T: SmiNumeric> ReduceChannel<T> {
             self.window[slot] = identity_of::<T>(self.op);
             self.done = i + 1;
             completed += 1;
-            if self.done.is_multiple_of(c) && self.done < self.count {
-                // Window boundary: coalesce the grant (§4.4), staged below.
-                self.pending_grant += c;
-            }
+            // Window boundary: coalesce the grant (§4.4), clamped to the
+            // message tail by the ledger, staged below.
+            pending_grant += self.ledger.window_grant(self.done);
         }
-        if self.pending_grant > 0 && !self.others_world.is_empty() {
-            let grant = self.pending_grant;
-            for &dst in &self.others_world {
-                let pkt = NetworkPacket::control(
-                    self.my_world,
-                    dst as u8,
-                    self.port_wire,
-                    PacketOp::Credit,
-                    grant as u32,
-                );
-                self.io.stage(pkt);
-            }
-            self.credits += grant;
-            self.pending_grant = 0;
-        } else if self.pending_grant > 0 {
-            self.credits += self.pending_grant;
-            self.pending_grant = 0;
-        }
+        self.stage_grants(pending_grant);
         self.advance()?;
         Ok(completed)
     }
 
+    /// Interior node, own-contribution side: fold `snd` into the window up
+    /// to one credit window ahead of the emitted stream.
+    fn try_reduce_interior(&mut self, snd: &[T]) -> Result<usize, SmiError> {
+        self.advance()?; // runs the combine-and-forward pump
+        let c = self.credits_window;
+        let mut consumed = 0usize;
+        while consumed < snd.len() && self.progress[0] < self.done + c {
+            let slot = (self.progress[0] % c) as usize;
+            self.window[slot] = self.op.apply(self.window[slot], snd[consumed]);
+            self.progress[0] += 1;
+            consumed += 1;
+        }
+        if consumed > 0 {
+            self.advance()?;
+        }
+        Ok(consumed)
+    }
+
+    /// Interior combine-and-forward duty (runs on every poll): absorb
+    /// upstream credits, fold children, emit completed elements toward the
+    /// parent within the upstream window, and grant children at window
+    /// boundaries.
+    fn pump_interior(&mut self) -> Result<(), SmiError> {
+        self.absorb_credits()?;
+        self.fold_network()?;
+        let c = self.credits_window;
+        let mut pending_grant = 0u64;
+        while self.done < self.count {
+            let i = self.done;
+            if self.progress.iter().any(|&p| p <= i) || self.credits == 0 {
+                break;
+            }
+            if self.io.stage_full() && !self.io.try_flush()? {
+                break;
+            }
+            let slot = (i % c) as usize;
+            let v = self.window[slot];
+            self.window[slot] = identity_of::<T>(self.op);
+            let pkt = self.framer.push(&v);
+            self.done = i + 1;
+            self.credits -= 1;
+            // Flush at credit-window and message boundaries: upstream
+            // grants are window-aligned, so a packet never straddles the
+            // parent's window tile.
+            let maybe = if self.credits == 0 || self.done == self.count {
+                pkt.or_else(|| self.framer.flush())
+            } else {
+                pkt
+            };
+            if let Some(p) = maybe {
+                self.io.stage(p);
+            }
+            pending_grant += self.ledger.window_grant(self.done);
+        }
+        self.stage_grants(pending_grant);
+        Ok(())
+    }
+
     /// Bulk `SMI_Reduce`, blocking until every element of `snd` completed.
     /// At the root, `out` must be the same length as `snd` and receives the
-    /// reduced stream; elsewhere `out` is ignored (may be empty).
+    /// reduced stream; elsewhere `out` is ignored (may be empty). A call
+    /// that completes this member's whole contribution additionally drives
+    /// the channel to `Done` — an interior combiner keeps folding and
+    /// forwarding its children's streams after its own contribution is
+    /// consumed, and returning earlier would strand the subtree when the
+    /// caller drops the channel.
     pub fn reduce_slice(&mut self, snd: &[T], out: &mut [T]) -> Result<(), SmiError> {
-        if snd.len() as u64 > self.count - self.done {
+        if snd.len() as u64 > self.count - self.consumed() {
             return Err(SmiError::CountExceeded { count: self.count });
         }
         if self.is_root && out.len() < snd.len() {
@@ -286,19 +410,25 @@ impl<T: SmiNumeric> ReduceChannel<T> {
             });
         }
         let timeout = self.io.timeout();
-        let is_root = self.is_root;
+        let overall = self.io.call_deadline();
         let mut off = 0usize;
-        block_on(timeout, "reduce progress", || {
-            let moved = if is_root {
+        block_on_deadline(timeout, overall, "reduce progress", || {
+            let done_before = self.done;
+            let moved = if self.is_root {
                 self.try_reduce_root(&snd[off..], &mut out[off..])?
+            } else if self.is_interior() {
+                self.try_reduce_interior(&snd[off..])?
             } else {
                 self.try_reduce_leaf(&snd[off..])?
             };
             off += moved;
             if off == snd.len() && self.io.try_flush()? {
-                return Ok(BlockingStep::Ready(()));
+                let full = self.consumed() == self.count;
+                if !full || self.poll()? == CollectiveState::Done {
+                    return Ok(BlockingStep::Ready(()));
+                }
             }
-            Ok(if moved > 0 {
+            Ok(if moved > 0 || self.done > done_before {
                 BlockingStep::Progress
             } else {
                 BlockingStep::Pending
@@ -315,9 +445,9 @@ impl<T: SmiNumeric> ReduceChannel<T> {
         Ok(if self.is_root { Some(out[0]) } else { None })
     }
 
-    /// Elements reduced (root) or contributed (leaf) so far.
+    /// Elements reduced (root) or contributed (non-root) so far.
     pub fn progressed(&self) -> u64 {
-        self.done
+        self.consumed()
     }
 }
 

@@ -2,18 +2,31 @@
 //!
 //! The root pushes `count × N` elements in communicator order; every member
 //! (including the root) pops its `count`-element slice. Non-root slices are
-//! only streamed once that member's ready-`Sync` arrived (§3.3); readiness
-//! is absorbed non-blockingly per member, so the core never parks a thread.
+//! only streamed once readiness arrived (§3.3); readiness is absorbed
+//! non-blockingly, so the core never parks a thread.
+//!
+//! Both [`CollectiveScheme`]s run through one code path driven by the
+//! shape's deterministic block `schedule`: `Linear`
+//! is the star tree (the root streams every member's block directly, gated
+//! on that member's ready-`Sync` — the paper's shape, wire-identical to the
+//! pre-tree protocol). Under `Tree`, a member announces readiness to its
+//! *parent* only after its whole subtree announced, and interior nodes
+//! split the arriving block stream per their schedule: their own block is
+//! delivered locally, every other block is re-addressed to the child whose
+//! subtree owns it — packets never straddle block boundaries (the root
+//! flushes its framer at every block), so forwarding is plain counting.
 
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 
 use smi_wire::{Deframer, Framer, NetworkPacket, PacketOp, SmiType};
 
+use crate::collectives::topology::{CollectiveScheme, Run, RunTarget, TreeShape};
 use crate::collectives::{expect_op, CollectivePoll, CollectiveState};
 use crate::comm::Communicator;
 use crate::endpoint::{CollIo, EndpointTableHandle};
-use crate::transport::executor::{block_on, BlockingStep};
+use crate::params::RuntimeParams;
+use crate::transport::executor::{block_on_deadline, BlockingStep};
 use crate::SmiError;
 
 /// A scatter channel, as a poll-mode core with bulk `push_slice` /
@@ -21,18 +34,37 @@ use crate::SmiError;
 pub struct ScatterChannel<T: SmiType> {
     /// Elements per member.
     count: u64,
-    root_world: usize,
+    num_members: usize,
     is_root: bool,
-    /// Members in communicator order (world ranks).
-    members: Vec<usize>,
-    /// Root: readiness per communicator index.
-    ready: Vec<bool>,
+    my_wire: u8,
+    port_wire: u8,
+    /// World rank of the tree parent (None at the root).
+    parent: Option<usize>,
+    /// World ranks of the direct downstream targets.
+    children: Vec<usize>,
+    /// Readiness per child (root: gates streaming; interior: gates the own
+    /// announcement).
+    child_ready: Vec<bool>,
+    ready: usize,
+    sync_staged: bool,
+    /// This node's block schedule: the root's consumption order, or an
+    /// interior node's arrival order.
+    schedule: Vec<Run>,
+    /// Total elements this node routes (its whole subtree; fixed at open).
+    subtree_elems: u64,
+    run_idx: usize,
+    /// Elements consumed of the current run.
+    run_off: u64,
     /// Root: pushed elements so far (0..count*N).
     pushed: u64,
+    /// Interior: elements routed (delivered locally or forwarded) so far.
+    routed: u64,
     /// Popped elements so far (0..count).
     popped: u64,
     /// Root's own slice, buffered locally.
     local: VecDeque<T>,
+    /// Interior: own-block packets pending local deframing.
+    inbox: VecDeque<NetworkPacket>,
     state: CollectiveState,
     framer: Framer,
     deframer: Deframer,
@@ -41,40 +73,51 @@ pub struct ScatterChannel<T: SmiType> {
 }
 
 impl<T: SmiType> ScatterChannel<T> {
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn open(
         table: EndpointTableHandle,
         comm: &Communicator,
         count: u64,
         port: usize,
         root: usize,
-        timeout: std::time::Duration,
-        max_burst: usize,
+        scheme: CollectiveScheme,
+        params: &RuntimeParams,
     ) -> Result<Self, SmiError> {
-        let root_world = comm.world_rank(root)?;
         let my_world = comm.world_rank(comm.rank())?;
         let io = CollIo::open(
             table,
             port,
             smi_codegen::OpKind::Scatter,
             T::DATATYPE,
-            timeout,
-            max_burst,
+            params,
         )?;
+        let shape = TreeShape::new(scheme, comm.size(), root, comm.rank());
+        let (parent, children) = shape.resolve_world(comm)?;
+        let schedule = shape.schedule();
+        let subtree_elems = schedule.iter().map(|r| r.elems(count)).sum();
         let is_root = comm.rank() == root;
-        let mut ready = vec![false; comm.size()];
-        ready[root] = true; // own slice needs no handshake
         let port_wire = smi_wire::header::port_to_wire(port)?;
         let my_wire = smi_wire::header::rank_to_wire(my_world)?;
+        let n_children = children.len();
         let mut chan = ScatterChannel {
             count,
-            root_world,
+            num_members: comm.size(),
             is_root,
-            members: comm.world_ranks().to_vec(),
-            ready,
+            my_wire,
+            port_wire,
+            parent,
+            children,
+            child_ready: vec![false; n_children],
+            ready: 0,
+            sync_staged: false,
+            schedule,
+            subtree_elems,
+            run_idx: 0,
+            run_off: 0,
             pushed: 0,
+            routed: 0,
             popped: 0,
             local: VecDeque::new(),
+            inbox: VecDeque::new(),
             state: CollectiveState::Opening,
             framer: Framer::new(T::DATATYPE, my_wire, 0, port_wire, PacketOp::Scatter),
             deframer: Deframer::new(T::DATATYPE),
@@ -84,35 +127,73 @@ impl<T: SmiType> ScatterChannel<T> {
         if count == 0 {
             chan.state = CollectiveState::Done;
         } else if chan.is_root {
-            // The root streams per-member once that member's Sync arrives;
+            // The root streams per-subtree once that child's Sync arrives;
             // its own open side has nothing to wait for.
             chan.state = CollectiveState::Streaming;
-        } else {
-            let sync =
-                NetworkPacket::control(my_wire, root_world as u8, port_wire, PacketOp::Sync, 0);
-            chan.io.stage(sync);
         }
+        // A non-root leaf's announcement is staged by this first advance
+        // (an interior node's only once its children announced).
         chan.advance()?;
         Ok(chan)
     }
 
-    /// One non-blocking step: flush staged packets, absorb ready syncs at
-    /// the root, update the state.
+    #[inline]
+    fn is_interior(&self) -> bool {
+        self.parent.is_some() && !self.children.is_empty()
+    }
+
+    /// One non-blocking step: flush staged packets, absorb ready syncs,
+    /// run the interior forwarding duty, update the state.
     fn advance(&mut self) -> Result<bool, SmiError> {
-        let flushed = self.io.try_flush()?;
+        let mut flushed = self.io.try_flush()?;
         if self.is_root {
             self.absorb_syncs()?;
         }
         match self.state {
             CollectiveState::Opening => {
-                // Non-root: open completes once the ready-Sync left.
-                if flushed {
-                    self.state = CollectiveState::Streaming;
+                // Non-root: collect the children's announcements (tree
+                // interior), then announce the whole subtree ready.
+                while self.ready < self.children.len() {
+                    match self.io.try_recv_data()? {
+                        Some(pkt) => {
+                            expect_op(&pkt, PacketOp::Sync)?;
+                            self.mark_ready(pkt.header.src as usize)?;
+                        }
+                        None => break,
+                    }
+                }
+                if self.ready == self.children.len() {
+                    if !self.sync_staged {
+                        let parent = self.parent.expect("non-root has a parent");
+                        let sync = NetworkPacket::control(
+                            self.my_wire,
+                            parent as u8,
+                            self.port_wire,
+                            PacketOp::Sync,
+                            0,
+                        );
+                        self.io.stage(sync);
+                        self.sync_staged = true;
+                        flushed = self.io.try_flush()?;
+                    }
+                    if flushed {
+                        self.state = CollectiveState::Streaming;
+                    }
                 }
             }
             CollectiveState::Streaming => {
-                let total = self.count * self.members.len() as u64;
-                let sent_all = !self.is_root || self.pushed == total;
+                if self.is_interior() {
+                    self.pump_forward()?;
+                    flushed = self.io.try_flush()?;
+                }
+                let total = self.count * self.num_members as u64;
+                let sent_all = if self.is_root {
+                    self.pushed == total
+                } else if self.is_interior() {
+                    self.routed == self.subtree_elems
+                } else {
+                    true
+                };
                 if sent_all && self.popped == self.count && flushed {
                     self.state = CollectiveState::Done;
                 }
@@ -122,32 +203,82 @@ impl<T: SmiType> ScatterChannel<T> {
         Ok(flushed)
     }
 
+    /// Record a ready announcement from a child.
+    fn mark_ready(&mut self, src_world: usize) -> Result<(), SmiError> {
+        let idx = self
+            .children
+            .iter()
+            .position(|&w| w == src_world)
+            .ok_or_else(|| SmiError::ProtocolViolation {
+                detail: format!("scatter sync from unexpected world rank {src_world}"),
+            })?;
+        if !self.child_ready[idx] {
+            self.child_ready[idx] = true;
+            self.ready += 1;
+        }
+        Ok(())
+    }
+
     /// Root: record any ready announcements already delivered.
     fn absorb_syncs(&mut self) -> Result<(), SmiError> {
         while let Some(pkt) = self.io.try_recv_data()? {
             expect_op(&pkt, PacketOp::Sync)?;
-            let src = pkt.header.src as usize;
-            let idx = self.members.iter().position(|&w| w == src).ok_or_else(|| {
-                SmiError::ProtocolViolation {
-                    detail: format!("scatter sync from non-member world rank {src}"),
+            self.mark_ready(pkt.header.src as usize)?;
+        }
+        Ok(())
+    }
+
+    /// Interior forwarding duty: split the arriving block stream per the
+    /// schedule — own blocks to the local inbox, every other block
+    /// re-addressed to the child whose subtree owns it. Gated on staging
+    /// capacity so congestion backpressures the parent.
+    fn pump_forward(&mut self) -> Result<(), SmiError> {
+        while self.run_idx < self.schedule.len() {
+            if self.io.stage_full() && !self.io.try_flush()? {
+                break;
+            }
+            let run = self.schedule[self.run_idx];
+            let pkt = match self.io.try_recv_data()? {
+                Some(pkt) => pkt,
+                None => break,
+            };
+            expect_op(&pkt, PacketOp::Scatter)?;
+            let k = pkt.header.count as u64;
+            if self.run_off + k > run.elems(self.count) {
+                return Err(SmiError::ProtocolViolation {
+                    detail: "scatter packet straddles a block-schedule run".into(),
+                });
+            }
+            match run.target {
+                RunTarget::Own => self.inbox.push_back(pkt),
+                RunTarget::Child(c) => {
+                    let mut copy = pkt;
+                    copy.header.src = self.my_wire;
+                    copy.header.dst = self.children[c] as u8;
+                    self.io.stage(copy);
                 }
-            })?;
-            self.ready[idx] = true;
+            }
+            self.run_off += k;
+            self.routed += k;
+            if self.run_off == run.elems(self.count) {
+                self.run_idx += 1;
+                self.run_off = 0;
+            }
         }
         Ok(())
     }
 
     /// Non-blocking bulk push (root only): feed the next elements of the
     /// `count × N` source stream. Consumes as many elements as transport
-    /// capacity and member readiness currently allow; `Ok(0)` means "try
-    /// again later".
+    /// capacity and downstream readiness currently allow; `Ok(0)` means
+    /// "try again later".
     pub fn try_push_slice(&mut self, values: &[T]) -> Result<usize, SmiError> {
         if !self.is_root {
             return Err(SmiError::ProtocolViolation {
                 detail: "scatter push on a non-root rank".into(),
             });
         }
-        let total = self.count * self.members.len() as u64;
+        let total = self.count * self.num_members as u64;
         if values.len() as u64 > total - self.pushed {
             return Err(SmiError::CountExceeded { count: total });
         }
@@ -155,39 +286,57 @@ impl<T: SmiType> ScatterChannel<T> {
             return Ok(0);
         }
         let mut consumed = 0usize;
-        while consumed < values.len() {
-            let dest_idx = (self.pushed / self.count) as usize;
-            let slice_left = (self.count - self.pushed % self.count) as usize;
-            let avail = (values.len() - consumed).min(slice_left);
-            if self.members[dest_idx] == self.root_world {
-                // Own slice: buffered locally, no handshake.
-                self.local
-                    .extend(values[consumed..consumed + avail].iter().copied());
-                self.pushed += avail as u64;
-                consumed += avail;
-                continue;
-            }
-            if !self.ready[dest_idx] {
-                self.absorb_syncs()?;
-                if !self.ready[dest_idx] {
-                    break;
+        'outer: while consumed < values.len() {
+            let run = self.schedule[self.run_idx];
+            match run.target {
+                RunTarget::Own => {
+                    // Own slice: buffered locally, no handshake.
+                    let avail = ((run.elems(self.count) - self.run_off) as usize)
+                        .min(values.len() - consumed);
+                    self.local
+                        .extend(values[consumed..consumed + avail].iter().copied());
+                    self.pushed += avail as u64;
+                    self.run_off += avail as u64;
+                    consumed += avail;
+                }
+                RunTarget::Child(c) => {
+                    if !self.child_ready[c] {
+                        self.absorb_syncs()?;
+                        if !self.child_ready[c] {
+                            break 'outer;
+                        }
+                    }
+                    // Frame within the current member block so a packet
+                    // never straddles block boundaries.
+                    let block_left = (self.count - self.pushed % self.count) as usize;
+                    let avail = (values.len() - consumed)
+                        .min(block_left)
+                        .min((run.elems(self.count) - self.run_off) as usize);
+                    let (take, pkt) = self.framer.push_slice(&values[consumed..consumed + avail]);
+                    self.pushed += take as u64;
+                    self.run_off += take as u64;
+                    consumed += take;
+                    let maybe = if self.pushed.is_multiple_of(self.count) {
+                        pkt.or_else(|| self.framer.flush())
+                    } else {
+                        pkt
+                    };
+                    if let Some(mut p) = maybe {
+                        p.header.dst = self.children[c] as u8;
+                        self.io.stage(p);
+                        if self.io.stage_full() && !self.io.try_flush()? {
+                            if self.run_off == run.elems(self.count) {
+                                self.run_idx += 1;
+                                self.run_off = 0;
+                            }
+                            break 'outer;
+                        }
+                    }
                 }
             }
-            let (take, pkt) = self.framer.push_slice(&values[consumed..consumed + avail]);
-            self.pushed += take as u64;
-            consumed += take;
-            // Flush at slice boundaries: a packet never spans destinations.
-            let maybe = if self.pushed.is_multiple_of(self.count) {
-                pkt.or_else(|| self.framer.flush())
-            } else {
-                pkt
-            };
-            if let Some(mut p) = maybe {
-                p.header.dst = self.members[dest_idx] as u8;
-                self.io.stage(p);
-                if self.io.stage_full() && !self.io.try_flush()? {
-                    break;
-                }
+            if self.run_off == run.elems(self.count) {
+                self.run_idx += 1;
+                self.run_off = 0;
             }
         }
         self.advance()?;
@@ -197,8 +346,9 @@ impl<T: SmiType> ScatterChannel<T> {
     /// Bulk push (root only), blocking until the whole slice was accepted.
     pub fn push_slice(&mut self, values: &[T]) -> Result<(), SmiError> {
         let timeout = self.io.timeout();
+        let overall = self.io.call_deadline();
         let mut off = 0usize;
-        block_on(timeout, "scatter push progress", || {
+        block_on_deadline(timeout, overall, "scatter push progress", || {
             let moved = self.try_push_slice(&values[off..])?;
             off += moved;
             if off == values.len() && self.io.try_flush()? {
@@ -241,11 +391,20 @@ impl<T: SmiType> ScatterChannel<T> {
         } else {
             while filled < out.len() {
                 if self.deframer.is_empty() {
-                    match self.io.try_recv_data()? {
-                        Some(pkt) => {
-                            expect_op(&pkt, PacketOp::Scatter)?;
-                            self.deframer.refill(pkt);
+                    let next = if self.is_interior() {
+                        // Validated and queued by the forwarding pump.
+                        self.inbox.pop_front()
+                    } else {
+                        match self.io.try_recv_data()? {
+                            Some(pkt) => {
+                                expect_op(&pkt, PacketOp::Scatter)?;
+                                Some(pkt)
+                            }
+                            None => None,
                         }
+                    };
+                    match next {
+                        Some(pkt) => self.deframer.refill(pkt),
                         None => break,
                     }
                 }
@@ -263,26 +422,34 @@ impl<T: SmiType> ScatterChannel<T> {
     /// Bulk pop, blocking until `out` is filled. At the root the slice must
     /// already have been pushed (the root's own elements cannot arrive from
     /// anywhere else), so a shortfall is a protocol violation, not a stall.
+    /// An interior node that pops its whole slice additionally drives the
+    /// channel to `Done` — its forwarding duty may outlast local delivery,
+    /// and returning earlier would strand the subtree when the caller drops
+    /// the channel.
     pub fn pop_slice(&mut self, out: &mut [T]) -> Result<(), SmiError> {
         if out.len() as u64 > self.count - self.popped {
             return Err(SmiError::CountExceeded { count: self.count });
         }
         let timeout = self.io.timeout();
+        let overall = self.io.call_deadline();
         let is_root = self.is_root;
         let mut off = 0usize;
-        block_on(timeout, "scatter data", || {
+        block_on_deadline(timeout, overall, "scatter data", || {
+            let routed_before = self.routed;
             let moved = self.try_pop_slice(&mut out[off..])?;
             off += moved;
             if off == out.len() {
-                return Ok(BlockingStep::Ready(()));
-            }
-            if is_root {
+                let drains = self.is_interior() && self.popped == self.count;
+                if !drains || self.poll()? == CollectiveState::Done {
+                    return Ok(BlockingStep::Ready(()));
+                }
+            } else if is_root {
                 // Nothing can refill the local buffer but this caller.
                 return Err(SmiError::ProtocolViolation {
                     detail: "scatter pop before the root pushed its own slice".into(),
                 });
             }
-            Ok(if moved > 0 {
+            Ok(if moved > 0 || self.routed > routed_before {
                 BlockingStep::Progress
             } else {
                 BlockingStep::Pending
@@ -300,13 +467,17 @@ impl<T: SmiType> ScatterChannel<T> {
     /// Spin until the open-side handshake traffic left (thread plane).
     pub(crate) fn wait_open(&mut self) -> Result<(), SmiError> {
         let timeout = self.io.timeout();
-        block_on(timeout, "scatter sync path", || {
+        let overall = self.io.call_deadline();
+        block_on_deadline(timeout, overall, "scatter sync path", || {
+            let before = self.ready;
             self.advance()?;
-            Ok(if self.state != CollectiveState::Opening {
-                BlockingStep::Ready(())
+            if self.state != CollectiveState::Opening {
+                Ok(BlockingStep::Ready(()))
+            } else if self.ready > before {
+                Ok(BlockingStep::Progress)
             } else {
-                BlockingStep::Pending
-            })
+                Ok(BlockingStep::Pending)
+            }
         })
     }
 }

@@ -142,6 +142,12 @@ pub(crate) struct CollRes {
 /// calling thread, which is what lets an in-progress collective open (or any
 /// collective operation) run on an executor worker without blocking it. The
 /// channel objects re-offer the staged burst on every poll.
+///
+/// Tree-scheme collectives fan windows out to a *set of children* rather
+/// than to the root's peers: [`CollIo::stage_fanout`] stages a packet
+/// window once per child, grouped per destination, so the CKS sees long
+/// same-route runs it can forward as whole bursts (`forward_runs`) instead
+/// of per-packet splits.
 #[derive(Debug)]
 pub(crate) struct CollIo {
     port: usize,
@@ -149,18 +155,19 @@ pub(crate) struct CollIo {
     table: EndpointTableHandle,
     staged: Burst,
     timeout: Duration,
+    deadline: Option<Duration>,
     max_burst: usize,
 }
 
 impl CollIo {
     /// Take the collective resource of `port`, checking kind and datatype.
+    /// Timing/burst limits come from the runtime configuration.
     pub fn open(
         table: EndpointTableHandle,
         port: usize,
         kind: OpKind,
         dtype: Datatype,
-        timeout: Duration,
-        max_burst: usize,
+        params: &crate::params::RuntimeParams,
     ) -> Result<Self, SmiError> {
         let res = table.lock().take_coll(port, kind)?;
         if res.dtype != dtype {
@@ -176,8 +183,9 @@ impl CollIo {
             res: Some(res),
             table,
             staged: Vec::new(),
-            timeout,
-            max_burst: max_burst.max(1),
+            timeout: params.blocking_timeout,
+            deadline: params.blocking_deadline,
+            max_burst: params.burst_packets.max(1),
         })
     }
 
@@ -199,6 +207,12 @@ impl CollIo {
         self.timeout
     }
 
+    /// Overall deadline for a blocking call starting now (`None` when the
+    /// runtime leaves blocking calls stall-bounded only).
+    pub fn call_deadline(&self) -> Option<std::time::Instant> {
+        self.deadline.map(|d| std::time::Instant::now() + d)
+    }
+
     /// The configured burst size (packets per transport handover).
     pub fn max_burst(&self) -> usize {
         self.max_burst
@@ -207,6 +221,25 @@ impl CollIo {
     /// Queue a packet for transmission (data or control).
     pub fn stage(&mut self, pkt: NetworkPacket) {
         self.staged.push(pkt);
+    }
+
+    /// Stage a packet window once per destination in `dsts` (world ranks),
+    /// grouped per child: all of child 0's copies, then child 1's, … so
+    /// mixed parent/child bursts reach the CKS as maximal same-route runs.
+    /// The window is drained.
+    pub fn stage_fanout(&mut self, window: &mut Vec<NetworkPacket>, dsts: &[usize]) {
+        if dsts.is_empty() {
+            window.clear();
+            return;
+        }
+        for &dst in dsts {
+            for pkt in window.iter() {
+                let mut copy = *pkt;
+                copy.header.dst = dst as u8;
+                self.staged.push(copy);
+            }
+        }
+        window.clear();
     }
 
     /// Whether the staging buffer reached the configured burst size and
@@ -255,6 +288,50 @@ impl Drop for CollIo {
             }
             self.table.lock().put_coll(self.port, res);
         }
+    }
+}
+
+/// Downstream credit accounting for the contributors feeding one node of a
+/// reduce (the root in the linear scheme, any combiner node in the tree
+/// scheme). Tracks the total credit granted — including the protocol's
+/// *implicit* first window — and clamps every subsequent wire grant to the
+/// message tail, so a message whose count is not a multiple of the window
+/// size can never be over-granted: the total ever granted is
+/// `max(window, count)`, reached exactly.
+#[derive(Debug, Clone)]
+pub(crate) struct CreditLedger {
+    window: u64,
+    count: u64,
+    granted: u64,
+}
+
+impl CreditLedger {
+    /// New ledger for a `count`-element message with window size `window`
+    /// (the first window is implicitly granted and never on the wire).
+    pub fn new(window: u64, count: u64) -> Self {
+        debug_assert!(window >= 1);
+        CreditLedger {
+            window,
+            count,
+            granted: window,
+        }
+    }
+
+    /// Called when `emitted` elements have completed: returns the credit
+    /// to grant (0 when not at a window boundary, and clamped so the total
+    /// granted never exceeds the message count — the tail-window rule).
+    pub fn window_grant(&mut self, emitted: u64) -> u64 {
+        if emitted == 0 || !emitted.is_multiple_of(self.window) {
+            return 0;
+        }
+        let g = self.window.min(self.count.saturating_sub(self.granted));
+        self.granted += g;
+        g
+    }
+
+    /// Total credit granted so far (implicit first window included).
+    pub fn granted(&self) -> u64 {
+        self.granted
     }
 }
 
@@ -408,6 +485,21 @@ mod tests {
             t.lock().take_coll(1, OpKind::Reduce),
             Err(SmiError::NoSuchEndpoint { .. })
         ));
+    }
+
+    #[test]
+    fn credit_ledger_clamps_tail_window() {
+        let mut l = CreditLedger::new(4, 10);
+        assert_eq!(l.granted(), 4); // implicit first window
+        assert_eq!(l.window_grant(3), 0); // not a window boundary
+        assert_eq!(l.window_grant(4), 4); // full interior window
+        assert_eq!(l.window_grant(8), 2); // tail window: clamped to 10
+        assert_eq!(l.window_grant(12), 0); // nothing left to grant
+        assert_eq!(l.granted(), 10);
+        // A count below one window never puts a grant on the wire.
+        let mut s = CreditLedger::new(8, 3);
+        assert_eq!(s.window_grant(8), 0);
+        assert_eq!(s.granted(), 8);
     }
 
     #[test]

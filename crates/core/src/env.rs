@@ -33,7 +33,9 @@ use smi_wire::reduce::SmiNumeric;
 use smi_wire::SmiType;
 
 use crate::channel::{Protocol, RecvChannel, SendChannel};
-use crate::collectives::{BcastChannel, GatherChannel, ReduceChannel, ScatterChannel};
+use crate::collectives::{
+    BcastChannel, CollectiveScheme, GatherChannel, ReduceChannel, ScatterChannel,
+};
 use crate::comm::{Communicator, SplitBoard};
 use crate::endpoint::{new_table, EndpointTable, EndpointTableHandle};
 use crate::params::RuntimeParams;
@@ -181,14 +183,34 @@ impl SmiCtx {
         root: usize,
         comm: &Communicator,
     ) -> Result<BcastChannel<T>, SmiError> {
+        self.open_bcast_channel_poll_with_scheme(
+            count,
+            port,
+            root,
+            comm,
+            self.params.collective_scheme,
+        )
+    }
+
+    /// [`SmiCtx::open_bcast_channel_poll`] with an explicit routing scheme,
+    /// overriding [`crate::RuntimeParams::collective_scheme`]. Every member
+    /// of the collective must pick the same scheme.
+    pub fn open_bcast_channel_poll_with_scheme<T: SmiType>(
+        &self,
+        count: u64,
+        port: usize,
+        root: usize,
+        comm: &Communicator,
+        scheme: CollectiveScheme,
+    ) -> Result<BcastChannel<T>, SmiError> {
         BcastChannel::open(
             self.table.clone(),
             comm,
             count,
             port,
             root,
-            self.params.blocking_timeout,
-            self.params.burst_packets,
+            scheme,
+            &self.params,
         )
     }
 
@@ -218,15 +240,33 @@ impl SmiCtx {
         root: usize,
         comm: &Communicator,
     ) -> Result<ReduceChannel<T>, SmiError> {
+        self.open_reduce_channel_poll_with_scheme(
+            count,
+            port,
+            root,
+            comm,
+            self.params.collective_scheme,
+        )
+    }
+
+    /// [`SmiCtx::open_reduce_channel_poll`] with an explicit routing scheme
+    /// (see [`SmiCtx::open_bcast_channel_poll_with_scheme`]).
+    pub fn open_reduce_channel_poll_with_scheme<T: SmiNumeric>(
+        &self,
+        count: u64,
+        port: usize,
+        root: usize,
+        comm: &Communicator,
+        scheme: CollectiveScheme,
+    ) -> Result<ReduceChannel<T>, SmiError> {
         ReduceChannel::open(
             self.table.clone(),
             comm,
             count,
             port,
             root,
-            self.params.reduce_credits,
-            self.params.blocking_timeout,
-            self.params.burst_packets,
+            scheme,
+            &self.params,
         )
     }
 
@@ -257,14 +297,33 @@ impl SmiCtx {
         root: usize,
         comm: &Communicator,
     ) -> Result<ScatterChannel<T>, SmiError> {
+        self.open_scatter_channel_poll_with_scheme(
+            count,
+            port,
+            root,
+            comm,
+            self.params.collective_scheme,
+        )
+    }
+
+    /// [`SmiCtx::open_scatter_channel_poll`] with an explicit routing
+    /// scheme (see [`SmiCtx::open_bcast_channel_poll_with_scheme`]).
+    pub fn open_scatter_channel_poll_with_scheme<T: SmiType>(
+        &self,
+        count: u64,
+        port: usize,
+        root: usize,
+        comm: &Communicator,
+        scheme: CollectiveScheme,
+    ) -> Result<ScatterChannel<T>, SmiError> {
         ScatterChannel::open(
             self.table.clone(),
             comm,
             count,
             port,
             root,
-            self.params.blocking_timeout,
-            self.params.burst_packets,
+            scheme,
+            &self.params,
         )
     }
 
@@ -294,14 +353,33 @@ impl SmiCtx {
         root: usize,
         comm: &Communicator,
     ) -> Result<GatherChannel<T>, SmiError> {
+        self.open_gather_channel_poll_with_scheme(
+            count,
+            port,
+            root,
+            comm,
+            self.params.collective_scheme,
+        )
+    }
+
+    /// [`SmiCtx::open_gather_channel_poll`] with an explicit routing
+    /// scheme (see [`SmiCtx::open_bcast_channel_poll_with_scheme`]).
+    pub fn open_gather_channel_poll_with_scheme<T: SmiType>(
+        &self,
+        count: u64,
+        port: usize,
+        root: usize,
+        comm: &Communicator,
+        scheme: CollectiveScheme,
+    ) -> Result<GatherChannel<T>, SmiError> {
         GatherChannel::open(
             self.table.clone(),
             comm,
             count,
             port,
             root,
-            self.params.blocking_timeout,
-            self.params.burst_packets,
+            scheme,
+            &self.params,
         )
     }
 }
@@ -485,6 +563,10 @@ struct RankTaskItem {
     rank: usize,
     state: TaskState,
     done_tx: crossbeam::channel::Sender<(usize, Result<(), SmiError>)>,
+    /// Bumped on every poll that made progress — the per-rank liveness
+    /// signal the stall watchdog reads, so one livelocked rank cannot hide
+    /// behind other ranks' (or the transport's) progress.
+    progress: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl Pollable for RankTaskItem {
@@ -494,6 +576,7 @@ impl Pollable for RankTaskItem {
             TaskState::Init { ctx, factory } => match factory(ctx) {
                 Ok(task) => {
                     self.state = TaskState::Running(task);
+                    self.progress.fetch_add(1, Ordering::Relaxed);
                     Step::Progress
                 }
                 Err(e) => {
@@ -504,6 +587,7 @@ impl Pollable for RankTaskItem {
             TaskState::Running(mut task) => match task.poll() {
                 Ok(TaskStatus::Progress) => {
                     self.state = TaskState::Running(task);
+                    self.progress.fetch_add(1, Ordering::Relaxed);
                     Step::Progress
                 }
                 Ok(TaskStatus::Pending) => {
@@ -551,6 +635,9 @@ pub fn run_mpmd_tasks(
     let num_ranks = topo.num_ranks();
     let (done_tx, done_rx) = crossbeam::channel::unbounded();
 
+    let rank_progress: Vec<Arc<std::sync::atomic::AtomicU64>> = (0..num_ranks)
+        .map(|_| Arc::new(std::sync::atomic::AtomicU64::new(0)))
+        .collect();
     let mut items: Vec<Box<dyn Pollable>> = transport.machines;
     for (rank, (table, factory)) in transport.tables.into_iter().zip(factories).enumerate() {
         items.push(Box::new(RankTaskItem {
@@ -560,6 +647,7 @@ pub fn run_mpmd_tasks(
                 factory,
             },
             done_tx: done_tx.clone(),
+            progress: rank_progress[rank].clone(),
         }));
     }
     drop(done_tx);
@@ -572,11 +660,19 @@ pub fn run_mpmd_tasks(
     let mut reported = vec![false; num_ranks];
     let mut remaining = num_ranks;
     // Stall watchdog: the blocking plane bounds every stalled operation by
-    // `blocking_timeout`; the cooperative plane's analogue is "no executor
-    // round made progress for a whole timeout window" — e.g. a failed rank
-    // leaving its peer polling Pending forever. Detecting it here keeps
-    // `run_mpmd_tasks` from hanging on partial failures.
-    let mut last_progress = executor.progress();
+    // `blocking_timeout`; the cooperative plane's analogue is "no unfinished
+    // rank task made progress for a whole timeout window" — e.g. a failed
+    // rank leaving its peer polling Pending forever. Progress is tracked
+    // *per rank* (not executor-wide), so a livelocked rank cannot be masked
+    // by transport churn or other ranks' activity, and the stall report
+    // names exactly the ranks that stopped moving. The run is only ended
+    // when every unfinished rank stalled — a single rank legitimately idle
+    // while its peers stream (e.g. awaiting a serialized gather grant) does
+    // not trip it.
+    let snapshot = |v: &[Arc<std::sync::atomic::AtomicU64>]| -> Vec<u64> {
+        v.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    };
+    let mut last_progress = snapshot(&rank_progress);
     while remaining > 0 {
         match done_rx.recv_timeout(params.blocking_timeout) {
             Ok((rank, res)) => {
@@ -585,18 +681,17 @@ pub fn run_mpmd_tasks(
                 remaining -= 1;
             }
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                let p = executor.progress();
-                if p == last_progress {
-                    for (rank, seen) in reported.iter().enumerate() {
-                        if !seen {
-                            results[rank] = Err(SmiError::Timeout {
-                                waiting_for: "cooperative task progress",
-                            });
-                        }
+                let now = snapshot(&rank_progress);
+                let stalled: Vec<usize> = (0..num_ranks)
+                    .filter(|&r| !reported[r] && now[r] == last_progress[r])
+                    .collect();
+                if stalled.len() == remaining {
+                    for rank in stalled {
+                        results[rank] = Err(SmiError::Stalled { rank });
                     }
                     break;
                 }
-                last_progress = p;
+                last_progress = now;
             }
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
         }

@@ -49,6 +49,21 @@ pub enum SmiError {
         /// What the channel was waiting for.
         waiting_for: &'static str,
     },
+    /// A blocking collective call exceeded its overall deadline
+    /// ([`crate::RuntimeParams::blocking_deadline`]). Unlike
+    /// [`SmiError::Timeout`] this fires even while progress trickles in:
+    /// it bounds total elapsed time, not the stall.
+    DeadlineExceeded {
+        /// What the channel was waiting for.
+        waiting_for: &'static str,
+    },
+    /// The cooperative task watchdog observed this rank making no progress
+    /// for a whole stall window while nothing else remained to wait for —
+    /// a livelocked or deadlocked rank task.
+    Stalled {
+        /// The rank whose task made no progress.
+        rank: usize,
+    },
     /// The transport layer shut down while the channel still needed it.
     TransportClosed,
     /// A packet with an unexpected op arrived on this channel's port.
@@ -85,6 +100,15 @@ impl fmt::Display for SmiError {
             }
             SmiError::Timeout { waiting_for } => {
                 write!(f, "timed out waiting for {waiting_for}")
+            }
+            SmiError::DeadlineExceeded { waiting_for } => {
+                write!(
+                    f,
+                    "overall deadline exceeded while waiting for {waiting_for}"
+                )
+            }
+            SmiError::Stalled { rank } => {
+                write!(f, "rank {rank} made no progress for a full stall window")
             }
             SmiError::TransportClosed => write!(f, "transport layer closed"),
             SmiError::ProtocolViolation { detail } => write!(f, "protocol violation: {detail}"),

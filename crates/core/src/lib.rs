@@ -94,7 +94,12 @@
 //! Collectives open rendezvous-free with the `open_*_channel_poll` variants
 //! (`Opening → Streaming → Done` handshake driven by
 //! [`CollectivePoll::poll`]/`try_*`), so a poll-mode [`RankTask`] can drive
-//! them on the executor's worker pool — no OS thread per rank:
+//! them on the executor's worker pool — no OS thread per rank. Every
+//! collective also supports binomial-tree routing
+//! ([`CollectiveScheme::Tree`] via [`RuntimeParams::collective_scheme`]):
+//! non-root ranks forward/combine for their subtree, so the root touches
+//! `O(log N)` streams instead of `N − 1` — the scaling scheme past ~16
+//! ranks (see [`collectives`] for the topology derivation):
 //!
 //! ```
 //! use smi::prelude::*;
@@ -153,7 +158,8 @@ pub mod transport;
 
 pub use channel::{Protocol, RecvChannel, SendChannel};
 pub use collectives::{
-    BcastChannel, CollectivePoll, CollectiveState, GatherChannel, ReduceChannel, ScatterChannel,
+    BcastChannel, CollectivePoll, CollectiveScheme, CollectiveState, GatherChannel, ReduceChannel,
+    ScatterChannel,
 };
 pub use comm::Communicator;
 pub use env::{
@@ -167,7 +173,8 @@ pub use params::RuntimeParams;
 pub mod prelude {
     pub use crate::channel::{Protocol, RecvChannel, SendChannel};
     pub use crate::collectives::{
-        BcastChannel, CollectivePoll, CollectiveState, GatherChannel, ReduceChannel, ScatterChannel,
+        BcastChannel, CollectivePoll, CollectiveScheme, CollectiveState, GatherChannel,
+        ReduceChannel, ScatterChannel,
     };
     pub use crate::comm::Communicator;
     pub use crate::env::{

@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use crate::collectives::CollectiveScheme;
+
 /// Configuration of the thread-based SMI runtime.
 #[derive(Debug, Clone)]
 pub struct RuntimeParams {
@@ -19,6 +21,21 @@ pub struct RuntimeParams {
     /// [`crate::SmiError::Timeout`] (guards tests against mismatched
     /// programs hanging forever).
     pub blocking_timeout: Duration,
+    /// Optional *overall* bound on each blocking collective call. The
+    /// stall bound above resets on every bit of progress, so a peer that
+    /// trickles one packet per poll can extend a blocking collective far
+    /// past `blocking_timeout`; when set, this caps the total elapsed time
+    /// of one blocking call regardless of progress
+    /// ([`crate::SmiError::DeadlineExceeded`]). `None` keeps calls
+    /// stall-bounded only.
+    pub blocking_deadline: Option<Duration>,
+    /// How collectives route traffic between members
+    /// ([`CollectiveScheme`]): `Linear` (the paper's root-centric shape,
+    /// the regression baseline) or `Tree` (binomial-tree forwarding, the
+    /// scaling scheme past ~16 ranks). Per-open overrides are available
+    /// via the `open_*_channel_poll_with_scheme` context methods; the
+    /// scheme must be uniform across all members of one collective.
+    pub collective_scheme: CollectiveScheme,
     /// Maximum packets moved per burst on the hot path: bulk channel
     /// operations (`push_slice`/`pop_slice`) and CK forwarding hand over up
     /// to this many packets under a single queue operation, amortizing
@@ -38,6 +55,8 @@ impl Default for RuntimeParams {
             poll_persistence: 8,
             reduce_credits: 512,
             blocking_timeout: Duration::from_secs(10),
+            blocking_deadline: None,
+            collective_scheme: CollectiveScheme::Linear,
             burst_packets: 16,
             transport_workers: 0,
         }
@@ -54,6 +73,8 @@ impl RuntimeParams {
             poll_persistence: 1,
             reduce_credits: 4,
             blocking_timeout: Duration::from_secs(10),
+            blocking_deadline: None,
+            collective_scheme: CollectiveScheme::Linear,
             burst_packets: 1,
             transport_workers: 0,
         }

@@ -314,6 +314,41 @@ mod tests {
     }
 
     #[test]
+    fn fanout_burst_splits_into_per_run_bursts() {
+        // The tree-collective staging pattern: one burst holding a window
+        // copied per child, grouped per destination (AAAA BBBB CC). The
+        // machine must carve it into one whole burst per run — no
+        // per-packet splits, no restaging through the stash.
+        let (in_tx, in_rx) = bounded::<Burst>(4);
+        let outs: Vec<_> = (0..3).map(|_| bounded::<Burst>(8)).collect();
+        let (fwd, unr) = counters();
+        let m = CkMachine::new(
+            "t".into(),
+            vec![in_rx],
+            outs.iter().map(|(tx, _)| tx.clone()).collect(),
+            Box::new(|p| Route::Output(p.header.dst as usize)),
+            8,
+            16,
+            fwd.clone(),
+            unr,
+        );
+        let mut burst: Burst = Vec::new();
+        for (dst, copies) in [(0u8, 4), (1, 4), (2, 2)] {
+            burst.extend(std::iter::repeat_n(pkt(dst), copies));
+        }
+        in_tx.send(burst).unwrap();
+        drop(in_tx);
+        let stop = Arc::new(AtomicBool::new(false));
+        ShardedExecutor::spawn(vec![Box::new(m)], 1, stop).join();
+        let sizes: Vec<Vec<usize>> = outs
+            .iter()
+            .map(|(_, rx)| rx.try_iter().map(|b| b.len()).collect())
+            .collect();
+        assert_eq!(sizes, vec![vec![4], vec![4], vec![2]]);
+        assert_eq!(fwd.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
     fn unroutable_counted_and_dropped() {
         let (in_tx, in_rx) = bounded::<Burst>(4);
         let (out_tx, out_rx) = bounded::<Burst>(4);

@@ -10,7 +10,7 @@
 //! of the paper's spatial multiplexing: many state machines, few physical
 //! execution resources.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -35,7 +35,7 @@ pub(crate) trait Pollable: Send {
     fn poll(&mut self) -> Step;
 }
 
-/// Outcome of one iteration of a [`block_on`] poll closure.
+/// Outcome of one iteration of a [`block_on_deadline`] poll closure.
 pub(crate) enum BlockingStep<T> {
     /// The operation completed with this value.
     Ready(T),
@@ -51,11 +51,17 @@ pub(crate) enum BlockingStep<T> {
 ///
 /// `timeout` bounds the *stall*, not the whole operation (matching the
 /// semantics of the previous `recv_timeout`-based blocking paths): every
-/// [`BlockingStep::Progress`] resets the deadline. The backoff mirrors the
-/// executor worker loop — spin briefly, then yield, then nap — so a rank
-/// thread spinning here cannot starve the workers that move its packets.
-pub(crate) fn block_on<T>(
+/// [`BlockingStep::Progress`] resets the stall deadline. The optional
+/// `overall` deadline is checked on every iteration *regardless* of
+/// progress: a peer trickling one packet per poll can extend the stall
+/// bound indefinitely, and the overall deadline converts that case into
+/// [`SmiError::DeadlineExceeded`], bounding the call's total elapsed time.
+/// The backoff mirrors the executor worker loop — spin briefly, then
+/// yield, then nap — so a rank thread spinning here cannot starve the
+/// workers that move its packets.
+pub(crate) fn block_on_deadline<T>(
     timeout: Duration,
+    overall: Option<Instant>,
     waiting_for: &'static str,
     mut poll: impl FnMut() -> Result<BlockingStep<T>, SmiError>,
 ) -> Result<T, SmiError> {
@@ -65,11 +71,22 @@ pub(crate) fn block_on<T>(
         match poll()? {
             BlockingStep::Ready(v) => return Ok(v),
             BlockingStep::Progress => {
+                if let Some(d) = overall {
+                    if Instant::now() >= d {
+                        return Err(SmiError::DeadlineExceeded { waiting_for });
+                    }
+                }
                 deadline = Instant::now() + timeout;
                 idle = 0;
             }
             BlockingStep::Pending => {
-                if Instant::now() >= deadline {
+                let now = Instant::now();
+                if let Some(d) = overall {
+                    if now >= d {
+                        return Err(SmiError::DeadlineExceeded { waiting_for });
+                    }
+                }
+                if now >= deadline {
                     return Err(SmiError::Timeout { waiting_for });
                 }
                 idle += 1;
@@ -88,9 +105,6 @@ pub(crate) fn block_on<T>(
 /// Handle to the worker pool; joined at shutdown.
 pub(crate) struct ShardedExecutor {
     threads: Vec<JoinHandle<()>>,
-    /// Bumped by workers on every round that made progress — a liveness
-    /// signal for stall watchdogs.
-    progress: Arc<AtomicU64>,
 }
 
 impl ShardedExecutor {
@@ -104,31 +118,23 @@ impl ShardedExecutor {
         for (i, item) in items.into_iter().enumerate() {
             shards[i % workers].push(item);
         }
-        let progress = Arc::new(AtomicU64::new(0));
         let threads = shards
             .into_iter()
             .enumerate()
             .map(|(w, shard)| {
                 let stop = stop.clone();
-                let progress = progress.clone();
                 std::thread::Builder::new()
                     .name(format!("smi-worker-{w}"))
-                    .spawn(move || worker_loop(shard, stop, progress))
+                    .spawn(move || worker_loop(shard, stop))
                     .expect("spawn executor worker")
             })
             .collect();
-        ShardedExecutor { threads, progress }
+        ShardedExecutor { threads }
     }
 
     /// Number of worker threads backing the pool.
     pub fn num_workers(&self) -> usize {
         self.threads.len()
-    }
-
-    /// Monotonic progress counter: unchanged across an observation window
-    /// means no machine or task moved anything in that window.
-    pub fn progress(&self) -> u64 {
-        self.progress.load(Ordering::Relaxed)
     }
 
     /// Join every worker (call after raising the stop flag, or once all
@@ -140,7 +146,7 @@ impl ShardedExecutor {
     }
 }
 
-fn worker_loop(mut shard: Vec<Box<dyn Pollable>>, stop: Arc<AtomicBool>, progress: Arc<AtomicU64>) {
+fn worker_loop(mut shard: Vec<Box<dyn Pollable>>, stop: Arc<AtomicBool>) {
     let mut idle_rounds = 0u32;
     while !shard.is_empty() {
         let mut progressed = false;
@@ -157,7 +163,6 @@ fn worker_loop(mut shard: Vec<Box<dyn Pollable>>, stop: Arc<AtomicBool>, progres
         }
         if progressed {
             idle_rounds = 0;
-            progress.fetch_add(1, Ordering::Relaxed);
         } else {
             // Back off progressively: spin briefly, then yield, then nap.
             // One idle round already polled every machine in the shard, so
@@ -232,7 +237,7 @@ mod tests {
     #[test]
     fn block_on_completes_and_times_out() {
         let mut n = 0;
-        let got = block_on(Duration::from_secs(1), "t", || {
+        let got = block_on_deadline(Duration::from_secs(1), None, "t", || {
             n += 1;
             Ok(if n == 3 {
                 BlockingStep::Ready(42)
@@ -242,10 +247,28 @@ mod tests {
         })
         .unwrap();
         assert_eq!(got, 42);
-        let err = block_on::<()>(Duration::from_millis(10), "never", || {
+        let err = block_on_deadline::<()>(Duration::from_millis(10), None, "never", || {
             Ok(BlockingStep::Pending)
         });
         assert!(matches!(err, Err(SmiError::Timeout { .. })));
+    }
+
+    #[test]
+    fn overall_deadline_bounds_trickling_progress() {
+        // A closure reporting Progress forever keeps resetting the stall
+        // deadline; only the overall deadline can end it.
+        let start = Instant::now();
+        let err = block_on_deadline::<()>(
+            Duration::from_secs(10),
+            Some(start + Duration::from_millis(50)),
+            "trickle",
+            || {
+                std::thread::sleep(Duration::from_millis(1));
+                Ok(BlockingStep::Progress)
+            },
+        );
+        assert!(matches!(err, Err(SmiError::DeadlineExceeded { .. })));
+        assert!(start.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

@@ -147,8 +147,15 @@ pub(crate) fn build_transport(
                 _ => {
                     let (sup_tx, cks_rx) = bounded(ep_depth(op.buffer_depth));
                     cks_app_inputs[pair].push(cks_rx);
-                    let (data_tx, data_rx) = bounded(ep_depth(op.buffer_depth));
-                    let (credit_tx, credit_rx) = bounded(op.buffer_depth.max(4));
+                    // Collective delivery must hold at least one burst per
+                    // peer: every member may send a one-shot control packet
+                    // (ready-`Sync`) to a port *before* its owner opens the
+                    // channel, and an undeliverable packet parks the CKR —
+                    // head-of-line blocking all transit traffic behind it.
+                    // Data traffic is bounded by handshakes/credits, so
+                    // `n` extra slots restore liveness for any rank count.
+                    let (data_tx, data_rx) = bounded(ep_depth(op.buffer_depth).max(n));
+                    let (credit_tx, credit_rx) = bounded(op.buffer_depth.max(4).max(n));
                     let d = deliveries.entry(op.port).or_default();
                     assert!(
                         d.data.is_none() && d.credit.is_none(),

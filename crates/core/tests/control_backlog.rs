@@ -1,0 +1,84 @@
+//! Regression: collective control packets must never wedge the transport.
+//!
+//! At ≥17 ranks, every member sends a one-shot ready-`Sync` to a port the
+//! owner may not have opened yet (here: all leaves finish reduce and
+//! announce for scatter while the root is still reducing). Before the
+//! delivery FIFOs were sized per peer, the 17th undeliverable sync parked
+//! the root's CKR and head-of-line blocked the reduce tail data transiting
+//! the same bus — a timing-dependent cluster deadlock.
+
+use smi::env::SmiCtx;
+use smi::prelude::*;
+
+fn all_collectives(ranks: usize, root: usize, count: u64, scheme: CollectiveScheme) {
+    let params = RuntimeParams {
+        collective_scheme: scheme,
+        reduce_credits: 32, // count > one window: exercises the tail grant
+        blocking_timeout: std::time::Duration::from_secs(5),
+        ..Default::default()
+    };
+    let topo = Topology::bus(ranks);
+    let meta = ProgramMeta::new()
+        .with(OpSpec::bcast(0, Datatype::Int))
+        .with(OpSpec::reduce(1, Datatype::Int, ReduceOp::Add))
+        .with(OpSpec::scatter(2, Datatype::Int))
+        .with(OpSpec::gather(3, Datatype::Int));
+    let report = run_spmd(
+        &topo,
+        meta,
+        move |ctx: SmiCtx| -> Result<(), SmiError> {
+            let comm = ctx.world();
+            let rank = comm.rank();
+            let n = comm.size();
+            let is_root = rank == root;
+            let mut bcast: Vec<i32> = if is_root {
+                (0..count as i32).map(|i| i * 13 - 7).collect()
+            } else {
+                vec![0; count as usize]
+            };
+            let mut ch = ctx.open_bcast_channel::<i32>(count, 0, root, &comm)?;
+            ch.bcast_slice(&mut bcast)?;
+            drop(ch);
+            let contrib: Vec<i32> = (0..count as i32).map(|i| i * 3 + rank as i32).collect();
+            let mut reduce = vec![0i32; count as usize];
+            let mut ch = ctx.open_reduce_channel::<i32>(count, 1, root, &comm)?;
+            ch.reduce_slice(&contrib, &mut reduce)?;
+            drop(ch);
+            let mut ch = ctx.open_scatter_channel::<i32>(count, 2, root, &comm)?;
+            if is_root {
+                let src: Vec<i32> = (0..(count * n as u64) as i32).map(|i| i * 5 - 9).collect();
+                ch.push_slice(&src)?;
+            }
+            let mut mine = vec![0i32; count as usize];
+            ch.pop_slice(&mut mine)?;
+            drop(ch);
+            let mut ch = ctx.open_gather_channel::<i32>(count, 3, root, &comm)?;
+            let own: Vec<i32> = (0..count as i32).map(|i| rank as i32 * 1000 + i).collect();
+            ch.push_slice(&own)?;
+            if is_root {
+                let mut all = vec![0i32; (count * n as u64) as usize];
+                ch.pop_slice(&mut all)?;
+            }
+            Ok(())
+        },
+        params,
+    )
+    .unwrap();
+    for (r, res) in report.results.iter().enumerate() {
+        assert!(
+            res.is_ok(),
+            "{scheme:?} ranks={ranks} root={root} count={count} rank={r}: {res:?}"
+        );
+    }
+    assert_eq!(report.transport.2, 0, "unroutable packets");
+}
+
+#[test]
+fn control_packet_backlog_does_not_wedge_the_bus() {
+    // Repeat to hit the race window: leaves must reach their scatter
+    // announcements while the root is still in the reduce tail.
+    for _ in 0..5 {
+        all_collectives(21, 14, 36, CollectiveScheme::Linear);
+        all_collectives(21, 14, 36, CollectiveScheme::Tree);
+    }
+}

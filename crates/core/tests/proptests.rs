@@ -308,3 +308,125 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Tree ≡ linear scheme equivalence
+// ---------------------------------------------------------------------------
+
+/// Run all four collectives under one scheme and return per-rank
+/// `(bcast, reduce@root, scatter slice, gather@root)`.
+#[allow(clippy::type_complexity)]
+fn all_collectives(
+    ranks: usize,
+    root: usize,
+    count: u64,
+    scheme: smi::CollectiveScheme,
+) -> Vec<(Vec<i32>, Vec<i32>, Vec<i32>, Vec<i32>)> {
+    let params = RuntimeParams {
+        collective_scheme: scheme,
+        reduce_credits: 32, // several windows at moderate counts
+        ..Default::default()
+    };
+    let topo = Topology::bus(ranks);
+    let meta = ProgramMeta::new()
+        .with(OpSpec::bcast(0, Datatype::Int))
+        .with(OpSpec::reduce(1, Datatype::Int, ReduceOp::Add))
+        .with(OpSpec::scatter(2, Datatype::Int))
+        .with(OpSpec::gather(3, Datatype::Int));
+    run_spmd(
+        &topo,
+        meta,
+        move |ctx: SmiCtx| {
+            let comm = ctx.world();
+            let rank = comm.rank();
+            let n = comm.size();
+            let is_root = rank == root;
+            let mut bcast: Vec<i32> = if is_root {
+                (0..count as i32).map(|i| i * 13 - 7).collect()
+            } else {
+                vec![0; count as usize]
+            };
+            let mut ch = ctx
+                .open_bcast_channel::<i32>(count, 0, root, &comm)
+                .unwrap();
+            ch.bcast_slice(&mut bcast).unwrap();
+            drop(ch);
+            let contrib: Vec<i32> = (0..count as i32).map(|i| i * 3 + rank as i32).collect();
+            let mut reduce = vec![0i32; count as usize];
+            let mut ch = ctx
+                .open_reduce_channel::<i32>(count, 1, root, &comm)
+                .unwrap();
+            ch.reduce_slice(&contrib, &mut reduce).unwrap();
+            drop(ch);
+            if !is_root {
+                reduce.clear();
+            }
+            let mut ch = ctx
+                .open_scatter_channel::<i32>(count, 2, root, &comm)
+                .unwrap();
+            if is_root {
+                let src: Vec<i32> = (0..(count * n as u64) as i32).map(|i| i * 5 - 9).collect();
+                ch.push_slice(&src).unwrap();
+            }
+            let mut mine = vec![0i32; count as usize];
+            ch.pop_slice(&mut mine).unwrap();
+            drop(ch);
+            let mut ch = ctx
+                .open_gather_channel::<i32>(count, 3, root, &comm)
+                .unwrap();
+            let own: Vec<i32> = (0..count as i32).map(|i| rank as i32 * 1000 + i).collect();
+            ch.push_slice(&own).unwrap();
+            let gathered = if is_root {
+                let mut all = vec![0i32; (count * n as u64) as usize];
+                ch.pop_slice(&mut all).unwrap();
+                all
+            } else {
+                Vec::new()
+            };
+            (bcast, reduce, mine, gathered)
+        },
+        params,
+    )
+    .unwrap()
+    .results
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tree scheme produces results identical to the linear scheme for
+    /// all four collectives, across random rank counts (2..=33, including
+    /// non-powers-of-two), roots, and payload lengths.
+    #[test]
+    fn tree_scheme_matches_linear(
+        ranks_pick in any::<u8>(),
+        root_pick in any::<u8>(),
+        count in 1u64..40,
+    ) {
+        let ranks = 2 + (ranks_pick as usize % 32); // 2..=33
+        let root = root_pick as usize % ranks;
+        let lin = all_collectives(ranks, root, count, smi::CollectiveScheme::Linear);
+        let tree = all_collectives(ranks, root, count, smi::CollectiveScheme::Tree);
+        prop_assert_eq!(&lin, &tree, "ranks={} root={} count={}", ranks, root, count);
+        // And both match the expected data, not just each other.
+        let n = ranks;
+        for (rank, (bcast, reduce, mine, gathered)) in tree.iter().enumerate() {
+            let want_bcast: Vec<i32> = (0..count as i32).map(|i| i * 13 - 7).collect();
+            prop_assert_eq!(bcast, &want_bcast);
+            let want_scatter: Vec<i32> = (0..count as i32)
+                .map(|i| (rank as i32 * count as i32 + i) * 5 - 9)
+                .collect();
+            prop_assert_eq!(mine, &want_scatter);
+            if rank == root {
+                let want_reduce: Vec<i32> = (0..count as i32)
+                    .map(|i| (0..n as i32).map(|r| i * 3 + r).sum())
+                    .collect();
+                prop_assert_eq!(reduce, &want_reduce);
+                let want_gather: Vec<i32> = (0..n as i32)
+                    .flat_map(|r| (0..count as i32).map(move |i| r * 1000 + i))
+                    .collect();
+                prop_assert_eq!(gathered, &want_gather);
+            }
+        }
+    }
+}

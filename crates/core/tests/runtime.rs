@@ -464,8 +464,8 @@ fn task_plane_tight_buffers() {
 #[test]
 fn task_plane_partial_failure_does_not_hang() {
     // Rank 0's factory fails (type mismatch), so rank 1's receiver can
-    // never complete: the stall watchdog must end the run with a Timeout
-    // for the stranded rank instead of hanging forever.
+    // never complete: the stall watchdog must end the run with a stall
+    // report naming the stranded rank instead of hanging forever.
     let topo = Topology::bus(2);
     let metas = vec![
         ProgramMeta::new().with(OpSpec::send(0, Datatype::Int)),
@@ -501,7 +501,7 @@ fn task_plane_partial_failure_does_not_hang() {
         report.results[0]
     );
     assert!(
-        matches!(report.results[1], Err(SmiError::Timeout { .. })),
+        matches!(report.results[1], Err(SmiError::Stalled { rank: 1 })),
         "{:?}",
         report.results[1]
     );
@@ -1467,4 +1467,333 @@ fn gather_and_scatter_role_errors() {
     )
     .unwrap();
     assert!(report.results.iter().all(|&r| r));
+}
+
+// ---------------------------------------------------------------------------
+// Tree-structured collective schemes
+// ---------------------------------------------------------------------------
+
+/// Per-rank collective outcome: `(bcast received, reduce results [root
+/// only], scatter slice, gathered stream [root only])`.
+type CollOutcome = (Vec<i32>, Vec<i32>, Vec<i32>, Vec<i32>);
+
+/// Run all four collectives (bcast, reduce, scatter, gather) on the thread
+/// plane with the given routing scheme and return one outcome per rank.
+fn run_all_collectives(
+    ranks: usize,
+    root: usize,
+    count: u64,
+    scheme: CollectiveScheme,
+    mut params: RuntimeParams,
+) -> Vec<CollOutcome> {
+    params.collective_scheme = scheme;
+    let topo = Topology::bus(ranks);
+    let meta = ProgramMeta::new()
+        .with(OpSpec::bcast(0, Datatype::Int))
+        .with(OpSpec::reduce(1, Datatype::Int, ReduceOp::Add))
+        .with(OpSpec::scatter(2, Datatype::Int))
+        .with(OpSpec::gather(3, Datatype::Int));
+    let report = run_spmd(
+        &topo,
+        meta,
+        move |ctx: SmiCtx| {
+            let comm = ctx.world();
+            let rank = comm.rank();
+            let n = comm.size();
+            let is_root = rank == root;
+            // --- bcast ---
+            let mut bcast_buf: Vec<i32> = if is_root {
+                (0..count as i32).map(|i| i * 7 - 3).collect()
+            } else {
+                vec![0; count as usize]
+            };
+            let mut ch = ctx
+                .open_bcast_channel::<i32>(count, 0, root, &comm)
+                .unwrap();
+            ch.bcast_slice(&mut bcast_buf).unwrap();
+            drop(ch);
+            // --- reduce ---
+            let contrib: Vec<i32> = (0..count as i32).map(|i| i + rank as i32 * 1000).collect();
+            let mut reduce_out = vec![0i32; count as usize];
+            let mut ch = ctx
+                .open_reduce_channel::<i32>(count, 1, root, &comm)
+                .unwrap();
+            ch.reduce_slice(&contrib, &mut reduce_out).unwrap();
+            drop(ch);
+            if !is_root {
+                reduce_out.clear();
+            }
+            // --- scatter ---
+            let mut ch = ctx
+                .open_scatter_channel::<i32>(count, 2, root, &comm)
+                .unwrap();
+            if is_root {
+                let src: Vec<i32> = (0..(count * n as u64) as i32).map(|i| i * 2 + 5).collect();
+                ch.push_slice(&src).unwrap();
+            }
+            let mut mine = vec![0i32; count as usize];
+            ch.pop_slice(&mut mine).unwrap();
+            drop(ch);
+            // --- gather ---
+            let mut ch = ctx
+                .open_gather_channel::<i32>(count, 3, root, &comm)
+                .unwrap();
+            let own: Vec<i32> = (0..count as i32).map(|i| rank as i32 * 100 + i).collect();
+            ch.push_slice(&own).unwrap();
+            let gathered = if is_root {
+                let mut all = vec![0i32; (count * n as u64) as usize];
+                ch.pop_slice(&mut all).unwrap();
+                all
+            } else {
+                Vec::new()
+            };
+            (bcast_buf, reduce_out, mine, gathered)
+        },
+        params,
+    )
+    .unwrap();
+    report.results
+}
+
+/// Verify one `run_all_collectives` outcome against the expected data.
+fn check_all_collectives(results: &[CollOutcome], root: usize, count: u64) {
+    let n = results.len();
+    let want_bcast: Vec<i32> = (0..count as i32).map(|i| i * 7 - 3).collect();
+    let want_reduce: Vec<i32> = (0..count as i32)
+        .map(|i| (0..n as i32).map(|r| i + r * 1000).sum())
+        .collect();
+    let want_gather: Vec<i32> = (0..n as i32)
+        .flat_map(|r| (0..count as i32).map(move |i| r * 100 + i))
+        .collect();
+    for (rank, (bcast, reduce, mine, gathered)) in results.iter().enumerate() {
+        assert_eq!(bcast, &want_bcast, "bcast rank {rank} (n={n} root={root})");
+        let want_scatter: Vec<i32> = (0..count as i32)
+            .map(|i| (rank as i32 * count as i32 + i) * 2 + 5)
+            .collect();
+        assert_eq!(
+            mine, &want_scatter,
+            "scatter rank {rank} (n={n} root={root})"
+        );
+        if rank == root {
+            assert_eq!(reduce, &want_reduce, "reduce root (n={n} root={root})");
+            assert_eq!(gathered, &want_gather, "gather root (n={n} root={root})");
+        } else {
+            assert!(reduce.is_empty() && gathered.is_empty());
+        }
+    }
+}
+
+#[test]
+fn tree_collectives_all_four() {
+    // Tree scheme across assorted communicator sizes (powers of two and
+    // not) and rotated roots; count chosen so packets are partial and the
+    // reduce spans several credit windows.
+    for (ranks, root) in [(2, 0), (3, 1), (6, 5), (9, 2), (12, 0)] {
+        let params = RuntimeParams {
+            reduce_credits: 16,
+            ..Default::default()
+        };
+        let results = run_all_collectives(ranks, root, 37, CollectiveScheme::Tree, params);
+        check_all_collectives(&results, root, 37);
+    }
+}
+
+#[test]
+fn tree_collectives_tight_buffers() {
+    // Tiny FIFOs + per-packet handover: interior forwarding must survive
+    // maximal backpressure without deadlock or reordering.
+    let results = run_all_collectives(7, 3, 23, CollectiveScheme::Tree, RuntimeParams::tight());
+    check_all_collectives(&results, 3, 23);
+}
+
+#[test]
+fn tree_matches_linear_33_ranks() {
+    // The largest non-power-of-two acceptance shape: results must be
+    // identical between the schemes, element for element.
+    let count = 19u64;
+    let lin = run_all_collectives(33, 4, count, CollectiveScheme::Linear, Default::default());
+    let tree = run_all_collectives(33, 4, count, CollectiveScheme::Tree, Default::default());
+    assert_eq!(lin, tree);
+    check_all_collectives(&tree, 4, count);
+}
+
+#[test]
+fn reduce_tail_window_no_overgrant() {
+    // Regression: with a count that is not a multiple of the credit
+    // window (and a rank count that is not a power of two), the final
+    // window grant must be clamped to the tail. The leaves verify the
+    // invariant on the wire — an over-grant surfaces as a
+    // ProtocolViolation instead of passing silently.
+    for scheme in [CollectiveScheme::Linear, CollectiveScheme::Tree] {
+        let params = RuntimeParams {
+            reduce_credits: 4, // count = 10 → windows 4 + 4 + tail 2
+            collective_scheme: scheme,
+            ..Default::default()
+        };
+        let results = run_all_collectives(3, 0, 10, scheme, params);
+        check_all_collectives(&results, 0, 10);
+    }
+}
+
+#[test]
+fn blocking_deadline_bounds_trickling_collective() {
+    // A peer that pops one element per poll (with a nap in between) keeps
+    // resetting the root's stall deadline — without an overall deadline the
+    // root's blocking bcast_slice would run for ~n × nap. With
+    // `blocking_deadline` set, the call must end (complete or error)
+    // within the bound.
+    let topo = Topology::bus(2);
+    let metas: Vec<ProgramMeta> = (0..2)
+        .map(|_| ProgramMeta::new().with(OpSpec::bcast(0, Datatype::Int)))
+        .collect();
+    let n = 4096u64;
+    let params = RuntimeParams {
+        blocking_timeout: std::time::Duration::from_millis(500),
+        blocking_deadline: Some(std::time::Duration::from_millis(300)),
+        // Small FIFOs so backpressure reaches the root long before the
+        // message completes — the transport must not buffer the whole
+        // stream.
+        endpoint_fifo_depth: 4,
+        ck_fifo_depth: 4,
+        burst_packets: 8,
+        ..Default::default()
+    };
+    let start = std::time::Instant::now();
+    let programs: Vec<Prog<Result<(), SmiError>>> = vec![
+        Box::new(move |ctx: SmiCtx| {
+            let comm = ctx.world();
+            let mut ch = ctx.open_bcast_channel::<i32>(n, 0, 0, &comm)?;
+            let mut data: Vec<i32> = (0..n as i32).collect();
+            ch.bcast_slice(&mut data)
+        }),
+        Box::new(move |ctx: SmiCtx| {
+            let comm = ctx.world();
+            let mut ch = ctx.open_bcast_channel::<i32>(n, 0, 0, &comm)?;
+            for _ in 0..n {
+                let mut v = 0i32;
+                ch.bcast(&mut v)?;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            Ok(())
+        }),
+    ];
+    let report = run_mpmd(&topo, metas, programs, params).unwrap();
+    // The root must have been cut off by the overall deadline (the peer
+    // trickles for ~4 s, far past the 300 ms bound) …
+    assert!(
+        matches!(report.results[0], Err(SmiError::DeadlineExceeded { .. })),
+        "{:?}",
+        report.results[0]
+    );
+    // … and within the bound plus scheduling slack, not the stall bound
+    // times the packet count.
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(3),
+        "deadline did not bound total time: {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn task_plane_single_stuck_rank_surfaces_id() {
+    // Two ranks finish immediately; rank 2 livelocks (Pending forever).
+    // The per-rank watchdog must name exactly the stuck rank instead of
+    // hiding it behind the other ranks' progress.
+    struct DoneNow;
+    impl RankTask for DoneNow {
+        fn poll(&mut self) -> Result<TaskStatus, SmiError> {
+            Ok(TaskStatus::Done)
+        }
+    }
+    struct Stuck;
+    impl RankTask for Stuck {
+        fn poll(&mut self) -> Result<TaskStatus, SmiError> {
+            Ok(TaskStatus::Pending)
+        }
+    }
+    let topo = Topology::bus(3);
+    let metas = vec![ProgramMeta::new(); 3];
+    let params = RuntimeParams {
+        blocking_timeout: std::time::Duration::from_millis(200),
+        ..Default::default()
+    };
+    let factories: Vec<TaskFactory> = (0..3)
+        .map(|r| {
+            let f: TaskFactory = Box::new(move |_ctx: SmiCtx| {
+                Ok(if r == 2 {
+                    Box::new(Stuck) as Box<dyn RankTask>
+                } else {
+                    Box::new(DoneNow) as Box<dyn RankTask>
+                })
+            });
+            f
+        })
+        .collect();
+    let report = run_mpmd_tasks(&topo, metas, factories, params).unwrap();
+    assert!(report.results[0].is_ok() && report.results[1].is_ok());
+    assert!(
+        matches!(report.results[2], Err(SmiError::Stalled { rank: 2 })),
+        "{:?}",
+        report.results[2]
+    );
+}
+
+#[test]
+fn task_plane_tree_collectives_16_ranks() {
+    // Tree-scheme bcast + reduce driven entirely by cooperative tasks:
+    // interior forwarders/combiners make progress from poll() alone.
+    let ranks = 16usize;
+    let n = 700u64;
+    let root = 0usize;
+    let topo = Topology::bus(ranks);
+    let metas: Vec<ProgramMeta> = (0..ranks)
+        .map(|_| {
+            ProgramMeta::new()
+                .with(OpSpec::bcast(0, Datatype::Int))
+                .with(OpSpec::reduce(1, Datatype::Int, ReduceOp::Add))
+        })
+        .collect();
+    let out = std::sync::Arc::new(parking_lot::Mutex::new(vec![
+        (Vec::new(), Vec::new());
+        ranks
+    ]));
+    let params = RuntimeParams {
+        collective_scheme: CollectiveScheme::Tree,
+        ..Default::default()
+    };
+    let factories: Vec<TaskFactory> = (0..ranks)
+        .map(|r| {
+            let out = out.clone();
+            let f: TaskFactory = Box::new(move |ctx: SmiCtx| {
+                let comm = ctx.world();
+                let ch = ctx.open_bcast_channel_poll::<i32>(n, 0, root, &comm)?;
+                let buf: Vec<i32> = if r == root {
+                    (0..n as i32).map(|i| i * 3 + 1).collect()
+                } else {
+                    vec![0; n as usize]
+                };
+                Ok(Box::new(CollTask {
+                    ctx,
+                    n,
+                    root,
+                    phase: CollPhase::Bcast { ch, buf, off: 0 },
+                    out,
+                }) as Box<dyn RankTask>)
+            });
+            f
+        })
+        .collect();
+    let report = run_mpmd_tasks(&topo, metas, factories, params).unwrap();
+    for (r, res) in report.results.iter().enumerate() {
+        assert!(res.is_ok(), "rank {r}: {res:?}");
+    }
+    let out = out.lock();
+    let want_bcast: Vec<i32> = (0..n as i32).map(|i| i * 3 + 1).collect();
+    for (r, (bcast, _)) in out.iter().enumerate() {
+        assert_eq!(bcast, &want_bcast, "bcast rank {r}");
+    }
+    let want_reduce: Vec<i32> = (0..n as i32)
+        .map(|i| ranks as i32 * i + (0..ranks as i32).sum::<i32>())
+        .collect();
+    assert_eq!(out[root].1, want_reduce, "reduce root results");
 }
