@@ -1,0 +1,11 @@
+//! `smi-launch`: run one SMI cluster split across OS processes.
+//!
+//! Reads a hostfile-style JSON process plan (backend, topology, rank
+//! partition), spawns one child process per plan entry, bootstraps the
+//! socket mesh, runs the rooted-collective workload, and reaps children —
+//! naming the failed process and exiting non-zero on any fault. See
+//! [`smi::proc`] for the plan schema and protocol.
+
+fn main() {
+    std::process::exit(smi::proc::launch_cli(std::env::args().skip(1).collect()));
+}

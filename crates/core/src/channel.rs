@@ -31,6 +31,7 @@ use crossbeam::channel::TrySendError;
 use smi_wire::{Deframer, Framer, NetworkPacket, PacketOp, SmiType};
 
 use crate::endpoint::{send_burst, send_packet, EndpointTableHandle, RecvRes, SendRes};
+use crate::transport::socket::FabricHealth;
 use crate::transport::Burst;
 use crate::SmiError;
 
@@ -64,6 +65,7 @@ pub struct SendChannel<T: SmiType> {
     staged: Burst,
     /// Burst size cap ([`crate::RuntimeParams::burst_packets`]).
     max_burst: usize,
+    health: FabricHealth,
     _elem: PhantomData<T>,
 }
 
@@ -93,6 +95,7 @@ impl<T: SmiType> SendChannel<T> {
             Protocol::Eager => u64::MAX,
             Protocol::Credit { window } => window,
         };
+        let health = table.lock().health.clone();
         Ok(SendChannel {
             port,
             count,
@@ -111,14 +114,18 @@ impl<T: SmiType> SendChannel<T> {
             timeout,
             staged: Vec::new(),
             max_burst: max_burst.max(1),
+            health,
             _elem: PhantomData,
         })
     }
 
     /// Blocking wait for a credit grant (credit protocol, empty window).
     fn wait_credit(&mut self) -> Result<(), SmiError> {
-        let res = self.res.as_mut().expect("resource held while open");
-        let pkt = res.credit_rx.recv_packet(self.timeout, "credit grant")?;
+        let got = {
+            let res = self.res.as_mut().expect("resource held while open");
+            res.credit_rx.recv_packet(self.timeout, "credit grant")
+        };
+        let pkt = got.map_err(|e| self.health.escalate(e))?;
         if pkt.header.op != PacketOp::Credit {
             return Err(SmiError::ProtocolViolation {
                 detail: format!("unexpected {:?} on credit path", pkt.header.op),
@@ -155,6 +162,7 @@ impl<T: SmiType> SendChannel<T> {
             self.timeout,
             "send-channel backpressure",
         )
+        .map_err(|e| self.health.escalate(e))
     }
 
     /// Hand the staged burst to the CKS without blocking. Returns `false`
@@ -260,6 +268,13 @@ impl<T: SmiType> SendChannel<T> {
                 break;
             }
         }
+        if consumed == 0 && !values.is_empty() {
+            // Making no headway at all while a peer process is dead: fail
+            // fast instead of letting the caller poll forever.
+            if let Some(e) = self.health.error() {
+                return Err(e);
+            }
+        }
         Ok(consumed)
     }
 
@@ -351,6 +366,7 @@ pub struct RecvChannel<T: SmiType> {
     /// checked at packet boundaries on the bulk paths.
     ungranted: u64,
     timeout: Duration,
+    health: FabricHealth,
     _elem: PhantomData<T>,
 }
 
@@ -373,6 +389,7 @@ impl<T: SmiType> RecvChannel<T> {
                 requested: T::DATATYPE,
             });
         }
+        let health = table.lock().health.clone();
         Ok(RecvChannel {
             port,
             count,
@@ -385,6 +402,7 @@ impl<T: SmiType> RecvChannel<T> {
             protocol,
             ungranted: 0,
             timeout,
+            health,
             _elem: PhantomData,
         })
     }
@@ -442,8 +460,11 @@ impl<T: SmiType> RecvChannel<T> {
             return Err(SmiError::CountExceeded { count: self.count });
         }
         while self.deframer.is_empty() {
-            let res = self.res.as_mut().expect("resource held while open");
-            let pkt = res.from_ckr.recv_packet(self.timeout, "message data")?;
+            let got = {
+                let res = self.res.as_mut().expect("resource held while open");
+                res.from_ckr.recv_packet(self.timeout, "message data")
+            };
+            let pkt = got.map_err(|e| self.health.escalate(e))?;
             self.refill(pkt)?;
         }
         let v = self.deframer.pop::<T>().expect("non-empty deframer");
@@ -466,8 +487,11 @@ impl<T: SmiType> RecvChannel<T> {
         let mut filled = 0usize;
         while filled < out.len() {
             if self.deframer.is_empty() {
-                let res = self.res.as_mut().expect("resource held while open");
-                let pkt = res.from_ckr.recv_packet(self.timeout, "message data")?;
+                let got = {
+                    let res = self.res.as_mut().expect("resource held while open");
+                    res.from_ckr.recv_packet(self.timeout, "message data")
+                };
+                let pkt = got.map_err(|e| self.health.escalate(e))?;
                 self.refill(pkt)?;
             }
             filled += self.drain_deframer(&mut out[filled..]);
@@ -497,6 +521,13 @@ impl<T: SmiType> RecvChannel<T> {
             }
             filled += self.drain_deframer(&mut out[filled..]);
             self.maybe_grant(false)?;
+        }
+        if filled == 0 && !out.is_empty() {
+            // Nothing buffered and nothing can arrive from a dead peer
+            // process: fail fast instead of polling forever.
+            if let Some(e) = self.health.error() {
+                return Err(e);
+            }
         }
         Ok(filled)
     }

@@ -21,6 +21,7 @@ use parking_lot::Mutex;
 use smi_codegen::OpKind;
 use smi_wire::{Datatype, NetworkPacket, ReduceOp};
 
+use crate::transport::socket::FabricHealth;
 use crate::transport::Burst;
 use crate::SmiError;
 
@@ -157,6 +158,7 @@ pub(crate) struct CollIo {
     timeout: Duration,
     deadline: Option<Duration>,
     max_burst: usize,
+    health: FabricHealth,
 }
 
 impl CollIo {
@@ -178,6 +180,7 @@ impl CollIo {
                 requested: dtype,
             });
         }
+        let health = table.lock().health.clone();
         Ok(CollIo {
             port,
             res: Some(res),
@@ -186,6 +189,7 @@ impl CollIo {
             timeout: params.blocking_timeout,
             deadline: params.blocking_deadline,
             max_burst: params.burst_packets.max(1),
+            health,
         })
     }
 
@@ -267,13 +271,31 @@ impl CollIo {
     }
 
     /// Non-blocking receive from the data/sync delivery path.
+    ///
+    /// Buffered packets are always delivered; once the path runs empty
+    /// *and* a peer process has died, the op fails fast with
+    /// [`SmiError::PeerDisconnected`] — a collective spans every member, so
+    /// waiting out the stall could only end in a timeout anyway.
     pub fn try_recv_data(&mut self) -> Result<Option<NetworkPacket>, SmiError> {
-        self.res_mut().rx.try_recv_packet()
+        match self.res_mut().rx.try_recv_packet()? {
+            Some(p) => Ok(Some(p)),
+            None => match self.health.error() {
+                Some(e) => Err(e),
+                None => Ok(None),
+            },
+        }
     }
 
-    /// Non-blocking receive from the credit delivery path.
+    /// Non-blocking receive from the credit delivery path (same
+    /// peer-death fail-fast as [`CollIo::try_recv_data`]).
     pub fn try_recv_credit(&mut self) -> Result<Option<NetworkPacket>, SmiError> {
-        self.res_mut().credit_rx.try_recv_packet()
+        match self.res_mut().credit_rx.try_recv_packet()? {
+            Some(p) => Ok(Some(p)),
+            None => match self.health.error() {
+                Some(e) => Err(e),
+                None => Ok(None),
+            },
+        }
     }
 }
 
@@ -348,6 +370,11 @@ pub(crate) struct PortEndpoints {
 #[derive(Debug, Default)]
 pub(crate) struct EndpointTable {
     pub ports: HashMap<usize, PortEndpoints>,
+    /// Fabric-wide peer-liveness board (set by the wiring; the default
+    /// never reports down). Channels clone it at open so a dead peer
+    /// process surfaces as [`SmiError::PeerDisconnected`] instead of a
+    /// generic timeout.
+    pub health: FabricHealth,
     declared_send: Vec<usize>,
     declared_recv: Vec<usize>,
     declared_coll: Vec<(usize, OpKind)>,
@@ -359,6 +386,14 @@ pub(crate) struct EndpointTable {
 pub(crate) type EndpointTableHandle = Arc<Mutex<EndpointTable>>;
 
 impl EndpointTable {
+    /// An empty table wired to the given fabric-health board.
+    pub fn with_health(health: FabricHealth) -> EndpointTable {
+        EndpointTable {
+            health,
+            ..EndpointTable::default()
+        }
+    }
+
     /// Record a declared endpoint (wiring time).
     pub fn declare(&mut self, port: usize, kind: OpKind) {
         match kind {

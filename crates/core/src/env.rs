@@ -24,6 +24,7 @@
 //!   open collectives with the rendezvous-free `open_*_channel_poll`
 //!   variants.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -40,7 +41,10 @@ use crate::comm::{Communicator, SplitBoard};
 use crate::endpoint::{new_table, EndpointTable, EndpointTableHandle};
 use crate::params::RuntimeParams;
 use crate::transport::executor::{Pollable, ShardedExecutor, Step};
-use crate::transport::wiring::build_transport;
+use crate::transport::socket::FabricHealth;
+use crate::transport::wiring::{
+    build_transport, build_transport_with, FabricLinks, TransportHandle,
+};
 use crate::transport::TransportStats;
 use crate::SmiError;
 
@@ -403,6 +407,9 @@ pub enum LaunchError {
     Codegen(CodegenError),
     /// Route generation failed.
     Topology(TopologyError),
+    /// Invalid process plan, or the cross-process fabric could not be
+    /// established (socket setup/IO failure).
+    Plan(String),
 }
 
 impl std::fmt::Display for LaunchError {
@@ -410,19 +417,20 @@ impl std::fmt::Display for LaunchError {
         match self {
             LaunchError::Codegen(e) => write!(f, "codegen: {e}"),
             LaunchError::Topology(e) => write!(f, "topology: {e}"),
+            LaunchError::Plan(e) => write!(f, "process plan: {e}"),
         }
     }
 }
 
 impl std::error::Error for LaunchError {}
 
-/// Validate the launch inputs and build the transport.
+/// Validate the launch inputs and build the transport (all ranks local).
 fn prepare(
     topo: &Topology,
     metas: &[ProgramMeta],
     params: &RuntimeParams,
     stats: TransportStats,
-) -> Result<crate::transport::wiring::TransportHandle, LaunchError> {
+) -> Result<TransportHandle, LaunchError> {
     assert_eq!(metas.len(), topo.num_ranks(), "one ProgramMeta per rank");
     let design = ClusterDesign::mpmd(metas, topo).map_err(LaunchError::Codegen)?;
     design
@@ -430,6 +438,90 @@ fn prepare(
         .map_err(LaunchError::Codegen)?;
     let plan = RoutingPlan::compute(topo).map_err(LaunchError::Topology)?;
     Ok(build_transport(topo, &plan, &design, params, stats))
+}
+
+/// [`prepare`] for a fabric split across OS processes: builds only the
+/// ranks marked local in `links`, splicing the pre-established external
+/// links (socket-backed or otherwise) into the cross-rank edges. Every
+/// process must run this with the *same* topology and metas so the
+/// cluster design — and therefore the edge set — agrees on both sides of
+/// every socket.
+pub(crate) fn prepare_with(
+    topo: &Topology,
+    metas: &[ProgramMeta],
+    params: &RuntimeParams,
+    stats: TransportStats,
+    links: FabricLinks,
+) -> Result<TransportHandle, LaunchError> {
+    assert_eq!(metas.len(), topo.num_ranks(), "one ProgramMeta per rank");
+    let design = ClusterDesign::mpmd(metas, topo).map_err(LaunchError::Codegen)?;
+    design
+        .validate_collectives()
+        .map_err(LaunchError::Codegen)?;
+    let plan = RoutingPlan::compute(topo).map_err(LaunchError::Topology)?;
+    Ok(build_transport_with(
+        topo, &plan, &design, params, stats, links,
+    ))
+}
+
+/// Where this process's ranks live relative to the rest of the cluster —
+/// what the stall watchdog and error escalation need to say something
+/// useful when the other side of a socket stops talking.
+pub(crate) struct FabricDiag {
+    /// Transport backend carrying cross-process edges (`"inmem"`, `"uds"`,
+    /// `"tcp"`).
+    pub backend: &'static str,
+    /// Peer-liveness board shared with the socket pumps.
+    pub health: FabricHealth,
+    /// World rank → (process index, peer address) for every rank hosted by
+    /// another OS process. Empty when the whole fabric is in-memory.
+    pub remote: HashMap<usize, (usize, String)>,
+}
+
+impl Default for FabricDiag {
+    fn default() -> Self {
+        FabricDiag {
+            backend: "inmem",
+            health: FabricHealth::default(),
+            remote: HashMap::new(),
+        }
+    }
+}
+
+/// Render the task-plane stall report: which world ranks stopped making
+/// progress, over which backend, and — when the fabric spans processes —
+/// which remote peer is implicated (by address, so an operator can find
+/// the dead process without cross-referencing the process plan).
+pub(crate) fn stall_message(stalled: &[usize], diag: &FabricDiag) -> String {
+    let mut msg = format!(
+        "smi: stall watchdog: rank(s) {stalled:?} made no progress within the blocking deadline \
+         (backend={})",
+        diag.backend
+    );
+    if let Some(pd) = diag.health.peer_down() {
+        msg.push_str(&format!(
+            "; peer rank {} is down (process {}, {} {}): {}",
+            pd.rank, pd.process, pd.backend, pd.addr, pd.detail
+        ));
+    } else if !diag.remote.is_empty() {
+        let mut peers: Vec<String> = diag
+            .remote
+            .iter()
+            .map(|(r, (p, addr))| format!("rank {r} (process {p}, {addr})"))
+            .collect();
+        peers.sort();
+        msg.push_str(&format!("; remote peers: {}", peers.join(", ")));
+    }
+    msg
+}
+
+/// Results of running one process's share of the cluster: world-rank-tagged
+/// outcomes plus the thread bill.
+pub(crate) struct GroupOutcome<T> {
+    /// `(world_rank, result)` for every rank this process hosted.
+    pub results: Vec<(usize, T)>,
+    /// OS threads spawned (rank threads, if any, plus executor workers).
+    pub threads_spawned: usize,
 }
 
 fn make_ctx(
@@ -450,24 +542,38 @@ fn make_ctx(
     }
 }
 
-/// Run an MPMD program: one closure per rank, each with its own op metadata.
-pub fn run_mpmd<T: Send + 'static>(
-    topo: &Topology,
-    metas: Vec<ProgramMeta>,
+/// Run one process's ranks in thread-per-rank mode: spawn a thread per
+/// local rank, drive the machines (CK kernels plus any socket pumps) on
+/// the sharded executor, and only tear the executor down after
+/// `on_complete` returns.
+///
+/// `on_complete` is the fabric-wide completion barrier: when the cluster
+/// is split across OS processes it must not return until *every* rank in
+/// *every* process finished, so a peer still draining its final bursts
+/// never observes this process's sockets closing early. A rank finishing
+/// proves all data it needed arrived, so once all ranks everywhere are
+/// done, anything still in flight is protocol residue and the sockets can
+/// drop. Single-process callers pass a no-op. The barrier is waited even
+/// when a local rank panicked — peers must not hang on a barrier this
+/// process abandoned — and the panic is resumed after teardown.
+///
+/// `programs` aligns with `tables` (both ordered by world rank).
+pub(crate) fn run_group_threaded<T: Send + 'static>(
+    tables: Vec<(usize, EndpointTable)>,
     programs: Vec<Box<dyn FnOnce(SmiCtx) -> T + Send>>,
-    params: RuntimeParams,
-) -> Result<RunReport<T>, LaunchError> {
-    assert_eq!(programs.len(), topo.num_ranks(), "one program per rank");
-    let stats = TransportStats::default();
-    let transport = prepare(topo, &metas, &params, stats.clone())?;
+    num_ranks: usize,
+    machines: Vec<Box<dyn Pollable>>,
+    params: &RuntimeParams,
+    on_complete: Box<dyn FnOnce() + Send>,
+) -> GroupOutcome<T> {
+    assert_eq!(tables.len(), programs.len(), "one program per local rank");
     let stop = Arc::new(AtomicBool::new(false));
-    let executor =
-        ShardedExecutor::spawn(transport.machines, params.resolved_workers(), stop.clone());
+    let executor = ShardedExecutor::spawn(machines, params.resolved_workers(), stop.clone());
     let board = Arc::new(SplitBoard::default());
-    let num_ranks = topo.num_ranks();
 
-    let mut app_handles = Vec::with_capacity(num_ranks);
-    for (rank, (table, program)) in transport.tables.into_iter().zip(programs).enumerate() {
+    let world: Vec<usize> = tables.iter().map(|(r, _)| *r).collect();
+    let mut app_handles = Vec::with_capacity(tables.len());
+    for ((rank, table), program) in tables.into_iter().zip(programs) {
         let board = board.clone();
         let params = params.clone();
         app_handles.push(
@@ -478,11 +584,11 @@ pub fn run_mpmd<T: Send + 'static>(
         );
     }
     let threads_spawned = app_handles.len() + executor.num_workers();
-    let mut results = Vec::with_capacity(num_ranks);
+    let mut results = Vec::with_capacity(app_handles.len());
     let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
-    for h in app_handles {
+    for (i, h) in app_handles.into_iter().enumerate() {
         match h.join() {
-            Ok(v) => results.push(v),
+            Ok(v) => results.push((world[i], v)),
             Err(p) => {
                 // Release everything so remaining joins cannot hang forever.
                 stop.store(true, Ordering::SeqCst);
@@ -490,15 +596,48 @@ pub fn run_mpmd<T: Send + 'static>(
             }
         }
     }
+    on_complete();
     stop.store(true, Ordering::SeqCst);
     executor.join();
     if let Some(p) = panic {
         std::panic::resume_unwind(p);
     }
-    Ok(RunReport {
+    GroupOutcome {
         results,
-        transport: stats.snapshot(),
         threads_spawned,
+    }
+}
+
+/// Run an MPMD program: one closure per rank, each with its own op metadata.
+pub fn run_mpmd<T: Send + 'static>(
+    topo: &Topology,
+    metas: Vec<ProgramMeta>,
+    programs: Vec<Box<dyn FnOnce(SmiCtx) -> T + Send>>,
+    params: RuntimeParams,
+) -> Result<RunReport<T>, LaunchError> {
+    assert_eq!(programs.len(), topo.num_ranks(), "one program per rank");
+    let stats = TransportStats::default();
+    let transport = prepare(topo, &metas, &params, stats.clone())?;
+    let num_ranks = topo.num_ranks();
+    let outcome = run_group_threaded(
+        transport.tables,
+        programs,
+        num_ranks,
+        transport.machines,
+        &params,
+        Box::new(|| {}),
+    );
+    let mut slots: Vec<Option<T>> = (0..num_ranks).map(|_| None).collect();
+    for (rank, v) in outcome.results {
+        slots[rank] = Some(v);
+    }
+    Ok(RunReport {
+        results: slots
+            .into_iter()
+            .map(|s| s.expect("one result per rank"))
+            .collect(),
+        transport: stats.snapshot(),
+        threads_spawned: outcome.threads_spawned,
     })
 }
 
@@ -630,16 +769,56 @@ pub fn run_mpmd_tasks(
     assert_eq!(factories.len(), topo.num_ranks(), "one task per rank");
     let stats = TransportStats::default();
     let transport = prepare(topo, &metas, &params, stats.clone())?;
+    let num_ranks = topo.num_ranks();
+    let diag = FabricDiag::default();
+    let outcome = run_group_tasks(
+        transport.tables,
+        factories,
+        num_ranks,
+        transport.machines,
+        &params,
+        &diag,
+        Box::new(|| {}),
+    );
+    let mut results: Vec<Result<(), SmiError>> = (0..num_ranks)
+        .map(|_| Err(SmiError::TransportClosed))
+        .collect();
+    for (rank, res) in outcome.results {
+        results[rank] = res;
+    }
+    Ok(RunReport {
+        results,
+        transport: stats.snapshot(),
+        threads_spawned: outcome.threads_spawned,
+    })
+}
+
+/// Run one process's ranks in cooperative task mode: rank tasks and
+/// machines (CK kernels plus socket pumps) all on the executor's worker
+/// pool. See [`run_group_threaded`] for the `on_complete` completion
+/// barrier contract; `factories` aligns with `tables`.
+pub(crate) fn run_group_tasks(
+    tables: Vec<(usize, EndpointTable)>,
+    factories: Vec<TaskFactory>,
+    num_ranks: usize,
+    machines: Vec<Box<dyn Pollable>>,
+    params: &RuntimeParams,
+    diag: &FabricDiag,
+    on_complete: Box<dyn FnOnce() + Send>,
+) -> GroupOutcome<Result<(), SmiError>> {
+    assert_eq!(tables.len(), factories.len(), "one task per local rank");
     let stop = Arc::new(AtomicBool::new(false));
     let board = Arc::new(SplitBoard::default());
-    let num_ranks = topo.num_ranks();
+    let locals = tables.len();
+    let world: Vec<usize> = tables.iter().map(|(r, _)| *r).collect();
+    let local_of: HashMap<usize, usize> = world.iter().enumerate().map(|(i, &r)| (r, i)).collect();
     let (done_tx, done_rx) = crossbeam::channel::unbounded();
 
-    let rank_progress: Vec<Arc<std::sync::atomic::AtomicU64>> = (0..num_ranks)
+    let rank_progress: Vec<Arc<std::sync::atomic::AtomicU64>> = (0..locals)
         .map(|_| Arc::new(std::sync::atomic::AtomicU64::new(0)))
         .collect();
-    let mut items: Vec<Box<dyn Pollable>> = transport.machines;
-    for (rank, (table, factory)) in transport.tables.into_iter().zip(factories).enumerate() {
+    let mut items: Vec<Box<dyn Pollable>> = machines;
+    for (i, ((rank, table), factory)) in tables.into_iter().zip(factories).enumerate() {
         items.push(Box::new(RankTaskItem {
             rank,
             state: TaskState::Init {
@@ -647,18 +826,18 @@ pub fn run_mpmd_tasks(
                 factory,
             },
             done_tx: done_tx.clone(),
-            progress: rank_progress[rank].clone(),
+            progress: rank_progress[i].clone(),
         }));
     }
     drop(done_tx);
     let executor = ShardedExecutor::spawn(items, params.resolved_workers(), stop.clone());
     let threads_spawned = executor.num_workers();
 
-    let mut results: Vec<Result<(), SmiError>> = (0..num_ranks)
+    let mut results: Vec<Result<(), SmiError>> = (0..locals)
         .map(|_| Err(SmiError::TransportClosed))
         .collect();
-    let mut reported = vec![false; num_ranks];
-    let mut remaining = num_ranks;
+    let mut reported = vec![false; locals];
+    let mut remaining = locals;
     // Stall watchdog: the blocking plane bounds every stalled operation by
     // `blocking_timeout`; the cooperative plane's analogue is "no unfinished
     // rank task made progress for a whole timeout window" — e.g. a failed
@@ -666,9 +845,11 @@ pub fn run_mpmd_tasks(
     // *per rank* (not executor-wide), so a livelocked rank cannot be masked
     // by transport churn or other ranks' activity, and the stall report
     // names exactly the ranks that stopped moving. The run is only ended
-    // when every unfinished rank stalled — a single rank legitimately idle
-    // while its peers stream (e.g. awaiting a serialized gather grant) does
-    // not trip it.
+    // when every unfinished local rank stalled — a single rank legitimately
+    // idle while its peers stream (e.g. awaiting a serialized gather grant)
+    // does not trip it. When the fabric spans processes and a peer process
+    // is known dead, the stall is reported as [`SmiError::PeerDisconnected`]
+    // rather than a generic [`SmiError::Stalled`].
     let snapshot = |v: &[Arc<std::sync::atomic::AtomicU64>]| -> Vec<u64> {
         v.iter().map(|c| c.load(Ordering::Relaxed)).collect()
     };
@@ -676,18 +857,27 @@ pub fn run_mpmd_tasks(
     while remaining > 0 {
         match done_rx.recv_timeout(params.blocking_timeout) {
             Ok((rank, res)) => {
-                results[rank] = res;
-                reported[rank] = true;
+                let i = local_of[&rank];
+                results[i] = res;
+                reported[i] = true;
                 remaining -= 1;
             }
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                 let now = snapshot(&rank_progress);
-                let stalled: Vec<usize> = (0..num_ranks)
-                    .filter(|&r| !reported[r] && now[r] == last_progress[r])
+                let stalled: Vec<usize> = (0..locals)
+                    .filter(|&i| !reported[i] && now[i] == last_progress[i])
+                    .map(|i| world[i])
                     .collect();
                 if stalled.len() == remaining {
+                    eprintln!("{}", stall_message(&stalled, diag));
+                    let peer_down = diag.health.error();
                     for rank in stalled {
-                        results[rank] = Err(SmiError::Stalled { rank });
+                        results[local_of[&rank]] = match &peer_down {
+                            Some(SmiError::PeerDisconnected { rank: down }) => {
+                                Err(SmiError::PeerDisconnected { rank: *down })
+                            }
+                            _ => Err(SmiError::Stalled { rank }),
+                        };
                     }
                     break;
                 }
@@ -696,13 +886,13 @@ pub fn run_mpmd_tasks(
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
         }
     }
+    on_complete();
     stop.store(true, Ordering::SeqCst);
     executor.join();
-    Ok(RunReport {
-        results,
-        transport: stats.snapshot(),
+    GroupOutcome {
+        results: world.into_iter().zip(results).collect(),
         threads_spawned,
-    })
+    }
 }
 
 /// SPMD variant of [`run_mpmd_tasks`]: one factory closure, cloned per rank.
@@ -729,3 +919,64 @@ where
 // doc examples.
 #[allow(unused_imports)]
 use OpKind as _OpKindUsed;
+
+#[cfg(test)]
+mod tests {
+    use super::{stall_message, FabricDiag};
+    use crate::transport::socket::{FabricHealth, PeerDown};
+    use std::collections::HashMap;
+
+    #[test]
+    fn stall_message_names_backend() {
+        let diag = FabricDiag::default();
+        let msg = stall_message(&[0, 2], &diag);
+        assert!(msg.contains("rank(s) [0, 2]"), "{msg}");
+        assert!(msg.contains("backend=inmem"), "{msg}");
+        assert!(!msg.contains("remote peers"), "{msg}");
+    }
+
+    #[test]
+    fn stall_message_lists_remote_peer_addresses() {
+        let mut remote = HashMap::new();
+        remote.insert(2, (1, "uds:///tmp/peer.sock".to_string()));
+        remote.insert(3, (1, "uds:///tmp/peer.sock".to_string()));
+        let diag = FabricDiag {
+            backend: "uds",
+            health: FabricHealth::default(),
+            remote,
+        };
+        let msg = stall_message(&[0], &diag);
+        assert!(msg.contains("backend=uds"), "{msg}");
+        assert!(
+            msg.contains("rank 2 (process 1, uds:///tmp/peer.sock)"),
+            "{msg}"
+        );
+        assert!(msg.contains("rank 3 (process 1"), "{msg}");
+    }
+
+    #[test]
+    fn stall_message_prefers_peer_down_details() {
+        let health = FabricHealth::default();
+        health.mark_down(PeerDown {
+            rank: 2,
+            process: 1,
+            backend: "tcp",
+            addr: "tcp://127.0.0.1:4444".to_string(),
+            detail: "connection reset by peer".to_string(),
+        });
+        let mut remote = HashMap::new();
+        remote.insert(2, (1, "tcp://127.0.0.1:4444".to_string()));
+        let diag = FabricDiag {
+            backend: "tcp",
+            health,
+            remote,
+        };
+        let msg = stall_message(&[0, 1], &diag);
+        assert!(
+            msg.contains("peer rank 2 is down (process 1, tcp tcp://127.0.0.1:4444)"),
+            "{msg}"
+        );
+        assert!(msg.contains("connection reset by peer"), "{msg}");
+        assert!(!msg.contains("remote peers:"), "{msg}");
+    }
+}

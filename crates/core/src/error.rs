@@ -66,6 +66,21 @@ pub enum SmiError {
     },
     /// The transport layer shut down while the channel still needed it.
     TransportClosed,
+    /// An operating-system I/O failure in a socket transport backend
+    /// (connect, bind, read or write). Carries the formatted
+    /// [`std::io::Error`]; convert with the `From<std::io::Error>` impl.
+    Io {
+        /// `ErrorKind` plus the OS error message.
+        detail: String,
+    },
+    /// A peer process's socket link died (EOF or a hard I/O error) while
+    /// channels still depended on it. Unlike [`SmiError::Timeout`] this
+    /// names which peer is gone; `rank` is the lowest world rank hosted by
+    /// the dead process.
+    PeerDisconnected {
+        /// Lowest world rank of the disconnected peer process.
+        rank: usize,
+    },
     /// A packet with an unexpected op arrived on this channel's port.
     ProtocolViolation {
         /// Human-readable description.
@@ -111,6 +126,10 @@ impl fmt::Display for SmiError {
                 write!(f, "rank {rank} made no progress for a full stall window")
             }
             SmiError::TransportClosed => write!(f, "transport layer closed"),
+            SmiError::Io { detail } => write!(f, "transport I/O error: {detail}"),
+            SmiError::PeerDisconnected { rank } => {
+                write!(f, "peer rank {rank} disconnected (process link lost)")
+            }
             SmiError::ProtocolViolation { detail } => write!(f, "protocol violation: {detail}"),
         }
     }
@@ -121,5 +140,13 @@ impl std::error::Error for SmiError {}
 impl From<smi_wire::WireError> for SmiError {
     fn from(e: smi_wire::WireError) -> Self {
         SmiError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for SmiError {
+    fn from(e: std::io::Error) -> Self {
+        SmiError::Io {
+            detail: format!("{:?}: {e}", e.kind()),
+        }
     }
 }

@@ -154,6 +154,7 @@ pub mod endpoint;
 pub mod env;
 pub mod error;
 pub mod params;
+pub mod proc;
 pub mod transport;
 
 pub use channel::{Protocol, RecvChannel, SendChannel};
@@ -167,7 +168,11 @@ pub use env::{
     TaskStatus,
 };
 pub use error::SmiError;
-pub use params::RuntimeParams;
+pub use params::{ReconnectPolicy, RuntimeParams};
+pub use proc::{
+    run_split_mpmd, run_split_mpmd_tasks, run_split_spmd, ProcessPlan, ProcessSpec,
+    TransportBackend,
+};
 
 /// Convenient glob import: the SMI API plus the re-exported foundation types.
 pub mod prelude {
@@ -182,7 +187,11 @@ pub mod prelude {
         TaskFactory, TaskStatus,
     };
     pub use crate::error::SmiError;
-    pub use crate::params::RuntimeParams;
+    pub use crate::params::{ReconnectPolicy, RuntimeParams};
+    pub use crate::proc::{
+        run_split_mpmd, run_split_mpmd_tasks, run_split_spmd, ProcessPlan, ProcessSpec,
+        TransportBackend,
+    };
     pub use smi_codegen::{OpSpec, ProgramMeta};
     pub use smi_topology::Topology;
     pub use smi_wire::{Datatype, ReduceOp, SmiType};

@@ -4,6 +4,28 @@ use std::time::Duration;
 
 use crate::collectives::CollectiveScheme;
 
+/// What a socket transport backend does when a peer connection cannot be
+/// established (or breaks during the bootstrap handshake).
+///
+/// Mid-stream reconnection is deliberately not offered: transient channels
+/// carry protocol state (credits, handshakes) that a fresh socket cannot
+/// resume, so a peer that dies mid-stream always surfaces as
+/// [`crate::SmiError::PeerDisconnected`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconnectPolicy {
+    /// Fail the launch on the first connect error.
+    Fail,
+    /// Retry the connect up to `attempts` times, sleeping `backoff` between
+    /// tries, then fail. This is also the knob that lets a child process
+    /// start before its peers have bound their listeners.
+    Retry {
+        /// Maximum connect attempts (>= 1).
+        attempts: u32,
+        /// Sleep between attempts.
+        backoff: Duration,
+    },
+}
+
 /// Configuration of the thread-based SMI runtime.
 #[derive(Debug, Clone)]
 pub struct RuntimeParams {
@@ -45,6 +67,10 @@ pub struct RuntimeParams {
     /// state machines (and, in task mode, the rank tasks). `0` means
     /// `std::thread::available_parallelism()`.
     pub transport_workers: usize,
+    /// Connect-time behavior of socket transport backends
+    /// ([`ReconnectPolicy`]): retry-with-backoff or fail on the first
+    /// refused connection. Ignored by the in-memory backend.
+    pub socket_reconnect: ReconnectPolicy,
 }
 
 impl Default for RuntimeParams {
@@ -59,6 +85,10 @@ impl Default for RuntimeParams {
             collective_scheme: CollectiveScheme::Linear,
             burst_packets: 16,
             transport_workers: 0,
+            socket_reconnect: ReconnectPolicy::Retry {
+                attempts: 100,
+                backoff: Duration::from_millis(20),
+            },
         }
     }
 }
@@ -77,6 +107,10 @@ impl RuntimeParams {
             collective_scheme: CollectiveScheme::Linear,
             burst_packets: 1,
             transport_workers: 0,
+            socket_reconnect: ReconnectPolicy::Retry {
+                attempts: 100,
+                backoff: Duration::from_millis(20),
+            },
         }
     }
 

@@ -1,0 +1,812 @@
+//! The `smi-launch` process launcher.
+//!
+//! `smi-launch --plan plan.json` reads a [`super::ProcessPlan`], spawns one
+//! OS process per plan entry (re-executing the current binary in `--child`
+//! mode), bootstraps the inter-process socket mesh, runs a rooted-collective
+//! workload on every rank, and reaps the children — naming the failed
+//! process and its ranks, and exiting non-zero, when anything dies.
+//!
+//! Bootstrap runs over a line-based TCP control connection per child:
+//!
+//! ```text
+//! child  -> launcher   hello <proc> <data_listen_addr>
+//! launcher -> children peers <addr0> <addr1> ...
+//! (children dial each other's data listeners; hello frames identify them)
+//! child  -> launcher   wired <proc>
+//! launcher -> children go
+//! (workload runs)
+//! child  -> launcher   done <proc>
+//! launcher -> children halt          (the fabric-wide completion barrier)
+//! ```
+//!
+//! The `done`/`halt` exchange is the cross-process completion barrier (see
+//! [`crate::env::run_group_threaded`]): no child drops its data sockets
+//! until the launcher has heard `done` from every process, so a peer still
+//! draining its final bursts never sees a false disconnect. Fault injection
+//! (`--kill <proc>:<bootstrap|stream>`) makes the named child exit abruptly
+//! at that phase; survivors then report [`SmiError::PeerDisconnected`]
+//! within the blocking deadline and the launcher names the dead process.
+//!
+//! [`SmiError::PeerDisconnected`]: crate::SmiError::PeerDisconnected
+
+use std::fs;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitStatus};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use smi_codegen::{OpSpec, ProgramMeta};
+use smi_wire::{Datatype, ReduceOp};
+
+use super::{build_group_fabric, crossing_pairs, ProcessPlan, TransportBackend};
+use crate::collectives::CollectiveScheme;
+use crate::env::{prepare_with, run_group_threaded, SmiCtx};
+use crate::params::{ReconnectPolicy, RuntimeParams};
+use crate::transport::socket::{recv_hello, send_hello, SocketStream};
+use crate::transport::TransportStats;
+
+const USAGE: &str = "usage: smi-launch --plan <plan.json> [--scheme linear|tree] [--count N] \
+                     [--deadline-ms N] [--timeout-secs N] [--kill <proc>:<bootstrap|stream>]";
+
+/// At which bootstrap phase the `--kill` target aborts itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KillPhase {
+    /// After its control hello, before the data mesh is wired.
+    Bootstrap,
+    /// Partway through the first collective of the workload.
+    Stream,
+}
+
+struct Opts {
+    child: bool,
+    plan_path: String,
+    proc_idx: usize,
+    bootstrap: String,
+    scheme: CollectiveScheme,
+    count: u64,
+    deadline_ms: u64,
+    timeout_secs: u64,
+    kill: Option<(usize, KillPhase)>,
+}
+
+impl Opts {
+    fn parse(args: Vec<String>) -> Result<Opts, String> {
+        let mut o = Opts {
+            child: false,
+            plan_path: String::new(),
+            proc_idx: usize::MAX,
+            bootstrap: String::new(),
+            scheme: CollectiveScheme::Linear,
+            count: 256,
+            deadline_ms: 3000,
+            timeout_secs: 60,
+            kill: None,
+        };
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            let mut val = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
+            match a.as_str() {
+                "--child" => o.child = true,
+                "--plan" => o.plan_path = val("--plan")?,
+                "--proc" => {
+                    o.proc_idx = val("--proc")?
+                        .parse()
+                        .map_err(|_| "bad --proc".to_string())?
+                }
+                "--bootstrap" => o.bootstrap = val("--bootstrap")?,
+                "--scheme" => {
+                    o.scheme = match val("--scheme")?.as_str() {
+                        "linear" => CollectiveScheme::Linear,
+                        "tree" => CollectiveScheme::Tree,
+                        s => return Err(format!("unknown scheme '{s}'")),
+                    }
+                }
+                "--count" => {
+                    o.count = val("--count")?
+                        .parse()
+                        .map_err(|_| "bad --count".to_string())?
+                }
+                "--deadline-ms" => {
+                    o.deadline_ms = val("--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "bad --deadline-ms".to_string())?
+                }
+                "--timeout-secs" => {
+                    o.timeout_secs = val("--timeout-secs")?
+                        .parse()
+                        .map_err(|_| "bad --timeout-secs".to_string())?
+                }
+                "--kill" => {
+                    let spec = val("--kill")?;
+                    let (idx, phase) = spec
+                        .split_once(':')
+                        .ok_or_else(|| "bad --kill (want <proc>:<phase>)".to_string())?;
+                    let idx = idx.parse().map_err(|_| "bad --kill process".to_string())?;
+                    let phase = match phase {
+                        "bootstrap" => KillPhase::Bootstrap,
+                        "stream" => KillPhase::Stream,
+                        p => return Err(format!("unknown kill phase '{p}'")),
+                    };
+                    o.kill = Some((idx, phase));
+                }
+                other => return Err(format!("unknown argument '{other}'")),
+            }
+        }
+        if o.plan_path.is_empty() {
+            return Err("--plan is required".into());
+        }
+        if o.child && (o.proc_idx == usize::MAX || o.bootstrap.is_empty()) {
+            return Err("--child requires --proc and --bootstrap".into());
+        }
+        Ok(o)
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        match self.scheme {
+            CollectiveScheme::Linear => "linear",
+            CollectiveScheme::Tree => "tree",
+        }
+    }
+}
+
+/// Entry point of the `smi-launch` binary: parse `args` (without the
+/// program name) and run launcher or child mode. Returns the process exit
+/// code: `0` on success, `1` when a child failed (the failed process and
+/// its ranks are named on stderr), `2` on usage/setup errors.
+pub fn launch_cli(args: Vec<String>) -> i32 {
+    let opts = match Opts::parse(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("smi-launch: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    if opts.child {
+        match child_run(&opts) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("smi-launch[child {}]: {e}", opts.proc_idx);
+                4
+            }
+        }
+    } else {
+        match launcher_run(&opts) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("smi-launch: {e}");
+                2
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload
+// ---------------------------------------------------------------------------
+
+/// The op metadata of the standard workload: all four rooted collectives,
+/// one port each.
+fn workload_meta() -> ProgramMeta {
+    ProgramMeta::new()
+        .with(OpSpec::bcast(0, Datatype::Int))
+        .with(OpSpec::reduce(1, Datatype::Int, ReduceOp::Add))
+        .with(OpSpec::scatter(2, Datatype::Int))
+        .with(OpSpec::gather(3, Datatype::Int))
+}
+
+/// The standard self-verifying workload: bcast (root 0), reduce-add
+/// (root 0), scatter (root N-1), gather (root 0), `count` elements each,
+/// deterministic rank-derived data. `kill_at` makes the process abort
+/// after moving that many bcast elements (fault injection).
+fn workload_program(
+    count: u64,
+    kill_at: Option<u64>,
+) -> impl Fn(SmiCtx) -> Result<(), String> + Send + Sync + Clone + 'static {
+    move |ctx: SmiCtx| {
+        let comm = ctx.world();
+        let n = ctx.num_ranks() as i32;
+        let me = ctx.rank() as i32;
+        let c = count;
+
+        let mut bc = ctx
+            .open_bcast_channel::<i32>(c, 0, 0, &comm)
+            .map_err(|e| format!("bcast open: {e}"))?;
+        for i in 0..c as i32 {
+            if kill_at == Some(i as u64) {
+                std::process::exit(42);
+            }
+            let mut v = if me == 0 { i * 3 + 1 } else { 0 };
+            bc.bcast(&mut v).map_err(|e| format!("bcast: {e}"))?;
+            if v != i * 3 + 1 {
+                return Err(format!("bcast elem {i}: got {v}, want {}", i * 3 + 1));
+            }
+        }
+
+        let mut rd = ctx
+            .open_reduce_channel::<i32>(c, 1, 0, &comm)
+            .map_err(|e| format!("reduce open: {e}"))?;
+        for i in 0..c as i32 {
+            let contrib = me * 1000 + i;
+            if let Some(v) = rd.reduce(&contrib).map_err(|e| format!("reduce: {e}"))? {
+                let want: i32 = (0..n).map(|r| r * 1000 + i).sum();
+                if v != want {
+                    return Err(format!("reduce elem {i}: got {v}, want {want}"));
+                }
+            }
+        }
+
+        let sroot = (n - 1) as usize;
+        let mut sc = ctx
+            .open_scatter_channel::<i32>(c, 2, sroot, &comm)
+            .map_err(|e| format!("scatter open: {e}"))?;
+        if me as usize == sroot {
+            for i in 0..c * n as u64 {
+                sc.push(&(i as i32 * 2 - 7))
+                    .map_err(|e| format!("scatter push: {e}"))?;
+            }
+        }
+        for i in 0..c as i32 {
+            let v = sc.pop().map_err(|e| format!("scatter pop: {e}"))?;
+            let want = (me * c as i32 + i) * 2 - 7;
+            if v != want {
+                return Err(format!("scatter elem {i}: got {v}, want {want}"));
+            }
+        }
+
+        let mut gt = ctx
+            .open_gather_channel::<i32>(c, 3, 0, &comm)
+            .map_err(|e| format!("gather open: {e}"))?;
+        for i in 0..c as i32 {
+            gt.push(&(me * 100 + i))
+                .map_err(|e| format!("gather push: {e}"))?;
+        }
+        if me == 0 {
+            for r in 0..n {
+                for i in 0..c as i32 {
+                    let v = gt.pop().map_err(|e| format!("gather pop: {e}"))?;
+                    let want = r * 100 + i;
+                    if v != want {
+                        return Err(format!("gather elem {r}/{i}: got {v}, want {want}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap plumbing
+// ---------------------------------------------------------------------------
+
+/// Line-based control connection to the launcher.
+struct BootstrapConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl BootstrapConn {
+    fn connect(addr: &str, timeout: Duration) -> io::Result<BootstrapConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        let writer = stream.try_clone()?;
+        Ok(BootstrapConn {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn send_line(&mut self, line: &str) -> io::Result<()> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "launcher closed the control connection",
+            ));
+        }
+        Ok(line.trim().to_string())
+    }
+}
+
+/// The child's data-plane listener (what other processes dial).
+enum DataListener {
+    Tcp(TcpListener),
+    Uds(UnixListener, PathBuf),
+}
+
+impl Drop for DataListener {
+    fn drop(&mut self) {
+        if let DataListener::Uds(_, path) = self {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+fn bind_data_listener(backend: TransportBackend, me: usize) -> io::Result<(DataListener, String)> {
+    match backend {
+        TransportBackend::Tcp => {
+            let l = TcpListener::bind("127.0.0.1:0")?;
+            let addr = l.local_addr()?.to_string();
+            Ok((DataListener::Tcp(l), addr))
+        }
+        TransportBackend::Uds => {
+            let path =
+                std::env::temp_dir().join(format!("smi-launch-{}-{me}.sock", std::process::id()));
+            let _ = fs::remove_file(&path);
+            let l = UnixListener::bind(&path)?;
+            let addr = path.display().to_string();
+            Ok((DataListener::Uds(l, path), addr))
+        }
+        TransportBackend::InMem => Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "inmem backend needs no launcher",
+        )),
+    }
+}
+
+/// Accept one data-plane connection before `deadline`.
+fn accept_data(listener: &DataListener, deadline: Instant) -> io::Result<SocketStream> {
+    let (tl, ul) = match listener {
+        DataListener::Tcp(l) => (Some(l), None),
+        DataListener::Uds(l, _) => (None, Some(l)),
+    };
+    if let Some(l) = tl {
+        l.set_nonblocking(true)?;
+    }
+    if let Some(l) = ul {
+        l.set_nonblocking(true)?;
+    }
+    loop {
+        let res: io::Result<SocketStream> = if let Some(l) = tl {
+            l.accept().map(|(s, _)| SocketStream::Tcp(s))
+        } else {
+            ul.expect("one listener family")
+                .accept()
+                .map(|(s, _)| SocketStream::Unix(s))
+        };
+        match res {
+            Ok(s) => {
+                s.set_nonblocking(false)?;
+                return Ok(s);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "timed out waiting for a peer data connection",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Dial a peer's data listener, honouring the connect-time
+/// [`ReconnectPolicy`] (peers race through bootstrap, so the first dials
+/// may land before the listener exists).
+pub(crate) fn connect_with_retry(
+    backend: TransportBackend,
+    addr: &str,
+    policy: &ReconnectPolicy,
+) -> io::Result<SocketStream> {
+    let (attempts, backoff) = match policy {
+        ReconnectPolicy::Fail => (1u32, Duration::ZERO),
+        ReconnectPolicy::Retry { attempts, backoff } => ((*attempts).max(1), *backoff),
+    };
+    let mut last = None;
+    for i in 0..attempts {
+        if i > 0 {
+            std::thread::sleep(backoff);
+        }
+        let dial: io::Result<SocketStream> = match backend {
+            TransportBackend::Tcp => TcpStream::connect(addr).map(SocketStream::Tcp),
+            TransportBackend::Uds => UnixStream::connect(addr).map(SocketStream::Unix),
+            TransportBackend::InMem => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "inmem backend has no addresses",
+            )),
+        };
+        match dial {
+            Ok(s) => return Ok(s),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("at least one attempt"))
+}
+
+// ---------------------------------------------------------------------------
+// Child mode
+// ---------------------------------------------------------------------------
+
+fn child_run(o: &Opts) -> Result<i32, String> {
+    let timeout = Duration::from_secs(o.timeout_secs);
+    let plan_json =
+        fs::read_to_string(&o.plan_path).map_err(|e| format!("read {}: {e}", o.plan_path))?;
+    let plan = ProcessPlan::from_json(&plan_json).map_err(|e| e.to_string())?;
+    let topo = plan.build_topology().map_err(|e| e.to_string())?;
+    let backend = plan.parse_backend().map_err(|e| e.to_string())?;
+    let procs = plan.rank_sets();
+    let me = o.proc_idx;
+    if me >= procs.len() {
+        return Err(format!("--proc {me} out of range"));
+    }
+
+    let params = RuntimeParams {
+        collective_scheme: o.scheme,
+        blocking_timeout: Duration::from_millis(o.deadline_ms),
+        ..RuntimeParams::default()
+    };
+
+    let (listener, my_addr) =
+        bind_data_listener(backend, me).map_err(|e| format!("data listener: {e}"))?;
+    let mut boot = BootstrapConn::connect(&o.bootstrap, timeout)
+        .map_err(|e| format!("bootstrap connect {}: {e}", o.bootstrap))?;
+    boot.send_line(&format!("hello {me} {my_addr}"))
+        .map_err(|e| format!("bootstrap hello: {e}"))?;
+    if o.kill == Some((me, KillPhase::Bootstrap)) {
+        std::process::exit(42);
+    }
+
+    let line = boot
+        .read_line()
+        .map_err(|e| format!("awaiting peers: {e}"))?;
+    let addrs: Vec<String> = match line.split_whitespace().collect::<Vec<_>>().as_slice() {
+        ["peers", rest @ ..] => rest.iter().map(|s| s.to_string()).collect(),
+        ["halt", ..] => return Err("halted by launcher during bootstrap".into()),
+        other => return Err(format!("expected peers, got '{}'", other.join(" "))),
+    };
+    if addrs.len() != procs.len() {
+        return Err(format!(
+            "peers list has {} entries for {} processes",
+            addrs.len(),
+            procs.len()
+        ));
+    }
+
+    // Data mesh: for each crossing process pair, the higher index dials the
+    // lower index's listener and identifies itself with a hello frame.
+    let deadline = Instant::now() + timeout;
+    let pairs = crossing_pairs(&topo, &procs);
+    let mut streams: Vec<(usize, SocketStream)> = Vec::new();
+    for &(lo, hi) in &pairs {
+        if hi == me {
+            let mut s = connect_with_retry(backend, &addrs[lo], &params.socket_reconnect)
+                .map_err(|e| format!("dial process {lo} at {}: {e}", addrs[lo]))?;
+            send_hello(&mut s, me).map_err(|e| format!("hello to process {lo}: {e}"))?;
+            streams.push((lo, s));
+        }
+    }
+    let accepts = pairs.iter().filter(|&&(lo, _)| lo == me).count();
+    for _ in 0..accepts {
+        let mut s = accept_data(&listener, deadline).map_err(|e| e.to_string())?;
+        s.set_read_timeout(Some(timeout))
+            .map_err(|e| e.to_string())?;
+        let peer = recv_hello(&mut s).map_err(|e| format!("peer hello: {e}"))?;
+        streams.push((peer, s));
+    }
+
+    boot.send_line(&format!("wired {me}"))
+        .map_err(|e| format!("bootstrap wired: {e}"))?;
+    let line = boot.read_line().map_err(|e| format!("awaiting go: {e}"))?;
+    if line != "go" {
+        return Err(format!("expected go, got '{line}'"));
+    }
+
+    let fabric = build_group_fabric(&topo, &procs, me, backend, streams)
+        .map_err(|e| format!("fabric: {e}"))?;
+    let metas = vec![workload_meta(); topo.num_ranks()];
+    let mut transport = prepare_with(
+        &topo,
+        &metas,
+        &params,
+        TransportStats::default(),
+        fabric.links,
+    )
+    .map_err(|e| e.to_string())?;
+    transport.machines.extend(fabric.pumps);
+
+    let kill_at = (o.kill == Some((me, KillPhase::Stream))).then(|| (o.count / 4).max(1));
+    let prog = workload_program(o.count, kill_at);
+    type RankProg = Box<dyn FnOnce(SmiCtx) -> Result<(), String> + Send>;
+    let programs: Vec<RankProg> = procs[me]
+        .iter()
+        .map(|_| {
+            let f = prog.clone();
+            Box::new(move |ctx: SmiCtx| f(ctx)) as RankProg
+        })
+        .collect();
+
+    // The done/halt exchange is this process's leg of the fabric-wide
+    // completion barrier: sockets stay pumped until everyone finished.
+    let outcome = run_group_threaded(
+        transport.tables,
+        programs,
+        topo.num_ranks(),
+        transport.machines,
+        &params,
+        Box::new(move || {
+            let _ = boot.send_line(&format!("done {me}"));
+            loop {
+                match boot.read_line() {
+                    Ok(l) if l == "halt" => break,
+                    Ok(_) => continue,
+                    Err(_) => break,
+                }
+            }
+        }),
+    );
+    drop(listener);
+
+    let mut failed = false;
+    for (rank, res) in outcome.results {
+        if let Err(e) = res {
+            eprintln!("smi-launch[child {me}]: rank {rank} failed: {e}");
+            failed = true;
+        }
+    }
+    Ok(if failed { 3 } else { 0 })
+}
+
+// ---------------------------------------------------------------------------
+// Launcher mode
+// ---------------------------------------------------------------------------
+
+/// Control-plane events parsed by the per-child reader threads.
+enum Event {
+    Hello(usize, String, TcpStream),
+    Wired(usize),
+    Done(usize),
+    Closed,
+}
+
+fn reader_thread(stream: TcpStream, tx: mpsc::Sender<Event>) {
+    let mut writer = Some(stream.try_clone().ok());
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => {
+                let _ = tx.send(Event::Closed);
+                return;
+            }
+            Ok(_) => {
+                let fields: Vec<&str> = line.split_whitespace().collect();
+                let ev = match fields.as_slice() {
+                    ["hello", idx, addr] => idx.parse().ok().and_then(|i| {
+                        writer
+                            .take()
+                            .flatten()
+                            .map(|w| Event::Hello(i, addr.to_string(), w))
+                    }),
+                    ["wired", idx] => idx.parse().ok().map(Event::Wired),
+                    ["done", idx] => idx.parse().ok().map(Event::Done),
+                    _ => None,
+                };
+                if let Some(ev) = ev {
+                    if tx.send(ev).is_err() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Describe a child's exit status.
+fn status_desc(st: &ExitStatus) -> String {
+    match st.code() {
+        Some(c) => format!("exit code {c}"),
+        None => "killed by signal".to_string(),
+    }
+}
+
+fn launcher_run(o: &Opts) -> Result<i32, String> {
+    let plan_json =
+        fs::read_to_string(&o.plan_path).map_err(|e| format!("read {}: {e}", o.plan_path))?;
+    let plan = ProcessPlan::from_json(&plan_json).map_err(|e| e.to_string())?;
+    plan.build_topology().map_err(|e| e.to_string())?;
+    let backend = plan.parse_backend().map_err(|e| e.to_string())?;
+    if backend == TransportBackend::InMem {
+        return Err("inmem backend needs no launcher; use the in-process runners".into());
+    }
+    let nproc = plan.processes.len();
+
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bootstrap listener: {e}"))?;
+    let baddr = listener
+        .local_addr()
+        .map_err(|e| e.to_string())?
+        .to_string();
+    listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut children: Vec<Child> = Vec::with_capacity(nproc);
+    for i in 0..nproc {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--child")
+            .arg("--plan")
+            .arg(&o.plan_path)
+            .arg("--proc")
+            .arg(i.to_string())
+            .arg("--bootstrap")
+            .arg(&baddr)
+            .arg("--scheme")
+            .arg(o.scheme_name())
+            .arg("--count")
+            .arg(o.count.to_string())
+            .arg("--deadline-ms")
+            .arg(o.deadline_ms.to_string())
+            .arg("--timeout-secs")
+            .arg(o.timeout_secs.to_string());
+        if let Some((idx, phase)) = o.kill {
+            let phase = match phase {
+                KillPhase::Bootstrap => "bootstrap",
+                KillPhase::Stream => "stream",
+            };
+            cmd.arg("--kill").arg(format!("{idx}:{phase}"));
+        }
+        let child = cmd.spawn().map_err(|e| format!("spawn child {i}: {e}"))?;
+        children.push(child);
+    }
+
+    let (tx, rx) = mpsc::channel::<Event>();
+    let deadline = Instant::now() + Duration::from_secs(o.timeout_secs);
+    let mut writers: Vec<Option<TcpStream>> = (0..nproc).map(|_| None).collect();
+    let mut addrs: Vec<Option<String>> = vec![None; nproc];
+    let mut wired = vec![false; nproc];
+    let mut done = vec![false; nproc];
+    let mut accepted = 0usize;
+    let mut peers_sent = false;
+    let mut go_sent = false;
+    let mut failure: Option<String> = None;
+
+    let broadcast = |writers: &mut [Option<TcpStream>], msg: &str| {
+        for w in writers.iter_mut().flatten() {
+            let _ = writeln!(w, "{msg}");
+            let _ = w.flush();
+        }
+    };
+
+    while !done.iter().all(|&d| d) {
+        if Instant::now() >= deadline {
+            failure = Some("timed out waiting for children".into());
+            break;
+        }
+        while accepted < nproc {
+            match listener.accept() {
+                Ok((s, _)) => {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || reader_thread(s, tx));
+                    accepted += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => return Err(format!("bootstrap accept: {e}")),
+            }
+        }
+        let mut early_exit = None;
+        for (i, c) in children.iter_mut().enumerate() {
+            if done[i] {
+                continue;
+            }
+            if let Ok(Some(st)) = c.try_wait() {
+                early_exit = Some(format!(
+                    "process {i} hosting ranks {:?} died before completion ({})",
+                    plan.processes[i].ranks,
+                    status_desc(&st)
+                ));
+                break;
+            }
+        }
+        if let Some(msg) = early_exit {
+            failure = Some(msg);
+            break;
+        }
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(Event::Hello(i, addr, w)) if i < nproc => {
+                addrs[i] = Some(addr);
+                writers[i] = Some(w);
+                if !peers_sent && addrs.iter().all(|a| a.is_some()) {
+                    let list: Vec<String> =
+                        addrs.iter().map(|a| a.clone().expect("all set")).collect();
+                    broadcast(&mut writers, &format!("peers {}", list.join(" ")));
+                    peers_sent = true;
+                }
+            }
+            Ok(Event::Wired(i)) if i < nproc => {
+                wired[i] = true;
+                if !go_sent && wired.iter().all(|&w| w) {
+                    broadcast(&mut writers, "go");
+                    go_sent = true;
+                }
+            }
+            Ok(Event::Done(i)) if i < nproc => done[i] = true,
+            Ok(Event::Closed) => { /* matched with try_wait next loop */ }
+            Ok(_) => { /* out-of-range index: ignore */ }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                failure.get_or_insert_with(|| "all control connections lost".into());
+                break;
+            }
+        }
+    }
+
+    // Completion barrier release — or, on failure, the signal that lets
+    // survivors tear down and report their own PeerDisconnected errors.
+    broadcast(&mut writers, "halt");
+
+    // Reap: give children a grace window to exit on their own (survivors
+    // need up to a blocking deadline to notice a dead peer), then kill.
+    let grace = Duration::from_millis(o.deadline_ms * 3 + 2000);
+    let grace_deadline = Instant::now() + grace;
+    let mut statuses: Vec<Option<ExitStatus>> = vec![None; nproc];
+    while statuses.iter().any(|s| s.is_none()) {
+        for (i, c) in children.iter_mut().enumerate() {
+            if statuses[i].is_none() {
+                if let Ok(Some(st)) = c.try_wait() {
+                    statuses[i] = Some(st);
+                }
+            }
+        }
+        if statuses.iter().all(|s| s.is_some()) {
+            break;
+        }
+        if Instant::now() >= grace_deadline {
+            for (i, c) in children.iter_mut().enumerate() {
+                if statuses[i].is_none() {
+                    let _ = c.kill();
+                    statuses[i] = c.wait().ok();
+                    failure.get_or_insert_with(|| {
+                        format!(
+                            "process {i} hosting ranks {:?} hung and was killed",
+                            plan.processes[i].ranks
+                        )
+                    });
+                }
+            }
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    for (i, st) in statuses.iter().enumerate() {
+        match st {
+            Some(st) if st.success() => {}
+            st => {
+                let desc = st
+                    .as_ref()
+                    .map(status_desc)
+                    .unwrap_or_else(|| "no exit status".into());
+                failure.get_or_insert_with(|| {
+                    format!(
+                        "process {i} hosting ranks {:?} failed ({desc})",
+                        plan.processes[i].ranks
+                    )
+                });
+            }
+        }
+    }
+
+    if let Some(msg) = failure {
+        eprintln!("smi-launch: {msg}");
+        return Ok(1);
+    }
+    println!(
+        "smi-launch: {nproc} processes × {} ranks completed over {} ({} scheme, {} elements/collective)",
+        plan.processes.iter().map(|p| p.ranks.len()).sum::<usize>(),
+        backend.name(),
+        o.scheme_name(),
+        o.count
+    );
+    Ok(0)
+}

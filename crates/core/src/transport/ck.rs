@@ -1,23 +1,27 @@
 //! The CK state machine: the §4.3 CKS/CKR loop as a cooperative,
 //! burst-granular poller.
 //!
-//! Like the hardware kernels, a machine owns a set of input FIFOs, a routing
-//! function, and a set of output FIFOs; it polls inputs round-robin, reading
+//! Like the hardware kernels, a machine owns a set of input links, a routing
+//! function, and a set of output links; it polls inputs round-robin, reading
 //! up to `R` bursts from one input while data is available, and forwards
-//! with backpressure (a full output FIFO stalls the head burst — order
-//! within an input is never reordered). Unlike the previous implementation
-//! it never blocks: when an output is full the machine parks the burst and
-//! reports [`Step::Idle`], letting the executor worker drive its other
-//! machines.
+//! with backpressure (a full output stalls the head burst — order within an
+//! input is never reordered). Unlike the previous implementation it never
+//! blocks: when an output is full the machine parks the burst and reports
+//! [`Step::Idle`], letting the executor worker drive its other machines.
+//!
+//! Machines are engine-agnostic: inputs and outputs are
+//! [`Transport`]/[`TransportReceiver`] trait objects
+//! ([`crate::transport::link`]), so the same state machine drives in-memory
+//! FIFO edges and socket edges that cross a process boundary.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{Receiver, Sender, TryRecvError, TrySendError};
 use smi_wire::NetworkPacket;
 
 use crate::transport::executor::{Pollable, Step};
+use crate::transport::link::{LinkRecv, LinkRx, LinkSend, LinkTx};
 use crate::transport::Burst;
 
 /// Routing verdict for one packet.
@@ -33,8 +37,8 @@ pub(crate) struct CkMachine {
     /// Diagnostic name.
     #[allow(dead_code)]
     pub name: String,
-    pub inputs: Vec<Receiver<Burst>>,
-    pub outputs: Vec<Sender<Burst>>,
+    pub inputs: Vec<LinkRx>,
+    pub outputs: Vec<LinkTx>,
     /// Packet → output index.
     pub route: Box<dyn Fn(&NetworkPacket) -> Route + Send>,
     /// Polling persistence `R` (bursts drained from one input before
@@ -59,8 +63,8 @@ impl CkMachine {
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: String,
-        inputs: Vec<Receiver<Burst>>,
-        outputs: Vec<Sender<Burst>>,
+        inputs: Vec<LinkRx>,
+        outputs: Vec<LinkTx>,
         route: Box<dyn Fn(&NetworkPacket) -> Route + Send>,
         persistence: u32,
         max_burst: usize,
@@ -88,19 +92,19 @@ impl CkMachine {
     /// next poll. Returns false when the machine is now blocked.
     fn offer(&mut self, idx: usize, burst: Burst, progressed: &mut bool) -> bool {
         let len = burst.len() as u64;
-        match self.outputs[idx].try_send(burst) {
-            Ok(()) => {
+        match self.outputs[idx].offer(burst) {
+            LinkSend::Accepted => {
                 self.forwards.fetch_add(len, Ordering::Relaxed);
                 *progressed = true;
                 true
             }
-            Err(TrySendError::Full(b)) => {
+            LinkSend::Full(b) => {
                 self.parked = Some((idx, b));
                 false
             }
-            Err(TrySendError::Disconnected(_)) => {
-                // Receiver gone: only legal during shutdown; treat the burst
-                // as drained.
+            LinkSend::Closed => {
+                // Receiver gone: shutdown or a dead peer (reported through
+                // the fabric health board); treat the burst as drained.
                 *progressed = true;
                 true
             }
@@ -211,7 +215,7 @@ impl Pollable for CkMachine {
             let mut streak = 0u32;
             while streak < self.persistence {
                 match self.inputs[at].try_recv() {
-                    Ok(burst) => {
+                    LinkRecv::Burst(burst) => {
                         streak += 1;
                         progressed = true;
                         if self.stash.is_empty() && self.parked.is_none() {
@@ -225,8 +229,8 @@ impl Pollable for CkMachine {
                             }
                         }
                     }
-                    Err(TryRecvError::Empty) => break,
-                    Err(TryRecvError::Disconnected) => {
+                    LinkRecv::Empty => break,
+                    LinkRecv::Closed => {
                         self.dead[at] = true;
                         break;
                     }
@@ -248,7 +252,8 @@ impl Pollable for CkMachine {
 mod tests {
     use super::*;
     use crate::transport::executor::ShardedExecutor;
-    use crossbeam::channel::bounded;
+    use crate::transport::link::{fifo_rx, fifo_tx};
+    use crossbeam::channel::{bounded, Receiver};
     use smi_wire::PacketOp;
     use std::sync::atomic::AtomicBool;
 
@@ -268,8 +273,8 @@ mod tests {
         let (fwd, unr) = counters();
         let m = CkMachine::new(
             "t".into(),
-            vec![in_rx],
-            vec![out0_tx, out1_tx],
+            vec![fifo_rx(in_rx)],
+            vec![fifo_tx(out0_tx), fifo_tx(out1_tx)],
             Box::new(|p| Route::Output((p.header.dst % 2) as usize)),
             8,
             4,
@@ -295,8 +300,8 @@ mod tests {
         let (fwd, unr) = counters();
         let m = CkMachine::new(
             "t".into(),
-            vec![in_rx],
-            vec![out_tx],
+            vec![fifo_rx(in_rx)],
+            vec![fifo_tx(out_tx)],
             Box::new(|_| Route::Output(0)),
             8,
             64,
@@ -324,8 +329,8 @@ mod tests {
         let (fwd, unr) = counters();
         let m = CkMachine::new(
             "t".into(),
-            vec![in_rx],
-            outs.iter().map(|(tx, _)| tx.clone()).collect(),
+            vec![fifo_rx(in_rx)],
+            outs.iter().map(|(tx, _)| fifo_tx(tx.clone())).collect(),
             Box::new(|p| Route::Output(p.header.dst as usize)),
             8,
             16,
@@ -355,8 +360,8 @@ mod tests {
         let (fwd, unr) = counters();
         let m = CkMachine::new(
             "t".into(),
-            vec![in_rx],
-            vec![out_tx],
+            vec![fifo_rx(in_rx)],
+            vec![fifo_tx(out_tx)],
             Box::new(|p| {
                 if p.header.dst == 0 {
                     Route::Output(0)
@@ -387,8 +392,8 @@ mod tests {
         let (fwd, unr) = counters();
         let m = CkMachine::new(
             "t".into(),
-            vec![in_rx],
-            vec![out_tx],
+            vec![fifo_rx(in_rx)],
+            vec![fifo_tx(out_tx)],
             Box::new(|_| Route::Output(0)),
             1,
             1,
@@ -412,8 +417,8 @@ mod tests {
         let (fwd, unr) = counters();
         let m = CkMachine::new(
             "t".into(),
-            vec![in_rx],
-            vec![out_tx],
+            vec![fifo_rx(in_rx)],
+            vec![fifo_tx(out_tx)],
             Box::new(|_| Route::Output(0)),
             4,
             2,

@@ -1,0 +1,126 @@
+//! Engine-agnostic inter-CK links: the [`Transport`]/[`TransportReceiver`]
+//! trait pair the CK state machines poll instead of concrete FIFOs.
+//!
+//! The transport used to hard-wire crossbeam FIFOs into every CK machine;
+//! splitting a cluster across OS processes then meant rewriting the wiring.
+//! Links are now trait objects: the burst-batched in-memory FIFO remains the
+//! zero-cost fast path ([`FifoTx`]/[`FifoRx`]), while edges that cross a
+//! process boundary are backed by framed TCP / Unix-domain sockets
+//! ([`crate::transport::socket`]). Both sides keep the poll-mode contract of
+//! the executor: `offer`/`try_recv` never block, and backpressure is
+//! reported, not waited out.
+
+use crossbeam::channel::{Receiver, Sender, TryRecvError, TrySendError};
+
+use crate::transport::Burst;
+
+/// Outcome of offering a burst to a link's send half.
+pub(crate) enum LinkSend {
+    /// The link accepted the burst.
+    Accepted,
+    /// The link is full; the burst is handed back for the caller to park.
+    Full(Burst),
+    /// The far side is gone (teardown, or a dead peer process). The burst is
+    /// dropped; peer-death diagnostics travel through the fabric health
+    /// board, not through the link.
+    Closed,
+}
+
+/// Outcome of polling a link's receive half.
+pub(crate) enum LinkRecv {
+    /// A burst arrived.
+    Burst(Burst),
+    /// Nothing available right now.
+    Empty,
+    /// The link is drained and will never produce again.
+    Closed,
+}
+
+/// Send half of an inter-CK link. Implementations must never block.
+pub(crate) trait Transport: Send {
+    /// Offer one burst; a full link returns it via [`LinkSend::Full`].
+    fn offer(&mut self, burst: Burst) -> LinkSend;
+}
+
+/// Receive half of an inter-CK link. Implementations must never block.
+pub(crate) trait TransportReceiver: Send {
+    /// Poll for the next burst.
+    fn try_recv(&mut self) -> LinkRecv;
+}
+
+/// Boxed send half — what the wiring hands a CK machine per output edge.
+pub(crate) type LinkTx = Box<dyn Transport>;
+/// Boxed receive half — what the wiring hands a CK machine per input edge.
+pub(crate) type LinkRx = Box<dyn TransportReceiver>;
+
+/// The in-memory fast path: a bounded crossbeam FIFO of bursts.
+pub(crate) struct FifoTx(pub Sender<Burst>);
+
+impl Transport for FifoTx {
+    fn offer(&mut self, burst: Burst) -> LinkSend {
+        match self.0.try_send(burst) {
+            Ok(()) => LinkSend::Accepted,
+            Err(TrySendError::Full(b)) => LinkSend::Full(b),
+            Err(TrySendError::Disconnected(_)) => LinkSend::Closed,
+        }
+    }
+}
+
+/// Receive half of the in-memory fast path.
+pub(crate) struct FifoRx(pub Receiver<Burst>);
+
+impl TransportReceiver for FifoRx {
+    fn try_recv(&mut self) -> LinkRecv {
+        match self.0.try_recv() {
+            Ok(b) => LinkRecv::Burst(b),
+            Err(TryRecvError::Empty) => LinkRecv::Empty,
+            Err(TryRecvError::Disconnected) => LinkRecv::Closed,
+        }
+    }
+}
+
+/// Box a crossbeam sender as a link send half.
+pub(crate) fn fifo_tx(tx: Sender<Burst>) -> LinkTx {
+    Box::new(FifoTx(tx))
+}
+
+/// Box a crossbeam receiver as a link receive half.
+pub(crate) fn fifo_rx(rx: Receiver<Burst>) -> LinkRx {
+    Box::new(FifoRx(rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+    use smi_wire::{NetworkPacket, PacketOp};
+
+    #[test]
+    fn fifo_link_roundtrip_and_backpressure() {
+        let (tx, rx) = bounded::<Burst>(1);
+        let mut ltx = fifo_tx(tx);
+        let mut lrx = fifo_rx(rx);
+        let pkt = NetworkPacket::new(0, 1, 0, PacketOp::Send);
+        assert!(matches!(ltx.offer(vec![pkt]), LinkSend::Accepted));
+        // Capacity 1: the second burst bounces back intact.
+        match ltx.offer(vec![pkt, pkt]) {
+            LinkSend::Full(b) => assert_eq!(b.len(), 2),
+            _ => panic!("expected Full"),
+        }
+        match lrx.try_recv() {
+            LinkRecv::Burst(b) => assert_eq!(b.len(), 1),
+            _ => panic!("expected burst"),
+        }
+        assert!(matches!(lrx.try_recv(), LinkRecv::Empty));
+        drop(ltx);
+        assert!(matches!(lrx.try_recv(), LinkRecv::Closed));
+    }
+
+    #[test]
+    fn fifo_tx_reports_closed_receiver() {
+        let (tx, rx) = bounded::<Burst>(1);
+        drop(rx);
+        let mut ltx = fifo_tx(tx);
+        assert!(matches!(ltx.offer(Vec::new()), LinkSend::Closed));
+    }
+}

@@ -5,6 +5,8 @@
 
 pub mod ck;
 pub mod executor;
+pub(crate) mod link;
+pub(crate) mod socket;
 pub mod wiring;
 
 use std::sync::atomic::{AtomicU64, Ordering};

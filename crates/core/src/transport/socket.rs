@@ -1,0 +1,694 @@
+//! The socket link backend: framed [`NetworkPacket`] bursts over
+//! nonblocking TCP or Unix-domain sockets.
+//!
+//! One connection is opened per pair of OS processes and multiplexes every
+//! topology edge crossing that boundary. The wire format is a stream of
+//! frames, each `[src_rank u16 LE][src_qsfp u16 LE][npackets u32 LE]`
+//! followed by `npackets` 32-byte packed packets ([`NetworkPacket::pack`]);
+//! the `(src_rank, src_qsfp)` tag is the *sender-side* endpoint of the
+//! topology edge the burst travels, which is all the receiver needs to demux
+//! the frame onto the right CKR input. A hello frame (`src_rank ==`
+//! [`HELLO_RANK`], `npackets` = process index, no payload) identifies peers
+//! during bootstrap, before the stream switches to nonblocking mode.
+//!
+//! All socket I/O is performed by a [`SocketPump`] — a [`Pollable`]
+//! registered with the same sharded executor that drives the CK machines
+//! (the executor's "socket-drain duty cycle"). CK machines themselves only
+//! touch lock-guarded byte/burst queues via [`super::link::Transport`]
+//! handles, so they never block on a syscall.
+//!
+//! Peer death (EOF or a hard I/O error) is recorded once on the fabric-wide
+//! [`FabricHealth`] board; channel operations and the task watchdog consult
+//! it to turn an otherwise-silent stall into
+//! [`SmiError::PeerDisconnected`] naming the dead peer.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use smi_wire::{NetworkPacket, PACKET_BYTES};
+
+use crate::error::SmiError;
+use crate::transport::executor::{Pollable, Step};
+use crate::transport::link::{LinkRecv, LinkRx, LinkSend, LinkTx, Transport, TransportReceiver};
+use crate::transport::Burst;
+
+/// Bytes of the per-burst frame header:
+/// `[src_rank u16 LE][src_qsfp u16 LE][npackets u32 LE]`.
+pub(crate) const FRAME_HEADER_BYTES: usize = 8;
+
+/// `src_rank` sentinel marking a bootstrap hello frame; its `npackets`
+/// field carries the sender's process index instead of a packet count.
+pub(crate) const HELLO_RANK: u16 = u16::MAX;
+
+/// Cap on the serialized outbound buffer per connection; a link whose
+/// buffer is at the cap reports [`LinkSend::Full`] and the CK machine parks
+/// the burst (normal transport backpressure).
+const WRITE_BUF_CAP: usize = 1 << 20;
+
+/// Cap (in bursts) of each per-link inbound demux queue. A full queue stops
+/// the pump from parsing further frames — head-of-line backpressure on the
+/// whole connection, resolved as soon as the slow CKR input drains.
+const INBOUND_QUEUE_CAP: usize = 1024;
+
+/// Sanity bound on `npackets` in one frame; our own sender never exceeds
+/// the burst size, so anything larger is stream corruption.
+const MAX_FRAME_PACKETS: usize = 4096;
+
+/// Bytes read from the socket per `read` call inside one poll.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Cap on buffered-but-unparsed inbound bytes before the pump stops
+/// reading (keeps a wedged receiver from buffering unboundedly).
+const READ_BUF_CAP: usize = 4 << 20;
+
+// ---------------------------------------------------------------------------
+// Fabric health
+// ---------------------------------------------------------------------------
+
+/// What is known about a dead peer process, for diagnostics.
+#[derive(Debug, Clone)]
+pub(crate) struct PeerDown {
+    /// Lowest world rank hosted by the dead process (what
+    /// [`SmiError::PeerDisconnected`] reports).
+    pub rank: usize,
+    /// Index of the dead process in the process plan.
+    pub process: usize,
+    /// Backend name (`"tcp"` / `"uds"`).
+    pub backend: &'static str,
+    /// Peer address as resolved at connect time.
+    pub addr: String,
+    /// What the pump observed (EOF, truncated frame, I/O error...).
+    pub detail: String,
+}
+
+/// Identity of the peer process behind one connection; the template a
+/// [`SocketPump`] turns into a [`PeerDown`] when the link dies.
+#[derive(Debug, Clone)]
+pub(crate) struct PeerInfo {
+    /// Lowest world rank hosted by the peer process.
+    pub rank: usize,
+    /// Peer process index in the process plan.
+    pub process: usize,
+    /// Backend name (`"tcp"` / `"uds"`).
+    pub backend: &'static str,
+    /// Peer address as resolved at connect time.
+    pub addr: String,
+}
+
+#[derive(Debug, Default)]
+struct HealthInner {
+    down: AtomicBool,
+    first: Mutex<Option<PeerDown>>,
+}
+
+/// Fabric-wide peer-liveness board, shared between socket pumps, endpoint
+/// tables and the task watchdog. The default (in-memory fabric) never
+/// reports down.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FabricHealth {
+    inner: Arc<HealthInner>,
+}
+
+impl FabricHealth {
+    /// Record a dead peer. The first report wins; later ones only keep the
+    /// `down` flag set.
+    pub fn mark_down(&self, pd: PeerDown) {
+        let mut slot = self.inner.first.lock().expect("health lock");
+        if slot.is_none() {
+            *slot = Some(pd);
+        }
+        drop(slot);
+        self.inner.down.store(true, Ordering::Release);
+    }
+
+    /// The first recorded peer death, if any.
+    pub fn peer_down(&self) -> Option<PeerDown> {
+        if !self.inner.down.load(Ordering::Acquire) {
+            return None;
+        }
+        self.inner.first.lock().expect("health lock").clone()
+    }
+
+    /// The first recorded peer death as the error channel ops surface.
+    pub fn error(&self) -> Option<SmiError> {
+        self.peer_down()
+            .map(|p| SmiError::PeerDisconnected { rank: p.rank })
+    }
+
+    /// Upgrade a progress-starvation error (timeout, deadline, stall) to
+    /// [`SmiError::PeerDisconnected`] when a dead peer explains the stall;
+    /// all other errors pass through unchanged.
+    pub fn escalate(&self, e: SmiError) -> SmiError {
+        if matches!(
+            e,
+            SmiError::Timeout { .. } | SmiError::DeadlineExceeded { .. } | SmiError::Stalled { .. }
+        ) {
+            if let Some(err) = self.error() {
+                return err;
+            }
+        }
+        e
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stream wrapper
+// ---------------------------------------------------------------------------
+
+/// A connected byte stream of either socket family.
+pub(crate) enum SocketStream {
+    /// TCP (loopback or cross-host).
+    Tcp(TcpStream),
+    /// Unix-domain (same host; the low-latency multi-process default).
+    Unix(UnixStream),
+}
+
+impl SocketStream {
+    /// Toggle nonblocking mode (the pump requires nonblocking; the
+    /// bootstrap hello exchange runs blocking with a read timeout).
+    pub fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            SocketStream::Tcp(s) => s.set_nonblocking(nb),
+            SocketStream::Unix(s) => s.set_nonblocking(nb),
+        }
+    }
+
+    /// Bound blocking reads (used only during the hello exchange).
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            SocketStream::Tcp(s) => s.set_read_timeout(t),
+            SocketStream::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+
+    /// Human-readable peer address for diagnostics.
+    pub fn peer_label(&self) -> String {
+        match self {
+            SocketStream::Tcp(s) => s
+                .peer_addr()
+                .map(|a| format!("tcp://{a}"))
+                .unwrap_or_else(|_| "tcp://?".into()),
+            SocketStream::Unix(s) => s
+                .peer_addr()
+                .ok()
+                .and_then(|a| a.as_pathname().map(|p| format!("uds://{}", p.display())))
+                .unwrap_or_else(|| "uds://<unnamed>".into()),
+        }
+    }
+}
+
+impl Read for SocketStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            SocketStream::Tcp(s) => s.read(buf),
+            SocketStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for SocketStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            SocketStream::Tcp(s) => s.write(buf),
+            SocketStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            SocketStream::Tcp(s) => s.flush(),
+            SocketStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+/// Append one framed burst to a serialization buffer.
+pub(crate) fn encode_frame_into(
+    out: &mut Vec<u8>,
+    src_rank: u16,
+    src_qsfp: u16,
+    burst: &[NetworkPacket],
+) {
+    out.reserve(FRAME_HEADER_BYTES + burst.len() * PACKET_BYTES);
+    out.extend_from_slice(&src_rank.to_le_bytes());
+    out.extend_from_slice(&src_qsfp.to_le_bytes());
+    out.extend_from_slice(&(burst.len() as u32).to_le_bytes());
+    for p in burst {
+        out.extend_from_slice(&p.pack());
+    }
+}
+
+/// Send the bootstrap hello identifying this process (blocking mode).
+pub(crate) fn send_hello(stream: &mut SocketStream, proc_idx: usize) -> io::Result<()> {
+    let mut hdr = [0u8; FRAME_HEADER_BYTES];
+    hdr[..2].copy_from_slice(&HELLO_RANK.to_le_bytes());
+    hdr[4..8].copy_from_slice(&(proc_idx as u32).to_le_bytes());
+    stream.write_all(&hdr)?;
+    stream.flush()
+}
+
+/// Receive the peer's bootstrap hello, returning its process index
+/// (blocking mode; callers set a read timeout first).
+pub(crate) fn recv_hello(stream: &mut SocketStream) -> io::Result<usize> {
+    let mut hdr = [0u8; FRAME_HEADER_BYTES];
+    stream.read_exact(&mut hdr)?;
+    let rank = u16::from_le_bytes(hdr[..2].try_into().expect("2 bytes"));
+    if rank != HELLO_RANK {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected hello frame, got src_rank {rank}"),
+        ));
+    }
+    Ok(u32::from_le_bytes(hdr[4..8].try_into().expect("4 bytes")) as usize)
+}
+
+// ---------------------------------------------------------------------------
+// Connection: link handles + pump
+// ---------------------------------------------------------------------------
+
+/// One per-link inbound demux queue.
+type InQueue = Arc<Mutex<VecDeque<Burst>>>;
+
+struct ConnShared {
+    closed: AtomicBool,
+    out: Mutex<Vec<u8>>,
+}
+
+/// Handle side of one process-pair connection: mints [`LinkTx`]/[`LinkRx`]
+/// trait objects for every topology edge multiplexed over the socket. The
+/// matching [`SocketPump`] owns the socket and must be registered with the
+/// executor for any byte to move.
+pub(crate) struct SocketConn {
+    shared: Arc<ConnShared>,
+    queues: HashMap<(usize, usize), InQueue>,
+}
+
+impl SocketConn {
+    /// Wrap an established, hello-exchanged stream. `recv_keys` lists the
+    /// *sender-side* endpoints `(rank, qsfp)` whose traffic this process
+    /// expects over this connection; each gets a demux queue.
+    pub fn new(
+        stream: SocketStream,
+        recv_keys: &[(usize, usize)],
+        health: FabricHealth,
+        peer: PeerInfo,
+    ) -> io::Result<(SocketConn, SocketPump)> {
+        stream.set_nonblocking(true)?;
+        let shared = Arc::new(ConnShared {
+            closed: AtomicBool::new(false),
+            out: Mutex::new(Vec::new()),
+        });
+        let queues: HashMap<(usize, usize), InQueue> = recv_keys
+            .iter()
+            .map(|&k| (k, Arc::new(Mutex::new(VecDeque::new()))))
+            .collect();
+        let conn = SocketConn {
+            shared: shared.clone(),
+            queues: queues.clone(),
+        };
+        let pump = SocketPump {
+            stream,
+            shared,
+            queues,
+            health,
+            peer,
+            staged: Vec::new(),
+            staged_pos: 0,
+            rbuf: Vec::new(),
+            rpos: 0,
+            eof: false,
+            done: false,
+        };
+        Ok((conn, pump))
+    }
+
+    /// Send half for the edge leaving local endpoint `(src_rank, src_qsfp)`.
+    pub fn tx(&self, src_rank: usize, src_qsfp: usize) -> LinkTx {
+        Box::new(SocketLinkTx {
+            conn: self.shared.clone(),
+            src_rank: src_rank as u16,
+            src_qsfp: src_qsfp as u16,
+        })
+    }
+
+    /// Receive half for traffic sent by the peer endpoint `key`. Panics if
+    /// `key` was not in `recv_keys` — a wiring bug.
+    pub fn rx(&self, key: (usize, usize)) -> LinkRx {
+        Box::new(SocketLinkRx {
+            conn: self.shared.clone(),
+            queue: self.queues[&key].clone(),
+        })
+    }
+}
+
+struct SocketLinkTx {
+    conn: Arc<ConnShared>,
+    src_rank: u16,
+    src_qsfp: u16,
+}
+
+impl Transport for SocketLinkTx {
+    fn offer(&mut self, burst: Burst) -> LinkSend {
+        if self.conn.closed.load(Ordering::Relaxed) {
+            return LinkSend::Closed;
+        }
+        let mut out = self.conn.out.lock().expect("conn out lock");
+        if out.len() >= WRITE_BUF_CAP {
+            return LinkSend::Full(burst);
+        }
+        encode_frame_into(&mut out, self.src_rank, self.src_qsfp, &burst);
+        LinkSend::Accepted
+    }
+}
+
+struct SocketLinkRx {
+    conn: Arc<ConnShared>,
+    queue: InQueue,
+}
+
+impl TransportReceiver for SocketLinkRx {
+    fn try_recv(&mut self) -> LinkRecv {
+        if let Some(b) = self.queue.lock().expect("in queue lock").pop_front() {
+            return LinkRecv::Burst(b);
+        }
+        if !self.conn.closed.load(Ordering::Acquire) {
+            return LinkRecv::Empty;
+        }
+        // The pump finishes demuxing before setting `closed`; one re-check
+        // after observing the flag drains the race window.
+        match self.queue.lock().expect("in queue lock").pop_front() {
+            Some(b) => LinkRecv::Burst(b),
+            None => LinkRecv::Closed,
+        }
+    }
+}
+
+/// The I/O duty cycle of one connection: a [`Pollable`] that flushes the
+/// shared outbound buffer to the socket and reads/deframes inbound bytes
+/// into the per-link demux queues. Never blocks; backpressure on either
+/// side simply leaves bytes where they are until the next poll.
+pub(crate) struct SocketPump {
+    stream: SocketStream,
+    shared: Arc<ConnShared>,
+    queues: HashMap<(usize, usize), InQueue>,
+    health: FabricHealth,
+    peer: PeerInfo,
+    /// Bytes swapped out of the shared buffer, partially written.
+    staged: Vec<u8>,
+    staged_pos: usize,
+    /// Inbound bytes not yet parsed (`rpos` = parse cursor).
+    rbuf: Vec<u8>,
+    rpos: usize,
+    eof: bool,
+    done: bool,
+}
+
+impl SocketPump {
+    fn fail(&mut self, detail: String) {
+        self.health.mark_down(PeerDown {
+            rank: self.peer.rank,
+            process: self.peer.process,
+            backend: self.peer.backend,
+            addr: self.peer.addr.clone(),
+            detail,
+        });
+        self.shared.closed.store(true, Ordering::Release);
+        self.done = true;
+    }
+
+    fn flush_out(&mut self, progressed: &mut bool) -> Result<(), String> {
+        if self.staged_pos == self.staged.len() {
+            self.staged.clear();
+            self.staged_pos = 0;
+            let mut out = self.shared.out.lock().expect("conn out lock");
+            if !out.is_empty() {
+                std::mem::swap(&mut *out, &mut self.staged);
+            }
+        }
+        while self.staged_pos < self.staged.len() {
+            match self.stream.write(&self.staged[self.staged_pos..]) {
+                Ok(0) => return Err("write returned 0 (connection closed)".into()),
+                Ok(n) => {
+                    self.staged_pos += n;
+                    *progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // A peer that died mid-stream commonly surfaces as a write
+                // error (EPIPE/ECONNRESET) before the read side sees EOF.
+                Err(e) => return Err(format!("write failed: {e}")),
+            }
+        }
+        Ok(())
+    }
+
+    fn fill_rbuf(&mut self, progressed: &mut bool) -> Result<(), String> {
+        if self.eof {
+            return Ok(());
+        }
+        let mut chunk = [0u8; READ_CHUNK];
+        for _ in 0..4 {
+            if self.rbuf.len() - self.rpos > READ_BUF_CAP {
+                break;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    *progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(format!("read failed: {e}")),
+            }
+        }
+        Ok(())
+    }
+
+    fn deframe(&mut self, progressed: &mut bool) -> Result<(), String> {
+        loop {
+            let avail = self.rbuf.len() - self.rpos;
+            if avail < FRAME_HEADER_BYTES {
+                break;
+            }
+            let hdr = &self.rbuf[self.rpos..self.rpos + FRAME_HEADER_BYTES];
+            let src_rank = u16::from_le_bytes(hdr[..2].try_into().expect("2 bytes"));
+            let src_qsfp = u16::from_le_bytes(hdr[2..4].try_into().expect("2 bytes"));
+            let npackets = u32::from_le_bytes(hdr[4..8].try_into().expect("4 bytes")) as usize;
+            if src_rank == HELLO_RANK {
+                return Err("unexpected hello frame mid-stream".into());
+            }
+            if npackets > MAX_FRAME_PACKETS {
+                return Err(format!("corrupt frame: {npackets} packets claimed"));
+            }
+            let need = FRAME_HEADER_BYTES + npackets * PACKET_BYTES;
+            if avail < need {
+                break;
+            }
+            let key = (src_rank as usize, src_qsfp as usize);
+            let Some(queue) = self.queues.get(&key) else {
+                return Err(format!(
+                    "frame from unknown endpoint (rank {src_rank}, qsfp {src_qsfp})"
+                ));
+            };
+            let mut q = queue.lock().expect("in queue lock");
+            if q.len() >= INBOUND_QUEUE_CAP {
+                // Head-of-line backpressure: stop parsing until the slow
+                // CKR input drains its queue.
+                break;
+            }
+            let mut burst: Burst = Vec::with_capacity(npackets);
+            let mut off = self.rpos + FRAME_HEADER_BYTES;
+            for _ in 0..npackets {
+                let bytes: &[u8; PACKET_BYTES] = self.rbuf[off..off + PACKET_BYTES]
+                    .try_into()
+                    .expect("packet slice");
+                let pkt = NetworkPacket::unpack(bytes)
+                    .map_err(|e| format!("undecodable packet on wire: {e}"))?;
+                burst.push(pkt);
+                off += PACKET_BYTES;
+            }
+            q.push_back(burst);
+            drop(q);
+            self.rpos += need;
+            *progressed = true;
+        }
+        if self.rpos > 0 && (self.rpos == self.rbuf.len() || self.rpos >= READ_CHUNK * 4) {
+            self.rbuf.drain(..self.rpos);
+            self.rpos = 0;
+        }
+        Ok(())
+    }
+
+    /// After EOF: remaining unparsed bytes are either complete frames
+    /// blocked on a full queue (keep polling) or a truncated tail.
+    fn eof_verdict(&self) -> Option<String> {
+        let avail = self.rbuf.len() - self.rpos;
+        if avail == 0 {
+            return Some("connection closed by peer (EOF)".into());
+        }
+        if avail < FRAME_HEADER_BYTES {
+            return Some(format!("link cut mid-frame ({avail} trailing bytes)"));
+        }
+        let hdr = &self.rbuf[self.rpos..self.rpos + FRAME_HEADER_BYTES];
+        let npackets = u32::from_le_bytes(hdr[4..8].try_into().expect("4 bytes")) as usize;
+        if avail < FRAME_HEADER_BYTES + npackets.min(MAX_FRAME_PACKETS) * PACKET_BYTES {
+            return Some(format!("link cut mid-frame ({avail} trailing bytes)"));
+        }
+        None // complete frame waiting on a full demux queue
+    }
+}
+
+impl Pollable for SocketPump {
+    fn poll(&mut self) -> Step {
+        if self.done {
+            return Step::Done;
+        }
+        let mut progressed = false;
+        let r = self
+            .flush_out(&mut progressed)
+            .and_then(|()| self.fill_rbuf(&mut progressed))
+            .and_then(|()| self.deframe(&mut progressed));
+        if let Err(detail) = r {
+            self.fail(detail);
+            return Step::Progress;
+        }
+        if self.eof {
+            if let Some(detail) = self.eof_verdict() {
+                self.fail(detail);
+                return Step::Progress;
+            }
+        }
+        if progressed {
+            Step::Progress
+        } else {
+            Step::Idle
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smi_wire::PacketOp;
+
+    fn pair() -> (SocketStream, SocketStream) {
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        (SocketStream::Unix(a), SocketStream::Unix(b))
+    }
+
+    fn pkt(dst: u8, tag: u8) -> NetworkPacket {
+        let mut p = NetworkPacket::new(0, dst, 0, PacketOp::Send);
+        p.payload[0] = tag;
+        p.header.count = 1;
+        p
+    }
+
+    fn peer(backend: &'static str) -> PeerInfo {
+        PeerInfo {
+            rank: 1,
+            process: 1,
+            backend,
+            addr: "test".into(),
+        }
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        let (mut a, mut b) = pair();
+        send_hello(&mut a, 3).unwrap();
+        assert_eq!(recv_hello(&mut b).unwrap(), 3);
+    }
+
+    #[test]
+    fn bursts_cross_the_socket_in_order() {
+        let (sa, sb) = pair();
+        let health = FabricHealth::default();
+        // A sends from endpoint (0,0); B receives the same key.
+        let (conn_a, mut pump_a) = SocketConn::new(sa, &[], health.clone(), peer("uds")).unwrap();
+        let (conn_b, mut pump_b) =
+            SocketConn::new(sb, &[(0, 0)], health.clone(), peer("uds")).unwrap();
+        let mut tx = conn_a.tx(0, 0);
+        let mut rx = conn_b.rx((0, 0));
+        for i in 0..50u8 {
+            assert!(matches!(tx.offer(vec![pkt(1, i)]), LinkSend::Accepted));
+        }
+        let mut seen = Vec::new();
+        while seen.len() < 50 {
+            pump_a.poll();
+            pump_b.poll();
+            while let LinkRecv::Burst(b) = rx.try_recv() {
+                seen.extend(b.iter().map(|p| p.payload[0]));
+            }
+        }
+        assert_eq!(seen, (0..50u8).collect::<Vec<_>>());
+        assert!(health.peer_down().is_none());
+    }
+
+    #[test]
+    fn peer_death_marks_health_and_closes_links() {
+        let (sa, sb) = pair();
+        let health_a = FabricHealth::default();
+        let (conn_a, mut pump_a) =
+            SocketConn::new(sa, &[(1, 0)], health_a.clone(), peer("uds")).unwrap();
+        let (conn_b, mut pump_b) =
+            SocketConn::new(sb, &[], FabricHealth::default(), peer("uds")).unwrap();
+        // B sends one burst, then dies (stream dropped).
+        let mut btx = conn_b.tx(1, 0);
+        assert!(matches!(btx.offer(vec![pkt(0, 7)]), LinkSend::Accepted));
+        for _ in 0..100 {
+            pump_b.poll();
+        }
+        drop(pump_b);
+        drop(conn_b);
+        // A must deliver the in-flight burst, then report the dead peer.
+        let mut rx = conn_a.rx((1, 0));
+        let mut got = None;
+        let mut closed = false;
+        for _ in 0..10_000 {
+            pump_a.poll();
+            match rx.try_recv() {
+                LinkRecv::Burst(b) => got = Some(b),
+                LinkRecv::Closed => {
+                    closed = true;
+                    break;
+                }
+                LinkRecv::Empty => std::thread::yield_now(),
+            }
+        }
+        assert_eq!(got.expect("in-flight burst delivered")[0].payload[0], 7);
+        assert!(closed, "rx must report Closed after peer death");
+        let pd = health_a.peer_down().expect("health board marked");
+        assert_eq!(pd.rank, 1);
+        assert_eq!(pd.backend, "uds");
+        // Sends toward the dead peer report Closed, not Full.
+        let mut tx = conn_a.tx(0, 0);
+        assert!(matches!(tx.offer(vec![pkt(1, 0)]), LinkSend::Closed));
+        assert_eq!(
+            health_a.error(),
+            Some(SmiError::PeerDisconnected { rank: 1 })
+        );
+    }
+
+    #[test]
+    fn frame_encode_shape() {
+        let mut out = Vec::new();
+        encode_frame_into(&mut out, 5, 2, &[pkt(1, 9), pkt(1, 10)]);
+        assert_eq!(out.len(), FRAME_HEADER_BYTES + 2 * PACKET_BYTES);
+        assert_eq!(u16::from_le_bytes(out[..2].try_into().unwrap()), 5);
+        assert_eq!(u16::from_le_bytes(out[2..4].try_into().unwrap()), 2);
+        assert_eq!(u32::from_le_bytes(out[4..8].try_into().unwrap()), 2);
+    }
+}

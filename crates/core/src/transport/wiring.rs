@@ -4,6 +4,14 @@
 //!
 //! Nothing is spawned here: the wiring produces one [`CkMachine`] per
 //! CKS/CKR kernel, and the env hands all of them to the sharded executor.
+//!
+//! Inter-CK edges are wired as [`LinkTx`]/[`LinkRx`] trait objects rather
+//! than concrete FIFOs. When the whole cluster lives in one process
+//! ([`FabricLinks::all_local`]) every edge is the burst-batched in-memory
+//! FIFO fast path; when the cluster is split across OS processes
+//! ([`crate::proc`]), the edges crossing a process boundary are handed in
+//! as socket-backed links ([`crate::transport::socket`]) and only the ranks
+//! marked local are instantiated here.
 
 use std::collections::HashMap;
 
@@ -16,13 +24,46 @@ use crate::endpoint::{CollRes, EndpointTable, PacketRx, RecvRes, SendRes};
 use crate::params::RuntimeParams;
 use crate::transport::ck::{CkMachine, Route};
 use crate::transport::executor::Pollable;
+use crate::transport::link::{fifo_rx, fifo_tx, LinkRx, LinkTx};
+use crate::transport::socket::FabricHealth;
 use crate::transport::{Burst, TransportStats};
 
-/// Everything the env needs back from wiring: per-rank endpoint tables and
-/// the CK machines to hand to the executor.
+/// Everything the env needs back from wiring: endpoint tables for the
+/// *local* ranks (tagged with their world rank) and the CK machines to hand
+/// to the executor.
 pub(crate) struct TransportHandle {
-    pub tables: Vec<EndpointTable>,
+    pub tables: Vec<(usize, EndpointTable)>,
     pub machines: Vec<Box<dyn Pollable>>,
+}
+
+/// Which ranks live in this process, and the link halves for every topology
+/// edge that crosses the process boundary.
+///
+/// Both external maps are keyed by the **sender-side** endpoint
+/// `(rank, qsfp)` of the directed edge — the same key the socket backend
+/// stamps into its frame headers — so fabric construction and wiring agree
+/// on edge identity without consulting the receiver side.
+pub(crate) struct FabricLinks {
+    /// `local[r]` — rank `r`'s CK machines and endpoints are built here.
+    pub local: Vec<bool>,
+    /// Send halves for edges leaving a local endpoint toward a remote one.
+    pub ext_tx: HashMap<(usize, usize), LinkTx>,
+    /// Receive halves for edges arriving from a remote endpoint.
+    pub ext_rx: HashMap<(usize, usize), LinkRx>,
+    /// Fabric-wide peer-liveness board, cloned into every endpoint table.
+    pub health: FabricHealth,
+}
+
+impl FabricLinks {
+    /// The single-process fabric: every rank local, no external edges.
+    pub fn all_local(n: usize) -> Self {
+        FabricLinks {
+            local: vec![true; n],
+            ext_tx: HashMap::new(),
+            ext_rx: HashMap::new(),
+            health: FabricHealth::default(),
+        }
+    }
 }
 
 /// A bounded channel pair used for intra-rank CK plumbing.
@@ -37,7 +78,7 @@ struct PortDelivery {
     credit: Option<(usize, Sender<Burst>)>,
 }
 
-/// Build all channels and CK machines.
+/// Build all channels and CK machines for a fully-local cluster.
 pub(crate) fn build_transport(
     topo: &Topology,
     plan: &RoutingPlan,
@@ -45,10 +86,37 @@ pub(crate) fn build_transport(
     params: &RuntimeParams,
     stats: TransportStats,
 ) -> TransportHandle {
+    build_transport_with(
+        topo,
+        plan,
+        design,
+        params,
+        stats,
+        FabricLinks::all_local(topo.num_ranks()),
+    )
+}
+
+/// Build channels and CK machines for the ranks this process hosts, wiring
+/// cross-process edges from the supplied fabric links.
+pub(crate) fn build_transport_with(
+    topo: &Topology,
+    plan: &RoutingPlan,
+    design: &ClusterDesign,
+    params: &RuntimeParams,
+    stats: TransportStats,
+    links: FabricLinks,
+) -> TransportHandle {
     let n = topo.num_ranks();
     if n == 1 {
-        return build_single_rank(design, params);
+        return build_single_rank(design, params, &links.health);
     }
+    let FabricLinks {
+        local,
+        mut ext_tx,
+        mut ext_rx,
+        health,
+    } = links;
+    assert_eq!(local.len(), n, "one locality flag per rank");
 
     // FIFO depths are performance knobs, never correctness knobs: clamp to
     // >= 1 so a zero depth cannot turn a transport FIFO into a rendezvous
@@ -59,21 +127,49 @@ pub(crate) fn build_transport(
     // asynchronicity knob (same rule as the single-rank wiring).
     let ep_depth = |op_depth: usize| op_depth.max(params.endpoint_fifo_depth).max(1);
 
-    // Directed link channels, keyed by the sender-side endpoint.
-    let mut link_tx: HashMap<(usize, usize), Sender<Burst>> = HashMap::new();
-    let mut link_rx: HashMap<(usize, usize), Receiver<Burst>> = HashMap::new();
+    // Directed link halves. `link_tx` is keyed by the sender-side endpoint
+    // (a CKS's own network port), `link_rx` by the receiver-side endpoint (a
+    // CKR's own network port); each is consumed exactly once below.
+    let mut link_tx: HashMap<(usize, usize), LinkTx> = HashMap::new();
+    let mut link_rx: HashMap<(usize, usize), LinkRx> = HashMap::new();
     for c in topo.connections() {
         for (from, to) in [(c.a, c.b), (c.b, c.a)] {
-            let (tx, rx) = bounded(ck_depth);
-            link_tx.insert((from.rank, from.qsfp), tx);
-            link_rx.insert((to.rank, to.qsfp), rx);
+            match (local[from.rank], local[to.rank]) {
+                (true, true) => {
+                    let (tx, rx) = bounded(ck_depth);
+                    link_tx.insert((from.rank, from.qsfp), fifo_tx(tx));
+                    link_rx.insert((to.rank, to.qsfp), fifo_rx(rx));
+                }
+                (true, false) => {
+                    let tx = ext_tx.remove(&(from.rank, from.qsfp)).unwrap_or_else(|| {
+                        panic!(
+                            "missing external link tx for edge ({},{})",
+                            from.rank, from.qsfp
+                        )
+                    });
+                    link_tx.insert((from.rank, from.qsfp), tx);
+                }
+                (false, true) => {
+                    let rx = ext_rx.remove(&(from.rank, from.qsfp)).unwrap_or_else(|| {
+                        panic!(
+                            "missing external link rx for edge ({},{})",
+                            from.rank, from.qsfp
+                        )
+                    });
+                    link_rx.insert((to.rank, to.qsfp), rx);
+                }
+                (false, false) => {}
+            }
         }
     }
 
-    let mut tables = Vec::with_capacity(n);
+    let mut tables = Vec::new();
     let mut machines: Vec<Box<dyn Pollable>> = Vec::new();
 
-    for r in 0..n {
+    for (r, &is_local) in local.iter().enumerate().take(n) {
+        if !is_local {
+            continue;
+        }
         let rank_design = design.rank(r);
         let pairs: Vec<usize> = rank_design.ck_qsfps.clone();
         let np = pairs.len();
@@ -100,8 +196,8 @@ pub(crate) fn build_transport(
         }
 
         // Endpoints.
-        let mut table = EndpointTable::default();
-        let mut cks_app_inputs: Vec<Vec<Receiver<Burst>>> = vec![Vec::new(); np];
+        let mut table = EndpointTable::with_health(health.clone());
+        let mut cks_app_inputs: Vec<Vec<LinkRx>> = (0..np).map(|_| Vec::new()).collect();
         let mut deliveries: HashMap<usize, PortDelivery> = HashMap::new();
         for b in &rank_design.bindings {
             let op = b.op;
@@ -110,7 +206,7 @@ pub(crate) fn build_transport(
             match op.kind {
                 OpKind::Send => {
                     let (app_tx, cks_rx) = bounded(ep_depth(op.buffer_depth));
-                    cks_app_inputs[pair].push(cks_rx);
+                    cks_app_inputs[pair].push(fifo_rx(cks_rx));
                     let (credit_tx, credit_rx) = bounded(op.buffer_depth.max(4));
                     let d = deliveries.entry(op.port).or_default();
                     assert!(
@@ -137,7 +233,7 @@ pub(crate) fn build_transport(
                     // Receive endpoints own a send path into their CKS for
                     // credit grants (credit-based protocol, §3.3).
                     let (grant_tx, grant_rx) = bounded::<Burst>(4);
-                    cks_app_inputs[pair].push(grant_rx);
+                    cks_app_inputs[pair].push(fifo_rx(grant_rx));
                     table.ports.entry(op.port).or_default().recv = Some(RecvRes {
                         dtype: op.dtype,
                         from_ckr: PacketRx::new(app_rx),
@@ -146,7 +242,7 @@ pub(crate) fn build_transport(
                 }
                 _ => {
                     let (sup_tx, cks_rx) = bounded(ep_depth(op.buffer_depth));
-                    cks_app_inputs[pair].push(cks_rx);
+                    cks_app_inputs[pair].push(fifo_rx(cks_rx));
                     // Collective delivery must hold at least one burst per
                     // peer: every member may send a one-shot control packet
                     // (ready-`Sync`) to a port *before* its owner opens the
@@ -179,17 +275,19 @@ pub(crate) fn build_transport(
         // --- CKS machines ---
         for p in 0..np {
             let mut inputs = std::mem::take(&mut cks_app_inputs[p]);
-            inputs.push(ckr_to_cks[p].1.clone());
-            let mut outputs = vec![
-                link_tx[&(r, pairs[p])].clone(), // 0: network port
-                cks_to_ckr[p].0.clone(),         // 1: paired CKR (local dst)
+            inputs.push(fifo_rx(ckr_to_cks[p].1.clone()));
+            let mut outputs: Vec<LinkTx> = vec![
+                link_tx
+                    .remove(&(r, pairs[p]))
+                    .unwrap_or_else(|| panic!("no link tx for endpoint ({r},{})", pairs[p])), // 0: network port
+                fifo_tx(cks_to_ckr[p].0.clone()), // 1: paired CKR (local dst)
             ];
             let mut out_idx_of_pair = vec![usize::MAX; np];
             for j in 0..np {
                 if j != p {
-                    inputs.push(cks_to_cks[j][p].as_ref().expect("wired").1.clone());
+                    inputs.push(fifo_rx(cks_to_cks[j][p].as_ref().expect("wired").1.clone()));
                     out_idx_of_pair[j] = outputs.len();
-                    outputs.push(cks_to_cks[p][j].as_ref().expect("wired").0.clone());
+                    outputs.push(fifo_tx(cks_to_cks[p][j].as_ref().expect("wired").0.clone()));
                 }
             }
             // dst rank -> output index (the M20K routing table of §4.3).
@@ -225,14 +323,19 @@ pub(crate) fn build_transport(
 
         // --- CKR machines ---
         for p in 0..np {
-            let mut inputs = vec![link_rx[&(r, pairs[p])].clone(), cks_to_ckr[p].1.clone()];
-            let mut outputs = vec![ckr_to_cks[p].0.clone()]; // 0: paired CKS (transit)
+            let mut inputs: Vec<LinkRx> = vec![
+                link_rx
+                    .remove(&(r, pairs[p]))
+                    .unwrap_or_else(|| panic!("no link rx for endpoint ({r},{})", pairs[p])),
+                fifo_rx(cks_to_ckr[p].1.clone()),
+            ];
+            let mut outputs: Vec<LinkTx> = vec![fifo_tx(ckr_to_cks[p].0.clone())]; // 0: paired CKS (transit)
             let mut out_idx_of_pair = vec![usize::MAX; np];
             for j in 0..np {
                 if j != p {
-                    inputs.push(ckr_to_ckr[j][p].as_ref().expect("wired").1.clone());
+                    inputs.push(fifo_rx(ckr_to_ckr[j][p].as_ref().expect("wired").1.clone()));
                     out_idx_of_pair[j] = outputs.len();
-                    outputs.push(ckr_to_ckr[p][j].as_ref().expect("wired").0.clone());
+                    outputs.push(fifo_tx(ckr_to_ckr[p][j].as_ref().expect("wired").0.clone()));
                 }
             }
             // (port, is_credit) -> output index.
@@ -240,7 +343,7 @@ pub(crate) fn build_transport(
             for (&port, d) in &deliveries {
                 if let Some((owner, tx)) = &d.data {
                     let idx = if *owner == p {
-                        outputs.push(tx.clone());
+                        outputs.push(fifo_tx(tx.clone()));
                         outputs.len() - 1
                     } else {
                         out_idx_of_pair[*owner]
@@ -249,7 +352,7 @@ pub(crate) fn build_transport(
                 }
                 if let Some((owner, tx)) = &d.credit {
                     let idx = if *owner == p {
-                        outputs.push(tx.clone());
+                        outputs.push(fifo_tx(tx.clone()));
                         outputs.len() - 1
                     } else {
                         out_idx_of_pair[*owner]
@@ -279,7 +382,7 @@ pub(crate) fn build_transport(
             )));
         }
 
-        tables.push(table);
+        tables.push((r, table));
     }
 
     TransportHandle { tables, machines }
@@ -289,9 +392,13 @@ pub(crate) fn build_transport(
 /// its receive side (intra-rank channels on matching ports, §3.1.1). The
 /// recv grant path loops back into the send side's credit input, so even the
 /// credit-based protocol works locally.
-fn build_single_rank(design: &ClusterDesign, params: &RuntimeParams) -> TransportHandle {
+fn build_single_rank(
+    design: &ClusterDesign,
+    params: &RuntimeParams,
+    health: &FabricHealth,
+) -> TransportHandle {
     let rank_design = design.rank(0);
-    let mut table = EndpointTable::default();
+    let mut table = EndpointTable::with_health(health.clone());
     // First pass: sends establish the data path per port.
     for b in &rank_design.bindings {
         let op = b.op;
@@ -346,7 +453,7 @@ fn build_single_rank(design: &ClusterDesign, params: &RuntimeParams) -> Transpor
         }
     }
     TransportHandle {
-        tables: vec![table],
+        tables: vec![(0, table)],
         machines: Vec::new(),
     }
 }

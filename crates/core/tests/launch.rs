@@ -1,0 +1,131 @@
+//! Integration tests of the `smi-launch` binary: plan-driven multi-process
+//! runs over real sockets, plus fault injection (a child killed mid-bootstrap
+//! or mid-stream must fail the whole launch with a named culprit).
+
+use smi::prelude::*;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn launcher() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_smi-launch"))
+}
+
+/// Write `plan` to a unique temp file and return its path.
+fn plan_file(plan: &ProcessPlan, tag: &str) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("smi-launch-test-{}-{tag}.json", std::process::id()));
+    std::fs::write(&path, plan.to_json()).unwrap();
+    path
+}
+
+fn run_plan(plan: &ProcessPlan, tag: &str, extra: &[&str]) -> std::process::Output {
+    let path = plan_file(plan, tag);
+    let out = launcher()
+        .arg("--plan")
+        .arg(&path)
+        .args(extra)
+        .output()
+        .expect("run smi-launch");
+    let _ = std::fs::remove_file(&path);
+    out
+}
+
+#[test]
+fn two_process_uds_run_succeeds() {
+    let topo = Topology::bus(4);
+    let plan = ProcessPlan::split(&topo, TransportBackend::Uds, 2);
+    let out = run_plan(&plan, "uds2", &["--count", "128"]);
+    assert!(
+        out.status.success(),
+        "status={:?}\nstdout={}\nstderr={}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn two_process_tcp_run_succeeds() {
+    let topo = Topology::bus(4);
+    let plan = ProcessPlan::split(&topo, TransportBackend::Tcp, 2);
+    let out = run_plan(&plan, "tcp2", &["--count", "128", "--scheme", "tree"]);
+    assert!(
+        out.status.success(),
+        "status={:?}\nstdout={}\nstderr={}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn four_process_uds_run_succeeds() {
+    let topo = Topology::ring(4);
+    let plan = ProcessPlan::split(&topo, TransportBackend::Uds, 4);
+    let out = run_plan(&plan, "uds4", &["--count", "96"]);
+    assert!(
+        out.status.success(),
+        "status={:?}\nstdout={}\nstderr={}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn in_memory_plan_is_rejected() {
+    let topo = Topology::bus(2);
+    let plan = ProcessPlan::split(&topo, TransportBackend::InMem, 1);
+    let out = run_plan(&plan, "inmem", &[]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("inmem"), "stderr: {stderr}");
+}
+
+#[test]
+fn child_killed_mid_bootstrap_fails_launch_naming_culprit() {
+    let topo = Topology::bus(4);
+    let plan = ProcessPlan::split(&topo, TransportBackend::Uds, 2);
+    let out = run_plan(
+        &plan,
+        "killboot",
+        &["--kill", "1:bootstrap", "--timeout-secs", "30"],
+    );
+    assert!(!out.status.success(), "launch must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("process 1") && stderr.contains("ranks"),
+        "stderr must name the dead process and its ranks: {stderr}"
+    );
+}
+
+#[test]
+fn child_killed_mid_stream_surfaces_peer_disconnect() {
+    let topo = Topology::bus(4);
+    let plan = ProcessPlan::split(&topo, TransportBackend::Uds, 2);
+    let out = run_plan(
+        &plan,
+        "killstream",
+        &[
+            "--kill",
+            "1:stream",
+            "--count",
+            "4096",
+            "--timeout-secs",
+            "30",
+        ],
+    );
+    assert!(!out.status.success(), "launch must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The launcher names the dead process ...
+    assert!(
+        stderr.contains("process 1") && stderr.contains("ranks"),
+        "stderr must name the dead process and its ranks: {stderr}"
+    );
+    // ... and the surviving process (inheriting our stderr) reports the
+    // peer loss as a structured error rather than hanging.
+    assert!(
+        stderr.contains("disconnected") || stderr.contains("stall"),
+        "survivor must report the peer loss: {stderr}"
+    );
+}

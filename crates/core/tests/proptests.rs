@@ -322,19 +322,32 @@ fn all_collectives(
     count: u64,
     scheme: smi::CollectiveScheme,
 ) -> Vec<(Vec<i32>, Vec<i32>, Vec<i32>, Vec<i32>)> {
+    let topo = Topology::bus(ranks);
+    let plan = ProcessPlan::split(&topo, TransportBackend::InMem, 1);
+    all_collectives_split(&plan, root, count, scheme)
+}
+
+/// Same collective suite, but over a process plan: the cluster is split
+/// into OS-thread groups joined by the plan's transport backend.
+#[allow(clippy::type_complexity)]
+fn all_collectives_split(
+    plan: &ProcessPlan,
+    root: usize,
+    count: u64,
+    scheme: smi::CollectiveScheme,
+) -> Vec<(Vec<i32>, Vec<i32>, Vec<i32>, Vec<i32>)> {
     let params = RuntimeParams {
         collective_scheme: scheme,
         reduce_credits: 32, // several windows at moderate counts
         ..Default::default()
     };
-    let topo = Topology::bus(ranks);
     let meta = ProgramMeta::new()
         .with(OpSpec::bcast(0, Datatype::Int))
         .with(OpSpec::reduce(1, Datatype::Int, ReduceOp::Add))
         .with(OpSpec::scatter(2, Datatype::Int))
         .with(OpSpec::gather(3, Datatype::Int));
-    run_spmd(
-        &topo,
+    run_split_spmd(
+        plan,
         meta,
         move |ctx: SmiCtx| {
             let comm = ctx.world();
@@ -428,5 +441,44 @@ proptest! {
                 prop_assert_eq!(gathered, &want_gather);
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-backend equivalence: in-memory ≡ Unix-domain sockets
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Splitting the cluster across OS-process-style groups joined by real
+    /// Unix-domain sockets changes nothing observable: all four collectives
+    /// deliver exactly the in-memory results for random rank counts (2..=8),
+    /// roots, payload lengths, partitions and schemes.
+    #[test]
+    fn unix_socket_backend_matches_in_memory(
+        ranks_pick in any::<u8>(),
+        root_pick in any::<u8>(),
+        nproc_pick in any::<u8>(),
+        count in 1u64..24,
+        tree in any::<bool>(),
+    ) {
+        let ranks = 2 + (ranks_pick as usize % 7); // 2..=8
+        let root = root_pick as usize % ranks;
+        let nproc = 2 + (nproc_pick as usize % (ranks - 1)); // 2..=ranks
+        let scheme = if tree {
+            smi::CollectiveScheme::Tree
+        } else {
+            smi::CollectiveScheme::Linear
+        };
+        let topo = Topology::bus(ranks);
+        let plan = ProcessPlan::split(&topo, TransportBackend::Uds, nproc);
+        let inmem = all_collectives(ranks, root, count, scheme);
+        let uds = all_collectives_split(&plan, root, count, scheme);
+        prop_assert_eq!(
+            &inmem, &uds,
+            "ranks={} root={} nproc={} count={} scheme={:?}",
+            ranks, root, nproc, count, scheme
+        );
     }
 }

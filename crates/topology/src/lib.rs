@@ -54,6 +54,7 @@ pub mod routing;
 
 pub use error::TopologyError;
 pub use graph::{Connection, Endpoint, Topology};
+pub use json::TopologySpec;
 pub use paths::PathStats;
 pub use routing::{NextHop, RankRoutes, RoutingPlan};
 
