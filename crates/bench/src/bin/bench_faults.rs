@@ -1,0 +1,235 @@
+//! Fault-recovery benchmark: how much a mid-stream fault costs.
+//!
+//! The same cross-process p2p workload (disjoint pairs `0 → 2`, `1 → 3` on
+//! a 4-rank bus split half/half) runs three ways per socket backend:
+//!
+//! * `baseline` — fault-free, the reference throughput.
+//! * `sever`    — the inter-group stream is cut mid-transfer and must heal
+//!   through the resume handshake + replay ring; the extra wall time over
+//!   baseline is the recovery latency.
+//! * `chaos`    — dropped and duplicated frames on both directions of the
+//!   inter-group link; measures degraded throughput under repeated
+//!   gap-detect / probe / replay cycles.
+//!
+//! Every faulty run asserts bit-exact delivery and at least one healed
+//! reconnect, so the numbers can't silently measure a run that never
+//! faulted. Emitted as `BENCH_faults.json` (checked in CI by
+//! `tools/ci_check_faults.py`).
+//!
+//! Usage: `bench_faults [--quick|--smoke | --full] [--out PATH]`
+
+use std::time::Instant;
+
+use smi::env::SmiCtx;
+use smi::prelude::*;
+
+const RANKS: usize = 4;
+const NPROC: usize = 2;
+
+struct Point {
+    series: String,
+    backend: &'static str,
+    fault: &'static str,
+    elems: u64,
+    seconds: f64,
+    melem_per_s: f64,
+    healed: usize,
+    overhead_s: f64,
+}
+
+/// The faults applied to one run of the workload.
+enum FaultMode {
+    Baseline,
+    /// Cut the inter-group stream after its `after_frame`-th frame.
+    Sever {
+        after_frame: u64,
+    },
+    /// Drop and duplicate frames on both directions of the link.
+    Chaos,
+}
+
+impl FaultMode {
+    fn name(&self) -> &'static str {
+        match self {
+            FaultMode::Baseline => "baseline",
+            FaultMode::Sever { .. } => "sever",
+            FaultMode::Chaos => "chaos",
+        }
+    }
+
+    fn plan(&self) -> Option<FaultPlan> {
+        match self {
+            FaultMode::Baseline => None,
+            FaultMode::Sever { after_frame } => Some(FaultPlan {
+                links: vec![LinkFault {
+                    sever: vec![SeverSpec {
+                        after_frame: *after_frame,
+                    }],
+                    ..LinkFault::clean(0, 1)
+                }],
+            }),
+            FaultMode::Chaos => Some(FaultPlan {
+                links: vec![
+                    LinkFault {
+                        drop: vec![3, 17, 41],
+                        duplicate: vec![7, 29],
+                        ..LinkFault::clean(0, 1)
+                    },
+                    LinkFault {
+                        drop: vec![5, 23],
+                        duplicate: vec![11],
+                        ..LinkFault::clean(1, 0)
+                    },
+                ],
+            }),
+        }
+    }
+}
+
+/// Disjoint pairs 0 → 2 and 1 → 3 across the faulted inter-group link.
+/// Returns `(seconds, reconnects_healed)`.
+fn run_p2p(backend: TransportBackend, n: u64, mode: &FaultMode) -> (f64, usize) {
+    let mut plan = ProcessPlan::split(&Topology::bus(RANKS), backend, NPROC);
+    plan.faults = mode.plan();
+    let metas: Vec<ProgramMeta> = (0..RANKS)
+        .map(|r| {
+            if r < 2 {
+                ProgramMeta::new().with(OpSpec::send(0, Datatype::Int))
+            } else {
+                ProgramMeta::new().with(OpSpec::recv(0, Datatype::Int))
+            }
+        })
+        .collect();
+    let programs: Vec<Box<dyn FnOnce(SmiCtx) -> bool + Send>> = (0..RANKS)
+        .map(|r| {
+            let b: Box<dyn FnOnce(SmiCtx) -> bool + Send> = if r < 2 {
+                Box::new(move |ctx: SmiCtx| {
+                    let mut ch = ctx.open_send_channel::<i32>(n, r + 2, 0).unwrap();
+                    let data: Vec<i32> = (0..n as i32).collect();
+                    ch.push_slice(&data).unwrap();
+                    true
+                })
+            } else {
+                Box::new(move |ctx: SmiCtx| {
+                    let mut ch = ctx.open_recv_channel::<i32>(n, r - 2, 0).unwrap();
+                    let mut buf = vec![0i32; n as usize];
+                    ch.pop_slice(&mut buf).unwrap();
+                    buf.iter().enumerate().all(|(i, &v)| v == i as i32)
+                })
+            };
+            b
+        })
+        .collect();
+    let t = Instant::now();
+    let report = run_split_mpmd(&plan, metas, programs, RuntimeParams::default()).expect("launch");
+    let dt = t.elapsed().as_secs_f64();
+    assert!(report.results.iter().all(|&ok| ok), "data corrupted");
+    if matches!(mode, FaultMode::Baseline) {
+        assert_eq!(report.reconnects_healed, 0, "baseline must not reconnect");
+    } else {
+        assert!(
+            report.reconnects_healed >= 1,
+            "{} run never faulted — numbers would be meaningless",
+            mode.name()
+        );
+    }
+    (dt, report.reconnects_healed)
+}
+
+fn main() {
+    let mut effort = smi_bench::Effort::from_args();
+    let mut out_path = String::from("BENCH_faults.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--smoke" => effort = smi_bench::Effort::Quick,
+            _ => {}
+        }
+    }
+    smi_bench::banner(
+        "bench_faults — recovery latency and degraded throughput under injected faults",
+        "baseline vs mid-stream sever (heal) vs dropped/duplicated frames",
+    );
+
+    let n: u64 = match effort {
+        smi_bench::Effort::Quick => 64 << 10,
+        smi_bench::Effort::Normal => 1 << 20,
+        smi_bench::Effort::Full => 4 << 20,
+    };
+    // Land the sever well inside the transfer at any effort level.
+    let sever_at = 8;
+
+    let mut points: Vec<Point> = Vec::new();
+    println!(
+        "{:<18} {:>8} {:>9} {:>10} {:>10} {:>9} {:>7} {:>11}",
+        "series", "backend", "fault", "elems", "seconds", "Melem/s", "healed", "overhead_s"
+    );
+    for backend in [TransportBackend::Uds, TransportBackend::Tcp] {
+        let modes = [
+            FaultMode::Baseline,
+            FaultMode::Sever {
+                after_frame: sever_at,
+            },
+            FaultMode::Chaos,
+        ];
+        let mut baseline_s = 0.0;
+        for mode in modes {
+            let (dt, healed) = run_p2p(backend, n, &mode);
+            if matches!(mode, FaultMode::Baseline) {
+                baseline_s = dt;
+            }
+            let overhead = (dt - baseline_s).max(0.0);
+            let melem = 2.0 * n as f64 / dt / 1e6;
+            let series = format!("p2p_{}_{}", backend.name(), mode.name());
+            println!(
+                "{:<18} {:>8} {:>9} {:>10} {:>10.3} {:>9.2} {:>7} {:>11.3}",
+                series,
+                backend.name(),
+                mode.name(),
+                n,
+                dt,
+                melem,
+                healed,
+                overhead
+            );
+            points.push(Point {
+                series,
+                backend: backend.name(),
+                fault: mode.name(),
+                elems: n,
+                seconds: dt,
+                melem_per_s: melem,
+                healed,
+                overhead_s: overhead,
+            });
+        }
+    }
+
+    // Hand-rolled JSON: flat, stable, diff-friendly.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"benchmark\": \"bench_faults\",\n  \"effort\": \"{:?}\",\n  \"available_parallelism\": {},\n",
+        effort,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    ));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"series\": \"{}\", \"backend\": \"{}\", \"fault\": \"{}\", \"elems\": {}, \"seconds\": {:.6}, \"melem_per_s\": {:.3}, \"healed\": {}, \"recovery_overhead_s\": {:.6}}}{}\n",
+            p.series,
+            p.backend,
+            p.fault,
+            p.elems,
+            p.seconds,
+            p.melem_per_s,
+            p.healed,
+            p.overhead_s,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write JSON");
+    println!("\nwrote {out_path}");
+}

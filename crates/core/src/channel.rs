@@ -123,7 +123,8 @@ impl<T: SmiType> SendChannel<T> {
     fn wait_credit(&mut self) -> Result<(), SmiError> {
         let got = {
             let res = self.res.as_mut().expect("resource held while open");
-            res.credit_rx.recv_packet(self.timeout, "credit grant")
+            res.credit_rx
+                .recv_packet(self.timeout, "credit grant", &self.health)
         };
         let pkt = got.map_err(|e| self.health.escalate(e))?;
         if pkt.header.op != PacketOp::Credit {
@@ -161,6 +162,7 @@ impl<T: SmiType> SendChannel<T> {
             burst,
             self.timeout,
             "send-channel backpressure",
+            &self.health,
         )
         .map_err(|e| self.health.escalate(e))
     }
@@ -442,7 +444,13 @@ impl<T: SmiType> RecvChannel<T> {
         );
         let res = self.res.as_ref().expect("resource held while open");
         if blocking {
-            send_packet(&res.grant_tx, grant, self.timeout, "credit grant path")?;
+            send_packet(
+                &res.grant_tx,
+                grant,
+                self.timeout,
+                "credit grant path",
+                &self.health,
+            )?;
         } else {
             match res.grant_tx.try_send(vec![grant]) {
                 Ok(()) => {}
@@ -462,7 +470,8 @@ impl<T: SmiType> RecvChannel<T> {
         while self.deframer.is_empty() {
             let got = {
                 let res = self.res.as_mut().expect("resource held while open");
-                res.from_ckr.recv_packet(self.timeout, "message data")
+                res.from_ckr
+                    .recv_packet(self.timeout, "message data", &self.health)
             };
             let pkt = got.map_err(|e| self.health.escalate(e))?;
             self.refill(pkt)?;
@@ -489,7 +498,8 @@ impl<T: SmiType> RecvChannel<T> {
             if self.deframer.is_empty() {
                 let got = {
                     let res = self.res.as_mut().expect("resource held while open");
-                    res.from_ckr.recv_packet(self.timeout, "message data")
+                    res.from_ckr
+                        .recv_packet(self.timeout, "message data", &self.health)
                 };
                 let pkt = got.map_err(|e| self.health.escalate(e))?;
                 self.refill(pkt)?;

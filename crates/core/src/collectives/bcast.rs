@@ -308,8 +308,9 @@ impl<T: SmiType> BcastChannel<T> {
         }
         let timeout = self.io.timeout();
         let overall = self.io.call_deadline();
+        let health = self.io.health_handle();
         let mut off = 0usize;
-        block_on_deadline(timeout, overall, "bcast progress", || {
+        block_on_deadline(timeout, overall, Some(&health), "bcast progress", || {
             let fwd_before = self.fwd_elems;
             let moved = self.try_bcast_slice(&mut data[off..])?;
             off += moved;
@@ -347,17 +348,24 @@ impl<T: SmiType> BcastChannel<T> {
     pub(crate) fn wait_open(&mut self) -> Result<(), SmiError> {
         let timeout = self.io.timeout();
         let overall = self.io.call_deadline();
-        block_on_deadline(timeout, overall, "bcast open rendezvous", || {
-            let before = self.ready;
-            self.advance()?;
-            if self.state != CollectiveState::Opening {
-                Ok(BlockingStep::Ready(()))
-            } else if self.ready > before {
-                Ok(BlockingStep::Progress)
-            } else {
-                Ok(BlockingStep::Pending)
-            }
-        })
+        let health = self.io.health_handle();
+        block_on_deadline(
+            timeout,
+            overall,
+            Some(&health),
+            "bcast open rendezvous",
+            || {
+                let before = self.ready;
+                self.advance()?;
+                if self.state != CollectiveState::Opening {
+                    Ok(BlockingStep::Ready(()))
+                } else if self.ready > before {
+                    Ok(BlockingStep::Progress)
+                } else {
+                    Ok(BlockingStep::Pending)
+                }
+            },
+        )
     }
 
     /// Elements broadcast so far.

@@ -398,8 +398,9 @@ impl<T: SmiType> GatherChannel<T> {
         }
         let timeout = self.io.timeout();
         let overall = self.io.call_deadline();
+        let health = self.io.health_handle();
         let mut off = 0usize;
-        block_on_deadline(timeout, overall, "gather grant", || {
+        block_on_deadline(timeout, overall, Some(&health), "gather grant", || {
             let emitted_before = self.emitted;
             let moved = self.try_push_slice(&values[off..])?;
             off += moved;
@@ -576,8 +577,9 @@ impl<T: SmiType> GatherChannel<T> {
     pub fn pop_slice(&mut self, out: &mut [T]) -> Result<(), SmiError> {
         let timeout = self.io.timeout();
         let overall = self.io.call_deadline();
+        let health = self.io.health_handle();
         let mut off = 0usize;
-        block_on_deadline(timeout, overall, "gather data", || {
+        block_on_deadline(timeout, overall, Some(&health), "gather data", || {
             let moved = self.try_pop_slice(&mut out[off..])?;
             off += moved;
             if off == out.len() {

@@ -411,8 +411,9 @@ impl<T: SmiNumeric> ReduceChannel<T> {
         }
         let timeout = self.io.timeout();
         let overall = self.io.call_deadline();
+        let health = self.io.health_handle();
         let mut off = 0usize;
-        block_on_deadline(timeout, overall, "reduce progress", || {
+        block_on_deadline(timeout, overall, Some(&health), "reduce progress", || {
             let done_before = self.done;
             let moved = if self.is_root {
                 self.try_reduce_root(&snd[off..], &mut out[off..])?

@@ -347,19 +347,26 @@ impl<T: SmiType> ScatterChannel<T> {
     pub fn push_slice(&mut self, values: &[T]) -> Result<(), SmiError> {
         let timeout = self.io.timeout();
         let overall = self.io.call_deadline();
+        let health = self.io.health_handle();
         let mut off = 0usize;
-        block_on_deadline(timeout, overall, "scatter push progress", || {
-            let moved = self.try_push_slice(&values[off..])?;
-            off += moved;
-            if off == values.len() && self.io.try_flush()? {
-                return Ok(BlockingStep::Ready(()));
-            }
-            Ok(if moved > 0 {
-                BlockingStep::Progress
-            } else {
-                BlockingStep::Pending
-            })
-        })
+        block_on_deadline(
+            timeout,
+            overall,
+            Some(&health),
+            "scatter push progress",
+            || {
+                let moved = self.try_push_slice(&values[off..])?;
+                off += moved;
+                if off == values.len() && self.io.try_flush()? {
+                    return Ok(BlockingStep::Ready(()));
+                }
+                Ok(if moved > 0 {
+                    BlockingStep::Progress
+                } else {
+                    BlockingStep::Pending
+                })
+            },
+        )
     }
 
     /// Root only: feed the next element of the `count × N` source stream.
@@ -432,9 +439,10 @@ impl<T: SmiType> ScatterChannel<T> {
         }
         let timeout = self.io.timeout();
         let overall = self.io.call_deadline();
+        let health = self.io.health_handle();
         let is_root = self.is_root;
         let mut off = 0usize;
-        block_on_deadline(timeout, overall, "scatter data", || {
+        block_on_deadline(timeout, overall, Some(&health), "scatter data", || {
             let routed_before = self.routed;
             let moved = self.try_pop_slice(&mut out[off..])?;
             off += moved;
@@ -468,7 +476,8 @@ impl<T: SmiType> ScatterChannel<T> {
     pub(crate) fn wait_open(&mut self) -> Result<(), SmiError> {
         let timeout = self.io.timeout();
         let overall = self.io.call_deadline();
-        block_on_deadline(timeout, overall, "scatter sync path", || {
+        let health = self.io.health_handle();
+        block_on_deadline(timeout, overall, Some(&health), "scatter sync path", || {
             let before = self.ready;
             self.advance()?;
             if self.state != CollectiveState::Opening {

@@ -25,19 +25,41 @@ use crate::transport::socket::FabricHealth;
 use crate::transport::Burst;
 use crate::SmiError;
 
+/// The wait slice blocking waits use so the fabric-health board is checked
+/// at a useful cadence (mid-stream reconnects last tens of milliseconds to
+/// seconds). Data arrival still unblocks immediately.
+const HEALTH_POLL_SLICE: Duration = Duration::from_millis(20);
+
 /// Blocking burst send with the runtime's timeout: a permanently jammed
 /// transport surfaces as an error instead of wedging the rank thread.
+///
+/// The stall window keeps resetting while a mid-stream socket reconnect is
+/// in flight (`health`): recovery must not be misreported as a timeout.
+/// Reconnects are budget-bounded, so a failed one still ends the wait.
 pub(crate) fn send_burst(
     tx: &Sender<Burst>,
     burst: Burst,
     timeout: std::time::Duration,
     waiting_for: &'static str,
+    health: &FabricHealth,
 ) -> Result<(), SmiError> {
     use crossbeam::channel::SendTimeoutError;
-    match tx.send_timeout(burst, timeout) {
-        Ok(()) => Ok(()),
-        Err(SendTimeoutError::Timeout(_)) => Err(SmiError::Timeout { waiting_for }),
-        Err(SendTimeoutError::Disconnected(_)) => Err(SmiError::TransportClosed),
+    use std::time::Instant;
+    let mut burst = burst;
+    let mut deadline = Instant::now() + timeout;
+    loop {
+        match tx.send_timeout(burst, timeout.min(HEALTH_POLL_SLICE)) {
+            Ok(()) => return Ok(()),
+            Err(SendTimeoutError::Timeout(b)) => {
+                burst = b;
+                if health.any_reconnecting() {
+                    deadline = Instant::now() + timeout;
+                } else if Instant::now() >= deadline {
+                    return Err(SmiError::Timeout { waiting_for });
+                }
+            }
+            Err(SendTimeoutError::Disconnected(_)) => return Err(SmiError::TransportClosed),
+        }
     }
 }
 
@@ -47,8 +69,9 @@ pub(crate) fn send_packet(
     pkt: NetworkPacket,
     timeout: std::time::Duration,
     waiting_for: &'static str,
+    health: &FabricHealth,
 ) -> Result<(), SmiError> {
-    send_burst(tx, vec![pkt], timeout, waiting_for)
+    send_burst(tx, vec![pkt], timeout, waiting_for, health)
 }
 
 /// Receive side of a burst FIFO, unbatched into single packets. The pending
@@ -68,20 +91,30 @@ impl PacketRx {
     }
 
     /// Blocking packet receive with the runtime's timeout and uniform error
-    /// mapping.
+    /// mapping. The stall window keeps resetting while a mid-stream socket
+    /// reconnect is in flight (`health`) — see [`send_burst`].
     pub fn recv_packet(
         &mut self,
         timeout: std::time::Duration,
         waiting_for: &'static str,
+        health: &FabricHealth,
     ) -> Result<NetworkPacket, SmiError> {
         use crossbeam::channel::RecvTimeoutError;
+        use std::time::Instant;
+        let mut deadline = Instant::now() + timeout;
         loop {
             if let Some(p) = self.pending.pop_front() {
                 return Ok(p);
             }
-            match self.rx.recv_timeout(timeout) {
+            match self.rx.recv_timeout(timeout.min(HEALTH_POLL_SLICE)) {
                 Ok(b) => self.pending.extend(b),
-                Err(RecvTimeoutError::Timeout) => return Err(SmiError::Timeout { waiting_for }),
+                Err(RecvTimeoutError::Timeout) => {
+                    if health.any_reconnecting() {
+                        deadline = Instant::now() + timeout;
+                    } else if Instant::now() >= deadline {
+                        return Err(SmiError::Timeout { waiting_for });
+                    }
+                }
                 Err(RecvTimeoutError::Disconnected) => return Err(SmiError::TransportClosed),
             }
         }
@@ -220,6 +253,12 @@ impl CollIo {
     /// The configured burst size (packets per transport handover).
     pub fn max_burst(&self) -> usize {
         self.max_burst
+    }
+
+    /// A clone of the fabric-health board, for recovery-aware stall bounds
+    /// (the blocking wrappers keep polling while a reconnect is in flight).
+    pub fn health_handle(&self) -> FabricHealth {
+        self.health.clone()
     }
 
     /// Queue a packet for transmission (data or control).
@@ -548,10 +587,14 @@ mod tests {
         assert_eq!(prx.try_recv_packet().unwrap().unwrap().header.dst, 1);
         assert_eq!(prx.try_recv_packet().unwrap().unwrap().header.dst, 2);
         assert_eq!(
-            prx.recv_packet(std::time::Duration::from_secs(1), "t")
-                .unwrap()
-                .header
-                .dst,
+            prx.recv_packet(
+                std::time::Duration::from_secs(1),
+                "t",
+                &FabricHealth::default()
+            )
+            .unwrap()
+            .header
+            .dst,
             3
         );
         assert!(prx.try_recv_packet().unwrap().is_none());

@@ -398,6 +398,9 @@ pub struct RunReport<T> {
     /// OS threads the runtime spawned for this run (rank threads, if any,
     /// plus executor workers).
     pub threads_spawned: usize,
+    /// Mid-stream socket reconnects that healed (replayed and resumed)
+    /// during the run. Always `0` for the in-memory fabric.
+    pub reconnects_healed: usize,
 }
 
 /// Launch errors.
@@ -503,6 +506,22 @@ pub(crate) fn stall_message(stalled: &[usize], diag: &FabricDiag) -> String {
             "; peer rank {} is down (process {}, {} {}): {}",
             pd.rank, pd.process, pd.backend, pd.addr, pd.detail
         ));
+    } else if diag.health.any_reconnecting() {
+        let peers: Vec<String> = diag
+            .health
+            .reconnecting_peers()
+            .iter()
+            .map(|r| {
+                format!(
+                    "process {} hosting rank {} (attempt {}: {})",
+                    r.process, r.rank, r.attempt, r.detail
+                )
+            })
+            .collect();
+        msg.push_str(&format!(
+            "; mid-stream reconnect in flight: {}",
+            peers.join(", ")
+        ));
     } else if !diag.remote.is_empty() {
         let mut peers: Vec<String> = diag
             .remote
@@ -522,6 +541,8 @@ pub(crate) struct GroupOutcome<T> {
     pub results: Vec<(usize, T)>,
     /// OS threads spawned (rank threads, if any, plus executor workers).
     pub threads_spawned: usize,
+    /// Mid-stream socket reconnects that healed in this group's fabric.
+    pub reconnects_healed: usize,
 }
 
 fn make_ctx(
@@ -605,6 +626,9 @@ pub(crate) fn run_group_threaded<T: Send + 'static>(
     GroupOutcome {
         results,
         threads_spawned,
+        // The threaded runner has no fabric diagnostics in scope; split
+        // runners overwrite this from their own health board.
+        reconnects_healed: 0,
     }
 }
 
@@ -638,6 +662,7 @@ pub fn run_mpmd<T: Send + 'static>(
             .collect(),
         transport: stats.snapshot(),
         threads_spawned: outcome.threads_spawned,
+        reconnects_healed: outcome.reconnects_healed,
     })
 }
 
@@ -692,7 +717,10 @@ pub trait RankTask: Send {
 pub type TaskFactory = Box<dyn FnOnce(SmiCtx) -> Result<Box<dyn RankTask>, SmiError> + Send>;
 
 enum TaskState {
-    Init { ctx: SmiCtx, factory: TaskFactory },
+    Init {
+        ctx: Box<SmiCtx>,
+        factory: TaskFactory,
+    },
     Running(Box<dyn RankTask>),
     Finished,
 }
@@ -712,7 +740,7 @@ impl Pollable for RankTaskItem {
     fn poll(&mut self) -> Step {
         let state = std::mem::replace(&mut self.state, TaskState::Finished);
         match state {
-            TaskState::Init { ctx, factory } => match factory(ctx) {
+            TaskState::Init { ctx, factory } => match factory(*ctx) {
                 Ok(task) => {
                     self.state = TaskState::Running(task);
                     self.progress.fetch_add(1, Ordering::Relaxed);
@@ -790,6 +818,7 @@ pub fn run_mpmd_tasks(
         results,
         transport: stats.snapshot(),
         threads_spawned: outcome.threads_spawned,
+        reconnects_healed: outcome.reconnects_healed,
     })
 }
 
@@ -822,7 +851,13 @@ pub(crate) fn run_group_tasks(
         items.push(Box::new(RankTaskItem {
             rank,
             state: TaskState::Init {
-                ctx: make_ctx(rank, num_ranks, table, board.clone(), params.clone()),
+                ctx: Box::new(make_ctx(
+                    rank,
+                    num_ranks,
+                    table,
+                    board.clone(),
+                    params.clone(),
+                )),
                 factory,
             },
             done_tx: done_tx.clone(),
@@ -864,6 +899,15 @@ pub(crate) fn run_group_tasks(
             }
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                 let now = snapshot(&rank_progress);
+                if diag.health.any_reconnecting() {
+                    // Mid-stream recovery in flight: reconnect attempts are
+                    // bounded by their own budget (which ends in either a
+                    // healed stream or a recorded peer death), so grant the
+                    // fabric a fresh window instead of declaring a stall
+                    // while frames are waiting to be replayed.
+                    last_progress = now;
+                    continue;
+                }
                 let stalled: Vec<usize> = (0..locals)
                     .filter(|&i| !reported[i] && now[i] == last_progress[i])
                     .map(|i| world[i])
@@ -892,6 +936,7 @@ pub(crate) fn run_group_tasks(
     GroupOutcome {
         results: world.into_iter().zip(results).collect(),
         threads_spawned,
+        reconnects_healed: diag.health.healed(),
     }
 }
 
@@ -923,7 +968,7 @@ use OpKind as _OpKindUsed;
 #[cfg(test)]
 mod tests {
     use super::{stall_message, FabricDiag};
-    use crate::transport::socket::{FabricHealth, PeerDown};
+    use crate::transport::socket::{FabricHealth, PeerDown, PeerDownKind, ReconnectInfo};
     use std::collections::HashMap;
 
     #[test]
@@ -963,6 +1008,7 @@ mod tests {
             backend: "tcp",
             addr: "tcp://127.0.0.1:4444".to_string(),
             detail: "connection reset by peer".to_string(),
+            kind: PeerDownKind::Link,
         });
         let mut remote = HashMap::new();
         remote.insert(2, (1, "tcp://127.0.0.1:4444".to_string()));
@@ -977,6 +1023,31 @@ mod tests {
             "{msg}"
         );
         assert!(msg.contains("connection reset by peer"), "{msg}");
+        assert!(!msg.contains("remote peers:"), "{msg}");
+    }
+
+    #[test]
+    fn stall_message_reports_reconnect_in_flight() {
+        let health = FabricHealth::default();
+        health.mark_reconnecting(ReconnectInfo {
+            rank: 2,
+            process: 1,
+            attempt: 3,
+            detail: "broken pipe".to_string(),
+        });
+        let mut remote = HashMap::new();
+        remote.insert(2, (1, "tcp://127.0.0.1:4444".to_string()));
+        let diag = FabricDiag {
+            backend: "tcp",
+            health,
+            remote,
+        };
+        let msg = stall_message(&[0], &diag);
+        assert!(msg.contains("mid-stream reconnect in flight"), "{msg}");
+        assert!(
+            msg.contains("process 1 hosting rank 2 (attempt 3: broken pipe)"),
+            "{msg}"
+        );
         assert!(!msg.contains("remote peers:"), "{msg}");
     }
 }

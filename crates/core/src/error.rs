@@ -86,6 +86,18 @@ pub enum SmiError {
         /// Human-readable description.
         detail: String,
     },
+    /// A single encoded frame exceeded the whole replay-ring byte budget
+    /// ([`crate::RuntimeParams::stream_replay_budget`]), so mid-stream
+    /// recovery could never replay it. A merely *full* ring is ordinary
+    /// backpressure; this fires only when the budget is smaller than one
+    /// frame — a configuration error, reported instead of growing memory
+    /// without bound.
+    ReplayOverflow {
+        /// Bytes the frame needed.
+        needed: usize,
+        /// The configured replay budget in bytes.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for SmiError {
@@ -131,6 +143,10 @@ impl fmt::Display for SmiError {
                 write!(f, "peer rank {rank} disconnected (process link lost)")
             }
             SmiError::ProtocolViolation { detail } => write!(f, "protocol violation: {detail}"),
+            SmiError::ReplayOverflow { needed, budget } => write!(
+                f,
+                "replay ring overflow: one frame needs {needed} bytes but the replay budget is {budget} bytes"
+            ),
         }
     }
 }

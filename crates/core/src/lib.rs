@@ -173,6 +173,7 @@ pub use proc::{
     run_split_mpmd, run_split_mpmd_tasks, run_split_spmd, ProcessPlan, ProcessSpec,
     TransportBackend,
 };
+pub use transport::faults::{DelaySpec, FaultPlan, LinkFault, SeverSpec};
 
 /// Convenient glob import: the SMI API plus the re-exported foundation types.
 pub mod prelude {
@@ -192,6 +193,7 @@ pub mod prelude {
         run_split_mpmd, run_split_mpmd_tasks, run_split_spmd, ProcessPlan, ProcessSpec,
         TransportBackend,
     };
+    pub use crate::transport::faults::{DelaySpec, FaultPlan, LinkFault, SeverSpec};
     pub use smi_codegen::{OpSpec, ProgramMeta};
     pub use smi_topology::Topology;
     pub use smi_wire::{Datatype, ReduceOp, SmiType};

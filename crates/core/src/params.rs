@@ -5,25 +5,91 @@ use std::time::Duration;
 use crate::collectives::CollectiveScheme;
 
 /// What a socket transport backend does when a peer connection cannot be
-/// established (or breaks during the bootstrap handshake).
-///
-/// Mid-stream reconnection is deliberately not offered: transient channels
-/// carry protocol state (credits, handshakes) that a fresh socket cannot
-/// resume, so a peer that dies mid-stream always surfaces as
-/// [`crate::SmiError::PeerDisconnected`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// established or breaks. Used in two places: connect-time dialing during
+/// bootstrap ([`crate::RuntimeParams::socket_reconnect`]) and mid-stream
+/// recovery after an established data connection fails
+/// ([`crate::RuntimeParams::stream_reconnect`]). Mid-stream recovery is
+/// lossless: the session/replay layer of the socket transport re-handshakes
+/// with the last acknowledged sequence number and replays unacked frames,
+/// so a healed connection delivers every frame exactly once and in order.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ReconnectPolicy {
-    /// Fail the launch on the first connect error.
+    /// Fail on the first connect error (or, mid-stream, turn the first I/O
+    /// fault directly into [`crate::SmiError::PeerDisconnected`]).
     Fail,
-    /// Retry the connect up to `attempts` times, sleeping `backoff` between
-    /// tries, then fail. This is also the knob that lets a child process
-    /// start before its peers have bound their listeners.
+    /// Retry up to `attempts` times with jittered exponential backoff, then
+    /// fail. Attempt 0 never sleeps; attempt `k >= 1` sleeps a uniformly
+    /// jittered duration in `[d/2, d]` where
+    /// `d = min(backoff * multiplier^(k-1), max_backoff)`. At connect time
+    /// this is also the knob that lets a child process start before its
+    /// peers have bound their listeners.
     Retry {
-        /// Maximum connect attempts (>= 1).
+        /// Maximum attempts (>= 1).
         attempts: u32,
-        /// Sleep between attempts.
+        /// Base sleep before the second attempt.
         backoff: Duration,
+        /// Ceiling on the exponentially grown sleep.
+        max_backoff: Duration,
+        /// Growth factor per attempt (values <= 1.0 degenerate to a fixed
+        /// jittered sleep of `backoff`).
+        multiplier: f64,
     },
+}
+
+impl ReconnectPolicy {
+    /// A fixed-sleep retry policy (no exponential growth): the historical
+    /// shape, still what bootstrap dialing wants.
+    pub fn retry_fixed(attempts: u32, backoff: Duration) -> Self {
+        ReconnectPolicy::Retry {
+            attempts,
+            backoff,
+            max_backoff: backoff,
+            multiplier: 1.0,
+        }
+    }
+
+    /// Maximum number of attempts this policy allows (1 for [`Fail`]).
+    ///
+    /// [`Fail`]: ReconnectPolicy::Fail
+    pub fn max_attempts(&self) -> u32 {
+        match self {
+            ReconnectPolicy::Fail => 1,
+            ReconnectPolicy::Retry { attempts, .. } => (*attempts).max(1),
+        }
+    }
+
+    /// Jittered sleep to take *before* attempt `attempt` (0-based).
+    /// Attempt 0 never sleeps. `seed` decorrelates concurrent dialers;
+    /// pass anything stable-ish (rank, peer index, a counter).
+    pub fn delay_for(&self, attempt: u32, seed: u64) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let (backoff, max_backoff, multiplier) = match self {
+            ReconnectPolicy::Fail => return Duration::ZERO,
+            ReconnectPolicy::Retry {
+                backoff,
+                max_backoff,
+                multiplier,
+                ..
+            } => (*backoff, *max_backoff, *multiplier),
+        };
+        let base = backoff.as_nanos() as f64;
+        let cap = max_backoff.max(backoff).as_nanos() as f64;
+        let grown = if multiplier > 1.0 {
+            (base * multiplier.powi(attempt as i32 - 1)).min(cap)
+        } else {
+            base
+        };
+        // Uniform jitter in [grown/2, grown] so concurrent dialers spread out.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(
+            seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ u64::from(attempt),
+        );
+        let lo = grown / 2.0;
+        let jittered = lo + rng.gen_range(0.0..1.0) * (grown - lo);
+        Duration::from_nanos(jittered as u64)
+    }
 }
 
 /// Configuration of the thread-based SMI runtime.
@@ -71,6 +137,21 @@ pub struct RuntimeParams {
     /// ([`ReconnectPolicy`]): retry-with-backoff or fail on the first
     /// refused connection. Ignored by the in-memory backend.
     pub socket_reconnect: ReconnectPolicy,
+    /// Mid-stream recovery policy of socket transport backends: what a
+    /// process-pair connection does when an *established* data stream
+    /// suffers an I/O fault. `Retry` re-dials with jittered exponential
+    /// backoff and losslessly replays unacked frames (the peer stays in a
+    /// `Reconnecting` health state and channel ops keep polling); `Fail`
+    /// turns the first mid-stream fault into
+    /// [`crate::SmiError::PeerDisconnected`]. Ignored by the in-memory
+    /// backend.
+    pub stream_reconnect: ReconnectPolicy,
+    /// Byte budget of the per-connection replay ring that holds encoded,
+    /// not-yet-acknowledged frames for mid-stream replay. A full ring is
+    /// ordinary backpressure (sends report `Full`); a single frame larger
+    /// than the whole budget is a configuration error surfaced as
+    /// [`crate::SmiError::ReplayOverflow`].
+    pub stream_replay_budget: usize,
 }
 
 impl Default for RuntimeParams {
@@ -85,10 +166,14 @@ impl Default for RuntimeParams {
             collective_scheme: CollectiveScheme::Linear,
             burst_packets: 16,
             transport_workers: 0,
-            socket_reconnect: ReconnectPolicy::Retry {
-                attempts: 100,
-                backoff: Duration::from_millis(20),
+            socket_reconnect: ReconnectPolicy::retry_fixed(100, Duration::from_millis(20)),
+            stream_reconnect: ReconnectPolicy::Retry {
+                attempts: 10,
+                backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_millis(500),
+                multiplier: 2.0,
             },
+            stream_replay_budget: 4 << 20,
         }
     }
 }
@@ -107,10 +192,14 @@ impl RuntimeParams {
             collective_scheme: CollectiveScheme::Linear,
             burst_packets: 1,
             transport_workers: 0,
-            socket_reconnect: ReconnectPolicy::Retry {
-                attempts: 100,
-                backoff: Duration::from_millis(20),
+            socket_reconnect: ReconnectPolicy::retry_fixed(100, Duration::from_millis(20)),
+            stream_reconnect: ReconnectPolicy::Retry {
+                attempts: 10,
+                backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_millis(500),
+                multiplier: 2.0,
             },
+            stream_replay_budget: 4 << 20,
         }
     }
 
@@ -136,7 +225,66 @@ mod tests {
         let p = RuntimeParams::default();
         assert!(p.endpoint_fifo_depth >= 1);
         assert!(p.reduce_credits >= 1);
+        assert!(p.stream_replay_budget > 0);
         let t = RuntimeParams::tight();
         assert_eq!(t.endpoint_fifo_depth, 1);
+    }
+
+    #[test]
+    fn attempt_zero_never_sleeps() {
+        let policies = [
+            ReconnectPolicy::Fail,
+            ReconnectPolicy::retry_fixed(5, Duration::from_secs(10)),
+            ReconnectPolicy::Retry {
+                attempts: 5,
+                backoff: Duration::from_secs(10),
+                max_backoff: Duration::from_secs(60),
+                multiplier: 2.0,
+            },
+        ];
+        for (i, p) in policies.iter().enumerate() {
+            assert_eq!(p.delay_for(0, i as u64), Duration::ZERO, "policy {i}");
+        }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_with_jitter_and_cap() {
+        let p = ReconnectPolicy::Retry {
+            attempts: 10,
+            backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+            multiplier: 2.0,
+        };
+        // Attempt k sleeps within [d/2, d], d = min(10ms * 2^(k-1), 80ms).
+        for (attempt, cap_ms) in [(1u32, 10u64), (2, 20), (3, 40), (4, 80), (5, 80), (9, 80)] {
+            let d = p.delay_for(attempt, 7);
+            let cap = Duration::from_millis(cap_ms);
+            assert!(d <= cap, "attempt {attempt}: {d:?} > {cap:?}");
+            assert!(d >= cap / 2, "attempt {attempt}: {d:?} < {:?}", cap / 2);
+        }
+    }
+
+    #[test]
+    fn fixed_policy_never_grows() {
+        let p = ReconnectPolicy::retry_fixed(100, Duration::from_millis(20));
+        for attempt in 1..20u32 {
+            let d = p.delay_for(attempt, 3);
+            assert!(d <= Duration::from_millis(20));
+            assert!(d >= Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_spreads_across_seeds() {
+        let p = ReconnectPolicy::Retry {
+            attempts: 8,
+            backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(1),
+            multiplier: 2.0,
+        };
+        assert_eq!(p.delay_for(3, 42), p.delay_for(3, 42));
+        let distinct: std::collections::HashSet<Duration> =
+            (0..16u64).map(|s| p.delay_for(3, s)).collect();
+        assert!(distinct.len() > 1, "jitter never varied across seeds");
     }
 }

@@ -23,16 +23,21 @@
 //! [`crate::env::run_group_threaded`]): no child drops its data sockets
 //! until the launcher has heard `done` from every process, so a peer still
 //! draining its final bursts never sees a false disconnect. Fault injection
-//! (`--kill <proc>:<bootstrap|stream>`) makes the named child exit abruptly
-//! at that phase; survivors then report [`SmiError::PeerDisconnected`]
-//! within the blocking deadline and the launcher names the dead process.
+//! comes in two flavours: `--kill <proc>:<bootstrap|stream>` makes the
+//! named child exit abruptly at that phase (survivors report
+//! [`SmiError::PeerDisconnected`] within the blocking deadline and the
+//! launcher names the dead process), while `--fault
+//! <from>-<to>:<action>=<frame>` injects deterministic wire-level faults
+//! (drop, duplicate, delay, sever) on a directed process-pair link via the
+//! plan's [`FaultPlan`] — severed links heal through the mid-stream
+//! reconnect/replay layer unless `:norestore` forbids it.
 //!
 //! [`SmiError::PeerDisconnected`]: crate::SmiError::PeerDisconnected
 
 use std::fs;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::os::unix::net::{UnixListener, UnixStream};
+use std::os::unix::process::ExitStatusExt;
 use std::path::PathBuf;
 use std::process::{Child, Command, ExitStatus};
 use std::sync::mpsc;
@@ -41,15 +46,24 @@ use std::time::{Duration, Instant};
 use smi_codegen::{OpSpec, ProgramMeta};
 use smi_wire::{Datatype, ReduceOp};
 
-use super::{build_group_fabric, crossing_pairs, ProcessPlan, TransportBackend};
+use super::{
+    bind_data_listener, build_group_fabric, crossing_pairs, GroupWiring, PeerStream, ProcessPlan,
+    StreamRole, TransportBackend,
+};
 use crate::collectives::CollectiveScheme;
 use crate::env::{prepare_with, run_group_threaded, SmiCtx};
 use crate::params::{ReconnectPolicy, RuntimeParams};
-use crate::transport::socket::{recv_hello, send_hello, SocketStream};
+use crate::transport::faults::{DelaySpec, FaultPlan, LinkFault, SeverSpec};
+use crate::transport::socket::{
+    fresh_session_id, recv_hello, send_hello, Hello, ReconnectHub, Redial, SocketListener,
+    SocketStream,
+};
 use crate::transport::TransportStats;
 
 const USAGE: &str = "usage: smi-launch --plan <plan.json> [--scheme linear|tree] [--count N] \
-                     [--deadline-ms N] [--timeout-secs N] [--kill <proc>:<bootstrap|stream>]";
+                     [--deadline-ms N] [--timeout-secs N] [--kill <proc>:<bootstrap|stream>] \
+                     [--fault <from>-<to>:<drop|dup>=<frame>|delay=<frame>+<by>|sever=<frame>\
+                     [:norestore]]...";
 
 /// At which bootstrap phase the `--kill` target aborts itself.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +84,61 @@ struct Opts {
     deadline_ms: u64,
     timeout_secs: u64,
     kill: Option<(usize, KillPhase)>,
+    faults: Vec<LinkFault>,
+}
+
+/// Parse one `--fault` spec:
+/// `<from>-<to>:<action>[:<action>...][:norestore]` where an action is
+/// `drop=<frame>`, `dup=<frame>`, `delay=<frame>+<by>` or `sever=<frame>`
+/// (frames are 1-based emission ordinals on the directed link).
+fn parse_fault_spec(spec: &str) -> Result<LinkFault, String> {
+    let mut parts = spec.split(':');
+    let link = parts.next().unwrap_or_default();
+    let (from, to) = link
+        .split_once('-')
+        .ok_or_else(|| format!("bad --fault link '{link}' (want <from>-<to>)"))?;
+    let from = from
+        .parse()
+        .map_err(|_| format!("bad --fault sender '{from}'"))?;
+    let to = to
+        .parse()
+        .map_err(|_| format!("bad --fault receiver '{to}'"))?;
+    let mut lf = LinkFault::clean(from, to);
+    let mut actions = 0usize;
+    for part in parts {
+        if part == "norestore" {
+            lf.restore = false;
+            continue;
+        }
+        let (kind, arg) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad --fault action '{part}' (want <kind>=<frame>)"))?;
+        let frame = |s: &str| -> Result<u64, String> {
+            s.parse().map_err(|_| format!("bad --fault frame '{s}'"))
+        };
+        match kind {
+            "drop" => lf.drop.push(frame(arg)?),
+            "dup" => lf.duplicate.push(frame(arg)?),
+            "delay" => {
+                let (f, by) = arg
+                    .split_once('+')
+                    .ok_or_else(|| format!("bad --fault delay '{arg}' (want <frame>+<by>)"))?;
+                lf.delay.push(DelaySpec {
+                    frame: frame(f)?,
+                    by: frame(by)?,
+                });
+            }
+            "sever" => lf.sever.push(SeverSpec {
+                after_frame: frame(arg)?,
+            }),
+            other => return Err(format!("unknown fault action '{other}'")),
+        }
+        actions += 1;
+    }
+    if actions == 0 {
+        return Err(format!("--fault '{spec}' names no action"));
+    }
+    Ok(lf)
 }
 
 impl Opts {
@@ -84,6 +153,7 @@ impl Opts {
             deadline_ms: 3000,
             timeout_secs: 60,
             kill: None,
+            faults: Vec::new(),
         };
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -132,6 +202,7 @@ impl Opts {
                     };
                     o.kill = Some((idx, phase));
                 }
+                "--fault" => o.faults.push(parse_fault_spec(&val("--fault")?)?),
                 other => return Err(format!("unknown argument '{other}'")),
             }
         }
@@ -316,63 +387,11 @@ impl BootstrapConn {
     }
 }
 
-/// The child's data-plane listener (what other processes dial).
-enum DataListener {
-    Tcp(TcpListener),
-    Uds(UnixListener, PathBuf),
-}
-
-impl Drop for DataListener {
-    fn drop(&mut self) {
-        if let DataListener::Uds(_, path) = self {
-            let _ = fs::remove_file(path);
-        }
-    }
-}
-
-fn bind_data_listener(backend: TransportBackend, me: usize) -> io::Result<(DataListener, String)> {
-    match backend {
-        TransportBackend::Tcp => {
-            let l = TcpListener::bind("127.0.0.1:0")?;
-            let addr = l.local_addr()?.to_string();
-            Ok((DataListener::Tcp(l), addr))
-        }
-        TransportBackend::Uds => {
-            let path =
-                std::env::temp_dir().join(format!("smi-launch-{}-{me}.sock", std::process::id()));
-            let _ = fs::remove_file(&path);
-            let l = UnixListener::bind(&path)?;
-            let addr = path.display().to_string();
-            Ok((DataListener::Uds(l, path), addr))
-        }
-        TransportBackend::InMem => Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            "inmem backend needs no launcher",
-        )),
-    }
-}
-
 /// Accept one data-plane connection before `deadline`.
-fn accept_data(listener: &DataListener, deadline: Instant) -> io::Result<SocketStream> {
-    let (tl, ul) = match listener {
-        DataListener::Tcp(l) => (Some(l), None),
-        DataListener::Uds(l, _) => (None, Some(l)),
-    };
-    if let Some(l) = tl {
-        l.set_nonblocking(true)?;
-    }
-    if let Some(l) = ul {
-        l.set_nonblocking(true)?;
-    }
+fn accept_data(listener: &SocketListener, deadline: Instant) -> io::Result<SocketStream> {
+    listener.set_nonblocking(true)?;
     loop {
-        let res: io::Result<SocketStream> = if let Some(l) = tl {
-            l.accept().map(|(s, _)| SocketStream::Tcp(s))
-        } else {
-            ul.expect("one listener family")
-                .accept()
-                .map(|(s, _)| SocketStream::Unix(s))
-        };
-        match res {
+        match listener.accept() {
             Ok(s) => {
                 s.set_nonblocking(false)?;
                 return Ok(s);
@@ -391,32 +410,35 @@ fn accept_data(listener: &DataListener, deadline: Instant) -> io::Result<SocketS
     }
 }
 
+/// The [`Redial`] for a peer's advertised data-listener address.
+fn redial_for(backend: TransportBackend, addr: &str) -> io::Result<Redial> {
+    match backend {
+        TransportBackend::Tcp => Ok(Redial::Tcp(addr.to_string())),
+        TransportBackend::Uds => Ok(Redial::Uds(addr.to_string())),
+        TransportBackend::InMem => Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "inmem backend has no addresses",
+        )),
+    }
+}
+
 /// Dial a peer's data listener, honouring the connect-time
 /// [`ReconnectPolicy`] (peers race through bootstrap, so the first dials
-/// may land before the listener exists).
+/// may land before the listener exists). Attempt 0 dials immediately;
+/// attempt `k >= 1` sleeps the policy's jittered backoff first, `seed`
+/// decorrelating concurrent dialers.
 pub(crate) fn connect_with_retry(
-    backend: TransportBackend,
-    addr: &str,
+    redial: &Redial,
     policy: &ReconnectPolicy,
+    seed: u64,
 ) -> io::Result<SocketStream> {
-    let (attempts, backoff) = match policy {
-        ReconnectPolicy::Fail => (1u32, Duration::ZERO),
-        ReconnectPolicy::Retry { attempts, backoff } => ((*attempts).max(1), *backoff),
-    };
     let mut last = None;
-    for i in 0..attempts {
-        if i > 0 {
-            std::thread::sleep(backoff);
+    for i in 0..policy.max_attempts() {
+        let delay = policy.delay_for(i, seed);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
         }
-        let dial: io::Result<SocketStream> = match backend {
-            TransportBackend::Tcp => TcpStream::connect(addr).map(SocketStream::Tcp),
-            TransportBackend::Uds => UnixStream::connect(addr).map(SocketStream::Unix),
-            TransportBackend::InMem => Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                "inmem backend has no addresses",
-            )),
-        };
-        match dial {
+        match redial.connect() {
             Ok(s) => return Ok(s),
             Err(e) => last = Some(e),
         }
@@ -447,8 +469,9 @@ fn child_run(o: &Opts) -> Result<i32, String> {
         ..RuntimeParams::default()
     };
 
-    let (listener, my_addr) =
-        bind_data_listener(backend, me).map_err(|e| format!("data listener: {e}"))?;
+    let (listener, my_redial) = bind_data_listener(backend, &format!("launch{me}"))
+        .map_err(|e| format!("data listener: {e}"))?;
+    let my_addr = my_redial.addr().to_string();
     let mut boot = BootstrapConn::connect(&o.bootstrap, timeout)
         .map_err(|e| format!("bootstrap connect {}: {e}", o.bootstrap))?;
     boot.send_line(&format!("hello {me} {my_addr}"))
@@ -474,16 +497,26 @@ fn child_run(o: &Opts) -> Result<i32, String> {
     }
 
     // Data mesh: for each crossing process pair, the higher index dials the
-    // lower index's listener and identifies itself with a hello frame.
+    // lower index's listener and identifies itself — and names the session —
+    // with a hello frame. The same orientation is reused by mid-stream
+    // recovery: the dialer re-dials, the acceptor's listener stays open.
     let deadline = Instant::now() + timeout;
     let pairs = crossing_pairs(&topo, &procs);
-    let mut streams: Vec<(usize, SocketStream)> = Vec::new();
+    let mut streams: Vec<PeerStream> = Vec::new();
     for &(lo, hi) in &pairs {
         if hi == me {
-            let mut s = connect_with_retry(backend, &addrs[lo], &params.socket_reconnect)
+            let redial = redial_for(backend, &addrs[lo]).map_err(|e| e.to_string())?;
+            let mut s = connect_with_retry(&redial, &params.socket_reconnect, lo as u64)
                 .map_err(|e| format!("dial process {lo} at {}: {e}", addrs[lo]))?;
-            send_hello(&mut s, me).map_err(|e| format!("hello to process {lo}: {e}"))?;
-            streams.push((lo, s));
+            let session = fresh_session_id();
+            send_hello(&mut s, &Hello::initial(me, session))
+                .map_err(|e| format!("hello to process {lo}: {e}"))?;
+            streams.push(PeerStream {
+                proc: lo,
+                stream: s,
+                session,
+                role: StreamRole::Dial { redial },
+            });
         }
     }
     let accepts = pairs.iter().filter(|&&(lo, _)| lo == me).count();
@@ -491,8 +524,19 @@ fn child_run(o: &Opts) -> Result<i32, String> {
         let mut s = accept_data(&listener, deadline).map_err(|e| e.to_string())?;
         s.set_read_timeout(Some(timeout))
             .map_err(|e| e.to_string())?;
-        let peer = recv_hello(&mut s).map_err(|e| format!("peer hello: {e}"))?;
-        streams.push((peer, s));
+        let hello = recv_hello(&mut s).map_err(|e| format!("peer hello: {e}"))?;
+        if hello.resume {
+            return Err(format!(
+                "process {} sent a resume hello during bootstrap",
+                hello.proc
+            ));
+        }
+        streams.push(PeerStream {
+            proc: hello.proc,
+            stream: s,
+            session: hello.session,
+            role: StreamRole::Accept,
+        });
     }
 
     boot.send_line(&format!("wired {me}"))
@@ -502,7 +546,15 @@ fn child_run(o: &Opts) -> Result<i32, String> {
         return Err(format!("expected go, got '{line}'"));
     }
 
-    let fabric = build_group_fabric(&topo, &procs, me, backend, streams)
+    // The data listener stays open for the whole run (inside an acceptor
+    // pump) so faulted peers can re-dial mid-stream.
+    let wiring = GroupWiring {
+        backend,
+        streams,
+        listener: Some(listener),
+        hub: ReconnectHub::new(),
+    };
+    let fabric = build_group_fabric(&topo, &procs, me, wiring, &params, plan.faults.as_ref())
         .map_err(|e| format!("fabric: {e}"))?;
     let metas = vec![workload_meta(); topo.num_ranks()];
     let mut transport = prepare_with(
@@ -545,7 +597,6 @@ fn child_run(o: &Opts) -> Result<i32, String> {
             }
         }),
     );
-    drop(listener);
 
     let mut failed = false;
     for (rank, res) in outcome.results {
@@ -603,24 +654,53 @@ fn reader_thread(stream: TcpStream, tx: mpsc::Sender<Event>) {
     }
 }
 
-/// Describe a child's exit status.
+/// Describe a child's exit status, naming the signal when one killed it.
 fn status_desc(st: &ExitStatus) -> String {
     match st.code() {
         Some(c) => format!("exit code {c}"),
-        None => "killed by signal".to_string(),
+        None => match st.signal() {
+            Some(sig) => format!("killed by signal {sig}"),
+            None => "killed by signal".to_string(),
+        },
     }
 }
 
 fn launcher_run(o: &Opts) -> Result<i32, String> {
     let plan_json =
         fs::read_to_string(&o.plan_path).map_err(|e| format!("read {}: {e}", o.plan_path))?;
-    let plan = ProcessPlan::from_json(&plan_json).map_err(|e| e.to_string())?;
+    let mut plan = ProcessPlan::from_json(&plan_json).map_err(|e| e.to_string())?;
     plan.build_topology().map_err(|e| e.to_string())?;
     let backend = plan.parse_backend().map_err(|e| e.to_string())?;
     if backend == TransportBackend::InMem {
         return Err("inmem backend needs no launcher; use the in-process runners".into());
     }
     let nproc = plan.processes.len();
+    for lf in &o.faults {
+        if lf.from >= nproc || lf.to >= nproc || lf.from == lf.to {
+            return Err(format!(
+                "--fault link {}-{} outside the plan's {nproc} processes",
+                lf.from, lf.to
+            ));
+        }
+    }
+
+    // `--fault` specs merge into the plan's fault schedule; children read
+    // the merged plan, so the injected faults reach every process the same
+    // way plan-embedded ones do.
+    let mut merged_plan_path: Option<PathBuf> = None;
+    let child_plan_path = if o.faults.is_empty() {
+        o.plan_path.clone()
+    } else {
+        plan.faults
+            .get_or_insert_with(FaultPlan::default)
+            .links
+            .extend(o.faults.iter().cloned());
+        let path =
+            std::env::temp_dir().join(format!("smi-launch-plan-{}.json", std::process::id()));
+        fs::write(&path, plan.to_json()).map_err(|e| format!("write merged plan: {e}"))?;
+        merged_plan_path = Some(path.clone());
+        path.display().to_string()
+    };
 
     let listener =
         TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bootstrap listener: {e}"))?;
@@ -636,7 +716,7 @@ fn launcher_run(o: &Opts) -> Result<i32, String> {
         let mut cmd = Command::new(&exe);
         cmd.arg("--child")
             .arg("--plan")
-            .arg(&o.plan_path)
+            .arg(&child_plan_path)
             .arg("--proc")
             .arg(i.to_string())
             .arg("--bootstrap")
@@ -797,6 +877,10 @@ fn launcher_run(o: &Opts) -> Result<i32, String> {
         }
     }
 
+    if let Some(path) = merged_plan_path {
+        let _ = fs::remove_file(path);
+    }
+
     if let Some(msg) = failure {
         eprintln!("smi-launch: {msg}");
         return Ok(1);
@@ -809,4 +893,79 @@ fn launcher_run(o: &Opts) -> Result<i32, String> {
         o.count
     );
     Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_specs_parse() {
+        let lf = parse_fault_spec("1-0:drop=3:dup=5:delay=7+2:sever=9:norestore").unwrap();
+        assert_eq!((lf.from, lf.to), (1, 0));
+        assert_eq!(lf.drop, vec![3]);
+        assert_eq!(lf.duplicate, vec![5]);
+        assert_eq!(lf.delay, vec![DelaySpec { frame: 7, by: 2 }]);
+        assert_eq!(lf.sever, vec![SeverSpec { after_frame: 9 }]);
+        assert!(!lf.restore);
+        assert!(parse_fault_spec("0-1:sever=40").unwrap().restore);
+        assert!(parse_fault_spec("nonsense").is_err());
+        assert!(parse_fault_spec("1-0").is_err());
+        assert!(parse_fault_spec("1-0:norestore").is_err());
+        assert!(parse_fault_spec("1-0:explode=3").is_err());
+        assert!(parse_fault_spec("1-0:delay=3").is_err());
+    }
+
+    #[test]
+    fn status_desc_names_signals() {
+        assert_eq!(status_desc(&ExitStatus::from_raw(9)), "killed by signal 9");
+        assert_eq!(status_desc(&ExitStatus::from_raw(2 << 8)), "exit code 2");
+    }
+
+    #[test]
+    fn connect_with_retry_attempt_zero_never_sleeps() {
+        // Huge backoff, but the listener is already up: attempt 0 dials
+        // immediately, so success must not wait out the backoff.
+        let (listener, redial) = bind_data_listener(TransportBackend::Uds, "cwr0").unwrap();
+        let policy = ReconnectPolicy::retry_fixed(3, Duration::from_secs(30));
+        let t0 = Instant::now();
+        let s = connect_with_retry(&redial, &policy, 1).unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        drop(s);
+        drop(listener);
+    }
+
+    #[test]
+    fn connect_with_retry_counts_attempts() {
+        // Nowhere to connect: Fail makes exactly one attempt (no sleep at
+        // all); Retry{3} makes three, sleeping a jittered [20, 40] ms
+        // before each of attempts 1 and 2.
+        let redial = Redial::Uds("/nonexistent/smi-cwr-test.sock".into());
+        let t0 = Instant::now();
+        assert!(connect_with_retry(&redial, &ReconnectPolicy::Fail, 1).is_err());
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        let policy = ReconnectPolicy::retry_fixed(3, Duration::from_millis(40));
+        let t0 = Instant::now();
+        assert!(connect_with_retry(&redial, &policy, 1).is_err());
+        let elapsed = t0.elapsed();
+        assert!(elapsed >= Duration::from_millis(40), "{elapsed:?}");
+    }
+
+    #[test]
+    fn connect_with_retry_succeeds_once_listener_appears() {
+        let path = super::super::fresh_uds_path("cwr-late");
+        let redial = Redial::Uds(path.display().to_string());
+        let binder = {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                let (listener, _) = SocketListener::bind_uds(path).unwrap();
+                listener.accept().unwrap()
+            })
+        };
+        let policy = ReconnectPolicy::retry_fixed(200, Duration::from_millis(10));
+        let s = connect_with_retry(&redial, &policy, 9).unwrap();
+        drop(s);
+        let _ = binder.join();
+    }
 }

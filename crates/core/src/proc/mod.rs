@@ -26,8 +26,8 @@
 
 use std::collections::HashMap;
 use std::io;
-use std::net::{TcpListener, TcpStream};
-use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -40,7 +40,11 @@ use crate::env::{
 };
 use crate::params::RuntimeParams;
 use crate::transport::executor::Pollable;
-use crate::transport::socket::{FabricHealth, PeerInfo, SocketConn, SocketStream};
+use crate::transport::faults::FaultPlan;
+use crate::transport::socket::{
+    fresh_session_id, AcceptorPump, ConnConfig, FabricHealth, PeerInfo, ReconnectHub,
+    ReconnectRole, Redial, SocketConn, SocketListener, SocketStream,
+};
 use crate::transport::wiring::FabricLinks;
 use crate::transport::TransportStats;
 use crate::SmiError;
@@ -121,6 +125,12 @@ pub struct ProcessPlan {
     /// The rank partition; together the processes must cover every world
     /// rank exactly once.
     pub processes: Vec<ProcessSpec>,
+    /// Optional deterministic fault-injection plan
+    /// ([`crate::transport::faults::FaultPlan`]): per-directed-process-pair
+    /// drop/duplicate/delay/sever schedules applied to outbound frames at
+    /// the wire level. Omitted (or `null`) means a clean fabric.
+    #[serde(default)]
+    pub faults: Option<FaultPlan>,
 }
 
 impl ProcessPlan {
@@ -144,6 +154,7 @@ impl ProcessPlan {
             backend: backend.name().to_string(),
             topology: TopologySpec::from_topology(topo),
             processes,
+            faults: None,
         }
     }
 
@@ -241,6 +252,44 @@ pub(crate) struct GroupFabric {
     pub diag: FabricDiag,
 }
 
+/// Which side of an established process-pair stream this process is, for
+/// mid-stream recovery purposes.
+pub(crate) enum StreamRole {
+    /// This process re-dials the peer's data listener after a fault.
+    Dial {
+        /// The peer listener's address.
+        redial: Redial,
+    },
+    /// This process waits (through its [`ReconnectHub`]) for the peer to
+    /// re-dial its data listener.
+    Accept,
+}
+
+/// One established, session-negotiated stream to a peer process.
+pub(crate) struct PeerStream {
+    /// Peer process index in the plan.
+    pub proc: usize,
+    /// The connected stream.
+    pub stream: SocketStream,
+    /// Session id both sides agreed on at hello time.
+    pub session: u64,
+    /// Recovery role of *this* side.
+    pub role: StreamRole,
+}
+
+/// Everything `build_group_fabric` needs beyond the plan itself: the
+/// established peer streams, plus the group's persistent data listener and
+/// reconnect hub for mid-stream recovery.
+pub(crate) struct GroupWiring {
+    pub backend: TransportBackend,
+    pub streams: Vec<PeerStream>,
+    /// The listener the peer-dialed streams came in on, kept open so faulted
+    /// peers can re-dial mid-run. `None` when no peer dials this process.
+    pub listener: Option<SocketListener>,
+    /// Routes resumed streams from the acceptor to the owning pump.
+    pub hub: Arc<ReconnectHub>,
+}
+
 /// Wire process `me`'s share of the fabric from established streams, one
 /// per peer process it shares a topology edge with. Each stream carries
 /// every edge between the two processes, demuxed by the sender-side
@@ -249,8 +298,9 @@ pub(crate) fn build_group_fabric(
     topo: &Topology,
     procs: &[Vec<usize>],
     me: usize,
-    backend: TransportBackend,
-    streams: Vec<(usize, SocketStream)>,
+    wiring: GroupWiring,
+    params: &RuntimeParams,
+    faults: Option<&FaultPlan>,
 ) -> io::Result<GroupFabric> {
     let n = topo.num_ranks();
     let owner = proc_of(procs, n);
@@ -260,9 +310,11 @@ pub(crate) fn build_group_fabric(
     let mut ext_rx = HashMap::new();
     let mut pumps: Vec<Box<dyn Pollable>> = Vec::new();
     let mut peer_addr: HashMap<usize, String> = HashMap::new();
+    let backend = wiring.backend;
 
-    for (peer, stream) in streams {
-        let addr = stream.peer_label();
+    for ps in wiring.streams {
+        let peer = ps.proc;
+        let addr = ps.stream.peer_label();
         peer_addr.insert(peer, addr.clone());
         // Directed boundary edges carried by this stream, as
         // (sender endpoint, direction) derived from the undirected cables.
@@ -287,7 +339,23 @@ pub(crate) fn build_group_fabric(
             backend: backend.name(),
             addr,
         };
-        let (conn, pump) = SocketConn::new(stream, &recv_keys, health.clone(), info)?;
+        let role = match ps.role {
+            StreamRole::Dial { redial } => ReconnectRole::Dialer { redial },
+            StreamRole::Accept => ReconnectRole::Listener {
+                hub: wiring.hub.clone(),
+            },
+        };
+        let cfg = ConnConfig {
+            peer: info,
+            recv_keys: recv_keys.clone(),
+            replay_budget: params.stream_replay_budget,
+            policy: params.stream_reconnect,
+            role,
+            session: ps.session,
+            local_proc: me,
+            faults: faults.and_then(|fp| fp.injector_for(me, peer)),
+        };
+        let (conn, pump) = SocketConn::new(ps.stream, cfg, health.clone())?;
         for key in tx_keys {
             ext_tx.insert(key, conn.tx(key.0, key.1));
         }
@@ -295,6 +363,9 @@ pub(crate) fn build_group_fabric(
             ext_rx.insert(key, conn.rx(key));
         }
         pumps.push(Box::new(pump));
+    }
+    if let Some(listener) = wiring.listener {
+        pumps.push(Box::new(AcceptorPump::new(listener, wiring.hub.clone())?));
     }
 
     let remote: HashMap<usize, (usize, String)> = (0..n)
@@ -325,21 +396,28 @@ pub(crate) fn build_group_fabric(
     })
 }
 
-/// A connected stream pair of the given backend (loopback for TCP).
-fn stream_pair(backend: TransportBackend) -> io::Result<(SocketStream, SocketStream)> {
+/// A filesystem path for a fresh Unix-domain data listener, unique within
+/// this process.
+pub(crate) fn fresh_uds_path(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("smi-{}-{tag}-{n}.sock", std::process::id()))
+}
+
+/// Bind a re-dialable data listener of the given backend, returning it with
+/// the [`Redial`] peers use to (re)connect.
+pub(crate) fn bind_data_listener(
+    backend: TransportBackend,
+    tag: &str,
+) -> io::Result<(SocketListener, Redial)> {
     match backend {
         TransportBackend::Uds => {
-            let (a, b) = UnixStream::pair()?;
-            Ok((SocketStream::Unix(a), SocketStream::Unix(b)))
+            let (l, addr) = SocketListener::bind_uds(fresh_uds_path(tag))?;
+            Ok((l, Redial::Uds(addr)))
         }
         TransportBackend::Tcp => {
-            let listener = TcpListener::bind("127.0.0.1:0")?;
-            let addr = listener.local_addr()?;
-            let client = TcpStream::connect(addr)?;
-            let (server, _) = listener.accept()?;
-            client.set_nodelay(true)?;
-            server.set_nodelay(true)?;
-            Ok((SocketStream::Tcp(client), SocketStream::Tcp(server)))
+            let (l, addr) = SocketListener::bind_tcp()?;
+            Ok((l, Redial::Tcp(addr)))
         }
         TransportBackend::InMem => unreachable!("in-memory fabric has no streams"),
     }
@@ -349,11 +427,15 @@ fn stream_pair(backend: TransportBackend) -> io::Result<(SocketStream, SocketStr
 /// threads.
 struct GroupSetup {
     idx: usize,
-    streams: Vec<(usize, SocketStream)>,
+    wiring: GroupWiring,
     ranks: Vec<usize>,
 }
 
-/// Validate the plan and establish the inter-group socket mesh.
+/// Validate the plan and establish the inter-group socket mesh. For every
+/// crossing pair `(lo, hi)` the lower-indexed group listens and the higher
+/// dials — the same orientation mid-stream recovery re-dials with — and the
+/// listener stays open inside the lo group's wiring so faulted peers can
+/// come back.
 fn setup_groups(
     plan: &ProcessPlan,
     topo: &Topology,
@@ -365,15 +447,48 @@ fn setup_groups(
         .enumerate()
         .map(|(idx, ranks)| GroupSetup {
             idx,
-            streams: Vec::new(),
+            wiring: GroupWiring {
+                backend,
+                streams: Vec::new(),
+                listener: None,
+                hub: ReconnectHub::new(),
+            },
             ranks: ranks.clone(),
         })
         .collect();
+    let mut redials: HashMap<usize, Redial> = HashMap::new();
     for (g, h) in crossing_pairs(topo, &procs) {
-        let (sg, sh) = stream_pair(backend)
+        let mut plumb = || -> io::Result<()> {
+            if let std::collections::hash_map::Entry::Vacant(e) = redials.entry(g) {
+                let (listener, redial) = bind_data_listener(backend, &format!("grp{g}"))?;
+                groups[g].wiring.listener = Some(listener);
+                e.insert(redial);
+            }
+            let redial = redials[&g].clone();
+            let dialed = redial.connect()?;
+            let accepted = groups[g]
+                .wiring
+                .listener
+                .as_ref()
+                .expect("listener bound above")
+                .accept()?;
+            let session = fresh_session_id();
+            groups[g].wiring.streams.push(PeerStream {
+                proc: h,
+                stream: accepted,
+                session,
+                role: StreamRole::Accept,
+            });
+            groups[h].wiring.streams.push(PeerStream {
+                proc: g,
+                stream: dialed,
+                session,
+                role: StreamRole::Dial { redial },
+            });
+            Ok(())
+        };
+        plumb()
             .map_err(|e| LaunchError::Plan(format!("socket setup for processes {g}/{h}: {e}")))?;
-        groups[g].streams.push((h, sg));
-        groups[h].streams.push((g, sh));
     }
     Ok(groups)
 }
@@ -406,6 +521,7 @@ pub fn run_split_mpmd<T: Send + 'static>(
     let nproc = procs.len();
     let stats = TransportStats::default();
     let barrier = Arc::new(std::sync::Barrier::new(nproc));
+    let faults = plan.faults.clone();
     type Prog<T> = Box<dyn FnOnce(SmiCtx) -> T + Send>;
     let mut slots: Vec<Option<Prog<T>>> = programs.into_iter().map(Some).collect();
 
@@ -422,25 +538,30 @@ pub fn run_split_mpmd<T: Send + 'static>(
         let stats = stats.clone();
         let procs = procs.clone();
         let barrier = barrier.clone();
+        let faults = faults.clone();
         handles.push(
             std::thread::Builder::new()
                 .name(format!("smi-proc-{}", group.idx))
                 .spawn(move || -> Result<GroupOutcome<T>, LaunchError> {
                     let prep = (|| {
-                        let fabric =
-                            build_group_fabric(&topo, &procs, group.idx, backend, group.streams)
-                                .map_err(|e| {
-                                    LaunchError::Plan(format!(
-                                        "fabric for process {}: {e}",
-                                        group.idx
-                                    ))
-                                })?;
+                        let fabric = build_group_fabric(
+                            &topo,
+                            &procs,
+                            group.idx,
+                            group.wiring,
+                            &params,
+                            faults.as_ref(),
+                        )
+                        .map_err(|e| {
+                            LaunchError::Plan(format!("fabric for process {}: {e}", group.idx))
+                        })?;
+                        let health = fabric.diag.health.clone();
                         let mut transport =
                             prepare_with(&topo, &metas, &params, stats, fabric.links)?;
                         transport.machines.extend(fabric.pumps);
-                        Ok(transport)
+                        Ok((transport, health))
                     })();
-                    let transport = match prep {
+                    let (transport, health) = match prep {
                         Ok(t) => t,
                         Err(e) => {
                             // Never leave peers hanging on the completion
@@ -449,7 +570,7 @@ pub fn run_split_mpmd<T: Send + 'static>(
                             return Err(e);
                         }
                     };
-                    Ok(run_group_threaded(
+                    let mut outcome = run_group_threaded(
                         transport.tables,
                         group_programs,
                         num_ranks,
@@ -458,7 +579,9 @@ pub fn run_split_mpmd<T: Send + 'static>(
                         Box::new(move || {
                             barrier.wait();
                         }),
-                    ))
+                    );
+                    outcome.reconnects_healed = health.healed();
+                    Ok(outcome)
                 })
                 .expect("spawn group thread"),
         );
@@ -514,6 +637,7 @@ pub fn run_split_mpmd_tasks(
     let nproc = procs.len();
     let stats = TransportStats::default();
     let barrier = Arc::new(std::sync::Barrier::new(nproc));
+    let faults = plan.faults.clone();
     let mut slots: Vec<Option<TaskFactory>> = factories.into_iter().map(Some).collect();
 
     let mut handles = Vec::with_capacity(nproc);
@@ -529,6 +653,7 @@ pub fn run_split_mpmd_tasks(
         let stats = stats.clone();
         let procs = procs.clone();
         let barrier = barrier.clone();
+        let faults = faults.clone();
         handles.push(
             std::thread::Builder::new()
                 .name(format!("smi-proc-{}", group.idx))
@@ -539,8 +664,9 @@ pub fn run_split_mpmd_tasks(
                                 &topo,
                                 &procs,
                                 group.idx,
-                                backend,
-                                group.streams,
+                                group.wiring,
+                                &params,
+                                faults.as_ref(),
                             )
                             .map_err(|e| {
                                 LaunchError::Plan(format!("fabric for process {}: {e}", group.idx))
@@ -593,12 +719,14 @@ where
 {
     let mut slots: Vec<Option<T>> = (0..num_ranks).map(|_| None).collect();
     let mut threads_spawned = 0usize;
+    let mut reconnects_healed = 0usize;
     let mut err: Option<LaunchError> = None;
     let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
     for h in handles {
         match h.join() {
             Ok(Ok(outcome)) => {
                 threads_spawned += outcome.threads_spawned;
+                reconnects_healed += outcome.reconnects_healed;
                 for (rank, v) in outcome.results {
                     slots[rank] = Some(v);
                 }
@@ -621,6 +749,7 @@ where
         results: slots.into_iter().map(finish).collect(),
         transport: stats.snapshot(),
         threads_spawned,
+        reconnects_healed,
     })
 }
 

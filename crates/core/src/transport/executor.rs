@@ -15,6 +15,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::transport::socket::FabricHealth;
 use crate::SmiError;
 
 /// Outcome of one cooperative `poll` step.
@@ -59,9 +60,16 @@ pub(crate) enum BlockingStep<T> {
 /// The backoff mirrors the executor worker loop — spin briefly, then
 /// yield, then nap — so a rank thread spinning here cannot starve the
 /// workers that move its packets.
+///
+/// The optional `health` board makes the stall bound recovery-aware: while
+/// a mid-stream socket reconnect is in flight the stall deadline keeps
+/// resetting (the op outlives the repair instead of misreporting it as a
+/// timeout). Reconnects are budget-bounded, so a failed recovery still
+/// surfaces — as the recorded peer death via [`FabricHealth::escalate`].
 pub(crate) fn block_on_deadline<T>(
     timeout: Duration,
     overall: Option<Instant>,
+    health: Option<&FabricHealth>,
     waiting_for: &'static str,
     mut poll: impl FnMut() -> Result<BlockingStep<T>, SmiError>,
 ) -> Result<T, SmiError> {
@@ -87,7 +95,11 @@ pub(crate) fn block_on_deadline<T>(
                     }
                 }
                 if now >= deadline {
-                    return Err(SmiError::Timeout { waiting_for });
+                    if health.is_some_and(|h| h.any_reconnecting()) {
+                        deadline = now + timeout;
+                    } else {
+                        return Err(SmiError::Timeout { waiting_for });
+                    }
                 }
                 idle += 1;
                 if idle < 16 {
@@ -237,7 +249,7 @@ mod tests {
     #[test]
     fn block_on_completes_and_times_out() {
         let mut n = 0;
-        let got = block_on_deadline(Duration::from_secs(1), None, "t", || {
+        let got = block_on_deadline(Duration::from_secs(1), None, None, "t", || {
             n += 1;
             Ok(if n == 3 {
                 BlockingStep::Ready(42)
@@ -247,7 +259,7 @@ mod tests {
         })
         .unwrap();
         assert_eq!(got, 42);
-        let err = block_on_deadline::<()>(Duration::from_millis(10), None, "never", || {
+        let err = block_on_deadline::<()>(Duration::from_millis(10), None, None, "never", || {
             Ok(BlockingStep::Pending)
         });
         assert!(matches!(err, Err(SmiError::Timeout { .. })));
@@ -261,6 +273,7 @@ mod tests {
         let err = block_on_deadline::<()>(
             Duration::from_secs(10),
             Some(start + Duration::from_millis(50)),
+            None,
             "trickle",
             || {
                 std::thread::sleep(Duration::from_millis(1));

@@ -15,6 +15,7 @@ use crossbeam::channel::{Receiver, Sender, TryRecvError, TrySendError};
 use crate::transport::Burst;
 
 /// Outcome of offering a burst to a link's send half.
+#[derive(Debug)]
 pub(crate) enum LinkSend {
     /// The link accepted the burst.
     Accepted,

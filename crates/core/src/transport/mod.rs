@@ -5,6 +5,7 @@
 
 pub mod ck;
 pub mod executor;
+pub mod faults;
 pub(crate) mod link;
 pub(crate) mod socket;
 pub mod wiring;

@@ -1,54 +1,75 @@
 //! The socket link backend: framed [`NetworkPacket`] bursts over
-//! nonblocking TCP or Unix-domain sockets.
+//! nonblocking TCP or Unix-domain sockets, with a session/replay layer that
+//! heals mid-stream disconnects losslessly.
 //!
 //! One connection is opened per pair of OS processes and multiplexes every
-//! topology edge crossing that boundary. The wire format is a stream of
-//! frames, each `[src_rank u16 LE][src_qsfp u16 LE][npackets u32 LE]`
-//! followed by `npackets` 32-byte packed packets ([`NetworkPacket::pack`]);
-//! the `(src_rank, src_qsfp)` tag is the *sender-side* endpoint of the
-//! topology edge the burst travels, which is all the receiver needs to demux
-//! the frame onto the right CKR input. A hello frame (`src_rank ==`
-//! [`HELLO_RANK`], `npackets` = process index, no payload) identifies peers
-//! during bootstrap, before the stream switches to nonblocking mode.
+//! topology edge crossing that boundary. Wire format **v2** is a stream of
+//! frames, each `[src_rank u16 LE][src_qsfp u16 LE][npackets u32 LE]
+//! [seq u64 LE]` followed by `npackets` 32-byte packed packets
+//! ([`NetworkPacket::pack`]); the `(src_rank, src_qsfp)` tag is the
+//! *sender-side* endpoint of the topology edge the burst travels, which is
+//! all the receiver needs to demux the frame onto the right CKR input.
+//! `seq` numbers data frames 1, 2, 3… per connection; two `src_rank`
+//! sentinels reuse the header shape for control traffic:
+//!
+//! * [`HELLO_RANK`] — handshake frame (`npackets` = process index,
+//!   `src_qsfp` bit 0 = resume flag, `seq` = session id, plus an 8-byte
+//!   body carrying the sender's last contiguously received seq).
+//! * [`ACK_RANK`] — cumulative ack (`seq` = highest contiguous seq
+//!   received, no payload).
+//!
+//! The sender keeps every unacked encoded frame in a bounded replay ring;
+//! on a mid-stream I/O fault the connection enters a `Reconnecting` health
+//! state instead of dying: the dialing side re-dials the peer's data
+//! listener under [`crate::RuntimeParams::stream_reconnect`] (jittered
+//! exponential backoff), both sides exchange resume hellos carrying their
+//! `last_recv`, the ring is rewound to the peer's ack point and unacked
+//! frames are replayed. Receivers discard duplicate seqs, so recovery is
+//! exactly-once and in-order. Only a budget-exhausted reconnect (or
+//! [`crate::params::ReconnectPolicy::Fail`]) marks the peer dead.
 //!
 //! All socket I/O is performed by a [`SocketPump`] — a [`Pollable`]
-//! registered with the same sharded executor that drives the CK machines
-//! (the executor's "socket-drain duty cycle"). CK machines themselves only
-//! touch lock-guarded byte/burst queues via [`super::link::Transport`]
-//! handles, so they never block on a syscall.
-//!
-//! Peer death (EOF or a hard I/O error) is recorded once on the fabric-wide
-//! [`FabricHealth`] board; channel operations and the task watchdog consult
-//! it to turn an otherwise-silent stall into
-//! [`SmiError::PeerDisconnected`] naming the dead peer.
+//! registered with the same sharded executor that drives the CK machines.
+//! CK machines themselves only touch lock-guarded queues via
+//! [`super::link::Transport`] handles, so they never block on a syscall.
+//! Re-dials arriving at a process are routed by an [`AcceptorPump`] (which
+//! owns the long-lived data listener) through a [`ReconnectHub`] to the
+//! pump that lost its stream.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
-use std::net::TcpStream;
-use std::os::unix::net::UnixStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use smi_wire::{NetworkPacket, PACKET_BYTES};
 
 use crate::error::SmiError;
+use crate::params::ReconnectPolicy;
 use crate::transport::executor::{Pollable, Step};
+use crate::transport::faults::{FaultAction, FaultInjector};
 use crate::transport::link::{LinkRecv, LinkRx, LinkSend, LinkTx, Transport, TransportReceiver};
 use crate::transport::Burst;
 
 /// Bytes of the per-burst frame header:
-/// `[src_rank u16 LE][src_qsfp u16 LE][npackets u32 LE]`.
-pub(crate) const FRAME_HEADER_BYTES: usize = 8;
+/// `[src_rank u16 LE][src_qsfp u16 LE][npackets u32 LE][seq u64 LE]`.
+pub(crate) const FRAME_HEADER_BYTES: usize = 16;
 
-/// `src_rank` sentinel marking a bootstrap hello frame; its `npackets`
-/// field carries the sender's process index instead of a packet count.
+/// `src_rank` sentinel marking a hello (handshake) frame; its `npackets`
+/// field carries the sender's process index, `src_qsfp` carries flags
+/// (bit 0 = resume), `seq` carries the session id, and an 8-byte body
+/// carries the sender's last contiguously received data seq.
 pub(crate) const HELLO_RANK: u16 = u16::MAX;
 
-/// Cap on the serialized outbound buffer per connection; a link whose
-/// buffer is at the cap reports [`LinkSend::Full`] and the CK machine parks
-/// the burst (normal transport backpressure).
-const WRITE_BUF_CAP: usize = 1 << 20;
+/// `src_rank` sentinel marking a cumulative-ack frame; its `seq` field
+/// carries the highest contiguously received data seq (no payload).
+pub(crate) const ACK_RANK: u16 = u16::MAX - 1;
+
+/// Total bytes of a hello frame (header + 8-byte `last_recv` body).
+pub(crate) const HELLO_BYTES: usize = FRAME_HEADER_BYTES + 8;
 
 /// Cap (in bursts) of each per-link inbound demux queue. A full queue stops
 /// the pump from parsing further frames — head-of-line backpressure on the
@@ -66,9 +87,52 @@ const READ_CHUNK: usize = 16 * 1024;
 /// reading (keeps a wedged receiver from buffering unboundedly).
 const READ_BUF_CAP: usize = 4 << 20;
 
+/// Cap on bytes staged for one write batch (ring frames copied per refill).
+const STAGE_CAP: usize = 256 * 1024;
+
+/// Cap on buffered control bytes (acks); past this the pump skips
+/// generating new acks until the writer drains (they are cumulative, so
+/// skipped acks are subsumed by the next one).
+const CTRL_CAP: usize = 64 * 1024;
+
+/// Read timeout of the blocking resume-hello exchange; a failed exchange
+/// costs one reconnect attempt, so this also bounds how long one attempt
+/// can occupy an executor worker.
+const RESUME_IO_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Extra per-attempt patience of the listening side of a broken connection:
+/// each of its wait windows is the dialer's backoff plus this grace, so the
+/// waiter's budget always outlasts the dialer's dial schedule.
+const RESUME_GRACE: Duration = Duration::from_millis(500);
+
+/// How long the oldest transmitted frame may sit unacked with no
+/// cumulative-ack progress before the pump treats the stream as faulted and
+/// forces a resume handshake. Loss is normally detected by the receiver as
+/// a sequence gap, but a gap needs a *later* frame to expose it — a fault
+/// on the last frame of a burst is invisible to the receiver, so the sender
+/// must probe. Only recoverable pumps probe: with recovery off the probe
+/// could only turn a slow-but-live link into a dead one.
+const ACK_PROBE_TIMEOUT: Duration = Duration::from_millis(400);
+
 // ---------------------------------------------------------------------------
 // Fabric health
 // ---------------------------------------------------------------------------
+
+/// Why a peer was declared dead: an unrecoverable link fault, or a local
+/// replay-budget misconfiguration (maps to [`SmiError::ReplayOverflow`]).
+#[derive(Debug, Clone)]
+pub(crate) enum PeerDownKind {
+    /// The connection died and recovery was off or exhausted.
+    Link,
+    /// One frame exceeded the whole replay budget; see
+    /// [`SmiError::ReplayOverflow`].
+    ReplayOverflow {
+        /// Bytes the frame needed.
+        needed: usize,
+        /// Configured replay budget in bytes.
+        budget: usize,
+    },
+}
 
 /// What is known about a dead peer process, for diagnostics.
 #[derive(Debug, Clone)]
@@ -84,6 +148,8 @@ pub(crate) struct PeerDown {
     pub addr: String,
     /// What the pump observed (EOF, truncated frame, I/O error...).
     pub detail: String,
+    /// Classification; selects the error channel ops surface.
+    pub kind: PeerDownKind,
 }
 
 /// Identity of the peer process behind one connection; the template a
@@ -100,15 +166,34 @@ pub(crate) struct PeerInfo {
     pub addr: String,
 }
 
+/// One peer currently in mid-stream recovery, for diagnostics
+/// (`stall_message` reports these).
+#[derive(Debug, Clone)]
+pub(crate) struct ReconnectInfo {
+    /// Lowest world rank hosted by the reconnecting peer process.
+    pub rank: usize,
+    /// Peer process index in the process plan.
+    pub process: usize,
+    /// Reconnect attempt currently in flight (0-based).
+    pub attempt: u32,
+    /// The fault that started (or most recently extended) the recovery.
+    pub detail: String,
+}
+
 #[derive(Debug, Default)]
 struct HealthInner {
     down: AtomicBool,
     first: Mutex<Option<PeerDown>>,
+    reconnecting: Mutex<HashMap<usize, ReconnectInfo>>,
+    nrecon: AtomicUsize,
+    healed: AtomicUsize,
 }
 
 /// Fabric-wide peer-liveness board, shared between socket pumps, endpoint
-/// tables and the task watchdog. The default (in-memory fabric) never
-/// reports down.
+/// tables and the task watchdog. Peers move `Healthy → Reconnecting
+/// {attempt} → Healthy | Dead`; only `Dead` surfaces an error to channel
+/// ops (they keep polling through `Reconnecting`). The default (in-memory
+/// fabric) never reports anything.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct FabricHealth {
     inner: Arc<HealthInner>,
@@ -116,14 +201,53 @@ pub(crate) struct FabricHealth {
 
 impl FabricHealth {
     /// Record a dead peer. The first report wins; later ones only keep the
-    /// `down` flag set.
+    /// `down` flag set. Ends any in-progress recovery for that process.
     pub fn mark_down(&self, pd: PeerDown) {
+        let process = pd.process;
         let mut slot = self.inner.first.lock().expect("health lock");
         if slot.is_none() {
             *slot = Some(pd);
         }
         drop(slot);
         self.inner.down.store(true, Ordering::Release);
+        let mut rec = self.inner.reconnecting.lock().expect("health lock");
+        rec.remove(&process);
+        self.inner.nrecon.store(rec.len(), Ordering::Release);
+    }
+
+    /// Record that the connection to `info.process` is in mid-stream
+    /// recovery (entering, or moving to a later attempt).
+    pub fn mark_reconnecting(&self, info: ReconnectInfo) {
+        let mut rec = self.inner.reconnecting.lock().expect("health lock");
+        rec.insert(info.process, info);
+        self.inner.nrecon.store(rec.len(), Ordering::Release);
+    }
+
+    /// Record a successful mid-stream recovery for `process`.
+    pub fn mark_healthy(&self, process: usize) {
+        let mut rec = self.inner.reconnecting.lock().expect("health lock");
+        if rec.remove(&process).is_some() {
+            self.inner.healed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.inner.nrecon.store(rec.len(), Ordering::Release);
+    }
+
+    /// Whether any connection is currently mid-recovery.
+    pub fn any_reconnecting(&self) -> bool {
+        self.inner.nrecon.load(Ordering::Acquire) > 0
+    }
+
+    /// Snapshot of all in-progress recoveries (for diagnostics).
+    pub fn reconnecting_peers(&self) -> Vec<ReconnectInfo> {
+        let rec = self.inner.reconnecting.lock().expect("health lock");
+        let mut v: Vec<ReconnectInfo> = rec.values().cloned().collect();
+        v.sort_by_key(|r| r.process);
+        v
+    }
+
+    /// Number of successful mid-stream recoveries so far.
+    pub fn healed(&self) -> usize {
+        self.inner.healed.load(Ordering::Relaxed)
     }
 
     /// The first recorded peer death, if any.
@@ -136,12 +260,16 @@ impl FabricHealth {
 
     /// The first recorded peer death as the error channel ops surface.
     pub fn error(&self) -> Option<SmiError> {
-        self.peer_down()
-            .map(|p| SmiError::PeerDisconnected { rank: p.rank })
+        self.peer_down().map(|p| match p.kind {
+            PeerDownKind::Link => SmiError::PeerDisconnected { rank: p.rank },
+            PeerDownKind::ReplayOverflow { needed, budget } => {
+                SmiError::ReplayOverflow { needed, budget }
+            }
+        })
     }
 
     /// Upgrade a progress-starvation error (timeout, deadline, stall) to
-    /// [`SmiError::PeerDisconnected`] when a dead peer explains the stall;
+    /// the recorded peer-death error when a dead peer explains the stall;
     /// all other errors pass through unchanged.
     pub fn escalate(&self, e: SmiError) -> SmiError {
         if matches!(
@@ -157,7 +285,7 @@ impl FabricHealth {
 }
 
 // ---------------------------------------------------------------------------
-// Stream wrapper
+// Stream + listener wrappers
 // ---------------------------------------------------------------------------
 
 /// A connected byte stream of either socket family.
@@ -169,8 +297,8 @@ pub(crate) enum SocketStream {
 }
 
 impl SocketStream {
-    /// Toggle nonblocking mode (the pump requires nonblocking; the
-    /// bootstrap hello exchange runs blocking with a read timeout).
+    /// Toggle nonblocking mode (the pump requires nonblocking; handshake
+    /// exchanges run blocking with a read timeout).
     pub fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
         match self {
             SocketStream::Tcp(s) => s.set_nonblocking(nb),
@@ -178,11 +306,19 @@ impl SocketStream {
         }
     }
 
-    /// Bound blocking reads (used only during the hello exchange).
+    /// Bound blocking reads (used only during handshake exchanges).
     pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
         match self {
             SocketStream::Tcp(s) => s.set_read_timeout(t),
             SocketStream::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+
+    /// Close both directions (peer sees EOF / EPIPE).
+    pub fn shutdown(&self) -> io::Result<()> {
+        match self {
+            SocketStream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            SocketStream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
         }
     }
 
@@ -227,60 +363,398 @@ impl Write for SocketStream {
     }
 }
 
+/// A bound data listener of either socket family; the Unix variant owns
+/// its filesystem path and removes it on drop.
+pub(crate) enum SocketListener {
+    /// Loopback (or cross-host) TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener plus the path it is bound to.
+    Uds(UnixListener, PathBuf),
+}
+
+impl SocketListener {
+    /// Bind an ephemeral loopback TCP listener; returns it and its
+    /// dialable `host:port` address.
+    pub fn bind_tcp() -> io::Result<(SocketListener, String)> {
+        let l = TcpListener::bind("127.0.0.1:0")?;
+        let addr = l.local_addr()?.to_string();
+        Ok((SocketListener::Tcp(l), addr))
+    }
+
+    /// Bind a Unix-domain listener at `path` (removed on drop); returns it
+    /// and the dialable path string.
+    pub fn bind_uds(path: PathBuf) -> io::Result<(SocketListener, String)> {
+        let _ = std::fs::remove_file(&path);
+        let l = UnixListener::bind(&path)?;
+        let addr = path.display().to_string();
+        Ok((SocketListener::Uds(l, path), addr))
+    }
+
+    /// Toggle nonblocking accept mode.
+    pub fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            SocketListener::Tcp(l) => l.set_nonblocking(nb),
+            SocketListener::Uds(l, _) => l.set_nonblocking(nb),
+        }
+    }
+
+    /// Accept one connection (blocking semantics follow the listener's
+    /// nonblocking flag).
+    pub fn accept(&self) -> io::Result<SocketStream> {
+        match self {
+            SocketListener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true)?;
+                Ok(SocketStream::Tcp(s))
+            }
+            SocketListener::Uds(l, _) => l.accept().map(|(s, _)| SocketStream::Unix(s)),
+        }
+    }
+}
+
+impl Drop for SocketListener {
+    fn drop(&mut self) {
+        if let SocketListener::Uds(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// How to re-dial a peer's data listener for mid-stream recovery.
+#[derive(Debug, Clone)]
+pub(crate) enum Redial {
+    /// Dial `host:port` over TCP.
+    Tcp(String),
+    /// Dial a Unix-domain socket path.
+    Uds(String),
+}
+
+impl Redial {
+    /// The address string, for diagnostics.
+    pub fn addr(&self) -> &str {
+        match self {
+            Redial::Tcp(a) | Redial::Uds(a) => a,
+        }
+    }
+
+    /// One blocking dial attempt (fast on loopback: either connects or
+    /// fails with ECONNREFUSED/ENOENT).
+    pub fn connect(&self) -> io::Result<SocketStream> {
+        match self {
+            Redial::Tcp(a) => {
+                let s = TcpStream::connect(a)?;
+                s.set_nodelay(true)?;
+                Ok(SocketStream::Tcp(s))
+            }
+            Redial::Uds(a) => UnixStream::connect(a).map(SocketStream::Unix),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Frame codec
 // ---------------------------------------------------------------------------
 
-/// Append one framed burst to a serialization buffer.
+/// Append one framed data burst (with its sequence number) to a
+/// serialization buffer.
 pub(crate) fn encode_frame_into(
     out: &mut Vec<u8>,
     src_rank: u16,
     src_qsfp: u16,
+    seq: u64,
     burst: &[NetworkPacket],
 ) {
     out.reserve(FRAME_HEADER_BYTES + burst.len() * PACKET_BYTES);
     out.extend_from_slice(&src_rank.to_le_bytes());
     out.extend_from_slice(&src_qsfp.to_le_bytes());
     out.extend_from_slice(&(burst.len() as u32).to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
     for p in burst {
         out.extend_from_slice(&p.pack());
     }
 }
 
-/// Send the bootstrap hello identifying this process (blocking mode).
-pub(crate) fn send_hello(stream: &mut SocketStream, proc_idx: usize) -> io::Result<()> {
-    let mut hdr = [0u8; FRAME_HEADER_BYTES];
-    hdr[..2].copy_from_slice(&HELLO_RANK.to_le_bytes());
-    hdr[4..8].copy_from_slice(&(proc_idx as u32).to_le_bytes());
-    stream.write_all(&hdr)?;
+/// Append one cumulative-ack frame (`acked` = highest contiguous seq
+/// received) to a serialization buffer.
+pub(crate) fn encode_ack_into(out: &mut Vec<u8>, acked: u64) {
+    out.extend_from_slice(&ACK_RANK.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&acked.to_le_bytes());
+}
+
+/// The handshake frame identifying one side of a process-pair connection,
+/// both at bootstrap (`resume == false`) and at mid-stream recovery
+/// (`resume == true`, `last_recv` doubling as a cumulative ack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Hello {
+    /// Sender's process index in the process plan.
+    pub proc: usize,
+    /// Per-process-pair session id (chosen by the bootstrap dialer).
+    pub session: u64,
+    /// Whether this hello resumes an existing session.
+    pub resume: bool,
+    /// Sender's highest contiguously received data seq (0 at bootstrap).
+    pub last_recv: u64,
+}
+
+impl Hello {
+    /// A bootstrap (non-resume) hello.
+    pub fn initial(proc: usize, session: u64) -> Hello {
+        Hello {
+            proc,
+            session,
+            resume: false,
+            last_recv: 0,
+        }
+    }
+
+    /// Serialize to the fixed [`HELLO_BYTES`] wire shape.
+    pub fn encode(&self) -> [u8; HELLO_BYTES] {
+        let mut b = [0u8; HELLO_BYTES];
+        b[..2].copy_from_slice(&HELLO_RANK.to_le_bytes());
+        b[2..4].copy_from_slice(&(self.resume as u16).to_le_bytes());
+        b[4..8].copy_from_slice(&(self.proc as u32).to_le_bytes());
+        b[8..16].copy_from_slice(&self.session.to_le_bytes());
+        b[16..24].copy_from_slice(&self.last_recv.to_le_bytes());
+        b
+    }
+
+    /// Parse the fixed wire shape (checks the [`HELLO_RANK`] sentinel).
+    pub fn parse(b: &[u8; HELLO_BYTES]) -> io::Result<Hello> {
+        let rank = u16::from_le_bytes(b[..2].try_into().expect("2 bytes"));
+        if rank != HELLO_RANK {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected hello frame, got src_rank {rank}"),
+            ));
+        }
+        let flags = u16::from_le_bytes(b[2..4].try_into().expect("2 bytes"));
+        Ok(Hello {
+            proc: u32::from_le_bytes(b[4..8].try_into().expect("4 bytes")) as usize,
+            session: u64::from_le_bytes(b[8..16].try_into().expect("8 bytes")),
+            resume: flags & 1 != 0,
+            last_recv: u64::from_le_bytes(b[16..24].try_into().expect("8 bytes")),
+        })
+    }
+}
+
+/// Send a hello frame (blocking mode).
+pub(crate) fn send_hello(stream: &mut SocketStream, hello: &Hello) -> io::Result<()> {
+    stream.write_all(&hello.encode())?;
     stream.flush()
 }
 
-/// Receive the peer's bootstrap hello, returning its process index
-/// (blocking mode; callers set a read timeout first).
-pub(crate) fn recv_hello(stream: &mut SocketStream) -> io::Result<usize> {
-    let mut hdr = [0u8; FRAME_HEADER_BYTES];
-    stream.read_exact(&mut hdr)?;
-    let rank = u16::from_le_bytes(hdr[..2].try_into().expect("2 bytes"));
-    if rank != HELLO_RANK {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("expected hello frame, got src_rank {rank}"),
-        ));
-    }
-    Ok(u32::from_le_bytes(hdr[4..8].try_into().expect("4 bytes")) as usize)
+/// Receive the peer's hello frame (blocking mode; callers set a read
+/// timeout first).
+pub(crate) fn recv_hello(stream: &mut SocketStream) -> io::Result<Hello> {
+    let mut b = [0u8; HELLO_BYTES];
+    stream.read_exact(&mut b)?;
+    Hello::parse(&b)
+}
+
+/// A fresh, practically unique session id (bootstrap dialers call this
+/// once per process-pair connection).
+pub(crate) fn fresh_session_id() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    let c = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mixed = (u64::from(std::process::id()) << 32) ^ t ^ (c << 1);
+    // splitmix64-style finalizer so ids look nothing alike.
+    let mut z = mixed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 // ---------------------------------------------------------------------------
-// Connection: link handles + pump
+// Reconnect hub (routes incoming re-dials to the pump that lost its stream)
+// ---------------------------------------------------------------------------
+
+/// Mailbox where the [`AcceptorPump`] deposits an accepted resume stream
+/// for one `(peer process, session)`; the owning [`SocketPump`] polls it.
+#[derive(Default)]
+pub(crate) struct ReconnectSlot {
+    offer: Mutex<Option<(SocketStream, Hello)>>,
+}
+
+impl ReconnectSlot {
+    fn take(&self) -> Option<(SocketStream, Hello)> {
+        self.offer.lock().expect("slot lock").take()
+    }
+
+    fn has_offer(&self) -> bool {
+        self.offer.lock().expect("slot lock").is_some()
+    }
+}
+
+/// Registry of reconnect slots keyed by `(peer process, session)`, shared
+/// between the process's [`AcceptorPump`] and its listener-role pumps.
+#[derive(Default)]
+pub(crate) struct ReconnectHub {
+    slots: Mutex<HashMap<(usize, u64), Arc<ReconnectSlot>>>,
+}
+
+impl ReconnectHub {
+    /// A fresh, empty hub.
+    pub fn new() -> Arc<ReconnectHub> {
+        Arc::new(ReconnectHub::default())
+    }
+
+    fn register(&self, peer_proc: usize, session: u64) -> Arc<ReconnectSlot> {
+        let slot = Arc::new(ReconnectSlot::default());
+        self.slots
+            .lock()
+            .expect("hub lock")
+            .insert((peer_proc, session), slot.clone());
+        slot
+    }
+
+    fn unregister(&self, peer_proc: usize, session: u64) {
+        self.slots
+            .lock()
+            .expect("hub lock")
+            .remove(&(peer_proc, session));
+    }
+
+    /// Route an accepted resume stream to its pump's slot. Returns false
+    /// (dropping the stream) when no pump owns that `(process, session)`.
+    pub fn deposit(&self, stream: SocketStream, hello: Hello) -> bool {
+        let slots = self.slots.lock().expect("hub lock");
+        match slots.get(&(hello.proc, hello.session)) {
+            Some(slot) => {
+                *slot.offer.lock().expect("slot lock") = Some((stream, hello));
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection: replay ring + link handles + pump
 // ---------------------------------------------------------------------------
 
 /// One per-link inbound demux queue.
 type InQueue = Arc<Mutex<VecDeque<Burst>>>;
 
+/// The transmit source of truth: every offered burst is encoded once into
+/// this ring and stays there until the peer's cumulative ack covers it.
+/// `cursor` separates already-staged frames (`< cursor`) from frames still
+/// awaiting first transmission; a resume rewinds `cursor` to 0 so every
+/// surviving frame is retransmitted.
+struct ReplayRing {
+    frames: VecDeque<(u64, Vec<u8>)>,
+    bytes: usize,
+    next_seq: u64,
+    cursor: usize,
+    budget: usize,
+}
+
+impl ReplayRing {
+    fn new(budget: usize) -> ReplayRing {
+        ReplayRing {
+            frames: VecDeque::new(),
+            bytes: 0,
+            next_seq: 1,
+            cursor: 0,
+            budget,
+        }
+    }
+
+    /// Drop every frame covered by the cumulative ack `acked`.
+    fn apply_ack(&mut self, acked: u64) {
+        while let Some((seq, _)) = self.frames.front() {
+            if *seq > acked {
+                break;
+            }
+            let (_, bytes) = self.frames.pop_front().expect("front exists");
+            self.bytes -= bytes.len();
+            self.cursor = self.cursor.saturating_sub(1);
+        }
+    }
+
+    /// Resume bookkeeping: drop frames the peer already has, then schedule
+    /// everything left for retransmission.
+    fn rewind_to(&mut self, peer_last_recv: u64) {
+        self.apply_ack(peer_last_recv);
+        self.cursor = 0;
+    }
+}
+
 struct ConnShared {
     closed: AtomicBool,
-    out: Mutex<Vec<u8>>,
+    ring: Mutex<ReplayRing>,
+    health: FabricHealth,
+    peer: PeerInfo,
+}
+
+impl ConnShared {
+    fn apply_ack(&self, acked: u64) {
+        self.ring.lock().expect("ring lock").apply_ack(acked);
+    }
+}
+
+/// How one side of a broken connection recovers its stream.
+pub(crate) enum ReconnectRole {
+    /// This side re-dials the peer's data listener.
+    Dialer {
+        /// Where to re-dial.
+        redial: Redial,
+    },
+    /// This side waits for the peer's re-dial, routed through the hub.
+    Listener {
+        /// The process-wide hub its acceptor deposits streams into.
+        hub: Arc<ReconnectHub>,
+    },
+    /// No recovery possible (raw stream pairs in unit tests).
+    #[allow(dead_code)] // constructed by test-only ConnConfig::basic
+    None,
+}
+
+/// Everything needed to wrap one established, hello-exchanged stream.
+pub(crate) struct ConnConfig {
+    /// Identity of the peer process.
+    pub peer: PeerInfo,
+    /// *Sender-side* endpoints `(rank, qsfp)` whose traffic this process
+    /// expects over this connection; each gets a demux queue.
+    pub recv_keys: Vec<(usize, usize)>,
+    /// Replay-ring byte budget
+    /// ([`crate::RuntimeParams::stream_replay_budget`]).
+    pub replay_budget: usize,
+    /// Mid-stream recovery policy
+    /// ([`crate::RuntimeParams::stream_reconnect`]).
+    pub policy: ReconnectPolicy,
+    /// Which side re-establishes the stream after a fault.
+    pub role: ReconnectRole,
+    /// Session id negotiated at hello time.
+    pub session: u64,
+    /// This process's index in the plan (sent in resume hellos).
+    pub local_proc: usize,
+    /// Deterministic fault injector for this connection's outbound
+    /// direction, if the plan configures one.
+    pub faults: Option<FaultInjector>,
+}
+
+impl ConnConfig {
+    /// A minimal config for unit tests over raw stream pairs: default
+    /// replay budget, no recovery, no faults.
+    #[cfg(test)]
+    pub fn basic(peer: PeerInfo, recv_keys: &[(usize, usize)]) -> ConnConfig {
+        ConnConfig {
+            peer,
+            recv_keys: recv_keys.to_vec(),
+            replay_budget: 1 << 20,
+            policy: ReconnectPolicy::Fail,
+            role: ReconnectRole::None,
+            session: 0,
+            local_proc: 0,
+            faults: None,
+        }
+    }
 }
 
 /// Handle side of one process-pair connection: mints [`LinkTx`]/[`LinkRx`]
@@ -293,21 +767,21 @@ pub(crate) struct SocketConn {
 }
 
 impl SocketConn {
-    /// Wrap an established, hello-exchanged stream. `recv_keys` lists the
-    /// *sender-side* endpoints `(rank, qsfp)` whose traffic this process
-    /// expects over this connection; each gets a demux queue.
+    /// Wrap an established, hello-exchanged stream.
     pub fn new(
         stream: SocketStream,
-        recv_keys: &[(usize, usize)],
+        cfg: ConnConfig,
         health: FabricHealth,
-        peer: PeerInfo,
     ) -> io::Result<(SocketConn, SocketPump)> {
         stream.set_nonblocking(true)?;
         let shared = Arc::new(ConnShared {
             closed: AtomicBool::new(false),
-            out: Mutex::new(Vec::new()),
+            ring: Mutex::new(ReplayRing::new(cfg.replay_budget.max(1))),
+            health: health.clone(),
+            peer: cfg.peer.clone(),
         });
-        let queues: HashMap<(usize, usize), InQueue> = recv_keys
+        let queues: HashMap<(usize, usize), InQueue> = cfg
+            .recv_keys
             .iter()
             .map(|&k| (k, Arc::new(Mutex::new(VecDeque::new()))))
             .collect();
@@ -315,17 +789,34 @@ impl SocketConn {
             shared: shared.clone(),
             queues: queues.clone(),
         };
+        let slot = match &cfg.role {
+            ReconnectRole::Listener { hub } => Some(hub.register(cfg.peer.process, cfg.session)),
+            _ => None,
+        };
         let pump = SocketPump {
             stream,
             shared,
             queues,
             health,
-            peer,
+            peer: cfg.peer,
+            policy: cfg.policy,
+            role: cfg.role,
+            slot,
+            session: cfg.session,
+            local_proc: cfg.local_proc,
+            faults: cfg.faults,
+            phase: Phase::Streaming,
             staged: Vec::new(),
             staged_pos: 0,
+            ctrl: Vec::new(),
+            pending_sever: None,
             rbuf: Vec::new(),
             rpos: 0,
             eof: false,
+            last_recv: 0,
+            last_acked: 0,
+            probe_oldest: 0,
+            probe_deadline: None,
             done: false,
         };
         Ok((conn, pump))
@@ -361,11 +852,39 @@ impl Transport for SocketLinkTx {
         if self.conn.closed.load(Ordering::Relaxed) {
             return LinkSend::Closed;
         }
-        let mut out = self.conn.out.lock().expect("conn out lock");
-        if out.len() >= WRITE_BUF_CAP {
+        let need = FRAME_HEADER_BYTES + burst.len() * PACKET_BYTES;
+        let mut ring = self.conn.ring.lock().expect("ring lock");
+        if need > ring.budget {
+            // One frame can never fit: recovery could never replay it, so
+            // this is a fatal configuration error, not backpressure.
+            let budget = ring.budget;
+            drop(ring);
+            self.conn.health.mark_down(PeerDown {
+                rank: self.conn.peer.rank,
+                process: self.conn.peer.process,
+                backend: self.conn.peer.backend,
+                addr: self.conn.peer.addr.clone(),
+                detail: format!(
+                    "one frame needs {need} bytes but the replay budget is {budget} bytes"
+                ),
+                kind: PeerDownKind::ReplayOverflow {
+                    needed: need,
+                    budget,
+                },
+            });
+            self.conn.closed.store(true, Ordering::Release);
+            return LinkSend::Closed;
+        }
+        if ring.bytes + need > ring.budget {
+            // Ring full of unacked frames: ordinary backpressure.
             return LinkSend::Full(burst);
         }
-        encode_frame_into(&mut out, self.src_rank, self.src_qsfp, &burst);
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        let mut bytes = Vec::with_capacity(need);
+        encode_frame_into(&mut bytes, self.src_rank, self.src_qsfp, seq, &burst);
+        ring.bytes += bytes.len();
+        ring.frames.push_back((seq, bytes));
         LinkSend::Accepted
     }
 }
@@ -392,23 +911,61 @@ impl TransportReceiver for SocketLinkRx {
     }
 }
 
-/// The I/O duty cycle of one connection: a [`Pollable`] that flushes the
-/// shared outbound buffer to the socket and reads/deframes inbound bytes
-/// into the per-link demux queues. Never blocks; backpressure on either
-/// side simply leaves bytes where they are until the next poll.
+/// Where one connection is in its lifecycle.
+enum Phase {
+    /// Normal operation: flush, read, deframe.
+    Streaming,
+    /// The stream is gone; recovery is in progress.
+    Reconnecting {
+        /// Current attempt (0-based).
+        attempt: u32,
+        /// Earliest time of the next dial / the end of the current wait
+        /// window.
+        next_try: Instant,
+        /// Most recent failure, for diagnostics.
+        last_err: String,
+    },
+}
+
+/// The I/O duty cycle of one connection: a [`Pollable`] that stages unacked
+/// frames from the replay ring onto the socket and reads/deframes inbound
+/// bytes into the per-link demux queues, generating cumulative acks. Never
+/// blocks in `Streaming`; a resume handshake performs bounded blocking I/O
+/// (at most [`RESUME_IO_TIMEOUT`] per attempt). On an I/O fault it runs the
+/// reconnect state machine described in the module docs.
 pub(crate) struct SocketPump {
     stream: SocketStream,
     shared: Arc<ConnShared>,
     queues: HashMap<(usize, usize), InQueue>,
     health: FabricHealth,
     peer: PeerInfo,
-    /// Bytes swapped out of the shared buffer, partially written.
+    policy: ReconnectPolicy,
+    role: ReconnectRole,
+    slot: Option<Arc<ReconnectSlot>>,
+    session: u64,
+    local_proc: usize,
+    faults: Option<FaultInjector>,
+    phase: Phase,
+    /// Bytes staged for writing (control bytes first, then ring frames).
     staged: Vec<u8>,
     staged_pos: usize,
+    /// Pending control bytes (cumulative acks).
+    ctrl: Vec<u8>,
+    /// An injected sever waiting for the staged bytes to drain.
+    pending_sever: Option<u64>,
     /// Inbound bytes not yet parsed (`rpos` = parse cursor).
     rbuf: Vec<u8>,
     rpos: usize,
     eof: bool,
+    /// Highest contiguously received data seq (survives reconnects).
+    last_recv: u64,
+    /// Highest seq we have acked to the peer.
+    last_acked: u64,
+    /// Ack-progress probe: oldest transmitted-but-unacked seq at the last
+    /// check, and the deadline by which the peer's cumulative ack must move
+    /// past it (see [`ACK_PROBE_TIMEOUT`]).
+    probe_oldest: u64,
+    probe_deadline: Option<Instant>,
     done: bool,
 }
 
@@ -420,19 +977,60 @@ impl SocketPump {
             backend: self.peer.backend,
             addr: self.peer.addr.clone(),
             detail,
+            kind: PeerDownKind::Link,
         });
         self.shared.closed.store(true, Ordering::Release);
         self.done = true;
     }
 
+    /// Refill `staged` from the control buffer and the replay ring,
+    /// applying outbound fault injection per staged ring frame.
+    fn stage_out(&mut self) {
+        self.staged.clear();
+        self.staged_pos = 0;
+        if !self.ctrl.is_empty() {
+            self.staged.append(&mut self.ctrl);
+        }
+        if self.pending_sever.is_some() {
+            return;
+        }
+        let shared = self.shared.clone();
+        let mut ring = shared.ring.lock().expect("ring lock");
+        while ring.cursor < ring.frames.len() && self.staged.len() < STAGE_CAP {
+            let at = ring.cursor;
+            ring.cursor += 1;
+            let action = match self.faults.as_mut() {
+                Some(f) => f.on_emit(),
+                None => FaultAction::Pass,
+            };
+            match action {
+                FaultAction::Pass => self.staged.extend_from_slice(&ring.frames[at].1),
+                FaultAction::Drop => {}
+                FaultAction::Duplicate => {
+                    self.staged.extend_from_slice(&ring.frames[at].1);
+                    let dup = ring.frames[at].1.clone();
+                    self.staged.extend_from_slice(&dup);
+                }
+                FaultAction::Delay(by) => {
+                    let bytes = ring.frames[at].1.clone();
+                    self.faults.as_mut().expect("injector").hold(bytes, by);
+                }
+            }
+            if let Some(f) = self.faults.as_mut() {
+                for b in f.take_released() {
+                    self.staged.extend_from_slice(&b);
+                }
+                if let Some(n) = f.sever_due() {
+                    self.pending_sever = Some(n);
+                    break;
+                }
+            }
+        }
+    }
+
     fn flush_out(&mut self, progressed: &mut bool) -> Result<(), String> {
         if self.staged_pos == self.staged.len() {
-            self.staged.clear();
-            self.staged_pos = 0;
-            let mut out = self.shared.out.lock().expect("conn out lock");
-            if !out.is_empty() {
-                std::mem::swap(&mut *out, &mut self.staged);
-            }
+            self.stage_out();
         }
         while self.staged_pos < self.staged.len() {
             match self.stream.write(&self.staged[self.staged_pos..]) {
@@ -446,6 +1044,12 @@ impl SocketPump {
                 // A peer that died mid-stream commonly surfaces as a write
                 // error (EPIPE/ECONNRESET) before the read side sees EOF.
                 Err(e) => return Err(format!("write failed: {e}")),
+            }
+        }
+        if self.staged_pos == self.staged.len() {
+            if let Some(n) = self.pending_sever.take() {
+                let _ = self.stream.shutdown();
+                return Err(format!("injected sever after frame {n}"));
             }
         }
         Ok(())
@@ -487,8 +1091,15 @@ impl SocketPump {
             let src_rank = u16::from_le_bytes(hdr[..2].try_into().expect("2 bytes"));
             let src_qsfp = u16::from_le_bytes(hdr[2..4].try_into().expect("2 bytes"));
             let npackets = u32::from_le_bytes(hdr[4..8].try_into().expect("4 bytes")) as usize;
+            let seq = u64::from_le_bytes(hdr[8..16].try_into().expect("8 bytes"));
             if src_rank == HELLO_RANK {
                 return Err("unexpected hello frame mid-stream".into());
+            }
+            if src_rank == ACK_RANK {
+                self.rpos += FRAME_HEADER_BYTES;
+                self.shared.apply_ack(seq);
+                *progressed = true;
+                continue;
             }
             if npackets > MAX_FRAME_PACKETS {
                 return Err(format!("corrupt frame: {npackets} packets claimed"));
@@ -496,6 +1107,22 @@ impl SocketPump {
             let need = FRAME_HEADER_BYTES + npackets * PACKET_BYTES;
             if avail < need {
                 break;
+            }
+            if seq <= self.last_recv {
+                // Replay overlap or an injected duplicate: already
+                // delivered, discard.
+                self.rpos += need;
+                *progressed = true;
+                continue;
+            }
+            if seq > self.last_recv + 1 {
+                // A hole in the sequence: bytes were lost on a stream that
+                // claims to be healthy. Treat as a connection fault; the
+                // resume handshake replays the missing frames.
+                return Err(format!(
+                    "sequence gap: expected {}, got {seq}",
+                    self.last_recv + 1
+                ));
             }
             let key = (src_rank as usize, src_qsfp as usize);
             let Some(queue) = self.queues.get(&key) else {
@@ -523,11 +1150,19 @@ impl SocketPump {
             q.push_back(burst);
             drop(q);
             self.rpos += need;
+            self.last_recv = seq;
             *progressed = true;
         }
         if self.rpos > 0 && (self.rpos == self.rbuf.len() || self.rpos >= READ_CHUNK * 4) {
             self.rbuf.drain(..self.rpos);
             self.rpos = 0;
+        }
+        // Cumulative ack for everything newly delivered; skipped when the
+        // control buffer is backed up (acks are cumulative, the next one
+        // covers this one).
+        if self.last_recv > self.last_acked && self.ctrl.len() < CTRL_CAP {
+            encode_ack_into(&mut self.ctrl, self.last_recv);
+            self.last_acked = self.last_recv;
         }
         Ok(())
     }
@@ -543,11 +1178,267 @@ impl SocketPump {
             return Some(format!("link cut mid-frame ({avail} trailing bytes)"));
         }
         let hdr = &self.rbuf[self.rpos..self.rpos + FRAME_HEADER_BYTES];
-        let npackets = u32::from_le_bytes(hdr[4..8].try_into().expect("4 bytes")) as usize;
+        let src_rank = u16::from_le_bytes(hdr[..2].try_into().expect("2 bytes"));
+        let npackets = if src_rank == ACK_RANK {
+            0
+        } else {
+            u32::from_le_bytes(hdr[4..8].try_into().expect("4 bytes")) as usize
+        };
         if avail < FRAME_HEADER_BYTES + npackets.min(MAX_FRAME_PACKETS) * PACKET_BYTES {
             return Some(format!("link cut mid-frame ({avail} trailing bytes)"));
         }
         None // complete frame waiting on a full demux queue
+    }
+
+    /// Whether this connection can heal instead of dying.
+    fn recoverable(&self) -> bool {
+        !matches!(self.role, ReconnectRole::None) && !matches!(self.policy, ReconnectPolicy::Fail)
+    }
+
+    /// Handle a connection fault: reset stream-scoped state and either die
+    /// (no recovery) or enter `Reconnecting`.
+    fn on_fault(&mut self, detail: String) -> Step {
+        let _ = self.stream.shutdown();
+        self.staged.clear();
+        self.staged_pos = 0;
+        self.ctrl.clear();
+        self.pending_sever = None;
+        self.rbuf.clear();
+        self.rpos = 0;
+        self.eof = false;
+        self.probe_deadline = None;
+        if let Some(f) = self.faults.as_mut() {
+            f.clear_held();
+        }
+        if !self.recoverable() {
+            self.fail(detail);
+            return Step::Progress;
+        }
+        self.health.mark_reconnecting(ReconnectInfo {
+            rank: self.peer.rank,
+            process: self.peer.process,
+            attempt: 0,
+            detail: detail.clone(),
+        });
+        self.phase = Phase::Reconnecting {
+            attempt: 0,
+            next_try: Instant::now(),
+            last_err: detail,
+        };
+        Step::Progress
+    }
+
+    /// Adopt a fresh stream after a successful resume handshake.
+    fn adopt(&mut self, stream: SocketStream, peer_last_recv: u64) -> Result<(), String> {
+        stream
+            .set_read_timeout(None)
+            .map_err(|e| format!("resume: clear read timeout: {e}"))?;
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| format!("resume: set nonblocking: {e}"))?;
+        self.shared
+            .ring
+            .lock()
+            .expect("ring lock")
+            .rewind_to(peer_last_recv);
+        self.stream = stream;
+        // The resume hello we sent carries `last_recv`, acting as an ack.
+        self.last_acked = self.last_recv;
+        self.probe_deadline = None;
+        self.phase = Phase::Streaming;
+        self.health.mark_healthy(self.peer.process);
+        Ok(())
+    }
+
+    /// One dial attempt of the re-dialing side.
+    fn try_resume_dial(&mut self) -> Result<(), String> {
+        if let Some(f) = &self.faults {
+            if !f.allow_restore() {
+                return Err("restore disabled by fault plan".into());
+            }
+        }
+        let redial = match &self.role {
+            ReconnectRole::Dialer { redial } => redial.clone(),
+            _ => unreachable!("try_resume_dial on non-dialer"),
+        };
+        let mut s = redial
+            .connect()
+            .map_err(|e| format!("re-dial {}: {e}", redial.addr()))?;
+        s.set_read_timeout(Some(RESUME_IO_TIMEOUT))
+            .map_err(|e| format!("resume: set read timeout: {e}"))?;
+        let hello = Hello {
+            proc: self.local_proc,
+            session: self.session,
+            resume: true,
+            last_recv: self.last_recv,
+        };
+        send_hello(&mut s, &hello).map_err(|e| format!("resume hello send: {e}"))?;
+        let peer = recv_hello(&mut s).map_err(|e| format!("resume hello recv: {e}"))?;
+        if peer.session != self.session || !peer.resume {
+            return Err(format!(
+                "resume handshake mismatch (session {:#x} vs {:#x}, resume {})",
+                peer.session, self.session, peer.resume
+            ));
+        }
+        self.adopt(s, peer.last_recv)
+    }
+
+    /// Check the hub slot for a peer-initiated resume. Returns Ok(true)
+    /// when a stream was adopted, Ok(false) when nothing (usable) arrived.
+    fn try_take_offer(&mut self) -> Result<bool, String> {
+        let Some(slot) = self.slot.as_ref() else {
+            return Ok(false);
+        };
+        let Some((mut s, hello)) = slot.take() else {
+            return Ok(false);
+        };
+        if hello.session != self.session || !hello.resume {
+            return Ok(false); // stray from another life; drop it
+        }
+        if let Some(f) = &self.faults {
+            if !f.allow_restore() {
+                return Ok(false); // fault plan forbids healing
+            }
+        }
+        s.set_nonblocking(false)
+            .map_err(|e| format!("resume: set blocking: {e}"))?;
+        let reply = Hello {
+            proc: self.local_proc,
+            session: self.session,
+            resume: true,
+            last_recv: self.last_recv,
+        };
+        send_hello(&mut s, &reply).map_err(|e| format!("resume hello reply: {e}"))?;
+        self.adopt(s, hello.last_recv)?;
+        Ok(true)
+    }
+
+    /// Record a failed attempt; die when the budget is exhausted,
+    /// otherwise schedule the next window.
+    fn bump_attempt(&mut self, attempt: u32, err: String) -> Step {
+        let next = attempt + 1;
+        if next >= self.policy.max_attempts() {
+            self.fail(format!(
+                "reconnect budget exhausted after {next} attempts: {err}"
+            ));
+            return Step::Progress;
+        }
+        self.health.mark_reconnecting(ReconnectInfo {
+            rank: self.peer.rank,
+            process: self.peer.process,
+            attempt: next,
+            detail: err.clone(),
+        });
+        let mut delay = self
+            .policy
+            .delay_for(next, self.peer.process as u64 ^ self.session);
+        if matches!(self.role, ReconnectRole::Listener { .. }) {
+            delay += RESUME_GRACE;
+        }
+        self.phase = Phase::Reconnecting {
+            attempt: next,
+            next_try: Instant::now() + delay,
+            last_err: err,
+        };
+        Step::Progress
+    }
+
+    fn poll_streaming(&mut self) -> Step {
+        // The peer may detect a fault first and re-dial while our side of
+        // the old stream still looks healthy; an offer in the slot is that
+        // signal.
+        if self.slot.as_ref().is_some_and(|s| s.has_offer()) {
+            return self.on_fault("peer initiated mid-stream resume".into());
+        }
+        let mut progressed = false;
+        let r = self
+            .flush_out(&mut progressed)
+            .and_then(|()| self.fill_rbuf(&mut progressed))
+            .and_then(|()| self.deframe(&mut progressed));
+        if let Err(detail) = r {
+            return self.on_fault(detail);
+        }
+        if self.eof {
+            if let Some(detail) = self.eof_verdict() {
+                return self.on_fault(detail);
+            }
+        }
+        if self.recoverable() {
+            if let Some(detail) = self.probe_ack_progress() {
+                return self.on_fault(detail);
+            }
+        }
+        if progressed {
+            Step::Progress
+        } else {
+            Step::Idle
+        }
+    }
+
+    /// Sender-side liveness probe: watch the oldest transmitted frame in
+    /// the replay ring; if the peer's cumulative ack fails to move past it
+    /// within [`ACK_PROBE_TIMEOUT`], report the stall as a stream fault so
+    /// the resume handshake retransmits it. Returns the fault detail.
+    fn probe_ack_progress(&mut self) -> Option<String> {
+        let oldest = {
+            let ring = self.shared.ring.lock().expect("ring lock");
+            // `cursor > 0` means the front frame has been staged for the
+            // wire (or handed to the fault injector) — only then can the
+            // peer be expected to ack it.
+            if ring.cursor > 0 {
+                ring.frames.front().map(|(seq, _)| *seq)
+            } else {
+                None
+            }
+        };
+        let Some(seq) = oldest else {
+            self.probe_deadline = None;
+            return None;
+        };
+        let now = Instant::now();
+        match self.probe_deadline {
+            Some(deadline) if seq == self.probe_oldest => (now >= deadline)
+                .then(|| format!("no ack progress past seq {seq} within {ACK_PROBE_TIMEOUT:?}")),
+            _ => {
+                self.probe_oldest = seq;
+                self.probe_deadline = Some(now + ACK_PROBE_TIMEOUT);
+                None
+            }
+        }
+    }
+
+    fn poll_reconnecting(&mut self) -> Step {
+        let (attempt, next_try, last_err) = match &self.phase {
+            Phase::Reconnecting {
+                attempt,
+                next_try,
+                last_err,
+            } => (*attempt, *next_try, last_err.clone()),
+            Phase::Streaming => unreachable!("poll_reconnecting in Streaming"),
+        };
+        match &self.role {
+            ReconnectRole::Dialer { .. } => {
+                if Instant::now() < next_try {
+                    return Step::Idle;
+                }
+                match self.try_resume_dial() {
+                    Ok(()) => Step::Progress,
+                    Err(e) => self.bump_attempt(attempt, e),
+                }
+            }
+            ReconnectRole::Listener { .. } => match self.try_take_offer() {
+                Ok(true) => Step::Progress,
+                Ok(false) => {
+                    if Instant::now() >= next_try {
+                        self.bump_attempt(attempt, format!("waiting for peer re-dial ({last_err})"))
+                    } else {
+                        Step::Idle
+                    }
+                }
+                Err(e) => self.bump_attempt(attempt, e),
+            },
+            ReconnectRole::None => unreachable!("Reconnecting with no role"),
+        }
     }
 }
 
@@ -556,20 +1447,101 @@ impl Pollable for SocketPump {
         if self.done {
             return Step::Done;
         }
-        let mut progressed = false;
-        let r = self
-            .flush_out(&mut progressed)
-            .and_then(|()| self.fill_rbuf(&mut progressed))
-            .and_then(|()| self.deframe(&mut progressed));
-        if let Err(detail) = r {
-            self.fail(detail);
-            return Step::Progress;
+        match self.phase {
+            Phase::Streaming => self.poll_streaming(),
+            Phase::Reconnecting { .. } => self.poll_reconnecting(),
         }
-        if self.eof {
-            if let Some(detail) = self.eof_verdict() {
-                self.fail(detail);
-                return Step::Progress;
+    }
+}
+
+impl Drop for SocketPump {
+    fn drop(&mut self) {
+        if let ReconnectRole::Listener { hub } = &self.role {
+            hub.unregister(self.peer.process, self.session);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor pump
+// ---------------------------------------------------------------------------
+
+/// How long an accepted stream may dribble its hello before being dropped.
+const ACCEPT_HELLO_DEADLINE: Duration = Duration::from_secs(5);
+
+/// The process-wide re-dial acceptor: owns the long-lived data listener
+/// (nonblocking), completes hello handshakes on accepted streams and routes
+/// resume hellos through the [`ReconnectHub`] to the pump that lost its
+/// stream. Non-resume hellos and unknown sessions are dropped. Runs until
+/// the executor's stop flag ends the run (never reports `Done`).
+pub(crate) struct AcceptorPump {
+    listener: SocketListener,
+    hub: Arc<ReconnectHub>,
+    pending: Vec<(SocketStream, Vec<u8>, Instant)>,
+}
+
+impl AcceptorPump {
+    /// Wrap the group's data listener (switched to nonblocking).
+    pub fn new(listener: SocketListener, hub: Arc<ReconnectHub>) -> io::Result<AcceptorPump> {
+        listener.set_nonblocking(true)?;
+        Ok(AcceptorPump {
+            listener,
+            hub,
+            pending: Vec::new(),
+        })
+    }
+}
+
+impl Pollable for AcceptorPump {
+    fn poll(&mut self) -> Step {
+        let mut progressed = false;
+        for _ in 0..8 {
+            match self.listener.accept() {
+                Ok(s) => {
+                    if s.set_nonblocking(true).is_ok() {
+                        self.pending
+                            .push((s, Vec::with_capacity(HELLO_BYTES), Instant::now()));
+                        progressed = true;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
             }
+        }
+        let mut i = 0;
+        while i < self.pending.len() {
+            let (s, buf, since) = &mut self.pending[i];
+            let mut chunk = [0u8; HELLO_BYTES];
+            let mut dead = since.elapsed() > ACCEPT_HELLO_DEADLINE;
+            while !dead && buf.len() < HELLO_BYTES {
+                match s.read(&mut chunk[..HELLO_BYTES - buf.len()]) {
+                    Ok(0) => dead = true,
+                    Ok(n) => {
+                        buf.extend_from_slice(&chunk[..n]);
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => dead = true,
+                }
+            }
+            if dead {
+                self.pending.swap_remove(i);
+                continue;
+            }
+            if buf.len() == HELLO_BYTES {
+                let (s, buf, _) = self.pending.swap_remove(i);
+                let bytes: [u8; HELLO_BYTES] = buf.as_slice().try_into().expect("hello size");
+                if let Ok(hello) = Hello::parse(&bytes) {
+                    if hello.resume {
+                        // Unknown (process, session) pairs are dropped.
+                        let _ = self.hub.deposit(s, hello);
+                        progressed = true;
+                    }
+                }
+                continue;
+            }
+            i += 1;
         }
         if progressed {
             Step::Progress
@@ -608,8 +1580,44 @@ mod tests {
     #[test]
     fn hello_roundtrip() {
         let (mut a, mut b) = pair();
-        send_hello(&mut a, 3).unwrap();
-        assert_eq!(recv_hello(&mut b).unwrap(), 3);
+        let hello = Hello {
+            proc: 3,
+            session: 0xDEAD_BEEF_0BAD_F00D,
+            resume: true,
+            last_recv: 42,
+        };
+        send_hello(&mut a, &hello).unwrap();
+        assert_eq!(recv_hello(&mut b).unwrap(), hello);
+        let initial = Hello::initial(7, 9);
+        send_hello(&mut a, &initial).unwrap();
+        let got = recv_hello(&mut b).unwrap();
+        assert_eq!(got.proc, 7);
+        assert_eq!(got.session, 9);
+        assert!(!got.resume);
+        assert_eq!(got.last_recv, 0);
+    }
+
+    #[test]
+    fn fresh_session_ids_are_distinct() {
+        let a = fresh_session_id();
+        let b = fresh_session_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn frame_encode_shape() {
+        let mut out = Vec::new();
+        encode_frame_into(&mut out, 5, 2, 77, &[pkt(1, 9), pkt(1, 10)]);
+        assert_eq!(out.len(), FRAME_HEADER_BYTES + 2 * PACKET_BYTES);
+        assert_eq!(u16::from_le_bytes(out[..2].try_into().unwrap()), 5);
+        assert_eq!(u16::from_le_bytes(out[2..4].try_into().unwrap()), 2);
+        assert_eq!(u32::from_le_bytes(out[4..8].try_into().unwrap()), 2);
+        assert_eq!(u64::from_le_bytes(out[8..16].try_into().unwrap()), 77);
+        let mut ack = Vec::new();
+        encode_ack_into(&mut ack, 123);
+        assert_eq!(ack.len(), FRAME_HEADER_BYTES);
+        assert_eq!(u16::from_le_bytes(ack[..2].try_into().unwrap()), ACK_RANK);
+        assert_eq!(u64::from_le_bytes(ack[8..16].try_into().unwrap()), 123);
     }
 
     #[test]
@@ -617,9 +1625,14 @@ mod tests {
         let (sa, sb) = pair();
         let health = FabricHealth::default();
         // A sends from endpoint (0,0); B receives the same key.
-        let (conn_a, mut pump_a) = SocketConn::new(sa, &[], health.clone(), peer("uds")).unwrap();
-        let (conn_b, mut pump_b) =
-            SocketConn::new(sb, &[(0, 0)], health.clone(), peer("uds")).unwrap();
+        let (conn_a, mut pump_a) =
+            SocketConn::new(sa, ConnConfig::basic(peer("uds"), &[]), health.clone()).unwrap();
+        let (conn_b, mut pump_b) = SocketConn::new(
+            sb,
+            ConnConfig::basic(peer("uds"), &[(0, 0)]),
+            health.clone(),
+        )
+        .unwrap();
         let mut tx = conn_a.tx(0, 0);
         let mut rx = conn_b.rx((0, 0));
         for i in 0..50u8 {
@@ -638,13 +1651,157 @@ mod tests {
     }
 
     #[test]
+    fn acks_trim_the_replay_ring() {
+        let (sa, sb) = pair();
+        let health = FabricHealth::default();
+        let (conn_a, mut pump_a) =
+            SocketConn::new(sa, ConnConfig::basic(peer("uds"), &[]), health.clone()).unwrap();
+        let (conn_b, mut pump_b) = SocketConn::new(
+            sb,
+            ConnConfig::basic(peer("uds"), &[(0, 0)]),
+            health.clone(),
+        )
+        .unwrap();
+        let mut tx = conn_a.tx(0, 0);
+        let mut rx = conn_b.rx((0, 0));
+        for i in 0..20u8 {
+            assert!(matches!(tx.offer(vec![pkt(1, i)]), LinkSend::Accepted));
+        }
+        {
+            let ring = conn_a.shared.ring.lock().unwrap();
+            assert_eq!(ring.frames.len(), 20);
+            assert_eq!(ring.next_seq, 21);
+        }
+        // Drive until B delivered everything and A's ring is fully acked.
+        let mut delivered = 0;
+        for _ in 0..100_000 {
+            pump_a.poll();
+            pump_b.poll();
+            while let LinkRecv::Burst(b) = rx.try_recv() {
+                delivered += b.len();
+            }
+            if delivered == 20 && conn_a.shared.ring.lock().unwrap().frames.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(delivered, 20);
+        let ring = conn_a.shared.ring.lock().unwrap();
+        assert!(ring.frames.is_empty(), "acked frames must leave the ring");
+        assert_eq!(ring.bytes, 0);
+        assert_eq!(ring.cursor, 0);
+    }
+
+    #[test]
+    fn duplicate_frames_are_discarded() {
+        // Write frames 1, 1, 2 by hand; the conn must deliver 1 and 2 once.
+        let (mut raw, sb) = pair();
+        let health = FabricHealth::default();
+        let (conn_b, mut pump_b) = SocketConn::new(
+            sb,
+            ConnConfig::basic(peer("uds"), &[(0, 0)]),
+            health.clone(),
+        )
+        .unwrap();
+        let mut bytes = Vec::new();
+        encode_frame_into(&mut bytes, 0, 0, 1, &[pkt(1, 10)]);
+        encode_frame_into(&mut bytes, 0, 0, 1, &[pkt(1, 10)]);
+        encode_frame_into(&mut bytes, 0, 0, 2, &[pkt(1, 11)]);
+        raw.write_all(&bytes).unwrap();
+        raw.flush().unwrap();
+        let mut rx = conn_b.rx((0, 0));
+        let mut seen = Vec::new();
+        for _ in 0..100_000 {
+            pump_b.poll();
+            while let LinkRecv::Burst(b) = rx.try_recv() {
+                seen.extend(b.iter().map(|p| p.payload[0]));
+            }
+            if seen.len() >= 2 {
+                break;
+            }
+        }
+        assert_eq!(seen, vec![10, 11]);
+        assert!(health.peer_down().is_none());
+        // The ack the receiver generated must be cumulative to seq 2. Keep
+        // polling the pump while reading: the ack is staged at delivery but
+        // only flushed to the socket by later polls.
+        raw.set_read_timeout(Some(Duration::from_millis(5)))
+            .unwrap();
+        let mut ackbuf = [0u8; FRAME_HEADER_BYTES];
+        let mut have = 0;
+        let start = Instant::now();
+        while have < FRAME_HEADER_BYTES {
+            pump_b.poll();
+            match raw.read(&mut ackbuf[have..]) {
+                Ok(0) => panic!("EOF before ack"),
+                Ok(n) => have += n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) => {}
+                Err(e) => panic!("ack read failed: {e}"),
+            }
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "ack never arrived"
+            );
+        }
+        assert_eq!(
+            u16::from_le_bytes(ackbuf[..2].try_into().unwrap()),
+            ACK_RANK
+        );
+        assert_eq!(u64::from_le_bytes(ackbuf[8..16].try_into().unwrap()), 2);
+    }
+
+    #[test]
+    fn sequence_gap_without_recovery_kills_the_link() {
+        // Frames 1 then 3: a hole. With ReconnectRole::None the conn dies.
+        let (mut raw, sb) = pair();
+        let health = FabricHealth::default();
+        let (conn_b, mut pump_b) = SocketConn::new(
+            sb,
+            ConnConfig::basic(peer("uds"), &[(0, 0)]),
+            health.clone(),
+        )
+        .unwrap();
+        let mut bytes = Vec::new();
+        encode_frame_into(&mut bytes, 0, 0, 1, &[pkt(1, 1)]);
+        encode_frame_into(&mut bytes, 0, 0, 3, &[pkt(1, 3)]);
+        raw.write_all(&bytes).unwrap();
+        raw.flush().unwrap();
+        let mut rx = conn_b.rx((0, 0));
+        let mut closed = false;
+        for _ in 0..100_000 {
+            pump_b.poll();
+            match rx.try_recv() {
+                LinkRecv::Closed => {
+                    closed = true;
+                    break;
+                }
+                LinkRecv::Burst(_) | LinkRecv::Empty => {}
+            }
+        }
+        assert!(closed);
+        let pd = health.peer_down().expect("marked down");
+        assert!(pd.detail.contains("sequence gap"), "detail: {}", pd.detail);
+    }
+
+    #[test]
     fn peer_death_marks_health_and_closes_links() {
         let (sa, sb) = pair();
         let health_a = FabricHealth::default();
-        let (conn_a, mut pump_a) =
-            SocketConn::new(sa, &[(1, 0)], health_a.clone(), peer("uds")).unwrap();
-        let (conn_b, mut pump_b) =
-            SocketConn::new(sb, &[], FabricHealth::default(), peer("uds")).unwrap();
+        let (conn_a, mut pump_a) = SocketConn::new(
+            sa,
+            ConnConfig::basic(peer("uds"), &[(1, 0)]),
+            health_a.clone(),
+        )
+        .unwrap();
+        let (conn_b, mut pump_b) = SocketConn::new(
+            sb,
+            ConnConfig::basic(peer("uds"), &[]),
+            FabricHealth::default(),
+        )
+        .unwrap();
         // B sends one burst, then dies (stream dropped).
         let mut btx = conn_b.tx(1, 0);
         assert!(matches!(btx.offer(vec![pkt(0, 7)]), LinkSend::Accepted));
@@ -683,12 +1840,242 @@ mod tests {
     }
 
     #[test]
-    fn frame_encode_shape() {
-        let mut out = Vec::new();
-        encode_frame_into(&mut out, 5, 2, &[pkt(1, 9), pkt(1, 10)]);
-        assert_eq!(out.len(), FRAME_HEADER_BYTES + 2 * PACKET_BYTES);
-        assert_eq!(u16::from_le_bytes(out[..2].try_into().unwrap()), 5);
-        assert_eq!(u16::from_le_bytes(out[2..4].try_into().unwrap()), 2);
-        assert_eq!(u32::from_le_bytes(out[4..8].try_into().unwrap()), 2);
+    fn replay_ring_overflow_is_a_typed_error() {
+        let (sa, _sb) = pair();
+        let health = FabricHealth::default();
+        let mut cfg = ConnConfig::basic(peer("uds"), &[]);
+        cfg.replay_budget = FRAME_HEADER_BYTES + PACKET_BYTES; // one packet max
+        let (conn_a, _pump_a) = SocketConn::new(sa, cfg, health.clone()).unwrap();
+        let mut tx = conn_a.tx(0, 0);
+        // A two-packet frame can never fit: typed fatal error, not Full.
+        let burst = vec![pkt(1, 0), pkt(1, 1)];
+        assert!(matches!(tx.offer(burst), LinkSend::Closed));
+        match health.error() {
+            Some(SmiError::ReplayOverflow { needed, budget }) => {
+                assert_eq!(needed, FRAME_HEADER_BYTES + 2 * PACKET_BYTES);
+                assert_eq!(budget, FRAME_HEADER_BYTES + PACKET_BYTES);
+            }
+            other => panic!("expected ReplayOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_ring_is_backpressure_not_an_error() {
+        let (sa, _sb) = pair();
+        let health = FabricHealth::default();
+        let mut cfg = ConnConfig::basic(peer("uds"), &[]);
+        cfg.replay_budget = 2 * (FRAME_HEADER_BYTES + PACKET_BYTES);
+        let (conn_a, _pump_a) = SocketConn::new(sa, cfg, health.clone()).unwrap();
+        let mut tx = conn_a.tx(0, 0);
+        assert!(matches!(tx.offer(vec![pkt(1, 0)]), LinkSend::Accepted));
+        assert!(matches!(tx.offer(vec![pkt(1, 1)]), LinkSend::Accepted));
+        // Third frame exceeds the budget while unacked: Full, burst back.
+        match tx.offer(vec![pkt(1, 2)]) {
+            LinkSend::Full(b) => assert_eq!(b[0].payload[0], 2),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert!(health.peer_down().is_none());
+    }
+
+    #[test]
+    fn health_transitions_healthy_reconnecting_healthy_and_dead() {
+        let health = FabricHealth::default();
+        assert!(!health.any_reconnecting());
+        assert!(health.error().is_none());
+        // Healthy → Reconnecting.
+        health.mark_reconnecting(ReconnectInfo {
+            rank: 2,
+            process: 1,
+            attempt: 0,
+            detail: "read failed".into(),
+        });
+        assert!(health.any_reconnecting());
+        assert!(health.error().is_none(), "Reconnecting must not error");
+        let peers = health.reconnecting_peers();
+        assert_eq!(peers.len(), 1);
+        assert_eq!(peers[0].process, 1);
+        // Attempt bump keeps a single entry.
+        health.mark_reconnecting(ReconnectInfo {
+            rank: 2,
+            process: 1,
+            attempt: 3,
+            detail: "re-dial refused".into(),
+        });
+        assert_eq!(health.reconnecting_peers().len(), 1);
+        assert_eq!(health.reconnecting_peers()[0].attempt, 3);
+        // Reconnecting → Healthy.
+        health.mark_healthy(1);
+        assert!(!health.any_reconnecting());
+        assert_eq!(health.healed(), 1);
+        assert!(health.error().is_none());
+        // Reconnecting → Dead (budget exhaustion).
+        health.mark_reconnecting(ReconnectInfo {
+            rank: 2,
+            process: 1,
+            attempt: 9,
+            detail: "re-dial refused".into(),
+        });
+        health.mark_down(PeerDown {
+            rank: 2,
+            process: 1,
+            backend: "uds",
+            addr: "test".into(),
+            detail: "reconnect budget exhausted after 10 attempts".into(),
+            kind: PeerDownKind::Link,
+        });
+        assert!(!health.any_reconnecting(), "Dead clears Reconnecting");
+        assert_eq!(health.error(), Some(SmiError::PeerDisconnected { rank: 2 }));
+        // Healing count unaffected by the failed recovery.
+        assert_eq!(health.healed(), 1);
+    }
+
+    /// Full mid-stream recovery at the socket layer: a dialer-role conn
+    /// loses its stream, re-dials a listener we control, re-handshakes and
+    /// replays the unacked tail; the test peer verifies exactly-once
+    /// delivery.
+    #[test]
+    fn mid_stream_reconnect_replays_unacked_frames() {
+        let dir = std::env::temp_dir().join(format!("smi-sock-test-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("resume.sock");
+        let (listener, addr) = SocketListener::bind_uds(path).unwrap();
+
+        let (sa, sb) = pair();
+        let health = FabricHealth::default();
+        let session = fresh_session_id();
+        let cfg = ConnConfig {
+            peer: peer("uds"),
+            recv_keys: Vec::new(),
+            replay_budget: 1 << 20,
+            policy: ReconnectPolicy::Retry {
+                attempts: 10,
+                backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(50),
+                multiplier: 2.0,
+            },
+            role: ReconnectRole::Dialer {
+                redial: Redial::Uds(addr),
+            },
+            session,
+            local_proc: 0,
+            faults: None,
+        };
+        let (conn_a, mut pump_a) = SocketConn::new(sa, cfg, health.clone()).unwrap();
+        let mut tx = conn_a.tx(0, 0);
+        for i in 0..10u8 {
+            assert!(matches!(tx.offer(vec![pkt(1, i)]), LinkSend::Accepted));
+        }
+        // Push the first frames across the original stream, then cut it
+        // without ever acking: everything must be replayed.
+        for _ in 0..50 {
+            pump_a.poll();
+        }
+        sb.shutdown().unwrap();
+        drop(sb);
+
+        // The test peer: accept the re-dial, handshake, read all 10 frames.
+        let peer_thread = std::thread::spawn(move || {
+            let mut s = listener.accept().expect("re-dial accepted");
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            let hello = recv_hello(&mut s).expect("resume hello");
+            assert!(hello.resume);
+            assert_eq!(hello.session, session);
+            let reply = Hello {
+                proc: 1,
+                session,
+                resume: true,
+                last_recv: 0, // got nothing: replay everything
+            };
+            send_hello(&mut s, &reply).unwrap();
+            let need = 10 * (FRAME_HEADER_BYTES + PACKET_BYTES);
+            let mut buf = vec![0u8; need];
+            s.read_exact(&mut buf).unwrap();
+            let mut tags = Vec::new();
+            for f in 0..10 {
+                let off = f * (FRAME_HEADER_BYTES + PACKET_BYTES);
+                let seq = u64::from_le_bytes(buf[off + 8..off + 16].try_into().expect("8 bytes"));
+                assert_eq!(seq, f as u64 + 1, "replayed in order");
+                let body = off + FRAME_HEADER_BYTES;
+                let p = NetworkPacket::unpack(
+                    buf[body..body + PACKET_BYTES]
+                        .try_into()
+                        .expect("one packet"),
+                )
+                .expect("valid packet");
+                tags.push(p.payload[0]);
+            }
+            // Hand the stream back so it outlives the assertions: dropping
+            // it here would look like a second mid-stream fault.
+            (tags, s)
+        });
+
+        // Drive the pump through fault → reconnect → replay.
+        let start = Instant::now();
+        while health.healed() == 0 {
+            pump_a.poll();
+            assert!(
+                start.elapsed() < Duration::from_secs(20),
+                "reconnect never healed; down={:?}",
+                health.peer_down()
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for _ in 0..10_000 {
+            pump_a.poll();
+        }
+        let (tags, _peer_stream) = peer_thread.join().expect("peer thread");
+        assert_eq!(tags, (0..10u8).collect::<Vec<_>>());
+        assert!(health.peer_down().is_none());
+        assert!(!health.any_reconnecting());
+    }
+
+    /// Budget exhaustion: the redial target never answers, so the conn
+    /// walks Healthy → Reconnecting{0..n} → Dead.
+    #[test]
+    fn reconnect_budget_exhaustion_marks_peer_dead() {
+        let (sa, sb) = pair();
+        let health = FabricHealth::default();
+        let cfg = ConnConfig {
+            peer: peer("uds"),
+            recv_keys: Vec::new(),
+            replay_budget: 1 << 20,
+            policy: ReconnectPolicy::Retry {
+                attempts: 3,
+                backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+                multiplier: 2.0,
+            },
+            role: ReconnectRole::Dialer {
+                redial: Redial::Uds("/nonexistent/smi-no-such-listener.sock".into()),
+            },
+            session: 1,
+            local_proc: 0,
+            faults: None,
+        };
+        let (conn_a, mut pump_a) = SocketConn::new(sa, cfg, health.clone()).unwrap();
+        let mut tx = conn_a.tx(0, 0);
+        assert!(matches!(tx.offer(vec![pkt(1, 0)]), LinkSend::Accepted));
+        sb.shutdown().unwrap();
+        drop(sb);
+        let mut was_reconnecting = false;
+        let start = Instant::now();
+        loop {
+            let step = pump_a.poll();
+            was_reconnecting |= health.any_reconnecting();
+            if matches!(step, Step::Done) || health.peer_down().is_some() {
+                break;
+            }
+            assert!(start.elapsed() < Duration::from_secs(20), "never died");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(was_reconnecting, "must pass through Reconnecting");
+        assert!(!health.any_reconnecting());
+        let pd = health.peer_down().expect("dead");
+        assert!(
+            pd.detail.contains("reconnect budget exhausted"),
+            "detail: {}",
+            pd.detail
+        );
+        assert_eq!(health.error(), Some(SmiError::PeerDisconnected { rank: 1 }));
     }
 }

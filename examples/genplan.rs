@@ -1,0 +1,15 @@
+//! Dev helper: print a split [`ProcessPlan`] as JSON for ad-hoc
+//! `smi-launch` runs (`genplan <ranks> <procs> <uds|tcp>`).
+use smi::prelude::*;
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ranks: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let procs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let backend = match args.get(3).map(|s| s.as_str()) {
+        Some("tcp") => TransportBackend::Tcp,
+        _ => TransportBackend::Uds,
+    };
+    let topo = Topology::bus(ranks);
+    let plan = ProcessPlan::split(&topo, backend, procs);
+    println!("{}", plan.to_json());
+}

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""CI check for BENCH_faults.json.
+
+Hard-fails when a required series is missing, when a faulty run reports
+zero healed reconnects (the bench would be measuring a run that never
+faulted), or when a baseline run reports any (the baseline would be
+contaminated). Recovery overhead and degraded throughput are soft checks —
+shared CI runners are too noisy for a hard perf gate, so a shortfall only
+prints a warning and exits 0.
+"""
+
+import json
+import sys
+
+PATH = sys.argv[1] if len(sys.argv) > 1 else "BENCH_faults.json"
+BACKENDS = ["uds", "tcp"]
+FAULTS = ["baseline", "sever", "chaos"]
+REQUIRED = [f"p2p_{b}_{f}" for b in BACKENDS for f in FAULTS]
+# Soft ceilings: a mid-stream sever should heal in well under a second of
+# extra wall time, and faulty runs should stay within this factor of the
+# fault-free throughput.
+OVERHEAD_BUDGET_S = 2.0
+SLOWDOWN_BUDGET = 10.0
+
+with open(PATH) as f:
+    data = json.load(f)
+points = {p["series"]: p for p in data["points"]}
+
+missing = [s for s in REQUIRED if s not in points]
+if missing:
+    print(f"ERROR: {PATH} is missing required series: {missing}")
+    sys.exit(1)
+print(f"ok: all {len(REQUIRED)} fault series present in {PATH}")
+
+failed = False
+for b in BACKENDS:
+    base = points[f"p2p_{b}_baseline"]
+    if base["healed"] != 0:
+        print(f"ERROR: {b} baseline healed {base['healed']} reconnects; "
+              "the fault-free reference is contaminated")
+        failed = True
+    for kind in ("sever", "chaos"):
+        p = points[f"p2p_{b}_{kind}"]
+        if p["healed"] < 1:
+            print(f"ERROR: {p['series']} healed 0 reconnects — the run "
+                  "never faulted, its numbers are meaningless")
+            failed = True
+            continue
+        overhead = p["recovery_overhead_s"]
+        verdict = ("ok" if overhead <= OVERHEAD_BUDGET_S
+                   else "WARNING (soft check, not failing the build)")
+        print(f"{p['series']}: healed {p['healed']}, "
+              f"recovery overhead {overhead:.3f}s ({verdict})")
+        if base["melem_per_s"] > 0 and p["melem_per_s"] > 0:
+            slowdown = base["melem_per_s"] / p["melem_per_s"]
+            verdict = ("ok" if slowdown <= SLOWDOWN_BUDGET
+                       else "WARNING (soft check, not failing the build)")
+            print(f"{p['series']}: {p['melem_per_s']:.2f} vs baseline "
+                  f"{base['melem_per_s']:.2f} Melem/s -> "
+                  f"{slowdown:.2f}x slowdown ({verdict})")
+
+sys.exit(1 if failed else 0)
