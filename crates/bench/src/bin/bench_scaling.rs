@@ -1,18 +1,28 @@
 //! Scaling benchmark of the functional message plane: p2p throughput vs.
-//! rank count on the sharded batched runtime, emitted as
-//! `BENCH_scaling.json` so every CI run leaves a perf data point.
+//! rank count and executor worker count on the work-stealing runtime,
+//! emitted as `BENCH_scaling.json` so every CI run leaves a perf data point.
 //!
-//! Three series:
+//! Series:
 //!
 //! * `task_bulk` — disjoint neighbour pairs (`2i → 2i+1`) on a bus, rank
 //!   programs as cooperative tasks (`run_mpmd_tasks`) using the bulk
-//!   `try_push_slice`/`try_pop_slice` APIs. This is the configuration that
-//!   scales past the OS thread budget: the whole cluster runs on the
-//!   executor's worker pool.
-//! * `threads_per_element` — the paper-style per-element `push`/`pop` API on
-//!   thread-per-rank execution at 8 ranks (the pre-batching hot path).
-//! * `threads_bulk` — `push_slice`/`pop_slice` on thread-per-rank execution
-//!   at 8 ranks, isolating the batching win from the executor win.
+//!   `try_push_slice`/`try_pop_slice` APIs, default executor settings.
+//! * `task_bulk_sweep` / `task_bulk_static` — the same workload swept over
+//!   executor worker counts (1 → available_parallelism, powers of two) at
+//!   8/64/256 ranks, with work stealing on (`sweep`) and off (`static`,
+//!   the old fixed round-robin sharding). The 1-worker pair is the
+//!   no-regression bar: stealing bookkeeping must not tax the uncontended
+//!   case.
+//! * `skewed_steal` / `skewed_static` — a deliberately skewed cluster: one
+//!   hot pair streams a large payload while every other pair sits gated
+//!   (Pending) until the hot transfer completes, then moves a token
+//!   payload. Static sharding polls the cold machines every sweep and
+//!   strands whole queues behind the placement; the stealing executor
+//!   evicts cold machines to the shared cold set and lets idle workers
+//!   take the hot work, so it must win here.
+//! * `threads_per_element` / `threads_bulk` — the paper-style blocking API
+//!   on thread-per-rank execution at 8 ranks, isolating the batching win
+//!   from the executor win.
 //!
 //! A timing-plane reference (`fabric_pairs`, cycle-accurate model) is
 //! recorded for 8 ranks for cross-plane context.
@@ -20,6 +30,8 @@
 //! Usage: `bench_scaling [--quick|--smoke | --full] [--out PATH]`
 //! (`--smoke` is an alias for `--quick`.)
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use smi::env::SmiCtx;
@@ -31,10 +43,13 @@ use smi_fabric::params::FabricParams;
 struct Point {
     series: &'static str,
     ranks: usize,
+    workers: usize,
     elems_per_pair: u64,
     seconds: f64,
     melem_per_s: f64,
     threads_spawned: usize,
+    steals: u64,
+    parks: u64,
 }
 
 struct BulkSend {
@@ -93,6 +108,38 @@ impl RankTask for BulkRecv {
     }
 }
 
+/// Holds the inner task in `Pending` until the gate opens; used to model
+/// ranks whose work only arrives late in the program.
+struct GatedTask {
+    inner: Box<dyn RankTask>,
+    gate: Arc<AtomicBool>,
+}
+
+impl RankTask for GatedTask {
+    fn poll(&mut self) -> Result<TaskStatus, SmiError> {
+        if !self.gate.load(Ordering::Acquire) {
+            return Ok(TaskStatus::Pending);
+        }
+        self.inner.poll()
+    }
+}
+
+/// Opens the gate when the inner task completes.
+struct GateOpener {
+    inner: Box<dyn RankTask>,
+    gate: Arc<AtomicBool>,
+}
+
+impl RankTask for GateOpener {
+    fn poll(&mut self) -> Result<TaskStatus, SmiError> {
+        let status = self.inner.poll()?;
+        if status == TaskStatus::Done {
+            self.gate.store(true, Ordering::Release);
+        }
+        Ok(status)
+    }
+}
+
 fn pair_metas(ranks: usize) -> Vec<ProgramMeta> {
     (0..ranks)
         .map(|r| {
@@ -105,41 +152,50 @@ fn pair_metas(ranks: usize) -> Vec<ProgramMeta> {
         .collect()
 }
 
-/// Cooperative-task bulk run: returns (seconds, threads_spawned).
-fn run_task_bulk(ranks: usize, n: u64) -> (f64, usize) {
+fn send_factory(n: u64, dst: usize) -> TaskFactory {
+    Box::new(move |ctx: SmiCtx| {
+        let ch = ctx.open_send_channel::<i32>(n, dst, 0)?;
+        Ok(Box::new(BulkSend {
+            ch: Some(ch),
+            data: (0..n as i32).collect(),
+            off: 0,
+        }) as Box<dyn RankTask>)
+    })
+}
+
+fn recv_factory(n: u64, src: usize) -> TaskFactory {
+    Box::new(move |ctx: SmiCtx| {
+        let ch = ctx.open_recv_channel::<i32>(n, src, 0)?;
+        Ok(Box::new(BulkRecv {
+            ch: Some(ch),
+            buf: vec![0; n as usize],
+            filled: 0,
+        }) as Box<dyn RankTask>)
+    })
+}
+
+/// Aggregate executor counters out of a run report.
+fn exec_counters(report: &RunReport<Result<(), SmiError>>) -> (u64, u64) {
+    let steals = report.worker_stats.iter().map(|s| s.steals).sum();
+    let parks = report.worker_stats.iter().map(|s| s.parks).sum();
+    (steals, parks)
+}
+
+/// Cooperative-task bulk run over disjoint pairs with explicit executor
+/// settings: returns (seconds, threads_spawned, steals, parks).
+fn run_task_bulk(ranks: usize, n: u64, params: RuntimeParams) -> (f64, usize, u64, u64) {
     let topo = Topology::bus(ranks);
     let factories: Vec<TaskFactory> = (0..ranks)
         .map(|r| {
-            let f: TaskFactory = if r % 2 == 0 {
-                Box::new(move |ctx: SmiCtx| {
-                    let ch = ctx.open_send_channel::<i32>(n, r + 1, 0)?;
-                    Ok(Box::new(BulkSend {
-                        ch: Some(ch),
-                        data: (0..n as i32).collect(),
-                        off: 0,
-                    }) as Box<dyn RankTask>)
-                })
+            if r % 2 == 0 {
+                send_factory(n, r + 1)
             } else {
-                Box::new(move |ctx: SmiCtx| {
-                    let ch = ctx.open_recv_channel::<i32>(n, r - 1, 0)?;
-                    Ok(Box::new(BulkRecv {
-                        ch: Some(ch),
-                        buf: vec![0; n as usize],
-                        filled: 0,
-                    }) as Box<dyn RankTask>)
-                })
-            };
-            f
+                recv_factory(n, r - 1)
+            }
         })
         .collect();
     let t = Instant::now();
-    let report = run_mpmd_tasks(
-        &topo,
-        pair_metas(ranks),
-        factories,
-        RuntimeParams::default(),
-    )
-    .expect("launch");
+    let report = run_mpmd_tasks(&topo, pair_metas(ranks), factories, params).expect("launch");
     let dt = t.elapsed().as_secs_f64();
     for (r, res) in report.results.iter().enumerate() {
         if let Err(e) = res {
@@ -147,7 +203,56 @@ fn run_task_bulk(ranks: usize, n: u64) -> (f64, usize) {
         }
     }
     assert_eq!(report.transport.2, 0, "unroutable packets");
-    (dt, report.threads_spawned)
+    let (steals, parks) = exec_counters(&report);
+    (dt, report.threads_spawned, steals, parks)
+}
+
+/// Skewed-cluster run: pair (0,1) streams `hot_n` elements; every other
+/// pair is gated behind the hot transfer and then moves `cold_n` elements.
+/// Returns (seconds, threads_spawned, steals, parks).
+fn run_skewed(
+    ranks: usize,
+    hot_n: u64,
+    cold_n: u64,
+    params: RuntimeParams,
+) -> (f64, usize, u64, u64) {
+    assert!(ranks >= 4 && ranks.is_multiple_of(2));
+    let topo = Topology::bus(ranks);
+    let gate = Arc::new(AtomicBool::new(false));
+    let factories: Vec<TaskFactory> = (0..ranks)
+        .map(|r| {
+            let gate = gate.clone();
+            let f: TaskFactory = match r {
+                0 => send_factory(hot_n, 1),
+                1 => Box::new(move |ctx: SmiCtx| {
+                    let inner = recv_factory(hot_n, 0)(ctx)?;
+                    Ok(Box::new(GateOpener { inner, gate }) as Box<dyn RankTask>)
+                }),
+                _ => {
+                    let inner_f = if r % 2 == 0 {
+                        send_factory(cold_n, r + 1)
+                    } else {
+                        recv_factory(cold_n, r - 1)
+                    };
+                    Box::new(move |ctx: SmiCtx| {
+                        let inner = inner_f(ctx)?;
+                        Ok(Box::new(GatedTask { inner, gate }) as Box<dyn RankTask>)
+                    })
+                }
+            };
+            f
+        })
+        .collect();
+    let t = Instant::now();
+    let report = run_mpmd_tasks(&topo, pair_metas(ranks), factories, params).expect("launch");
+    let dt = t.elapsed().as_secs_f64();
+    for (r, res) in report.results.iter().enumerate() {
+        if let Err(e) = res {
+            panic!("rank {r} failed: {e}");
+        }
+    }
+    let (steals, parks) = exec_counters(&report);
+    (dt, report.threads_spawned, steals, parks)
 }
 
 /// Thread-per-rank run; `bulk` picks slice vs per-element channel calls.
@@ -192,6 +297,45 @@ fn run_threads(ranks: usize, n: u64, bulk: bool) -> (f64, usize) {
     (dt, report.threads_spawned)
 }
 
+/// Executor params for a sweep point.
+fn sweep_params(workers: usize, stealing: bool) -> RuntimeParams {
+    RuntimeParams {
+        transport_workers: workers,
+        work_stealing: stealing,
+        ..Default::default()
+    }
+}
+
+/// Best-of-N measurement: the first run of a large shape pays allocator
+/// warmup and page-fault costs that have nothing to do with the scheduler
+/// under test, so compared series (sweep, skewed) take the fastest of two
+/// runs.
+fn best_of<F: FnMut() -> (f64, usize, u64, u64)>(reps: usize, mut f: F) -> (f64, usize, u64, u64) {
+    let mut best = f();
+    for _ in 1..reps {
+        let r = f();
+        if r.0 < best.0 {
+            best = r;
+        }
+    }
+    best
+}
+
+fn print_point(p: &Point) {
+    println!(
+        "{:<18} {:>6} {:>7} {:>12} {:>10.3} {:>9.2} {:>8} {:>8} {:>7}",
+        p.series,
+        p.ranks,
+        p.workers,
+        p.elems_per_pair,
+        p.seconds,
+        p.melem_per_s,
+        p.threads_spawned,
+        p.steals,
+        p.parks
+    );
+}
+
 fn main() {
     let mut effort = smi_bench::Effort::from_args();
     let mut out_path = String::from("BENCH_scaling.json");
@@ -204,9 +348,13 @@ fn main() {
         }
     }
     smi_bench::banner(
-        "bench_scaling — functional-plane p2p throughput vs. rank count",
-        "runtime scaling (sharded executor + burst batching)",
+        "bench_scaling — functional-plane p2p throughput vs. ranks and workers",
+        "runtime scaling (work-stealing executor + burst batching)",
     );
+
+    let ap = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     let (rank_sweep, total_elems): (Vec<usize>, u64) = match effort {
         smi_bench::Effort::Quick => (vec![2, 8, 32, 64], 512 << 10),
@@ -216,46 +364,134 @@ fn main() {
 
     let mut points: Vec<Point> = Vec::new();
     println!(
-        "{:<22} {:>6} {:>12} {:>10} {:>9} {:>8}",
-        "series", "ranks", "elems/pair", "seconds", "Melem/s", "threads"
+        "{:<18} {:>6} {:>7} {:>12} {:>10} {:>9} {:>8} {:>8} {:>7}",
+        "series",
+        "ranks",
+        "workers",
+        "elems/pair",
+        "seconds",
+        "Melem/s",
+        "threads",
+        "steals",
+        "parks"
     );
 
+    // --- default-executor rank sweep (historical series) ---
     for &ranks in &rank_sweep {
         let pairs = (ranks / 2) as u64;
         let n = (total_elems / pairs).max(1024);
-        let (dt, threads) = run_task_bulk(ranks, n);
-        let melem = (n * pairs) as f64 / dt / 1e6;
-        println!(
-            "{:<22} {:>6} {:>12} {:>10.3} {:>9.2} {:>8}",
-            "task_bulk", ranks, n, dt, melem, threads
-        );
-        points.push(Point {
+        let (dt, threads, steals, parks) = run_task_bulk(ranks, n, RuntimeParams::default());
+        let p = Point {
             series: "task_bulk",
             ranks,
+            workers: RuntimeParams::default().resolved_workers(),
             elems_per_pair: n,
             seconds: dt,
-            melem_per_s: melem,
+            melem_per_s: (n * pairs) as f64 / dt / 1e6,
             threads_spawned: threads,
-        });
+            steals,
+            parks,
+        };
+        print_point(&p);
+        points.push(p);
     }
 
+    // --- worker-count sweep at fixed rank counts, stealing on vs off ---
+    // Worker counts: 1, powers of two up to available_parallelism, and
+    // available_parallelism itself.
+    let mut worker_sweep: Vec<usize> = vec![1];
+    let mut w = 2;
+    while w < ap {
+        worker_sweep.push(w);
+        w *= 2;
+    }
+    if ap > 1 {
+        worker_sweep.push(ap);
+    }
+    let sweep_elems = match effort {
+        smi_bench::Effort::Quick => 256u64 << 10,
+        smi_bench::Effort::Normal => 4 << 20,
+        smi_bench::Effort::Full => 16 << 20,
+    };
+    for &ranks in &[8usize, 64, 256] {
+        let pairs = (ranks / 2) as u64;
+        let n = (sweep_elems / pairs).max(1024);
+        for &workers in &worker_sweep {
+            for (series, stealing) in [("task_bulk_sweep", true), ("task_bulk_static", false)] {
+                let (dt, threads, steals, parks) = best_of(2, || {
+                    run_task_bulk(ranks, n, sweep_params(workers, stealing))
+                });
+                let p = Point {
+                    series,
+                    ranks,
+                    workers,
+                    elems_per_pair: n,
+                    seconds: dt,
+                    melem_per_s: (n * pairs) as f64 / dt / 1e6,
+                    threads_spawned: threads,
+                    steals,
+                    parks,
+                };
+                print_point(&p);
+                points.push(p);
+            }
+        }
+    }
+
+    // --- skewed cluster: one hot pair among many gated cold pairs ---
+    // Static sharding keeps polling every gated machine in the hot
+    // worker's shard; the stealing executor parks them in the cold set
+    // (and with >1 worker migrates the hot pair to an idle worker).
+    let skew_ranks = 64usize;
+    let (hot_n, cold_n) = match effort {
+        smi_bench::Effort::Quick => (256u64 << 10, 1024u64),
+        smi_bench::Effort::Normal => (2 << 20, 4096),
+        smi_bench::Effort::Full => (8 << 20, 4096),
+    };
+    let total = hot_n + (skew_ranks as u64 / 2 - 1) * cold_n;
+    let mut skew_workers: Vec<usize> = vec![1];
+    if ap > 1 {
+        skew_workers.push(2.min(ap));
+    }
+    for &workers in &skew_workers {
+        for (series, stealing) in [("skewed_steal", true), ("skewed_static", false)] {
+            let (dt, threads, steals, parks) = best_of(2, || {
+                run_skewed(skew_ranks, hot_n, cold_n, sweep_params(workers, stealing))
+            });
+            let p = Point {
+                series,
+                ranks: skew_ranks,
+                workers,
+                elems_per_pair: hot_n,
+                seconds: dt,
+                melem_per_s: total as f64 / dt / 1e6,
+                threads_spawned: threads,
+                steals,
+                parks,
+            };
+            print_point(&p);
+            points.push(p);
+        }
+    }
+
+    // --- blocking-plane reference at 8 ranks ---
     for (series, bulk) in [("threads_per_element", false), ("threads_bulk", true)] {
         let ranks = 8usize;
         let n = (total_elems / 4).max(1024);
         let (dt, threads) = run_threads(ranks, n, bulk);
-        let melem = (n * 4) as f64 / dt / 1e6;
-        println!(
-            "{:<22} {:>6} {:>12} {:>10.3} {:>9.2} {:>8}",
-            series, ranks, n, dt, melem, threads
-        );
-        points.push(Point {
+        let p = Point {
             series,
             ranks,
+            workers: RuntimeParams::default().resolved_workers(),
             elems_per_pair: n,
             seconds: dt,
-            melem_per_s: melem,
+            melem_per_s: (n * 4) as f64 / dt / 1e6,
             threads_spawned: threads,
-        });
+            steals: 0,
+            parks: 0,
+        };
+        print_point(&p);
+        points.push(p);
     }
 
     // Timing-plane reference at 8 ranks (cycle-accurate model, not wall
@@ -273,7 +509,7 @@ fn main() {
     .expect("fabric pairs");
     assert_eq!(fr.errors, 0);
     println!(
-        "fabric_pairs (model)        8 {fabric_n:>12} {:>10.1}us {:>6.1} Gbit/s aggregate",
+        "fabric_pairs (model)    8 {fabric_n:>12} {:>10.1}us {:>6.1} Gbit/s aggregate",
         fr.time_us, fr.aggregate_gbit_s
     );
 
@@ -281,20 +517,22 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!(
-        "  \"benchmark\": \"bench_scaling\",\n  \"effort\": \"{:?}\",\n  \"available_parallelism\": {},\n",
-        effort,
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        "  \"benchmark\": \"bench_scaling\",\n  \"effort\": \"{:?}\",\n  \"available_parallelism\": {ap},\n",
+        effort
     ));
     json.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"series\": \"{}\", \"ranks\": {}, \"elems_per_pair\": {}, \"seconds\": {:.6}, \"melem_per_s\": {:.3}, \"threads_spawned\": {}}}{}\n",
+            "    {{\"series\": \"{}\", \"ranks\": {}, \"workers\": {}, \"elems_per_pair\": {}, \"seconds\": {:.6}, \"melem_per_s\": {:.3}, \"threads_spawned\": {}, \"steals\": {}, \"parks\": {}}}{}\n",
             p.series,
             p.ranks,
+            p.workers,
             p.elems_per_pair,
             p.seconds,
             p.melem_per_s,
             p.threads_spawned,
+            p.steals,
+            p.parks,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }

@@ -40,7 +40,8 @@ use crate::collectives::{
 use crate::comm::{Communicator, SplitBoard};
 use crate::endpoint::{new_table, EndpointTable, EndpointTableHandle};
 use crate::params::RuntimeParams;
-use crate::transport::executor::{Pollable, ShardedExecutor, Step};
+pub use crate::transport::executor::WorkerStats;
+use crate::transport::executor::{ExecutorConfig, Pollable, ShardedExecutor, Step};
 use crate::transport::socket::FabricHealth;
 use crate::transport::wiring::{
     build_transport, build_transport_with, FabricLinks, TransportHandle,
@@ -401,6 +402,12 @@ pub struct RunReport<T> {
     /// Mid-stream socket reconnects that healed (replayed and resumed)
     /// during the run. Always `0` for the in-memory fabric.
     pub reconnects_healed: usize,
+    /// Per-worker scheduling counters of the executor pool(s): polls,
+    /// progress, steals, parks. For split (multi-process-shaped) runs the
+    /// groups' workers are concatenated in process order. Imbalance shows
+    /// up here — a worker whose `progress` dwarfs its siblings' while their
+    /// `steals` stay zero means stealing is off or defeated.
+    pub worker_stats: Vec<WorkerStats>,
 }
 
 /// Launch errors.
@@ -543,6 +550,8 @@ pub(crate) struct GroupOutcome<T> {
     pub threads_spawned: usize,
     /// Mid-stream socket reconnects that healed in this group's fabric.
     pub reconnects_healed: usize,
+    /// Final per-worker scheduling counters of this group's executor.
+    pub worker_stats: Vec<WorkerStats>,
 }
 
 fn make_ctx(
@@ -589,7 +598,12 @@ pub(crate) fn run_group_threaded<T: Send + 'static>(
 ) -> GroupOutcome<T> {
     assert_eq!(tables.len(), programs.len(), "one program per local rank");
     let stop = Arc::new(AtomicBool::new(false));
-    let executor = ShardedExecutor::spawn(machines, params.resolved_workers(), stop.clone());
+    let executor = ShardedExecutor::spawn_with(
+        machines,
+        params.resolved_workers(),
+        stop.clone(),
+        ExecutorConfig::from_params(params),
+    );
     let board = Arc::new(SplitBoard::default());
 
     let world: Vec<usize> = tables.iter().map(|(r, _)| *r).collect();
@@ -619,7 +633,7 @@ pub(crate) fn run_group_threaded<T: Send + 'static>(
     }
     on_complete();
     stop.store(true, Ordering::SeqCst);
-    executor.join();
+    let worker_stats = executor.join();
     if let Some(p) = panic {
         std::panic::resume_unwind(p);
     }
@@ -629,6 +643,7 @@ pub(crate) fn run_group_threaded<T: Send + 'static>(
         // The threaded runner has no fabric diagnostics in scope; split
         // runners overwrite this from their own health board.
         reconnects_healed: 0,
+        worker_stats,
     }
 }
 
@@ -663,6 +678,7 @@ pub fn run_mpmd<T: Send + 'static>(
         transport: stats.snapshot(),
         threads_spawned: outcome.threads_spawned,
         reconnects_healed: outcome.reconnects_healed,
+        worker_stats: outcome.worker_stats,
     })
 }
 
@@ -819,6 +835,7 @@ pub fn run_mpmd_tasks(
         transport: stats.snapshot(),
         threads_spawned: outcome.threads_spawned,
         reconnects_healed: outcome.reconnects_healed,
+        worker_stats: outcome.worker_stats,
     })
 }
 
@@ -865,7 +882,12 @@ pub(crate) fn run_group_tasks(
         }));
     }
     drop(done_tx);
-    let executor = ShardedExecutor::spawn(items, params.resolved_workers(), stop.clone());
+    let executor = ShardedExecutor::spawn_with(
+        items,
+        params.resolved_workers(),
+        stop.clone(),
+        ExecutorConfig::from_params(params),
+    );
     let threads_spawned = executor.num_workers();
 
     let mut results: Vec<Result<(), SmiError>> = (0..locals)
@@ -932,11 +954,12 @@ pub(crate) fn run_group_tasks(
     }
     on_complete();
     stop.store(true, Ordering::SeqCst);
-    executor.join();
+    let worker_stats = executor.join();
     GroupOutcome {
         results: world.into_iter().zip(results).collect(),
         threads_spawned,
         reconnects_healed: diag.health.healed(),
+        worker_stats,
     }
 }
 

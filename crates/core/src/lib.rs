@@ -165,7 +165,7 @@ pub use collectives::{
 pub use comm::Communicator;
 pub use env::{
     run_mpmd, run_mpmd_tasks, run_spmd, run_spmd_tasks, RankTask, RunReport, SmiCtx, TaskFactory,
-    TaskStatus,
+    TaskStatus, WorkerStats,
 };
 pub use error::SmiError;
 pub use params::{ReconnectPolicy, RuntimeParams};
@@ -185,7 +185,7 @@ pub mod prelude {
     pub use crate::comm::Communicator;
     pub use crate::env::{
         run_mpmd, run_mpmd_tasks, run_spmd, run_spmd_tasks, RankTask, RunReport, SmiCtx,
-        TaskFactory, TaskStatus,
+        TaskFactory, TaskStatus, WorkerStats,
     };
     pub use crate::error::SmiError;
     pub use crate::params::{ReconnectPolicy, RuntimeParams};

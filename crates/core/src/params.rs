@@ -129,10 +129,36 @@ pub struct RuntimeParams {
     /// to this many packets under a single queue operation, amortizing
     /// synchronization cost. `1` degenerates to per-packet handover.
     pub burst_packets: usize,
-    /// Worker threads of the sharded transport executor that drives all CK
-    /// state machines (and, in task mode, the rank tasks). `0` means
+    /// Worker threads of the work-stealing transport executor that drives
+    /// all CK state machines (and, in task mode, the rank tasks). `0` means
     /// `std::thread::available_parallelism()`.
     pub transport_workers: usize,
+    /// Work stealing on the executor: when `true` (default) an idle worker
+    /// steals half of a victim's run queue, and machines that stay idle for
+    /// [`RuntimeParams::cold_idle_threshold`] consecutive polls are parked
+    /// in a shared cold set so hot machines are not diluted by sweeps over
+    /// quiescent ones. `false` pins every machine to the worker it was
+    /// seeded on — the historical static sharding, kept as a measurable
+    /// baseline (`bench_scaling` runs both on its skewed workload).
+    pub work_stealing: bool,
+    /// Maximum machines a worker drains from a run queue (its own or a
+    /// victim's) per lock acquisition. Larger batches amortize queue locks;
+    /// smaller ones migrate load at a finer grain.
+    pub steal_batch: usize,
+    /// Consecutive idle polls after which a machine is evicted from its run
+    /// queue into the shared cold set (re-offered to idle workers, and at a
+    /// trickle to busy ones). Ignored when `work_stealing` is off.
+    pub cold_idle_threshold: u32,
+    /// Initial (and minimum) condvar park timeout of a fully idle executor
+    /// worker. Parking replaces the historical 50 µs sleep loop: a
+    /// quiescent pool sits on the condvar and is woken by sibling progress
+    /// hints or this timeout (the backstop for progress produced outside
+    /// the pool — blocking-plane rank threads, socket peers).
+    pub park_timeout_min: Duration,
+    /// Cap of the park timeout, which doubles per consecutive fruitless
+    /// park. Bounds the poll cadence — and thus the added wake latency —
+    /// of a long-quiescent cluster.
+    pub park_timeout_max: Duration,
     /// Connect-time behavior of socket transport backends
     /// ([`ReconnectPolicy`]): retry-with-backoff or fail on the first
     /// refused connection. Ignored by the in-memory backend.
@@ -166,6 +192,11 @@ impl Default for RuntimeParams {
             collective_scheme: CollectiveScheme::Linear,
             burst_packets: 16,
             transport_workers: 0,
+            work_stealing: true,
+            steal_batch: 16,
+            cold_idle_threshold: 64,
+            park_timeout_min: Duration::from_micros(100),
+            park_timeout_max: Duration::from_millis(2),
             socket_reconnect: ReconnectPolicy::retry_fixed(100, Duration::from_millis(20)),
             stream_reconnect: ReconnectPolicy::Retry {
                 attempts: 10,
@@ -192,6 +223,11 @@ impl RuntimeParams {
             collective_scheme: CollectiveScheme::Linear,
             burst_packets: 1,
             transport_workers: 0,
+            work_stealing: true,
+            steal_batch: 1,
+            cold_idle_threshold: 64,
+            park_timeout_min: Duration::from_micros(100),
+            park_timeout_max: Duration::from_millis(2),
             socket_reconnect: ReconnectPolicy::retry_fixed(100, Duration::from_millis(20)),
             stream_reconnect: ReconnectPolicy::Retry {
                 attempts: 10,

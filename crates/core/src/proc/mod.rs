@@ -720,6 +720,7 @@ where
     let mut slots: Vec<Option<T>> = (0..num_ranks).map(|_| None).collect();
     let mut threads_spawned = 0usize;
     let mut reconnects_healed = 0usize;
+    let mut worker_stats = Vec::new();
     let mut err: Option<LaunchError> = None;
     let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
     for h in handles {
@@ -727,6 +728,7 @@ where
             Ok(Ok(outcome)) => {
                 threads_spawned += outcome.threads_spawned;
                 reconnects_healed += outcome.reconnects_healed;
+                worker_stats.extend(outcome.worker_stats);
                 for (rank, v) in outcome.results {
                     slots[rank] = Some(v);
                 }
@@ -750,6 +752,7 @@ where
         transport: stats.snapshot(),
         threads_spawned,
         reconnects_healed,
+        worker_stats,
     })
 }
 

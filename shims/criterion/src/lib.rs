@@ -1,50 +1,211 @@
 //! Offline stand-in for `criterion`.
 //!
 //! The build environment has no network access, so the workspace vendors the
-//! API surface its seven bench targets use: [`Criterion`],
-//! [`BenchmarkGroup`] (with `sample_size`, `throughput`, `bench_function`,
-//! `bench_with_input`, `finish`), [`BenchmarkId`], [`Throughput`],
-//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//! API surface its bench targets use: [`Criterion`], [`BenchmarkGroup`]
+//! (with `sample_size`, `warm_up_time`, `measurement_time`, `throughput`,
+//! `bench_function`, `bench_with_input`, `finish`), [`BenchmarkId`],
+//! [`Throughput`], [`BatchSize`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
 //!
-//! Statistics are intentionally simple: each benchmark is warmed up once and
-//! then timed over a fixed number of batches, reporting the mean time per
-//! iteration (and derived throughput when declared). This keeps
-//! `cargo bench` runnable and comparable run-to-run without criterion's
-//! full sampling machinery.
+//! Unlike the first version of this shim, the measurement knobs are real:
+//! each benchmark is warmed up for `warm_up_time` (calibrating the
+//! per-iteration cost), then `sample_size` samples are collected, each a
+//! timed batch sized so the whole measurement phase lasts about
+//! `measurement_time`. Mean and median over the samples are reported; the
+//! median is robust against a stray descheduling blip mid-run, which on
+//! shared CI runners is the dominant noise source. `iter_batched` /
+//! `iter_batched_ref` time the routine only — setup runs outside the
+//! clock — matching criterion's semantics for workloads that consume
+//! their input.
 
 use std::fmt;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// Measurement settings, adjustable at the `Criterion` or group level.
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Much shorter than real criterion's 3 s / 5 s defaults: the
+        // workspace runs every bench target in CI, so the shim favours a
+        // bounded wall clock over tight confidence intervals.
+        Config {
+            sample_size: 20,
+            warm_up: Duration::from_millis(50),
+            measurement: Duration::from_millis(200),
+        }
+    }
+}
+
+/// How `iter_batched` groups setup outputs into timed batches.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: batch many iterations per timed region (amortises the
+    /// clock overhead; setup outputs for the whole batch are buffered).
+    SmallInput,
+    /// Large inputs: a few iterations per timed region to bound memory.
+    LargeInput,
+    /// One setup + one timed call per measurement.
+    PerIteration,
+    /// Split each sample into exactly this many timed batches.
+    NumBatches(u64),
+    /// Exactly this many iterations per timed batch.
+    NumIterations(u64),
+}
+
 /// Iteration driver handed to benchmark closures.
 pub struct Bencher {
-    /// Mean nanoseconds per iteration, recorded by [`Bencher::iter`].
+    cfg: Config,
+    /// Mean nanoseconds per iteration over all samples.
     ns_per_iter: f64,
+    /// Median nanoseconds per iteration across samples.
+    median_ns: f64,
+    /// Total timed iterations.
     iters: u64,
+    samples: usize,
+}
+
+/// Calibrate `routine` for the warm-up period: returns iterations achieved
+/// and the elapsed time (both at least one call).
+fn warm_up<O, R: FnMut() -> O>(routine: &mut R, period: Duration) -> (u64, Duration) {
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        black_box(routine());
+        iters += 1;
+        let elapsed = start.elapsed();
+        if elapsed >= period {
+            return (iters, elapsed);
+        }
+    }
+}
+
+fn median(sorted: &mut [f64]) -> f64 {
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
 }
 
 impl Bencher {
-    /// Time `routine`, storing the mean time per call.
+    fn new(cfg: Config) -> Self {
+        Bencher {
+            cfg,
+            ns_per_iter: 0.0,
+            median_ns: 0.0,
+            iters: 0,
+            samples: 0,
+        }
+    }
+
+    fn record(&mut self, per_sample_ns: Vec<f64>, total_iters: u64, total_ns: f64) {
+        self.samples = per_sample_ns.len();
+        self.iters = total_iters;
+        self.ns_per_iter = if total_iters > 0 {
+            total_ns / total_iters as f64
+        } else {
+            0.0
+        };
+        let mut s = per_sample_ns;
+        self.median_ns = median(&mut s);
+    }
+
+    /// Time `routine`: warm up for `warm_up_time`, then collect
+    /// `sample_size` timed batches sized to fill `measurement_time`.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // One warm-up call (also primes lazily-built inputs).
-        black_box(routine());
-        let target = Duration::from_millis(200);
-        let start = Instant::now();
-        let mut iters: u64 = 0;
+        let (wu_iters, wu_elapsed) = warm_up(&mut routine, self.cfg.warm_up);
+        // Iterations per sample so that sample_size samples ≈ measurement
+        // window, from the warm-up rate. Cap so one pathological routine
+        // cannot run unbounded.
+        let rate_ns = wu_elapsed.as_nanos() as f64 / wu_iters as f64;
+        let per_sample = ((self.cfg.measurement.as_nanos() as f64 / self.cfg.sample_size as f64)
+            / rate_ns.max(0.1))
+        .clamp(1.0, 5_000_000.0) as u64;
+        let mut samples = Vec::with_capacity(self.cfg.sample_size);
+        let mut total_iters = 0u64;
+        let mut total_ns = 0.0f64;
+        for _ in 0..self.cfg.sample_size {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64;
+            samples.push(ns / per_sample as f64);
+            total_iters += per_sample;
+            total_ns += ns;
+        }
+        self.record(samples, total_iters, total_ns);
+    }
+
+    /// Time `routine` over inputs produced by `setup`; only the routine is
+    /// inside the clock. Inputs are consumed (criterion's `iter_batched`).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm up (and calibrate) with setup outside the measured closure.
+        let wu_start = Instant::now();
+        let mut wu_iters = 0u64;
+        let mut wu_routine_ns = 0u128;
         loop {
-            black_box(routine());
-            iters += 1;
-            // Check the clock only every 64 iterations so nanosecond-scale
-            // routines are not dominated by `Instant::now` overhead; the
-            // hard cap merely bounds pathological cases.
-            if (iters & 63 == 0 && start.elapsed() >= target) || iters >= 100_000_000 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            wu_routine_ns += t.elapsed().as_nanos();
+            wu_iters += 1;
+            if wu_start.elapsed() >= self.cfg.warm_up {
                 break;
             }
         }
-        let elapsed = start.elapsed();
-        self.iters = iters;
-        self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+        let rate_ns = (wu_routine_ns as f64 / wu_iters as f64).max(0.1);
+        let budget = self.cfg.measurement.as_nanos() as f64 / self.cfg.sample_size as f64;
+        let batch = match size {
+            BatchSize::SmallInput => (budget / rate_ns).clamp(1.0, 1_000_000.0) as u64,
+            BatchSize::LargeInput => (budget / rate_ns).clamp(1.0, 64.0) as u64,
+            BatchSize::PerIteration => 1,
+            BatchSize::NumBatches(n) => ((budget / rate_ns) / n.max(1) as f64).max(1.0) as u64,
+            BatchSize::NumIterations(n) => n.max(1),
+        };
+        let mut samples = Vec::with_capacity(self.cfg.sample_size);
+        let mut total_iters = 0u64;
+        let mut total_ns = 0.0f64;
+        let mut inputs: Vec<I> = Vec::with_capacity(batch as usize);
+        for _ in 0..self.cfg.sample_size {
+            inputs.extend((0..batch).map(|_| setup()));
+            let t = Instant::now();
+            for input in inputs.drain(..) {
+                black_box(routine(input));
+            }
+            let ns = t.elapsed().as_nanos() as f64;
+            samples.push(ns / batch as f64);
+            total_iters += batch;
+            total_ns += ns;
+        }
+        self.record(samples, total_iters, total_ns);
+    }
+
+    /// [`Bencher::iter_batched`] for routines that take the input by
+    /// mutable reference instead of consuming it.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| black_box(routine(&mut input)), size)
     }
 }
 
@@ -106,9 +267,8 @@ impl IntoBenchmarkId for String {
     }
 }
 
-fn report(path: &str, b: &Bencher, throughput: Option<Throughput>) {
-    let ns = b.ns_per_iter;
-    let time = if ns >= 1e9 {
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
         format!("{:.3} s", ns / 1e9)
     } else if ns >= 1e6 {
         format!("{:.3} ms", ns / 1e6)
@@ -116,42 +276,58 @@ fn report(path: &str, b: &Bencher, throughput: Option<Throughput>) {
         format!("{:.3} µs", ns / 1e3)
     } else {
         format!("{:.1} ns", ns)
+    }
+}
+
+fn report(path: &str, b: &Bencher, throughput: Option<Throughput>) {
+    // Throughput derives from the median: robust against one bad sample.
+    let ns = if b.median_ns > 0.0 {
+        b.median_ns
+    } else {
+        b.ns_per_iter
     };
     let extra = match throughput {
         Some(Throughput::Bytes(n)) => {
-            let gib = n as f64 / ns; // bytes/ns == GB/s
-            format!("  {:.3} GB/s", gib)
+            format!("  {:.3} GB/s", n as f64 / ns) // bytes/ns == GB/s
         }
         Some(Throughput::Elements(n)) => {
-            let meps = n as f64 / ns * 1e3; // elements/ns -> Melem/s
-            format!("  {:.3} Melem/s", meps)
+            format!("  {:.3} Melem/s", n as f64 / ns * 1e3)
         }
         None => String::new(),
     };
-    println!("bench: {path:<50} {time}/iter ({} iters){extra}", b.iters);
+    println!(
+        "bench: {path:<50} median {}/iter (mean {}, {} samples, {} iters){extra}",
+        fmt_ns(ns),
+        fmt_ns(b.ns_per_iter),
+        b.samples,
+        b.iters
+    );
 }
 
 /// A named set of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
     throughput: Option<Throughput>,
+    cfg: Config,
     _criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Accepted for API compatibility; the shim's fixed timing loop ignores
-    /// the requested sample count.
-    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(2);
         self
     }
 
-    /// Accepted for API compatibility; ignored by the shim.
-    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+    /// Target duration of the whole measurement phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement = d;
         self
     }
 
-    /// Accepted for API compatibility; ignored by the shim.
-    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+    /// Duration of the calibration warm-up before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up = d;
         self
     }
 
@@ -166,10 +342,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher {
-            ns_per_iter: 0.0,
-            iters: 0,
-        };
+        let mut b = Bencher::new(self.cfg);
         f(&mut b);
         let path = format!("{}/{}", self.name, id.into_id());
         report(&path, &b, self.throughput);
@@ -186,10 +359,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher {
-            ns_per_iter: 0.0,
-            iters: 0,
-        };
+        let mut b = Bencher::new(self.cfg);
         f(&mut b, input);
         let path = format!("{}/{}", self.name, id.into_id());
         report(&path, &b, self.throughput);
@@ -202,14 +372,18 @@ impl BenchmarkGroup<'_> {
 
 /// Top-level benchmark driver.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    cfg: Config,
+}
 
 impl Criterion {
-    /// Start a [`BenchmarkGroup`].
+    /// Start a [`BenchmarkGroup`] (inherits this criterion's settings).
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let cfg = self.cfg;
         BenchmarkGroup {
             name: name.into(),
             throughput: None,
+            cfg,
             _criterion: self,
         }
     }
@@ -219,21 +393,31 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher {
-            ns_per_iter: 0.0,
-            iters: 0,
-        };
+        let mut b = Bencher::new(self.cfg);
         f(&mut b);
         report(name, &b, None);
         self
     }
 
-    /// Accepted for API compatibility; ignored by the shim.
-    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+    /// Default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n.max(2);
         self
     }
 
-    /// Accepted for API compatibility; ignored by the shim.
+    /// Default measurement-phase duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.cfg.measurement = d;
+        self
+    }
+
+    /// Default warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.cfg.warm_up = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no CLI parsing.
     pub fn configure_from_args(self) -> Self {
         self
     }
@@ -250,7 +434,7 @@ macro_rules! criterion_group {
     };
     (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
         pub fn $group() {
-            let mut criterion = { let _ = $config; $crate::Criterion::default() };
+            let mut criterion = $config;
             $($target(&mut criterion);)+
         }
     };
@@ -273,6 +457,8 @@ mod tests {
     fn sample_bench(c: &mut Criterion) {
         let mut g = c.benchmark_group("shim");
         g.sample_size(10)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
             .throughput(Throughput::Elements(100))
             .bench_function("sum", |b| {
                 b.iter(|| (0..100u64).map(black_box).sum::<u64>())
@@ -288,5 +474,77 @@ mod tests {
     #[test]
     fn group_runs() {
         shim_group();
+    }
+
+    #[test]
+    fn sampling_respects_config() {
+        let mut b = Bencher::new(Config {
+            sample_size: 7,
+            warm_up: Duration::from_millis(2),
+            measurement: Duration::from_millis(10),
+        });
+        b.iter(|| black_box(3u64) * 2);
+        assert_eq!(b.samples, 7);
+        assert!(b.iters >= 7, "at least one iteration per sample");
+        assert!(b.ns_per_iter > 0.0 && b.median_ns > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        // The routine consumes its input (sorting a vec in place would be
+        // wrong to repeat on sorted data) — every call must see a fresh
+        // setup output, and setup time must stay outside the measurement.
+        let mut b = Bencher::new(Config {
+            sample_size: 5,
+            warm_up: Duration::from_millis(2),
+            measurement: Duration::from_millis(10),
+        });
+        b.iter_batched(
+            || vec![5u64, 3, 1, 4, 2],
+            |mut v| {
+                v.sort_unstable();
+                assert_eq!(v, [1, 2, 3, 4, 5]);
+                v
+            },
+            BatchSize::SmallInput,
+        );
+        assert_eq!(b.samples, 5);
+        assert!(b.iters >= 5);
+    }
+
+    #[test]
+    fn iter_batched_ref_keeps_input() {
+        let mut b = Bencher::new(Config {
+            sample_size: 3,
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+        });
+        b.iter_batched_ref(
+            || vec![0u8; 64],
+            |v| v.iter_mut().for_each(|x| *x = x.wrapping_add(1)),
+            BatchSize::PerIteration,
+        );
+        assert_eq!(b.samples, 3);
+        // PerIteration times exactly one call per batch.
+        assert_eq!(b.iters, 3);
+    }
+
+    #[test]
+    fn num_iterations_is_exact() {
+        let mut b = Bencher::new(Config {
+            sample_size: 4,
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+        });
+        b.iter_batched(|| 1u64, |x| black_box(x + 1), BatchSize::NumIterations(9));
+        assert_eq!(b.iters, 4 * 9);
+    }
+
+    #[test]
+    fn median_of_samples() {
+        let mut v = vec![5.0, 1.0, 9.0];
+        assert_eq!(median(&mut v), 5.0);
+        let mut v = vec![4.0, 1.0, 9.0, 5.0];
+        assert_eq!(median(&mut v), 4.5);
     }
 }
