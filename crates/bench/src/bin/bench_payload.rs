@@ -1,0 +1,291 @@
+//! Payload-plane benchmark: copies-per-element and throughput of the
+//! zero-copy run-buffer path against the packet-copying baseline
+//! (`RuntimeParams::zero_copy: false`), emitted as `BENCH_payload.json`.
+//!
+//! Series (each measured with zero-copy on (`*_zero`) and off (`*_base`)):
+//!
+//! * `p2p` — disjoint neighbour pairs on an 8-rank bus, cooperative-task
+//!   bulk streaming (the `task_bulk` shape of `bench_scaling`). Baseline
+//!   charges 4 copies per element byte (frame, absorb, refill, drain);
+//!   zero-copy charges 2 (run wrap, drain).
+//! * `bcast` — 8-rank binomial-tree broadcast, blocking bulk API. Interior
+//!   nodes re-address `Arc` run handles instead of duplicating packets.
+//! * `gather` — 8-rank binomial-tree gather. The gather data plane is
+//!   packet-based in both modes (runs never form: packets are re-framed at
+//!   member-block boundaries), so its pair documents parity, not a win.
+//!
+//! `copies_per_elem` is `RunReport::payload_copies` (bytes) divided by the
+//! app-visible element bytes moved; the CI check gates the `*_base` /
+//! `*_zero` ratio at ≥2× for p2p and bcast.
+//!
+//! Usage: `bench_payload [--quick|--smoke | --full] [--out PATH]`
+
+use std::time::Instant;
+
+use smi::env::SmiCtx;
+use smi::prelude::*;
+
+/// One measured point.
+struct Point {
+    series: &'static str,
+    ranks: usize,
+    elems: u64,
+    seconds: f64,
+    melem_per_s: f64,
+    payload_copies: u64,
+    copies_per_elem: f64,
+}
+
+struct BulkSend {
+    ch: Option<SendChannel<i32>>,
+    data: Vec<i32>,
+    off: usize,
+}
+
+impl RankTask for BulkSend {
+    fn poll(&mut self) -> Result<TaskStatus, SmiError> {
+        let ch = self.ch.as_mut().expect("open while pending");
+        let before = self.off;
+        if self.off < self.data.len() {
+            self.off += ch.try_push_slice(&self.data[self.off..])?;
+        }
+        if self.off == self.data.len() && ch.try_flush()? && ch.fully_sent() {
+            self.ch = None;
+            return Ok(TaskStatus::Done);
+        }
+        Ok(if self.off > before {
+            TaskStatus::Progress
+        } else {
+            TaskStatus::Pending
+        })
+    }
+}
+
+struct BulkRecv {
+    ch: Option<RecvChannel<i32>>,
+    buf: Vec<i32>,
+    filled: usize,
+}
+
+impl RankTask for BulkRecv {
+    fn poll(&mut self) -> Result<TaskStatus, SmiError> {
+        let ch = self.ch.as_mut().expect("open while pending");
+        let moved = ch.try_pop_slice(&mut self.buf[self.filled..])?;
+        self.filled += moved;
+        if self.filled == self.buf.len() {
+            for (i, &v) in self.buf.iter().enumerate() {
+                if v != i as i32 {
+                    return Err(SmiError::ProtocolViolation {
+                        detail: format!("element {i} corrupted: {v}"),
+                    });
+                }
+            }
+            self.ch = None;
+            return Ok(TaskStatus::Done);
+        }
+        Ok(if moved > 0 {
+            TaskStatus::Progress
+        } else {
+            TaskStatus::Pending
+        })
+    }
+}
+
+fn payload_params(zero_copy: bool) -> RuntimeParams {
+    RuntimeParams {
+        zero_copy,
+        collective_scheme: CollectiveScheme::Tree,
+        ..Default::default()
+    }
+}
+
+/// Disjoint-pair cooperative-task bulk p2p. Returns (seconds, copies, total
+/// app elements moved).
+fn run_p2p(ranks: usize, n: u64, zero_copy: bool) -> (f64, u64, u64) {
+    let topo = Topology::bus(ranks);
+    let metas: Vec<ProgramMeta> = (0..ranks)
+        .map(|r| {
+            if r % 2 == 0 {
+                ProgramMeta::new().with(OpSpec::send(0, Datatype::Int))
+            } else {
+                ProgramMeta::new().with(OpSpec::recv(0, Datatype::Int))
+            }
+        })
+        .collect();
+    let factories: Vec<TaskFactory> = (0..ranks)
+        .map(|r| {
+            let f: TaskFactory = if r % 2 == 0 {
+                Box::new(move |ctx: SmiCtx| {
+                    let ch = ctx.open_send_channel::<i32>(n, r + 1, 0)?;
+                    Ok(Box::new(BulkSend {
+                        ch: Some(ch),
+                        data: (0..n as i32).collect(),
+                        off: 0,
+                    }) as Box<dyn RankTask>)
+                })
+            } else {
+                Box::new(move |ctx: SmiCtx| {
+                    let ch = ctx.open_recv_channel::<i32>(n, r - 1, 0)?;
+                    Ok(Box::new(BulkRecv {
+                        ch: Some(ch),
+                        buf: vec![0; n as usize],
+                        filled: 0,
+                    }) as Box<dyn RankTask>)
+                })
+            };
+            f
+        })
+        .collect();
+    let t = Instant::now();
+    let report =
+        run_mpmd_tasks(&topo, metas, factories, payload_params(zero_copy)).expect("launch");
+    let dt = t.elapsed().as_secs_f64();
+    for (r, res) in report.results.iter().enumerate() {
+        if let Err(e) = res {
+            panic!("rank {r} failed: {e}");
+        }
+    }
+    assert_eq!(report.transport.2, 0, "unroutable packets");
+    (dt, report.payload_copies, n * (ranks as u64 / 2))
+}
+
+/// Tree broadcast of `n` elements from rank 0 across `ranks`. Returns
+/// (seconds, copies, stream elements).
+fn run_bcast(ranks: usize, n: u64, zero_copy: bool) -> (f64, u64, u64) {
+    let topo = Topology::bus(ranks);
+    let meta = ProgramMeta::new().with(OpSpec::bcast(0, Datatype::Int));
+    let t = Instant::now();
+    let report = run_spmd(
+        &topo,
+        meta,
+        move |ctx: SmiCtx| {
+            let comm = ctx.world();
+            let mut b = ctx.open_bcast_channel::<i32>(n, 0, 0, &comm).unwrap();
+            let mut buf: Vec<i32> = if comm.rank() == 0 {
+                (0..n as i32).collect()
+            } else {
+                vec![0; n as usize]
+            };
+            b.bcast_slice(&mut buf).unwrap();
+            assert_eq!(buf[n as usize - 1], n as i32 - 1, "rank {}", comm.rank());
+        },
+        payload_params(zero_copy),
+    )
+    .expect("launch");
+    let dt = t.elapsed().as_secs_f64();
+    (dt, report.payload_copies, n)
+}
+
+/// Tree gather of `n` elements per member to root 0. Returns (seconds,
+/// copies, gathered elements).
+fn run_gather(ranks: usize, n: u64, zero_copy: bool) -> (f64, u64, u64) {
+    let topo = Topology::bus(ranks);
+    let meta = ProgramMeta::new().with(OpSpec::gather(0, Datatype::Int));
+    let t = Instant::now();
+    let report = run_spmd(
+        &topo,
+        meta,
+        move |ctx: SmiCtx| {
+            let comm = ctx.world();
+            let rank = comm.rank() as i32;
+            let mut g = ctx.open_gather_channel::<i32>(n, 0, 0, &comm).unwrap();
+            let src: Vec<i32> = (0..n as i32).map(|i| rank * 1000 + i).collect();
+            g.push_slice(&src).unwrap();
+            if comm.rank() == 0 {
+                let mut out = vec![0i32; n as usize * comm.size()];
+                g.pop_slice(&mut out).unwrap();
+                assert_eq!(out[0], 0);
+            }
+        },
+        payload_params(zero_copy),
+    )
+    .expect("launch");
+    let dt = t.elapsed().as_secs_f64();
+    (dt, report.payload_copies, n * ranks as u64)
+}
+
+fn print_point(p: &Point) {
+    println!(
+        "{:<12} {:>6} {:>10} {:>10.3} {:>9.2} {:>14} {:>10.2}",
+        p.series, p.ranks, p.elems, p.seconds, p.melem_per_s, p.payload_copies, p.copies_per_elem
+    );
+}
+
+fn main() {
+    let mut effort = smi_bench::Effort::from_args();
+    let mut out_path = String::from("BENCH_payload.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--smoke" => effort = smi_bench::Effort::Quick,
+            _ => {}
+        }
+    }
+    smi_bench::banner(
+        "bench_payload — copies per element, zero-copy run buffers vs baseline",
+        "payload plane (refcounted burst buffers)",
+    );
+
+    let ranks = 8usize;
+    // Element counts are multiples of the 7-int packet capacity so whole
+    // streams ride run frames (the tail otherwise falls back to framing).
+    let (p2p_n, coll_n) = match effort {
+        smi_bench::Effort::Quick => (70_000u64, 35_000u64),
+        smi_bench::Effort::Normal => (700_000, 350_000),
+        smi_bench::Effort::Full => (2_800_000, 1_400_000),
+    };
+
+    println!(
+        "{:<12} {:>6} {:>10} {:>10} {:>9} {:>14} {:>10}",
+        "series", "ranks", "elems", "seconds", "Melem/s", "copied_bytes", "copies/el"
+    );
+    let elem_bytes = Datatype::Int.size_bytes() as f64;
+    let mut points: Vec<Point> = Vec::new();
+    type Runner = fn(usize, u64, bool) -> (f64, u64, u64);
+    let workloads: [(&'static str, &'static str, Runner, u64); 3] = [
+        ("p2p_zero", "p2p_base", run_p2p, p2p_n),
+        ("bcast_zero", "bcast_base", run_bcast, coll_n),
+        ("gather_zero", "gather_base", run_gather, coll_n),
+    ];
+    for (zero_name, base_name, runner, n) in workloads {
+        for (series, zero_copy) in [(zero_name, true), (base_name, false)] {
+            let (dt, copies, elems) = runner(ranks, n, zero_copy);
+            let p = Point {
+                series,
+                ranks,
+                elems,
+                seconds: dt,
+                melem_per_s: elems as f64 / dt / 1e6,
+                payload_copies: copies,
+                copies_per_elem: copies as f64 / (elems as f64 * elem_bytes),
+            };
+            print_point(&p);
+            points.push(p);
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"benchmark\": \"bench_payload\",\n  \"effort\": \"{:?}\",\n  \"ranks\": {ranks},\n",
+        effort
+    ));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"series\": \"{}\", \"ranks\": {}, \"elems\": {}, \"seconds\": {:.6}, \"melem_per_s\": {:.3}, \"payload_copies\": {}, \"copies_per_elem\": {:.4}}}{}\n",
+            p.series,
+            p.ranks,
+            p.elems,
+            p.seconds,
+            p.melem_per_s,
+            p.payload_copies,
+            p.copies_per_elem,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write JSON");
+    println!("\nwrote {out_path}");
+}

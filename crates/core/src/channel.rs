@@ -28,11 +28,11 @@ use std::marker::PhantomData;
 use std::time::Duration;
 
 use crossbeam::channel::TrySendError;
-use smi_wire::{Deframer, Framer, NetworkPacket, PacketOp, SmiType};
+use smi_wire::{Deframer, Frame, Framer, NetworkPacket, PacketOp, PacketRun, SmiType};
 
 use crate::endpoint::{send_burst, send_packet, EndpointTableHandle, RecvRes, SendRes};
 use crate::transport::socket::FabricHealth;
-use crate::transport::Burst;
+use crate::transport::{Burst, CopyMeter};
 use crate::SmiError;
 
 /// Transmission protocol of a point-to-point channel (§3.3).
@@ -65,6 +65,11 @@ pub struct SendChannel<T: SmiType> {
     staged: Burst,
     /// Burst size cap ([`crate::RuntimeParams::burst_packets`]).
     max_burst: usize,
+    /// Whether bulk pushes wrap whole-packet spans into refcounted
+    /// [`Frame::Run`]s ([`crate::RuntimeParams::zero_copy`]) instead of
+    /// framing packet-by-packet.
+    zero_copy: bool,
+    copies: CopyMeter,
     health: FabricHealth,
     _elem: PhantomData<T>,
 }
@@ -80,6 +85,7 @@ impl<T: SmiType> SendChannel<T> {
         protocol: Protocol,
         timeout: Duration,
         max_burst: usize,
+        zero_copy: bool,
     ) -> Result<Self, SmiError> {
         let res = table.lock().take_send(port)?;
         if res.dtype != T::DATATYPE {
@@ -95,7 +101,10 @@ impl<T: SmiType> SendChannel<T> {
             Protocol::Eager => u64::MAX,
             Protocol::Credit { window } => window,
         };
-        let health = table.lock().health.clone();
+        let (health, copies) = {
+            let t = table.lock();
+            (t.health.clone(), t.copies.clone())
+        };
         Ok(SendChannel {
             port,
             count,
@@ -114,9 +123,16 @@ impl<T: SmiType> SendChannel<T> {
             timeout,
             staged: Vec::new(),
             max_burst: max_burst.max(1),
+            zero_copy,
+            copies,
             health,
             _elem: PhantomData,
         })
+    }
+
+    /// Wire packets the staged burst stands for (runs count whole).
+    fn staged_packets(&self) -> usize {
+        self.staged.iter().map(|f| f.packet_count()).sum()
     }
 
     /// Blocking wait for a credit grant (credit protocol, empty window).
@@ -198,6 +214,8 @@ impl<T: SmiType> SendChannel<T> {
         if self.credits != u64::MAX {
             self.credits -= 1;
         }
+        // Framing stages the element's bytes into a packet payload.
+        self.copies.add_bytes(T::DATATYPE.size_bytes());
         let full = self.framer.push(value);
         // Flush the partial packet at the message end and, in credit mode,
         // when the window closes — otherwise a window smaller than the
@@ -212,7 +230,7 @@ impl<T: SmiType> SendChannel<T> {
         if let Some(pkt) = maybe_pkt {
             // Per-element pushes forward each completed packet immediately:
             // lockstep programs rely on packet-granularity progress.
-            self.staged.push(pkt);
+            self.staged.push(pkt.into());
             self.flush_staged()?;
         }
         Ok(())
@@ -235,7 +253,7 @@ impl<T: SmiType> SendChannel<T> {
                 self.wait_credit()?;
             }
             i += self.frame_chunk(&values[i..]);
-            if self.staged.len() >= self.max_burst || self.must_flush_now() {
+            if self.staged_packets() >= self.max_burst || self.must_flush_now() {
                 self.flush_staged()?;
             }
         }
@@ -264,7 +282,7 @@ impl<T: SmiType> SendChannel<T> {
                 }
             }
             consumed += self.frame_chunk(&values[consumed..]);
-            if (self.staged.len() >= self.max_burst || self.must_flush_now())
+            if (self.staged_packets() >= self.max_burst || self.must_flush_now())
                 && !self.try_flush_staged()?
             {
                 break;
@@ -280,24 +298,54 @@ impl<T: SmiType> SendChannel<T> {
         Ok(consumed)
     }
 
-    /// Frame up to one packet's worth of `values` (bounded by the credit
-    /// window), staging a completed packet. Returns elements consumed.
+    /// Frame a chunk of `values` (bounded by the credit window), staging
+    /// completed frames. Returns elements consumed.
+    ///
+    /// With `zero_copy` on and no partial packet pending, a whole span of
+    /// elements (up to `max_burst` packets' worth) is wrapped into one
+    /// refcounted [`Frame::Run`] — the single copy the in-memory plane pays
+    /// for this data. Otherwise elements go through the packet framer, one
+    /// packet per call.
     fn frame_chunk(&mut self, values: &[T]) -> usize {
         let mut avail = values.len();
         if self.credits != u64::MAX {
             avail = avail.min(self.credits as usize);
         }
         avail = avail.min((self.count - self.sent) as usize);
-        let (taken, maybe_pkt) = self.framer.push_slice(&values[..avail]);
+        let epp = T::DATATYPE.elems_per_packet();
+        let taken = if self.zero_copy && self.framer.pending() == 0 && avail >= epp {
+            let mut take = avail.min(self.max_burst.max(1) * epp);
+            // Keep runs whole-packet aligned except at the message end, so
+            // the materialized packet stream never carries a partial packet
+            // mid-message.
+            if (self.sent + take as u64) < self.count {
+                take -= take % epp;
+            }
+            let h = self.framer.header_template();
+            self.copies.add_bytes(take * T::DATATYPE.size_bytes());
+            self.staged.push(Frame::Run(PacketRun::from_elems(
+                h.src,
+                h.dst,
+                h.port,
+                h.op,
+                &values[..take],
+            )));
+            take
+        } else {
+            let (taken, maybe_pkt) = self.framer.push_slice(&values[..avail]);
+            self.copies.add_bytes(taken * T::DATATYPE.size_bytes());
+            if let Some(pkt) = maybe_pkt {
+                self.staged.push(pkt.into());
+            }
+            taken
+        };
         self.sent += taken as u64;
         if self.credits != u64::MAX {
             self.credits -= taken as u64;
         }
-        if let Some(pkt) = maybe_pkt {
-            self.staged.push(pkt);
-        } else if self.must_flush_now() {
+        if self.must_flush_now() {
             if let Some(pkt) = self.framer.flush() {
-                self.staged.push(pkt);
+                self.staged.push(pkt.into());
             }
         }
         taken
@@ -341,7 +389,7 @@ impl<T: SmiType> Drop for SendChannel<T> {
         // drains the FIFO.
         if let Some(res) = self.res.take() {
             if let Some(pkt) = self.framer.flush() {
-                self.staged.push(pkt);
+                self.staged.push(pkt.into());
             }
             if !self.staged.is_empty() {
                 let _ = res.to_cks.try_send(std::mem::take(&mut self.staged));
@@ -368,6 +416,7 @@ pub struct RecvChannel<T: SmiType> {
     /// checked at packet boundaries on the bulk paths.
     ungranted: u64,
     timeout: Duration,
+    copies: CopyMeter,
     health: FabricHealth,
     _elem: PhantomData<T>,
 }
@@ -391,7 +440,10 @@ impl<T: SmiType> RecvChannel<T> {
                 requested: T::DATATYPE,
             });
         }
-        let health = table.lock().health.clone();
+        let (health, copies) = {
+            let t = table.lock();
+            (t.health.clone(), t.copies.clone())
+        };
         Ok(RecvChannel {
             port,
             count,
@@ -404,18 +456,27 @@ impl<T: SmiType> RecvChannel<T> {
             protocol,
             ungranted: 0,
             timeout,
+            copies,
             health,
             _elem: PhantomData,
         })
     }
 
-    fn refill(&mut self, pkt: NetworkPacket) -> Result<(), SmiError> {
-        if pkt.header.op != PacketOp::Send {
+    /// Stage an arrived frame into the deframer. Inline packets cost a
+    /// payload copy; run frames hand their refcounted buffer over whole.
+    fn refill(&mut self, frame: Frame) -> Result<(), SmiError> {
+        if frame.header().op != PacketOp::Send {
             return Err(SmiError::ProtocolViolation {
-                detail: format!("unexpected {:?} on p2p recv path", pkt.header.op),
+                detail: format!("unexpected {:?} on p2p recv path", frame.header().op),
             });
         }
-        self.deframer.refill(pkt);
+        match frame {
+            Frame::Pkt(p) => {
+                self.copies.add_packets(1);
+                self.deframer.refill(p);
+            }
+            Frame::Run(r) => self.deframer.refill_run(r.payload),
+        }
         Ok(())
     }
 
@@ -452,7 +513,7 @@ impl<T: SmiType> RecvChannel<T> {
                 &self.health,
             )?;
         } else {
-            match res.grant_tx.try_send(vec![grant]) {
+            match res.grant_tx.try_send(vec![grant.into()]) {
                 Ok(()) => {}
                 Err(TrySendError::Full(_)) => return Ok(()), // retry later
                 Err(TrySendError::Disconnected(_)) => return Err(SmiError::TransportClosed),
@@ -471,12 +532,13 @@ impl<T: SmiType> RecvChannel<T> {
             let got = {
                 let res = self.res.as_mut().expect("resource held while open");
                 res.from_ckr
-                    .recv_packet(self.timeout, "message data", &self.health)
+                    .recv_frame(self.timeout, "message data", &self.health)
             };
-            let pkt = got.map_err(|e| self.health.escalate(e))?;
-            self.refill(pkt)?;
+            let frame = got.map_err(|e| self.health.escalate(e))?;
+            self.refill(frame)?;
         }
         let v = self.deframer.pop::<T>().expect("non-empty deframer");
+        self.copies.add_bytes(T::DATATYPE.size_bytes());
         self.received += 1;
         self.ungranted += u64::from(matches!(self.protocol, Protocol::Credit { .. }));
         self.maybe_grant(true)?;
@@ -499,10 +561,10 @@ impl<T: SmiType> RecvChannel<T> {
                 let got = {
                     let res = self.res.as_mut().expect("resource held while open");
                     res.from_ckr
-                        .recv_packet(self.timeout, "message data", &self.health)
+                        .recv_frame(self.timeout, "message data", &self.health)
                 };
-                let pkt = got.map_err(|e| self.health.escalate(e))?;
-                self.refill(pkt)?;
+                let frame = got.map_err(|e| self.health.escalate(e))?;
+                self.refill(frame)?;
             }
             filled += self.drain_deframer(&mut out[filled..]);
             self.maybe_grant(true)?;
@@ -523,9 +585,12 @@ impl<T: SmiType> RecvChannel<T> {
         let mut filled = 0usize;
         while filled < out.len() {
             if self.deframer.is_empty() {
-                let res = self.res.as_mut().expect("resource held while open");
-                match res.from_ckr.try_recv_packet()? {
-                    Some(pkt) => self.refill(pkt)?,
+                let got = {
+                    let res = self.res.as_mut().expect("resource held while open");
+                    res.from_ckr.try_recv_frame()?
+                };
+                match got {
+                    Some(frame) => self.refill(frame)?,
                     None => break,
                 }
             }
@@ -547,6 +612,9 @@ impl<T: SmiType> RecvChannel<T> {
     fn drain_deframer(&mut self, out: &mut [T]) -> usize {
         let cap = out.len().min((self.count - self.received) as usize);
         let n = self.deframer.pop_slice(&mut out[..cap]);
+        // The final, semantically required copy: elements land in the
+        // consumer's slice.
+        self.copies.add_bytes(n * T::DATATYPE.size_bytes());
         self.received += n as u64;
         if matches!(self.protocol, Protocol::Credit { .. }) {
             self.ungranted += n as u64;
@@ -578,7 +646,7 @@ impl<T: SmiType> Drop for RecvChannel<T> {
                     PacketOp::Credit,
                     self.ungranted as u32,
                 );
-                let _ = res.grant_tx.try_send(vec![grant]);
+                let _ = res.grant_tx.try_send(vec![grant.into()]);
             }
             self.table.lock().put_recv(self.port, res);
         }

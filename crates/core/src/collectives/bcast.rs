@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 
-use smi_wire::{Deframer, Framer, NetworkPacket, PacketOp, SmiType};
+use smi_wire::{Deframer, Frame, Framer, NetworkPacket, PacketOp, PacketRun, SmiType};
 
 use crate::collectives::topology::{CollectiveScheme, TreeShape};
 use crate::collectives::{expect_op, CollectivePoll, CollectiveState};
@@ -47,18 +47,21 @@ pub struct BcastChannel<T: SmiType> {
     ready: usize,
     /// Non-root: whether the own (subtree-)ready announcement is staged.
     sync_staged: bool,
-    /// Completed packets awaiting fan-out: the root's framed app stream,
+    /// Completed frames awaiting fan-out: the root's framed app stream,
     /// or an interior node's received-from-parent window. Staging fans the
     /// whole window out grouped per destination (one burst-sized window,
     /// so the CKS sees long same-route runs instead of alternating
-    /// destinations).
-    window: Vec<NetworkPacket>,
-    /// Interior: elements received from the parent and copied into the
+    /// destinations). Run frames fan out as re-addressed `Arc` clones.
+    window: Vec<Frame>,
+    /// Interior: elements received from the parent and queued into the
     /// fan-out window so far.
     fwd_elems: u64,
-    /// Interior: received packets pending local deframing (the forwarding
+    /// Interior: received frames pending local deframing (the forwarding
     /// duty must not wait for the local application to pop).
-    inbox: VecDeque<NetworkPacket>,
+    inbox: VecDeque<Frame>,
+    /// Whether the root wraps whole-packet spans into refcounted runs
+    /// ([`crate::RuntimeParams::zero_copy`]).
+    zero_copy: bool,
     state: CollectiveState,
     framer: Framer,
     deframer: Deframer,
@@ -96,6 +99,7 @@ impl<T: SmiType> BcastChannel<T> {
             window: Vec::new(),
             fwd_elems: 0,
             inbox: VecDeque::new(),
+            zero_copy: params.zero_copy,
             state: CollectiveState::Opening,
             framer: Framer::new(T::DATATYPE, my_wire, 0, port_wire, PacketOp::Bcast),
             deframer: Deframer::new(T::DATATYPE),
@@ -182,7 +186,7 @@ impl<T: SmiType> BcastChannel<T> {
     /// the staged burst without bound.
     fn pump_forward(&mut self) -> Result<(), SmiError> {
         loop {
-            if self.window.len() >= self.io.max_burst()
+            if self.window_packets() >= self.io.max_burst()
                 || (self.fwd_elems == self.count && !self.window.is_empty())
             {
                 self.stage_fanout();
@@ -193,23 +197,41 @@ impl<T: SmiType> BcastChannel<T> {
             if self.io.stage_full() && !self.io.try_flush()? {
                 break;
             }
-            match self.io.try_recv_data()? {
-                Some(pkt) => {
-                    expect_op(&pkt, PacketOp::Bcast)?;
-                    let k = pkt.header.count as u64;
+            match self.io.try_recv_data_frame()? {
+                Some(frame) => {
+                    if frame.header().op != PacketOp::Bcast {
+                        return Err(SmiError::ProtocolViolation {
+                            detail: format!(
+                                "expected {:?}, got {:?}",
+                                PacketOp::Bcast,
+                                frame.header().op
+                            ),
+                        });
+                    }
+                    let k = frame.elems() as u64;
                     if self.fwd_elems + k > self.count {
                         return Err(SmiError::ProtocolViolation {
                             detail: "bcast stream overran the channel count".into(),
                         });
                     }
                     self.fwd_elems += k;
-                    self.window.push(pkt);
-                    self.inbox.push_back(pkt);
+                    // Duplicating an inline packet into the local inbox is
+                    // a payload copy; cloning a run is an `Arc` handle.
+                    if matches!(frame, Frame::Pkt(_)) {
+                        self.io.meter().add_packets(1);
+                    }
+                    self.inbox.push_back(frame.clone());
+                    self.window.push(frame);
                 }
                 None => break,
             }
         }
         Ok(())
+    }
+
+    /// Wire packets the fan-out window stands for (runs count whole).
+    fn window_packets(&self) -> usize {
+        self.window.iter().map(|f| f.packet_count()).sum()
     }
 
     /// Fan the buffered window out to every child, grouped per destination.
@@ -238,21 +260,44 @@ impl<T: SmiType> BcastChannel<T> {
                 return Ok(0);
             }
             let mut consumed = 0usize;
+            let epp = T::DATATYPE.elems_per_packet();
+            let sz = T::DATATYPE.size_bytes();
             while consumed < data.len() {
-                let (take, pkt) = self.framer.push_slice(&data[consumed..]);
-                consumed += take;
-                self.done += take as u64;
-                let maybe = pkt.or_else(|| {
-                    if self.done == self.count {
-                        self.framer.flush()
-                    } else {
-                        None
+                let remaining = &data[consumed..];
+                if self.zero_copy && self.framer.pending() == 0 && remaining.len() >= epp {
+                    // Wrap a whole-packet span into one refcounted run: the
+                    // single copy the in-memory fan-out pays.
+                    let mut take = remaining.len().min(self.io.max_burst().max(1) * epp);
+                    if (self.done + take as u64) < self.count {
+                        take -= take % epp;
                     }
-                });
-                if let Some(p) = maybe {
-                    self.window.push(p);
+                    self.io.meter().add_bytes(take * sz);
+                    self.window.push(Frame::Run(PacketRun::from_elems(
+                        self.my_wire,
+                        0,
+                        self.port_wire,
+                        PacketOp::Bcast,
+                        &remaining[..take],
+                    )));
+                    consumed += take;
+                    self.done += take as u64;
+                } else {
+                    let (take, pkt) = self.framer.push_slice(remaining);
+                    self.io.meter().add_bytes(take * sz);
+                    consumed += take;
+                    self.done += take as u64;
+                    let maybe = pkt.or_else(|| {
+                        if self.done == self.count {
+                            self.framer.flush()
+                        } else {
+                            None
+                        }
+                    });
+                    if let Some(p) = maybe {
+                        self.window.push(p.into());
+                    }
                 }
-                if self.window.len() >= self.io.max_burst() || self.done == self.count {
+                if self.window_packets() >= self.io.max_burst() || self.done == self.count {
                     self.stage_fanout();
                     if !self.io.try_flush()? {
                         break;
@@ -267,23 +312,36 @@ impl<T: SmiType> BcastChannel<T> {
                 if self.deframer.is_empty() {
                     let next = if self.is_interior() {
                         // Interior: the forwarding pump validated and
-                        // queued the packet already.
+                        // queued the frame already.
                         self.inbox.pop_front()
                     } else {
-                        match self.io.try_recv_data()? {
-                            Some(pkt) => {
-                                expect_op(&pkt, PacketOp::Bcast)?;
-                                Some(pkt)
+                        match self.io.try_recv_data_frame()? {
+                            Some(frame) => {
+                                if frame.header().op != PacketOp::Bcast {
+                                    return Err(SmiError::ProtocolViolation {
+                                        detail: format!(
+                                            "expected {:?}, got {:?}",
+                                            PacketOp::Bcast,
+                                            frame.header().op
+                                        ),
+                                    });
+                                }
+                                Some(frame)
                             }
                             None => None,
                         }
                     };
                     match next {
-                        Some(pkt) => self.deframer.refill(pkt),
+                        Some(Frame::Pkt(p)) => {
+                            self.io.meter().add_packets(1);
+                            self.deframer.refill(p);
+                        }
+                        Some(Frame::Run(r)) => self.deframer.refill_run(r.payload),
                         None => break,
                     }
                 }
                 let n = self.deframer.pop_slice(&mut data[filled..]);
+                self.io.meter().add_bytes(n * T::DATATYPE.size_bytes());
                 filled += n;
                 self.done += n as u64;
             }

@@ -15,13 +15,17 @@
 //! the deterministic `schedule` order and forwards
 //! the merged stream to its parent. Flow control uses element-granular
 //! `Credit` grants per tree edge — a parent grants a child exactly the
-//! elements of the child's next schedule run when that run comes up, so
-//! grants are tail-exact by construction (the gather analogue of the
-//! reduce tail-window clamp) and arrive on the credit delivery path, where
-//! they can never be head-of-line blocked by in-flight data. All nodes
-//! start in `Streaming` (grants gate data, not the open), and packets
-//! never straddle member-block boundaries, so interior forwarding is plain
-//! counting.
+//! elements of the child's schedule run, so grants are tail-exact by
+//! construction (the gather analogue of the reduce tail-window clamp) and
+//! arrive on the credit delivery path, where they can never be
+//! head-of-line blocked by in-flight data. Grants are pipelined: a parent
+//! grants up to [`RuntimeParams::gather_grant_ahead`] child runs ahead of
+//! its merge cursor, so the next child's data is already in flight when
+//! the cursor reaches it; early packets from a granted-ahead child are
+//! parked in a per-child stash (bounded by the granted window) until their
+//! run comes up. All nodes start in `Streaming` (grants gate data, not the
+//! open), and packets never straddle member-block boundaries, so interior
+//! forwarding is plain counting.
 
 use std::collections::VecDeque;
 use std::marker::PhantomData;
@@ -63,8 +67,15 @@ pub struct GatherChannel<T: SmiType> {
     subtree_elems: u64,
     run_idx: usize,
     run_off: u64,
-    /// Tree: whether the current `Child` run's grant is staged.
-    run_granted: bool,
+    /// Tree: schedule index below which every `Child` run's grant is staged
+    /// (the pipelined-grant cursor; always `>= run_idx` once pumping).
+    granted_upto: usize,
+    /// Tree: how many runs ahead of the merge cursor to grant (≥ 1).
+    grant_ahead: usize,
+    /// Tree: per-child parking lot for packets that arrived ahead of the
+    /// merge cursor from a granted-ahead child. Bounded by the granted
+    /// window (`grant_ahead` runs of `count` elements each).
+    stash: Vec<VecDeque<NetworkPacket>>,
     /// Tree non-root: elements this node may still emit upward.
     upstream_credits: u64,
     /// Tree non-root: elements emitted upward so far.
@@ -110,6 +121,7 @@ impl<T: SmiType> GatherChannel<T> {
         let port_wire = smi_wire::header::port_to_wire(port)?;
         let my_wire = smi_wire::header::rank_to_wire(my_world)?;
         let parent_wire = parent.unwrap_or(root_world);
+        let stash = vec![VecDeque::new(); children.len()];
         Ok(GatherChannel {
             count,
             num_members: comm.size(),
@@ -127,7 +139,9 @@ impl<T: SmiType> GatherChannel<T> {
             subtree_elems,
             run_idx: 0,
             run_off: 0,
-            run_granted: false,
+            granted_upto: 0,
+            grant_ahead: params.gather_grant_ahead.max(1),
+            stash,
             upstream_credits: 0,
             emitted: 0,
             pending_fwd: None,
@@ -213,28 +227,70 @@ impl<T: SmiType> GatherChannel<T> {
         Ok(())
     }
 
-    /// Stage the grant for the current `Child` run, once. The wire carries
-    /// a 32-bit credit argument, so a run beyond `u32::MAX` elements is
+    /// Stage credit grants for upcoming `Child` runs, up to `grant_ahead`
+    /// runs past the merge cursor (pipelined multi-window grants): the next
+    /// child's run is in flight while the current one is still merging.
+    /// Each run is granted exactly once, element-exact. The wire carries a
+    /// 32-bit credit argument, so a run beyond `u32::MAX` elements is
     /// granted as multiple packets instead of silently truncating.
-    fn grant_current_run(&mut self, child: usize, run_elems: u64) -> Result<(), SmiError> {
-        if !self.run_granted {
-            let mut left = run_elems;
-            while left > 0 {
-                let chunk = left.min(u32::MAX as u64);
-                let pkt = NetworkPacket::control(
-                    self.my_wire,
-                    self.children[child] as u8,
-                    self.port_wire,
-                    PacketOp::Credit,
-                    chunk as u32,
-                );
-                self.io.stage(pkt);
-                left -= chunk;
+    fn grant_runs_ahead(&mut self) -> Result<(), SmiError> {
+        let horizon = (self.run_idx + self.grant_ahead).min(self.schedule.len());
+        let mut staged = false;
+        while self.granted_upto < horizon {
+            let run = self.schedule[self.granted_upto];
+            // `Own` runs need no grant but still advance the cursor.
+            if let RunTarget::Child(c) = run.target {
+                let mut left = run.elems(self.count);
+                while left > 0 {
+                    let chunk = left.min(u32::MAX as u64);
+                    let pkt = NetworkPacket::control(
+                        self.my_wire,
+                        self.children[c] as u8,
+                        self.port_wire,
+                        PacketOp::Credit,
+                        chunk as u32,
+                    );
+                    self.io.stage(pkt);
+                    left -= chunk;
+                }
+                staged = true;
             }
-            self.run_granted = true;
+            self.granted_upto += 1;
+        }
+        if staged {
             self.io.try_flush()?;
         }
         Ok(())
+    }
+
+    /// Drain every delivered data packet into its child's stash. Granted-
+    /// ahead children send while this node is still merging an earlier run
+    /// (possibly gated on upstream credits), so the delivery FIFO must
+    /// always be emptied — a full FIFO would block the rank's CK kernel
+    /// and, with it, unrelated traffic forwarded through this rank. Stash
+    /// growth is bounded by the granted windows (`grant_ahead` runs per
+    /// child). Data from a non-child source is a protocol violation.
+    fn drain_into_stash(&mut self) -> Result<(), SmiError> {
+        while let Some(pkt) = self.io.try_recv_data()? {
+            expect_op(&pkt, PacketOp::Gather)?;
+            let src = pkt.header.src as usize;
+            match self.children.iter().position(|&w| w == src) {
+                Some(c) => self.stash[c].push_back(pkt),
+                None => {
+                    return Err(SmiError::ProtocolViolation {
+                        detail: format!("gather data from {src}, not a child of this node"),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pull the next data packet for child `c` (communicator-tree index),
+    /// via that child's stash. `Ok(None)` means nothing for `c` arrived yet.
+    fn recv_child_packet(&mut self, c: usize) -> Result<Option<NetworkPacket>, SmiError> {
+        self.drain_into_stash()?;
+        Ok(self.stash[c].pop_front())
     }
 
     /// Tree non-root merge duty: emit this node's subtree stream to its
@@ -243,10 +299,12 @@ impl<T: SmiType> GatherChannel<T> {
     /// granularity — bounded by the upstream credit window.
     fn pump_up(&mut self) -> Result<(), SmiError> {
         self.absorb_credits()?;
+        self.drain_into_stash()?;
         while self.run_idx < self.schedule.len() {
             if self.io.stage_full() && !self.io.try_flush()? {
                 break;
             }
+            self.grant_runs_ahead()?;
             let run = self.schedule[self.run_idx];
             let run_elems = run.elems(self.count);
             match run.target {
@@ -267,6 +325,7 @@ impl<T: SmiType> GatherChannel<T> {
                             None => break,
                         };
                         let pkt = self.framer.push(&v);
+                        self.io.meter().add_bytes(T::DATATYPE.size_bytes());
                         self.run_off += 1;
                         self.emitted += 1;
                         self.upstream_credits -= 1;
@@ -289,23 +348,13 @@ impl<T: SmiType> GatherChannel<T> {
                     }
                 }
                 RunTarget::Child(c) => {
-                    self.grant_current_run(c, run_elems)?;
                     let pkt = match self.pending_fwd.take() {
                         Some(pkt) => pkt,
-                        None => match self.io.try_recv_data()? {
+                        None => match self.recv_child_packet(c)? {
                             Some(pkt) => pkt,
                             None => break,
                         },
                     };
-                    expect_op(&pkt, PacketOp::Gather)?;
-                    if pkt.header.src as usize != self.children[c] {
-                        return Err(SmiError::ProtocolViolation {
-                            detail: format!(
-                                "gather order violated: data from {} while merging child {}",
-                                pkt.header.src, self.children[c]
-                            ),
-                        });
-                    }
                     let k = pkt.header.count as u64;
                     if self.run_off + k > run_elems {
                         return Err(SmiError::ProtocolViolation {
@@ -334,7 +383,6 @@ impl<T: SmiType> GatherChannel<T> {
             if self.run_off == run_elems {
                 self.run_idx += 1;
                 self.run_off = 0;
-                self.run_granted = false;
             }
         }
         Ok(())
@@ -354,6 +402,9 @@ impl<T: SmiType> GatherChannel<T> {
         if self.is_root || self.tree() {
             // Own contribution: buffered locally, merged on schedule.
             self.local.extend(values.iter().copied());
+            self.io
+                .meter()
+                .add_bytes(values.len() * T::DATATYPE.size_bytes());
             self.pushed += values.len() as u64;
             self.advance()?;
             return Ok(values.len());
@@ -368,6 +419,7 @@ impl<T: SmiType> GatherChannel<T> {
         let mut consumed = 0usize;
         while consumed < values.len() {
             let (take, pkt) = self.framer.push_slice(&values[consumed..]);
+            self.io.meter().add_bytes(take * T::DATATYPE.size_bytes());
             consumed += take;
             self.pushed += take as u64;
             let maybe = if self.pushed == self.count {
@@ -461,6 +513,7 @@ impl<T: SmiType> GatherChannel<T> {
                 for slot in out[filled..filled + take].iter_mut() {
                     *slot = self.local.pop_front().expect("sized above");
                 }
+                self.io.meter().add_bytes(take * T::DATATYPE.size_bytes());
                 filled += take;
                 self.popped += take as u64;
                 continue;
@@ -491,6 +544,7 @@ impl<T: SmiType> GatherChannel<T> {
                                 ),
                             });
                         }
+                        self.io.meter().add_packets(1);
                         self.deframer.refill(pkt);
                     }
                     None => break,
@@ -498,6 +552,7 @@ impl<T: SmiType> GatherChannel<T> {
             }
             let cap = slice_left.min(out.len() - filled);
             let n = self.deframer.pop_slice(&mut out[filled..filled + cap]);
+            self.io.meter().add_bytes(n * T::DATATYPE.size_bytes());
             filled += n;
             self.popped += n as u64;
         }
@@ -511,8 +566,10 @@ impl<T: SmiType> GatherChannel<T> {
     /// element-exact `Credit` as it comes up.
     fn try_pop_slice_tree(&mut self, out: &mut [T]) -> Result<usize, SmiError> {
         let total = self.count * self.num_members as u64;
+        self.drain_into_stash()?;
         let mut filled = 0usize;
         while filled < out.len() && self.run_idx < self.schedule.len() {
+            self.grant_runs_ahead()?;
             let run = self.schedule[self.run_idx];
             let run_elems = run.elems(self.count);
             match run.target {
@@ -525,25 +582,16 @@ impl<T: SmiType> GatherChannel<T> {
                     for slot in out[filled..filled + take].iter_mut() {
                         *slot = self.local.pop_front().expect("sized above");
                     }
+                    self.io.meter().add_bytes(take * T::DATATYPE.size_bytes());
                     filled += take;
                     self.popped += take as u64;
                     self.run_off += take as u64;
                 }
                 RunTarget::Child(c) => {
-                    self.grant_current_run(c, run_elems)?;
                     if self.deframer.is_empty() {
-                        match self.io.try_recv_data()? {
+                        match self.recv_child_packet(c)? {
                             Some(pkt) => {
-                                expect_op(&pkt, PacketOp::Gather)?;
-                                if pkt.header.src as usize != self.children[c] {
-                                    return Err(SmiError::ProtocolViolation {
-                                        detail: format!(
-                                            "gather order violated: data from {} while merging \
-                                             child {}",
-                                            pkt.header.src, self.children[c]
-                                        ),
-                                    });
-                                }
+                                self.io.meter().add_packets(1);
                                 self.deframer.refill(pkt);
                             }
                             None => break,
@@ -554,6 +602,7 @@ impl<T: SmiType> GatherChannel<T> {
                     if n == 0 {
                         break;
                     }
+                    self.io.meter().add_bytes(n * T::DATATYPE.size_bytes());
                     filled += n;
                     self.popped += n as u64;
                     self.run_off += n as u64;
@@ -562,7 +611,6 @@ impl<T: SmiType> GatherChannel<T> {
             if self.run_off == run_elems {
                 self.run_idx += 1;
                 self.run_off = 0;
-                self.run_granted = false;
             }
         }
         if self.popped == total {

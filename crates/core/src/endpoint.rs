@@ -19,10 +19,10 @@ use std::time::Duration;
 use crossbeam::channel::{Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use smi_codegen::OpKind;
-use smi_wire::{Datatype, NetworkPacket, ReduceOp};
+use smi_wire::{Datatype, Frame, NetworkPacket, PacketRun, ReduceOp};
 
 use crate::transport::socket::FabricHealth;
-use crate::transport::Burst;
+use crate::transport::{meter_inline_data, Burst, CopyMeter};
 use crate::SmiError;
 
 /// The wait slice blocking waits use so the fabric-health board is checked
@@ -71,23 +71,75 @@ pub(crate) fn send_packet(
     waiting_for: &'static str,
     health: &FabricHealth,
 ) -> Result<(), SmiError> {
-    send_burst(tx, vec![pkt], timeout, waiting_for, health)
+    send_burst(tx, vec![pkt.into()], timeout, waiting_for, health)
 }
 
-/// Receive side of a burst FIFO, unbatched into single packets. The pending
-/// queue holds the tail of the last burst.
+/// Receive side of a burst FIFO, unbatched back into a frame (or packet)
+/// stream. The pending queue holds the tail of the last burst.
+///
+/// Frame-aware consumers ([`PacketRx::try_recv_frame`]) receive
+/// [`Frame::Run`]s whole — an `Arc` handle move, no payload copy. The
+/// packet-oriented receives materialize runs one packet at a time (a
+/// metered copy per packet), so protocol paths that reason packet-wise
+/// keep working whatever the sender staged.
 #[derive(Debug)]
 pub(crate) struct PacketRx {
     rx: Receiver<Burst>,
-    pending: VecDeque<NetworkPacket>,
+    pending: VecDeque<Frame>,
+    /// A run being materialized packet-by-packet: `(run, next packet idx)`.
+    partial: Option<(PacketRun, usize)>,
+    meter: CopyMeter,
 }
 
 impl PacketRx {
-    pub fn new(rx: Receiver<Burst>) -> Self {
+    pub fn new(rx: Receiver<Burst>, meter: CopyMeter) -> Self {
         PacketRx {
             rx,
             pending: VecDeque::new(),
+            partial: None,
+            meter,
         }
+    }
+
+    /// Stage an arrived burst into the pending queue. Copying inline data
+    /// packets into the queue is a real payload-plane copy and is metered;
+    /// run frames move as handles.
+    fn absorb(&mut self, b: Burst) {
+        meter_inline_data(&self.meter, &b);
+        self.pending.extend(b);
+    }
+
+    /// Next buffered packet, materializing runs packet-by-packet (metered).
+    fn pop_pending_packet(&mut self) -> Option<NetworkPacket> {
+        loop {
+            if let Some((run, idx)) = &mut self.partial {
+                let pkt = run.packet(*idx);
+                *idx += 1;
+                if *idx == run.packet_count() {
+                    self.partial = None;
+                }
+                self.meter.add_packets(1);
+                return Some(pkt);
+            }
+            match self.pending.pop_front() {
+                Some(Frame::Pkt(p)) => return Some(p),
+                Some(Frame::Run(r)) => {
+                    if r.packet_count() > 0 {
+                        self.partial = Some((r, 0));
+                    }
+                }
+                None => return None,
+            }
+        }
+    }
+
+    /// Next buffered frame. A half-materialized run resumes as packets so
+    /// mixed packet/frame consumption never reorders elements.
+    fn pop_pending_frame(&mut self) -> Option<Frame> {
+        if self.partial.is_some() {
+            return self.pop_pending_packet().map(Frame::Pkt);
+        }
+        self.pending.pop_front()
     }
 
     /// Blocking packet receive with the runtime's timeout and uniform error
@@ -103,11 +155,11 @@ impl PacketRx {
         use std::time::Instant;
         let mut deadline = Instant::now() + timeout;
         loop {
-            if let Some(p) = self.pending.pop_front() {
+            if let Some(p) = self.pop_pending_packet() {
                 return Ok(p);
             }
             match self.rx.recv_timeout(timeout.min(HEALTH_POLL_SLICE)) {
-                Ok(b) => self.pending.extend(b),
+                Ok(b) => self.absorb(b),
                 Err(RecvTimeoutError::Timeout) => {
                     if health.any_reconnecting() {
                         deadline = Instant::now() + timeout;
@@ -124,11 +176,56 @@ impl PacketRx {
     pub fn try_recv_packet(&mut self) -> Result<Option<NetworkPacket>, SmiError> {
         use crossbeam::channel::TryRecvError;
         loop {
-            if let Some(p) = self.pending.pop_front() {
+            if let Some(p) = self.pop_pending_packet() {
                 return Ok(Some(p));
             }
             match self.rx.try_recv() {
-                Ok(b) => self.pending.extend(b),
+                Ok(b) => self.absorb(b),
+                Err(TryRecvError::Empty) => return Ok(None),
+                Err(TryRecvError::Disconnected) => return Err(SmiError::TransportClosed),
+            }
+        }
+    }
+
+    /// Blocking frame receive — the frame-aware twin of
+    /// [`PacketRx::recv_packet`], with the same timeout/health semantics.
+    pub fn recv_frame(
+        &mut self,
+        timeout: std::time::Duration,
+        waiting_for: &'static str,
+        health: &FabricHealth,
+    ) -> Result<Frame, SmiError> {
+        use crossbeam::channel::RecvTimeoutError;
+        use std::time::Instant;
+        let mut deadline = Instant::now() + timeout;
+        loop {
+            if let Some(f) = self.pop_pending_frame() {
+                return Ok(f);
+            }
+            match self.rx.recv_timeout(timeout.min(HEALTH_POLL_SLICE)) {
+                Ok(b) => self.absorb(b),
+                Err(RecvTimeoutError::Timeout) => {
+                    if health.any_reconnecting() {
+                        deadline = Instant::now() + timeout;
+                    } else if Instant::now() >= deadline {
+                        return Err(SmiError::Timeout { waiting_for });
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(SmiError::TransportClosed),
+            }
+        }
+    }
+
+    /// Non-blocking frame receive: run frames are delivered whole (no
+    /// payload copy) — the zero-copy consumer path.
+    pub fn try_recv_frame(&mut self) -> Result<Option<Frame>, SmiError> {
+        use crossbeam::channel::TryRecvError;
+        loop {
+            if let Some(f) = self.pop_pending_frame() {
+                return Ok(Some(f));
+            }
+            match self.rx.try_recv() {
+                Ok(b) => self.absorb(b),
                 Err(TryRecvError::Empty) => return Ok(None),
                 Err(TryRecvError::Disconnected) => return Err(SmiError::TransportClosed),
             }
@@ -192,6 +289,7 @@ pub(crate) struct CollIo {
     deadline: Option<Duration>,
     max_burst: usize,
     health: FabricHealth,
+    copies: CopyMeter,
 }
 
 impl CollIo {
@@ -213,7 +311,10 @@ impl CollIo {
                 requested: dtype,
             });
         }
-        let health = table.lock().health.clone();
+        let (health, copies) = {
+            let t = table.lock();
+            (t.health.clone(), t.copies.clone())
+        };
         Ok(CollIo {
             port,
             res: Some(res),
@@ -223,6 +324,7 @@ impl CollIo {
             deadline: params.blocking_deadline,
             max_burst: params.burst_packets.max(1),
             health,
+            copies,
         })
     }
 
@@ -261,34 +363,58 @@ impl CollIo {
         self.health.clone()
     }
 
-    /// Queue a packet for transmission (data or control).
-    pub fn stage(&mut self, pkt: NetworkPacket) {
-        self.staged.push(pkt);
+    /// The rank's payload-copy meter: collectives charge their own framing,
+    /// refill and drain copies against it.
+    pub fn meter(&self) -> &CopyMeter {
+        &self.copies
     }
 
-    /// Stage a packet window once per destination in `dsts` (world ranks),
+    /// Queue a packet for transmission (data or control).
+    pub fn stage(&mut self, pkt: NetworkPacket) {
+        self.stage_frame(pkt.into());
+    }
+
+    /// Queue a frame for transmission (run frames move as handles).
+    pub fn stage_frame(&mut self, frame: Frame) {
+        self.staged.push(frame);
+    }
+
+    /// Stage a frame window once per destination in `dsts` (world ranks),
     /// grouped per child: all of child 0's copies, then child 1's, … so
     /// mixed parent/child bursts reach the CKS as maximal same-route runs.
-    /// The window is drained.
-    pub fn stage_fanout(&mut self, window: &mut Vec<NetworkPacket>, dsts: &[usize]) {
+    /// Inline packets are duplicated per child (a metered payload copy
+    /// each); run frames are re-addressed `Arc` clones — no payload moves,
+    /// which is what makes tree fan-out zero-copy. The window is drained.
+    pub fn stage_fanout(&mut self, window: &mut Vec<Frame>, dsts: &[usize]) {
         if dsts.is_empty() {
             window.clear();
             return;
         }
         for &dst in dsts {
-            for pkt in window.iter() {
-                let mut copy = *pkt;
-                copy.header.dst = dst as u8;
-                self.staged.push(copy);
+            for f in window.iter() {
+                match f {
+                    Frame::Pkt(pkt) => {
+                        let mut copy = *pkt;
+                        copy.header.dst = dst as u8;
+                        if copy.header.op.carries_data() {
+                            self.copies.add_packets(1);
+                        }
+                        self.staged.push(copy.into());
+                    }
+                    Frame::Run(run) => {
+                        self.staged.push(Frame::Run(run.with_dst(dst as u8)));
+                    }
+                }
             }
         }
         window.clear();
     }
 
     /// Whether the staging buffer reached the configured burst size and
-    /// should be offered to the transport.
+    /// should be offered to the transport. Counts wire packets, not frames,
+    /// so a staged run the size of a burst flushes like a full packet burst.
     pub fn stage_full(&self) -> bool {
-        self.staged.len() >= self.max_burst
+        self.staged.iter().map(|f| f.packet_count()).sum::<usize>() >= self.max_burst
     }
 
     /// Offer the staged burst to the transport without blocking. `Ok(true)`
@@ -318,6 +444,19 @@ impl CollIo {
     pub fn try_recv_data(&mut self) -> Result<Option<NetworkPacket>, SmiError> {
         match self.res_mut().rx.try_recv_packet()? {
             Some(p) => Ok(Some(p)),
+            None => match self.health.error() {
+                Some(e) => Err(e),
+                None => Ok(None),
+            },
+        }
+    }
+
+    /// Non-blocking frame receive from the data/sync delivery path: run
+    /// frames arrive whole (no payload copy). Same peer-death fail-fast as
+    /// [`CollIo::try_recv_data`].
+    pub fn try_recv_data_frame(&mut self) -> Result<Option<Frame>, SmiError> {
+        match self.res_mut().rx.try_recv_frame()? {
+            Some(f) => Ok(Some(f)),
             None => match self.health.error() {
                 Some(e) => Err(e),
                 None => Ok(None),
@@ -414,6 +553,10 @@ pub(crate) struct EndpointTable {
     /// process surfaces as [`SmiError::PeerDisconnected`] instead of a
     /// generic timeout.
     pub health: FabricHealth,
+    /// Payload-plane copy meter (set by the wiring; shared with every
+    /// [`PacketRx`] of the rank). Channels clone it at open to account
+    /// their own staging copies.
+    pub copies: CopyMeter,
     declared_send: Vec<usize>,
     declared_recv: Vec<usize>,
     declared_coll: Vec<(usize, OpKind)>,
@@ -425,10 +568,12 @@ pub(crate) struct EndpointTable {
 pub(crate) type EndpointTableHandle = Arc<Mutex<EndpointTable>>;
 
 impl EndpointTable {
-    /// An empty table wired to the given fabric-health board.
-    pub fn with_health(health: FabricHealth) -> EndpointTable {
+    /// An empty table wired to the given fabric-health board and payload
+    /// copy meter.
+    pub fn with_health(health: FabricHealth, copies: CopyMeter) -> EndpointTable {
         EndpointTable {
             health,
+            copies,
             ..EndpointTable::default()
         }
     }
@@ -513,7 +658,7 @@ mod tests {
         SendRes {
             dtype: Datatype::Int,
             to_cks: tx,
-            credit_rx: PacketRx::new(crx),
+            credit_rx: PacketRx::new(crx, CopyMeter::default()),
         }
     }
 
@@ -580,10 +725,10 @@ mod tests {
     fn packet_rx_unbatches_bursts() {
         use smi_wire::PacketOp;
         let (tx, rx) = bounded::<Burst>(4);
-        let mut prx = PacketRx::new(rx);
+        let mut prx = PacketRx::new(rx, CopyMeter::default());
         let pkt = |d: u8| NetworkPacket::new(0, d, 0, PacketOp::Send);
-        tx.send(vec![pkt(1), pkt(2)]).unwrap();
-        tx.send(vec![pkt(3)]).unwrap();
+        tx.send(vec![pkt(1).into(), pkt(2).into()]).unwrap();
+        tx.send(vec![pkt(3).into()]).unwrap();
         assert_eq!(prx.try_recv_packet().unwrap().unwrap().header.dst, 1);
         assert_eq!(prx.try_recv_packet().unwrap().unwrap().header.dst, 2);
         assert_eq!(
@@ -603,5 +748,41 @@ mod tests {
             prx.try_recv_packet(),
             Err(SmiError::TransportClosed)
         ));
+    }
+
+    #[test]
+    fn packet_rx_materializes_runs_for_packet_consumers() {
+        use smi_wire::PacketOp;
+        let (tx, rx) = bounded::<Burst>(4);
+        let meter = CopyMeter::default();
+        let mut prx = PacketRx::new(rx, meter.clone());
+        let elems: Vec<i32> = (0..16).collect();
+        let run = PacketRun::from_elems(0, 1, 0, PacketOp::Send, &elems);
+        tx.send(vec![Frame::Run(run)]).unwrap();
+        // 16 ints -> 7 + 7 + 2 packets, materialized lazily and metered.
+        let mut got = Vec::new();
+        while let Some(p) = prx.try_recv_packet().unwrap() {
+            for i in 0..p.header.count as usize {
+                got.push(p.read_elem::<i32>(i));
+            }
+        }
+        assert_eq!(got, elems);
+        assert_eq!(meter.count(), 3 * smi_wire::PAYLOAD_BYTES as u64);
+    }
+
+    #[test]
+    fn packet_rx_delivers_runs_whole_to_frame_consumers() {
+        use smi_wire::PacketOp;
+        let (tx, rx) = bounded::<Burst>(4);
+        let meter = CopyMeter::default();
+        let mut prx = PacketRx::new(rx, meter.clone());
+        let run = PacketRun::from_elems(0, 1, 0, PacketOp::Send, &[1.5f32; 20]);
+        tx.send(vec![Frame::Run(run)]).unwrap();
+        match prx.try_recv_frame().unwrap() {
+            Some(Frame::Run(r)) => assert_eq!(r.elems(), 20),
+            other => panic!("expected a whole run, got {other:?}"),
+        }
+        // A whole-run delivery copies no payload bytes.
+        assert_eq!(meter.count(), 0);
     }
 }

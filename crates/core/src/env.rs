@@ -117,6 +117,7 @@ impl SmiCtx {
             protocol,
             self.params.blocking_timeout,
             self.params.burst_packets,
+            self.params.zero_copy,
         )
     }
 
@@ -396,6 +397,13 @@ pub struct RunReport<T> {
     pub results: Vec<T>,
     /// `(cks_forwards, ckr_forwards, unroutable)` transport counters.
     pub transport: (u64, u64, u64),
+    /// Payload bytes copied end to end — framing, refill, fan-out
+    /// duplication, socket serialization and consumer drain all count;
+    /// `Arc` handovers do not (see [`crate::transport::CopyMeter`]).
+    /// Dividing by the elements moved gives copies-per-element; comparing
+    /// a `zero_copy: true` run against the `false` baseline quantifies
+    /// what the run-buffer plane saved.
+    pub payload_copies: u64,
     /// OS threads the runtime spawned for this run (rank threads, if any,
     /// plus executor workers).
     pub threads_spawned: usize,
@@ -676,6 +684,7 @@ pub fn run_mpmd<T: Send + 'static>(
             .map(|s| s.expect("one result per rank"))
             .collect(),
         transport: stats.snapshot(),
+        payload_copies: stats.payload_copies.count(),
         threads_spawned: outcome.threads_spawned,
         reconnects_healed: outcome.reconnects_healed,
         worker_stats: outcome.worker_stats,
@@ -833,6 +842,7 @@ pub fn run_mpmd_tasks(
     Ok(RunReport {
         results,
         transport: stats.snapshot(),
+        payload_copies: stats.payload_copies.count(),
         threads_spawned: outcome.threads_spawned,
         reconnects_healed: outcome.reconnects_healed,
         worker_stats: outcome.worker_stats,

@@ -178,6 +178,20 @@ pub struct RuntimeParams {
     /// than the whole budget is a configuration error surfaced as
     /// [`crate::SmiError::ReplayOverflow`].
     pub stream_replay_budget: usize,
+    /// Zero-copy payload plane: when `true` (default), bulk senders wrap
+    /// whole-packet element spans into refcounted run frames that in-memory
+    /// hops forward as `Arc` handles (the socket backend still serializes
+    /// at the process boundary). `false` restores the packet-by-packet
+    /// copying path — wire-identical to the historical baseline and the
+    /// reference point for [`crate::env::RunReport::payload_copies`].
+    pub zero_copy: bool,
+    /// How many child-runs ahead of the in-order gather schedule the
+    /// tree-gather combiner grants credits (pipelined multi-window grants).
+    /// `1` degenerates to strictly serial per-child windows; the default
+    /// keeps one extra child's window in flight to hide the grant
+    /// round-trip. Early packets from granted-ahead children are parked
+    /// until the schedule reaches them.
+    pub gather_grant_ahead: usize,
 }
 
 impl Default for RuntimeParams {
@@ -205,6 +219,8 @@ impl Default for RuntimeParams {
                 multiplier: 2.0,
             },
             stream_replay_budget: 4 << 20,
+            zero_copy: true,
+            gather_grant_ahead: 2,
         }
     }
 }
@@ -236,6 +252,8 @@ impl RuntimeParams {
                 multiplier: 2.0,
             },
             stream_replay_budget: 4 << 20,
+            zero_copy: true,
+            gather_grant_ahead: 2,
         }
     }
 

@@ -554,17 +554,20 @@ fn child_run(o: &Opts) -> Result<i32, String> {
         listener: Some(listener),
         hub: ReconnectHub::new(),
     };
-    let fabric = build_group_fabric(&topo, &procs, me, wiring, &params, plan.faults.as_ref())
-        .map_err(|e| format!("fabric: {e}"))?;
-    let metas = vec![workload_meta(); topo.num_ranks()];
-    let mut transport = prepare_with(
+    let stats = TransportStats::default();
+    let fabric = build_group_fabric(
         &topo,
-        &metas,
+        &procs,
+        me,
+        wiring,
         &params,
-        TransportStats::default(),
-        fabric.links,
+        plan.faults.as_ref(),
+        stats.payload_copies.clone(),
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| format!("fabric: {e}"))?;
+    let metas = vec![workload_meta(); topo.num_ranks()];
+    let mut transport =
+        prepare_with(&topo, &metas, &params, stats, fabric.links).map_err(|e| e.to_string())?;
     transport.machines.extend(fabric.pumps);
 
     let kill_at = (o.kill == Some((me, KillPhase::Stream))).then(|| (o.count / 4).max(1));

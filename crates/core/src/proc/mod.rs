@@ -46,7 +46,7 @@ use crate::transport::socket::{
     ReconnectRole, Redial, SocketConn, SocketListener, SocketStream,
 };
 use crate::transport::wiring::FabricLinks;
-use crate::transport::TransportStats;
+use crate::transport::{CopyMeter, TransportStats};
 use crate::SmiError;
 
 mod launch;
@@ -301,6 +301,7 @@ pub(crate) fn build_group_fabric(
     wiring: GroupWiring,
     params: &RuntimeParams,
     faults: Option<&FaultPlan>,
+    copies: CopyMeter,
 ) -> io::Result<GroupFabric> {
     let n = topo.num_ranks();
     let owner = proc_of(procs, n);
@@ -354,6 +355,7 @@ pub(crate) fn build_group_fabric(
             session: ps.session,
             local_proc: me,
             faults: faults.and_then(|fp| fp.injector_for(me, peer)),
+            copies: copies.clone(),
         };
         let (conn, pump) = SocketConn::new(ps.stream, cfg, health.clone())?;
         for key in tx_keys {
@@ -551,6 +553,7 @@ pub fn run_split_mpmd<T: Send + 'static>(
                             group.wiring,
                             &params,
                             faults.as_ref(),
+                            stats.payload_copies.clone(),
                         )
                         .map_err(|e| {
                             LaunchError::Plan(format!("fabric for process {}: {e}", group.idx))
@@ -667,6 +670,7 @@ pub fn run_split_mpmd_tasks(
                                 group.wiring,
                                 &params,
                                 faults.as_ref(),
+                                stats.payload_copies.clone(),
                             )
                             .map_err(|e| {
                                 LaunchError::Plan(format!("fabric for process {}: {e}", group.idx))
@@ -750,6 +754,7 @@ where
     Ok(RunReport {
         results: slots.into_iter().map(finish).collect(),
         transport: stats.snapshot(),
+        payload_copies: stats.payload_copies.count(),
         threads_spawned,
         reconnects_healed,
         worker_stats,

@@ -13,18 +13,22 @@
 //! [`Transport`]/[`TransportReceiver`] trait objects
 //! ([`crate::transport::link`]), so the same state machine drives in-memory
 //! FIFO edges and socket edges that cross a process boundary.
+//!
+//! Routing is header-only: a [`Frame::Run`] spanning many packets is routed
+//! once and forwarded as a single refcounted view — the zero-copy payload
+//! plane's fast path through the fabric.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use smi_wire::NetworkPacket;
+use smi_wire::{Frame, Header};
 
 use crate::transport::executor::{Pollable, Step};
 use crate::transport::link::{LinkRecv, LinkRx, LinkSend, LinkTx};
 use crate::transport::Burst;
 
-/// Routing verdict for one packet.
+/// Routing verdict for one frame.
 pub(crate) enum Route {
     /// Forward into output `i` of the machine's output list.
     Output(usize),
@@ -39,14 +43,14 @@ pub(crate) struct CkMachine {
     pub name: String,
     pub inputs: Vec<LinkRx>,
     pub outputs: Vec<LinkTx>,
-    /// Packet → output index.
-    pub route: Box<dyn Fn(&NetworkPacket) -> Route + Send>,
+    /// Frame header → output index.
+    pub route: Box<dyn Fn(&Header) -> Route + Send>,
     /// Polling persistence `R` (bursts drained from one input before
     /// rotating).
     pub persistence: u32,
     /// Maximum packets grouped into one forwarded burst.
     pub max_burst: usize,
-    /// Incremented per forwarded packet.
+    /// Incremented per forwarded packet (a run counts its packet span).
     pub forwards: Arc<AtomicU64>,
     /// Incremented per dropped packet.
     pub unroutable: Arc<AtomicU64>,
@@ -55,8 +59,8 @@ pub(crate) struct CkMachine {
     current: usize,
     /// A routed burst an output refused; retried before anything else.
     parked: Option<(usize, Burst)>,
-    /// Received packets not yet routed (mixed-route bursts).
-    stash: VecDeque<NetworkPacket>,
+    /// Received frames not yet routed (mixed-route bursts).
+    stash: VecDeque<Frame>,
 }
 
 impl CkMachine {
@@ -65,7 +69,7 @@ impl CkMachine {
         name: String,
         inputs: Vec<LinkRx>,
         outputs: Vec<LinkTx>,
-        route: Box<dyn Fn(&NetworkPacket) -> Route + Send>,
+        route: Box<dyn Fn(&Header) -> Route + Send>,
         persistence: u32,
         max_burst: usize,
         forwards: Arc<AtomicU64>,
@@ -91,10 +95,10 @@ impl CkMachine {
     /// Try to push a routed burst; on `Full` the burst is parked for the
     /// next poll. Returns false when the machine is now blocked.
     fn offer(&mut self, idx: usize, burst: Burst, progressed: &mut bool) -> bool {
-        let len = burst.len() as u64;
+        let packets: u64 = burst.iter().map(|f| f.packet_count() as u64).sum();
         match self.outputs[idx].offer(burst) {
             LinkSend::Accepted => {
-                self.forwards.fetch_add(len, Ordering::Relaxed);
+                self.forwards.fetch_add(packets, Ordering::Relaxed);
                 *progressed = true;
                 true
             }
@@ -119,24 +123,30 @@ impl CkMachine {
                 return false;
             }
         }
-        while let Some(&head) = self.stash.front() {
-            let idx = match (self.route)(&head) {
+        while let Some(head) = self.stash.front() {
+            let idx = match (self.route)(head.header()) {
                 Route::Output(i) => i,
                 Route::Drop => {
-                    self.stash.pop_front();
-                    self.unroutable.fetch_add(1, Ordering::Relaxed);
+                    let f = self.stash.pop_front().expect("head");
+                    self.unroutable
+                        .fetch_add(f.packet_count() as u64, Ordering::Relaxed);
                     *progressed = true;
                     continue;
                 }
             };
-            // Group the run of consecutive same-output packets into a burst.
-            let mut burst: Burst = Vec::with_capacity(self.max_burst.min(self.stash.len()));
-            burst.push(self.stash.pop_front().expect("head"));
-            while burst.len() < self.max_burst {
+            // Group the run of consecutive same-output frames into a burst,
+            // capped at `max_burst` packets (a single frame always moves).
+            let mut burst: Burst = Vec::new();
+            let head = self.stash.pop_front().expect("head");
+            let mut packets = head.packet_count();
+            burst.push(head);
+            while packets < self.max_burst {
                 match self.stash.front() {
-                    Some(p) => match (self.route)(p) {
+                    Some(f) => match (self.route)(f.header()) {
                         Route::Output(i) if i == idx => {
-                            burst.push(self.stash.pop_front().expect("next"));
+                            let f = self.stash.pop_front().expect("next");
+                            packets += f.packet_count();
+                            burst.push(f);
                         }
                         _ => break,
                     },
@@ -151,43 +161,60 @@ impl CkMachine {
     }
 
     /// Forward a received burst by carving maximal same-output runs off its
-    /// front, without restaging through the stash. A burst whose packets all
+    /// front, without restaging through the stash. A burst whose frames all
     /// share one route (the p2p bulk path) moves as-is, zero-copy; a
     /// mixed-destination burst — the collective fan-out pattern — is split
-    /// into per-run bursts in place. On backpressure the refused run is
-    /// parked and the unrouted tail is stashed for the next poll (order
-    /// within the input is preserved). Callers must ensure the stash is
-    /// empty and nothing is parked. Returns false when now blocked.
+    /// with `split_off`, *moving* each run out instead of cloning it
+    /// packet-by-packet. On backpressure the refused run is parked and the
+    /// unrouted tail is stashed for the next poll (order within the input is
+    /// preserved). Callers must ensure the stash is empty and nothing is
+    /// parked. Returns false when now blocked.
     fn forward_runs(&mut self, mut burst: Burst, progressed: &mut bool) -> bool {
-        let mut i = 0usize;
-        while i < burst.len() {
-            let idx = match (self.route)(&burst[i]) {
-                Route::Output(idx) => idx,
+        while !burst.is_empty() {
+            match (self.route)(burst[0].header()) {
+                Route::Output(idx) => {
+                    // Extend the run while the route stays the same, capped
+                    // at `max_burst` packets (a lone frame always moves).
+                    let mut packets = burst[0].packet_count();
+                    let mut j = 1;
+                    while j < burst.len() && packets < self.max_burst {
+                        match (self.route)(burst[j].header()) {
+                            Route::Output(k) if k == idx => {
+                                packets += burst[j].packet_count();
+                                j += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                    let rest = if j == burst.len() {
+                        Burst::new() // whole burst is one run: move it as-is
+                    } else {
+                        burst.split_off(j)
+                    };
+                    if !self.offer(idx, burst, progressed) {
+                        // The run is parked; keep everything after it in order.
+                        self.stash.extend(rest);
+                        return false;
+                    }
+                    burst = rest;
+                }
                 Route::Drop => {
-                    self.unroutable.fetch_add(1, Ordering::Relaxed);
+                    // Group consecutive unroutable frames into one drain.
+                    let mut j = 1;
+                    while j < burst.len() && matches!((self.route)(burst[j].header()), Route::Drop)
+                    {
+                        j += 1;
+                    }
+                    let dropped: u64 = burst[..j].iter().map(|f| f.packet_count() as u64).sum();
+                    self.unroutable.fetch_add(dropped, Ordering::Relaxed);
                     *progressed = true;
-                    i += 1;
-                    continue;
-                }
-            };
-            let mut j = i + 1;
-            while j < burst.len() && j - i < self.max_burst {
-                match (self.route)(&burst[j]) {
-                    Route::Output(k) if k == idx => j += 1,
-                    _ => break,
+                    burst = if j == burst.len() {
+                        Burst::new()
+                    } else {
+                        burst.split_off(j)
+                    };
                 }
             }
-            let run: Burst = if i == 0 && j == burst.len() {
-                std::mem::take(&mut burst) // whole burst, zero-copy
-            } else {
-                burst[i..j].to_vec()
-            };
-            if !self.offer(idx, run, progressed) {
-                // The run is parked; keep everything after it in order.
-                self.stash.extend(burst.into_iter().skip(j));
-                return false;
-            }
-            i = j;
         }
         true
     }
@@ -254,11 +281,11 @@ mod tests {
     use crate::transport::executor::ShardedExecutor;
     use crate::transport::link::{fifo_rx, fifo_tx};
     use crossbeam::channel::{bounded, Receiver};
-    use smi_wire::PacketOp;
+    use smi_wire::{NetworkPacket, PacketOp, PacketRun};
     use std::sync::atomic::AtomicBool;
 
-    fn pkt(dst: u8) -> NetworkPacket {
-        NetworkPacket::new(0, dst, 0, PacketOp::Send)
+    fn pkt(dst: u8) -> Frame {
+        NetworkPacket::new(0, dst, 0, PacketOp::Send).into()
     }
 
     fn counters() -> (Arc<AtomicU64>, Arc<AtomicU64>) {
@@ -275,7 +302,7 @@ mod tests {
             "t".into(),
             vec![fifo_rx(in_rx)],
             vec![fifo_tx(out0_tx), fifo_tx(out1_tx)],
-            Box::new(|p| Route::Output((p.header.dst % 2) as usize)),
+            Box::new(|h| Route::Output((h.dst % 2) as usize)),
             8,
             4,
             fwd.clone(),
@@ -319,6 +346,34 @@ mod tests {
     }
 
     #[test]
+    fn run_frame_routed_once_and_counted_in_packets() {
+        // A 57-element char run spans 3 packets but moves as one frame:
+        // forwards counts the packet span, the output sees one frame.
+        let (in_tx, in_rx) = bounded::<Burst>(4);
+        let (out_tx, out_rx) = bounded::<Burst>(4);
+        let (fwd, unr) = counters();
+        let m = CkMachine::new(
+            "t".into(),
+            vec![fifo_rx(in_rx)],
+            vec![fifo_tx(out_tx)],
+            Box::new(|h| Route::Output(h.dst as usize)),
+            8,
+            16,
+            fwd.clone(),
+            unr,
+        );
+        let run = PacketRun::from_elems(0, 0, 0, PacketOp::Send, &[7u8; 57]);
+        in_tx.send(vec![Frame::Run(run)]).unwrap();
+        drop(in_tx);
+        let stop = Arc::new(AtomicBool::new(false));
+        ShardedExecutor::spawn(vec![Box::new(m)], 1, stop).join();
+        let bursts: Vec<Burst> = out_rx.try_iter().collect();
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].len(), 1);
+        assert_eq!(fwd.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
     fn fanout_burst_splits_into_per_run_bursts() {
         // The tree-collective staging pattern: one burst holding a window
         // copied per child, grouped per destination (AAAA BBBB CC). The
@@ -331,7 +386,7 @@ mod tests {
             "t".into(),
             vec![fifo_rx(in_rx)],
             outs.iter().map(|(tx, _)| fifo_tx(tx.clone())).collect(),
-            Box::new(|p| Route::Output(p.header.dst as usize)),
+            Box::new(|h| Route::Output(h.dst as usize)),
             8,
             16,
             fwd.clone(),
@@ -362,8 +417,8 @@ mod tests {
             "t".into(),
             vec![fifo_rx(in_rx)],
             vec![fifo_tx(out_tx)],
-            Box::new(|p| {
-                if p.header.dst == 0 {
+            Box::new(|h| {
+                if h.dst == 0 {
                     Route::Output(0)
                 } else {
                     Route::Drop
@@ -435,7 +490,7 @@ mod tests {
         let mut seen = Vec::new();
         while seen.len() < 50 {
             for b in out_rx.try_iter() {
-                seen.extend(b.into_iter().map(|p| p.header.dst));
+                seen.extend(b.into_iter().map(|f| f.header().dst));
             }
             std::thread::yield_now();
         }

@@ -417,11 +417,18 @@ mod tests {
     use crate::transport::link::{fifo_rx, fifo_tx};
     use smi_wire::{NetworkPacket, PacketOp};
 
-    fn pkt(tag: u8) -> NetworkPacket {
+    fn pkt(tag: u8) -> smi_wire::Frame {
         let mut p = NetworkPacket::new(0, 1, 0, PacketOp::Send);
         p.payload[0] = tag;
         p.header.count = 1;
-        p
+        p.into()
+    }
+
+    fn tag(f: &smi_wire::Frame) -> u8 {
+        match f {
+            smi_wire::Frame::Pkt(p) => p.payload[0],
+            smi_wire::Frame::Run(_) => panic!("fault tests use inline packets"),
+        }
     }
 
     fn fifo() -> (LinkTx, Box<dyn TransportReceiver>) {
@@ -523,7 +530,7 @@ mod tests {
         }
         let mut tags = Vec::new();
         while let LinkRecv::Burst(b) = rx.try_recv() {
-            tags.extend(b.iter().map(|p| p.payload[0]));
+            tags.extend(b.iter().map(tag));
         }
         // Burst 1 delayed past 3 (arrives when burst 4 is offered), burst 2
         // dropped, burst 4 duplicated.
@@ -545,7 +552,7 @@ mod tests {
         let mut frx = FaultRx::new(rx, &fault);
         let mut tags = Vec::new();
         while let LinkRecv::Burst(b) = frx.try_recv() {
-            tags.extend(b.iter().map(|p| p.payload[0]));
+            tags.extend(b.iter().map(tag));
         }
         // 1 dropped, 2 delayed until after 3, 3 duplicated.
         assert_eq!(tags, vec![3, 2, 3, 4, 5]);

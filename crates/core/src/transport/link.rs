@@ -102,9 +102,9 @@ mod tests {
         let mut ltx = fifo_tx(tx);
         let mut lrx = fifo_rx(rx);
         let pkt = NetworkPacket::new(0, 1, 0, PacketOp::Send);
-        assert!(matches!(ltx.offer(vec![pkt]), LinkSend::Accepted));
+        assert!(matches!(ltx.offer(vec![pkt.into()]), LinkSend::Accepted));
         // Capacity 1: the second burst bounces back intact.
-        match ltx.offer(vec![pkt, pkt]) {
+        match ltx.offer(vec![pkt.into(), pkt.into()]) {
             LinkSend::Full(b) => assert_eq!(b.len(), 2),
             _ => panic!("expected Full"),
         }

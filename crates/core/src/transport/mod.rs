@@ -13,12 +13,62 @@ pub mod wiring;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use smi_wire::NetworkPacket;
+use smi_wire::{Frame, PAYLOAD_BYTES};
 
-/// The unit moved through transport FIFOs: a batch of packets handed over
+/// The unit moved through transport FIFOs: a batch of [`Frame`]s handed over
 /// under one queue operation. Endpoint bulk operations and CK forwarding
 /// group up to [`crate::RuntimeParams::burst_packets`] packets per burst.
-pub(crate) type Burst = Vec<NetworkPacket>;
+/// Control packets and the copying baseline travel as inline
+/// [`Frame::Pkt`]s; zero-copy bulk data travels as refcounted
+/// [`Frame::Run`] views.
+pub(crate) type Burst = Vec<Frame>;
+
+/// A shared counter of payload bytes *copied* on the payload plane — every
+/// place a payload byte is staged into a different buffer (framing, packet
+/// unbatching, deframer refill, fan-out duplication, socket serialization,
+/// consumer drain) adds to it. Queue handovers that move only a packet
+/// struct's ownership or an `Arc` handle do not count. This is what
+/// [`crate::env::RunReport::payload_copies`] reports, making every copy the
+/// zero-copy plane still performs attributable.
+#[derive(Debug, Clone, Default)]
+pub struct CopyMeter {
+    bytes: Arc<AtomicU64>,
+}
+
+impl CopyMeter {
+    /// Record `n` payload bytes copied.
+    #[inline]
+    pub fn add_bytes(&self, n: usize) {
+        self.bytes.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Record the payload area of `n` inline data packets copied (a packet
+    /// struct copy moves its full payload, valid or not).
+    #[inline]
+    pub fn add_packets(&self, n: usize) {
+        self.add_bytes(n * PAYLOAD_BYTES);
+    }
+
+    /// Total payload bytes copied so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// Count the inline data packets of a burst into a meter: the cost of
+/// copying (rather than moving) these frames into another buffer. Run
+/// frames cost nothing — only their `Arc` handle moves.
+#[inline]
+pub(crate) fn meter_inline_data(meter: &CopyMeter, burst: &[Frame]) {
+    let inline_data = burst
+        .iter()
+        .filter(|f| matches!(f, Frame::Pkt(p) if p.header.op.carries_data()))
+        .count();
+    if inline_data > 0 {
+        meter.add_packets(inline_data);
+    }
+}
 
 /// Transport-wide counters, shared with the CK machines.
 #[derive(Debug, Clone, Default)]
@@ -29,6 +79,8 @@ pub struct TransportStats {
     pub ckr_forwards: Arc<AtomicU64>,
     /// Packets dropped for lack of a route/port binding (always a bug).
     pub unroutable: Arc<AtomicU64>,
+    /// Payload bytes copied on the payload plane (see [`CopyMeter`]).
+    pub payload_copies: CopyMeter,
 }
 
 impl TransportStats {

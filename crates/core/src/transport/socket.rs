@@ -45,14 +45,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use smi_wire::{NetworkPacket, PACKET_BYTES};
+use smi_wire::{Frame, NetworkPacket, PACKET_BYTES};
 
 use crate::error::SmiError;
 use crate::params::ReconnectPolicy;
 use crate::transport::executor::{Pollable, Step};
 use crate::transport::faults::{FaultAction, FaultInjector};
 use crate::transport::link::{LinkRecv, LinkRx, LinkSend, LinkTx, Transport, TransportReceiver};
-use crate::transport::Burst;
+use crate::transport::{meter_inline_data, Burst, CopyMeter};
 
 /// Bytes of the per-burst frame header:
 /// `[src_rank u16 LE][src_qsfp u16 LE][npackets u32 LE][seq u64 LE]`.
@@ -455,22 +455,38 @@ impl Redial {
 // Frame codec
 // ---------------------------------------------------------------------------
 
+/// Total wire packets a burst of frames stands for (runs count each packet
+/// they would materialize into).
+pub(crate) fn burst_packets(burst: &[Frame]) -> usize {
+    burst.iter().map(|f| f.packet_count()).sum()
+}
+
 /// Append one framed data burst (with its sequence number) to a
-/// serialization buffer.
+/// serialization buffer. Run frames are materialized here — the process
+/// boundary is where the zero-copy plane genuinely has to touch every
+/// payload byte again.
 pub(crate) fn encode_frame_into(
     out: &mut Vec<u8>,
     src_rank: u16,
     src_qsfp: u16,
     seq: u64,
-    burst: &[NetworkPacket],
+    burst: &[Frame],
 ) {
-    out.reserve(FRAME_HEADER_BYTES + burst.len() * PACKET_BYTES);
+    let npackets = burst_packets(burst);
+    out.reserve(FRAME_HEADER_BYTES + npackets * PACKET_BYTES);
     out.extend_from_slice(&src_rank.to_le_bytes());
     out.extend_from_slice(&src_qsfp.to_le_bytes());
-    out.extend_from_slice(&(burst.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(npackets as u32).to_le_bytes());
     out.extend_from_slice(&seq.to_le_bytes());
-    for p in burst {
-        out.extend_from_slice(&p.pack());
+    for f in burst {
+        match f {
+            Frame::Pkt(p) => out.extend_from_slice(&p.pack()),
+            Frame::Run(r) => {
+                for i in 0..r.packet_count() {
+                    out.extend_from_slice(&r.packet(i).pack());
+                }
+            }
+        }
     }
 }
 
@@ -690,6 +706,7 @@ struct ConnShared {
     ring: Mutex<ReplayRing>,
     health: FabricHealth,
     peer: PeerInfo,
+    copies: CopyMeter,
 }
 
 impl ConnShared {
@@ -737,6 +754,9 @@ pub(crate) struct ConnConfig {
     /// Deterministic fault injector for this connection's outbound
     /// direction, if the plan configures one.
     pub faults: Option<FaultInjector>,
+    /// Payload-copy meter the codec charges for serialization /
+    /// deserialization ([`crate::transport::TransportStats::payload_copies`]).
+    pub copies: CopyMeter,
 }
 
 impl ConnConfig {
@@ -753,6 +773,7 @@ impl ConnConfig {
             session: 0,
             local_proc: 0,
             faults: None,
+            copies: CopyMeter::default(),
         }
     }
 }
@@ -779,6 +800,7 @@ impl SocketConn {
             ring: Mutex::new(ReplayRing::new(cfg.replay_budget.max(1))),
             health: health.clone(),
             peer: cfg.peer.clone(),
+            copies: cfg.copies.clone(),
         });
         let queues: HashMap<(usize, usize), InQueue> = cfg
             .recv_keys
@@ -852,7 +874,7 @@ impl Transport for SocketLinkTx {
         if self.conn.closed.load(Ordering::Relaxed) {
             return LinkSend::Closed;
         }
-        let need = FRAME_HEADER_BYTES + burst.len() * PACKET_BYTES;
+        let need = FRAME_HEADER_BYTES + burst_packets(&burst) * PACKET_BYTES;
         let mut ring = self.conn.ring.lock().expect("ring lock");
         if need > ring.budget {
             // One frame can never fit: recovery could never replay it, so
@@ -885,6 +907,18 @@ impl Transport for SocketLinkTx {
         encode_frame_into(&mut bytes, self.src_rank, self.src_qsfp, seq, &burst);
         ring.bytes += bytes.len();
         ring.frames.push_back((seq, bytes));
+        drop(ring);
+        // Serialization stages every payload byte of data traffic into the
+        // ring; charge the copy meter for it (control packets carry no
+        // semantic payload).
+        let data_packets: usize = burst
+            .iter()
+            .filter(|f| f.header().op.carries_data())
+            .map(|f| f.packet_count())
+            .sum();
+        if data_packets > 0 {
+            self.conn.copies.add_packets(data_packets);
+        }
         LinkSend::Accepted
     }
 }
@@ -1144,9 +1178,10 @@ impl SocketPump {
                     .expect("packet slice");
                 let pkt = NetworkPacket::unpack(bytes)
                     .map_err(|e| format!("undecodable packet on wire: {e}"))?;
-                burst.push(pkt);
+                burst.push(pkt.into());
                 off += PACKET_BYTES;
             }
+            meter_inline_data(&self.shared.copies, &burst);
             q.push_back(burst);
             drop(q);
             self.rpos += need;
@@ -1568,6 +1603,15 @@ mod tests {
         p
     }
 
+    /// The tag byte of a frame delivered by the socket plane (always an
+    /// inline packet: decode never produces runs).
+    fn tag(f: &Frame) -> u8 {
+        match f {
+            Frame::Pkt(p) => p.payload[0],
+            Frame::Run(_) => panic!("socket decode must emit inline packets"),
+        }
+    }
+
     fn peer(backend: &'static str) -> PeerInfo {
         PeerInfo {
             rank: 1,
@@ -1607,7 +1651,7 @@ mod tests {
     #[test]
     fn frame_encode_shape() {
         let mut out = Vec::new();
-        encode_frame_into(&mut out, 5, 2, 77, &[pkt(1, 9), pkt(1, 10)]);
+        encode_frame_into(&mut out, 5, 2, 77, &[pkt(1, 9).into(), pkt(1, 10).into()]);
         assert_eq!(out.len(), FRAME_HEADER_BYTES + 2 * PACKET_BYTES);
         assert_eq!(u16::from_le_bytes(out[..2].try_into().unwrap()), 5);
         assert_eq!(u16::from_le_bytes(out[2..4].try_into().unwrap()), 2);
@@ -1618,6 +1662,26 @@ mod tests {
         assert_eq!(ack.len(), FRAME_HEADER_BYTES);
         assert_eq!(u16::from_le_bytes(ack[..2].try_into().unwrap()), ACK_RANK);
         assert_eq!(u64::from_le_bytes(ack[8..16].try_into().unwrap()), 123);
+    }
+
+    #[test]
+    fn run_frames_materialize_into_wire_packets() {
+        use smi_wire::PacketRun;
+        let elems: Vec<u8> = (0..60).collect();
+        let frame = Frame::Run(PacketRun::from_elems(0, 1, 0, PacketOp::Send, &elems));
+        assert_eq!(frame.packet_count(), 3); // 28 + 28 + 4
+        let mut out = Vec::new();
+        encode_frame_into(&mut out, 3, 1, 9, &[frame]);
+        assert_eq!(out.len(), FRAME_HEADER_BYTES + 3 * PACKET_BYTES);
+        assert_eq!(u32::from_le_bytes(out[4..8].try_into().unwrap()), 3);
+        let mut got = Vec::new();
+        for i in 0..3 {
+            let off = FRAME_HEADER_BYTES + i * PACKET_BYTES;
+            let p = NetworkPacket::unpack(out[off..off + PACKET_BYTES].try_into().unwrap())
+                .expect("valid packet");
+            got.extend_from_slice(p.valid_payload(smi_wire::Datatype::Char));
+        }
+        assert_eq!(got, elems);
     }
 
     #[test]
@@ -1636,14 +1700,17 @@ mod tests {
         let mut tx = conn_a.tx(0, 0);
         let mut rx = conn_b.rx((0, 0));
         for i in 0..50u8 {
-            assert!(matches!(tx.offer(vec![pkt(1, i)]), LinkSend::Accepted));
+            assert!(matches!(
+                tx.offer(vec![pkt(1, i).into()]),
+                LinkSend::Accepted
+            ));
         }
         let mut seen = Vec::new();
         while seen.len() < 50 {
             pump_a.poll();
             pump_b.poll();
             while let LinkRecv::Burst(b) = rx.try_recv() {
-                seen.extend(b.iter().map(|p| p.payload[0]));
+                seen.extend(b.iter().map(tag));
             }
         }
         assert_eq!(seen, (0..50u8).collect::<Vec<_>>());
@@ -1665,7 +1732,10 @@ mod tests {
         let mut tx = conn_a.tx(0, 0);
         let mut rx = conn_b.rx((0, 0));
         for i in 0..20u8 {
-            assert!(matches!(tx.offer(vec![pkt(1, i)]), LinkSend::Accepted));
+            assert!(matches!(
+                tx.offer(vec![pkt(1, i).into()]),
+                LinkSend::Accepted
+            ));
         }
         {
             let ring = conn_a.shared.ring.lock().unwrap();
@@ -1703,9 +1773,9 @@ mod tests {
         )
         .unwrap();
         let mut bytes = Vec::new();
-        encode_frame_into(&mut bytes, 0, 0, 1, &[pkt(1, 10)]);
-        encode_frame_into(&mut bytes, 0, 0, 1, &[pkt(1, 10)]);
-        encode_frame_into(&mut bytes, 0, 0, 2, &[pkt(1, 11)]);
+        encode_frame_into(&mut bytes, 0, 0, 1, &[pkt(1, 10).into()]);
+        encode_frame_into(&mut bytes, 0, 0, 1, &[pkt(1, 10).into()]);
+        encode_frame_into(&mut bytes, 0, 0, 2, &[pkt(1, 11).into()]);
         raw.write_all(&bytes).unwrap();
         raw.flush().unwrap();
         let mut rx = conn_b.rx((0, 0));
@@ -1713,7 +1783,7 @@ mod tests {
         for _ in 0..100_000 {
             pump_b.poll();
             while let LinkRecv::Burst(b) = rx.try_recv() {
-                seen.extend(b.iter().map(|p| p.payload[0]));
+                seen.extend(b.iter().map(tag));
             }
             if seen.len() >= 2 {
                 break;
@@ -1765,8 +1835,8 @@ mod tests {
         )
         .unwrap();
         let mut bytes = Vec::new();
-        encode_frame_into(&mut bytes, 0, 0, 1, &[pkt(1, 1)]);
-        encode_frame_into(&mut bytes, 0, 0, 3, &[pkt(1, 3)]);
+        encode_frame_into(&mut bytes, 0, 0, 1, &[pkt(1, 1).into()]);
+        encode_frame_into(&mut bytes, 0, 0, 3, &[pkt(1, 3).into()]);
         raw.write_all(&bytes).unwrap();
         raw.flush().unwrap();
         let mut rx = conn_b.rx((0, 0));
@@ -1804,7 +1874,10 @@ mod tests {
         .unwrap();
         // B sends one burst, then dies (stream dropped).
         let mut btx = conn_b.tx(1, 0);
-        assert!(matches!(btx.offer(vec![pkt(0, 7)]), LinkSend::Accepted));
+        assert!(matches!(
+            btx.offer(vec![pkt(0, 7).into()]),
+            LinkSend::Accepted
+        ));
         for _ in 0..100 {
             pump_b.poll();
         }
@@ -1825,14 +1898,14 @@ mod tests {
                 LinkRecv::Empty => std::thread::yield_now(),
             }
         }
-        assert_eq!(got.expect("in-flight burst delivered")[0].payload[0], 7);
+        assert_eq!(tag(&got.expect("in-flight burst delivered")[0]), 7);
         assert!(closed, "rx must report Closed after peer death");
         let pd = health_a.peer_down().expect("health board marked");
         assert_eq!(pd.rank, 1);
         assert_eq!(pd.backend, "uds");
         // Sends toward the dead peer report Closed, not Full.
         let mut tx = conn_a.tx(0, 0);
-        assert!(matches!(tx.offer(vec![pkt(1, 0)]), LinkSend::Closed));
+        assert!(matches!(tx.offer(vec![pkt(1, 0).into()]), LinkSend::Closed));
         assert_eq!(
             health_a.error(),
             Some(SmiError::PeerDisconnected { rank: 1 })
@@ -1848,7 +1921,7 @@ mod tests {
         let (conn_a, _pump_a) = SocketConn::new(sa, cfg, health.clone()).unwrap();
         let mut tx = conn_a.tx(0, 0);
         // A two-packet frame can never fit: typed fatal error, not Full.
-        let burst = vec![pkt(1, 0), pkt(1, 1)];
+        let burst = vec![pkt(1, 0).into(), pkt(1, 1).into()];
         assert!(matches!(tx.offer(burst), LinkSend::Closed));
         match health.error() {
             Some(SmiError::ReplayOverflow { needed, budget }) => {
@@ -1867,11 +1940,17 @@ mod tests {
         cfg.replay_budget = 2 * (FRAME_HEADER_BYTES + PACKET_BYTES);
         let (conn_a, _pump_a) = SocketConn::new(sa, cfg, health.clone()).unwrap();
         let mut tx = conn_a.tx(0, 0);
-        assert!(matches!(tx.offer(vec![pkt(1, 0)]), LinkSend::Accepted));
-        assert!(matches!(tx.offer(vec![pkt(1, 1)]), LinkSend::Accepted));
+        assert!(matches!(
+            tx.offer(vec![pkt(1, 0).into()]),
+            LinkSend::Accepted
+        ));
+        assert!(matches!(
+            tx.offer(vec![pkt(1, 1).into()]),
+            LinkSend::Accepted
+        ));
         // Third frame exceeds the budget while unacked: Full, burst back.
-        match tx.offer(vec![pkt(1, 2)]) {
-            LinkSend::Full(b) => assert_eq!(b[0].payload[0], 2),
+        match tx.offer(vec![pkt(1, 2).into()]) {
+            LinkSend::Full(b) => assert_eq!(tag(&b[0]), 2),
             other => panic!("expected Full, got {other:?}"),
         }
         assert!(health.peer_down().is_none());
@@ -1959,11 +2038,15 @@ mod tests {
             session,
             local_proc: 0,
             faults: None,
+            copies: CopyMeter::default(),
         };
         let (conn_a, mut pump_a) = SocketConn::new(sa, cfg, health.clone()).unwrap();
         let mut tx = conn_a.tx(0, 0);
         for i in 0..10u8 {
-            assert!(matches!(tx.offer(vec![pkt(1, i)]), LinkSend::Accepted));
+            assert!(matches!(
+                tx.offer(vec![pkt(1, i).into()]),
+                LinkSend::Accepted
+            ));
         }
         // Push the first frames across the original stream, then cut it
         // without ever acking: everything must be replayed.
@@ -2051,10 +2134,14 @@ mod tests {
             session: 1,
             local_proc: 0,
             faults: None,
+            copies: CopyMeter::default(),
         };
         let (conn_a, mut pump_a) = SocketConn::new(sa, cfg, health.clone()).unwrap();
         let mut tx = conn_a.tx(0, 0);
-        assert!(matches!(tx.offer(vec![pkt(1, 0)]), LinkSend::Accepted));
+        assert!(matches!(
+            tx.offer(vec![pkt(1, 0).into()]),
+            LinkSend::Accepted
+        ));
         sb.shutdown().unwrap();
         drop(sb);
         let mut was_reconnecting = false;

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use smi_codegen::{ClusterDesign, OpKind};
 use smi_topology::{NextHop, RoutingPlan, Topology};
-use smi_wire::{NetworkPacket, PacketOp};
+use smi_wire::{Header, PacketOp};
 
 use crate::endpoint::{CollRes, EndpointTable, PacketRx, RecvRes, SendRes};
 use crate::params::RuntimeParams;
@@ -108,7 +108,7 @@ pub(crate) fn build_transport_with(
 ) -> TransportHandle {
     let n = topo.num_ranks();
     if n == 1 {
-        return build_single_rank(design, params, &links.health);
+        return build_single_rank(design, params, &links.health, &stats);
     }
     let FabricLinks {
         local,
@@ -165,6 +165,7 @@ pub(crate) fn build_transport_with(
 
     let mut tables = Vec::new();
     let mut machines: Vec<Box<dyn Pollable>> = Vec::new();
+    let meter = stats.payload_copies.clone();
 
     for (r, &is_local) in local.iter().enumerate().take(n) {
         if !is_local {
@@ -196,7 +197,7 @@ pub(crate) fn build_transport_with(
         }
 
         // Endpoints.
-        let mut table = EndpointTable::with_health(health.clone());
+        let mut table = EndpointTable::with_health(health.clone(), meter.clone());
         let mut cks_app_inputs: Vec<Vec<LinkRx>> = (0..np).map(|_| Vec::new()).collect();
         let mut deliveries: HashMap<usize, PortDelivery> = HashMap::new();
         for b in &rank_design.bindings {
@@ -218,7 +219,7 @@ pub(crate) fn build_transport_with(
                     table.ports.entry(op.port).or_default().send = Some(SendRes {
                         dtype: op.dtype,
                         to_cks: app_tx,
-                        credit_rx: PacketRx::new(credit_rx),
+                        credit_rx: PacketRx::new(credit_rx, meter.clone()),
                     });
                 }
                 OpKind::Recv => {
@@ -236,7 +237,7 @@ pub(crate) fn build_transport_with(
                     cks_app_inputs[pair].push(fifo_rx(grant_rx));
                     table.ports.entry(op.port).or_default().recv = Some(RecvRes {
                         dtype: op.dtype,
-                        from_ckr: PacketRx::new(app_rx),
+                        from_ckr: PacketRx::new(app_rx, meter.clone()),
                         grant_tx,
                     });
                 }
@@ -265,8 +266,8 @@ pub(crate) fn build_transport_with(
                         dtype: op.dtype,
                         reduce_op: op.reduce_op,
                         to_cks: sup_tx,
-                        rx: PacketRx::new(data_rx),
-                        credit_rx: PacketRx::new(credit_rx),
+                        rx: PacketRx::new(data_rx, meter.clone()),
+                        credit_rx: PacketRx::new(credit_rx, meter.clone()),
                     });
                 }
             }
@@ -308,11 +309,9 @@ pub(crate) fn build_transport_with(
                 format!("r{r}.cks{p}"),
                 inputs,
                 outputs,
-                Box::new(move |pkt: &NetworkPacket| {
-                    match route_table.get(pkt.header.dst as usize) {
-                        Some(&idx) => Route::Output(idx),
-                        None => Route::Drop,
-                    }
+                Box::new(move |h: &Header| match route_table.get(h.dst as usize) {
+                    Some(&idx) => Route::Output(idx),
+                    None => Route::Drop,
                 }),
                 params.poll_persistence,
                 params.burst_packets,
@@ -365,11 +364,11 @@ pub(crate) fn build_transport_with(
                 format!("r{r}.ckr{p}"),
                 inputs,
                 outputs,
-                Box::new(move |pkt: &NetworkPacket| {
-                    if pkt.header.dst as usize != my_rank {
+                Box::new(move |h: &Header| {
+                    if h.dst as usize != my_rank {
                         return Route::Output(0);
                     }
-                    let key = (pkt.header.port as usize, pkt.header.op == PacketOp::Credit);
+                    let key = (h.port as usize, h.op == PacketOp::Credit);
                     match delivery_idx.get(&key) {
                         Some(&idx) => Route::Output(idx),
                         None => Route::Drop,
@@ -396,9 +395,11 @@ fn build_single_rank(
     design: &ClusterDesign,
     params: &RuntimeParams,
     health: &FabricHealth,
+    stats: &TransportStats,
 ) -> TransportHandle {
+    let meter = stats.payload_copies.clone();
     let rank_design = design.rank(0);
-    let mut table = EndpointTable::with_health(health.clone());
+    let mut table = EndpointTable::with_health(health.clone(), meter.clone());
     // First pass: sends establish the data path per port.
     for b in &rank_design.bindings {
         let op = b.op;
@@ -412,11 +413,11 @@ fn build_single_rank(
                 slot.send = Some(SendRes {
                     dtype: op.dtype,
                     to_cks: data_tx,
-                    credit_rx: PacketRx::new(credit_rx),
+                    credit_rx: PacketRx::new(credit_rx, meter.clone()),
                 });
                 slot.recv = Some(RecvRes {
                     dtype: op.dtype,
-                    from_ckr: PacketRx::new(data_rx),
+                    from_ckr: PacketRx::new(data_rx, meter.clone()),
                     grant_tx,
                 });
             }
@@ -432,7 +433,7 @@ fn build_single_rank(
                     std::mem::forget(_dead_rx);
                     slot.recv = Some(RecvRes {
                         dtype: op.dtype,
-                        from_ckr: PacketRx::new(data_rx),
+                        from_ckr: PacketRx::new(data_rx, meter.clone()),
                         grant_tx,
                     });
                 }
@@ -446,8 +447,8 @@ fn build_single_rank(
                     dtype: op.dtype,
                     reduce_op: op.reduce_op,
                     to_cks: tx,
-                    rx: PacketRx::new(rx),
-                    credit_rx: PacketRx::new(crx),
+                    rx: PacketRx::new(rx, meter.clone()),
+                    credit_rx: PacketRx::new(crx, meter.clone()),
                 });
             }
         }

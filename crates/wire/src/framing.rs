@@ -5,7 +5,8 @@
 //! forwarded to CKS […] Pop internally unpacks data returned from CKR, and
 //! transmits it to the application one element at a time."
 
-use crate::{Datatype, NetworkPacket, PacketOp, SmiType};
+use crate::run::PayloadRun;
+use crate::{Datatype, Header, NetworkPacket, PacketOp, SmiType};
 
 /// Accumulates pushed elements into outgoing packets.
 ///
@@ -37,6 +38,14 @@ impl Framer {
     #[inline]
     pub fn dtype(&self) -> Datatype {
         self.dtype
+    }
+
+    /// The header template (src/dst/port/op) packets are stamped with.
+    /// Zero-copy senders use this to build [`crate::PacketRun`]s that are
+    /// wire-equivalent to this framer's packets.
+    #[inline]
+    pub fn header_template(&self) -> Header {
+        self.current.header
     }
 
     /// Append one element. Returns a completed packet when the payload fills.
@@ -114,14 +123,26 @@ impl Framer {
     }
 }
 
+/// The current element segment a [`Deframer`] is draining: one inline
+/// packet's payload, or a refcounted run view of any length.
+#[derive(Debug, Clone)]
+enum Segment {
+    /// An inline packet (the copying path: the packet struct was copied in).
+    Inline(NetworkPacket),
+    /// A refcounted run view (the zero-copy path: no payload bytes moved).
+    Run(PayloadRun),
+}
+
 /// Unpacks received packets back into an element stream.
 ///
-/// Elements are consumed one at a time with [`Deframer::pop`]; a new packet is
-/// fed in with [`Deframer::refill`] whenever the deframer runs [`Deframer::is_empty`].
+/// Elements are consumed one at a time with [`Deframer::pop`]; a new packet
+/// is fed in with [`Deframer::refill`] — or a whole refcounted run with
+/// [`Deframer::refill_run`] — whenever the deframer runs
+/// [`Deframer::is_empty`].
 #[derive(Debug, Clone)]
 pub struct Deframer {
     dtype: Datatype,
-    packet: NetworkPacket,
+    seg: Segment,
     next: usize,
     valid: usize,
 }
@@ -131,7 +152,7 @@ impl Deframer {
     pub fn new(dtype: Datatype) -> Self {
         Deframer {
             dtype,
-            packet: NetworkPacket::new(0, 0, 0, PacketOp::Send),
+            seg: Segment::Inline(NetworkPacket::new(0, 0, 0, PacketOp::Send)),
             next: 0,
             valid: 0,
         }
@@ -143,43 +164,67 @@ impl Deframer {
         self.dtype
     }
 
-    /// True when all valid elements of the current packet have been popped.
+    /// True when all valid elements of the current segment have been popped.
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.next == self.valid
     }
 
-    /// Load the next packet. Panics if the previous one was not drained —
+    /// Load the next packet. Panics if the previous segment was not drained —
     /// SMI guarantees in-order delivery, so the transport never overwrites
     /// undelivered elements.
     pub fn refill(&mut self, packet: NetworkPacket) {
         assert!(self.is_empty(), "refill with undrained elements");
         self.valid = packet.header.count as usize;
-        self.packet = packet;
+        self.seg = Segment::Inline(packet);
         self.next = 0;
     }
 
-    /// Pop the next element, or `None` if the current packet is drained.
+    /// Load a whole payload run as the next segment (the zero-copy path:
+    /// only the `Arc` handle moves). Panics if the previous segment was not
+    /// drained, like [`Deframer::refill`].
+    pub fn refill_run(&mut self, run: PayloadRun) {
+        assert!(self.is_empty(), "refill with undrained elements");
+        let sz = self.dtype.size_bytes();
+        debug_assert_eq!(run.len() % sz, 0, "run not element-aligned");
+        self.valid = run.len() / sz;
+        self.seg = Segment::Run(run);
+        self.next = 0;
+    }
+
+    /// Read element `i` of the current segment.
+    #[inline]
+    fn read_elem<T: SmiType>(&self, i: usize) -> T {
+        match &self.seg {
+            Segment::Inline(p) => p.read_elem::<T>(i),
+            Segment::Run(r) => {
+                let sz = self.dtype.size_bytes();
+                T::read_le(&r.as_slice()[i * sz..(i + 1) * sz])
+            }
+        }
+    }
+
+    /// Pop the next element, or `None` if the current segment is drained.
     #[inline]
     pub fn pop<T: SmiType>(&mut self) -> Option<T> {
         debug_assert_eq!(T::DATATYPE.size_bytes(), self.dtype.size_bytes());
         if self.is_empty() {
             return None;
         }
-        let v = self.packet.read_elem::<T>(self.next);
+        let v = self.read_elem::<T>(self.next);
         self.next += 1;
         Some(v)
     }
 
     /// Pop up to `out.len()` elements into `out`, returning how many were
-    /// written (bounded by the valid remainder of the current packet). The
+    /// written (bounded by the valid remainder of the current segment). The
     /// bulk analogue of [`Deframer::pop`].
     #[inline]
     pub fn pop_slice<T: SmiType>(&mut self, out: &mut [T]) -> usize {
         debug_assert_eq!(T::DATATYPE.size_bytes(), self.dtype.size_bytes());
         let n = (self.valid - self.next).min(out.len());
         for slot in out[..n].iter_mut() {
-            *slot = self.packet.read_elem::<T>(self.next);
+            *slot = self.read_elem::<T>(self.next);
             self.next += 1;
         }
         n
@@ -194,7 +239,10 @@ impl Deframer {
             return false;
         }
         let off = self.next * sz;
-        dst.copy_from_slice(&self.packet.payload[off..off + sz]);
+        match &self.seg {
+            Segment::Inline(p) => dst.copy_from_slice(&p.payload[off..off + sz]),
+            Segment::Run(r) => dst.copy_from_slice(&r.as_slice()[off..off + sz]),
+        }
         self.next += 1;
         true
     }
@@ -329,6 +377,65 @@ mod tests {
         let p = fr.flush().unwrap();
         df.refill(p);
         df.refill(p); // still holds one element
+    }
+
+    #[test]
+    fn zero_length_slices_are_noops() {
+        let mut fr = Framer::new(Datatype::Int, 0, 1, 0, PacketOp::Send);
+        let (consumed, pkt) = fr.push_slice::<i32>(&[]);
+        assert_eq!(consumed, 0);
+        assert!(pkt.is_none());
+        assert_eq!(fr.pending(), 0);
+        assert!(fr.flush().is_none(), "nothing staged, nothing flushed");
+
+        let mut df = Deframer::new(Datatype::Int);
+        let mut out: [i32; 0] = [];
+        assert_eq!(df.pop_slice(&mut out), 0);
+        // A partially-filled deframer also writes nothing into an empty out.
+        df.refill(frame_all(&[5i32])[0]);
+        assert_eq!(df.pop_slice(&mut out), 0);
+        assert_eq!(df.pop::<i32>(), Some(5));
+    }
+
+    #[test]
+    fn partial_final_packet_bounds_valid_elements() {
+        // 16 ints -> 7 + 7 + 2: the final partial packet must deliver
+        // exactly 2 elements even though the payload has room for 7.
+        let elems: Vec<i32> = (100..116).collect();
+        let pkts = frame_all(&elems);
+        assert_eq!(pkts.len(), 3);
+        assert_eq!(pkts[2].header.count, 2);
+        let mut df = Deframer::new(Datatype::Int);
+        df.refill(pkts[2]);
+        let mut out = vec![0i32; 7];
+        assert_eq!(df.pop_slice(&mut out), 2);
+        assert_eq!(&out[..2], &elems[14..16]);
+        assert!(df.is_empty());
+        assert_eq!(df.pop::<i32>(), None);
+    }
+
+    #[test]
+    fn run_refill_matches_packet_refill() {
+        let elems: Vec<f32> = (0..23).map(|i| i as f32 * 1.5).collect();
+        let pkts = frame_all(&elems);
+        let run = crate::PacketRun::from_elems(0, 1, 0, PacketOp::Send, &elems);
+        let via_pkts = deframe_all::<f32>(&pkts, 23);
+        let mut df = Deframer::new(Datatype::Float);
+        df.refill_run(run.payload);
+        let mut via_run = vec![0.0f32; 23];
+        let mut filled = 0;
+        while filled < via_run.len() {
+            filled += df.pop_slice(&mut via_run[filled..]);
+        }
+        assert_eq!(via_run, via_pkts);
+    }
+
+    #[test]
+    #[should_panic(expected = "undrained")]
+    fn refill_run_undrained_panics() {
+        let mut df = Deframer::new(Datatype::Char);
+        df.refill_run(crate::PayloadRun::from_bytes(&[1, 2, 3]));
+        df.refill_run(crate::PayloadRun::from_bytes(&[4]));
     }
 
     #[test]

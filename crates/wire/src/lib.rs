@@ -26,6 +26,9 @@
 //!   data items until a network packet is full").
 //! * [`ReduceOp`] — the reduction operations (`SMI_ADD`, `SMI_MAX`, `SMI_MIN`)
 //!   applied element-wise on payloads by the Reduce support kernel.
+//! * [`PayloadRun`] / [`PacketRun`] / [`Frame`] — refcounted run buffers: the
+//!   zero-copy payload plane's unit, standing for a run of consecutive
+//!   packets whose payload is shared by reference instead of copied per hop.
 //!
 //! Everything here is plain data and codecs: no I/O, no threads, no clocks.
 //! Both the functional runtime (`smi`) and the cycle-level simulator
@@ -40,6 +43,7 @@ pub mod framing;
 pub mod header;
 pub mod packet;
 pub mod reduce;
+pub mod run;
 
 pub use datatype::{Datatype, SmiType};
 pub use error::WireError;
@@ -47,6 +51,7 @@ pub use framing::{Deframer, Framer};
 pub use header::{Header, PacketOp};
 pub use packet::NetworkPacket;
 pub use reduce::ReduceOp;
+pub use run::{Frame, PacketRun, PayloadRun};
 
 /// Total size of a network packet in bytes (256-bit I/O channel width).
 pub const PACKET_BYTES: usize = 32;

@@ -145,6 +145,24 @@ mod tests {
     }
 
     #[test]
+    fn valid_payload_tracks_count_times_dtype() {
+        let mut p = NetworkPacket::new(0, 1, 0, PacketOp::Send);
+        // Every (dtype, count) pair within the packet bounds exposes exactly
+        // count × size bytes, never spilling past the payload.
+        for dtype in Datatype::ALL {
+            for count in 0..=dtype.elems_per_packet() {
+                p.header.count = count as u8;
+                let v = p.valid_payload(dtype);
+                assert_eq!(v.len(), count * dtype.size_bytes());
+                assert!(v.len() <= PAYLOAD_BYTES);
+            }
+        }
+        // An empty packet exposes no bytes regardless of dtype.
+        p.header.count = 0;
+        assert!(p.valid_payload(Datatype::Double).is_empty());
+    }
+
+    #[test]
     fn control_packet_arg() {
         let p = NetworkPacket::control(1, 0, 4, PacketOp::Credit, 0xdead_beef);
         assert_eq!(p.control_arg(), 0xdead_beef);

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""CI check for BENCH_payload.json (zero-copy payload plane acceptance).
+
+Hard checks (fail the build):
+  * All six series must be present: {p2p,bcast,gather} x {_zero,_base}.
+  * Copies-per-element must drop >= MIN_RATIO x under zero-copy for p2p
+    and tree bcast — the run-buffer plane's acceptance bar. (Gather is
+    packet-based in both modes, so its pair documents parity only.)
+  * Zero-copy throughput must not collapse against the baseline:
+    melem_per_s(zero) >= HARD_FLOOR x melem_per_s(base) for every pair.
+
+Soft checks (warn only — shared CI runners are noisy):
+  * Zero-copy throughput at or above baseline (>= SOFT_FLOOR x).
+"""
+
+import json
+import sys
+
+PATH = sys.argv[1] if len(sys.argv) > 1 else "BENCH_payload.json"
+MIN_RATIO = 2.0   # copies-per-element reduction bar (p2p, bcast)
+HARD_FLOOR = 0.6  # zero-copy throughput < 0.6x baseline = regression, fail
+SOFT_FLOOR = 0.9  # below this just warn: CI noise
+
+with open(PATH) as f:
+    data = json.load(f)
+points = {p["series"]: p for p in data["points"]}
+
+required = ["p2p_zero", "p2p_base", "bcast_zero", "bcast_base",
+            "gather_zero", "gather_base"]
+missing = [s for s in required if s not in points]
+if missing:
+    print(f"ERROR: {PATH} is missing required series: {missing}")
+    sys.exit(1)
+print(f"ok: all payload series present in {PATH}")
+
+status = 0
+
+# --- hard: copies-per-element reduction on p2p and tree bcast ---
+for name in ["p2p", "bcast"]:
+    zero = points[f"{name}_zero"]["copies_per_elem"]
+    base = points[f"{name}_base"]["copies_per_elem"]
+    if zero <= 0:
+        print(f"ERROR: {name} zero-copy meter reads 0 — meter unwired?")
+        status = 1
+        continue
+    ratio = base / zero
+    if ratio < MIN_RATIO:
+        print(f"ERROR: {name} copies/element only dropped {ratio:.2f}x "
+              f"({base:.2f} -> {zero:.2f}), bar is {MIN_RATIO}x")
+        status = 1
+    else:
+        print(f"ok: {name} copies/element {base:.2f} -> {zero:.2f} "
+              f"({ratio:.2f}x reduction)")
+
+# --- gather: parity documentation (no reduction expected) ---
+gz = points["gather_zero"]["copies_per_elem"]
+gb = points["gather_base"]["copies_per_elem"]
+print(f"note: gather copies/element {gb:.2f} (base) vs {gz:.2f} (zero) — "
+      f"packet-based in both modes")
+
+# --- throughput: zero-copy must not regress ---
+for name in ["p2p", "bcast", "gather"]:
+    zero = points[f"{name}_zero"]["melem_per_s"]
+    base = points[f"{name}_base"]["melem_per_s"]
+    ratio = zero / base if base > 0 else float("inf")
+    if ratio < HARD_FLOOR:
+        print(f"ERROR: {name} zero-copy throughput collapsed: "
+              f"{zero:.2f} vs {base:.2f} Melem/s ({ratio:.2f}x < {HARD_FLOOR}x)")
+        status = 1
+    elif ratio < SOFT_FLOOR:
+        print(f"WARNING: {name} zero-copy below baseline: "
+              f"{zero:.2f} vs {base:.2f} Melem/s ({ratio:.2f}x)")
+    else:
+        print(f"ok: {name} throughput {zero:.2f} vs {base:.2f} Melem/s "
+              f"({ratio:.2f}x)")
+
+sys.exit(status)
