@@ -12,12 +12,20 @@
 //! * `bcast` — rooted broadcast of the whole payload.
 //! * `reduce` — rooted elementwise-add reduction of the whole payload.
 //!
+//! The socket backends additionally run the `p2p` workload with
+//! `socket_pooling: false` (`p2p_uds_unpooled`, `p2p_tcp_unpooled`): the
+//! wire-identical v2 baseline the pooled fast path is measured against.
+//! Every point carries the run's wire counters (syscalls, bytes,
+//! bytes-per-syscall, pool hits/misses, corked frames) so CI can gate on
+//! syscall amortization, not just wall time.
+//!
 //! Usage: `bench_transport [--quick|--smoke | --full] [--out PATH]`
 
 use std::time::Instant;
 
 use smi::env::SmiCtx;
 use smi::prelude::*;
+use smi::WireSnapshot;
 
 const RANKS: usize = 4;
 const NPROC: usize = 2;
@@ -31,6 +39,7 @@ struct Point {
     elems: u64,
     seconds: f64,
     melem_per_s: f64,
+    wire: WireSnapshot,
 }
 
 fn plan_for(backend: TransportBackend) -> ProcessPlan {
@@ -44,8 +53,8 @@ fn plan_for(backend: TransportBackend) -> ProcessPlan {
 }
 
 /// Disjoint pairs 0 → 2 and 1 → 3: with the half/half split every element
-/// crosses the inter-group link. Returns seconds.
-fn run_p2p(backend: TransportBackend, n: u64) -> f64 {
+/// crosses the inter-group link. Returns (seconds, wire counters).
+fn run_p2p(backend: TransportBackend, n: u64, pooling: bool) -> (f64, WireSnapshot) {
     let plan = plan_for(backend);
     let metas: Vec<ProgramMeta> = (0..RANKS)
         .map(|r| {
@@ -76,15 +85,20 @@ fn run_p2p(backend: TransportBackend, n: u64) -> f64 {
             b
         })
         .collect();
+    let params = RuntimeParams {
+        socket_pooling: pooling,
+        ..Default::default()
+    };
     let t = Instant::now();
-    let report = run_split_mpmd(&plan, metas, programs, RuntimeParams::default()).expect("launch");
+    let report = run_split_mpmd(&plan, metas, programs, params).expect("launch");
     let dt = t.elapsed().as_secs_f64();
     assert!(report.results.iter().all(|&ok| ok), "data corrupted");
-    dt
+    (dt, report.wire_stats)
 }
 
-/// Rooted collective (bcast or reduce) of `n` elements. Returns seconds.
-fn run_collective(backend: TransportBackend, n: u64, reduce: bool) -> f64 {
+/// Rooted collective (bcast or reduce) of `n` elements. Returns
+/// (seconds, wire counters).
+fn run_collective(backend: TransportBackend, n: u64, reduce: bool) -> (f64, WireSnapshot) {
     let plan = plan_for(backend);
     let meta = if reduce {
         ProgramMeta::new().with(OpSpec::reduce(0, Datatype::Int, ReduceOp::Add))
@@ -124,7 +138,7 @@ fn run_collective(backend: TransportBackend, n: u64, reduce: bool) -> f64 {
     .expect("launch");
     let dt = t.elapsed().as_secs_f64();
     assert!(report.results.iter().all(|&ok| ok), "data corrupted");
-    dt
+    (dt, report.wire_stats)
 }
 
 fn main() {
@@ -156,8 +170,8 @@ fn main() {
     ];
     let mut points: Vec<Point> = Vec::new();
     println!(
-        "{:<16} {:>8} {:>6} {:>6} {:>10} {:>10} {:>9}",
-        "series", "backend", "ranks", "procs", "elems", "seconds", "Melem/s"
+        "{:<20} {:>8} {:>6} {:>6} {:>10} {:>10} {:>9} {:>11}",
+        "series", "backend", "ranks", "procs", "elems", "seconds", "Melem/s", "B/syscall"
     );
     for backend in backends {
         let nproc = if backend == TransportBackend::InMem {
@@ -165,31 +179,42 @@ fn main() {
         } else {
             NPROC
         };
-        type Workload = Box<dyn Fn() -> (f64, u64)>;
-        let workloads: [(&str, Workload); 3] = [
-            ("p2p", Box::new(move || (run_p2p(backend, n), 2 * n))),
+        type Workload = Box<dyn Fn() -> ((f64, WireSnapshot), u64)>;
+        let mut workloads: Vec<(String, Workload)> = vec![
             (
-                "bcast",
+                format!("p2p_{}", backend.name()),
+                Box::new(move || (run_p2p(backend, n, true), 2 * n)),
+            ),
+            (
+                format!("bcast_{}", backend.name()),
                 Box::new(move || (run_collective(backend, n, false), n)),
             ),
             (
-                "reduce",
+                format!("reduce_{}", backend.name()),
                 Box::new(move || (run_collective(backend, n, true), n)),
             ),
         ];
-        for (name, run) in workloads {
-            let (dt, total) = run();
+        if backend != TransportBackend::InMem {
+            // The wire-identical v2 baseline the pooled path is gated
+            // against in CI.
+            workloads.push((
+                format!("p2p_{}_unpooled", backend.name()),
+                Box::new(move || (run_p2p(backend, n, false), 2 * n)),
+            ));
+        }
+        for (series, run) in workloads {
+            let ((dt, wire), total) = run();
             let melem = total as f64 / dt / 1e6;
-            let series = format!("{name}_{}", backend.name());
             println!(
-                "{:<16} {:>8} {:>6} {:>6} {:>10} {:>10.3} {:>9.2}",
+                "{:<20} {:>8} {:>6} {:>6} {:>10} {:>10.3} {:>9.2} {:>11.0}",
                 series,
                 backend.name(),
                 RANKS,
                 nproc,
                 n,
                 dt,
-                melem
+                melem,
+                wire.send_bytes_per_syscall()
             );
             points.push(Point {
                 series,
@@ -199,6 +224,7 @@ fn main() {
                 elems: n,
                 seconds: dt,
                 melem_per_s: melem,
+                wire,
             });
         }
     }
@@ -214,7 +240,7 @@ fn main() {
     json.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"series\": \"{}\", \"backend\": \"{}\", \"ranks\": {}, \"nproc\": {}, \"elems\": {}, \"seconds\": {:.6}, \"melem_per_s\": {:.3}}}{}\n",
+            "    {{\"series\": \"{}\", \"backend\": \"{}\", \"ranks\": {}, \"nproc\": {}, \"elems\": {}, \"seconds\": {:.6}, \"melem_per_s\": {:.3}, \"send_syscalls\": {}, \"send_bytes\": {}, \"recv_syscalls\": {}, \"recv_bytes\": {}, \"bytes_per_syscall\": {:.1}, \"pool_hits\": {}, \"pool_misses\": {}, \"corked_frames\": {}}}{}\n",
             p.series,
             p.backend,
             p.ranks,
@@ -222,6 +248,14 @@ fn main() {
             p.elems,
             p.seconds,
             p.melem_per_s,
+            p.wire.send_syscalls,
+            p.wire.send_bytes,
+            p.wire.recv_syscalls,
+            p.wire.recv_bytes,
+            p.wire.send_bytes_per_syscall(),
+            p.wire.pool_hits,
+            p.wire.pool_misses,
+            p.wire.corked_frames,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }

@@ -13,13 +13,19 @@
 //! *parent* only after its whole subtree announced, and interior nodes
 //! split the arriving block stream per their schedule: their own block is
 //! delivered locally, every other block is re-addressed to the child whose
-//! subtree owns it — packets never straddle block boundaries (the root
+//! subtree owns it — frames never straddle block boundaries (the root
 //! flushes its framer at every block), so forwarding is plain counting.
+//!
+//! With [`crate::RuntimeParams::zero_copy`] on, the root wraps whole-packet
+//! spans of each child's blocks into refcounted [`PacketRun`]s the way
+//! bcast's fan-out does: one copy into the run buffer, then `Arc` handles
+//! all the way down the tree (interior nodes re-stamp the route on a
+//! cloned header, never the payload).
 
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 
-use smi_wire::{Deframer, Framer, NetworkPacket, PacketOp, SmiType};
+use smi_wire::{Deframer, Frame, Framer, NetworkPacket, PacketOp, PacketRun, SmiType};
 
 use crate::collectives::topology::{CollectiveScheme, Run, RunTarget, TreeShape};
 use crate::collectives::{expect_op, CollectivePoll, CollectiveState};
@@ -63,8 +69,11 @@ pub struct ScatterChannel<T: SmiType> {
     popped: u64,
     /// Root's own slice, buffered locally.
     local: VecDeque<T>,
-    /// Interior: own-block packets pending local deframing.
-    inbox: VecDeque<NetworkPacket>,
+    /// Interior: own-block frames pending local deframing.
+    inbox: VecDeque<Frame>,
+    /// Wrap whole-packet spans into refcounted runs at the root
+    /// ([`crate::RuntimeParams::zero_copy`]).
+    zero_copy: bool,
     state: CollectiveState,
     framer: Framer,
     deframer: Deframer,
@@ -118,6 +127,7 @@ impl<T: SmiType> ScatterChannel<T> {
             popped: 0,
             local: VecDeque::new(),
             inbox: VecDeque::new(),
+            zero_copy: params.zero_copy,
             state: CollectiveState::Opening,
             framer: Framer::new(T::DATATYPE, my_wire, 0, port_wire, PacketOp::Scatter),
             deframer: Deframer::new(T::DATATYPE),
@@ -231,32 +241,48 @@ impl<T: SmiType> ScatterChannel<T> {
     /// Interior forwarding duty: split the arriving block stream per the
     /// schedule — own blocks to the local inbox, every other block
     /// re-addressed to the child whose subtree owns it. Gated on staging
-    /// capacity so congestion backpressures the parent.
+    /// capacity so congestion backpressures the parent. Frames move whole:
+    /// an inline packet is re-stamped in place, a run clones only its
+    /// header (the payload stays one shared `Arc` down the whole tree).
     fn pump_forward(&mut self) -> Result<(), SmiError> {
         while self.run_idx < self.schedule.len() {
             if self.io.stage_full() && !self.io.try_flush()? {
                 break;
             }
             let run = self.schedule[self.run_idx];
-            let pkt = match self.io.try_recv_data()? {
-                Some(pkt) => pkt,
+            let frame = match self.io.try_recv_data_frame()? {
+                Some(frame) => frame,
                 None => break,
             };
-            expect_op(&pkt, PacketOp::Scatter)?;
-            let k = pkt.header.count as u64;
+            if frame.header().op != PacketOp::Scatter {
+                return Err(SmiError::ProtocolViolation {
+                    detail: format!(
+                        "expected {:?}, got {:?}",
+                        PacketOp::Scatter,
+                        frame.header().op
+                    ),
+                });
+            }
+            let k = frame.elems() as u64;
             if self.run_off + k > run.elems(self.count) {
                 return Err(SmiError::ProtocolViolation {
-                    detail: "scatter packet straddles a block-schedule run".into(),
+                    detail: "scatter frame straddles a block-schedule run".into(),
                 });
             }
             match run.target {
-                RunTarget::Own => self.inbox.push_back(pkt),
-                RunTarget::Child(c) => {
-                    let mut copy = pkt;
-                    copy.header.src = self.my_wire;
-                    copy.header.dst = self.children[c] as u8;
-                    self.io.stage(copy);
-                }
+                RunTarget::Own => self.inbox.push_back(frame),
+                RunTarget::Child(c) => match frame {
+                    Frame::Pkt(mut p) => {
+                        p.header.src = self.my_wire;
+                        p.header.dst = self.children[c] as u8;
+                        self.io.stage(p);
+                    }
+                    Frame::Run(mut r) => {
+                        r.header.src = self.my_wire;
+                        r.header.dst = self.children[c] as u8;
+                        self.io.stage_frame(Frame::Run(r));
+                    }
+                },
             }
             self.run_off += k;
             self.routed += k;
@@ -312,24 +338,57 @@ impl<T: SmiType> ScatterChannel<T> {
                     let avail = (values.len() - consumed)
                         .min(block_left)
                         .min((run.elems(self.count) - self.run_off) as usize);
-                    let (take, pkt) = self.framer.push_slice(&values[consumed..consumed + avail]);
-                    self.pushed += take as u64;
-                    self.run_off += take as u64;
-                    consumed += take;
-                    let maybe = if self.pushed.is_multiple_of(self.count) {
-                        pkt.or_else(|| self.framer.flush())
-                    } else {
-                        pkt
-                    };
-                    if let Some(mut p) = maybe {
-                        p.header.dst = self.children[c] as u8;
-                        self.io.stage(p);
+                    let epp = T::DATATYPE.elems_per_packet();
+                    if self.zero_copy && self.framer.pending() == 0 && avail >= epp {
+                        // Whole-packet span (or a block-completing tail) as
+                        // one refcounted run addressed to this child: the
+                        // single copy the zero-copy fan-out pays.
+                        let take = if avail == block_left {
+                            avail
+                        } else {
+                            avail - avail % epp
+                        };
+                        self.io.meter().add_bytes(take * T::DATATYPE.size_bytes());
+                        let run_frame = PacketRun::from_elems(
+                            self.my_wire,
+                            self.children[c] as u8,
+                            self.port_wire,
+                            PacketOp::Scatter,
+                            &values[consumed..consumed + take],
+                        );
+                        self.pushed += take as u64;
+                        self.run_off += take as u64;
+                        consumed += take;
+                        self.io.stage_frame(Frame::Run(run_frame));
                         if self.io.stage_full() && !self.io.try_flush()? {
                             if self.run_off == run.elems(self.count) {
                                 self.run_idx += 1;
                                 self.run_off = 0;
                             }
                             break 'outer;
+                        }
+                    } else {
+                        let (take, pkt) =
+                            self.framer.push_slice(&values[consumed..consumed + avail]);
+                        self.io.meter().add_bytes(take * T::DATATYPE.size_bytes());
+                        self.pushed += take as u64;
+                        self.run_off += take as u64;
+                        consumed += take;
+                        let maybe = if self.pushed.is_multiple_of(self.count) {
+                            pkt.or_else(|| self.framer.flush())
+                        } else {
+                            pkt
+                        };
+                        if let Some(mut p) = maybe {
+                            p.header.dst = self.children[c] as u8;
+                            self.io.stage(p);
+                            if self.io.stage_full() && !self.io.try_flush()? {
+                                if self.run_off == run.elems(self.count) {
+                                    self.run_idx += 1;
+                                    self.run_off = 0;
+                                }
+                                break 'outer;
+                            }
                         }
                     }
                 }
@@ -402,20 +461,33 @@ impl<T: SmiType> ScatterChannel<T> {
                         // Validated and queued by the forwarding pump.
                         self.inbox.pop_front()
                     } else {
-                        match self.io.try_recv_data()? {
-                            Some(pkt) => {
-                                expect_op(&pkt, PacketOp::Scatter)?;
-                                Some(pkt)
+                        match self.io.try_recv_data_frame()? {
+                            Some(frame) => {
+                                if frame.header().op != PacketOp::Scatter {
+                                    return Err(SmiError::ProtocolViolation {
+                                        detail: format!(
+                                            "expected {:?}, got {:?}",
+                                            PacketOp::Scatter,
+                                            frame.header().op
+                                        ),
+                                    });
+                                }
+                                Some(frame)
                             }
                             None => None,
                         }
                     };
                     match next {
-                        Some(pkt) => self.deframer.refill(pkt),
+                        Some(Frame::Pkt(p)) => {
+                            self.io.meter().add_packets(1);
+                            self.deframer.refill(p);
+                        }
+                        Some(Frame::Run(r)) => self.deframer.refill_run(r.payload),
                         None => break,
                     }
                 }
                 let n = self.deframer.pop_slice(&mut out[filled..]);
+                self.io.meter().add_bytes(n * T::DATATYPE.size_bytes());
                 filled += n;
                 self.popped += n as u64;
             }

@@ -46,7 +46,7 @@ use crate::transport::socket::FabricHealth;
 use crate::transport::wiring::{
     build_transport, build_transport_with, FabricLinks, TransportHandle,
 };
-use crate::transport::TransportStats;
+use crate::transport::{TransportStats, WireSnapshot};
 use crate::SmiError;
 
 /// Per-rank execution context: the handle through which a rank's code opens
@@ -404,6 +404,13 @@ pub struct RunReport<T> {
     /// a `zero_copy: true` run against the `false` baseline quantifies
     /// what the run-buffer plane saved.
     pub payload_copies: u64,
+    /// Socket-plane wire counters: syscalls and bytes in both directions,
+    /// buffer-pool hits/misses and cork merges (see
+    /// [`crate::transport::WireSnapshot`]). All zeros for the in-memory
+    /// fabric; for split runs the counters aggregate every socket
+    /// connection of the run. `send_bytes_per_syscall()` is the headline
+    /// number the pooled fast path optimizes.
+    pub wire_stats: WireSnapshot,
     /// OS threads the runtime spawned for this run (rank threads, if any,
     /// plus executor workers).
     pub threads_spawned: usize,
@@ -685,6 +692,7 @@ pub fn run_mpmd<T: Send + 'static>(
             .collect(),
         transport: stats.snapshot(),
         payload_copies: stats.payload_copies.count(),
+        wire_stats: stats.wire.snapshot(),
         threads_spawned: outcome.threads_spawned,
         reconnects_healed: outcome.reconnects_healed,
         worker_stats: outcome.worker_stats,
@@ -843,6 +851,7 @@ pub fn run_mpmd_tasks(
         results,
         transport: stats.snapshot(),
         payload_copies: stats.payload_copies.count(),
+        wire_stats: stats.wire.snapshot(),
         threads_spawned: outcome.threads_spawned,
         reconnects_healed: outcome.reconnects_healed,
         worker_stats: outcome.worker_stats,

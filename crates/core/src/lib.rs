@@ -174,6 +174,7 @@ pub use proc::{
     TransportBackend,
 };
 pub use transport::faults::{DelaySpec, FaultPlan, LinkFault, SeverSpec};
+pub use transport::{WireSnapshot, WireStats};
 
 /// Convenient glob import: the SMI API plus the re-exported foundation types.
 pub mod prelude {
@@ -194,6 +195,7 @@ pub mod prelude {
         TransportBackend,
     };
     pub use crate::transport::faults::{DelaySpec, FaultPlan, LinkFault, SeverSpec};
+    pub use crate::transport::WireSnapshot;
     pub use smi_codegen::{OpSpec, ProgramMeta};
     pub use smi_topology::Topology;
     pub use smi_wire::{Datatype, ReduceOp, SmiType};

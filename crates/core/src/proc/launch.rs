@@ -562,7 +562,7 @@ fn child_run(o: &Opts) -> Result<i32, String> {
         wiring,
         &params,
         plan.faults.as_ref(),
-        stats.payload_copies.clone(),
+        &stats,
     )
     .map_err(|e| format!("fabric: {e}"))?;
     let metas = vec![workload_meta(); topo.num_ranks()];

@@ -46,7 +46,7 @@ use crate::transport::socket::{
     ReconnectRole, Redial, SocketConn, SocketListener, SocketStream,
 };
 use crate::transport::wiring::FabricLinks;
-use crate::transport::{CopyMeter, TransportStats};
+use crate::transport::TransportStats;
 use crate::SmiError;
 
 mod launch;
@@ -301,7 +301,7 @@ pub(crate) fn build_group_fabric(
     wiring: GroupWiring,
     params: &RuntimeParams,
     faults: Option<&FaultPlan>,
-    copies: CopyMeter,
+    stats: &TransportStats,
 ) -> io::Result<GroupFabric> {
     let n = topo.num_ranks();
     let owner = proc_of(procs, n);
@@ -355,7 +355,9 @@ pub(crate) fn build_group_fabric(
             session: ps.session,
             local_proc: me,
             faults: faults.and_then(|fp| fp.injector_for(me, peer)),
-            copies: copies.clone(),
+            copies: stats.payload_copies.clone(),
+            wire: stats.wire.clone(),
+            pooling: params.socket_pooling,
         };
         let (conn, pump) = SocketConn::new(ps.stream, cfg, health.clone())?;
         for key in tx_keys {
@@ -553,7 +555,7 @@ pub fn run_split_mpmd<T: Send + 'static>(
                             group.wiring,
                             &params,
                             faults.as_ref(),
-                            stats.payload_copies.clone(),
+                            &stats,
                         )
                         .map_err(|e| {
                             LaunchError::Plan(format!("fabric for process {}: {e}", group.idx))
@@ -670,7 +672,7 @@ pub fn run_split_mpmd_tasks(
                                 group.wiring,
                                 &params,
                                 faults.as_ref(),
-                                stats.payload_copies.clone(),
+                                &stats,
                             )
                             .map_err(|e| {
                                 LaunchError::Plan(format!("fabric for process {}: {e}", group.idx))
@@ -755,6 +757,7 @@ where
         results: slots.into_iter().map(finish).collect(),
         transport: stats.snapshot(),
         payload_copies: stats.payload_copies.count(),
+        wire_stats: stats.wire.snapshot(),
         threads_spawned,
         reconnects_healed,
         worker_stats,

@@ -70,6 +70,89 @@ pub(crate) fn meter_inline_data(meter: &CopyMeter, burst: &[Frame]) {
     }
 }
 
+/// Shared wire-level counters for the socket plane: syscalls and bytes on
+/// both directions plus buffer-pool and cork effectiveness. One instance is
+/// shared by every socket connection of a run (the `Arc`ed counters clone
+/// into each `ConnConfig`), so a [`WireSnapshot`] describes the whole
+/// process boundary of the run.
+#[derive(Debug, Clone, Default)]
+pub struct WireStats {
+    /// Send-side syscalls (`write`/`write_vectored`) that moved ≥1 byte.
+    pub send_syscalls: Arc<AtomicU64>,
+    /// Bytes accepted by the kernel across all send syscalls.
+    pub send_bytes: Arc<AtomicU64>,
+    /// Receive-side `read` syscalls that returned ≥1 byte.
+    pub recv_syscalls: Arc<AtomicU64>,
+    /// Bytes returned across all receive syscalls.
+    pub recv_bytes: Arc<AtomicU64>,
+    /// Encode/receive buffers recycled from a pool free list.
+    pub pool_hits: Arc<AtomicU64>,
+    /// Buffers that had to be freshly allocated (pool empty or oversized).
+    pub pool_misses: Arc<AtomicU64>,
+    /// Offered bursts merged into a not-yet-transmitted ring frame by the
+    /// adaptive cork instead of paying their own frame header.
+    pub corked_frames: Arc<AtomicU64>,
+}
+
+impl WireStats {
+    #[inline]
+    pub(crate) fn add_send(&self, bytes: usize) {
+        self.send_syscalls.fetch_add(1, Ordering::Relaxed);
+        self.send_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add_recv(&self, bytes: usize) {
+        self.recv_syscalls.fetch_add(1, Ordering::Relaxed);
+        self.recv_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Freeze the counters into a plain-value snapshot.
+    pub fn snapshot(&self) -> WireSnapshot {
+        WireSnapshot {
+            send_syscalls: self.send_syscalls.load(Ordering::Relaxed),
+            send_bytes: self.send_bytes.load(Ordering::Relaxed),
+            recv_syscalls: self.recv_syscalls.load(Ordering::Relaxed),
+            recv_bytes: self.recv_bytes.load(Ordering::Relaxed),
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            pool_misses: self.pool_misses.load(Ordering::Relaxed),
+            corked_frames: self.corked_frames.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`WireStats`], reported as
+/// [`crate::env::RunReport::wire_stats`]. All zeros on the in-memory
+/// backend (no process boundary is crossed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireSnapshot {
+    /// Send-side syscalls that moved ≥1 byte.
+    pub send_syscalls: u64,
+    /// Bytes accepted by the kernel across all send syscalls.
+    pub send_bytes: u64,
+    /// Receive-side syscalls that returned ≥1 byte.
+    pub recv_syscalls: u64,
+    /// Bytes returned across all receive syscalls.
+    pub recv_bytes: u64,
+    /// Buffers recycled from a pool free list.
+    pub pool_hits: u64,
+    /// Buffers freshly allocated (pool empty or request oversized).
+    pub pool_misses: u64,
+    /// Bursts merged into an untransmitted ring frame by the cork.
+    pub corked_frames: u64,
+}
+
+impl WireSnapshot {
+    /// Mean bytes moved per send syscall (0.0 when nothing was sent).
+    pub fn send_bytes_per_syscall(&self) -> f64 {
+        if self.send_syscalls == 0 {
+            0.0
+        } else {
+            self.send_bytes as f64 / self.send_syscalls as f64
+        }
+    }
+}
+
 /// Transport-wide counters, shared with the CK machines.
 #[derive(Debug, Clone, Default)]
 pub struct TransportStats {
@@ -81,6 +164,8 @@ pub struct TransportStats {
     pub unroutable: Arc<AtomicU64>,
     /// Payload bytes copied on the payload plane (see [`CopyMeter`]).
     pub payload_copies: CopyMeter,
+    /// Socket-plane wire counters (see [`WireStats`]).
+    pub wire: WireStats,
 }
 
 impl TransportStats {

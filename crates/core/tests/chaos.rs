@@ -22,11 +22,13 @@ fn faulty_collectives(
     count: u64,
     scheme: CollectiveScheme,
     stream_reconnect: ReconnectPolicy,
+    socket_pooling: bool,
 ) -> RunReport<RankOut> {
     let params = RuntimeParams {
         collective_scheme: scheme,
         reduce_credits: 32,
         stream_reconnect,
+        socket_pooling,
         ..Default::default()
     };
     run_split_spmd(
@@ -130,7 +132,14 @@ fn severed_link_heals_by_replay_uds() {
             ..LinkFault::clean(0, 1)
         }],
     });
-    let report = faulty_collectives(&plan, 0, 64, CollectiveScheme::Linear, default_retry());
+    let report = faulty_collectives(
+        &plan,
+        0,
+        64,
+        CollectiveScheme::Linear,
+        default_retry(),
+        true,
+    );
     assert_healed_results(&report.results, 0, 64);
     assert!(
         report.reconnects_healed >= 1,
@@ -149,9 +158,54 @@ fn severed_link_heals_by_replay_tcp() {
             ..LinkFault::clean(1, 0)
         }],
     });
-    let report = faulty_collectives(&plan, 1, 64, CollectiveScheme::Tree, default_retry());
+    let report = faulty_collectives(&plan, 1, 64, CollectiveScheme::Tree, default_retry(), true);
     assert_healed_results(&report.results, 1, 64);
     assert!(report.reconnects_healed >= 1);
+}
+
+/// The `socket_pooling` A/B knob under faults: the same sever-and-restore
+/// schedule heals to bit-identical results with the pooled v3 encoding and
+/// the unpooled v2 baseline (both flow through the staged fault seam, so
+/// per-frame drop/sever custody is preserved either way).
+#[test]
+fn sever_heals_identically_with_pooling_on_and_off() {
+    // The cork makes pooled runs emit far fewer frames, so the sever
+    // must trigger early to fire in both modes.
+    let mk_plan = || {
+        let mut plan = split_plan(4, 2, TransportBackend::Uds);
+        plan.faults = Some(FaultPlan {
+            links: vec![LinkFault {
+                sever: vec![SeverSpec { after_frame: 1 }],
+                restore: true,
+                ..LinkFault::clean(0, 1)
+            }],
+        });
+        plan
+    };
+    let pooled = faulty_collectives(
+        &mk_plan(),
+        0,
+        256,
+        CollectiveScheme::Tree,
+        default_retry(),
+        true,
+    );
+    let unpooled = faulty_collectives(
+        &mk_plan(),
+        0,
+        256,
+        CollectiveScheme::Tree,
+        default_retry(),
+        false,
+    );
+    assert_healed_results(&pooled.results, 0, 256);
+    assert_healed_results(&unpooled.results, 0, 256);
+    assert_eq!(
+        pooled.results, unpooled.results,
+        "pooling must be result-invariant under faults"
+    );
+    assert!(pooled.reconnects_healed >= 1, "pooled run must heal");
+    assert!(unpooled.reconnects_healed >= 1, "unpooled run must heal");
 }
 
 #[test]
@@ -173,7 +227,14 @@ fn dropped_and_duplicated_frames_heal_transparently() {
             },
         ],
     });
-    let report = faulty_collectives(&plan, 2, 64, CollectiveScheme::Linear, default_retry());
+    let report = faulty_collectives(
+        &plan,
+        2,
+        64,
+        CollectiveScheme::Linear,
+        default_retry(),
+        true,
+    );
     assert_healed_results(&report.results, 2, 64);
     assert!(
         report.reconnects_healed >= 1,
@@ -190,7 +251,14 @@ fn delayed_frame_reorders_and_heals() {
             ..LinkFault::clean(0, 1)
         }],
     });
-    let report = faulty_collectives(&plan, 0, 64, CollectiveScheme::Linear, default_retry());
+    let report = faulty_collectives(
+        &plan,
+        0,
+        64,
+        CollectiveScheme::Linear,
+        default_retry(),
+        true,
+    );
     assert_healed_results(&report.results, 0, 64);
 }
 
@@ -215,6 +283,7 @@ fn sever_without_restore_surfaces_typed_peer_disconnect() {
         64,
         CollectiveScheme::Linear,
         ReconnectPolicy::retry_fixed(3, std::time::Duration::from_millis(10)),
+        true,
     );
     let disconnects: Vec<usize> = report
         .results
@@ -265,6 +334,7 @@ fn fail_policy_turns_first_fault_into_typed_error() {
         64,
         CollectiveScheme::Linear,
         ReconnectPolicy::Fail,
+        true,
     );
     assert!(
         report
@@ -363,7 +433,7 @@ proptest! {
         let scheme = if tree { CollectiveScheme::Tree } else { CollectiveScheme::Linear };
         let mut plan = split_plan(ranks, nproc, backend);
         plan.faults = Some(random_faults(nproc, entropy));
-        let report = faulty_collectives(&plan, root, count, scheme, default_retry());
+        let report = faulty_collectives(&plan, root, count, scheme, default_retry(), true);
         let n = report.results.len();
         prop_assert_eq!(n, ranks);
         for (rank, res) in report.results.iter().enumerate() {

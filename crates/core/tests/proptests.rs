@@ -336,9 +336,21 @@ fn all_collectives_split(
     count: u64,
     scheme: smi::CollectiveScheme,
 ) -> Vec<(Vec<i32>, Vec<i32>, Vec<i32>, Vec<i32>)> {
+    all_collectives_split_pooling(plan, root, count, scheme, true)
+}
+
+#[allow(clippy::type_complexity)]
+fn all_collectives_split_pooling(
+    plan: &ProcessPlan,
+    root: usize,
+    count: u64,
+    scheme: smi::CollectiveScheme,
+    socket_pooling: bool,
+) -> Vec<(Vec<i32>, Vec<i32>, Vec<i32>, Vec<i32>)> {
     let params = RuntimeParams {
         collective_scheme: scheme,
         reduce_credits: 32, // several windows at moderate counts
+        socket_pooling,
         ..Default::default()
     };
     let meta = ProgramMeta::new()
@@ -479,6 +491,59 @@ proptest! {
             &inmem, &uds,
             "ranks={} root={} nproc={} count={} scheme={:?}",
             ranks, root, nproc, count, scheme
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Socket-plane pooling equivalence: pooled ≡ unpooled ≡ inmem
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The pooled socket fast path (v3 vectored frames, encode-buffer slab,
+    /// cork, zero-copy receive decode) is wire-behavior-invariant: all four
+    /// collectives deliver bit-identical results with pooling on, pooling
+    /// off, and on the in-memory plane, for random rank counts (2..=8),
+    /// roots, payload lengths, partitions, schemes and both socket
+    /// backends.
+    #[test]
+    fn pooled_socket_matches_unpooled_and_in_memory(
+        ranks_pick in any::<u8>(),
+        root_pick in any::<u8>(),
+        nproc_pick in any::<u8>(),
+        count in 1u64..24,
+        tree in any::<bool>(),
+        tcp in any::<bool>(),
+    ) {
+        let ranks = 2 + (ranks_pick as usize % 7); // 2..=8
+        let root = root_pick as usize % ranks;
+        let nproc = 2 + (nproc_pick as usize % (ranks - 1)); // 2..=ranks
+        let scheme = if tree {
+            smi::CollectiveScheme::Tree
+        } else {
+            smi::CollectiveScheme::Linear
+        };
+        let backend = if tcp {
+            TransportBackend::Tcp
+        } else {
+            TransportBackend::Uds
+        };
+        let topo = Topology::bus(ranks);
+        let plan = ProcessPlan::split(&topo, backend, nproc);
+        let inmem = all_collectives(ranks, root, count, scheme);
+        let pooled = all_collectives_split_pooling(&plan, root, count, scheme, true);
+        let unpooled = all_collectives_split_pooling(&plan, root, count, scheme, false);
+        prop_assert_eq!(
+            &pooled, &unpooled,
+            "pooled != unpooled: ranks={} root={} nproc={} count={} scheme={:?} backend={}",
+            ranks, root, nproc, count, scheme, backend
+        );
+        prop_assert_eq!(
+            &inmem, &pooled,
+            "pooled != inmem: ranks={} root={} nproc={} count={} scheme={:?} backend={}",
+            ranks, root, nproc, count, scheme, backend
         );
     }
 }

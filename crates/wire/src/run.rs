@@ -73,6 +73,19 @@ impl PayloadRun {
         &self.buf[self.off..self.off + self.len]
     }
 
+    /// View `len` bytes starting at `off` of an existing shared buffer —
+    /// no copy at all. This is the receive-side zero-copy constructor: a
+    /// socket pump that read a frame into a pooled `Arc<[u8]>` block hands
+    /// the payload span straight to the deframer as a run view, pinning the
+    /// block alive until every consumer drained it.
+    pub fn from_shared(buf: Arc<[u8]>, off: usize, len: usize) -> PayloadRun {
+        assert!(
+            off.checked_add(len).is_some_and(|end| end <= buf.len()),
+            "shared view out of bounds"
+        );
+        PayloadRun { buf, off, len }
+    }
+
     /// A sub-view of `len` bytes starting at `off` (relative to this view).
     /// Shares the underlying buffer — no copy.
     pub fn slice(&self, off: usize, len: usize) -> PayloadRun {
